@@ -1,0 +1,80 @@
+//! Ablation bench for the §IV-A design choice: simplify the unexpanded
+//! expression vs. expand-then-simplify vs. the cost-model selection
+//! (`pick_cheaper`). The paper reports NW prefers the unexpanded form
+//! and LUD the expanded form; the cost model must match both.
+
+use criterion::{Criterion, black_box, criterion_group, criterion_main};
+use lego_core::{Layout, OrderBy, perms::antidiag, sugar};
+use lego_expr::{Expr, RangeEnv, expand, op_count, pick_cheaper, simplify};
+
+/// The NW anti-diagonal index expression (symbolic, n = 17).
+fn nw_expr() -> (Expr, RangeEnv) {
+    let layout = Layout::builder([17i64, 17])
+        .order_by(OrderBy::new([antidiag(17).unwrap()]).unwrap())
+        .build()
+        .unwrap();
+    let mut env = RangeEnv::new();
+    env.set_bounds("i", Expr::zero(), Expr::val(17));
+    env.set_bounds("j", Expr::zero(), Expr::val(17));
+    let e = layout
+        .apply_sym(&[Expr::sym("i"), Expr::sym("j")])
+        .unwrap();
+    (e, env)
+}
+
+/// The LUD coarsening index expression (symbolic sizes).
+fn lud_expr() -> (Expr, RangeEnv) {
+    let (r, t) = (4i64, 16i64);
+    let bs = r * t;
+    let layout = sugar::tile_by([vec![Expr::val(r); 2], vec![Expr::val(t); 2]])
+        .unwrap()
+        .order_by(OrderBy::new([sugar::row([bs, bs]).unwrap()]).unwrap())
+        .build()
+        .unwrap();
+    let mut env = RangeEnv::new();
+    env.set_bounds("ri", Expr::zero(), Expr::val(r));
+    env.set_bounds("rj", Expr::zero(), Expr::val(r));
+    env.set_bounds("ti", Expr::zero(), Expr::val(t));
+    env.set_bounds("tj", Expr::zero(), Expr::val(t));
+    let e = layout
+        .apply_sym(&[
+            Expr::sym("ri"),
+            Expr::sym("rj"),
+            Expr::sym("ti"),
+            Expr::sym("tj"),
+        ])
+        .unwrap();
+    (e, env)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("expand_ablation");
+    g.sample_size(20);
+    for (name, (e, env)) in [("nw", nw_expr()), ("lud", lud_expr())] {
+        // Report the op counts once, so `cargo bench` output records the
+        // ablation data alongside the timings.
+        let plain = simplify(&e, &env);
+        let expanded = simplify(&expand(&e), &env);
+        let choice = pick_cheaper(&e, &env);
+        println!(
+            "[ablation:{name}] unexpanded={} ops, expanded={} ops, \
+             cost model chose {:?}",
+            op_count(&plain),
+            op_count(&expanded),
+            choice.variant
+        );
+        g.bench_function(format!("{name}_simplify_unexpanded"), |b| {
+            b.iter(|| black_box(simplify(black_box(&e), &env)))
+        });
+        g.bench_function(format!("{name}_simplify_expanded"), |b| {
+            b.iter(|| black_box(simplify(&expand(black_box(&e)), &env)))
+        });
+        g.bench_function(format!("{name}_pick_cheaper"), |b| {
+            b.iter(|| black_box(pick_cheaper(black_box(&e), &env)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion version of **Table III**: code generation + simplification
+//! latency per application (the one-time cost of LEGO, §V Table III).
+
+use criterion::{Criterion, black_box, criterion_group, criterion_main};
+use lego_codegen::cuda::{lud, nw, stencil, transpose};
+use lego_codegen::triton::{grouped_gemm, layernorm, matmul, softmax};
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codegen");
+    g.sample_size(10);
+    g.bench_function("matmul_nn", |b| {
+        b.iter(|| black_box(matmul::generate(matmul::MatmulVariant::NN).unwrap()))
+    });
+    g.bench_function("grouped_gemm", |b| {
+        b.iter(|| black_box(grouped_gemm::generate().unwrap()))
+    });
+    g.bench_function("layernorm_fwd", |b| {
+        b.iter(|| black_box(layernorm::generate(layernorm::Pass::Fwd).unwrap()))
+    });
+    g.bench_function("softmax", |b| {
+        b.iter(|| black_box(softmax::generate().unwrap()))
+    });
+    g.bench_function("lud_coarsen4", |b| {
+        b.iter(|| black_box(lud::generate(4, 16).unwrap()))
+    });
+    g.bench_function("nw_b16", |b| {
+        b.iter(|| black_box(nw::generate(16).unwrap()))
+    });
+    g.bench_function("stencil_cube125", |b| {
+        b.iter(|| {
+            black_box(
+                stencil::generate(stencil::StencilShape::Cube(2), 128, 8)
+                    .unwrap(),
+            )
+        })
+    });
+    g.bench_function("transpose_smem", |b| {
+        b.iter(|| {
+            black_box(
+                transpose::generate(
+                    transpose::TransposeVariant::SmemCoalesced,
+                    32,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

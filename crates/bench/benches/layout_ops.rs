@@ -1,0 +1,103 @@
+//! Criterion benchmarks for the core layout operations: concrete
+//! `apply`/`inv` throughput of the layouts used across the paper, and
+//! the symbolic path (apply + Table II simplification).
+
+use criterion::{Criterion, black_box, criterion_group, criterion_main};
+use lego_core::perms::{antidiag, hilbert, morton, reverse_perm};
+use lego_core::{Layout, OrderBy, Perm};
+use lego_expr::{Expr, RangeEnv, simplify};
+
+fn fig2_layout() -> Layout {
+    Layout::builder([6i64, 4])
+        .order_by(
+            OrderBy::new([
+                Perm::reg([2i64, 2], [2usize, 1]).unwrap(),
+                reverse_perm(&[3, 2]).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .build()
+        .unwrap()
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apply");
+    let fig2 = fig2_layout();
+    g.bench_function("fig2_6x4", |b| {
+        b.iter(|| {
+            for i in 0..6 {
+                for j in 0..4 {
+                    black_box(fig2.apply_c(black_box(&[i, j])).unwrap());
+                }
+            }
+        })
+    });
+    let brick = lego_core::brick::brick3d(64, 8).unwrap();
+    g.bench_function("brick3d_64", |b| {
+        b.iter(|| {
+            black_box(brick.apply_c(black_box(&[17, 33, 49])).unwrap())
+        })
+    });
+    let nw = Layout::builder([17i64, 17])
+        .order_by(OrderBy::new([antidiag(17).unwrap()]).unwrap())
+        .build()
+        .unwrap();
+    g.bench_function("antidiag_17", |b| {
+        b.iter(|| black_box(nw.apply_c(black_box(&[7, 9])).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_inv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inv");
+    let fig2 = fig2_layout();
+    g.bench_function("fig2_6x4", |b| {
+        b.iter(|| {
+            for f in 0..24 {
+                black_box(fig2.inv_c(black_box(f)).unwrap());
+            }
+        })
+    });
+    let brick = lego_core::brick::brick3d(64, 8).unwrap();
+    g.bench_function("brick3d_64", |b| {
+        b.iter(|| black_box(brick.inv_c(black_box(123456)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_perms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perms");
+    for (name, p) in [
+        ("morton_64", morton(64).unwrap()),
+        ("hilbert_64", hilbert(64).unwrap()),
+        ("antidiag_64", antidiag(64).unwrap()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(p.apply_c(black_box(&[37, 21])).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("symbolic");
+    g.sample_size(20);
+    let layout = Layout::identity([Expr::sym("M"), Expr::sym("K")]).unwrap();
+    let mut env = RangeEnv::new();
+    env.set_bounds("i", Expr::zero(), Expr::sym("M"));
+    env.set_bounds("j", Expr::zero(), Expr::sym("K"));
+    env.assume_pos("M");
+    env.assume_pos("K");
+    g.bench_function("apply_simplify_row_major", |b| {
+        b.iter(|| {
+            let e = layout
+                .apply_sym(&[Expr::sym("i"), Expr::sym("j")])
+                .unwrap();
+            black_box(simplify(&e, &env))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_apply, bench_inv, bench_perms, bench_symbolic);
+criterion_main!(benches);

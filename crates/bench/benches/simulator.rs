@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the `gpu-sim` substrate primitives and one
+//! end-to-end workload, so simulator throughput regressions are visible.
+
+use criterion::{Criterion, black_box, criterion_group, criterion_main};
+use gpu_sim::{Cache, TileCache, a100, bank_conflicts_elems, coalesce_elems};
+use lego_bench::workloads::matmul::{Schedule, simulate};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_primitives");
+    let strided: Vec<i64> = (0..32).map(|i| i * 2048).collect();
+    g.bench_function("coalesce_warp", |b| {
+        b.iter(|| black_box(coalesce_elems(black_box(&strided), 4, 0, 32)))
+    });
+    g.bench_function("bank_conflicts", |b| {
+        b.iter(|| black_box(bank_conflicts_elems(black_box(&strided), 32)))
+    });
+    g.bench_function("cache_sweep", |b| {
+        let mut cache = Cache::new(4096, 16);
+        b.iter(|| {
+            for line in 0..8192i64 {
+                black_box(cache.access(line));
+            }
+        })
+    });
+    g.bench_function("tilecache_touch", |b| {
+        let mut tc = TileCache::new(40 * 1024 * 1024);
+        let mut id = 0i64;
+        b.iter(|| {
+            id = (id + 1) % 4096;
+            black_box(tc.touch(id, 16384))
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_workloads");
+    g.sample_size(10);
+    let cfg = a100();
+    g.bench_function("matmul_2048_grouped", |b| {
+        b.iter(|| {
+            black_box(simulate(
+                2048,
+                (128, 128, 64),
+                Schedule::Grouped { gm: 8 },
+                &cfg,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_workload);
+criterion_main!(benches);

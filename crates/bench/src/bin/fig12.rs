@@ -1,0 +1,71 @@
+//! **Figure 12** (a–c): the CUDA benchmarks — NW anti-diagonal layout,
+//! LUD thread coarsening, and brick vs. row-major stencils.
+//!
+//! Run all three panels, or one: `fig12 [nw|lud|stencil]`.
+
+use gpu_sim::a100;
+use lego_bench::workloads::{lud, nw, stencil};
+use lego_codegen::cuda::stencil::StencilShape;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let cfg = a100();
+
+    if which == "all" || which == "nw" {
+        println!("Figure 12a: NW — anti-diagonal buffer layout vs Rodinia baseline");
+        println!(
+            "{:<8} {:>14} {:>14} {:>9}  (paper: 1.4x–2.1x)",
+            "N", "baseline (ms)", "LEGO (ms)", "speedup"
+        );
+        for n in [2048i64, 4096, 8192, 16384] {
+            let b = nw::simulate(n, 16, false, &cfg);
+            let o = nw::simulate(n, 16, true, &cfg);
+            println!(
+                "{:<8} {:>14.2} {:>14.2} {:>8.2}x",
+                n,
+                b.time_s * 1e3,
+                o.time_s * 1e3,
+                b.time_s / o.time_s
+            );
+        }
+        println!();
+    }
+
+    if which == "all" || which == "lud" {
+        println!("Figure 12b: LUD — thread coarsening as a layout");
+        println!(
+            "{:<8} {:>15} {:>15} {:>9}",
+            "N", "16x16 (GF/s)", "64x64/c4 (GF/s)", "speedup"
+        );
+        for n in [1024i64, 2048, 4096, 8192] {
+            let base = lud::simulate(n, 16, &cfg);
+            let coarse = lud::simulate(n, 64, &cfg);
+            println!(
+                "{:<8} {:>15.1} {:>15.1} {:>8.2}x",
+                n,
+                base.gflops,
+                coarse.gflops,
+                base.time_s / coarse.time_s
+            );
+        }
+        println!();
+    }
+
+    if which == "all" || which == "stencil" {
+        println!("Figure 12c: stencils — brick vs row-major data layout");
+        println!(
+            "{:<12} {:>14} {:>14} {:>9}  (paper: 3.4x–3.9x)",
+            "stencil", "array (GF/s)", "brick (GF/s)", "speedup"
+        );
+        for shape in StencilShape::ALL {
+            let (rm, bk, speedup) = stencil::compare(shape, 64, 8, &cfg);
+            println!(
+                "{:<12} {:>14.1} {:>14.1} {:>8.2}x",
+                shape.name(),
+                rm.gflops,
+                bk.gflops,
+                speedup
+            );
+        }
+    }
+}

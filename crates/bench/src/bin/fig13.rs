@@ -1,0 +1,54 @@
+//! **Figure 13** (a/b): roofline plots for LUD and the stencils —
+//! arithmetic intensity vs. achieved performance against the A100
+//! compute and bandwidth roofs.
+
+use gpu_sim::timing::Pipeline;
+use gpu_sim::{a100, attainable, ridge};
+use lego_bench::workloads::{lud, stencil};
+use lego_codegen::cuda::stencil::StencilShape;
+
+fn main() {
+    let cfg = a100();
+    println!("Figure 13: rooflines (A100 FP32 model)");
+    println!(
+        "peak = {:.1} TFLOP/s, BW roof = {:.0} GB/s, ridge at {:.1} FLOP/B\n",
+        cfg.fp32_flops / 1e12,
+        cfg.dram_bw * cfg.dram_efficiency / 1e9,
+        ridge(Pipeline::Fp32, &cfg)
+    );
+
+    println!("Fig 13a: LUD (N = 4096)");
+    println!(
+        "{:<16} {:>12} {:>14} {:>16}",
+        "variant", "AI (F/B)", "achieved GF/s", "attainable GF/s"
+    );
+    for (name, bs) in [("16x16 baseline", 16i64), ("64x64 coarsened", 64)] {
+        let r = lud::simulate(4096, bs, &cfg);
+        println!(
+            "{:<16} {:>12.2} {:>14.1} {:>16.1}",
+            name,
+            r.intensity,
+            r.gflops,
+            attainable(r.intensity, Pipeline::Fp32, &cfg) / 1e9
+        );
+    }
+
+    println!("\nFig 13b: stencils (64^3 domain, scaled L2; brick = 8^3)");
+    println!(
+        "{:<12} {:<8} {:>12} {:>14} {:>16}",
+        "stencil", "layout", "AI (F/B)", "achieved GF/s", "attainable GF/s"
+    );
+    for shape in StencilShape::ALL {
+        let (rm, bk, _) = stencil::compare(shape, 64, 8, &cfg);
+        for (layout, r) in [("array", rm), ("brick", bk)] {
+            println!(
+                "{:<12} {:<8} {:>12.2} {:>14.1} {:>16.1}",
+                shape.name(),
+                layout,
+                r.intensity,
+                r.gflops,
+                attainable(r.intensity, Pipeline::Fp32, &cfg) / 1e9
+            );
+        }
+    }
+}

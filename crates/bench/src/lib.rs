@@ -1,0 +1,12 @@
+//! # lego-bench — the experiment harness
+//!
+//! Reproduces every table and figure of the paper's evaluation (§V):
+//! the [`workloads`] drivers simulate each benchmark on the `gpu-sim`
+//! A100 model using the actual LEGO layouts, and the `table*`/`fig*`
+//! binaries print the same rows and series the paper reports. Criterion
+//! benches cover layout-operation throughput, code-generation latency
+//! (Table III), the expand-vs-simplify ablation, and simulator speed.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workloads;

@@ -1,0 +1,10 @@
+//! Workload drivers: each module turns LEGO layouts into address traces
+//! and feeds them to the `gpu-sim` model, one driver per paper
+//! experiment family.
+
+pub mod lud;
+pub mod matmul;
+pub mod nw;
+pub mod rowwise;
+pub mod stencil;
+pub mod transpose;

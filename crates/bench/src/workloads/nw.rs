@@ -1,0 +1,140 @@
+//! Needleman–Wunsch simulation (Fig. 12a).
+//!
+//! The Rodinia NW processes an `n×n` scoring matrix in `b×b` blocks
+//! along block anti-diagonals (one kernel launch per block diagonal); a
+//! block's `(b+1)×(b+1)` shared buffer is updated over `2b-1` in-block
+//! wavefront steps. The only difference between the two variants is the
+//! *buffer layout*: row-major (stride-`b` bank conflicts) vs. the LEGO
+//! anti-diagonal permutation (conflict-free). Bank passes are counted
+//! from the actual layouts; the timing model charges each in-block step
+//! a fixed instruction cost plus its serialized shared-memory passes,
+//! and each block diagonal runs its blocks `sm_count` at a time.
+
+use gpu_sim::GpuConfig;
+use lego_codegen::cuda::nw as nwgen;
+use lego_core::Layout;
+use gpu_sim::bank_conflicts_elems;
+
+/// Result for one NW configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NwResult {
+    /// Estimated runtime in seconds.
+    pub time_s: f64,
+    /// Total shared-memory passes per block sweep.
+    pub block_passes: f64,
+}
+
+/// Non-smem instruction cycles per in-block wavefront step (calibrated).
+const STEP_CYCLES: f64 = 40.0;
+/// Cycles per serialized shared-memory pass (calibrated).
+const PASS_CYCLES: f64 = 5.0;
+/// Per-launch overhead for the short wavefront kernels (they pipeline
+/// better than large kernels, hence below the config default).
+const NW_LAUNCH_S: f64 = 2.0e-6;
+
+/// Shared-memory passes for one block's full wavefront sweep under a
+/// given buffer layout.
+pub fn block_smem_passes(layout: &Layout, b: i64) -> f64 {
+    let mut passes = 0usize;
+    for d in 0..(2 * b - 1) {
+        let lo = (d + 1 - b).max(0);
+        let hi = d.min(b - 1);
+        // Active lanes write (t+1, d-t+1) and read the three neighbors
+        // (NW, N, W) — four warp access groups per step.
+        let coords = |f: &dyn Fn(i64, i64) -> (i64, i64)| -> Vec<i64> {
+            (lo..=hi)
+                .map(|t| {
+                    let (i, j) = f(t, d);
+                    layout.apply_c(&[i, j]).expect("in bounds")
+                })
+                .collect()
+        };
+        let write: Vec<i64> = coords(&|t, d| (t + 1, d - t + 1));
+        let nw_read: Vec<i64> = coords(&|t, d| (t, d - t));
+        let n_read: Vec<i64> = coords(&|t, d| (t, d - t + 1));
+        let w_read: Vec<i64> = coords(&|t, d| (t + 1, d - t));
+        for g in [write, nw_read, n_read, w_read] {
+            passes += bank_conflicts_elems(&g, 32).passes;
+        }
+    }
+    passes as f64
+}
+
+/// Simulates the full NW run for an `n×n` matrix with block size `b`.
+pub fn simulate(n: i64, b: i64, optimized: bool, cfg: &GpuConfig) -> NwResult {
+    let k = nwgen::generate(b).expect("nw layouts");
+    let layout = if optimized { &k.optimized } else { &k.baseline };
+    let block_passes = block_smem_passes(layout, b);
+
+    // Cycles one block spends in its wavefront sweep.
+    let block_cycles =
+        (2 * b - 1) as f64 * STEP_CYCLES + block_passes * PASS_CYCLES;
+
+    let nb = n / b;
+    // Two triangular sweeps over block anti-diagonals; each diagonal is
+    // one kernel launch running `len` blocks, `sm_count` at a time.
+    let mut rounds = 0f64;
+    let mut launches = 0f64;
+    for sweep in 0..2 {
+        let _ = sweep;
+        for d in 0..(2 * nb - 1) {
+            let len = (d + 1).min(2 * nb - 1 - d).min(nb);
+            rounds += (len as f64 / cfg.sm_count as f64).ceil();
+            launches += 1.0;
+        }
+    }
+    let compute_s = rounds * block_cycles / cfg.clock_hz;
+    let dram_s =
+        3.0 * (n * n * 4) as f64 / (cfg.dram_bw * cfg.dram_efficiency);
+    let time_s = compute_s + dram_s + launches * NW_LAUNCH_S;
+    NwResult { time_s, block_passes }
+}
+
+/// Speedup of the anti-diagonal layout over the baseline at size `n`.
+pub fn speedup(n: i64, b: i64, cfg: &GpuConfig) -> f64 {
+    simulate(n, b, false, cfg).time_s / simulate(n, b, true, cfg).time_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::a100;
+
+    #[test]
+    fn antidiag_eliminates_conflicts() {
+        let k = nwgen::generate(16).unwrap();
+        let base = block_smem_passes(&k.baseline, 16);
+        let opt = block_smem_passes(&k.optimized, 16);
+        assert!(
+            base / opt > 4.0,
+            "expected large pass reduction: {base} vs {opt}"
+        );
+    }
+
+    #[test]
+    fn optimized_diagonal_passes_are_minimal() {
+        // Conflict-free: 4 access groups x (2b-1) diagonals.
+        let k = nwgen::generate(16).unwrap();
+        let opt = block_smem_passes(&k.optimized, 16);
+        assert!(opt <= (4 * (2 * 16 - 1)) as f64 * 1.5);
+    }
+
+    #[test]
+    fn speedup_in_paper_band() {
+        // Paper: 1.4x – 2.1x across sizes.
+        let cfg = a100();
+        for n in [2048, 4096, 8192, 16384] {
+            let s = speedup(n, 16, &cfg);
+            assert!(
+                (1.3..=2.3).contains(&s),
+                "speedup {s:.2} out of band at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_grows_with_size() {
+        let cfg = a100();
+        assert!(speedup(16384, 16, &cfg) >= speedup(2048, 16, &cfg));
+    }
+}

@@ -1,0 +1,232 @@
+//! Trace-driven 3-D stencil simulation (Fig. 12c / Fig. 13b).
+//!
+//! For every warp of every thread block the driver computes the 32
+//! element addresses of each stencil tap through the *actual layout*
+//! (row-major vs. brick), coalesces them into 32-byte sectors, and
+//! filters the sector stream through a scaled L2 model.
+//!
+//! The mechanism is the one the paper names: bricks put "spatially
+//! adjacent data related to a block of computation … physically
+//! adjacent, eliminating unnecessary data movement over **strided**
+//! data" (§V-B). The baseline array kernel's warps walk a strided
+//! dimension of the row-major space (each lane in its own sector); with
+//! the brick layout the same logical walk is unit-stride inside a brick.
+//!
+//! Scaling note (DESIGN.md §3): the paper's 512³ domains are simulated
+//! at a smaller size with L2 capacity scaled by the same factor, so the
+//! working-set-to-cache ratio that decides hit rates is preserved.
+
+use gpu_sim::{Cache, GpuConfig, KernelProfile, Pipeline, coalesce_elems, estimate};
+use lego_codegen::cuda::stencil::{StencilBench, StencilShape, generate};
+use lego_core::Layout;
+
+/// Result for one stencil configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StencilResult {
+    /// Estimated runtime in seconds.
+    pub time_s: f64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+    /// DRAM bytes moved.
+    pub dram_bytes: f64,
+    /// L2↔SM bytes moved (sector traffic).
+    pub l2_bytes: f64,
+    /// Arithmetic intensity (FLOP / DRAM byte).
+    pub intensity: f64,
+}
+
+/// Which logical order a warp's 32 lanes follow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LaneAxis {
+    /// Lanes along `y` (stride `n` in row-major) — the strided walk of
+    /// the baseline array kernel (§V-B: "data movement over strided
+    /// data when a conventional row-major layout is used").
+    Y,
+    /// Lanes along `z` (unit stride in row-major).
+    Z,
+    /// Lanes along the tile-local `(y, z)` plane in row-major order —
+    /// the brick-local thread order that the brick layout makes
+    /// memory-contiguous by construction.
+    YZ,
+}
+
+/// Scaled-L2 sector cache for the simulated domain (preserves the
+/// paper's domain-to-L2 ratio 512³·4B : 40 MiB ≈ 12.8).
+fn scaled_l2(n: i64, cfg: &GpuConfig) -> Cache {
+    let domain_bytes = (n * n * n * 4) as f64;
+    let scaled = (domain_bytes / 12.8) as usize;
+    let lines = (scaled / cfg.sector_bytes).max(1024);
+    Cache::new(lines, 16)
+}
+
+/// Simulates one stencil sweep over an `n³` domain with the given
+/// layout, visiting points in `bx×by×bz` tiles with warps along
+/// `lane_axis`.
+pub fn sweep(
+    layout: &Layout,
+    shape: StencilShape,
+    n: i64,
+    block: (i64, i64, i64),
+    lane_axis: LaneAxis,
+    cfg: &GpuConfig,
+) -> StencilResult {
+    let offs = shape.offsets();
+    let (bx, by, bz) = block;
+    let mut l2 = scaled_l2(n, cfg);
+    let mut l2_bytes = 0f64;
+    let r = shape.radius();
+    let clamp = |v: i64| v.clamp(r, n - 1 - r);
+
+    let lanes = 32i64;
+    for tx in 0..n / bx {
+        for ty in 0..n / by {
+            for tz in 0..n / bz {
+                // Enumerate warps inside the tile.
+                let (wi_max, wj_max, lane_max) = match lane_axis {
+                    LaneAxis::Z => (bx, by, bz),
+                    LaneAxis::Y => (bx, bz, by),
+                    LaneAxis::YZ => (bx, 1, by * bz),
+                };
+                for wi in 0..wi_max {
+                    for wj in 0..wj_max {
+                        let mut l0 = 0i64;
+                        while l0 < lane_max {
+                            let nl = lanes.min(lane_max - l0);
+                            for &(dx, dy, dz) in &offs {
+                                let idx: Vec<i64> = (0..nl)
+                                    .map(|lane| {
+                                        let (x, y, z) = match lane_axis {
+                                            LaneAxis::Z => (
+                                                tx * bx + wi,
+                                                ty * by + wj,
+                                                tz * bz + l0 + lane,
+                                            ),
+                                            LaneAxis::Y => (
+                                                tx * bx + wi,
+                                                ty * by + l0 + lane,
+                                                tz * bz + wj,
+                                            ),
+                                            LaneAxis::YZ => {
+                                                let local = l0 + lane;
+                                                (
+                                                    tx * bx + wi,
+                                                    ty * by + local / bz,
+                                                    tz * bz + local % bz,
+                                                )
+                                            }
+                                        };
+                                        layout
+                                            .apply_c(&[
+                                                clamp(x + dx),
+                                                clamp(y + dy),
+                                                clamp(z + dz),
+                                            ])
+                                            .expect("in bounds")
+                                    })
+                                    .collect();
+                                let c = coalesce_elems(
+                                    &idx,
+                                    4,
+                                    0,
+                                    cfg.sector_bytes,
+                                );
+                                l2_bytes += c.moved_bytes as f64;
+                                let mut sectors: Vec<i64> = idx
+                                    .iter()
+                                    .map(|&i| {
+                                        i * 4 / cfg.sector_bytes as i64
+                                    })
+                                    .collect();
+                                sectors.sort_unstable();
+                                sectors.dedup();
+                                for s in sectors {
+                                    l2.access(s);
+                                }
+                            }
+                            l0 += lanes;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let stats = l2.stats();
+    let dram_bytes =
+        stats.misses as f64 * cfg.sector_bytes as f64 + (n * n * n * 4) as f64;
+    let flops = 2.0 * shape.points() as f64 * (n * n * n) as f64;
+    let profile = KernelProfile {
+        flops,
+        dram_bytes,
+        l2_bytes,
+        smem_passes: 0.0,
+        blocks: ((n / bx) * (n / by) * (n / bz)) as f64,
+        launches: 1.0,
+    };
+    let t = estimate(&profile, Pipeline::Fp32, cfg);
+    StencilResult {
+        time_s: t.total_s,
+        gflops: flops / t.total_s / 1e9,
+        dram_bytes,
+        l2_bytes,
+        intensity: profile.arithmetic_intensity(),
+    }
+}
+
+/// Runs one shape with both layouts and returns
+/// `(row_major, brick, speedup)`.
+pub fn compare(
+    shape: StencilShape,
+    n: i64,
+    b: i64,
+    cfg: &GpuConfig,
+) -> (StencilResult, StencilResult, f64) {
+    let bench: StencilBench = generate(shape, n, b).expect("stencil layouts");
+    // Baseline array kernel: 3-D tiles whose warps end up walking the
+    // strided y dimension of the row-major space.
+    let rm = sweep(&bench.row_major, shape, n, (4, 32, 4), LaneAxis::Y, cfg);
+    // Brick kernel: one block per brick, threads in brick-local order —
+    // which the brick layout makes memory-contiguous.
+    let bk = sweep(&bench.brick, shape, n, (b, b, b), LaneAxis::YZ, cfg);
+    (rm, bk, rm.time_s / bk.time_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::a100;
+
+    #[test]
+    fn brick_reduces_sector_traffic() {
+        let cfg = a100();
+        let (rm, bk, _) = compare(StencilShape::Star(2), 64, 8, &cfg);
+        assert!(
+            bk.l2_bytes < rm.l2_bytes / 2.0,
+            "brick {} vs rm {}",
+            bk.l2_bytes,
+            rm.l2_bytes
+        );
+    }
+
+    #[test]
+    fn brick_speedup_in_paper_band() {
+        // Paper: 3.4x – 3.9x across shapes.
+        let cfg = a100();
+        for shape in [StencilShape::Star(1), StencilShape::Cube(1)] {
+            let (_, _, speedup) = compare(shape, 64, 8, &cfg);
+            assert!(
+                (2.0..6.0).contains(&speedup),
+                "{}: speedup {speedup}",
+                shape.name()
+            );
+        }
+    }
+
+    #[test]
+    fn intensity_higher_for_bigger_stencils() {
+        let cfg = a100();
+        let (_, small, _) = compare(StencilShape::Star(1), 64, 8, &cfg);
+        let (_, big, _) = compare(StencilShape::Cube(2), 64, 8, &cfg);
+        assert!(big.intensity > small.intensity);
+    }
+}

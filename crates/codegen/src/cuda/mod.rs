@@ -1,0 +1,8 @@
+//! CUDA backend: the §V-B benchmarks — NW (anti-diagonal shared buffer),
+//! LUD (thread coarsening as a layout), 3-D brick stencils, and the
+//! transpose pair used against the MLIR backend.
+
+pub mod lud;
+pub mod nw;
+pub mod stencil;
+pub mod transpose;

@@ -1,0 +1,15 @@
+//! # lego-codegen — code generation backends for LEGO layouts
+//!
+//! Instantiates Triton, CUDA, and MLIR code from layout specifications,
+//! reproducing §IV of the paper: a Jinja-lite [`template`] engine, the
+//! [`triton`] kernel generators (Figs. 1/10), the [`cuda`] benchmarks
+//! (NW, LUD, stencil bricks, transpose), the [`mlir`] transpose module,
+//! and the Table IV op accounting ([`opcount`]).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cuda;
+pub mod mlir;
+pub mod opcount;
+pub mod template;
+pub mod triton;

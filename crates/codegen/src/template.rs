@@ -1,0 +1,191 @@
+//! A Jinja-lite template engine for the `{{ placeholder }}` syntax of
+//! §IV-A: "the user supplies code containing placeholders, and
+//! separately-defined layouts; LEGO generates symbolic expressions …
+//! and replaces the corresponding placeholders."
+//!
+//! Only substitution is supported (no control flow) — that is all the
+//! paper's integration uses, keeping templates trivially auditable.
+
+use std::collections::HashMap;
+
+/// Errors from template instantiation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TemplateError {
+    /// A placeholder in the template had no binding.
+    MissingValue(String),
+    /// A `{{` was never closed by `}}`.
+    UnterminatedPlaceholder(usize),
+}
+
+impl std::fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemplateError::MissingValue(name) => {
+                write!(f, "no value provided for placeholder `{name}`")
+            }
+            TemplateError::UnterminatedPlaceholder(pos) => {
+                write!(f, "unterminated {{{{ at byte {pos}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+/// A parsed template: literal chunks interleaved with placeholders.
+#[derive(Clone, Debug)]
+pub struct Template {
+    chunks: Vec<Chunk>,
+}
+
+#[derive(Clone, Debug)]
+enum Chunk {
+    Text(String),
+    Hole(String),
+}
+
+impl Template {
+    /// Parses a template from source text.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::UnterminatedPlaceholder`] for an unclosed `{{`.
+    pub fn parse(src: &str) -> Result<Template, TemplateError> {
+        let mut chunks = Vec::new();
+        let mut rest = src;
+        let mut consumed = 0usize;
+        while let Some(start) = rest.find("{{") {
+            if !rest[..start].is_empty() {
+                chunks.push(Chunk::Text(rest[..start].to_string()));
+            }
+            let after = &rest[start + 2..];
+            let Some(end) = after.find("}}") else {
+                return Err(TemplateError::UnterminatedPlaceholder(
+                    consumed + start,
+                ));
+            };
+            chunks.push(Chunk::Hole(after[..end].trim().to_string()));
+            consumed += start + 2 + end + 2;
+            rest = &after[end + 2..];
+        }
+        if !rest.is_empty() {
+            chunks.push(Chunk::Text(rest.to_string()));
+        }
+        Ok(Template { chunks })
+    }
+
+    /// The distinct placeholder names, in first-appearance order.
+    pub fn placeholders(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for c in &self.chunks {
+            if let Chunk::Hole(name) = c {
+                if !seen.contains(&name.as_str()) {
+                    seen.push(name.as_str());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Instantiates the template with the given bindings.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::MissingValue`] if any placeholder is unbound.
+    pub fn render(
+        &self,
+        values: &HashMap<String, String>,
+    ) -> Result<String, TemplateError> {
+        let mut out = String::new();
+        for c in &self.chunks {
+            match c {
+                Chunk::Text(t) => out.push_str(t),
+                Chunk::Hole(name) => match values.get(name) {
+                    Some(v) => out.push_str(v),
+                    None => {
+                        return Err(TemplateError::MissingValue(name.clone()));
+                    }
+                },
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One-shot parse + render.
+///
+/// # Errors
+///
+/// As [`Template::parse`] and [`Template::render`].
+pub fn render(
+    src: &str,
+    values: &HashMap<String, String>,
+) -> Result<String, TemplateError> {
+    Template::parse(src)?.render(values)
+}
+
+/// Builds a binding map from `(name, value)` pairs.
+pub fn bindings<const N: usize>(
+    pairs: [(&str, String); N],
+) -> HashMap<String, String> {
+    pairs
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_simple_placeholder() {
+        let vals = bindings([("x", "42".to_string())]);
+        assert_eq!(render("a = {{ x }};", &vals).unwrap(), "a = 42;");
+    }
+
+    #[test]
+    fn whitespace_in_braces_is_ignored() {
+        let vals = bindings([("lpid_m", "pid % 4".to_string())]);
+        assert_eq!(
+            render("m = {{lpid_m}}", &vals).unwrap(),
+            render("m = {{  lpid_m  }}", &vals).unwrap()
+        );
+    }
+
+    #[test]
+    fn repeated_placeholders_render_each_time() {
+        let vals = bindings([("k", "K".to_string())]);
+        assert_eq!(render("{{k}}+{{k}}", &vals).unwrap(), "K+K");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let vals = HashMap::new();
+        assert_eq!(
+            render("{{ ghost }}", &vals),
+            Err(TemplateError::MissingValue("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn unterminated_placeholder_is_an_error() {
+        assert!(matches!(
+            Template::parse("oops {{ x"),
+            Err(TemplateError::UnterminatedPlaceholder(5))
+        ));
+    }
+
+    #[test]
+    fn placeholders_listed_in_order() {
+        let t = Template::parse("{{b}} {{a}} {{b}}").unwrap();
+        assert_eq!(t.placeholders(), vec!["b", "a"]);
+    }
+
+    #[test]
+    fn text_without_placeholders_passes_through() {
+        let vals = HashMap::new();
+        let src = "def kernel():\n    pass\n";
+        assert_eq!(render(src, &vals).unwrap(), src);
+    }
+}

@@ -1,0 +1,7 @@
+//! Triton backend: kernel generators for the five Triton benchmarks of
+//! §V-A (matmul ×4 variants, grouped GEMM, LayerNorm fwd/bwd, softmax).
+
+pub mod grouped_gemm;
+pub mod layernorm;
+pub mod matmul;
+pub mod softmax;

@@ -1,0 +1,146 @@
+//! The 3-D **brick** data layout (§V-B, Table I last row).
+//!
+//! Bricks are small 3-D subdomains stored contiguously in memory, so that
+//! spatially adjacent data used by one block of computation is also
+//! physically adjacent (Zhou et al.). In LEGO terms a brick layout is a
+//! stripmine-and-interchange reordering of the global row-major space —
+//! the same `O2` pattern as the paper's Fig. 6, in 3-D.
+
+use crate::error::{LayoutError, Result};
+use crate::group_by::Layout;
+use crate::order_by::OrderBy;
+use crate::perm::Perm;
+use crate::shape::Ix;
+
+/// Builds the brick layout for an `n×n×n` domain of `b×b×b` bricks, with
+/// the *global* `(x, y, z)` logical view.
+///
+/// `apply([x, y, z])` returns the physical offset; points within the same
+/// brick occupy one contiguous `b³` block.
+///
+/// # Errors
+///
+/// [`LayoutError::Unsupported`] when `b` does not divide `n`.
+///
+/// # Examples
+///
+/// ```
+/// use lego_core::brick::brick3d;
+/// let l = brick3d(8, 4)?;
+/// // (0,0,0) and (3,3,3) share a brick: their offsets are both < 64.
+/// assert!(l.apply_c(&[3, 3, 3])? < 64);
+/// // (0,0,4) starts the next brick.
+/// assert_eq!(l.apply_c(&[0, 0, 4])?, 64);
+/// # Ok::<(), lego_core::LayoutError>(())
+/// ```
+pub fn brick3d(n: Ix, b: Ix) -> Result<Layout> {
+    if b <= 0 || n <= 0 || n % b != 0 {
+        return Err(LayoutError::Unsupported(
+            "brick size must divide the domain size",
+        ));
+    }
+    let g = n / b;
+    // Stripmine each of the three axes into (grid, brick) and interchange
+    // to (grid, grid, grid, brick, brick, brick): sigma_{3x2} = [1,3,5,2,4,6].
+    let stripmined = [g, b, g, b, g, b];
+    let interchange = Perm::reg(stripmined, [1usize, 3, 5, 2, 4, 6])?;
+    Layout::builder([n, n, n])
+        .order_by(OrderBy::new([interchange])?)
+        .build()
+}
+
+/// The row-major baseline layout for the same `n×n×n` domain.
+///
+/// # Errors
+///
+/// [`LayoutError::Empty`] never occurs for positive `n`; propagated for
+/// completeness.
+pub fn row_major3d(n: Ix) -> Result<Layout> {
+    Layout::identity([n, n, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brick_is_bijective() {
+        let l = brick3d(8, 4).unwrap();
+        let mut perm = l.to_permutation().unwrap();
+        perm.sort_unstable();
+        assert_eq!(perm, (0..512).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn brick_interior_is_contiguous() {
+        let (n, b) = (8, 4);
+        let l = brick3d(n, b).unwrap();
+        // All 64 points of brick (1,0,1) fall in one 64-wide block.
+        let base = l.apply_c(&[4, 0, 4]).unwrap();
+        assert_eq!(base % (b * b * b), 0);
+        for x in 0..b {
+            for y in 0..b {
+                for z in 0..b {
+                    let off = l.apply_c(&[4 + x, y, 4 + z]).unwrap();
+                    assert!(
+                        (base..base + b * b * b).contains(&off),
+                        "({x},{y},{z}) escaped its brick"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn brick_local_order_is_row_major() {
+        let (n, b) = (8, 2);
+        let l = brick3d(n, b).unwrap();
+        // Within a brick, (x%b, y%b, z%b) is row-major.
+        let base = l.apply_c(&[2, 4, 6]).unwrap();
+        assert_eq!(l.apply_c(&[2, 4, 7]).unwrap(), base + 1);
+        assert_eq!(l.apply_c(&[2, 5, 6]).unwrap(), base + 2);
+        assert_eq!(l.apply_c(&[3, 4, 6]).unwrap(), base + 4);
+    }
+
+    #[test]
+    fn non_dividing_brick_rejected() {
+        assert!(brick3d(10, 4).is_err());
+        assert!(brick3d(8, 0).is_err());
+    }
+
+    #[test]
+    fn row_major_baseline() {
+        let l = row_major3d(4).unwrap();
+        assert_eq!(l.apply_c(&[1, 2, 3]).unwrap(), 16 + 8 + 3);
+    }
+
+    #[test]
+    fn stencil_neighbor_distance_shrinks() {
+        // The brick payoff: the max physical distance between a point and
+        // its 6 face neighbors (interior of a brick) is b^2 within a
+        // brick vs n^2 in row-major.
+        let (n, b) = (16, 4);
+        let brick = brick3d(n, b).unwrap();
+        let rm = row_major3d(n).unwrap();
+        // Interior point of brick (0,0,0):
+        let p = [1i64, 1, 1];
+        let pb = brick.apply_c(&p).unwrap();
+        let pr = rm.apply_c(&p).unwrap();
+        let mut max_b = 0i64;
+        let mut max_r = 0i64;
+        for d in [
+            [1i64, 0, 0],
+            [-1, 0, 0],
+            [0, 1, 0],
+            [0, -1, 0],
+            [0, 0, 1],
+            [0, 0, -1],
+        ] {
+            let q = [p[0] + d[0], p[1] + d[1], p[2] + d[2]];
+            max_b = max_b.max((brick.apply_c(&q).unwrap() - pb).abs());
+            max_r = max_r.max((rm.apply_c(&q).unwrap() - pr).abs());
+        }
+        assert!(max_b <= (b * b) as i64);
+        assert_eq!(max_r, (n * n) as i64);
+    }
+}

@@ -1,0 +1,133 @@
+//! Dynamic correctness checks (§III-B(a)).
+//!
+//! The algorithm of Figs. 4–5 is a bijection *by construction* given two
+//! assumptions the paper leaves to the user: (1) every `GenP`'s functions
+//! really are mutually inverse bijections, and (2) element counts agree
+//! across the chain. Count agreement is checked at
+//! [`crate::Layout::builder`] build time; this module provides the
+//! exhaustive runtime verification of (1) and of whole layouts, "cheaply
+//! verified dynamically" as the paper puts it.
+
+use crate::error::{LayoutError, Result};
+use crate::group_by::Layout;
+use crate::perm::Perm;
+use crate::shape::unflatten;
+
+/// Exhaustively verifies that a permutation's `apply` is a bijection onto
+/// `0..size` and that `inv` is its exact inverse.
+///
+/// # Errors
+///
+/// [`LayoutError::Unsupported`] describing the first violation found;
+/// [`LayoutError::NonConstDims`] for symbolic tiles.
+pub fn check_genp_bijective(perm: &Perm) -> Result<()> {
+    let dims = perm.tile().dims_const()?;
+    let size = perm.tile().size_const()?;
+    let mut seen = vec![false; size as usize];
+    for f in 0..size {
+        let idx = unflatten(&dims, f)?;
+        let p = perm.apply_c(&idx)?;
+        if p < 0 || p >= size {
+            return Err(LayoutError::FlatOutOfBounds { flat: p, size });
+        }
+        if seen[p as usize] {
+            return Err(LayoutError::Unsupported(
+                "permutation is not injective (duplicate flat position)",
+            ));
+        }
+        seen[p as usize] = true;
+        let back = perm.inv_c(p)?;
+        if back != idx {
+            return Err(LayoutError::Unsupported(
+                "inv is not the inverse of apply",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively verifies that a layout is a bijection and that
+/// `inv(apply(i)) == i` over the whole (constant-shaped) view.
+///
+/// # Errors
+///
+/// As [`check_genp_bijective`].
+pub fn check_layout_bijective(layout: &Layout) -> Result<()> {
+    let dims = layout.view().dims_const()?;
+    let size = layout.view().size_const()?;
+    let mut seen = vec![false; size as usize];
+    for f in 0..size {
+        let idx = unflatten(&dims, f)?;
+        let p = layout.apply_c(&idx)?;
+        if p < 0 || p >= size {
+            return Err(LayoutError::FlatOutOfBounds { flat: p, size });
+        }
+        if seen[p as usize] {
+            return Err(LayoutError::Unsupported(
+                "layout is not injective (duplicate flat position)",
+            ));
+        }
+        seen[p as usize] = true;
+        if layout.inv_c(p)? != idx {
+            return Err(LayoutError::Unsupported(
+                "layout inv is not the inverse of apply",
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm::GenFns;
+    use crate::perms::{antidiag, hilbert, morton, reverse_perm, xor_swizzle};
+    use std::rc::Rc;
+
+    #[test]
+    fn library_perms_all_pass() {
+        for p in [
+            antidiag(7).unwrap(),
+            morton(8).unwrap(),
+            hilbert(8).unwrap(),
+            reverse_perm(&[3, 5]).unwrap(),
+            xor_swizzle(8, 8).unwrap(),
+        ] {
+            check_genp_bijective(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn broken_genp_detected() {
+        // A "permutation" that collapses everything to 0.
+        let fns = GenFns {
+            name: "broken".into(),
+            fwd: Rc::new(|_idx: &[i64]| 0),
+            inv: Rc::new(|_f: i64| vec![0, 0]),
+            fwd_sym: None,
+            inv_sym: None,
+        };
+        let p = Perm::gen([2i64, 2], fns).unwrap();
+        assert!(check_genp_bijective(&p).is_err());
+    }
+
+    #[test]
+    fn mismatched_inverse_detected() {
+        // apply is the identity but inv always answers [0, 0].
+        let fns = GenFns {
+            name: "bad-inv".into(),
+            fwd: Rc::new(|idx: &[i64]| idx[0] * 2 + idx[1]),
+            inv: Rc::new(|_f: i64| vec![0, 0]),
+            fwd_sym: None,
+            inv_sym: None,
+        };
+        let p = Perm::gen([2i64, 2], fns).unwrap();
+        assert!(check_genp_bijective(&p).is_err());
+    }
+
+    #[test]
+    fn layouts_pass() {
+        let l = crate::brick::brick3d(8, 2).unwrap();
+        check_layout_bijective(&l).unwrap();
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types for layout construction and evaluation.
+
+use std::fmt;
+
+/// Errors raised when building or evaluating LEGO layouts.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LayoutError {
+    /// A permutation vector was not a permutation of `1..=d`.
+    InvalidPermutation {
+        /// The offending permutation (1-based, as written).
+        sigma: Vec<usize>,
+        /// The expected rank.
+        rank: usize,
+    },
+    /// An index had the wrong number of dimensions.
+    RankMismatch {
+        /// Dimensions expected by the layout.
+        expected: usize,
+        /// Dimensions supplied by the caller.
+        got: usize,
+    },
+    /// The element counts of the `GroupBy` view and an `OrderBy` level
+    /// disagree (checked when both are constant).
+    SizeMismatch {
+        /// Elements in the `GroupBy` logical view.
+        view: i64,
+        /// Elements in the offending `OrderBy`.
+        order_by: i64,
+        /// Position of the `OrderBy` in the chain (0-based).
+        position: usize,
+    },
+    /// A concrete operation was attempted on a layout with symbolic
+    /// dimension sizes.
+    NonConstDims {
+        /// Human-readable rendering of the first symbolic dimension.
+        dim: String,
+    },
+    /// A symbolic operation needed a `GenP` that declared no symbolic
+    /// implementation.
+    MissingSymbolicFn {
+        /// Name of the `GenP` permutation.
+        name: String,
+    },
+    /// An index coordinate fell outside its dimension.
+    IndexOutOfBounds {
+        /// The offending coordinate value.
+        index: i64,
+        /// The (exclusive) dimension size it violated.
+        size: i64,
+        /// Which axis.
+        axis: usize,
+    },
+    /// A flat position fell outside the layout's element count.
+    FlatOutOfBounds {
+        /// The offending flat position.
+        flat: i64,
+        /// Total number of elements.
+        size: i64,
+    },
+    /// The operation is not defined for this layout class (e.g. `inv` on
+    /// an injective-only layout).
+    Unsupported(&'static str),
+    /// A `GroupBy` must carry at least one `OrderBy` with at least one
+    /// permutation, and tiles must be non-empty.
+    Empty(&'static str),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::InvalidPermutation { sigma, rank } => write!(
+                f,
+                "permutation {sigma:?} is not a permutation of 1..={rank}"
+            ),
+            LayoutError::RankMismatch { expected, got } => {
+                write!(f, "index rank mismatch: expected {expected}, got {got}")
+            }
+            LayoutError::SizeMismatch { view, order_by, position } => write!(
+                f,
+                "element count mismatch: view has {view} elements but \
+                 OrderBy #{position} covers {order_by}"
+            ),
+            LayoutError::NonConstDims { dim } => write!(
+                f,
+                "operation requires constant dimensions but `{dim}` is symbolic"
+            ),
+            LayoutError::MissingSymbolicFn { name } => write!(
+                f,
+                "GenP `{name}` has no symbolic implementation"
+            ),
+            LayoutError::IndexOutOfBounds { index, size, axis } => write!(
+                f,
+                "index {index} out of bounds for axis {axis} of size {size}"
+            ),
+            LayoutError::FlatOutOfBounds { flat, size } => {
+                write!(f, "flat position {flat} out of bounds for size {size}")
+            }
+            LayoutError::Unsupported(what) => {
+                write!(f, "unsupported operation: {what}")
+            }
+            LayoutError::Empty(what) => write!(f, "empty {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LayoutError>;

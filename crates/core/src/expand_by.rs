@@ -1,0 +1,257 @@
+//! `ExpandBy`: partial-tile support beyond bijective layouts (Fig. 9).
+//!
+//! When tile sizes do not evenly divide the problem size, LEGO widens the
+//! physical space to the next multiple, applies the bijective layout `G`
+//! in the expanded space, and filters out-of-range positions: `apply`
+//! returns `None` (the paper's `-1`) for padding, and `inv` lifts an
+//! original flat position into the expanded space before inverting
+//! through `G`.
+
+use lego_expr::{Cond, Expr};
+
+use crate::error::{LayoutError, Result};
+use crate::group_by::Layout;
+use crate::shape::{Ix, Shape, flatten, flatten_sym, unflatten, unflatten_sym};
+
+/// A layout over a space whose true extents do not divide the tiling:
+/// bijective in an expanded space, partial in the original one.
+#[derive(Clone, Debug)]
+pub struct ExpandBy {
+    orig: Shape,
+    expanded: Shape,
+    inner: Layout,
+}
+
+impl ExpandBy {
+    /// Wraps the bijective layout `inner` (defined on `expanded`) so it
+    /// can be used for the smaller true extents `orig`.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::RankMismatch`] when the two shapes differ in rank;
+    /// [`LayoutError::SizeMismatch`] when the expanded element count does
+    /// not match the inner layout's (both constant).
+    pub fn new(
+        orig: impl Into<Shape>,
+        expanded: impl Into<Shape>,
+        inner: Layout,
+    ) -> Result<ExpandBy> {
+        let orig = orig.into();
+        let expanded = expanded.into();
+        if orig.rank() != expanded.rank() {
+            return Err(LayoutError::RankMismatch {
+                expected: orig.rank(),
+                got: expanded.rank(),
+            });
+        }
+        if let (Ok(es), Some(is)) =
+            (expanded.size_const(), inner.size().as_const())
+        {
+            if es != is {
+                return Err(LayoutError::SizeMismatch {
+                    view: es,
+                    order_by: is,
+                    position: 0,
+                });
+            }
+        }
+        Ok(ExpandBy { orig, expanded, inner })
+    }
+
+    /// Convenience constructor: pads each original extent up to the next
+    /// multiple of the corresponding tile size and builds the expanded
+    /// shape automatically.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExpandBy::new`], plus [`LayoutError::NonConstDims`] when the
+    /// original extents are symbolic.
+    pub fn padding_to(
+        orig: impl Into<Shape>,
+        tiles: &[Ix],
+        make_inner: impl FnOnce(&[Ix]) -> Result<Layout>,
+    ) -> Result<ExpandBy> {
+        let orig = orig.into();
+        let od = orig.dims_const()?;
+        if od.len() != tiles.len() {
+            return Err(LayoutError::RankMismatch {
+                expected: od.len(),
+                got: tiles.len(),
+            });
+        }
+        let ed: Vec<Ix> = od
+            .iter()
+            .zip(tiles)
+            .map(|(&n, &t)| (n + t - 1) / t * t)
+            .collect();
+        let inner = make_inner(&ed)?;
+        ExpandBy::new(orig, Shape::new(ed), inner)
+    }
+
+    /// The true (unexpanded) extents.
+    pub fn orig(&self) -> &Shape {
+        &self.orig
+    }
+
+    /// The expanded extents.
+    pub fn expanded(&self) -> &Shape {
+        &self.expanded
+    }
+
+    /// The inner bijective layout over the expanded space.
+    pub fn inner(&self) -> &Layout {
+        &self.inner
+    }
+
+    /// Concrete `apply` (Fig. 9): logical index (in the *inner* layout's
+    /// view space) → flat position in the original space, or `None` when
+    /// the position is padding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inner-layout evaluation errors.
+    pub fn apply_c(&self, idx: &[Ix]) -> Result<Option<Ix>> {
+        let flat_exp = self.inner.apply_c(idx)?;
+        let ed = self.expanded.dims_const()?;
+        let coords = unflatten(&ed, flat_exp)?;
+        let od = self.orig.dims_const()?;
+        if coords.iter().zip(&od).all(|(&c, &n)| c < n) {
+            Ok(Some(flatten(&od, &coords)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Concrete `inv` (Fig. 9): flat position in the original space →
+    /// logical index of the inner layout.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds positions and inner-layout errors.
+    pub fn inv_c(&self, flat: Ix) -> Result<Vec<Ix>> {
+        let od = self.orig.dims_const()?;
+        let coords = unflatten(&od, flat)?;
+        let ed = self.expanded.dims_const()?;
+        let flat_exp = flatten(&ed, &coords)?;
+        self.inner.inv_c(flat_exp)
+    }
+
+    /// Symbolic `apply`: returns the offset expression together with the
+    /// in-bounds guard (the mask condition a Triton kernel would pass to
+    /// `tl.load`/`tl.store`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates symbolic inner-layout errors.
+    pub fn apply_sym(&self, idx: &[Expr]) -> Result<(Expr, Cond)> {
+        let flat_exp = self.inner.apply_sym(idx)?;
+        let coords = unflatten_sym(self.expanded.dims(), &flat_exp);
+        let guard = Cond::All(
+            coords
+                .iter()
+                .zip(self.orig.dims())
+                .map(|(c, n)| Cond::lt(c.clone(), n.clone()))
+                .collect(),
+        );
+        let flat_orig = flatten_sym(self.orig.dims(), &coords)?;
+        Ok((flat_orig, guard))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sugar::tile_by;
+
+    /// A 10x10 space viewed through 4x4 tiles (padded to 12x12): the
+    /// logical index is (tile row, tile col, row-in-tile, col-in-tile)
+    /// and the expanded physical layout stays global row-major, as in the
+    /// CuTe oversampling scheme the paper adopts.
+    fn partial() -> ExpandBy {
+        ExpandBy::padding_to([10i64, 10], &[4, 4], |ed| {
+            let g = [ed[0] / 4, ed[1] / 4];
+            tile_by([Shape::from(g), Shape::from([4i64, 4])])?.build()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn in_bounds_positions_roundtrip() {
+        let e = partial();
+        for flat in 0..100 {
+            let idx = e.inv_c(flat).unwrap();
+            assert_eq!(e.apply_c(&idx).unwrap(), Some(flat), "at {flat}");
+        }
+    }
+
+    #[test]
+    fn padding_positions_masked() {
+        let e = partial();
+        // Logical 4D index pointing into the padded column region:
+        // tile (0,2), element (0,3) -> global (0, 11) which is padding.
+        let masked = e.apply_c(&[0, 2, 0, 3]).unwrap();
+        assert_eq!(masked, None);
+        // Element (0,1) of the same tile -> global (0,9): valid.
+        let ok = e.apply_c(&[0, 2, 0, 1]).unwrap();
+        assert_eq!(ok, Some(9));
+    }
+
+    #[test]
+    fn counts_of_valid_positions() {
+        // Exactly orig-size many logical indices map to Some(_), covering
+        // 0..100 exactly once.
+        let e = partial();
+        let mut seen = vec![false; 100];
+        let ed = e.expanded().dims_const().unwrap();
+        let total: Ix = ed.iter().product();
+        let vd = e.inner().view().dims_const().unwrap();
+        for f in 0..total {
+            let idx = unflatten(&vd, f).unwrap();
+            if let Some(p) = e.apply_c(&idx).unwrap() {
+                assert!(!seen[p as usize], "dup at {p}");
+                seen[p as usize] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn symbolic_guard_matches_concrete_masking() {
+        use lego_expr::{Bindings, eval, eval_cond};
+        let e = partial();
+        let idx = [
+            Expr::sym("a"),
+            Expr::sym("b"),
+            Expr::sym("i"),
+            Expr::sym("j"),
+        ];
+        let (off, guard) = e.apply_sym(&idx).unwrap();
+        let mut bind = Bindings::new();
+        for (a, b, i, j) in
+            [(0i64, 0i64, 0i64, 0i64), (0, 2, 0, 3), (2, 1, 1, 1), (2, 2, 2, 2)]
+        {
+            bind.insert("a".into(), a);
+            bind.insert("b".into(), b);
+            bind.insert("i".into(), i);
+            bind.insert("j".into(), j);
+            let conc = e.apply_c(&[a, b, i, j]).unwrap();
+            let ok = eval_cond(&guard, &bind).unwrap();
+            assert_eq!(ok, conc.is_some(), "guard at ({a},{b},{i},{j})");
+            if let Some(p) = conc {
+                assert_eq!(eval(&off, &bind).unwrap(), p);
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_ranks_rejected() {
+        let inner = Layout::identity([12i64, 12]).unwrap();
+        assert!(ExpandBy::new([10i64], [12i64, 12], inner).is_err());
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let inner = Layout::identity([12i64, 12]).unwrap();
+        assert!(ExpandBy::new([10i64, 10], [12i64, 13], inner).is_err());
+    }
+}

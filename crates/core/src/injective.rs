@@ -1,0 +1,213 @@
+//! Injective (non-bijective) layouts: broadcasts and dilations (§III-D).
+//!
+//! The paper restricts these to *apply-only* usage with exactly one
+//! `GroupBy` + one same-shape `OrderBy` holding a single (possibly
+//! injective) `GenP`. [`InjectiveLayout`] enforces that restriction in
+//! the type: there is no `inv`.
+
+use std::rc::Rc;
+
+use lego_expr::Expr;
+
+use crate::error::{LayoutError, Result};
+use crate::shape::{Ix, Shape, flatten_sym};
+
+/// Forward-only map of a logical index to a flat position.
+pub type InjFwd = Rc<dyn Fn(&[Ix]) -> Ix>;
+/// Symbolic forward-only map.
+pub type InjFwdSym = Rc<dyn Fn(&[Expr]) -> Expr>;
+
+/// An apply-only layout that may merge logical positions (broadcast) or
+/// leave physical gaps (dilation).
+#[derive(Clone)]
+pub struct InjectiveLayout {
+    view: Shape,
+    name: String,
+    fwd: InjFwd,
+    fwd_sym: Option<InjFwdSym>,
+}
+
+impl std::fmt::Debug for InjectiveLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InjectiveLayout")
+            .field("view", &self.view)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl InjectiveLayout {
+    /// Builds an injective layout from a view shape and forward maps.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::Empty`] for a rank-0 view.
+    pub fn new(
+        view: impl Into<Shape>,
+        name: impl Into<String>,
+        fwd: InjFwd,
+        fwd_sym: Option<InjFwdSym>,
+    ) -> Result<InjectiveLayout> {
+        let view = view.into();
+        if view.rank() == 0 {
+            return Err(LayoutError::Empty("injective view"));
+        }
+        Ok(InjectiveLayout { view, name: name.into(), fwd, fwd_sym })
+    }
+
+    /// Broadcast along `axis`: `(i_0, …, i_{d-1}) ↦` the flat position of
+    /// the index with `i_axis` dropped — e.g. `(i, j) ↦ i` for a 2-D view
+    /// broadcast over columns.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::RankMismatch`] for an out-of-range axis.
+    pub fn broadcast(view: impl Into<Shape>, axis: usize) -> Result<InjectiveLayout> {
+        let view = view.into();
+        if axis >= view.rank() {
+            return Err(LayoutError::RankMismatch {
+                expected: view.rank(),
+                got: axis,
+            });
+        }
+        let kept: Vec<Expr> = view
+            .dims()
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != axis)
+            .map(|(_, d)| d.clone())
+            .collect();
+        let kept_c: Option<Vec<Ix>> =
+            kept.iter().map(|d| d.as_const()).collect();
+        let kept_sym = kept.clone();
+        let fwd: InjFwd = Rc::new(move |idx: &[Ix]| {
+            let kd = kept_c
+                .as_ref()
+                .expect("broadcast apply_c needs constant dims");
+            let sub: Vec<Ix> = idx
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k != axis)
+                .map(|(_, &i)| i)
+                .collect();
+            let mut flat = 0;
+            for (&n, &i) in kd.iter().zip(&sub) {
+                flat = flat * n + i;
+            }
+            flat
+        });
+        let fwd_sym: InjFwdSym = Rc::new(move |idx: &[Expr]| {
+            let sub: Vec<Expr> = idx
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k != axis)
+                .map(|(_, e)| e.clone())
+                .collect();
+            flatten_sym(&kept_sym, &sub).expect("rank checked")
+        });
+        InjectiveLayout::new(view, format!("broadcast(axis={axis})"), fwd, Some(fwd_sym))
+    }
+
+    /// Dilation by a constant factor: `i ↦ s·B(i)` (the paper's
+    /// even-mapping `i ↦ 2i` generalized).
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::Empty`] for a rank-0 view.
+    pub fn dilate(view: impl Into<Shape>, stride: Ix) -> Result<InjectiveLayout> {
+        let view = view.into();
+        let dims_c = view.dims_const().ok();
+        let dims_s: Vec<Expr> = view.dims().to_vec();
+        let fwd: InjFwd = Rc::new(move |idx: &[Ix]| {
+            let kd = dims_c.as_ref().expect("dilate apply_c needs constant dims");
+            let mut flat = 0;
+            for (&n, &i) in kd.iter().zip(idx) {
+                flat = flat * n + i;
+            }
+            flat * stride
+        });
+        let fwd_sym: InjFwdSym = Rc::new(move |idx: &[Expr]| {
+            flatten_sym(&dims_s, idx).expect("rank checked") * Expr::val(stride)
+        });
+        InjectiveLayout::new(view, format!("dilate({stride})"), fwd, Some(fwd_sym))
+    }
+
+    /// The logical view shape.
+    pub fn view(&self) -> &Shape {
+        &self.view
+    }
+
+    /// Concrete forward map (no inverse exists by construction).
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::RankMismatch`] on wrong arity.
+    pub fn apply_c(&self, idx: &[Ix]) -> Result<Ix> {
+        if idx.len() != self.view.rank() {
+            return Err(LayoutError::RankMismatch {
+                expected: self.view.rank(),
+                got: idx.len(),
+            });
+        }
+        Ok((self.fwd)(idx))
+    }
+
+    /// Symbolic forward map.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::MissingSymbolicFn`] when no symbolic form exists.
+    pub fn apply_sym(&self, idx: &[Expr]) -> Result<Expr> {
+        match &self.fwd_sym {
+            Some(f) => Ok(f(idx)),
+            None => Err(LayoutError::MissingSymbolicFn {
+                name: self.name.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_over_columns() {
+        // (i, j) -> i : every column reads the same physical element.
+        let l = InjectiveLayout::broadcast([4i64, 8], 1).unwrap();
+        assert_eq!(l.apply_c(&[2, 0]).unwrap(), 2);
+        assert_eq!(l.apply_c(&[2, 7]).unwrap(), 2);
+    }
+
+    #[test]
+    fn broadcast_over_rows() {
+        let l = InjectiveLayout::broadcast([4i64, 8], 0).unwrap();
+        assert_eq!(l.apply_c(&[0, 5]).unwrap(), 5);
+        assert_eq!(l.apply_c(&[3, 5]).unwrap(), 5);
+    }
+
+    #[test]
+    fn dilate_even_mapping() {
+        // The paper's i -> 2i example.
+        let l = InjectiveLayout::dilate([8i64], 2).unwrap();
+        for i in 0..8 {
+            assert_eq!(l.apply_c(&[i]).unwrap(), 2 * i);
+        }
+    }
+
+    #[test]
+    fn symbolic_broadcast() {
+        use lego_expr::{Bindings, eval};
+        let l = InjectiveLayout::broadcast([4i64, 8], 1).unwrap();
+        let e = l.apply_sym(&[Expr::sym("i"), Expr::sym("j")]).unwrap();
+        let mut bind = Bindings::new();
+        bind.insert("i".into(), 3);
+        bind.insert("j".into(), 5);
+        assert_eq!(eval(&e, &bind).unwrap(), 3);
+    }
+
+    #[test]
+    fn invalid_axis_rejected() {
+        assert!(InjectiveLayout::broadcast([4i64, 8], 2).is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! `OrderBy`: one reordering level built from a sequence of permutations
+//! (Fig. 4 of the paper).
+//!
+//! An `OrderBy` owns its own tile hierarchy: a sequence of [`Perm`]s from
+//! the outermost tile level inwards. `apply` traverses outer→inner,
+//! flattening and accumulating; `inv` unflattens inner→outer.
+
+use lego_expr::Expr;
+
+use crate::error::{LayoutError, Result};
+use crate::perm::Perm;
+use crate::shape::{Ix, Shape};
+
+/// A chainable reordering transformation: a sequence of tile permutations.
+#[derive(Clone, Debug)]
+pub struct OrderBy {
+    perms: Vec<Perm>,
+}
+
+impl OrderBy {
+    /// Builds an `OrderBy` from outermost-to-innermost permutations.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::Empty`] when no permutation is given.
+    pub fn new<I: IntoIterator<Item = Perm>>(perms: I) -> Result<OrderBy> {
+        let perms: Vec<Perm> = perms.into_iter().collect();
+        if perms.is_empty() {
+            return Err(LayoutError::Empty("OrderBy"));
+        }
+        Ok(OrderBy { perms })
+    }
+
+    /// The permutation levels, outermost first.
+    pub fn perms(&self) -> &[Perm] {
+        &self.perms
+    }
+
+    /// `dims()` of Fig. 4: the concatenated tile shapes of all levels.
+    pub fn shape(&self) -> Shape {
+        self.perms
+            .iter()
+            .fold(Shape::new(Vec::<Expr>::new()), |acc, p| {
+                acc.concat(p.tile())
+            })
+    }
+
+    /// Total number of index dimensions across all levels.
+    pub fn rank(&self) -> usize {
+        self.perms.iter().map(Perm::rank).sum()
+    }
+
+    /// Total element count as an expression.
+    pub fn size(&self) -> Expr {
+        self.shape().size()
+    }
+
+    /// Concrete `apply` (Fig. 4): multi-level index → flat offset.
+    /// Traverses the tiling outer→inner, flattening each level and
+    /// accumulating.
+    ///
+    /// # Errors
+    ///
+    /// Rank mismatches, out-of-bounds coordinates, and symbolic tiles.
+    pub fn apply_c(&self, idx: &[Ix]) -> Result<Ix> {
+        if idx.len() != self.rank() {
+            return Err(LayoutError::RankMismatch {
+                expected: self.rank(),
+                got: idx.len(),
+            });
+        }
+        let mut flat: Ix = 0;
+        let mut off = 0usize;
+        for p in &self.perms {
+            let d = p.rank();
+            let cur = p.apply_c(&idx[off..off + d])?;
+            flat = flat * p.tile().size_const()? + cur;
+            off += d;
+        }
+        Ok(flat)
+    }
+
+    /// Concrete `inv` (Fig. 4): flat offset → multi-level index.
+    /// Unflattens inner→outer.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds offsets and symbolic tiles.
+    pub fn inv_c(&self, flat: Ix) -> Result<Vec<Ix>> {
+        let total = self
+            .perms
+            .iter()
+            .map(|p| p.tile().size_const())
+            .product::<Result<Ix>>()?;
+        if flat < 0 || flat >= total {
+            return Err(LayoutError::FlatOutOfBounds { flat, size: total });
+        }
+        let mut rest = flat;
+        let mut idx: Vec<Ix> = Vec::with_capacity(self.rank());
+        for p in self.perms.iter().rev() {
+            let size = p.tile().size_const()?;
+            let cur = rest % size;
+            rest /= size;
+            let mut level = p.inv_c(cur)?;
+            level.extend(idx);
+            idx = level;
+        }
+        Ok(idx)
+    }
+
+    /// Symbolic `apply`.
+    ///
+    /// # Errors
+    ///
+    /// Rank mismatches and `GenP`s without symbolic forward functions.
+    pub fn apply_sym(&self, idx: &[Expr]) -> Result<Expr> {
+        if idx.len() != self.rank() {
+            return Err(LayoutError::RankMismatch {
+                expected: self.rank(),
+                got: idx.len(),
+            });
+        }
+        let mut flat = Expr::zero();
+        let mut off = 0usize;
+        for p in &self.perms {
+            let d = p.rank();
+            let cur = p.apply_sym(&idx[off..off + d])?;
+            flat = flat * p.tile().size() + cur;
+            off += d;
+        }
+        Ok(flat)
+    }
+
+    /// Symbolic `inv`.
+    ///
+    /// # Errors
+    ///
+    /// `GenP`s without symbolic inverse functions.
+    pub fn inv_sym(&self, flat: &Expr) -> Result<Vec<Expr>> {
+        let mut rest = flat.clone();
+        let mut idx: Vec<Expr> = Vec::with_capacity(self.rank());
+        for p in self.perms.iter().rev() {
+            let size = p.tile().size();
+            let cur = rest.rem(&size);
+            rest = rest.floor_div(&size);
+            let mut level = p.inv_sym(&cur)?;
+            level.extend(idx);
+            idx = level;
+        }
+        Ok(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's O2 (Fig. 6 middle): a 6x6 view stripmined to
+    /// [2,3,2,3] with sigma = [1,3,2,4].
+    fn o2() -> OrderBy {
+        OrderBy::new([
+            Perm::reg([2i64, 3, 2, 3], [1usize, 3, 2, 4]).unwrap()
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_concatenates_levels() {
+        let ob = OrderBy::new([
+            Perm::reg([2i64, 2], [2usize, 1]).unwrap(),
+            Perm::reg([3i64, 2], [1usize, 2]).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(ob.rank(), 4);
+        assert_eq!(ob.size().as_const(), Some(24));
+    }
+
+    #[test]
+    fn o2_maps_paper_example() {
+        // Fig. 6: flat 26 in the logical view lives at stripmined index
+        // [1,1,0,2] ([i/3, i%3, j/3, j%3] of [4,2]); sigma [1,3,2,4]
+        // reorders to tiles; its O2 offset is 23.
+        let ob = o2();
+        assert_eq!(ob.apply_c(&[1, 1, 0, 2]).unwrap(), 23);
+    }
+
+    #[test]
+    fn apply_inv_roundtrip_two_levels() {
+        let ob = OrderBy::new([
+            Perm::reg([2i64, 2], [2usize, 1]).unwrap(),
+            Perm::reg([3i64, 2], [2usize, 1]).unwrap(),
+        ])
+        .unwrap();
+        for f in 0..24 {
+            let idx = ob.inv_c(f).unwrap();
+            assert_eq!(ob.apply_c(&idx).unwrap(), f, "roundtrip at {f}");
+        }
+    }
+
+    #[test]
+    fn empty_orderby_rejected() {
+        assert!(OrderBy::new([]).is_err());
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let ob = o2();
+        assert!(matches!(
+            ob.apply_c(&[0, 0]),
+            Err(LayoutError::RankMismatch { expected: 4, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn symbolic_matches_concrete() {
+        use lego_expr::{Bindings, eval};
+        let ob = OrderBy::new([
+            Perm::reg([2i64, 2], [2usize, 1]).unwrap(),
+            Perm::reg([3i64, 2], [1usize, 2]).unwrap(),
+        ])
+        .unwrap();
+        let syms = ["a", "b", "c", "d"];
+        let idx: Vec<Expr> = syms.iter().map(|s| Expr::sym(*s)).collect();
+        let e = ob.apply_sym(&idx).unwrap();
+        let mut bind = Bindings::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for c in 0..3 {
+                    for d in 0..2 {
+                        for (s, v) in syms.iter().zip([a, b, c, d]) {
+                            bind.insert(s.to_string(), v);
+                        }
+                        assert_eq!(
+                            eval(&e, &bind).unwrap(),
+                            ob.apply_c(&[a, b, c, d]).unwrap()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_inv_matches_concrete() {
+        use lego_expr::{Bindings, eval};
+        let ob = o2();
+        let idx = ob.inv_sym(&Expr::sym("f")).unwrap();
+        let mut bind = Bindings::new();
+        for f in 0..36 {
+            bind.insert("f".into(), f);
+            let conc = ob.inv_c(f).unwrap();
+            for (s, c) in idx.iter().zip(&conc) {
+                assert_eq!(eval(s, &bind).unwrap(), *c, "flat {f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! A parser for the paper's surface syntax: the dot-chained layout
+//! notation of Eq. (2) and Table I.
+//!
+//! ```text
+//! GroupBy([6,6]).OrderBy(RegP([2,3,2,3],[1,3,2,4]))
+//!               .OrderBy(RegP([2,2],[2,1]), GenP([3,3], antidiag))
+//! TileBy([M//BM, K//BK], [BM, BK]).OrderBy(Row(M, K))
+//! ```
+//!
+//! Supported heads: `GroupBy`, `TileBy`; chained `OrderBy(perm, …)` with
+//! perms `RegP(tile, sigma)`, `GenP(tile, name)` (library permutations:
+//! `antidiag`, `reverse`, `morton`, `hilbert`, `xor_swizzle`), `Row(dims)`,
+//! `Col(dims)`. Dimension entries are integer expressions over `+ - * //
+//! % min max` with identifiers becoming symbolic sizes.
+//!
+//! # Examples
+//!
+//! ```
+//! use lego_core::parse::parse_layout;
+//! let l = parse_layout("GroupBy([6,4]).OrderBy(RegP([2,2],[2,1]), GenP([3,2], reverse))")?;
+//! assert_eq!(l.apply_c(&[4, 1])?, 6); // the paper's Fig. 2 anchor
+//! # Ok::<(), lego_core::parse::ParseError>(())
+//! ```
+
+use lego_expr::Expr;
+
+use crate::error::LayoutError;
+use crate::group_by::{Layout, LayoutBuilder};
+use crate::order_by::OrderBy;
+use crate::perm::Perm;
+use crate::perms::{antidiag, hilbert, morton, reverse_perm, xor_swizzle};
+use crate::shape::Shape;
+use crate::sugar;
+
+/// Errors from [`parse_layout`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// Unexpected character or token.
+    Unexpected {
+        /// Byte position in the input.
+        at: usize,
+        /// What was found.
+        found: String,
+        /// What the parser wanted.
+        wanted: &'static str,
+    },
+    /// An unknown constructor or permutation name.
+    UnknownName(String),
+    /// A library `GenP` needed constant tile sizes.
+    NonConstGenP(String),
+    /// The parsed pieces violated layout validation.
+    Layout(LayoutError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Unexpected { at, found, wanted } => {
+                write!(f, "at byte {at}: found `{found}`, expected {wanted}")
+            }
+            ParseError::UnknownName(n) => write!(f, "unknown name `{n}`"),
+            ParseError::NonConstGenP(n) => {
+                write!(f, "library permutation `{n}` needs constant tile sizes")
+            }
+            ParseError::Layout(e) => write!(f, "invalid layout: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LayoutError> for ParseError {
+    fn from(e: LayoutError) -> ParseError {
+        ParseError::Layout(e)
+    }
+}
+
+/// Parses a layout from the paper's dot-chain notation.
+///
+/// # Errors
+///
+/// [`ParseError`] describing the first syntax or validation problem.
+pub fn parse_layout(src: &str) -> Result<Layout, ParseError> {
+    let mut p = Parser { src: src.as_bytes(), pos: 0 };
+    let layout = p.layout()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err("end of input"));
+    }
+    Ok(layout)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, wanted: &'static str) -> ParseError {
+        let found = self
+            .src
+            .get(self.pos..)
+            .map(|r| {
+                String::from_utf8_lossy(&r[..r.len().min(12)]).into_owned()
+            })
+            .unwrap_or_default();
+        ParseError::Unexpected { at: self.pos, found, wanted }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(tok.as_bytes()) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str, wanted: &'static str) -> Result<(), ParseError> {
+        if self.eat(tok) { Ok(()) } else { Err(self.err(wanted)) }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.src.get(self.pos).is_some_and(|c| {
+            c.is_ascii_alphanumeric() || *c == b'_'
+        }) {
+            self.pos += 1;
+        }
+        if self.pos == start
+            || self.src[start].is_ascii_digit()
+        {
+            self.pos = start;
+            return None;
+        }
+        Some(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn number(&mut self) -> Option<i64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.src.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).parse().ok()
+    }
+
+    // ---- expressions: + -  |  * // %  |  atom -----------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.term()?;
+        loop {
+            if self.eat("+") {
+                acc = acc + self.term()?;
+            } else if self.eat("-") {
+                acc = acc - self.term()?;
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.atom()?;
+        loop {
+            if self.eat("//") {
+                acc = acc.floor_div(&self.atom()?);
+            } else if self.eat("*") {
+                acc = acc * self.atom()?;
+            } else if self.eat("%") {
+                acc = acc.rem(&self.atom()?);
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        if self.eat("(") {
+            let e = self.expr()?;
+            self.expect(")", "`)`")?;
+            return Ok(e);
+        }
+        if let Some(v) = self.number() {
+            return Ok(Expr::val(v));
+        }
+        let Some(name) = self.ident() else {
+            return Err(self.err("expression"));
+        };
+        match name.as_str() {
+            "min" | "max" => {
+                self.expect("(", "`(` after min/max")?;
+                let a = self.expr()?;
+                self.expect(",", "`,`")?;
+                let b = self.expr()?;
+                self.expect(")", "`)`")?;
+                Ok(if name == "min" { a.min(&b) } else { a.max(&b) })
+            }
+            _ => Ok(Expr::sym(name)),
+        }
+    }
+
+    fn expr_list(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect("[", "`[`")?;
+        let mut v = Vec::new();
+        if !self.eat("]") {
+            loop {
+                v.push(self.expr()?);
+                if self.eat("]") {
+                    break;
+                }
+                self.expect(",", "`,` or `]`")?;
+            }
+        }
+        Ok(v)
+    }
+
+    fn usize_list(&mut self) -> Result<Vec<usize>, ParseError> {
+        self.expect("[", "`[`")?;
+        let mut v = Vec::new();
+        if !self.eat("]") {
+            loop {
+                let Some(n) = self.number() else {
+                    return Err(self.err("integer"));
+                };
+                v.push(n as usize);
+                if self.eat("]") {
+                    break;
+                }
+                self.expect(",", "`,` or `]`")?;
+            }
+        }
+        Ok(v)
+    }
+
+    // ---- perms -------------------------------------------------------
+
+    fn perm(&mut self) -> Result<Perm, ParseError> {
+        let Some(name) = self.ident() else {
+            return Err(self.err("permutation (RegP/GenP/Row/Col)"));
+        };
+        match name.as_str() {
+            "RegP" => {
+                self.expect("(", "`(`")?;
+                let tile = self.expr_list()?;
+                self.expect(",", "`,`")?;
+                let sigma = self.usize_list()?;
+                self.expect(")", "`)`")?;
+                Ok(Perm::reg(Shape::new(tile), sigma)?)
+            }
+            "Row" => {
+                let dims = self.call_dims()?;
+                Ok(sugar::row(Shape::new(dims))?)
+            }
+            "Col" => {
+                let dims = self.call_dims()?;
+                Ok(sugar::col(Shape::new(dims))?)
+            }
+            "GenP" => {
+                self.expect("(", "`(`")?;
+                let tile = self.expr_list()?;
+                self.expect(",", "`,`")?;
+                let Some(gen_name) = self.ident() else {
+                    return Err(self.err("permutation name"));
+                };
+                // Optional trailing `, inverse_name` (ignored: library
+                // perms carry their own inverses).
+                if self.eat(",") {
+                    let _ = self.ident();
+                }
+                self.expect(")", "`)`")?;
+                library_genp(&gen_name, &tile)
+            }
+            other => Err(ParseError::UnknownName(other.to_string())),
+        }
+    }
+
+    /// Parses `(e, e, …)` or `([e, e, …])` as a dimension list.
+    fn call_dims(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect("(", "`(`")?;
+        self.skip_ws();
+        let dims = if self.src.get(self.pos) == Some(&b'[') {
+            let d = self.expr_list()?;
+            self.expect(")", "`)`")?;
+            d
+        } else {
+            let mut v = Vec::new();
+            loop {
+                v.push(self.expr()?);
+                if self.eat(")") {
+                    break;
+                }
+                self.expect(",", "`,` or `)`")?;
+            }
+            v
+        };
+        Ok(dims)
+    }
+
+    // ---- layouts -----------------------------------------------------
+
+    fn layout(&mut self) -> Result<Layout, ParseError> {
+        let Some(head) = self.ident() else {
+            return Err(self.err("GroupBy or TileBy"));
+        };
+        let mut builder: LayoutBuilder = match head.as_str() {
+            "GroupBy" => {
+                self.expect("(", "`(`")?;
+                // One or more bracketed tile shapes, concatenated.
+                let mut view: Vec<Expr> = Vec::new();
+                loop {
+                    view.extend(self.expr_list()?);
+                    if self.eat(")") {
+                        break;
+                    }
+                    self.expect(",", "`,` or `)`")?;
+                }
+                Layout::builder(Shape::new(view))
+            }
+            "TileBy" => {
+                self.expect("(", "`(`")?;
+                let mut levels: Vec<Shape> = Vec::new();
+                loop {
+                    levels.push(Shape::new(self.expr_list()?));
+                    if self.eat(")") {
+                        break;
+                    }
+                    self.expect(",", "`,` or `)`")?;
+                }
+                sugar::tile_by(levels)?
+            }
+            other => return Err(ParseError::UnknownName(other.to_string())),
+        };
+        // Chain of .OrderBy(perm, …).
+        while self.eat(".") {
+            let Some(name) = self.ident() else {
+                return Err(self.err("OrderBy"));
+            };
+            if name != "OrderBy" {
+                return Err(ParseError::UnknownName(name));
+            }
+            self.expect("(", "`(`")?;
+            let mut perms = vec![self.perm()?];
+            while self.eat(",") {
+                perms.push(self.perm()?);
+            }
+            self.expect(")", "`)`")?;
+            builder = builder.order_by(OrderBy::new(perms)?);
+        }
+        Ok(builder.build()?)
+    }
+}
+
+/// Resolves a library `GenP` by name over a constant tile.
+fn library_genp(name: &str, tile: &[Expr]) -> Result<Perm, ParseError> {
+    let consts: Option<Vec<i64>> = tile.iter().map(Expr::as_const).collect();
+    let Some(dims) = consts else {
+        return Err(ParseError::NonConstGenP(name.to_string()));
+    };
+    let square = || -> Result<i64, ParseError> {
+        if dims.len() == 2 && dims[0] == dims[1] {
+            Ok(dims[0])
+        } else {
+            Err(ParseError::NonConstGenP(format!(
+                "{name} needs a square 2-D tile, got {dims:?}"
+            )))
+        }
+    };
+    let perm = match name {
+        "antidiag" | "antidiagonal" => antidiag(square()?)?,
+        "reverse" => reverse_perm(&dims)?,
+        "morton" | "zorder" => morton(square()?)?,
+        "hilbert" => hilbert(square()?)?,
+        "xor_swizzle" | "swizzle" => {
+            if dims.len() != 2 {
+                return Err(ParseError::NonConstGenP(name.to_string()));
+            }
+            xor_swizzle(dims[0], dims[1])?
+        }
+        other => return Err(ParseError::UnknownName(other.to_string())),
+    };
+    Ok(perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig2() {
+        let l = parse_layout(
+            "GroupBy([6,4]).OrderBy(RegP([2,2],[2,1]), GenP([3,2], reverse))",
+        )
+        .unwrap();
+        assert_eq!(l.apply_c(&[4, 1]).unwrap(), 6);
+    }
+
+    #[test]
+    fn parses_eq2_fig6_chain() {
+        let l = parse_layout(
+            "GroupBy([6,6]).\
+             OrderBy(RegP([2,3,2,3],[1,3,2,4])).\
+             OrderBy(RegP([2,2],[2,1]), GenP([3,3], antidiag, antidiag_inv))",
+        )
+        .unwrap();
+        assert_eq!(l.apply_c(&[4, 2]).unwrap(), 15);
+        assert_eq!(l.inv_c(15).unwrap(), vec![4, 2]);
+    }
+
+    #[test]
+    fn parses_table1_matmul_row() {
+        let l = parse_layout(
+            "TileBy([M//BM, K//BK], [BM, BK]).OrderBy(Row(M, K))",
+        )
+        .unwrap();
+        assert_eq!(l.view().rank(), 4);
+        // Symbolic sizes parse into expressions.
+        assert!(l.view().dims()[0].as_const().is_none());
+    }
+
+    #[test]
+    fn parses_thread_layout_with_min_max() {
+        let l = parse_layout(
+            "TileBy([nt_m, nt_n]).OrderBy(Col(max(nt_m//GM,1), 1), \
+             Col(min(nt_m,GM), nt_n))",
+        )
+        .unwrap();
+        assert_eq!(l.orders().len(), 2);
+    }
+
+    #[test]
+    fn parses_brick_spec() {
+        let l = parse_layout(
+            "GroupBy([8,8,8]).OrderBy(RegP([2,4,2,4,2,4],[1,3,5,2,4,6]))",
+        )
+        .unwrap();
+        let direct = crate::brick::brick3d(8, 4).unwrap();
+        for p in [[0i64, 0, 0], [3, 5, 7], [7, 7, 7], [4, 0, 6]] {
+            assert_eq!(l.apply_c(&p).unwrap(), direct.apply_c(&p).unwrap());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_sigma() {
+        let e = parse_layout("GroupBy([4]).OrderBy(RegP([4],[2]))");
+        assert!(matches!(e, Err(ParseError::Layout(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        assert!(matches!(
+            parse_layout("FooBy([4])"),
+            Err(ParseError::UnknownName(_))
+        ));
+        assert!(matches!(
+            parse_layout("GroupBy([4,4]).OrderBy(GenP([4,4], frobnicate))"),
+            Err(ParseError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_symbolic_library_genp() {
+        assert!(matches!(
+            parse_layout("GroupBy([N,N]).OrderBy(GenP([N,N], antidiag))"),
+            Err(ParseError::NonConstGenP(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_layout("GroupBy([4,4]) trailing").is_err());
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse_layout("GroupBy([6,4]).OrderBy(RegP([2,2],[2,1]),GenP([3,2],reverse))").unwrap();
+        let b = parse_layout(
+            "GroupBy( [ 6 , 4 ] ) . OrderBy ( RegP ( [2, 2], [2, 1] ) , \
+             GenP ( [3, 2] , reverse ) )",
+        )
+        .unwrap();
+        assert_eq!(a.to_permutation().unwrap(), b.to_permutation().unwrap());
+    }
+
+    #[test]
+    fn arithmetic_in_dims() {
+        let l = parse_layout("GroupBy([2*3, 8-4]).OrderBy(Row(6, 2+2))").unwrap();
+        assert_eq!(l.view().dims_const().unwrap(), vec![6, 4]);
+    }
+}

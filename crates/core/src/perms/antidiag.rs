@@ -1,0 +1,226 @@
+//! The anti-diagonal permutation of an `n×n` logical space (paper Fig. 7).
+//!
+//! Elements are laid out in the order they appear on the `2n-1`
+//! anti-diagonals (`i + j = const`). In the NW benchmark this turns the
+//! stride-`b` accesses of a wavefront update into unit-stride accesses,
+//! eliminating shared-memory bank conflicts (§V-B).
+
+use std::rc::Rc;
+
+use lego_expr::{Cond, Expr, isqrt64};
+
+use crate::error::Result;
+use crate::perm::{GenFns, Perm};
+use crate::shape::Ix;
+
+/// Forward anti-diagonal map for an `n×n` space: `(i, j) → flat`.
+///
+/// Mirrors the paper's Fig. 7 pseudocode exactly.
+pub fn antidiag_flat(n: Ix, i: Ix, j: Ix) -> Ix {
+    let antidg = i + j + 1;
+    if antidg <= n {
+        i + antidg * (antidg - 1) / 2
+    } else {
+        let antidg = 2 * n - antidg;
+        let gauss = antidg * (antidg - 1) / 2;
+        n * n - n + i - gauss
+    }
+}
+
+/// Inverse anti-diagonal map: `flat → (i, j)`.
+pub fn antidiag_flat_inv(n: Ix, x0: Ix) -> (Ix, Ix) {
+    let s = n * (n + 1) / 2;
+    let x = if x0 < s { x0 } else { n * n - 1 - x0 };
+    let mut antidg = isqrt64(2 * x);
+    if x >= antidg * (antidg + 1) / 2 {
+        antidg += 1;
+    }
+    let i = x - antidg * (antidg - 1) / 2;
+    let j = antidg - i - 1;
+    if x0 < s {
+        (i, j)
+    } else {
+        (n - 1 - i, n - 1 - j)
+    }
+}
+
+/// Symbolic forward anti-diagonal map.
+pub fn antidiag_sym(n: &Expr, i: &Expr, j: &Expr) -> Expr {
+    let antidg = i + j + Expr::one();
+    let two = Expr::val(2);
+    let on_upper = (i + (&antidg * (&antidg - Expr::one())).floor_div(&two))
+        .clone();
+    let lower_d = Expr::val(2) * n - &antidg;
+    let gauss = (&lower_d * (&lower_d - Expr::one())).floor_div(&two);
+    let on_lower = n * n - n + i - gauss;
+    Expr::select(Cond::le(antidg, n.clone()), on_upper, on_lower)
+}
+
+/// Symbolic inverse anti-diagonal map, returning `(i, j)` expressions.
+pub fn antidiag_inv_sym(n: &Expr, x0: &Expr) -> (Expr, Expr) {
+    let two = Expr::val(2);
+    let s = (n * (n + Expr::one())).floor_div(&two);
+    let in_upper = Cond::lt(x0.clone(), s);
+    let mirrored = n * n - Expr::one() - x0;
+    let x = Expr::select(in_upper.clone(), x0.clone(), mirrored);
+    let base = (&two * &x).isqrt();
+    let bump = Expr::select(
+        Cond::ge(
+            x.clone(),
+            (&base * (&base + Expr::one())).floor_div(&two),
+        ),
+        Expr::one(),
+        Expr::zero(),
+    );
+    let antidg = base + bump;
+    let i = &x - (&antidg * (&antidg - Expr::one())).floor_div(&two);
+    let j = &antidg - &i - Expr::one();
+    let i_out = Expr::select(
+        in_upper.clone(),
+        i.clone(),
+        n - Expr::one() - &i,
+    );
+    let j_out = Expr::select(in_upper, j.clone(), n - Expr::one() - &j);
+    (i_out, j_out)
+}
+
+/// Builds the anti-diagonal `GenP` for an `n×n` tile, with both concrete
+/// and symbolic implementations.
+///
+/// # Errors
+///
+/// Propagates [`Perm::gen`] validation errors.
+///
+/// # Examples
+///
+/// ```
+/// use lego_core::perms::antidiag;
+/// let p = antidiag(3)?;
+/// // Anti-diagonals of a 3x3: (0,0), (0,1),(1,0), (0,2),(1,1),(2,0), ...
+/// assert_eq!(p.apply_c(&[0, 0])?, 0);
+/// assert_eq!(p.apply_c(&[1, 0])?, 2);
+/// assert_eq!(p.apply_c(&[2, 2])?, 8);
+/// # Ok::<(), lego_core::LayoutError>(())
+/// ```
+pub fn antidiag(n: Ix) -> Result<Perm> {
+    let fns = GenFns {
+        name: format!("antidiag{n}"),
+        fwd: Rc::new(move |idx: &[Ix]| antidiag_flat(n, idx[0], idx[1])),
+        inv: Rc::new(move |f: Ix| {
+            let (i, j) = antidiag_flat_inv(n, f);
+            vec![i, j]
+        }),
+        fwd_sym: Some(Rc::new(move |idx: &[Expr]| {
+            antidiag_sym(&Expr::val(n), &idx[0], &idx[1])
+        })),
+        inv_sym: Some(Rc::new(move |f: &Expr| {
+            let (i, j) = antidiag_inv_sym(&Expr::val(n), f);
+            vec![i, j]
+        })),
+    };
+    Perm::gen([n, n], fns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn antidiag_3x3_full_order() {
+        // Diagonals of 3x3: d0:(0,0); d1:(0,1),(1,0); d2:(0,2),(1,1),(2,0);
+        // d3:(1,2),(2,1); d4:(2,2).
+        let want = [
+            ((0, 0), 0),
+            ((0, 1), 1),
+            ((1, 0), 2),
+            ((0, 2), 3),
+            ((1, 1), 4),
+            ((2, 0), 5),
+            ((1, 2), 6),
+            ((2, 1), 7),
+            ((2, 2), 8),
+        ];
+        for ((i, j), f) in want {
+            assert_eq!(antidiag_flat(3, i, j), f, "({i},{j})");
+            assert_eq!(antidiag_flat_inv(3, f), (i, j), "inv({f})");
+        }
+    }
+
+    #[test]
+    fn antidiag_bijective_many_sizes() {
+        for n in 1..=16 {
+            let mut seen = vec![false; (n * n) as usize];
+            for i in 0..n {
+                for j in 0..n {
+                    let f = antidiag_flat(n, i, j);
+                    assert!((0..n * n).contains(&f));
+                    assert!(!seen[f as usize], "n={n} dup at ({i},{j})");
+                    seen[f as usize] = true;
+                    assert_eq!(antidiag_flat_inv(n, f), (i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perm_roundtrip() {
+        let p = antidiag(8).unwrap();
+        for f in 0..64 {
+            let idx = p.inv_c(f).unwrap();
+            assert_eq!(p.apply_c(&idx).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn symbolic_forward_matches_concrete() {
+        use lego_expr::{Bindings, eval};
+        let n = 6i64;
+        let e = antidiag_sym(&Expr::val(n), &Expr::sym("i"), &Expr::sym("j"));
+        let mut bind = Bindings::new();
+        for i in 0..n {
+            for j in 0..n {
+                bind.insert("i".into(), i);
+                bind.insert("j".into(), j);
+                assert_eq!(
+                    eval(&e, &bind).unwrap(),
+                    antidiag_flat(n, i, j),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_inverse_matches_concrete() {
+        use lego_expr::{Bindings, eval};
+        let n = 5i64;
+        let (ie, je) = antidiag_inv_sym(&Expr::val(n), &Expr::sym("x"));
+        let mut bind = Bindings::new();
+        for x in 0..n * n {
+            bind.insert("x".into(), x);
+            let (i, j) = antidiag_flat_inv(n, x);
+            assert_eq!(eval(&ie, &bind).unwrap(), i, "i at {x}");
+            assert_eq!(eval(&je, &bind).unwrap(), j, "j at {x}");
+        }
+    }
+
+    #[test]
+    fn diagonal_neighbors_are_contiguous() {
+        // The NW property: consecutive elements of one anti-diagonal are
+        // adjacent in memory (stride 1), for both diagonal halves.
+        let n = 16;
+        for d in 0..(2 * n - 1) {
+            let lo = (d + 1 - n).max(0);
+            let hi = d.min(n - 1);
+            let mut prev = None;
+            for i in lo..=hi {
+                let j = d - i;
+                let f = antidiag_flat(n, i, j);
+                if let Some(p) = prev {
+                    assert_eq!(f, p + 1, "diag {d} at i={i}");
+                }
+                prev = Some(f);
+            }
+        }
+    }
+}

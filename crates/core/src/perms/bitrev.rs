@@ -1,0 +1,87 @@
+//! Bit-reversal permutation (1-D, power-of-two length).
+//!
+//! The classic FFT data layout: element `i` moves to the position given
+//! by reversing the low `log2(n)` bits of `i`. An involution, so the
+//! inverse is the permutation itself — a nice stress case for the
+//! `GenP` machinery.
+
+use std::rc::Rc;
+
+use crate::error::{LayoutError, Result};
+use crate::perm::{GenFns, Perm};
+use crate::shape::Ix;
+
+/// Reverses the low `bits` bits of `v`.
+pub fn reverse_bits(v: Ix, bits: u32) -> Ix {
+    let mut out: Ix = 0;
+    for k in 0..bits {
+        out |= ((v >> k) & 1) << (bits - 1 - k);
+    }
+    out
+}
+
+/// Builds the bit-reversal `GenP` over a length-`n` 1-D tile.
+///
+/// # Errors
+///
+/// [`LayoutError::Unsupported`] unless `n` is a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use lego_core::perms::bit_reversal;
+/// let p = bit_reversal(8)?;
+/// assert_eq!(p.apply_c(&[1])?, 4); // 001 -> 100
+/// assert_eq!(p.apply_c(&[3])?, 6); // 011 -> 110
+/// # Ok::<(), lego_core::LayoutError>(())
+/// ```
+pub fn bit_reversal(n: Ix) -> Result<Perm> {
+    if n <= 0 || (n & (n - 1)) != 0 {
+        return Err(LayoutError::Unsupported(
+            "bit reversal requires a power-of-two length",
+        ));
+    }
+    let bits = (63 - n.leading_zeros()) as u32;
+    let fns = GenFns {
+        name: format!("bitrev{n}"),
+        fwd: Rc::new(move |idx: &[Ix]| reverse_bits(idx[0], bits)),
+        inv: Rc::new(move |f: Ix| vec![reverse_bits(f, bits)]),
+        fwd_sym: None,
+        inv_sym: None,
+    };
+    Perm::gen([n], fns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values_8() {
+        let want = [0, 4, 2, 6, 1, 5, 3, 7];
+        let p = bit_reversal(8).unwrap();
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(p.apply_c(&[i as Ix]).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn is_involution() {
+        let p = bit_reversal(64).unwrap();
+        for i in 0..64 {
+            let f = p.apply_c(&[i]).unwrap();
+            assert_eq!(p.apply_c(&[f]).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn passes_bijectivity_check() {
+        crate::check::check_genp_bijective(&bit_reversal(32).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        assert!(bit_reversal(6).is_err());
+        assert!(bit_reversal(0).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Block-cyclic distribution as a permutation (1-D).
+//!
+//! The ScaLAPACK/HPF distribution the paper's related work (§VI-e)
+//! connects layouts to: element `i` of a length `p·b·c` space goes to
+//! "processor" `(i / b) % p`, block slot `(i / b) / p`, offset `i % b` —
+//! laid out processor-major. Expressible in LEGO as a stripmine +
+//! interchange, provided here as a ready-made `GenP` with symbolic
+//! forms.
+
+use std::rc::Rc;
+
+use lego_expr::Expr;
+
+use crate::error::{LayoutError, Result};
+use crate::perm::{GenFns, Perm};
+use crate::shape::Ix;
+
+/// Builds the block-cyclic `GenP` for `p` processors, block size `b`,
+/// and `c` cycles (total length `p*b*c`).
+///
+/// # Errors
+///
+/// [`LayoutError::Unsupported`] for non-positive parameters.
+///
+/// # Examples
+///
+/// ```
+/// use lego_core::perms::block_cyclic;
+/// // 2 processors, blocks of 2, 2 cycles: [0,1,2,3,4,5,6,7] distributes
+/// // as P0:[0,1,4,5] P1:[2,3,6,7].
+/// let p = block_cyclic(2, 2, 2)?;
+/// assert_eq!(p.apply_c(&[4])?, 2); // element 4 = P0's second block
+/// assert_eq!(p.apply_c(&[2])?, 4); // element 2 = P1's first block
+/// # Ok::<(), lego_core::LayoutError>(())
+/// ```
+pub fn block_cyclic(p: Ix, b: Ix, c: Ix) -> Result<Perm> {
+    if p <= 0 || b <= 0 || c <= 0 {
+        return Err(LayoutError::Unsupported(
+            "block-cyclic parameters must be positive",
+        ));
+    }
+    let n = p * b * c;
+    let fwd_map = move |i: Ix| -> Ix {
+        let proc = (i / b) % p;
+        let slot = (i / b) / p;
+        let off = i % b;
+        (proc * c + slot) * b + off
+    };
+    let inv_map = move |f: Ix| -> Ix {
+        let off = f % b;
+        let slot = (f / b) % c;
+        let proc = (f / b) / c;
+        (slot * p + proc) * b + off
+    };
+    let fns = GenFns {
+        name: format!("block_cyclic(p={p},b={b},c={c})"),
+        fwd: Rc::new(move |idx: &[Ix]| fwd_map(idx[0])),
+        inv: Rc::new(move |f: Ix| vec![inv_map(f)]),
+        fwd_sym: Some(Rc::new(move |idx: &[Expr]| {
+            let i = &idx[0];
+            let (bp, bb, bc) = (Expr::val(p), Expr::val(b), Expr::val(c));
+            let proc = i.floor_div(&bb).rem(&bp);
+            let slot = i.floor_div(&bb).floor_div(&bp);
+            let off = i.rem(&bb);
+            (proc * &bc + slot) * &bb + off
+        })),
+        inv_sym: Some(Rc::new(move |f: &Expr| {
+            let (bp, bb, bc) = (Expr::val(p), Expr::val(b), Expr::val(c));
+            let off = f.rem(&bb);
+            let slot = f.floor_div(&bb).rem(&bc);
+            let proc = f.floor_div(&bb).floor_div(&bc);
+            vec![(slot * &bp + proc) * &bb + off]
+        })),
+    };
+    let _ = n;
+    Perm::gen([n], fns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_example() {
+        // p=2, b=3, c=2: blocks 0..4 go P0,P1,P0,P1.
+        let p = block_cyclic(2, 3, 2).unwrap();
+        // Element 0..3 (block 0) -> P0 slot 0 -> positions 0..3.
+        assert_eq!(p.apply_c(&[0]).unwrap(), 0);
+        assert_eq!(p.apply_c(&[2]).unwrap(), 2);
+        // Block 1 (elements 3..6) -> P1 slot 0 -> positions 6..9.
+        assert_eq!(p.apply_c(&[3]).unwrap(), 6);
+        // Block 2 (elements 6..9) -> P0 slot 1 -> positions 3..6.
+        assert_eq!(p.apply_c(&[6]).unwrap(), 3);
+    }
+
+    #[test]
+    fn bijective_various_shapes() {
+        for (p_, b, c) in [(2i64, 2i64, 2i64), (3, 4, 2), (4, 1, 5), (1, 7, 3)] {
+            let perm = block_cyclic(p_, b, c).unwrap();
+            crate::check::check_genp_bijective(&perm).unwrap();
+        }
+    }
+
+    #[test]
+    fn symbolic_matches_concrete() {
+        use lego_expr::{Bindings, eval};
+        let perm = block_cyclic(3, 2, 4).unwrap();
+        let e = perm.apply_sym(&[Expr::sym("i")]).unwrap();
+        let inv = perm.inv_sym(&Expr::sym("f")).unwrap();
+        let mut bind = Bindings::new();
+        for i in 0..24 {
+            bind.insert("i".into(), i);
+            bind.insert("f".into(), i);
+            assert_eq!(eval(&e, &bind).unwrap(), perm.apply_c(&[i]).unwrap());
+            assert_eq!(
+                eval(&inv[0], &bind).unwrap(),
+                perm.inv_c(i).unwrap()[0]
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(block_cyclic(0, 2, 2).is_err());
+        assert!(block_cyclic(2, -1, 2).is_err());
+    }
+}

@@ -1,0 +1,127 @@
+//! Hilbert-curve permutation for power-of-two square tiles.
+//!
+//! The Hilbert curve improves on Morton order by keeping *every* pair of
+//! consecutive curve positions adjacent in 2-D, which maximizes locality
+//! for scanning workloads.
+
+use std::rc::Rc;
+
+use crate::error::{LayoutError, Result};
+use crate::perm::{GenFns, Perm};
+use crate::shape::Ix;
+
+/// Maps `(x, y)` in an `n×n` grid (power-of-two `n`) to its Hilbert-curve
+/// distance.
+pub fn hilbert_xy2d(n: Ix, mut x: Ix, mut y: Ix) -> Ix {
+    let mut d: Ix = 0;
+    let mut s = n / 2;
+    while s > 0 {
+        let rx = Ix::from((x & s) > 0);
+        let ry = Ix::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        rot(n, &mut x, &mut y, rx, ry);
+        s /= 2;
+    }
+    d
+}
+
+/// Maps a Hilbert-curve distance back to `(x, y)`.
+pub fn hilbert_d2xy(n: Ix, d: Ix) -> (Ix, Ix) {
+    let (mut x, mut y): (Ix, Ix) = (0, 0);
+    let mut t = d;
+    let mut s: Ix = 1;
+    while s < n {
+        let rx = 1 & (t / 2);
+        let ry = 1 & (t ^ rx);
+        rot(s, &mut x, &mut y, rx, ry);
+        x += s * rx;
+        y += s * ry;
+        t /= 4;
+        s *= 2;
+    }
+    (x, y)
+}
+
+fn rot(n: Ix, x: &mut Ix, y: &mut Ix, rx: Ix, ry: Ix) {
+    if ry == 0 {
+        if rx == 1 {
+            *x = n - 1 - *x;
+            *y = n - 1 - *y;
+        }
+        std::mem::swap(x, y);
+    }
+}
+
+/// Builds the Hilbert-order `GenP` for an `n×n` tile.
+///
+/// # Errors
+///
+/// [`LayoutError::Unsupported`] unless `n` is a power of two.
+pub fn hilbert(n: Ix) -> Result<Perm> {
+    if n <= 0 || (n & (n - 1)) != 0 {
+        return Err(LayoutError::Unsupported(
+            "Hilbert order requires a power-of-two side length",
+        ));
+    }
+    let fns = GenFns {
+        name: format!("hilbert{n}"),
+        fwd: Rc::new(move |idx: &[Ix]| hilbert_xy2d(n, idx[0], idx[1])),
+        inv: Rc::new(move |d: Ix| {
+            let (x, y) = hilbert_d2xy(n, d);
+            vec![x, y]
+        }),
+        fwd_sym: None,
+        inv_sym: None,
+    };
+    Perm::gen([n, n], fns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_16() {
+        for x in 0..16 {
+            for y in 0..16 {
+                let d = hilbert_xy2d(16, x, y);
+                assert_eq!(hilbert_d2xy(16, d), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_positions_are_adjacent() {
+        // The defining property: |Δx| + |Δy| = 1 between curve steps.
+        let n = 32;
+        let (mut px, mut py) = hilbert_d2xy(n, 0);
+        for d in 1..n * n {
+            let (x, y) = hilbert_d2xy(n, d);
+            assert_eq!(
+                (x - px).abs() + (y - py).abs(),
+                1,
+                "step {d} jumps from ({px},{py}) to ({x},{y})"
+            );
+            (px, py) = (x, y);
+        }
+    }
+
+    #[test]
+    fn perm_is_bijection() {
+        let p = hilbert(8).unwrap();
+        let mut seen = vec![false; 64];
+        for x in 0..8 {
+            for y in 0..8 {
+                let f = p.apply_c(&[x, y]).unwrap() as usize;
+                assert!(!seen[f]);
+                seen[f] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        assert!(hilbert(12).is_err());
+    }
+}

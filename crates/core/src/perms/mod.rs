@@ -1,0 +1,35 @@
+//! A library of ready-made `GenP` permutations.
+//!
+//! The paper's §VII notes that LEGO "provides a foundation for other
+//! commonly-used bijective layouts"; this module collects them:
+//!
+//! * [`antidiag`] — the anti-diagonal traversal of Fig. 7 (used by NW to
+//!   eliminate shared-memory bank conflicts), with symbolic forms;
+//! * [`reverse_perm`] — elementwise reversal on every axis (Fig. 2);
+//! * [`morton`] — Morton/Z-order for power-of-two squares;
+//! * [`hilbert`] — Hilbert curve order for power-of-two squares;
+//! * [`xor_swizzle`] — the XOR bank swizzle used by CUTLASS-style shared
+//!   memory staging;
+//! * [`bit_reversal`] — the FFT bit-reversal order;
+//! * [`block_cyclic`] — the ScaLAPACK/HPF distribution of §VI-e as a
+//!   permutation.
+//!
+//! All constructors return a [`Perm`] whose concrete `apply`/`inv` are
+//! exact bijections (property-tested); symbolic forms are provided where
+//! the pattern is expressible in the expression language.
+
+mod antidiag;
+mod bitrev;
+mod block_cyclic;
+mod hilbert;
+mod morton;
+mod reverse;
+mod swizzle;
+
+pub use antidiag::{antidiag, antidiag_flat, antidiag_flat_inv};
+pub use bitrev::{bit_reversal, reverse_bits};
+pub use block_cyclic::block_cyclic;
+pub use hilbert::{hilbert, hilbert_d2xy, hilbert_xy2d};
+pub use morton::{morton, morton_decode2, morton_encode2};
+pub use reverse::reverse_perm;
+pub use swizzle::xor_swizzle;

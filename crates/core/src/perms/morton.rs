@@ -1,0 +1,145 @@
+//! Morton (Z-order) permutation for power-of-two square tiles.
+//!
+//! Morton order interleaves the bits of the row and column index, giving
+//! strong 2-D locality; it is one of the "other commonly-used bijective
+//! layouts" the paper's conclusion points to (cf. Wise et al. [10] in the
+//! paper's related work).
+
+use std::rc::Rc;
+
+use crate::error::{LayoutError, Result};
+use crate::perm::{GenFns, Perm};
+use crate::shape::Ix;
+
+/// Interleaves the low 32 bits of `i` (odd positions) and `j` (even
+/// positions): the standard 2-D Morton encoding `(i, j) → z`.
+pub fn morton_encode2(i: Ix, j: Ix) -> Ix {
+    (spread_bits(i as u64) << 1 | spread_bits(j as u64)) as Ix
+}
+
+/// Decodes a 2-D Morton code back to `(i, j)`.
+pub fn morton_decode2(z: Ix) -> (Ix, Ix) {
+    let z = z as u64;
+    (compact_bits(z >> 1) as Ix, compact_bits(z) as Ix)
+}
+
+fn spread_bits(mut x: u64) -> u64 {
+    x &= 0xffff_ffff;
+    x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x << 8)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+fn compact_bits(mut x: u64) -> u64 {
+    x &= 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x >> 4)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x >> 8)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x >> 16)) & 0x0000_0000_ffff_ffff;
+    x
+}
+
+/// Builds the Morton-order `GenP` for an `n×n` tile.
+///
+/// # Errors
+///
+/// [`LayoutError::Unsupported`] unless `n` is a power of two (Morton
+/// interleaving requires it); [`Perm::gen`] validation errors otherwise.
+///
+/// # Examples
+///
+/// ```
+/// use lego_core::perms::morton;
+/// let p = morton(4)?;
+/// // The Z curve visits (0,0),(0,1),(1,0),(1,1) first.
+/// assert_eq!(p.apply_c(&[0, 0])?, 0);
+/// assert_eq!(p.apply_c(&[0, 1])?, 1);
+/// assert_eq!(p.apply_c(&[1, 0])?, 2);
+/// assert_eq!(p.apply_c(&[1, 1])?, 3);
+/// # Ok::<(), lego_core::LayoutError>(())
+/// ```
+pub fn morton(n: Ix) -> Result<Perm> {
+    if n <= 0 || (n & (n - 1)) != 0 {
+        return Err(LayoutError::Unsupported(
+            "Morton order requires a power-of-two side length",
+        ));
+    }
+    let fns = GenFns {
+        name: format!("morton{n}"),
+        fwd: Rc::new(|idx: &[Ix]| morton_encode2(idx[0], idx[1])),
+        inv: Rc::new(|z: Ix| {
+            let (i, j) = morton_decode2(z);
+            vec![i, j]
+        }),
+        fwd_sym: None,
+        inv_sym: None,
+    };
+    Perm::gen([n, n], fns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for i in 0..64 {
+            for j in 0..64 {
+                let z = morton_encode2(i, j);
+                assert_eq!(morton_decode2(z), (i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn z_curve_prefix() {
+        let order = [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+        ];
+        for (z, (i, j)) in order.into_iter().enumerate() {
+            assert_eq!(morton_encode2(i, j), z as Ix);
+        }
+    }
+
+    #[test]
+    fn perm_is_bijection() {
+        let p = morton(8).unwrap();
+        let mut seen = vec![false; 64];
+        for i in 0..8 {
+            for j in 0..8 {
+                let f = p.apply_c(&[i, j]).unwrap() as usize;
+                assert!(!seen[f]);
+                seen[f] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        assert!(morton(6).is_err());
+        assert!(morton(0).is_err());
+    }
+
+    #[test]
+    fn locality_of_quadrants() {
+        // All 16 elements of the top-left 4x4 quadrant of an 8x8 tile
+        // occupy the first 16 Morton slots.
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(morton_encode2(i, j) < 16);
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Elementwise reversal permutation (the inner `GenP` of the paper's
+//! Fig. 2): every axis is mirrored, `p(i_1..i_d) = B(n_1-1-i_1, …)`.
+
+use std::rc::Rc;
+
+use lego_expr::Expr;
+
+use crate::error::Result;
+use crate::perm::{GenFns, Perm};
+use crate::shape::{Ix, flatten, unflatten};
+
+/// Builds the all-axes reversal `GenP` for the given tile shape.
+///
+/// # Errors
+///
+/// Propagates [`Perm::gen`] validation errors.
+///
+/// # Examples
+///
+/// ```
+/// use lego_core::perms::reverse_perm;
+/// let p = reverse_perm(&[3, 2])?;
+/// assert_eq!(p.apply_c(&[0, 0])?, 5); // mirrored to the last slot
+/// assert_eq!(p.apply_c(&[2, 1])?, 0);
+/// # Ok::<(), lego_core::LayoutError>(())
+/// ```
+pub fn reverse_perm(dims: &[Ix]) -> Result<Perm> {
+    let dims_f: Vec<Ix> = dims.to_vec();
+    let dims_i = dims_f.clone();
+    let dims_s = dims_f.clone();
+    let dims_si = dims_f.clone();
+    let total: Ix = dims_f.iter().product();
+    let fns = GenFns {
+        name: format!("reverse{dims_f:?}"),
+        fwd: Rc::new(move |idx: &[Ix]| {
+            let mirrored: Vec<Ix> = idx
+                .iter()
+                .zip(&dims_f)
+                .map(|(&i, &n)| n - 1 - i)
+                .collect();
+            flatten(&dims_f, &mirrored).expect("mirrored index in bounds")
+        }),
+        inv: Rc::new(move |f: Ix| {
+            let idx = unflatten(&dims_i, total - 1 - f)
+                .expect("mirrored flat in bounds");
+            idx
+        }),
+        fwd_sym: Some(Rc::new(move |idx: &[Expr]| {
+            let mut flat = Expr::zero();
+            for (i, &n) in idx.iter().zip(&dims_s) {
+                flat = flat * Expr::val(n) + (Expr::val(n - 1) - i);
+            }
+            flat
+        })),
+        inv_sym: Some(Rc::new(move |f: &Expr| {
+            let total: Ix = dims_si.iter().product();
+            let mirrored = Expr::val(total - 1) - f;
+            let mut rest = mirrored;
+            let mut idx = vec![Expr::zero(); dims_si.len()];
+            for (slot, &n) in idx.iter_mut().zip(&dims_si).rev() {
+                *slot = rest.rem(&Expr::val(n));
+                rest = rest.floor_div(&Expr::val(n));
+            }
+            idx
+        })),
+    };
+    Perm::gen(dims.iter().map(|&d| Expr::val(d)).collect::<Vec<_>>(), fns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_inner_reverse() {
+        // p_{3,2}(i,j) = (3-1-i)*2 + (2-1-j)
+        let p = reverse_perm(&[3, 2]).unwrap();
+        assert_eq!(p.apply_c(&[0, 1]).unwrap(), 4);
+        assert_eq!(p.apply_c(&[1, 0]).unwrap(), 3);
+        assert_eq!(p.apply_c(&[1, 1]).unwrap(), 2);
+    }
+
+    #[test]
+    fn roundtrip_3d() {
+        let p = reverse_perm(&[2, 3, 4]).unwrap();
+        for f in 0..24 {
+            assert_eq!(p.apply_c(&p.inv_c(f).unwrap()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn symbolic_matches_concrete() {
+        use lego_expr::{Bindings, eval};
+        let p = reverse_perm(&[4, 3]).unwrap();
+        let e = p.apply_sym(&[Expr::sym("i"), Expr::sym("j")]).unwrap();
+        let mut bind = Bindings::new();
+        for i in 0..4 {
+            for j in 0..3 {
+                bind.insert("i".into(), i);
+                bind.insert("j".into(), j);
+                assert_eq!(eval(&e, &bind).unwrap(), p.apply_c(&[i, j]).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_inv_matches_concrete() {
+        use lego_expr::{Bindings, eval};
+        let p = reverse_perm(&[4, 3]).unwrap();
+        let idx = p.inv_sym(&Expr::sym("f")).unwrap();
+        let mut bind = Bindings::new();
+        for f in 0..12 {
+            bind.insert("f".into(), f);
+            let conc = p.inv_c(f).unwrap();
+            for (s, c) in idx.iter().zip(&conc) {
+                assert_eq!(eval(s, &bind).unwrap(), *c);
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! XOR bank swizzle for shared-memory staging.
+//!
+//! Swizzling column indices by `j ⊕ (i mod C)` within an `R×C` tile
+//! (power-of-two `C`) spreads same-column accesses across shared-memory
+//! banks — the CUTLASS-style alternative to the padding/anti-diagonal
+//! tricks of §V-B. Bijective per row, hence bijective overall.
+
+use std::rc::Rc;
+
+use lego_expr::Expr;
+
+use crate::error::{LayoutError, Result};
+use crate::perm::{GenFns, Perm};
+use crate::shape::Ix;
+
+/// Builds the XOR-swizzle `GenP` for an `rows×cols` tile.
+///
+/// # Errors
+///
+/// [`LayoutError::Unsupported`] unless `cols` is a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use lego_core::perms::xor_swizzle;
+/// let p = xor_swizzle(4, 4)?;
+/// // Row 0 is unchanged, row 1 is rotated by XOR 1, ...
+/// assert_eq!(p.apply_c(&[0, 2])?, 2);
+/// assert_eq!(p.apply_c(&[1, 2])?, 4 + 3);
+/// # Ok::<(), lego_core::LayoutError>(())
+/// ```
+pub fn xor_swizzle(rows: Ix, cols: Ix) -> Result<Perm> {
+    if cols <= 0 || (cols & (cols - 1)) != 0 {
+        return Err(LayoutError::Unsupported(
+            "XOR swizzle requires a power-of-two column count",
+        ));
+    }
+    let fns = GenFns {
+        name: format!("xor_swizzle{rows}x{cols}"),
+        fwd: Rc::new(move |idx: &[Ix]| {
+            let (i, j) = (idx[0], idx[1]);
+            i * cols + (j ^ (i % cols))
+        }),
+        inv: Rc::new(move |f: Ix| {
+            let i = f / cols;
+            let js = f % cols;
+            vec![i, js ^ (i % cols)]
+        }),
+        fwd_sym: Some(Rc::new(move |idx: &[Expr]| {
+            let (i, j) = (&idx[0], &idx[1]);
+            i * Expr::val(cols) + j.xor(&i.rem(&Expr::val(cols)))
+        })),
+        inv_sym: Some(Rc::new(move |f: &Expr| {
+            let i = f.floor_div(&Expr::val(cols));
+            let js = f.rem(&Expr::val(cols));
+            vec![i.clone(), js.xor(&i.rem(&Expr::val(cols)))]
+        })),
+    };
+    Perm::gen([rows, cols], fns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = xor_swizzle(8, 8).unwrap();
+        for f in 0..64 {
+            assert_eq!(p.apply_c(&p.inv_c(f).unwrap()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn same_column_hits_distinct_banks() {
+        // Accessing logical column j across 8 rows must touch 8 distinct
+        // physical column slots (banks) — the whole point of the swizzle.
+        let p = xor_swizzle(8, 8).unwrap();
+        for j in 0..8 {
+            let mut banks: Vec<Ix> =
+                (0..8).map(|i| p.apply_c(&[i, j]).unwrap() % 8).collect();
+            banks.sort_unstable();
+            banks.dedup();
+            assert_eq!(banks.len(), 8, "column {j} conflicts");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_cols_rejected() {
+        assert!(xor_swizzle(4, 6).is_err());
+    }
+}

@@ -1,0 +1,271 @@
+//! Syntactic sugar of §III-B(c): `Row`, `Col`, `TileBy`, `TileOrderBy`.
+//!
+//! ```text
+//! Row([n1..nd])  ≡ RegP([n1..nd], [1, 2, …, d])        (row-major)
+//! Col([n1..nd])  ≡ RegP([n1..nd], [d, …, 2, 1])        (column-major)
+//! TileBy(L1..Lq) ≡ GroupBy(L1 ++ … ++ Lq)
+//!                    .OrderBy(RegP(…, σ_{d×q}))         (hierarchical tiling)
+//! TileOrderBy(P1..Pq) ≡ GroupBy(dims(P1) ++ …)
+//!                    .OrderBy(P1, …, Pq)                (tiling w/ per-level perms)
+//! ```
+//!
+//! where `σ_{d×q}` interleaves level-major logical dimensions into
+//! dimension-major physical order, e.g. `σ_{2×3} = [1,3,5,2,4,6]`.
+
+use lego_expr::Expr;
+
+use crate::error::{LayoutError, Result};
+use crate::group_by::{Layout, LayoutBuilder};
+use crate::order_by::OrderBy;
+use crate::perm::Perm;
+use crate::shape::Shape;
+
+/// `Row(dims)`: the identity (row-major) regular permutation.
+///
+/// # Errors
+///
+/// [`LayoutError::Empty`] for rank-0 shapes.
+pub fn row(dims: impl Into<Shape>) -> Result<Perm> {
+    let dims = dims.into();
+    let d = dims.rank();
+    Perm::reg(dims, (1..=d).collect::<Vec<_>>())
+}
+
+/// `Col(dims)`: the dimension-reversing (column-major) regular
+/// permutation.
+///
+/// # Errors
+///
+/// [`LayoutError::Empty`] for rank-0 shapes.
+pub fn col(dims: impl Into<Shape>) -> Result<Perm> {
+    let dims = dims.into();
+    let d = dims.rank();
+    Perm::reg(dims, (1..=d).rev().collect::<Vec<_>>())
+}
+
+/// The interleaving permutation `σ_{d×q}` of the paper: flattening of the
+/// `d×q` matrix `A[k][h] = k + 1 + d·h` (1-based).
+///
+/// ```
+/// use lego_core::sugar::tile_sigma;
+/// assert_eq!(tile_sigma(3, 2), vec![1, 3, 5, 2, 4, 6]); // σ_{2×3}
+/// assert_eq!(tile_sigma(2, 3), vec![1, 4, 2, 5, 3, 6]); // σ_{3×2}
+/// ```
+pub fn tile_sigma(q: usize, d: usize) -> Vec<usize> {
+    let mut sigma = Vec::with_capacity(d * q);
+    for k in 0..d {
+        for h in 0..q {
+            sigma.push(k + 1 + d * h);
+        }
+    }
+    sigma
+}
+
+/// `TileBy(L1, …, Lq)`: hierarchical tiling of `d` dimensions on `q`
+/// levels. Returns a [`LayoutBuilder`] so further `OrderBy`s can be
+/// chained (e.g. `.order_by(row([M, K]))` for the matmul data layouts of
+/// Fig. 1).
+///
+/// # Errors
+///
+/// [`LayoutError::Empty`] when no level is given;
+/// [`LayoutError::RankMismatch`] when levels disagree in rank.
+///
+/// Note that `TileBy` alone is a *logical reshape*: the physical layout
+/// stays global row-major (Fig. 2's "Step 1 does not change the physical
+/// layout"). Making tiles physically contiguous takes a further
+/// `OrderBy` — see [`crate::brick`].
+///
+/// # Examples
+///
+/// ```
+/// use lego_core::sugar::tile_by;
+/// use lego_core::Shape;
+///
+/// // TileBy([2,3],[4,5]): a 2x3 grid of 4x5 tiles viewing an 8x15 space.
+/// let layout = tile_by([Shape::from([2i64, 3]), Shape::from([4i64, 5])])?
+///     .build()?;
+/// // Logical 4-D index (tile row, tile col, row-in-tile, col-in-tile)
+/// // maps to the row-major position of the *global* point.
+/// assert_eq!(layout.apply_c(&[0, 0, 0, 0])?, 0);
+/// assert_eq!(layout.apply_c(&[0, 0, 3, 4])?, 3 * 15 + 4);
+/// assert_eq!(layout.apply_c(&[0, 1, 0, 0])?, 5);
+/// assert_eq!(layout.apply_c(&[1, 0, 0, 0])?, 4 * 15);
+/// # Ok::<(), lego_core::LayoutError>(())
+/// ```
+pub fn tile_by<I>(levels: I) -> Result<LayoutBuilder>
+where
+    I: IntoIterator,
+    I::Item: Into<Shape>,
+{
+    let levels: Vec<Shape> = levels.into_iter().map(Into::into).collect();
+    let q = levels.len();
+    if q == 0 {
+        return Err(LayoutError::Empty("TileBy levels"));
+    }
+    let d = levels[0].rank();
+    for l in &levels {
+        if l.rank() != d {
+            return Err(LayoutError::RankMismatch {
+                expected: d,
+                got: l.rank(),
+            });
+        }
+    }
+    let concat = levels
+        .iter()
+        .fold(Shape::new(Vec::<Expr>::new()), |acc, l| acc.concat(l));
+    let interleave = Perm::reg(concat.clone(), tile_sigma(q, d))?;
+    Ok(Layout::builder(concat).order_by(OrderBy::new([interleave])?))
+}
+
+/// `TileOrderBy(P1, …, Pq)`: hierarchical tiling where each level carries
+/// its own permutation — the grouping of the levels' tile shapes followed
+/// by one `OrderBy` holding the given perms, outermost first.
+///
+/// # Errors
+///
+/// [`LayoutError::Empty`] when no permutation is given.
+pub fn tile_order_by<I: IntoIterator<Item = Perm>>(perms: I) -> Result<LayoutBuilder> {
+    let perms: Vec<Perm> = perms.into_iter().collect();
+    if perms.is_empty() {
+        return Err(LayoutError::Empty("TileOrderBy perms"));
+    }
+    let concat = perms
+        .iter()
+        .fold(Shape::new(Vec::<Expr>::new()), |acc, p| {
+            acc.concat(p.tile())
+        });
+    Ok(Layout::builder(concat).order_by(OrderBy::new(perms)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_is_identity() {
+        let p = row([3i64, 4]).unwrap();
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(p.apply_c(&[i, j]).unwrap(), i * 4 + j);
+            }
+        }
+    }
+
+    #[test]
+    fn col_is_column_major() {
+        let p = col([3i64, 4]).unwrap();
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(p.apply_c(&[i, j]).unwrap(), j * 3 + i);
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_matches_paper() {
+        assert_eq!(tile_sigma(2, 2), vec![1, 3, 2, 4]);
+        assert_eq!(tile_sigma(3, 2), vec![1, 3, 5, 2, 4, 6]);
+        assert_eq!(tile_sigma(2, 3), vec![1, 4, 2, 5, 3, 6]);
+    }
+
+    #[test]
+    fn tile_by_is_global_row_major() {
+        // 2x2 grid of 3x2 tiles viewing a 6x4 space: (a,b,i,j) maps to the
+        // row-major position of global point (a*3+i, b*2+j) — TileBy is a
+        // logical reshape, not a data movement.
+        let l = tile_by([Shape::from([2i64, 2]), Shape::from([3i64, 2])])
+            .unwrap()
+            .build()
+            .unwrap();
+        for a in 0..2 {
+            for b in 0..2 {
+                for i in 0..3 {
+                    for j in 0..2 {
+                        let want = (a * 3 + i) * 4 + (b * 2 + j);
+                        assert_eq!(
+                            l.apply_c(&[a, b, i, j]).unwrap(),
+                            want,
+                            "tile ({a},{b}) elem ({i},{j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_become_contiguous_with_stripmine_interchange() {
+        // A stripmine + interchange OrderBy (the paper's O2 pattern, and
+        // the basis of the brick layout) lays each 3x2 tile out
+        // contiguously: logical (a,b,i,j) -> ((a*2+b)*3+i)*2+j.
+        let l = tile_by([Shape::from([2i64, 2]), Shape::from([3i64, 2])])
+            .unwrap()
+            .order_by(
+                OrderBy::new([
+                    Perm::reg([2i64, 3, 2, 2], [1usize, 3, 2, 4]).unwrap(),
+                ])
+                .unwrap(),
+            )
+            .build()
+            .unwrap();
+        for a in 0..2 {
+            for b in 0..2 {
+                for i in 0..3 {
+                    for j in 0..2 {
+                        let want = ((a * 2 + b) * 3 + i) * 2 + j;
+                        assert_eq!(
+                            l.apply_c(&[a, b, i, j]).unwrap(),
+                            want,
+                            "tile ({a},{b}) elem ({i},{j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_by_rejects_mixed_rank() {
+        let res = tile_by([Shape::from([2i64, 2]), Shape::from([3i64])]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn tile_order_by_applies_level_perms() {
+        // Outer 2x2 transposed, inner 2x2 row-major: tile (a,b) lands at
+        // tile slot b*2+a.
+        let l = tile_order_by([
+            Perm::reg([2i64, 2], [2usize, 1]).unwrap(),
+            row([2i64, 2]).unwrap(),
+        ])
+        .unwrap()
+        .build()
+        .unwrap();
+        // Outer tile (1,0) transposes to slot (0,1) = flat 1.
+        assert_eq!(l.apply_c(&[1, 0, 0, 0]).unwrap(), 4);
+        // Outer tile (0,1) transposes to slot (1,0) = flat 2.
+        assert_eq!(l.apply_c(&[0, 1, 1, 1]).unwrap(), 2 * 4 + 3);
+    }
+
+    #[test]
+    fn thread_coarsening_layout_lud() {
+        // The LUD coarsening layout (Table I row 12b, TileBy reading):
+        // (ri, rj, ti, tj) -> global point (ri*T + ti, rj*T + tj).
+        let (r, t) = (4i64, 16i64);
+        let l = tile_by([Shape::from([r, r]), Shape::from([t, t])])
+            .unwrap()
+            .order_by(
+                OrderBy::new([row([r * t, r * t]).unwrap()]).unwrap(),
+            )
+            .build()
+            .unwrap();
+        for &(ri, rj, ti, tj) in
+            &[(0, 0, 0, 0), (1, 2, 3, 4), (3, 3, 15, 15), (2, 0, 7, 9)]
+        {
+            let want = (ri * t + ti) * (r * t) + (rj * t + tj);
+            assert_eq!(l.apply_c(&[ri, rj, ti, tj]).unwrap(), want);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The arithmetic-operation cost model.
+//!
+//! §IV-A: "we use a simple cost model that counts operations in the
+//! generated expression and selects the variant with the lowest count,
+//! choosing the unexpanded form for NW and the expanded form for LUD."
+//! [`pick_cheaper`] implements exactly that selection, and [`op_count`]
+//! is also what Table IV reports (arithmetic ops in user-visible code).
+
+use crate::expand::expand;
+use crate::expr::{Cond, Expr, ExprKind};
+use crate::range::RangeEnv;
+use crate::simplify::simplify;
+
+/// Counts arithmetic operations in an expression: each n-ary sum/product
+/// contributes `n-1`, every division/modulo/min/max/select/isqrt counts 1,
+/// and comparisons inside conditions count 1 each. Leaves are free.
+pub fn op_count(e: &Expr) -> usize {
+    match e.kind() {
+        ExprKind::Const(_) | ExprKind::Sym(_) => 0,
+        ExprKind::Add(ts) | ExprKind::Mul(ts) => {
+            ts.len() - 1 + ts.iter().map(op_count).sum::<usize>()
+        }
+        ExprKind::FloorDiv(a, b) | ExprKind::Mod(a, b) => {
+            1 + op_count(a) + op_count(b)
+        }
+        ExprKind::Min(a, b) | ExprKind::Max(a, b) | ExprKind::Xor(a, b) => {
+            1 + op_count(a) + op_count(b)
+        }
+        ExprKind::Select(c, t, f) => {
+            1 + cond_op_count(c) + op_count(t) + op_count(f)
+        }
+        ExprKind::ISqrt(a) => 1 + op_count(a),
+        // A lane range is materialized by one `arange`; its bounds may
+        // still contain arithmetic.
+        ExprKind::Range { lo, len, .. } => op_count(lo) + op_count(len),
+    }
+}
+
+/// Operation count of a condition (each comparison costs 1).
+pub fn cond_op_count(c: &Cond) -> usize {
+    match c {
+        Cond::Cmp(_, a, b) => 1 + op_count(a) + op_count(b),
+        Cond::All(cs) | Cond::Any(cs) => cs.iter().map(cond_op_count).sum(),
+        Cond::Not(c) => cond_op_count(c),
+    }
+}
+
+/// Which simplification strategy won in [`pick_cheaper`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// The expression was simplified without pre-expansion (NW-style).
+    Unexpanded,
+    /// The expression was expanded before simplification (LUD-style).
+    Expanded,
+}
+
+/// The result of cost-based variant selection.
+#[derive(Clone, Debug)]
+pub struct CostChoice {
+    /// The selected (cheaper) expression.
+    pub expr: Expr,
+    /// Which variant won.
+    pub variant: Variant,
+    /// Op count of the unexpanded-then-simplified variant.
+    pub unexpanded_ops: usize,
+    /// Op count of the expanded-then-simplified variant.
+    pub expanded_ops: usize,
+}
+
+/// Simplifies `e` both ways — directly, and after full expansion — and
+/// returns the variant with the lower operation count (ties prefer the
+/// unexpanded form, which tends to preserve factored structure).
+pub fn pick_cheaper(e: &Expr, env: &RangeEnv) -> CostChoice {
+    let plain = simplify(e, env);
+    let expanded = simplify(&expand(e), env);
+    let (pc, ec) = (op_count(&plain), op_count(&expanded));
+    if ec < pc {
+        CostChoice {
+            expr: expanded,
+            variant: Variant::Expanded,
+            unexpanded_ops: pc,
+            expanded_ops: ec,
+        }
+    } else {
+        CostChoice {
+            expr: plain,
+            variant: Variant::Unexpanded,
+            unexpanded_ops: pc,
+            expanded_ops: ec,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_costs_zero() {
+        assert_eq!(op_count(&Expr::sym("x")), 0);
+        assert_eq!(op_count(&Expr::val(3)), 0);
+    }
+
+    #[test]
+    fn nary_counts_n_minus_one() {
+        let e = Expr::sym("a") + Expr::sym("b") + Expr::sym("c");
+        assert_eq!(op_count(&e), 2);
+        let m = Expr::sym("a") * Expr::sym("b") * Expr::sym("c");
+        assert_eq!(op_count(&m), 2);
+    }
+
+    #[test]
+    fn div_mod_count_one() {
+        let e = Expr::sym("a").floor_div(&Expr::sym("b"));
+        assert_eq!(op_count(&e), 1);
+        let m = Expr::sym("a").rem(&Expr::sym("b"));
+        assert_eq!(op_count(&m), 1);
+    }
+
+    #[test]
+    fn pick_cheaper_prefers_factored_on_tie() {
+        let env = RangeEnv::new();
+        let e = Expr::sym("a") * (Expr::sym("b") + Expr::sym("c"));
+        let choice = pick_cheaper(&e, &env);
+        assert_eq!(choice.variant, Variant::Unexpanded);
+        assert_eq!(choice.unexpanded_ops, 2);
+        assert_eq!(choice.expanded_ops, 3);
+    }
+
+    #[test]
+    fn pick_cheaper_takes_expansion_when_it_cancels() {
+        // a*(x + 1) - a*x collapses to a only after expansion.
+        let env = RangeEnv::new();
+        let a = Expr::sym("a");
+        let x = Expr::sym("x");
+        let e = &a * (&x + Expr::one()) - &a * &x;
+        let choice = pick_cheaper(&e, &env);
+        assert_eq!(choice.variant, Variant::Expanded);
+        assert_eq!(choice.expr, a);
+        assert_eq!(choice.expanded_ops, 0);
+    }
+}

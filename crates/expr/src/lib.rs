@@ -1,0 +1,54 @@
+//! # lego-expr — symbolic integer expressions for the LEGO layout algebra
+//!
+//! This crate is the from-scratch substitute for the SymPy + Z3 stack the
+//! LEGO paper builds on (§IV-A): a small symbolic engine for the integer
+//! index expressions produced by hierarchical layouts, with
+//!
+//! * an immutable, cheaply-clonable expression AST ([`Expr`]) covering
+//!   `+ - * // % min max select isqrt` and Triton-style lane ranges;
+//! * range analysis ([`RangeEnv`]) seeded from layout-derived index bounds;
+//! * the seven division/modulo rewrite rules of the paper's Table II
+//!   ([`simplify`]), with side conditions discharged by a structural
+//!   prover ([`prove`]) instead of an SMT solver;
+//! * expression expansion ([`expand`]) and the op-count cost model
+//!   ([`cost`]) that picks expanded vs. unexpanded variants (NW vs. LUD);
+//! * printers for Python/Triton, C/CUDA, and MLIR (`printer`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lego_expr::{Expr, RangeEnv, simplify};
+//!
+//! // A flatten-unflatten round trip like the ones GroupBy generates:
+//! let mut env = RangeEnv::new();
+//! env.set_bounds("i", Expr::val(0), Expr::sym("n"));
+//! env.set_bounds("j", Expr::val(0), Expr::sym("m"));
+//! env.assume_pos("n");
+//! env.assume_pos("m");
+//!
+//! let flat = Expr::sym("i") * Expr::sym("m") + Expr::sym("j");
+//! let back = flat.floor_div(&Expr::sym("m"));
+//! assert_eq!(simplify(&back, &env), Expr::sym("i"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod expand;
+mod expr;
+pub mod printer;
+pub mod prove;
+pub mod range;
+pub mod simplify;
+pub mod subst;
+
+pub use cost::{CostChoice, Variant, op_count, pick_cheaper};
+pub use expand::expand;
+pub use expr::{CmpOp, Cond, Expr, ExprKind, isqrt64};
+pub use range::{NumRange, RangeEnv, SymBounds};
+pub use simplify::{RuleStats, simplify, simplify_with_stats};
+pub use subst::{
+    Bindings, EvalError, eval, eval_cond, eval_lane, map_ranges, subst,
+    transform,
+};

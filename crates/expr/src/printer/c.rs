@@ -1,0 +1,186 @@
+//! C/CUDA expression printer.
+//!
+//! C's `/` and `%` truncate toward zero, which agrees with floor semantics
+//! exactly when both operands are non-negative — which holds for every
+//! index expression LEGO generates (indices and sizes are non-negative).
+//! The printer therefore emits plain `/` and `%`.
+
+use std::fmt::Write as _;
+
+use crate::expr::{Cond, Expr, ExprKind};
+use crate::printer::PrintError;
+
+/// Prints `e` as a C/CUDA expression string.
+///
+/// # Errors
+///
+/// Returns [`PrintError::Unsupported`] for lane-range nodes: C kernels are
+/// scalar per-thread, so ranges must be substituted with thread indices
+/// (e.g. `threadIdx.x`) before printing.
+pub fn print(e: &Expr) -> Result<String, PrintError> {
+    let mut s = String::new();
+    go(e, &mut s)?;
+    Ok(s)
+}
+
+/// Prints a condition as a C boolean expression.
+pub fn print_cond(c: &Cond) -> Result<String, PrintError> {
+    match c {
+        Cond::Cmp(op, a, b) => {
+            Ok(format!("{} {} {}", print(a)?, op.token(), print(b)?))
+        }
+        Cond::All(cs) => {
+            let parts: Result<Vec<_>, _> = cs.iter().map(print_cond).collect();
+            Ok(format!("({})", parts?.join(") && (")))
+        }
+        Cond::Any(cs) => {
+            let parts: Result<Vec<_>, _> = cs.iter().map(print_cond).collect();
+            Ok(format!("({})", parts?.join(") || (")))
+        }
+        Cond::Not(c) => Ok(format!("!({})", print_cond(c)?)),
+    }
+}
+
+fn prec(e: &Expr) -> u8 {
+    match e.kind() {
+        ExprKind::Select(..) => 0,
+        ExprKind::Add(_) => 1,
+        ExprKind::Mul(_) | ExprKind::FloorDiv(..) | ExprKind::Mod(..) => 2,
+        ExprKind::Const(v) if *v < 0 => 2,
+        _ => 3,
+    }
+}
+
+fn child(e: &Expr, parent: u8, out: &mut String) -> Result<(), PrintError> {
+    if prec(e) < parent {
+        out.push('(');
+        go(e, out)?;
+        out.push(')');
+        Ok(())
+    } else {
+        go(e, out)
+    }
+}
+
+fn go(e: &Expr, out: &mut String) -> Result<(), PrintError> {
+    match e.kind() {
+        ExprKind::Const(v) => {
+            let _ = write!(out, "{v}");
+            Ok(())
+        }
+        ExprKind::Sym(s) => {
+            out.push_str(s);
+            Ok(())
+        }
+        ExprKind::Add(ts) => {
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" + ");
+                }
+                child(t, 1, out)?;
+            }
+            Ok(())
+        }
+        ExprKind::Mul(ts) => {
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    out.push('*');
+                }
+                child(t, 3, out)?;
+            }
+            Ok(())
+        }
+        ExprKind::FloorDiv(a, b) => {
+            child(a, 2, out)?;
+            out.push_str(" / ");
+            child(b, 3, out)
+        }
+        ExprKind::Mod(a, b) => {
+            child(a, 2, out)?;
+            out.push_str(" % ");
+            child(b, 3, out)
+        }
+        ExprKind::Xor(a, b) => {
+            out.push('(');
+            go(a, out)?;
+            out.push_str(" ^ ");
+            go(b, out)?;
+            out.push(')');
+            Ok(())
+        }
+        ExprKind::Min(a, b) => {
+            out.push_str("min(");
+            go(a, out)?;
+            out.push_str(", ");
+            go(b, out)?;
+            out.push(')');
+            Ok(())
+        }
+        ExprKind::Max(a, b) => {
+            out.push_str("max(");
+            go(a, out)?;
+            out.push_str(", ");
+            go(b, out)?;
+            out.push(')');
+            Ok(())
+        }
+        ExprKind::Select(c, t, f) => {
+            out.push('(');
+            out.push_str(&print_cond(c)?);
+            out.push_str(" ? ");
+            go(t, out)?;
+            out.push_str(" : ");
+            go(f, out)?;
+            out.push(')');
+            Ok(())
+        }
+        ExprKind::ISqrt(a) => {
+            out.push_str("(int)floorf(sqrtf((float)(");
+            go(a, out)?;
+            out.push_str(")))");
+            Ok(())
+        }
+        ExprKind::Range { .. } => Err(PrintError::Unsupported(
+            "lane range in scalar C code (substitute thread indices first)",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    #[test]
+    fn arith_precedence() {
+        let e = (Expr::sym("i") + Expr::sym("j")) * Expr::sym("n");
+        assert_eq!(print(&e).unwrap(), "n*(i + j)");
+    }
+
+    #[test]
+    fn div_mod_tokens() {
+        let e = Expr::sym("x").floor_div(&Expr::val(16));
+        assert_eq!(print(&e).unwrap(), "x / 16");
+        let m = Expr::sym("x").rem(&Expr::val(16));
+        assert_eq!(print(&m).unwrap(), "x % 16");
+    }
+
+    #[test]
+    fn ternary_select() {
+        let c = Cond::Cmp(CmpOp::Le, Expr::sym("d"), Expr::sym("n"));
+        let e = Expr::select(c, Expr::sym("a"), Expr::sym("b"));
+        assert_eq!(print(&e).unwrap(), "(d <= n ? a : b)");
+    }
+
+    #[test]
+    fn isqrt_lowers_to_sqrtf() {
+        let e = Expr::sym("x").isqrt();
+        assert_eq!(print(&e).unwrap(), "(int)floorf(sqrtf((float)(x)))");
+    }
+
+    #[test]
+    fn range_is_rejected() {
+        let r = Expr::range(Expr::zero(), Expr::val(8), 0, 1);
+        assert!(print(&r).is_err());
+    }
+}

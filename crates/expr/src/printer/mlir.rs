@@ -1,0 +1,300 @@
+//! MLIR `arith`-dialect SSA emission.
+//!
+//! Unlike the string printers, MLIR code is a sequence of SSA statements.
+//! [`MlirEmitter`] turns an expression tree into `arith.*` operations over
+//! `index` values, with common-subexpression reuse (structurally equal
+//! subtrees map to the same SSA value).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::expr::{CmpOp, Cond, Expr, ExprKind};
+use crate::printer::PrintError;
+
+/// Emits `arith` dialect SSA for expression trees.
+///
+/// # Examples
+///
+/// ```
+/// use lego_expr::Expr;
+/// use lego_expr::printer::mlir::MlirEmitter;
+/// let mut em = MlirEmitter::new();
+/// em.bind_sym("i", "%i");
+/// em.bind_sym("n", "%n");
+/// let v = em.emit(&(Expr::sym("i") * Expr::sym("n"))).unwrap();
+/// assert!(em.body().contains("arith.muli"));
+/// assert!(v.starts_with('%'));
+/// ```
+#[derive(Debug, Default)]
+pub struct MlirEmitter {
+    lines: Vec<String>,
+    next_id: usize,
+    syms: HashMap<String, String>,
+    cse: HashMap<Expr, String>,
+    consts: HashMap<i64, String>,
+}
+
+impl MlirEmitter {
+    /// Creates an empty emitter.
+    pub fn new() -> MlirEmitter {
+        MlirEmitter::default()
+    }
+
+    /// Maps a symbol name to an existing SSA value (e.g. a block argument
+    /// `%arg0` or a `gpu.thread_id`).
+    pub fn bind_sym(&mut self, name: &str, ssa: &str) -> &mut Self {
+        self.syms.insert(name.to_string(), ssa.to_string());
+        self
+    }
+
+    /// The statements emitted so far, joined by newlines.
+    pub fn body(&self) -> String {
+        self.lines.join("\n")
+    }
+
+    /// The statements emitted so far, one per element.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    fn fresh(&mut self) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        format!("%v{id}")
+    }
+
+    fn push_op(&mut self, op: &str, a: &str, b: &str) -> String {
+        let v = self.fresh();
+        self.lines
+            .push(format!("{v} = {op} {a}, {b} : index"));
+        v
+    }
+
+    fn const_val(&mut self, v: i64) -> String {
+        if let Some(s) = self.consts.get(&v) {
+            return s.clone();
+        }
+        let name = format!("%c{}", if v < 0 { format!("m{}", -v) } else { v.to_string() });
+        self.lines
+            .push(format!("{name} = arith.constant {v} : index"));
+        self.consts.insert(v, name.clone());
+        name
+    }
+
+    /// Emits SSA statements computing `e`, returning the resulting value
+    /// name. Structurally equal subtrees are emitted once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrintError::Unsupported`] for unbound symbols and lane
+    /// ranges (substitute `gpu.thread_id`/`gpu.block_id` values first).
+    pub fn emit(&mut self, e: &Expr) -> Result<String, PrintError> {
+        if let Some(v) = self.cse.get(e) {
+            return Ok(v.clone());
+        }
+        let v = match e.kind() {
+            ExprKind::Const(v) => self.const_val(*v),
+            ExprKind::Sym(s) => self
+                .syms
+                .get(&**s)
+                .cloned()
+                .ok_or(PrintError::Unsupported("unbound symbol in MLIR emission"))?,
+            ExprKind::Add(ts) => {
+                let mut acc = self.emit(&ts[0])?;
+                for t in &ts[1..] {
+                    let rhs = self.emit(t)?;
+                    acc = self.push_op("arith.addi", &acc, &rhs);
+                }
+                acc
+            }
+            ExprKind::Mul(ts) => {
+                let mut acc = self.emit(&ts[0])?;
+                for t in &ts[1..] {
+                    let rhs = self.emit(t)?;
+                    acc = self.push_op("arith.muli", &acc, &rhs);
+                }
+                acc
+            }
+            ExprKind::FloorDiv(a, b) => {
+                let (a, b) = (self.emit(a)?, self.emit(b)?);
+                // Operands are non-negative in LEGO-generated indexing, so
+                // signed division matches floor division.
+                self.push_op("arith.divsi", &a, &b)
+            }
+            ExprKind::Mod(a, b) => {
+                let (a, b) = (self.emit(a)?, self.emit(b)?);
+                self.push_op("arith.remsi", &a, &b)
+            }
+            ExprKind::Min(a, b) => {
+                let (a, b) = (self.emit(a)?, self.emit(b)?);
+                self.push_op("arith.minsi", &a, &b)
+            }
+            ExprKind::Max(a, b) => {
+                let (a, b) = (self.emit(a)?, self.emit(b)?);
+                self.push_op("arith.maxsi", &a, &b)
+            }
+            ExprKind::Xor(a, b) => {
+                let (a, b) = (self.emit(a)?, self.emit(b)?);
+                self.push_op("arith.xori", &a, &b)
+            }
+            ExprKind::Select(c, t, f) => {
+                let cv = self.emit_cond(c)?;
+                let (tv, fv) = (self.emit(t)?, self.emit(f)?);
+                let v = self.fresh();
+                self.lines.push(format!(
+                    "{v} = arith.select {cv}, {tv}, {fv} : index"
+                ));
+                v
+            }
+            ExprKind::ISqrt(a) => {
+                let av = self.emit(a)?;
+                let (f, s, r) = (self.fresh(), self.fresh(), self.fresh());
+                self.lines.push(format!(
+                    "{f} = arith.index_cast {av} : index to i64"
+                ));
+                let g = self.fresh();
+                self.lines
+                    .push(format!("{g} = arith.sitofp {f} : i64 to f64"));
+                self.lines.push(format!("{s} = math.sqrt {g} : f64"));
+                let h = self.fresh();
+                self.lines
+                    .push(format!("{h} = arith.fptosi {s} : f64 to i64"));
+                self.lines.push(format!(
+                    "{r} = arith.index_cast {h} : i64 to index"
+                ));
+                r
+            }
+            ExprKind::Range { .. } => {
+                return Err(PrintError::Unsupported(
+                    "lane range in MLIR scalar emission",
+                ));
+            }
+        };
+        self.cse.insert(e.clone(), v.clone());
+        Ok(v)
+    }
+
+    /// Emits a condition, returning the `i1` SSA value name.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MlirEmitter::emit`].
+    pub fn emit_cond(&mut self, c: &Cond) -> Result<String, PrintError> {
+        match c {
+            Cond::Cmp(op, a, b) => {
+                let (av, bv) = (self.emit(a)?, self.emit(b)?);
+                let pred = match op {
+                    CmpOp::Lt => "slt",
+                    CmpOp::Le => "sle",
+                    CmpOp::Eq => "eq",
+                    CmpOp::Ne => "ne",
+                    CmpOp::Gt => "sgt",
+                    CmpOp::Ge => "sge",
+                };
+                let v = self.fresh();
+                self.lines.push(format!(
+                    "{v} = arith.cmpi {pred}, {av}, {bv} : index"
+                ));
+                Ok(v)
+            }
+            Cond::All(cs) => self.fold_bool(cs, "arith.andi", true),
+            Cond::Any(cs) => self.fold_bool(cs, "arith.ori", false),
+            Cond::Not(c) => {
+                let cv = self.emit_cond(c)?;
+                let t = self.fresh();
+                self.lines
+                    .push(format!("{t} = arith.constant true"));
+                let v = self.fresh();
+                self.lines
+                    .push(format!("{v} = arith.xori {cv}, {t} : i1"));
+                Ok(v)
+            }
+        }
+    }
+
+    fn fold_bool(
+        &mut self,
+        cs: &[Cond],
+        op: &str,
+        empty: bool,
+    ) -> Result<String, PrintError> {
+        if cs.is_empty() {
+            let v = self.fresh();
+            let mut line = String::new();
+            let _ = write!(line, "{v} = arith.constant {empty}");
+            self.lines.push(line);
+            return Ok(v);
+        }
+        let mut acc = self.emit_cond(&cs[0])?;
+        for c in &cs[1..] {
+            let rhs = self.emit_cond(c)?;
+            let v = self.fresh();
+            self.lines.push(format!("{v} = {op} {acc}, {rhs} : i1"));
+            acc = v;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_add_mul_chain() {
+        let mut em = MlirEmitter::new();
+        em.bind_sym("i", "%i");
+        em.bind_sym("j", "%j");
+        em.bind_sym("n", "%n");
+        let e = Expr::sym("i") * Expr::sym("n") + Expr::sym("j");
+        let v = em.emit(&e).unwrap();
+        let body = em.body();
+        assert!(body.contains("arith.muli %i, %n"));
+        assert!(body.contains("arith.addi"));
+        assert!(v.starts_with("%v"));
+    }
+
+    #[test]
+    fn cse_reuses_subtrees() {
+        let mut em = MlirEmitter::new();
+        em.bind_sym("x", "%x");
+        let sub = Expr::sym("x") * Expr::sym("x");
+        let e = &sub + &sub;
+        em.emit(&e).unwrap();
+        let muls = em.body().matches("arith.muli").count();
+        assert_eq!(muls, 1, "x*x should be emitted once");
+    }
+
+    #[test]
+    fn constants_are_deduplicated() {
+        let mut em = MlirEmitter::new();
+        em.bind_sym("x", "%x");
+        let e = Expr::sym("x").rem(&Expr::val(32))
+            + Expr::sym("x").floor_div(&Expr::val(32));
+        em.emit(&e).unwrap();
+        let consts = em.body().matches("arith.constant 32").count();
+        assert_eq!(consts, 1);
+    }
+
+    #[test]
+    fn unbound_symbol_errors() {
+        let mut em = MlirEmitter::new();
+        assert!(em.emit(&Expr::sym("ghost")).is_err());
+    }
+
+    #[test]
+    fn select_and_cmp() {
+        let mut em = MlirEmitter::new();
+        em.bind_sym("a", "%a");
+        em.bind_sym("b", "%b");
+        let e = Expr::select(
+            Cond::lt(Expr::sym("a"), Expr::sym("b")),
+            Expr::sym("a"),
+            Expr::sym("b"),
+        );
+        em.emit(&e).unwrap();
+        let body = em.body();
+        assert!(body.contains("arith.cmpi slt"));
+        assert!(body.contains("arith.select"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Language printers turning [`Expr`](crate::Expr) trees into source text.
+//!
+//! Three backends mirror the paper's integrations (§IV):
+//!
+//! * [`python`] — plain Python and **Triton** flavours (`//`, `%`,
+//!   `tl.arange` for lane ranges with broadcast suffixes);
+//! * [`c`] — C/CUDA scalar expressions (`/`, `%`, ternary select);
+//! * [`mlir`] — SSA emission in the `arith` dialect.
+
+pub mod c;
+pub mod mlir;
+pub mod python;
+
+/// Errors produced by the printers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PrintError {
+    /// This backend cannot express the given node (e.g. a lane-range
+    /// vector in scalar C code).
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for PrintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrintError::Unsupported(what) => {
+                write!(f, "unsupported node for this printer: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PrintError {}

@@ -1,0 +1,277 @@
+//! Python and Triton printers.
+//!
+//! The Triton flavour prints lane ranges as `tl.arange(lo, hi)` with
+//! numpy-style broadcast suffixes (`[:, None]` / `[None, :]`), exactly as
+//! in Fig. 10 of the paper; `min`/`max` print as Python builtins, which
+//! Triton accepts on `constexpr` scalars.
+
+use std::fmt::Write as _;
+
+use crate::expr::{Cond, Expr, ExprKind};
+use crate::printer::PrintError;
+
+/// Which surface syntax to produce.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Flavor {
+    /// Plain Python (lane ranges are not supported).
+    #[default]
+    Python,
+    /// Triton kernel Python: lane ranges become `tl.arange`.
+    Triton,
+}
+
+/// Prints `e` as a Python/Triton expression string.
+///
+/// # Errors
+///
+/// Returns [`PrintError::Unsupported`] for lane ranges in the plain Python
+/// flavour.
+pub fn print(e: &Expr, flavor: Flavor) -> Result<String, PrintError> {
+    let mut s = String::new();
+    go(e, flavor, 0, &mut s)?;
+    Ok(s)
+}
+
+/// Prints a condition as a Python boolean expression.
+pub fn print_cond(c: &Cond, flavor: Flavor) -> Result<String, PrintError> {
+    match c {
+        Cond::Cmp(op, a, b) => Ok(format!(
+            "{} {} {}",
+            print(a, flavor)?,
+            op.token(),
+            print(b, flavor)?
+        )),
+        Cond::All(cs) => {
+            let parts: Result<Vec<_>, _> =
+                cs.iter().map(|c| print_cond(c, flavor)).collect();
+            Ok(format!("({})", parts?.join(") and (")))
+        }
+        Cond::Any(cs) => {
+            let parts: Result<Vec<_>, _> =
+                cs.iter().map(|c| print_cond(c, flavor)).collect();
+            Ok(format!("({})", parts?.join(") or (")))
+        }
+        Cond::Not(c) => Ok(format!("not ({})", print_cond(c, flavor)?)),
+    }
+}
+
+fn prec(e: &Expr) -> u8 {
+    match e.kind() {
+        ExprKind::Select(..) => 0,
+        ExprKind::Add(_) => 1,
+        ExprKind::Mul(_) | ExprKind::FloorDiv(..) | ExprKind::Mod(..) => 2,
+        ExprKind::Const(v) if *v < 0 => 2,
+        _ => 3,
+    }
+}
+
+fn child(
+    e: &Expr,
+    flavor: Flavor,
+    parent: u8,
+    out: &mut String,
+) -> Result<(), PrintError> {
+    if prec(e) < parent {
+        out.push('(');
+        go(e, flavor, 0, out)?;
+        out.push(')');
+        Ok(())
+    } else {
+        go(e, flavor, parent, out)
+    }
+}
+
+fn go(
+    e: &Expr,
+    flavor: Flavor,
+    _parent: u8,
+    out: &mut String,
+) -> Result<(), PrintError> {
+    match e.kind() {
+        ExprKind::Const(v) => {
+            let _ = write!(out, "{v}");
+            Ok(())
+        }
+        ExprKind::Sym(s) => {
+            out.push_str(s);
+            Ok(())
+        }
+        ExprKind::Add(ts) => {
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" + ");
+                }
+                child(t, flavor, 1, out)?;
+            }
+            Ok(())
+        }
+        ExprKind::Mul(ts) => {
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    out.push('*');
+                }
+                child(t, flavor, 3, out)?;
+            }
+            Ok(())
+        }
+        ExprKind::FloorDiv(a, b) => {
+            child(a, flavor, 2, out)?;
+            out.push_str("//");
+            child(b, flavor, 3, out)
+        }
+        ExprKind::Mod(a, b) => {
+            child(a, flavor, 2, out)?;
+            out.push_str(" % ");
+            child(b, flavor, 3, out)
+        }
+        ExprKind::Xor(a, b) => {
+            out.push('(');
+            go(a, flavor, 0, out)?;
+            out.push_str(" ^ ");
+            go(b, flavor, 0, out)?;
+            out.push(')');
+            Ok(())
+        }
+        ExprKind::Min(a, b) => {
+            out.push_str("min(");
+            go(a, flavor, 0, out)?;
+            out.push_str(", ");
+            go(b, flavor, 0, out)?;
+            out.push(')');
+            Ok(())
+        }
+        ExprKind::Max(a, b) => {
+            out.push_str("max(");
+            go(a, flavor, 0, out)?;
+            out.push_str(", ");
+            go(b, flavor, 0, out)?;
+            out.push(')');
+            Ok(())
+        }
+        ExprKind::Select(c, t, f) => {
+            out.push('(');
+            go(t, flavor, 0, out)?;
+            out.push_str(" if ");
+            out.push_str(&print_cond(c, flavor)?);
+            out.push_str(" else ");
+            go(f, flavor, 0, out)?;
+            out.push(')');
+            Ok(())
+        }
+        ExprKind::ISqrt(a) => {
+            match flavor {
+                Flavor::Python => {
+                    out.push_str("math.isqrt(");
+                    go(a, flavor, 0, out)?;
+                    out.push(')');
+                }
+                Flavor::Triton => {
+                    // Triton lacks an integer sqrt; go through fp32 and
+                    // truncate, matching the CUDA lowering.
+                    out.push_str("tl.sqrt((");
+                    go(a, flavor, 0, out)?;
+                    out.push_str(").to(tl.float32)).to(tl.int32)");
+                }
+            }
+            Ok(())
+        }
+        ExprKind::Range { lo, len, axis, ndims } => match flavor {
+            Flavor::Python => Err(PrintError::Unsupported(
+                "lane range in plain Python (use the Triton flavour)",
+            )),
+            Flavor::Triton => {
+                out.push_str("(tl.arange(");
+                go(lo, flavor, 0, out)?;
+                out.push_str(", ");
+                let hi = lo + len;
+                go(&hi, flavor, 0, out)?;
+                out.push_str("))");
+                out.push_str(&broadcast_suffix(*axis, *ndims));
+                Ok(())
+            }
+        },
+    }
+}
+
+/// The numpy-style broadcast suffix for a lane vector on `axis` of `ndims`,
+/// e.g. `[:, None]` for axis 0 of 2.
+pub fn broadcast_suffix(axis: usize, ndims: usize) -> String {
+    if ndims <= 1 {
+        return String::new();
+    }
+    let parts: Vec<&str> = (0..ndims)
+        .map(|d| if d == axis { ":" } else { "None" })
+        .collect();
+    format!("[{}]", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_arith() {
+        let e = Expr::sym("K") * (Expr::sym("BM") * Expr::sym("pid_m"))
+            + Expr::sym("off");
+        let s = print(&e, Flavor::Python).unwrap();
+        assert_eq!(s, "BM*K*pid_m + off");
+    }
+
+    #[test]
+    fn precedence_parenthesizes_sums_under_products() {
+        let e = (Expr::sym("a") + Expr::sym("b")) * Expr::sym("c");
+        assert_eq!(print(&e, Flavor::Python).unwrap(), "c*(a + b)");
+    }
+
+    #[test]
+    fn floor_div_and_mod() {
+        let e = Expr::sym("pid").floor_div(&Expr::sym("n"));
+        assert_eq!(print(&e, Flavor::Python).unwrap(), "pid//n");
+        let m = Expr::sym("pid").rem(&Expr::sym("n"));
+        assert_eq!(print(&m, Flavor::Python).unwrap(), "pid % n");
+    }
+
+    #[test]
+    fn triton_arange_broadcast() {
+        let r = Expr::range(Expr::zero(), Expr::sym("BM"), 0, 2);
+        let s = print(&r, Flavor::Triton).unwrap();
+        assert_eq!(s, "(tl.arange(0, BM))[:, None]");
+        let r1 = Expr::range(Expr::zero(), Expr::sym("BK"), 1, 2);
+        assert_eq!(
+            print(&r1, Flavor::Triton).unwrap(),
+            "(tl.arange(0, BK))[None, :]"
+        );
+    }
+
+    #[test]
+    fn plain_python_rejects_ranges() {
+        let r = Expr::range(Expr::zero(), Expr::val(4), 0, 1);
+        assert!(print(&r, Flavor::Python).is_err());
+    }
+
+    #[test]
+    fn min_max_print_as_builtins() {
+        let e = Expr::sym("GM").min(&Expr::sym("nt_m"));
+        assert_eq!(print(&e, Flavor::Triton).unwrap(), "min(GM, nt_m)");
+    }
+
+    #[test]
+    fn select_prints_conditional_expression() {
+        let e = Expr::select(
+            Cond::lt(Expr::sym("x"), Expr::sym("S")),
+            Expr::sym("x"),
+            Expr::sym("y"),
+        );
+        assert_eq!(
+            print(&e, Flavor::Python).unwrap(),
+            "(x if x < S else y)"
+        );
+    }
+
+    #[test]
+    fn negative_constants_parenthesize_in_products() {
+        let e = Expr::val(-1) * Expr::sym("x");
+        // -1*x must parenthesize the constant, not print as --x.
+        assert_eq!(print(&e, Flavor::Python).unwrap(), "(-1)*x");
+    }
+}

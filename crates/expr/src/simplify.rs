@@ -1,0 +1,556 @@
+//! The rewrite engine implementing the paper's Table II integer
+//! division/modulo rules, plus standard algebraic normalization
+//! (like-term collection, nested-div fusion, min/max ordering).
+//!
+//! | # | Pattern | Result | Condition |
+//! |---|---------|--------|-----------|
+//! | 1 | `(d*q + r) % d` | `r % d` | `d != 0` |
+//! | 2 | `(d*q + r) / d` | `q` | `d != 0`, `0 <= r < d` |
+//! |   |                 | `q + r / d` | otherwise (kept only if cheaper) |
+//! | 3 | `(x % d) / d` | `0` | `d > 0` |
+//! | 4 | `x / a` | `0` | `a > 0`, `0 <= x < a` |
+//! | 5 | `x % a` | `x` | `a > 0`, `0 <= x < a` |
+//! | 6 | `(n + y) / 1` | `n + (y / 1)` | (division by one is erased) |
+//! | 7 | `a*(x / a) + x % a` | `x` | `a != 0` |
+//!
+//! Side conditions are discharged by [`crate::prove`] from the ranges in a
+//! [`RangeEnv`]. Statistics on which rules fired are available through
+//! [`simplify_with_stats`], which the tests use to assert which rules are
+//! exercised by each paper benchmark.
+
+use std::collections::HashMap;
+
+use crate::cost::op_count;
+use crate::expr::{Expr, ExprKind};
+use crate::prove::{
+    divide_exact, prove_in_half_open, prove_le, prove_nonzero, prove_pos,
+};
+use crate::range::RangeEnv;
+
+/// Counts how many times each named rewrite rule fired.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    counts: HashMap<&'static str, usize>,
+}
+
+impl RuleStats {
+    /// Number of firings of `rule` (see module docs for names).
+    pub fn count(&self, rule: &str) -> usize {
+        self.counts.get(rule).copied().unwrap_or(0)
+    }
+
+    /// Total number of rule firings.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Iterates over `(rule, firings)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, usize)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+
+    fn hit(&mut self, rule: &'static str) {
+        *self.counts.entry(rule).or_insert(0) += 1;
+    }
+}
+
+/// Simplifies to fixpoint (bounded at 12 passes).
+pub fn simplify(e: &Expr, env: &RangeEnv) -> Expr {
+    simplify_with_stats(e, env).0
+}
+
+/// Simplifies to fixpoint and reports which rules fired.
+pub fn simplify_with_stats(e: &Expr, env: &RangeEnv) -> (Expr, RuleStats) {
+    let mut stats = RuleStats::default();
+    let mut cur = e.clone();
+    for _ in 0..12 {
+        let next = pass(&cur, env, &mut stats);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    (cur, stats)
+}
+
+/// A single bottom-up simplification pass (no fixpoint iteration). Used
+/// internally by the prover to normalize bound differences without
+/// unbounded recursion.
+pub fn simplify_nofix(e: &Expr, env: &RangeEnv) -> Expr {
+    let mut stats = RuleStats::default();
+    pass(e, env, &mut stats)
+}
+
+fn pass(e: &Expr, env: &RangeEnv, stats: &mut RuleStats) -> Expr {
+    // Rebuild children first.
+    let rebuilt = match e.kind() {
+        ExprKind::Const(_) | ExprKind::Sym(_) => e.clone(),
+        ExprKind::Add(ts) => {
+            Expr::add_all(ts.iter().map(|t| pass(t, env, stats)))
+        }
+        ExprKind::Mul(ts) => {
+            Expr::mul_all(ts.iter().map(|t| pass(t, env, stats)))
+        }
+        ExprKind::FloorDiv(a, b) => {
+            pass(a, env, stats).floor_div(&pass(b, env, stats))
+        }
+        ExprKind::Mod(a, b) => pass(a, env, stats).rem(&pass(b, env, stats)),
+        ExprKind::Xor(a, b) => pass(a, env, stats).xor(&pass(b, env, stats)),
+        ExprKind::Min(a, b) => pass(a, env, stats).min(&pass(b, env, stats)),
+        ExprKind::Max(a, b) => pass(a, env, stats).max(&pass(b, env, stats)),
+        ExprKind::Select(c, t, f) => Expr::select(
+            c.clone(),
+            pass(t, env, stats),
+            pass(f, env, stats),
+        ),
+        ExprKind::ISqrt(a) => pass(a, env, stats).isqrt(),
+        ExprKind::Range { lo, len, axis, ndims } => Expr::range(
+            pass(lo, env, stats),
+            pass(len, env, stats),
+            *axis,
+            *ndims,
+        ),
+    };
+    // Then apply node-level rules until the node stops changing.
+    let mut cur = rebuilt;
+    for _ in 0..8 {
+        let next = rules_at(&cur, env, stats);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+fn rules_at(e: &Expr, env: &RangeEnv, stats: &mut RuleStats) -> Expr {
+    match e.kind() {
+        ExprKind::Add(ts) => simplify_add(ts, env, stats),
+        ExprKind::Mul(ts) => simplify_mul(ts, e, env, stats),
+        ExprKind::Mod(a, d) => simplify_mod(a, d, e, env, stats),
+        ExprKind::FloorDiv(a, d) => simplify_div(a, d, e, env, stats),
+        ExprKind::Min(a, b) => {
+            if prove_le(a, b, env) {
+                stats.hit("min_order");
+                a.clone()
+            } else if prove_le(b, a, env) {
+                stats.hit("min_order");
+                b.clone()
+            } else {
+                e.clone()
+            }
+        }
+        ExprKind::Max(a, b) => {
+            if prove_le(a, b, env) {
+                stats.hit("max_order");
+                b.clone()
+            } else if prove_le(b, a, env) {
+                stats.hit("max_order");
+                a.clone()
+            } else {
+                e.clone()
+            }
+        }
+        _ => e.clone(),
+    }
+}
+
+/// Splits a term into `(constant coefficient, core)` where `core` carries
+/// no leading constant.
+fn coeff_core(t: &Expr) -> (i64, Expr) {
+    match t.kind() {
+        ExprKind::Const(v) => (*v, Expr::one()),
+        ExprKind::Mul(fs) => {
+            if let Some(c) = fs[0].as_const() {
+                (c, Expr::mul_all(fs[1..].iter().cloned()))
+            } else {
+                (1, t.clone())
+            }
+        }
+        _ => (1, t.clone()),
+    }
+}
+
+fn simplify_add(ts: &[Expr], env: &RangeEnv, stats: &mut RuleStats) -> Expr {
+    // Collect like terms: map core -> coefficient.
+    let mut order: Vec<Expr> = Vec::new();
+    let mut coeffs: HashMap<Expr, i64> = HashMap::new();
+    for t in ts {
+        let (c, core) = coeff_core(t);
+        let entry = coeffs.entry(core.clone()).or_insert_with(|| {
+            order.push(core.clone());
+            0
+        });
+        *entry += c;
+    }
+    let mut terms: Vec<(i64, Expr)> = order
+        .into_iter()
+        .filter_map(|core| {
+            let c = coeffs[&core];
+            (c != 0).then_some((c, core))
+        })
+        .collect();
+    if terms.len() < ts.len() {
+        stats.hit("collect");
+    }
+
+    // Rule 7: a*(x/a) + x%a -> x (matching coefficients).
+    'outer: loop {
+        for i in 0..terms.len() {
+            let (ci, core_i) = &terms[i];
+            // core_i must be a product containing FloorDiv(x, a) whose
+            // remaining factors multiply to `a`, or be FloorDiv(x, a) with
+            // a == 1 (already erased), so look for the Mul form.
+            let found = match core_i.kind() {
+                ExprKind::Mul(fs) => find_recompose_product(fs),
+                _ => None,
+            };
+            let Some((x, a)) = found else { continue };
+            if !prove_nonzero(&a, env) {
+                continue;
+            }
+            for j in 0..terms.len() {
+                if i == j {
+                    continue;
+                }
+                let (cj, core_j) = &terms[j];
+                if ci != cj {
+                    continue;
+                }
+                if let ExprKind::Mod(xj, aj) = core_j.kind() {
+                    if *xj == x && *aj == a {
+                        let c = *ci;
+                        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                        terms.remove(hi);
+                        terms.remove(lo);
+                        terms.push((c, x.clone()));
+                        stats.hit("recompose");
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        break;
+    }
+
+    Expr::add_all(terms.into_iter().map(|(c, core)| {
+        if c == 1 {
+            core
+        } else {
+            Expr::mul_all([Expr::val(c), core])
+        }
+    }))
+}
+
+/// Inside a product, cancels `(x / d) * d -> x` when the environment
+/// declares `d | x` (exact tiling). The matching `x % d -> 0` fold falls
+/// out of `divide_exact` consulting the same declarations.
+fn simplify_mul(
+    ts: &[Expr],
+    orig: &Expr,
+    env: &RangeEnv,
+    stats: &mut RuleStats,
+) -> Expr {
+    for (i, f) in ts.iter().enumerate() {
+        let ExprKind::FloorDiv(x, d) = f.kind() else { continue };
+        if !env.divides(d, x) {
+            continue;
+        }
+        // Find a matching factor `d` elsewhere in the product.
+        if let Some(j) = ts
+            .iter()
+            .enumerate()
+            .position(|(j, g)| j != i && g == d)
+        {
+            stats.hit("div_mul_exact");
+            let rest = ts
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| *k != i && *k != j)
+                .map(|(_, g)| g.clone());
+            return Expr::mul_all(rest.chain([x.clone()]));
+        }
+    }
+    orig.clone()
+}
+
+/// For factors `fs` of a product, finds `(x, a)` such that the product is
+/// `a * (x / a)` (one `FloorDiv(x, a)` factor; the rest multiply to `a`).
+fn find_recompose_product(fs: &[Expr]) -> Option<(Expr, Expr)> {
+    for (pos, f) in fs.iter().enumerate() {
+        if let ExprKind::FloorDiv(x, a) = f.kind() {
+            let rest = Expr::mul_all(
+                fs.iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != pos)
+                    .map(|(_, f)| f.clone()),
+            );
+            if &rest == a {
+                return Some((x.clone(), a.clone()));
+            }
+        }
+    }
+    None
+}
+
+fn simplify_mod(
+    a: &Expr,
+    d: &Expr,
+    orig: &Expr,
+    env: &RangeEnv,
+    stats: &mut RuleStats,
+) -> Expr {
+    // Exact divisibility: (d*q) % d -> 0.
+    if divide_exact(a, d, env).is_some() {
+        stats.hit("mod_exact_zero");
+        return Expr::zero();
+    }
+    // Rule 5: 0 <= a < d  =>  a % d = a.
+    if prove_pos(d, env) && prove_in_half_open(a, d, env) {
+        stats.hit("mod_in_range");
+        return a.clone();
+    }
+    // (x % d) % d -> x % d, and more generally (x % m) % d -> x % d when
+    // d | m (e.g. (pid % (g*nt_n)) % g -> pid % g in the grouped thread
+    // layout of Fig. 10).
+    if let ExprKind::Mod(x2, m2) = a.kind() {
+        if m2 == d && prove_nonzero(d, env) {
+            stats.hit("mod_of_mod");
+            return a.clone();
+        }
+        if prove_pos(d, env)
+            && prove_pos(m2, env)
+            && divide_exact(m2, d, env).is_some()
+        {
+            stats.hit("mod_of_mod");
+            let inner = x2.rem(d);
+            return simplify_mod(x2, d, &inner, env, stats);
+        }
+    }
+    // Rule 1: (d*q + r) % d -> r % d, splitting the sum by divisibility.
+    if let ExprKind::Add(ts) = a.kind() {
+        if prove_nonzero(d, env) {
+            let (div_part, rest): (Vec<_>, Vec<_>) = ts
+                .iter()
+                .cloned()
+                .partition(|t| divide_exact(t, d, env).is_some());
+            if !div_part.is_empty() && !rest.is_empty() {
+                stats.hit("mod_split");
+                let r = Expr::add_all(rest);
+                return simplify_mod(&r, d, &r.rem(d), env, stats);
+            }
+        }
+    }
+    orig.clone()
+}
+
+fn simplify_div(
+    a: &Expr,
+    d: &Expr,
+    orig: &Expr,
+    env: &RangeEnv,
+    stats: &mut RuleStats,
+) -> Expr {
+    // Exact division: (d*q) / d -> q.
+    if let Some(q) = divide_exact(a, d, env) {
+        stats.hit("div_exact");
+        return q;
+    }
+    // Rule 3: (x % d) / d -> 0.
+    if let ExprKind::Mod(_, d2) = a.kind() {
+        if d2 == d && prove_pos(d, env) {
+            stats.hit("div_of_mod_zero");
+            return Expr::zero();
+        }
+    }
+    // Rule 4: 0 <= a < d  =>  a / d = 0.
+    if prove_pos(d, env) && prove_in_half_open(a, d, env) {
+        stats.hit("div_in_range");
+        return Expr::zero();
+    }
+    // (x / a) / b -> x / (a*b) for positive divisors.
+    if let ExprKind::FloorDiv(x, inner) = a.kind() {
+        if prove_pos(inner, env) && prove_pos(d, env) {
+            stats.hit("div_div");
+            return x.floor_div(&(inner * d));
+        }
+    }
+    // Rule 2: (d*q + r) / d -> q (+ r/d), splitting the sum.
+    if let ExprKind::Add(ts) = a.kind() {
+        if prove_nonzero(d, env) {
+            let mut q_parts: Vec<Expr> = Vec::new();
+            let mut rest: Vec<Expr> = Vec::new();
+            for t in ts {
+                match divide_exact(t, d, env) {
+                    Some(q) => q_parts.push(q),
+                    None => rest.push(t.clone()),
+                }
+            }
+            if !q_parts.is_empty() && !rest.is_empty() {
+                let q = Expr::add_all(q_parts);
+                let r = Expr::add_all(rest);
+                if prove_in_half_open(&r, d, env) {
+                    stats.hit("div_split");
+                    return q;
+                }
+                // General split is exact for floor division with d != 0;
+                // keep it only when it does not grow the expression.
+                let mut sub = RuleStats::default();
+                let rd = simplify_div(&r, d, &r.floor_div(d), env, &mut sub);
+                let candidate = q + &rd;
+                if op_count(&candidate) <= op_count(orig) {
+                    stats.hit("div_split");
+                    for (rule, n) in sub.iter() {
+                        for _ in 0..n {
+                            stats.hit(rule);
+                        }
+                    }
+                    return candidate;
+                }
+            }
+        }
+    }
+    orig.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_tile() -> RangeEnv {
+        let mut env = RangeEnv::new();
+        env.assume_pos("d");
+        env.assume_pos("n");
+        env.set_bounds("q", Expr::val(0), Expr::sym("n"));
+        env.set_bounds("r", Expr::val(0), Expr::sym("d"));
+        env.assume_nonneg("x");
+        env
+    }
+
+    #[test]
+    fn rule1_mod_split() {
+        let env = env_tile();
+        // (d*q + r) % d -> r   (r already < d so the inner mod erases too)
+        let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r"))
+            .rem(&Expr::sym("d"));
+        let (s, st) = simplify_with_stats(&e, &env);
+        assert_eq!(s, Expr::sym("r"));
+        assert!(st.count("mod_split") >= 1);
+    }
+
+    #[test]
+    fn rule2_div_split_exact() {
+        let env = env_tile();
+        let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r"))
+            .floor_div(&Expr::sym("d"));
+        let (s, st) = simplify_with_stats(&e, &env);
+        assert_eq!(s, Expr::sym("q"));
+        assert!(st.count("div_split") >= 1);
+    }
+
+    #[test]
+    fn rule3_mod_over_div() {
+        let mut env = RangeEnv::new();
+        env.assume_pos("d");
+        let e = Expr::sym("x")
+            .rem(&Expr::sym("d"))
+            .floor_div(&Expr::sym("d"));
+        let (s, st) = simplify_with_stats(&e, &env);
+        assert_eq!(s, Expr::zero());
+        assert!(st.count("div_of_mod_zero") >= 1);
+    }
+
+    #[test]
+    fn rule4_small_div() {
+        let env = env_tile();
+        let e = Expr::sym("r").floor_div(&Expr::sym("d"));
+        let (s, st) = simplify_with_stats(&e, &env);
+        assert_eq!(s, Expr::zero());
+        assert!(st.count("div_in_range") >= 1);
+    }
+
+    #[test]
+    fn rule5_small_mod() {
+        let env = env_tile();
+        let e = Expr::sym("r").rem(&Expr::sym("d"));
+        let (s, st) = simplify_with_stats(&e, &env);
+        assert_eq!(s, Expr::sym("r"));
+        assert!(st.count("mod_in_range") >= 1);
+    }
+
+    #[test]
+    fn rule6_div_by_one() {
+        let env = RangeEnv::new();
+        let e = (Expr::sym("n") + Expr::sym("y")).floor_div(&Expr::one());
+        assert_eq!(simplify(&e, &env), Expr::sym("n") + Expr::sym("y"));
+    }
+
+    #[test]
+    fn rule7_recompose() {
+        let mut env = RangeEnv::new();
+        env.assume_pos("a");
+        env.assume_nonneg("x");
+        let x = Expr::sym("x");
+        let a = Expr::sym("a");
+        let e = &a * x.floor_div(&a) + x.rem(&a);
+        let (s, st) = simplify_with_stats(&e, &env);
+        assert_eq!(s, x);
+        assert!(st.count("recompose") >= 1);
+    }
+
+    #[test]
+    fn collect_cancels() {
+        let env = RangeEnv::new();
+        let a = Expr::sym("a");
+        let e = &a + &a - &a - &a;
+        assert_eq!(simplify(&e, &env), Expr::zero());
+    }
+
+    #[test]
+    fn nested_div_fuses() {
+        let mut env = RangeEnv::new();
+        env.assume_pos("p");
+        env.assume_pos("q");
+        let e = Expr::sym("x")
+            .floor_div(&Expr::sym("p"))
+            .floor_div(&Expr::sym("q"));
+        let s = simplify(&e, &env);
+        assert_eq!(
+            s,
+            Expr::sym("x").floor_div(&(Expr::sym("p") * Expr::sym("q")))
+        );
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip_simplifies_away() {
+        // B^-1(B(i,j)) over (n, m): ((i*m + j) / m, (i*m + j) % m) -> (i, j)
+        let mut env = RangeEnv::new();
+        env.set_bounds("i", Expr::val(0), Expr::sym("n"));
+        env.set_bounds("j", Expr::val(0), Expr::sym("m"));
+        env.assume_pos("n");
+        env.assume_pos("m");
+        let flat = Expr::sym("i") * Expr::sym("m") + Expr::sym("j");
+        let i2 = flat.floor_div(&Expr::sym("m"));
+        let j2 = flat.rem(&Expr::sym("m"));
+        assert_eq!(simplify(&i2, &env), Expr::sym("i"));
+        assert_eq!(simplify(&j2, &env), Expr::sym("j"));
+    }
+
+    #[test]
+    fn min_collapses_under_proof() {
+        let mut env = RangeEnv::new();
+        env.set_bounds("i", Expr::val(0), Expr::val(4));
+        // min(i, 100) = i
+        let e = Expr::sym("i").min(&Expr::val(100));
+        assert_eq!(simplify(&e, &env), Expr::sym("i"));
+    }
+
+    #[test]
+    fn stats_total_counts() {
+        let env = env_tile();
+        let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r"))
+            .rem(&Expr::sym("d"));
+        let (_, st) = simplify_with_stats(&e, &env);
+        assert!(st.total() >= 1);
+    }
+}

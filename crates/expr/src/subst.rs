@@ -1,0 +1,276 @@
+//! Substitution and concrete evaluation of expressions.
+
+use std::collections::HashMap;
+
+use crate::expr::{Cond, Expr, ExprKind, isqrt64};
+
+/// A binding of symbol names to concrete integer values.
+pub type Bindings = HashMap<String, i64>;
+
+/// Errors produced by [`eval`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// A free symbol had no binding.
+    UnboundSymbol(String),
+    /// A division or modulo by zero was encountered.
+    DivisionByZero,
+    /// `isqrt` of a negative value.
+    NegativeSqrt(i64),
+    /// A `Range` lane vector cannot be evaluated to a single scalar.
+    RangeNotScalar,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnboundSymbol(s) => write!(f, "unbound symbol `{s}`"),
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::NegativeSqrt(v) => write!(f, "isqrt of negative value {v}"),
+            EvalError::RangeNotScalar => {
+                write!(f, "lane range cannot evaluate to a scalar")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates `e` to a concrete integer under `bind`.
+///
+/// Division and modulo use floor semantics (`div_euclid`/`rem_euclid` for
+/// positive divisors), matching Python and the Triton/C code LEGO emits for
+/// non-negative operands.
+///
+/// `Range` nodes evaluate as their *lane 0* would only if you substitute the
+/// lane first; a bare `Range` is an error ([`EvalError::RangeNotScalar`]) —
+/// use [`eval_lane`] to pick a lane.
+///
+/// # Errors
+///
+/// Returns an error for unbound symbols, division by zero, negative square
+/// roots, and un-substituted lane ranges.
+pub fn eval(e: &Expr, bind: &Bindings) -> Result<i64, EvalError> {
+    match e.kind() {
+        ExprKind::Const(v) => Ok(*v),
+        ExprKind::Sym(s) => bind
+            .get(&**s)
+            .copied()
+            .ok_or_else(|| EvalError::UnboundSymbol(s.to_string())),
+        ExprKind::Add(ts) => {
+            let mut acc = 0i64;
+            for t in ts {
+                acc += eval(t, bind)?;
+            }
+            Ok(acc)
+        }
+        ExprKind::Mul(ts) => {
+            let mut acc = 1i64;
+            for t in ts {
+                acc *= eval(t, bind)?;
+            }
+            Ok(acc)
+        }
+        ExprKind::FloorDiv(a, b) => {
+            let (a, b) = (eval(a, bind)?, eval(b, bind)?);
+            if b == 0 {
+                return Err(EvalError::DivisionByZero);
+            }
+            Ok(a.div_euclid(b))
+        }
+        ExprKind::Mod(a, b) => {
+            let (a, b) = (eval(a, bind)?, eval(b, bind)?);
+            if b == 0 {
+                return Err(EvalError::DivisionByZero);
+            }
+            Ok(a.rem_euclid(b))
+        }
+        ExprKind::Min(a, b) => Ok(eval(a, bind)?.min(eval(b, bind)?)),
+        ExprKind::Max(a, b) => Ok(eval(a, bind)?.max(eval(b, bind)?)),
+        ExprKind::Xor(a, b) => Ok(eval(a, bind)? ^ eval(b, bind)?),
+        ExprKind::Select(c, t, f) => {
+            if eval_cond(c, bind)? {
+                eval(t, bind)
+            } else {
+                eval(f, bind)
+            }
+        }
+        ExprKind::ISqrt(a) => {
+            let v = eval(a, bind)?;
+            if v < 0 {
+                return Err(EvalError::NegativeSqrt(v));
+            }
+            Ok(isqrt64(v))
+        }
+        ExprKind::Range { .. } => Err(EvalError::RangeNotScalar),
+    }
+}
+
+/// Evaluates a condition to a boolean under `bind`.
+///
+/// # Errors
+///
+/// Propagates any [`EvalError`] from the operand expressions.
+pub fn eval_cond(c: &Cond, bind: &Bindings) -> Result<bool, EvalError> {
+    match c {
+        Cond::Cmp(op, a, b) => Ok(op.eval(eval(a, bind)?, eval(b, bind)?)),
+        Cond::All(cs) => {
+            for c in cs {
+                if !eval_cond(c, bind)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Cond::Any(cs) => {
+            for c in cs {
+                if eval_cond(c, bind)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Cond::Not(c) => Ok(!eval_cond(c, bind)?),
+    }
+}
+
+/// Evaluates `e` after replacing every `Range` node with the value of one
+/// of its lanes: `lane_of(axis)` gives the lane index selected on each
+/// broadcast axis.
+///
+/// # Errors
+///
+/// Same as [`eval`].
+pub fn eval_lane(
+    e: &Expr,
+    bind: &Bindings,
+    lane_of: &dyn Fn(usize) -> i64,
+) -> Result<i64, EvalError> {
+    let substituted = map_ranges(e, &|lo, _len, axis, _nd| {
+        lo.clone() + Expr::val(lane_of(axis))
+    });
+    eval(&substituted, bind)
+}
+
+/// Replaces each `Range { lo, len, axis, ndims }` node by `f(lo, len, axis,
+/// ndims)`, recursively.
+pub fn map_ranges(e: &Expr, f: &dyn Fn(&Expr, &Expr, usize, usize) -> Expr) -> Expr {
+    transform(e, &|node| match node.kind() {
+        ExprKind::Range { lo, len, axis, ndims } => Some(f(lo, len, *axis, *ndims)),
+        _ => None,
+    })
+}
+
+/// Substitutes symbols by expressions, bottom-up.
+pub fn subst(e: &Expr, map: &HashMap<String, Expr>) -> Expr {
+    transform(e, &|node| match node.kind() {
+        ExprKind::Sym(s) => map.get(&**s).cloned(),
+        _ => None,
+    })
+}
+
+/// Generic bottom-up rewrite: children are rewritten first, then `f` may
+/// replace the rebuilt node (return `None` to keep it).
+pub fn transform(e: &Expr, f: &dyn Fn(&Expr) -> Option<Expr>) -> Expr {
+    let rebuilt = match e.kind() {
+        ExprKind::Const(_) | ExprKind::Sym(_) => e.clone(),
+        ExprKind::Add(ts) => Expr::add_all(ts.iter().map(|t| transform(t, f))),
+        ExprKind::Mul(ts) => Expr::mul_all(ts.iter().map(|t| transform(t, f))),
+        ExprKind::FloorDiv(a, b) => transform(a, f).floor_div(&transform(b, f)),
+        ExprKind::Mod(a, b) => transform(a, f).rem(&transform(b, f)),
+        ExprKind::Min(a, b) => transform(a, f).min(&transform(b, f)),
+        ExprKind::Max(a, b) => transform(a, f).max(&transform(b, f)),
+        ExprKind::Xor(a, b) => transform(a, f).xor(&transform(b, f)),
+        ExprKind::Select(c, t, el) => {
+            Expr::select(transform_cond(c, f), transform(t, f), transform(el, f))
+        }
+        ExprKind::ISqrt(a) => transform(a, f).isqrt(),
+        ExprKind::Range { lo, len, axis, ndims } => {
+            Expr::range(transform(lo, f), transform(len, f), *axis, *ndims)
+        }
+    };
+    f(&rebuilt).unwrap_or(rebuilt)
+}
+
+/// Rewrites the expressions inside a condition with `f` (see [`transform`]).
+pub fn transform_cond(c: &Cond, f: &dyn Fn(&Expr) -> Option<Expr>) -> Cond {
+    match c {
+        Cond::Cmp(op, a, b) => Cond::Cmp(*op, transform(a, f), transform(b, f)),
+        Cond::All(cs) => Cond::All(cs.iter().map(|c| transform_cond(c, f)).collect()),
+        Cond::Any(cs) => Cond::Any(cs.iter().map(|c| transform_cond(c, f)).collect()),
+        Cond::Not(c) => Cond::Not(Box::new(transform_cond(c, f))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(pairs: &[(&str, i64)]) -> Bindings {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn eval_basic_arith() {
+        let e = Expr::sym("a") * Expr::sym("b") + Expr::val(5);
+        assert_eq!(eval(&e, &b(&[("a", 3), ("b", 4)])).unwrap(), 17);
+    }
+
+    #[test]
+    fn eval_floor_semantics() {
+        let e = Expr::sym("a").floor_div(&Expr::val(4));
+        assert_eq!(eval(&e, &b(&[("a", -1)])).unwrap(), -1);
+        let m = Expr::sym("a").rem(&Expr::val(4));
+        assert_eq!(eval(&m, &b(&[("a", -1)])).unwrap(), 3);
+    }
+
+    #[test]
+    fn eval_unbound_symbol_errors() {
+        let e = Expr::sym("zzz");
+        assert_eq!(
+            eval(&e, &b(&[])),
+            Err(EvalError::UnboundSymbol("zzz".into()))
+        );
+    }
+
+    #[test]
+    fn eval_division_by_zero_errors() {
+        let e = Expr::sym("a").floor_div(&Expr::sym("d"));
+        assert_eq!(
+            eval(&e, &b(&[("a", 1), ("d", 0)])),
+            Err(EvalError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn eval_select() {
+        let c = Cond::lt(Expr::sym("x"), Expr::val(10));
+        let e = Expr::select(c, Expr::val(1), Expr::val(2));
+        assert_eq!(eval(&e, &b(&[("x", 5)])).unwrap(), 1);
+        assert_eq!(eval(&e, &b(&[("x", 15)])).unwrap(), 2);
+    }
+
+    #[test]
+    fn subst_replaces_symbols() {
+        let e = Expr::sym("x") + Expr::sym("y");
+        let mut m = HashMap::new();
+        m.insert("x".to_string(), Expr::val(2) * Expr::sym("y"));
+        let r = subst(&e, &m);
+        assert_eq!(eval(&r, &b(&[("y", 5)])).unwrap(), 15);
+    }
+
+    #[test]
+    fn eval_lane_substitutes_ranges() {
+        // lo=0, len=8 on axis 0; pick lane 3.
+        let r = Expr::range(Expr::zero(), Expr::val(8), 0, 1);
+        let e = Expr::sym("base") + r;
+        let v = eval_lane(&e, &b(&[("base", 100)]), &|_| 3).unwrap();
+        assert_eq!(v, 103);
+    }
+
+    #[test]
+    fn eval_min_max() {
+        let e = Expr::sym("a").min(&Expr::sym("b")).max(&Expr::val(0));
+        assert_eq!(eval(&e, &b(&[("a", -5), ("b", 3)])).unwrap(), 0);
+        assert_eq!(eval(&e, &b(&[("a", 5), ("b", 3)])).unwrap(), 3);
+    }
+}

@@ -1,0 +1,172 @@
+//! A set-associative LRU cache simulator (used as the L2 model).
+//!
+//! Addresses are in *lines*; callers pick the granularity (32-byte
+//! sectors for element traces, whole tiles for the tile-level matmul
+//! simulation).
+
+/// Hit/miss outcome of one access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// The line was resident.
+    Hit,
+    /// The line was fetched (and possibly evicted another).
+    Miss,
+}
+
+/// Aggregate cache statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Number of hits.
+    pub hits: u64,
+    /// Number of misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1] (1.0 for no accesses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// A set-associative cache with LRU replacement over abstract line ids.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<Vec<(i64, u64)>>, // (line id, last-use stamp)
+    assoc: usize,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache with `lines` total lines and associativity
+    /// `assoc` (lines are grouped into `lines/assoc` sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assoc == 0` or `lines < assoc`.
+    pub fn new(lines: usize, assoc: usize) -> Cache {
+        assert!(assoc > 0 && lines >= assoc, "invalid cache geometry");
+        let nsets = (lines / assoc).max(1);
+        Cache {
+            sets: vec![Vec::with_capacity(assoc); nsets],
+            assoc,
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A fully-associative cache with `lines` lines.
+    pub fn fully_associative(lines: usize) -> Cache {
+        Cache::new(lines, lines)
+    }
+
+    /// Accesses `line`, updating LRU state and statistics.
+    pub fn access(&mut self, line: i64) -> Access {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let nsets = self.sets.len() as i64;
+        let set = &mut self.sets[line.rem_euclid(nsets) as usize];
+        if let Some(slot) = set.iter_mut().find(|(l, _)| *l == line) {
+            slot.1 = stamp;
+            self.stats.hits += 1;
+            return Access::Hit;
+        }
+        self.stats.misses += 1;
+        if set.len() >= self.assoc {
+            // Evict LRU.
+            let (pos, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, s))| *s)
+                .expect("set non-empty");
+            set.swap_remove(pos);
+        }
+        set.push((line, stamp));
+        Access::Miss
+    }
+
+    /// The statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets contents and statistics.
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.stats = CacheStats::default();
+        self.stamp = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::fully_associative(4);
+        assert_eq!(c.access(7), Access::Miss);
+        assert_eq!(c.access(7), Access::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = Cache::fully_associative(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // 2 is now LRU
+        c.access(3); // evicts 2
+        assert_eq!(c.access(1), Access::Hit);
+        assert_eq!(c.access(2), Access::Miss);
+    }
+
+    #[test]
+    fn set_mapping_isolates_sets() {
+        // 2 sets x 1 way: lines 0 and 2 collide, 0 and 1 do not.
+        let mut c = Cache::new(2, 1);
+        c.access(0);
+        c.access(1);
+        assert_eq!(c.access(0), Access::Hit);
+        c.access(2); // evicts 0 (same set)
+        assert_eq!(c.access(0), Access::Miss);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = Cache::fully_associative(8);
+        for _ in 0..3 {
+            c.access(42);
+        }
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = Cache::fully_associative(4);
+        // Cyclic sweep over 8 lines with LRU: always miss.
+        for _ in 0..4 {
+            for l in 0..8 {
+                c.access(l);
+            }
+        }
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = Cache::fully_associative(2);
+        c.access(1);
+        c.clear();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert_eq!(c.access(1), Access::Miss);
+    }
+}

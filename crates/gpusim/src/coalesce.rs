@@ -1,0 +1,114 @@
+//! Global-memory coalescing model.
+//!
+//! A warp's 32 lane addresses are serviced in 32-byte sectors: the
+//! memory system moves `distinct_sectors × 32` bytes regardless of how
+//! many bytes the warp actually uses. Layout quality is exactly the
+//! ratio of useful to moved bytes.
+
+use std::collections::HashSet;
+
+/// The result of coalescing one warp access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CoalesceResult {
+    /// Number of distinct sectors touched (memory transactions).
+    pub sectors: usize,
+    /// Bytes actually requested by the lanes.
+    pub useful_bytes: usize,
+    /// Bytes moved (`sectors * sector_bytes`).
+    pub moved_bytes: usize,
+}
+
+impl CoalesceResult {
+    /// Useful / moved — 1.0 for perfectly coalesced access.
+    pub fn efficiency(&self) -> f64 {
+        if self.moved_bytes == 0 {
+            return 1.0;
+        }
+        self.useful_bytes as f64 / self.moved_bytes as f64
+    }
+}
+
+/// Coalesces one warp access: `addrs` are per-lane *byte* addresses,
+/// `access_bytes` the per-lane access width, `sector_bytes` the
+/// transaction size (32 on A100).
+pub fn coalesce_warp(
+    addrs: &[i64],
+    access_bytes: usize,
+    sector_bytes: usize,
+) -> CoalesceResult {
+    let mut sectors: HashSet<i64> = HashSet::with_capacity(addrs.len());
+    for &a in addrs {
+        let first = a / sector_bytes as i64;
+        let last = (a + access_bytes as i64 - 1) / sector_bytes as i64;
+        for s in first..=last {
+            sectors.insert(s);
+        }
+    }
+    CoalesceResult {
+        sectors: sectors.len(),
+        useful_bytes: addrs.len() * access_bytes,
+        moved_bytes: sectors.len() * sector_bytes,
+    }
+}
+
+/// Convenience: coalesces a warp of *element indices* into an array of
+/// `elem_bytes`-wide elements starting at byte offset `base`.
+pub fn coalesce_elems(
+    elem_idx: &[i64],
+    elem_bytes: usize,
+    base: i64,
+    sector_bytes: usize,
+) -> CoalesceResult {
+    let addrs: Vec<i64> = elem_idx
+        .iter()
+        .map(|&i| base + i * elem_bytes as i64)
+        .collect();
+    coalesce_warp(&addrs, elem_bytes, sector_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_coalesced_fp32_warp_is_4_sectors() {
+        // 32 lanes x 4B contiguous = 128B = 4 x 32B sectors.
+        let addrs: Vec<i64> = (0..32).map(|i| i * 4).collect();
+        let r = coalesce_warp(&addrs, 4, 32);
+        assert_eq!(r.sectors, 4);
+        assert_eq!(r.useful_bytes, 128);
+        assert_eq!(r.moved_bytes, 128);
+        assert!((r.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strided_warp_touches_32_sectors() {
+        // Stride 2048*4B (a column walk): every lane in its own sector.
+        let addrs: Vec<i64> = (0..32).map(|i| i * 2048 * 4).collect();
+        let r = coalesce_warp(&addrs, 4, 32);
+        assert_eq!(r.sectors, 32);
+        assert!((r.efficiency() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn broadcast_is_one_sector() {
+        let addrs = vec![64i64; 32];
+        let r = coalesce_warp(&addrs, 4, 32);
+        assert_eq!(r.sectors, 1);
+    }
+
+    #[test]
+    fn unaligned_access_straddles() {
+        // One lane touching bytes 30..34 crosses a sector boundary.
+        let r = coalesce_warp(&[30], 4, 32);
+        assert_eq!(r.sectors, 2);
+    }
+
+    #[test]
+    fn elem_helper_matches_manual() {
+        let idx: Vec<i64> = (0..32).collect();
+        let a = coalesce_elems(&idx, 4, 0, 32);
+        let b = coalesce_warp(&(0..32).map(|i| i * 4).collect::<Vec<_>>(), 4, 32);
+        assert_eq!(a, b);
+    }
+}

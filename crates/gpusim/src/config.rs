@@ -1,0 +1,83 @@
+//! GPU hardware configurations for the performance model.
+//!
+//! The default is an NVIDIA A100-80GB (SXM), the machine of the paper's
+//! evaluation (§V). Only parameters the model actually uses are included.
+
+/// Hardware parameters consumed by the timing model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuConfig {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Number of shared-memory banks.
+    pub smem_banks: usize,
+    /// Bytes per shared-memory bank word.
+    pub bank_bytes: usize,
+    /// DRAM (HBM) bandwidth in bytes/second.
+    pub dram_bw: f64,
+    /// L2 bandwidth in bytes/second.
+    pub l2_bw: f64,
+    /// L2 capacity in bytes.
+    pub l2_bytes: usize,
+    /// Global-memory transaction (sector) size in bytes.
+    pub sector_bytes: usize,
+    /// FP32 FMA peak in FLOP/s.
+    pub fp32_flops: f64,
+    /// FP16 tensor-core peak in FLOP/s.
+    pub fp16_tc_flops: f64,
+    /// SM clock in Hz.
+    pub clock_hz: f64,
+    /// Fraction of peak DRAM bandwidth achievable by a well-tuned
+    /// streaming kernel (measured copy efficiency).
+    pub dram_efficiency: f64,
+    /// Fixed per-kernel-launch overhead in seconds.
+    pub launch_overhead: f64,
+}
+
+/// The A100-80GB configuration used throughout the evaluation.
+pub fn a100() -> GpuConfig {
+    GpuConfig {
+        name: "NVIDIA A100-SXM4-80GB",
+        sm_count: 108,
+        warp_size: 32,
+        smem_banks: 32,
+        bank_bytes: 4,
+        dram_bw: 2.039e12,      // 2039 GB/s HBM2e
+        l2_bw: 5.0e12,          // ~5 TB/s aggregate L2
+        l2_bytes: 40 * 1024 * 1024,
+        sector_bytes: 32,
+        fp32_flops: 19.5e12,
+        fp16_tc_flops: 312.0e12,
+        clock_hz: 1.41e9,
+        dram_efficiency: 0.85,
+        launch_overhead: 4.0e-6,
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> GpuConfig {
+        a100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_basics() {
+        let c = a100();
+        assert_eq!(c.sm_count, 108);
+        assert_eq!(c.warp_size, 32);
+        assert_eq!(c.smem_banks, 32);
+        assert!(c.fp16_tc_flops > c.fp32_flops);
+    }
+
+    #[test]
+    fn default_is_a100() {
+        assert_eq!(GpuConfig::default(), a100());
+    }
+}

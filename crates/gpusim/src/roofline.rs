@@ -1,0 +1,85 @@
+//! Roofline-model helpers (paper Fig. 13).
+//!
+//! The roofline bounds achievable performance by
+//! `min(peak_compute, AI × memory_bandwidth)` where `AI` is arithmetic
+//! intensity in FLOP/byte of DRAM traffic.
+
+use crate::config::GpuConfig;
+use crate::timing::Pipeline;
+
+/// One point on a roofline plot.
+#[derive(Clone, Copy, Debug)]
+pub struct RooflinePoint {
+    /// Arithmetic intensity (FLOP/byte).
+    pub intensity: f64,
+    /// Achieved performance (FLOP/s).
+    pub achieved: f64,
+    /// The roof at this intensity (FLOP/s).
+    pub attainable: f64,
+}
+
+/// The roof value at a given intensity.
+pub fn attainable(intensity: f64, pipeline: Pipeline, cfg: &GpuConfig) -> f64 {
+    let peak = match pipeline {
+        Pipeline::Fp32 => cfg.fp32_flops,
+        Pipeline::TensorFp16 => cfg.fp16_tc_flops,
+    };
+    peak.min(intensity * cfg.dram_bw * cfg.dram_efficiency)
+}
+
+/// Builds a roofline point from measured intensity and achieved rate.
+pub fn point(
+    intensity: f64,
+    achieved: f64,
+    pipeline: Pipeline,
+    cfg: &GpuConfig,
+) -> RooflinePoint {
+    RooflinePoint {
+        intensity,
+        achieved,
+        attainable: attainable(intensity, pipeline, cfg),
+    }
+}
+
+/// The ridge point (intensity where compute == bandwidth roof).
+pub fn ridge(pipeline: Pipeline, cfg: &GpuConfig) -> f64 {
+    let peak = match pipeline {
+        Pipeline::Fp32 => cfg.fp32_flops,
+        Pipeline::TensorFp16 => cfg.fp16_tc_flops,
+    };
+    peak / (cfg.dram_bw * cfg.dram_efficiency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::a100;
+
+    #[test]
+    fn low_intensity_is_bandwidth_bound() {
+        let cfg = a100();
+        let r = attainable(0.5, Pipeline::Fp32, &cfg);
+        assert!((r - 0.5 * cfg.dram_bw * cfg.dram_efficiency).abs() < 1.0);
+    }
+
+    #[test]
+    fn high_intensity_is_compute_bound() {
+        let cfg = a100();
+        assert_eq!(attainable(1e6, Pipeline::Fp32, &cfg), cfg.fp32_flops);
+    }
+
+    #[test]
+    fn ridge_separates_regimes() {
+        let cfg = a100();
+        let x = ridge(Pipeline::Fp32, &cfg);
+        assert!(attainable(x * 0.9, Pipeline::Fp32, &cfg) < cfg.fp32_flops);
+        assert_eq!(attainable(x * 1.1, Pipeline::Fp32, &cfg), cfg.fp32_flops);
+    }
+
+    #[test]
+    fn point_is_below_roof_when_reasonable() {
+        let cfg = a100();
+        let p = point(10.0, 1e12, Pipeline::Fp32, &cfg);
+        assert!(p.achieved <= p.attainable);
+    }
+}

@@ -1,0 +1,87 @@
+//! Shared-memory bank-conflict model.
+//!
+//! Shared memory is divided into 32 four-byte banks. A warp access
+//! serializes into as many passes as the maximum number of *distinct
+//! addresses* mapped to one bank (identical addresses broadcast for
+//! free). The NW anti-diagonal layout (§V-B) exists precisely to bring
+//! this number from ~16-32 down to 1.
+
+use std::collections::HashMap;
+
+/// The result of one warp's shared-memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BankConflictResult {
+    /// Serialized passes (1 = conflict-free).
+    pub passes: usize,
+    /// Number of lanes that participated.
+    pub lanes: usize,
+}
+
+/// Computes the conflict degree of a warp access to shared memory.
+/// `addrs` are per-lane *byte* addresses; lanes may be fewer than 32
+/// (inactive lanes simply absent).
+pub fn bank_conflicts(addrs: &[i64], banks: usize, bank_bytes: usize) -> BankConflictResult {
+    // bank -> set of distinct word addresses (same word broadcasts).
+    let mut per_bank: HashMap<usize, Vec<i64>> = HashMap::new();
+    for &a in addrs {
+        let word = a / bank_bytes as i64;
+        let bank = (word.rem_euclid(banks as i64)) as usize;
+        let entry = per_bank.entry(bank).or_default();
+        if !entry.contains(&word) {
+            entry.push(word);
+        }
+    }
+    let passes = per_bank.values().map(Vec::len).max().unwrap_or(0).max(
+        usize::from(!addrs.is_empty()),
+    );
+    BankConflictResult { passes, lanes: addrs.len() }
+}
+
+/// Computes conflicts for a warp of *element indices* into a 4-byte
+/// shared array.
+pub fn bank_conflicts_elems(elem_idx: &[i64], banks: usize) -> BankConflictResult {
+    let addrs: Vec<i64> = elem_idx.iter().map(|&i| i * 4).collect();
+    bank_conflicts(&addrs, banks, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_is_conflict_free() {
+        let idx: Vec<i64> = (0..32).collect();
+        assert_eq!(bank_conflicts_elems(&idx, 32).passes, 1);
+    }
+
+    #[test]
+    fn stride_32_is_fully_serialized() {
+        let idx: Vec<i64> = (0..32).map(|i| i * 32).collect();
+        assert_eq!(bank_conflicts_elems(&idx, 32).passes, 32);
+    }
+
+    #[test]
+    fn stride_17_is_conflict_free() {
+        // Odd strides are co-prime with 32 banks.
+        let idx: Vec<i64> = (0..32).map(|i| i * 17).collect();
+        assert_eq!(bank_conflicts_elems(&idx, 32).passes, 1);
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        let idx = vec![5i64; 32];
+        assert_eq!(bank_conflicts_elems(&idx, 32).passes, 1);
+    }
+
+    #[test]
+    fn stride_16_is_two_way_conflict_times_sixteen() {
+        // Stride 16 maps lanes onto 2 banks with 16 distinct words each.
+        let idx: Vec<i64> = (0..32).map(|i| i * 16).collect();
+        assert_eq!(bank_conflicts_elems(&idx, 32).passes, 16);
+    }
+
+    #[test]
+    fn empty_access_is_zero_passes() {
+        assert_eq!(bank_conflicts_elems(&[], 32).passes, 0);
+    }
+}

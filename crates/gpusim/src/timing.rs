@@ -1,0 +1,162 @@
+//! The roofline-style timing model.
+//!
+//! A kernel's runtime is estimated as the maximum of its bottleneck
+//! times (compute, DRAM traffic, L2 traffic, shared-memory serialization)
+//! plus launch overhead — the standard bulk-synchronous GPU model. The
+//! experiments compare *layouts*, so what matters is that each layout's
+//! traffic and conflict counts feed these terms; absolute constants only
+//! scale the axes.
+
+use crate::config::GpuConfig;
+
+/// Which compute pipeline a kernel saturates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pipeline {
+    /// CUDA-core FP32 FMA.
+    Fp32,
+    /// Tensor-core FP16.
+    TensorFp16,
+}
+
+/// Aggregated execution profile of one kernel launch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelProfile {
+    /// Floating-point operations executed.
+    pub flops: f64,
+    /// Bytes moved between DRAM and L2 (after cache filtering).
+    pub dram_bytes: f64,
+    /// Bytes moved between L2 and the SMs (before cache filtering).
+    pub l2_bytes: f64,
+    /// Total shared-memory access passes (bank-conflict serialized).
+    pub smem_passes: f64,
+    /// Number of thread blocks launched.
+    pub blocks: f64,
+    /// Number of kernel launches this profile covers.
+    pub launches: f64,
+}
+
+impl KernelProfile {
+    /// Merges another profile into this one (e.g. per-block profiles).
+    pub fn merge(&mut self, other: &KernelProfile) {
+        self.flops += other.flops;
+        self.dram_bytes += other.dram_bytes;
+        self.l2_bytes += other.l2_bytes;
+        self.smem_passes += other.smem_passes;
+        self.blocks += other.blocks;
+        self.launches += other.launches;
+    }
+
+    /// Arithmetic intensity against DRAM traffic (FLOP/byte) — the
+    /// roofline x-axis.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.dram_bytes == 0.0 {
+            return f64::INFINITY;
+        }
+        self.flops / self.dram_bytes
+    }
+}
+
+/// A time estimate broken into bottleneck terms.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeEstimate {
+    /// Compute-bound time (s).
+    pub compute_s: f64,
+    /// DRAM-bound time (s).
+    pub dram_s: f64,
+    /// L2-bound time (s).
+    pub l2_s: f64,
+    /// Shared-memory-bound time (s).
+    pub smem_s: f64,
+    /// Launch overhead (s).
+    pub overhead_s: f64,
+    /// The final estimate: `max(terms) + overhead`.
+    pub total_s: f64,
+}
+
+/// Estimates the runtime of a kernel profile on `cfg`.
+///
+/// Shared-memory passes are serviced at one pass per SM per cycle
+/// (128 bytes/pass), aggregated over all SMs.
+pub fn estimate(profile: &KernelProfile, pipeline: Pipeline, cfg: &GpuConfig) -> TimeEstimate {
+    let peak = match pipeline {
+        Pipeline::Fp32 => cfg.fp32_flops,
+        Pipeline::TensorFp16 => cfg.fp16_tc_flops,
+    };
+    let compute_s = profile.flops / peak;
+    let dram_s = profile.dram_bytes / (cfg.dram_bw * cfg.dram_efficiency);
+    let l2_s = profile.l2_bytes / cfg.l2_bw;
+    // One warp smem pass per SM per cycle across all SMs.
+    let smem_s =
+        profile.smem_passes / (cfg.sm_count as f64 * cfg.clock_hz);
+    let overhead_s = profile.launches.max(1.0) * cfg.launch_overhead;
+    let total_s = compute_s.max(dram_s).max(l2_s).max(smem_s) + overhead_s;
+    TimeEstimate { compute_s, dram_s, l2_s, smem_s, overhead_s, total_s }
+}
+
+/// Achieved FLOP/s of a profile under the estimate.
+pub fn achieved_flops(profile: &KernelProfile, pipeline: Pipeline, cfg: &GpuConfig) -> f64 {
+    profile.flops / estimate(profile, pipeline, cfg).total_s
+}
+
+/// Achieved bytes/s (for bandwidth-bound kernels such as transpose,
+/// counting useful bytes only).
+pub fn achieved_bandwidth(useful_bytes: f64, profile: &KernelProfile, cfg: &GpuConfig) -> f64 {
+    useful_bytes / estimate(profile, Pipeline::Fp32, cfg).total_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::a100;
+
+    #[test]
+    fn compute_bound_kernel() {
+        let cfg = a100();
+        let p = KernelProfile {
+            flops: 1e12,
+            dram_bytes: 1e6,
+            launches: 1.0,
+            ..Default::default()
+        };
+        let t = estimate(&p, Pipeline::TensorFp16, &cfg);
+        assert!(t.compute_s > t.dram_s);
+        assert!(t.total_s >= t.compute_s);
+    }
+
+    #[test]
+    fn memory_bound_kernel() {
+        let cfg = a100();
+        let p = KernelProfile {
+            flops: 1e6,
+            dram_bytes: 1e9,
+            launches: 1.0,
+            ..Default::default()
+        };
+        let t = estimate(&p, Pipeline::Fp32, &cfg);
+        assert!(t.dram_s > t.compute_s);
+    }
+
+    #[test]
+    fn overhead_dominates_tiny_kernels() {
+        let cfg = a100();
+        let p = KernelProfile { flops: 1.0, launches: 100.0, ..Default::default() };
+        let t = estimate(&p, Pipeline::Fp32, &cfg);
+        assert!((t.total_s - 100.0 * cfg.launch_overhead).abs() / t.total_s < 0.01);
+    }
+
+    #[test]
+    fn smem_term_scales_with_passes() {
+        let cfg = a100();
+        let p1 = KernelProfile { smem_passes: 1e9, ..Default::default() };
+        let p2 = KernelProfile { smem_passes: 2e9, ..Default::default() };
+        let t1 = estimate(&p1, Pipeline::Fp32, &cfg).smem_s;
+        let t2 = estimate(&p2, Pipeline::Fp32, &cfg).smem_s;
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic_intensity() {
+        let p = KernelProfile { flops: 100.0, dram_bytes: 50.0, ..Default::default() };
+        assert!((p.arithmetic_intensity() - 2.0).abs() < 1e-12);
+    }
+}

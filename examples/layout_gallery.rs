@@ -1,0 +1,83 @@
+//! A gallery of LEGO layouts: renders the physical order of the paper's
+//! worked examples (Fig. 2, Fig. 6, Fig. 8) plus the extra library
+//! permutations (Morton, Hilbert, XOR swizzle) as small grids.
+//!
+//! Each grid cell shows the *physical position* assigned to that logical
+//! coordinate, so row-major prints as 0,1,2,… and anything else shows
+//! its reordering.
+//!
+//! Run with: `cargo run --example layout_gallery`
+
+use lego_core::perms::{antidiag, hilbert, morton, xor_swizzle};
+use lego_core::{Layout, OrderBy, Perm};
+
+fn show(name: &str, layout: &Layout) {
+    let dims = layout.view().dims_const().expect("constant demo layouts");
+    assert_eq!(dims.len(), 2, "gallery renders 2-D layouts");
+    println!("{name}  ({}x{})", dims[0], dims[1]);
+    for i in 0..dims[0] {
+        print!("  ");
+        for j in 0..dims[1] {
+            print!("{:>4}", layout.apply_c(&[i, j]).expect("in bounds"));
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fig. 2: 6x4, outer tiles transposed, inner tiles reversed.
+    let fig2 = Layout::builder([6i64, 4])
+        .order_by(OrderBy::new([
+            Perm::reg([2i64, 2], [2usize, 1])?,
+            lego_core::perms::reverse_perm(&[3, 2])?,
+        ])?)
+        .build()?;
+    show("Fig. 2: GroupBy([6,4]).OrderBy(RegP([2,2],[2,1]), GenP(reverse))", &fig2);
+
+    // Fig. 6: 6x6, stripmine+interchange, then transpose + anti-diagonal.
+    let fig6 = Layout::builder([6i64, 6])
+        .order_by(OrderBy::new([Perm::reg(
+            [2i64, 3, 2, 3],
+            [1usize, 3, 2, 4],
+        )?])?)
+        .order_by(OrderBy::new([
+            Perm::reg([2i64, 2], [2usize, 1])?,
+            antidiag(3)?,
+        ])?)
+        .build()?;
+    show("Fig. 6: O2 then O1 (anti-diagonal 3x3 blocks, transposed grid)", &fig6);
+
+    // Paper check: logical [4,2] (element 26) lands at physical 15.
+    assert_eq!(fig6.apply_c(&[4, 2])?, 15);
+    assert_eq!(fig6.inv_c(15)?, vec![4, 2]);
+    println!("  (paper anchor: element 26 at [4,2] -> physical 15 ✓)\n");
+
+    // Fig. 8: the 4x8 layout non-contiguous in both dimensions:
+    // GroupBy([2,2,2,2,2]).OrderBy(RegP([2,2,2,2,2],[5,2,4,3,1])).
+    let fig8 = Layout::builder([4i64, 8])
+        .order_by(OrderBy::new([Perm::reg(
+            [2i64, 2, 2, 2, 2],
+            [5usize, 2, 4, 3, 1],
+        )?])?)
+        .build()?;
+    show("Fig. 8: GroupBy([2,2,2,2,2]).OrderBy(RegP(..., [5,2,4,3,1]))", &fig8);
+
+    // Library permutations.
+    let z = Layout::builder([8i64, 8])
+        .order_by(OrderBy::new([morton(8)?])?)
+        .build()?;
+    show("Morton (Z-order) 8x8", &z);
+
+    let h = Layout::builder([8i64, 8])
+        .order_by(OrderBy::new([hilbert(8)?])?)
+        .build()?;
+    show("Hilbert 8x8", &h);
+
+    let sw = Layout::builder([8i64, 8])
+        .order_by(OrderBy::new([xor_swizzle(8, 8)?])?)
+        .build()?;
+    show("XOR bank swizzle 8x8", &sw);
+
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! A command-line layout explorer built on the paper's surface syntax.
+//!
+//! Parse a LEGO layout specification (the Eq. (2)/Table I dot-chain
+//! notation), then:
+//!
+//! * render the physical order of a constant 2-D layout as a grid,
+//! * print the symbolic `apply` expression (raw + simplified) in the
+//!   Python/Triton, C, or MLIR dialect,
+//! * print the symbolic `inv` expressions.
+//!
+//! ```bash
+//! cargo run --example lego_cli -- \
+//!   'GroupBy([6,6]).OrderBy(RegP([2,3,2,3],[1,3,2,4])).OrderBy(RegP([2,2],[2,1]), GenP([3,3], antidiag))'
+//! cargo run --example lego_cli -- \
+//!   'TileBy([M//BM, K//BK], [BM, BK]).OrderBy(Row(M, K))' --dialect c
+//! ```
+
+use lego_core::parse::parse_layout;
+use lego_expr::printer::python::{Flavor, print as py_print};
+use lego_expr::printer::{c, mlir::MlirEmitter};
+use lego_expr::{Expr, RangeEnv, pick_cheaper};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(spec) = args.first() else {
+        eprintln!(
+            "usage: lego_cli '<layout spec>' [--dialect triton|c|mlir]"
+        );
+        eprintln!(
+            "e.g.:  lego_cli 'GroupBy([6,4]).OrderBy(RegP([2,2],[2,1]), GenP([3,2], reverse))'"
+        );
+        std::process::exit(2);
+    };
+    let dialect = args
+        .iter()
+        .position(|a| a == "--dialect")
+        .and_then(|k| args.get(k + 1))
+        .map(String::as_str)
+        .unwrap_or("triton");
+
+    let layout = parse_layout(spec)?;
+    println!("parsed: view {:?}, {} OrderBy level(s)\n",
+        layout
+            .view()
+            .dims()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>(),
+        layout.orders().len()
+    );
+
+    // Constant 2-D layouts: render the grid.
+    if let Ok(dims) = layout.view().dims_const() {
+        if dims.len() == 2 && dims[0] <= 16 && dims[1] <= 16 {
+            println!("physical position of each logical coordinate:");
+            for i in 0..dims[0] {
+                print!("  ");
+                for j in 0..dims[1] {
+                    print!("{:>5}", layout.apply_c(&[i, j])?);
+                }
+                println!();
+            }
+            println!();
+        }
+        lego_core::check::check_layout_bijective(&layout)?;
+        println!("bijectivity: verified exhaustively ✓\n");
+    }
+
+    // Symbolic apply with auto-named indices i0..iN.
+    let names: Vec<String> =
+        (0..layout.view().rank()).map(|k| format!("i{k}")).collect();
+    let idx: Vec<Expr> = names.iter().map(|n| Expr::sym(n.as_str())).collect();
+    let raw = layout.apply_sym(&idx)?;
+    let mut env = RangeEnv::new();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    layout.declare_index_bounds(&mut env, &name_refs)?;
+    for d in layout.view().dims() {
+        for s in d.free_syms() {
+            env.assume_pos(&s);
+        }
+        // A view dimension written `X//Y` implies exact tiling: Y | X.
+        if let lego_expr::ExprKind::FloorDiv(x, y) = d.kind() {
+            env.assume_divides(y.clone(), x.clone());
+        }
+    }
+    let choice = pick_cheaper(&raw, &env);
+    println!(
+        "apply({}) [{} ops raw -> {} ops simplified, {:?} form]:",
+        names.join(", "),
+        lego_expr::op_count(&raw),
+        lego_expr::op_count(&choice.expr),
+        choice.variant
+    );
+    match dialect {
+        "c" => println!("  {}", c::print(&choice.expr)?),
+        "mlir" => {
+            let mut em = MlirEmitter::new();
+            for n in &names {
+                em.bind_sym(n, &format!("%{n}"));
+            }
+            for d in layout.view().dims() {
+                for s in d.free_syms() {
+                    em.bind_sym(&s, &format!("%{s}"));
+                }
+            }
+            let v = em.emit(&choice.expr)?;
+            for line in em.lines() {
+                println!("  {line}");
+            }
+            println!("  // result: {v}");
+        }
+        _ => println!("  {}", py_print(&choice.expr, Flavor::Triton)?),
+    }
+
+    // Symbolic inverse.
+    if let Ok(back) = layout.inv_sym(&Expr::sym("flat")) {
+        println!("\ninv(flat):");
+        for (n, e) in names.iter().zip(&back) {
+            let s = lego_expr::simplify(e, &env);
+            match dialect {
+                "c" => println!("  {n} = {}", c::print(&s)?),
+                _ => println!("  {n} = {}", py_print(&s, Flavor::Triton)?),
+            }
+        }
+    } else {
+        println!("\ninv(flat): not available (missing symbolic inverse)");
+    }
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Quickstart: the paper's Fig. 2 worked example, end to end.
+//!
+//! Builds the 6×4 layout `GroupBy([6,4], OrderBy(RegP([2,2],[2,1]),
+//! GenP([3,2], p, p⁻¹)))`, checks the paper's anchor values, prints the
+//! full physical order, and shows the symbolic side: the generated index
+//! expression before and after Table II simplification.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lego_core::{Layout, OrderBy, Perm, perms};
+use lego_expr::{Expr, RangeEnv, simplify};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- concrete: build the Fig. 2 layout --------------------------
+    let layout = Layout::builder([6i64, 4])
+        .order_by(OrderBy::new([
+            Perm::reg([2i64, 2], [2usize, 1])?, // transpose outer 2x2 tiles
+            perms::reverse_perm(&[3, 2])?,      // reverse each inner 3x2 tile
+        ])?)
+        .build()?;
+
+    // The paper's anchors: apply([4,1]) = 6, inv(6) = [4,1].
+    assert_eq!(layout.apply_c(&[4, 1])?, 6);
+    assert_eq!(layout.inv_c(6)?, vec![4, 1]);
+    println!("Fig. 2 anchors hold: apply([4,1]) = 6, inv(6) = [4,1]\n");
+
+    // Physical memory order: position p holds logical element phys[p].
+    let perm = layout.to_permutation()?;
+    let mut phys = vec![0i64; 24];
+    for (logical, &p) in perm.iter().enumerate() {
+        phys[p as usize] = logical as i64;
+    }
+    println!("physical order (6 elements per inner tile):");
+    for row in phys.chunks(6) {
+        println!("  {row:?}");
+    }
+
+    // ---- symbolic: a tiled matmul data layout -----------------------
+    // DL_a = TileBy([M/BM, K/BK], [BM, BK]).OrderBy(Row(M, K))
+    let (m, k) = (Expr::sym("M"), Expr::sym("K"));
+    let (bm, bk) = (Expr::sym("BM"), Expr::sym("BK"));
+    let dl_a = lego_core::sugar::tile_by([
+        vec![m.floor_div(&bm), k.floor_div(&bk)],
+        vec![bm, bk],
+    ])?
+    .order_by(OrderBy::new([lego_core::sugar::row([m, k])?])?)
+    .build()?;
+
+    let raw = dl_a.apply_sym(&[
+        Expr::sym("pid_m"),
+        Expr::sym("kk"),
+        Expr::sym("r0"),
+        Expr::sym("r1"),
+    ])?;
+    println!("\nraw generated offset ({} ops):", lego_expr::op_count(&raw));
+    println!("  {raw}");
+
+    let mut env = RangeEnv::new();
+    for s in ["M", "K", "BM", "BK"] {
+        env.assume_pos(s);
+    }
+    env.assume_divides(Expr::sym("BM"), Expr::sym("M"));
+    env.assume_divides(Expr::sym("BK"), Expr::sym("K"));
+    env.set_bounds("pid_m", Expr::zero(), Expr::sym("M").floor_div(&Expr::sym("BM")));
+    env.set_bounds("kk", Expr::zero(), Expr::sym("K").floor_div(&Expr::sym("BK")));
+    env.set_bounds("r0", Expr::zero(), Expr::sym("BM"));
+    env.set_bounds("r1", Expr::zero(), Expr::sym("BK"));
+
+    let simplified = lego_expr::pick_cheaper(&raw, &env).expr;
+    println!(
+        "simplified ({} ops):  {}",
+        lego_expr::op_count(&simplified),
+        simplified
+    );
+    assert!(lego_expr::op_count(&simplified) < lego_expr::op_count(&raw));
+
+    // The expanded-then-simplified form is equivalent (evaluate both on
+    // a sample binding to check):
+    let also = simplify(&lego_expr::expand(&raw), &env);
+    let mut bind = lego_expr::Bindings::new();
+    for (k, v) in [("M", 64i64), ("K", 32), ("BM", 16), ("BK", 8), ("pid_m", 2), ("kk", 3), ("r0", 5), ("r1", 3)] {
+        bind.insert(k.to_string(), v);
+    }
+    let lane = |_: usize| 5i64;
+    assert_eq!(
+        lego_expr::eval_lane(&also, &bind, &lane)?,
+        lego_expr::eval_lane(&simplified, &bind, &lane)?
+    );
+    println!("\nTable II rules erased the flatten/unflatten chain.");
+    Ok(())
+}

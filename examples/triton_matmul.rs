@@ -1,0 +1,43 @@
+//! Generates the four Triton matmul kernels of the paper's Fig. 1/10 and
+//! prints the Fig. 10 kernel, then simulates all three implementations
+//! on the A100 model (one row of Fig. 11).
+//!
+//! Run with: `cargo run --example triton_matmul [N]`
+
+use gpu_sim::a100;
+use lego_bench::workloads::matmul::{Schedule, simulate};
+use lego_codegen::triton::matmul::{MatmulVariant, generate};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+
+    // The generated kernel of Fig. 10.
+    let kernel = generate(MatmulVariant::NN)?;
+    println!("// ===== LEGO-generated Triton kernel (Fig. 10) =====");
+    println!("{}", kernel.source);
+
+    println!("// ===== all four data-layout variants generate =====");
+    for v in MatmulVariant::ALL {
+        let k = generate(v)?;
+        println!(
+            "//  {:>5}: a_off = {}",
+            v.name(),
+            lego_expr::printer::python::print(
+                &k.a_off,
+                lego_expr::printer::python::Flavor::Triton
+            )?
+        );
+    }
+
+    // One row of Fig. 11: simulated TFLOP/s.
+    let cfg = a100();
+    let lego = simulate(n, (128, 128, 64), Schedule::Grouped { gm: 8 }, &cfg);
+    let vendor = simulate(n, (128, 128, 64), Schedule::Vendor, &cfg);
+    println!("\n// simulated A100 @ N = {n}:");
+    println!("//   LEGO / Triton : {:.1} TFLOP/s", lego.tflops);
+    println!("//   PyTorch/cuBLAS: {:.1} TFLOP/s", vendor.tflops);
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Workspace facade re-exporting the LEGO crates for integration tests and examples.
+#![forbid(unsafe_code)]
+pub use gpu_sim;
+pub use lego_bench;
+pub use lego_codegen;
+pub use lego_core;
+pub use lego_expr;

@@ -1,0 +1,111 @@
+//! End-to-end sanity of the experiment drivers: every figure/table
+//! reproduction runs and exhibits the paper's qualitative result
+//! (who wins, roughly by how much).
+
+use gpu_sim::a100;
+use lego_bench::workloads::matmul::{Schedule, simulate as matmul};
+use lego_bench::workloads::rowwise::{Impl, RowwiseBench};
+use lego_bench::workloads::{lud, nw, stencil, transpose};
+use lego_codegen::cuda::stencil::StencilShape;
+use lego_codegen::cuda::transpose::TransposeVariant;
+
+const TILES: (i64, i64, i64) = (128, 128, 64);
+
+/// Fig. 11 headline: cuBLAS ahead at 2k, parity by 8k.
+#[test]
+fn fig11_crossover_shape() {
+    let cfg = a100();
+    let small = matmul(2048, TILES, Schedule::Grouped { gm: 8 }, &cfg).tflops
+        / matmul(2048, TILES, Schedule::Vendor, &cfg).tflops;
+    let large = matmul(8192, TILES, Schedule::Grouped { gm: 8 }, &cfg).tflops
+        / matmul(8192, TILES, Schedule::Vendor, &cfg).tflops;
+    assert!(small < 0.9, "LEGO should trail at 2k (ratio {small:.2})");
+    assert!(large > 0.95, "LEGO should reach parity at 8k (ratio {large:.2})");
+}
+
+/// Fig. 11: LEGO ≥ Triton on LayerNorm FWD, ties elsewhere; both beat
+/// PyTorch on the fused row-wise kernels.
+#[test]
+fn fig11_rowwise_ordering() {
+    let cfg = a100();
+    for b in [
+        RowwiseBench::LayernormFwd,
+        RowwiseBench::LayernormBwd,
+        RowwiseBench::Softmax,
+    ] {
+        let l = b.time_s(4096, 4096, Impl::Lego, &cfg);
+        let t = b.time_s(4096, 4096, Impl::Triton, &cfg);
+        let p = b.time_s(4096, 4096, Impl::PyTorch, &cfg);
+        assert!(l <= t + 1e-12, "{}: LEGO slower than Triton", b.name());
+        assert!(l < p, "{}: LEGO slower than PyTorch", b.name());
+    }
+}
+
+/// Fig. 12a: NW speedups in (roughly) the paper band, growing with size.
+#[test]
+fn fig12a_nw_band() {
+    let cfg = a100();
+    let mut prev = 0.0;
+    for n in [2048i64, 4096, 8192, 16384] {
+        let s = nw::speedup(n, 16, &cfg);
+        assert!((1.3..2.3).contains(&s), "n={n}: {s:.2}");
+        assert!(s >= prev, "speedup not monotone");
+        prev = s;
+    }
+}
+
+/// Fig. 12b: coarsening wins at every size; best config is the paper's
+/// 64×64 block with coarsening factor 4.
+#[test]
+fn fig12b_lud_best_config() {
+    let cfg = a100();
+    for n in [2048i64, 4096] {
+        let t16 = lud::simulate(n, 16, &cfg).time_s;
+        let t32 = lud::simulate(n, 32, &cfg).time_s;
+        let t64 = lud::simulate(n, 64, &cfg).time_s;
+        assert!(t64 < t16, "n={n}: coarsened not faster");
+        assert!(t32 < t16, "n={n}: intermediate not faster");
+    }
+}
+
+/// Fig. 12c: bricks beat row-major on every stencil shape.
+#[test]
+fn fig12c_brick_wins_all_shapes() {
+    let cfg = a100();
+    for shape in StencilShape::ALL {
+        let (_, _, s) = stencil::compare(shape, 64, 8, &cfg);
+        assert!(s > 2.0, "{}: speedup {s:.2}", shape.name());
+    }
+}
+
+/// Fig. 13: coarsening moves LUD toward higher arithmetic intensity and
+/// achieved performance stays below the roof.
+#[test]
+fn fig13_roofline_consistency() {
+    use gpu_sim::{attainable, timing::Pipeline};
+    let cfg = a100();
+    for bs in [16i64, 64] {
+        let r = lud::simulate(4096, bs, &cfg);
+        let roof = attainable(r.intensity, Pipeline::Fp32, &cfg);
+        assert!(
+            r.gflops * 1e9 <= roof * 1.01,
+            "bs={bs}: achieved above roof"
+        );
+    }
+}
+
+/// Table V: smem ≫ naive at every size; LEGO-MLIR within a few percent
+/// of the SDK (slight edge).
+#[test]
+fn table5_shape() {
+    let cfg = a100();
+    for n in [2048i64, 4096, 8192] {
+        let naive = transpose::simulate(n, 32, TransposeVariant::Naive, &cfg);
+        let smem =
+            transpose::simulate(n, 32, TransposeVariant::SmemCoalesced, &cfg);
+        assert!(smem.gbps / naive.gbps > 2.5, "n={n}");
+        // Absolute band sanity vs the paper's numbers.
+        assert!(naive.gbps > 100.0 && naive.gbps < 450.0, "naive {}", naive.gbps);
+        assert!(smem.gbps > 450.0 && smem.gbps < 1200.0, "smem {}", smem.gbps);
+    }
+}

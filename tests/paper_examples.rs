@@ -1,0 +1,184 @@
+//! Integration tests pinning the paper's worked examples across crates:
+//! Fig. 2, Fig. 6, Fig. 8, Eq. (2), and the Table I layout specs.
+
+use lego_core::check::check_layout_bijective;
+use lego_core::perms::{antidiag, reverse_perm};
+use lego_core::{Layout, OrderBy, Perm, Shape, sugar};
+use lego_expr::Expr;
+
+/// Fig. 2: GroupBy([6,4], OrderBy(RegP([2,2],[2,1]), GenP([3,2], p, p⁻¹))).
+#[test]
+fn fig2_layout_anchors() {
+    let layout = Layout::builder([6i64, 4])
+        .order_by(
+            OrderBy::new([
+                Perm::reg([2i64, 2], [2usize, 1]).unwrap(),
+                reverse_perm(&[3, 2]).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .build()
+        .unwrap();
+    assert_eq!(layout.apply_c(&[4, 1]).unwrap(), 6);
+    assert_eq!(layout.inv_c(6).unwrap(), vec![4, 1]);
+    check_layout_bijective(&layout).unwrap();
+}
+
+/// Eq. (2) / Fig. 6: GroupBy([6,6]).OrderBy(RegP([2,3,2,3],[1,3,2,4]))
+/// .OrderBy(RegP([2,2],[2,1]), GenP([3,3], antidiag, antidiag⁻¹)).
+fn fig6_layout() -> Layout {
+    Layout::builder([6i64, 6])
+        .order_by(
+            OrderBy::new([
+                Perm::reg([2i64, 3, 2, 3], [1usize, 3, 2, 4]).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .order_by(
+            OrderBy::new([
+                Perm::reg([2i64, 2], [2usize, 1]).unwrap(),
+                antidiag(3).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn fig6_chain_anchors() {
+    let g = fig6_layout();
+    // Paper: element 26 at logical [4,2] is reordered by O2 to flat 23,
+    // then by O1 to physical 15; inv(15) = [4,2].
+    assert_eq!(g.apply_c(&[4, 2]).unwrap(), 15);
+    assert_eq!(g.inv_c(15).unwrap(), vec![4, 2]);
+    check_layout_bijective(&g).unwrap();
+}
+
+#[test]
+fn fig6_intermediate_o2_step() {
+    // The middle column alone: only the stripmine+interchange OrderBy.
+    let o2 = Layout::builder([6i64, 6])
+        .order_by(
+            OrderBy::new([
+                Perm::reg([2i64, 3, 2, 3], [1usize, 3, 2, 4]).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .build()
+        .unwrap();
+    assert_eq!(o2.apply_c(&[4, 2]).unwrap(), 23);
+    // And the 4-D index of 23 over (2,2,3,3) is [1,0,1,2] as the paper
+    // states.
+    assert_eq!(
+        lego_core::shape::unflatten(&[2, 2, 3, 3], 23).unwrap(),
+        vec![1, 0, 1, 2]
+    );
+}
+
+/// Fig. 8 / Table I: GroupBy([2,2,2,2,2]).OrderBy(RegP([2,2,2,2,2],
+/// [5,2,4,3,1])) — a layout non-contiguous in both dimensions of the
+/// composed 4×8 view.
+#[test]
+fn fig8_layout_is_bijective_and_non_contiguous() {
+    let layout = Layout::builder([4i64, 8])
+        .order_by(
+            OrderBy::new([
+                Perm::reg([2i64, 2, 2, 2, 2], [5usize, 2, 4, 3, 1]).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .build()
+        .unwrap();
+    check_layout_bijective(&layout).unwrap();
+    // Non-contiguity in both dimensions: consecutive physical positions
+    // are not always logical row or column neighbors.
+    let mut logical_of = vec![(0i64, 0i64); 32];
+    for i in 0..4 {
+        for j in 0..8 {
+            logical_of[layout.apply_c(&[i, j]).unwrap() as usize] = (i, j);
+        }
+    }
+    let mut row_jumps = 0;
+    let mut col_jumps = 0;
+    for w in logical_of.windows(2) {
+        if (w[1].0 - w[0].0).abs() > 1 {
+            row_jumps += 1;
+        }
+        if (w[1].1 - w[0].1).abs() > 1 {
+            col_jumps += 1;
+        }
+    }
+    assert!(row_jumps > 0, "contiguous in rows");
+    assert!(col_jumps > 0, "contiguous in columns");
+}
+
+/// Table I row 1: the matmul data layout formula
+/// TileBy([M/BM, K/BK],[BM,BK]).OrderBy(Row(M,K)) equals row-major
+/// global indexing of the tiled view.
+#[test]
+fn table1_matmul_data_layout() {
+    let (m, k, bm, bk) = (64i64, 32, 16, 8);
+    let dl = sugar::tile_by([
+        Shape::from([m / bm, k / bk]),
+        Shape::from([bm, bk]),
+    ])
+    .unwrap()
+    .order_by(OrderBy::new([sugar::row([m, k]).unwrap()]).unwrap())
+    .build()
+    .unwrap();
+    for (pm, kk, r0, r1) in [(0i64, 0i64, 0i64, 0i64), (2, 3, 5, 7), (3, 1, 15, 3)] {
+        let want = (pm * bm + r0) * k + kk * bk + r1;
+        assert_eq!(dl.apply_c(&[pm, kk, r0, r1]).unwrap(), want);
+    }
+}
+
+/// Table I last row: the brick layout as
+/// TileBy([N/B;3],[B;3]) + brick-contiguous reordering.
+#[test]
+fn table1_brick_layout() {
+    let l = lego_core::brick::brick3d(8, 2).unwrap();
+    check_layout_bijective(&l).unwrap();
+    // Brick-contiguity: all 8 elements of brick (0,0,0) come first.
+    for x in 0..2 {
+        for y in 0..2 {
+            for z in 0..2 {
+                assert!(l.apply_c(&[x, y, z]).unwrap() < 8);
+            }
+        }
+    }
+}
+
+/// Table I row 12b (TileBy reading): the LUD thread-coarsening layout.
+#[test]
+fn table1_lud_coarsening_layout() {
+    let (r, t) = (4i64, 16i64);
+    let l = sugar::tile_by([
+        Shape::new([Expr::val(r), Expr::val(r)]),
+        Shape::new([Expr::val(t), Expr::val(t)]),
+    ])
+    .unwrap()
+    .order_by(OrderBy::new([sugar::row([r * t, r * t]).unwrap()]).unwrap())
+    .build()
+    .unwrap();
+    let want = |ri: i64, rj: i64, ti: i64, tj: i64| {
+        (ri * t + ti) * (r * t) + rj * t + tj
+    };
+    assert_eq!(l.apply_c(&[1, 2, 3, 4]).unwrap(), want(1, 2, 3, 4));
+    assert_eq!(l.apply_c(&[3, 0, 15, 9]).unwrap(), want(3, 0, 15, 9));
+}
+
+/// The anti-diagonal pseudocode of Fig. 7 round-trips for every size the
+/// NW benchmark uses.
+#[test]
+fn fig7_antidiag_roundtrip_nw_sizes() {
+    use lego_core::perms::{antidiag_flat, antidiag_flat_inv};
+    for n in [17i64, 33, 65] {
+        for i in 0..n {
+            for j in 0..n {
+                let f = antidiag_flat(n, i, j);
+                assert_eq!(antidiag_flat_inv(n, f), (i, j), "n={n}");
+            }
+        }
+    }
+}
