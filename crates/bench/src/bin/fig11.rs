@@ -5,23 +5,32 @@
 //! LEGO and Triton generate identical indexing (verified by the codegen
 //! tests), so their series coincide except LayerNorm-FWD where the paper
 //! attributes a codegen inefficiency to the reference Triton loop.
+//!
+//! Pass `--tuned` to additionally run the `lego-tune` search for the
+//! matmul sizes and report naive-vs-tuned estimates.
 
 use gpu_sim::a100;
-use lego_bench::workloads::matmul::{Schedule, simulate};
-use lego_bench::workloads::rowwise::{Impl, RowwiseBench, grouped_gemm_tflops};
+use lego_bench::workloads::matmul::{simulate, Schedule};
+use lego_bench::workloads::rowwise::{grouped_gemm_tflops, Impl, RowwiseBench};
+use lego_bench::{emit, tuned};
 use lego_codegen::triton::matmul::MatmulVariant;
+use lego_tune::{Json, WorkloadKind};
 
 const TILES: (i64, i64, i64) = (128, 128, 64);
 
 fn main() {
     let cfg = a100();
     let sizes = [2048i64, 4096, 8192];
+    let mut rows = Vec::new();
 
     println!("Figure 11: Triton suite (TFLOP/s for GEMMs, GB/s for row-wise)\n");
 
     for variant in MatmulVariant::ALL {
         println!("-- Matmul {} (TFLOP/s) --", variant.name());
-        println!("{:<8} {:>10} {:>10} {:>10}", "N", "Triton", "LEGO", "PyTorch");
+        println!(
+            "{:<8} {:>10} {:>10} {:>10}",
+            "N", "Triton", "LEGO", "PyTorch"
+        );
         for n in sizes {
             // LEGO and Triton share the same generated kernel; the data
             // layout variant changes only address formulas, which the
@@ -33,17 +42,34 @@ fn main() {
                 "{:<8} {:>10.1} {:>10.1} {:>10.1}",
                 n, lego.tflops, lego.tflops, torch.tflops
             );
+            rows.push(Json::obj([
+                ("bench", Json::Str(format!("matmul-{}", variant.name()))),
+                ("n", Json::Int(n)),
+                ("triton_tflops", Json::num(lego.tflops)),
+                ("lego_tflops", Json::num(lego.tflops)),
+                ("pytorch_tflops", Json::num(torch.tflops)),
+            ]));
         }
         println!();
     }
 
     println!("-- Grouped GEMM (TFLOP/s, 8 problems per group) --");
-    println!("{:<8} {:>10} {:>10} {:>10}", "N", "Triton", "LEGO", "PyTorch");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "N", "Triton", "LEGO", "PyTorch"
+    );
     for n in sizes {
         let lego = grouped_gemm_tflops(8, n / 2, Impl::Lego, &cfg);
         let triton = grouped_gemm_tflops(8, n / 2, Impl::Triton, &cfg);
         let torch = grouped_gemm_tflops(8, n / 2, Impl::PyTorch, &cfg);
         println!("{:<8} {:>10.1} {:>10.1} {:>10.1}", n, triton, lego, torch);
+        rows.push(Json::obj([
+            ("bench", Json::Str("grouped-gemm".to_string())),
+            ("n", Json::Int(n)),
+            ("triton_tflops", Json::num(triton)),
+            ("lego_tflops", Json::num(lego)),
+            ("pytorch_tflops", Json::num(torch)),
+        ]));
     }
     println!();
 
@@ -53,12 +79,22 @@ fn main() {
         RowwiseBench::Softmax,
     ] {
         println!("-- {} (GB/s) --", bench.name());
-        println!("{:<8} {:>10} {:>10} {:>10}", "N", "Triton", "LEGO", "PyTorch");
+        println!(
+            "{:<8} {:>10} {:>10} {:>10}",
+            "N", "Triton", "LEGO", "PyTorch"
+        );
         for n in sizes {
             let t = bench.gbps(n, n, Impl::Triton, &cfg);
             let l = bench.gbps(n, n, Impl::Lego, &cfg);
             let p = bench.gbps(n, n, Impl::PyTorch, &cfg);
             println!("{:<8} {:>10.0} {:>10.0} {:>10.0}", n, t, l, p);
+            rows.push(Json::obj([
+                ("bench", Json::Str(bench.name().to_string())),
+                ("n", Json::Int(n)),
+                ("triton_gbps", Json::num(t)),
+                ("lego_gbps", Json::num(l)),
+                ("pytorch_gbps", Json::num(p)),
+            ]));
         }
         println!();
     }
@@ -80,5 +116,22 @@ fn main() {
             g.dram_bytes / 1e9,
             r.dram_bytes / 1e9
         );
+        rows.push(Json::obj([
+            ("bench", Json::Str("grouping-ablation".to_string())),
+            ("n", Json::Int(n)),
+            ("grouped_l2_hit", Json::num(g.l2_hit_rate)),
+            ("rowmajor_l2_hit", Json::num(r.l2_hit_rate)),
+            ("grouped_dram_bytes", Json::num(g.dram_bytes)),
+            ("rowmajor_dram_bytes", Json::num(r.dram_bytes)),
+        ]));
     }
+
+    emit::announce(emit::write_bench_json("fig11", rows));
+    tuned::maybe_report(
+        "fig11",
+        &[
+            WorkloadKind::Matmul { n: 2048 },
+            WorkloadKind::Matmul { n: 4096 },
+        ],
+    );
 }

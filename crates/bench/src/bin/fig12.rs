@@ -1,15 +1,23 @@
 //! **Figure 12** (a–c): the CUDA benchmarks — NW anti-diagonal layout,
 //! LUD thread coarsening, and brick vs. row-major stencils.
 //!
-//! Run all three panels, or one: `fig12 [nw|lud|stencil]`.
+//! Run all three panels, or one: `fig12 [nw|lud|stencil]`. Pass
+//! `--tuned` to additionally run the `lego-tune` stencil-layout search
+//! and report naive-vs-tuned estimates.
 
 use gpu_sim::a100;
 use lego_bench::workloads::{lud, nw, stencil};
+use lego_bench::{emit, tuned};
 use lego_codegen::cuda::stencil::StencilShape;
+use lego_tune::{Json, WorkloadKind};
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let which = std::env::args()
+        .skip(1)
+        .find(|a| a != "--tuned")
+        .unwrap_or_else(|| "all".to_string());
     let cfg = a100();
+    let mut rows = Vec::new();
 
     if which == "all" || which == "nw" {
         println!("Figure 12a: NW — anti-diagonal buffer layout vs Rodinia baseline");
@@ -27,6 +35,13 @@ fn main() {
                 o.time_s * 1e3,
                 b.time_s / o.time_s
             );
+            rows.push(Json::obj([
+                ("panel", Json::Str("nw".to_string())),
+                ("n", Json::Int(n)),
+                ("baseline_s", Json::num(b.time_s)),
+                ("lego_s", Json::num(o.time_s)),
+                ("speedup", Json::num(b.time_s / o.time_s)),
+            ]));
         }
         println!();
     }
@@ -47,6 +62,13 @@ fn main() {
                 coarse.gflops,
                 base.time_s / coarse.time_s
             );
+            rows.push(Json::obj([
+                ("panel", Json::Str("lud".to_string())),
+                ("n", Json::Int(n)),
+                ("baseline_gflops", Json::num(base.gflops)),
+                ("coarsened_gflops", Json::num(coarse.gflops)),
+                ("speedup", Json::num(base.time_s / coarse.time_s)),
+            ]));
         }
         println!();
     }
@@ -66,6 +88,32 @@ fn main() {
                 bk.gflops,
                 speedup
             );
+            rows.push(Json::obj([
+                ("panel", Json::Str("stencil".to_string())),
+                ("shape", Json::Str(shape.name())),
+                ("array_gflops", Json::num(rm.gflops)),
+                ("brick_gflops", Json::num(bk.gflops)),
+                ("speedup", Json::num(speedup)),
+            ]));
         }
     }
+
+    emit::announce(emit::write_bench_json("fig12", rows));
+    tuned::maybe_report(
+        "fig12",
+        &[
+            WorkloadKind::Stencil {
+                shape: StencilShape::Star(1),
+                n: 64,
+            },
+            WorkloadKind::Stencil {
+                shape: StencilShape::Star(2),
+                n: 64,
+            },
+            WorkloadKind::Stencil {
+                shape: StencilShape::Cube(1),
+                n: 64,
+            },
+        ],
+    );
 }

@@ -4,8 +4,10 @@
 
 use gpu_sim::timing::Pipeline;
 use gpu_sim::{a100, attainable, ridge};
+use lego_bench::emit;
 use lego_bench::workloads::{lud, stencil};
 use lego_codegen::cuda::stencil::StencilShape;
+use lego_tune::Json;
 
 fn main() {
     let cfg = a100();
@@ -22,15 +24,21 @@ fn main() {
         "{:<16} {:>12} {:>14} {:>16}",
         "variant", "AI (F/B)", "achieved GF/s", "attainable GF/s"
     );
+    let mut rows = Vec::new();
     for (name, bs) in [("16x16 baseline", 16i64), ("64x64 coarsened", 64)] {
         let r = lud::simulate(4096, bs, &cfg);
+        let roof = attainable(r.intensity, Pipeline::Fp32, &cfg) / 1e9;
         println!(
             "{:<16} {:>12.2} {:>14.1} {:>16.1}",
-            name,
-            r.intensity,
-            r.gflops,
-            attainable(r.intensity, Pipeline::Fp32, &cfg) / 1e9
+            name, r.intensity, r.gflops, roof
         );
+        rows.push(Json::obj([
+            ("panel", Json::Str("lud".to_string())),
+            ("variant", Json::Str(name.to_string())),
+            ("intensity", Json::num(r.intensity)),
+            ("achieved_gflops", Json::num(r.gflops)),
+            ("attainable_gflops", Json::num(roof)),
+        ]));
     }
 
     println!("\nFig 13b: stencils (64^3 domain, scaled L2; brick = 8^3)");
@@ -41,14 +49,24 @@ fn main() {
     for shape in StencilShape::ALL {
         let (rm, bk, _) = stencil::compare(shape, 64, 8, &cfg);
         for (layout, r) in [("array", rm), ("brick", bk)] {
+            let roof = attainable(r.intensity, Pipeline::Fp32, &cfg) / 1e9;
             println!(
                 "{:<12} {:<8} {:>12.2} {:>14.1} {:>16.1}",
                 shape.name(),
                 layout,
                 r.intensity,
                 r.gflops,
-                attainable(r.intensity, Pipeline::Fp32, &cfg) / 1e9
+                roof
             );
+            rows.push(Json::obj([
+                ("panel", Json::Str("stencil".to_string())),
+                ("shape", Json::Str(shape.name())),
+                ("layout", Json::Str(layout.to_string())),
+                ("intensity", Json::num(r.intensity)),
+                ("achieved_gflops", Json::num(r.gflops)),
+                ("attainable_gflops", Json::num(roof)),
+            ]));
         }
     }
+    emit::announce(emit::write_bench_json("fig13", rows));
 }

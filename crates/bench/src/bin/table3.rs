@@ -5,9 +5,11 @@
 
 use std::time::Instant;
 
+use lego_bench::emit;
 use lego_codegen::cuda::{lud, nw, stencil, transpose};
-use lego_codegen::mlir::{MlirTranspose, transpose_module};
+use lego_codegen::mlir::{transpose_module, MlirTranspose};
 use lego_codegen::triton::{grouped_gemm, layernorm, matmul, softmax};
+use lego_tune::Json;
 
 fn time<F: FnMut()>(mut f: F) -> f64 {
     // Warm once, then take the best of 3 (generation is deterministic).
@@ -26,7 +28,10 @@ fn main() {
     println!("(paper column: Apple M2 Max + SymPy/Z3; measured column: this");
     println!(" Rust implementation — absolute values differ, sub-second to");
     println!(" seconds order preserved)\n");
-    println!("{:<28} {:>14} {:>14}", "Benchmark", "measured (s)", "paper (s)");
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "Benchmark", "measured (s)", "paper (s)"
+    );
 
     let rows: Vec<(&str, f64, &str)> = vec![
         (
@@ -75,24 +80,21 @@ fn main() {
         (
             "Bricks (Cube)",
             time(|| {
-                stencil::generate(stencil::StencilShape::Cube(2), 128, 8)
-                    .unwrap();
+                stencil::generate(stencil::StencilShape::Cube(2), 128, 8).unwrap();
             }),
             "5.95",
         ),
         (
             "Bricks (Star)",
             time(|| {
-                stencil::generate(stencil::StencilShape::Star(4), 128, 8)
-                    .unwrap();
+                stencil::generate(stencil::StencilShape::Star(4), 128, 8).unwrap();
             }),
             "18.07",
         ),
         (
             "Transpose (Naive)",
             time(|| {
-                transpose::generate(transpose::TransposeVariant::Naive, 32)
-                    .unwrap();
+                transpose::generate(transpose::TransposeVariant::Naive, 32).unwrap();
                 transpose_module(MlirTranspose::Naive).unwrap();
             }),
             "1.07",
@@ -100,17 +102,20 @@ fn main() {
         (
             "Transpose (SMEM)",
             time(|| {
-                transpose::generate(
-                    transpose::TransposeVariant::SmemCoalesced,
-                    32,
-                )
-                .unwrap();
+                transpose::generate(transpose::TransposeVariant::SmemCoalesced, 32).unwrap();
                 transpose_module(MlirTranspose::SmemCoalesced).unwrap();
             }),
             "1.15",
         ),
     ];
+    let mut json_rows = Vec::new();
     for (name, secs, paper) in rows {
         println!("{name:<28} {secs:>14.4} {paper:>14}");
+        json_rows.push(Json::obj([
+            ("benchmark", Json::Str(name.to_string())),
+            ("measured_s", Json::num(secs)),
+            ("paper_s", Json::Str(paper.to_string())),
+        ]));
     }
+    emit::announce(emit::write_bench_json("table3", json_rows));
 }

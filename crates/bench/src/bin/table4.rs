@@ -8,7 +8,9 @@
 //! counts the layout specification plus placeholder usage — everything
 //! else is generated.
 
+use lego_bench::emit;
 use lego_codegen::opcount::count_source_ops;
+use lego_tune::Json;
 
 /// Index-computation lines of the reference Triton matmul (Fig. 1 left).
 const MATMUL_ORIG: &str = "\
@@ -117,18 +119,24 @@ fn main() {
         ("Grouped GEMM", GROUPED_ORIG, GROUPED_LEGO, 20, 6),
         ("Matmul", MATMUL_ORIG, MATMUL_LEGO, 31, 9),
     ];
+    let mut json_rows = Vec::new();
     for (name, orig, lego, p_orig, p_lego) in rows {
+        let (m_orig, m_lego) = (count_source_ops(orig), count_source_ops(lego));
         println!(
             "{:<18} {:>13} {:>13} {:>12} {:>12}",
-            name,
-            count_source_ops(orig),
-            count_source_ops(lego),
-            p_orig,
-            p_lego
+            name, m_orig, m_lego, p_orig, p_lego
         );
+        json_rows.push(Json::obj([
+            ("operator", Json::Str(name.to_string())),
+            ("measured_orig", Json::Int(m_orig as i64)),
+            ("measured_lego", Json::Int(m_lego as i64)),
+            ("paper_orig", Json::Int(p_orig)),
+            ("paper_lego", Json::Int(p_lego)),
+        ]));
     }
     println!(
         "\n(The reduction direction and magnitude match the paper; exact \
          counts depend on which lines are attributed to indexing.)"
     );
+    emit::announce(emit::write_bench_json("table4", json_rows));
 }

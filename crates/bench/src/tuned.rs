@@ -1,0 +1,60 @@
+//! The `--tuned` mode of the bench binaries: run the `lego-tune` search
+//! for the binary's workloads and report naive-vs-tuned estimates,
+//! backed by the persistent `TUNE_CACHE.json`.
+
+use gpu_sim::a100;
+use lego_tune::{Json, Tuner, WorkloadKind};
+
+use crate::emit;
+
+/// Whether `--tuned` was passed on the command line.
+pub fn tuned_requested() -> bool {
+    std::env::args().any(|a| a == "--tuned")
+}
+
+/// If `--tuned` was requested, tunes `kinds`, prints a naive-vs-tuned
+/// table, and emits `BENCH_<name>_tuned.json`. Returns whether the
+/// report ran.
+pub fn maybe_report(name: &str, kinds: &[WorkloadKind]) -> bool {
+    if !tuned_requested() {
+        return false;
+    }
+    let tuner = Tuner::new(a100()).with_cache("TUNE_CACHE.json");
+    println!("\n-- lego-tune: naive vs tuned (gpu-sim estimates) --");
+    println!(
+        "{:<26} {:>12} {:>12} {:>8}  {:<34} source",
+        "workload", "naive (ms)", "tuned (ms)", "speedup", "winner"
+    );
+    let mut rows = Vec::new();
+    for kind in kinds {
+        match tuner.tune(kind) {
+            Ok(r) => {
+                println!(
+                    "{:<26} {:>12.4} {:>12.4} {:>7.2}x  {:<34} {}",
+                    r.workload,
+                    r.naive.time_s * 1e3,
+                    r.tuned.time_s * 1e3,
+                    r.speedup(),
+                    r.config.to_string(),
+                    if r.from_cache {
+                        "cache".to_string()
+                    } else {
+                        format!("searched {}", r.evaluated)
+                    }
+                );
+                rows.push(Json::obj([
+                    ("workload", Json::Str(r.workload.clone())),
+                    ("naive_s", Json::num(r.naive.time_s)),
+                    ("tuned_s", Json::num(r.tuned.time_s)),
+                    ("speedup", Json::num(r.speedup())),
+                    ("winner", Json::Str(r.config.to_string())),
+                    ("from_cache", Json::Bool(r.from_cache)),
+                    ("evaluated", Json::Int(r.evaluated as i64)),
+                ]));
+            }
+            Err(e) => eprintln!("{}: tuning failed: {e}", kind.name()),
+        }
+    }
+    emit::announce(emit::write_bench_json(&format!("{name}_tuned"), rows));
+    true
+}

@@ -8,7 +8,7 @@
 //! number of steps (launches) and the total perimeter traffic by `r` —
 //! the arithmetic-intensity shift visible on the paper's roofline.
 
-use gpu_sim::{GpuConfig, KernelProfile, Pipeline, estimate};
+use gpu_sim::{estimate, GpuConfig, KernelProfile, Pipeline};
 
 /// Result for one LUD configuration.
 #[derive(Clone, Copy, Debug)]
@@ -34,7 +34,7 @@ pub fn simulate(n: i64, bs: i64, cfg: &GpuConfig) -> LudResult {
     let mut blocks = 0f64;
     for d in 0..steps {
         let rem = (steps - d - 1) as f64; // interior blocks per side
-        // Diagonal kernel: one bs x bs block.
+                                          // Diagonal kernel: one bs x bs block.
         dram += (bs * bs * 4) as f64 * 2.0;
         flops += 2.0 / 3.0 * (bs as f64).powi(3);
         // Perimeter kernel: 2*rem blocks, each reads the diagonal block

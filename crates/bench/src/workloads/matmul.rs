@@ -8,8 +8,8 @@
 //! of Fig. 1 vs. plain row-major — and therefore how much reuse a wave
 //! finds in L2. Compute time is wave-quantized tensor-core time.
 
-use gpu_sim::{GpuConfig, KernelProfile, Pipeline, TileCache, estimate};
-use lego_core::{Layout, OrderBy, sugar};
+use gpu_sim::{estimate, GpuConfig, KernelProfile, Pipeline, TileCache};
+use lego_core::{sugar, Layout, OrderBy};
 use lego_expr::Expr;
 
 /// How program ids map to tile coordinates.
@@ -93,8 +93,7 @@ pub fn simulate(
     let wave = cfg.sm_count as i64;
     let mut pid0 = 0i64;
     while pid0 < nblocks {
-        let pids: Vec<(i64, i64)> =
-            (pid0..(pid0 + wave).min(nblocks)).map(pid_of).collect();
+        let pids: Vec<(i64, i64)> = (pid0..(pid0 + wave).min(nblocks)).map(pid_of).collect();
         for kk in 0..ksteps {
             for &(pm, pn) in &pids {
                 // Tile ids: disjoint namespaces for A and B.

@@ -10,10 +10,10 @@
 //! a fixed instruction cost plus its serialized shared-memory passes,
 //! and each block diagonal runs its blocks `sm_count` at a time.
 
+use gpu_sim::bank_conflicts_elems;
 use gpu_sim::GpuConfig;
 use lego_codegen::cuda::nw as nwgen;
 use lego_core::Layout;
-use gpu_sim::bank_conflicts_elems;
 
 /// Result for one NW configuration.
 #[derive(Clone, Copy, Debug)]
@@ -67,8 +67,7 @@ pub fn simulate(n: i64, b: i64, optimized: bool, cfg: &GpuConfig) -> NwResult {
     let block_passes = block_smem_passes(layout, b);
 
     // Cycles one block spends in its wavefront sweep.
-    let block_cycles =
-        (2 * b - 1) as f64 * STEP_CYCLES + block_passes * PASS_CYCLES;
+    let block_cycles = (2 * b - 1) as f64 * STEP_CYCLES + block_passes * PASS_CYCLES;
 
     let nb = n / b;
     // Two triangular sweeps over block anti-diagonals; each diagonal is
@@ -84,10 +83,12 @@ pub fn simulate(n: i64, b: i64, optimized: bool, cfg: &GpuConfig) -> NwResult {
         }
     }
     let compute_s = rounds * block_cycles / cfg.clock_hz;
-    let dram_s =
-        3.0 * (n * n * 4) as f64 / (cfg.dram_bw * cfg.dram_efficiency);
+    let dram_s = 3.0 * (n * n * 4) as f64 / (cfg.dram_bw * cfg.dram_efficiency);
     let time_s = compute_s + dram_s + launches * NW_LAUNCH_S;
-    NwResult { time_s, block_passes }
+    NwResult {
+        time_s,
+        block_passes,
+    }
 }
 
 /// Speedup of the anti-diagonal layout over the baseline at size `n`.

@@ -10,9 +10,9 @@
 //! PyTorch baselines run the operation as multiple passes (uncoalesced
 //! fusion), modeled as extra traffic.
 
-use gpu_sim::{GpuConfig, KernelProfile, Pipeline, estimate};
+use gpu_sim::{estimate, GpuConfig, KernelProfile, Pipeline};
 
-use crate::workloads::matmul::{Schedule, simulate as simulate_matmul};
+use crate::workloads::matmul::{simulate as simulate_matmul, Schedule};
 
 /// Implementations compared in Fig. 11.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -135,10 +135,7 @@ mod tests {
     fn lego_beats_triton_on_layernorm_fwd_only() {
         let cfg = a100();
         let b = RowwiseBench::LayernormFwd;
-        assert!(
-            b.time_s(4096, 4096, Impl::Lego, &cfg)
-                <= b.time_s(4096, 4096, Impl::Triton, &cfg)
-        );
+        assert!(b.time_s(4096, 4096, Impl::Lego, &cfg) <= b.time_s(4096, 4096, Impl::Triton, &cfg));
         let s = RowwiseBench::Softmax;
         let l = s.time_s(4096, 4096, Impl::Lego, &cfg);
         let t = s.time_s(4096, 4096, Impl::Triton, &cfg);
@@ -154,8 +151,7 @@ mod tests {
             RowwiseBench::Softmax,
         ] {
             assert!(
-                b.time_s(4096, 4096, Impl::Lego, &cfg)
-                    < b.time_s(4096, 4096, Impl::PyTorch, &cfg),
+                b.time_s(4096, 4096, Impl::Lego, &cfg) < b.time_s(4096, 4096, Impl::PyTorch, &cfg),
                 "{}",
                 b.name()
             );

@@ -16,8 +16,8 @@
 //! at a smaller size with L2 capacity scaled by the same factor, so the
 //! working-set-to-cache ratio that decides hit rates is preserved.
 
-use gpu_sim::{Cache, GpuConfig, KernelProfile, Pipeline, coalesce_elems, estimate};
-use lego_codegen::cuda::stencil::{StencilBench, StencilShape, generate};
+use gpu_sim::{coalesce_elems, estimate, Cache, GpuConfig, KernelProfile, Pipeline};
+use lego_codegen::cuda::stencil::{generate, StencilBench, StencilShape};
 use lego_core::Layout;
 
 /// Result for one stencil configuration.
@@ -96,16 +96,12 @@ pub fn sweep(
                                 let idx: Vec<i64> = (0..nl)
                                     .map(|lane| {
                                         let (x, y, z) = match lane_axis {
-                                            LaneAxis::Z => (
-                                                tx * bx + wi,
-                                                ty * by + wj,
-                                                tz * bz + l0 + lane,
-                                            ),
-                                            LaneAxis::Y => (
-                                                tx * bx + wi,
-                                                ty * by + l0 + lane,
-                                                tz * bz + wj,
-                                            ),
+                                            LaneAxis::Z => {
+                                                (tx * bx + wi, ty * by + wj, tz * bz + l0 + lane)
+                                            }
+                                            LaneAxis::Y => {
+                                                (tx * bx + wi, ty * by + l0 + lane, tz * bz + wj)
+                                            }
                                             LaneAxis::YZ => {
                                                 let local = l0 + lane;
                                                 (
@@ -116,26 +112,15 @@ pub fn sweep(
                                             }
                                         };
                                         layout
-                                            .apply_c(&[
-                                                clamp(x + dx),
-                                                clamp(y + dy),
-                                                clamp(z + dz),
-                                            ])
+                                            .apply_c(&[clamp(x + dx), clamp(y + dy), clamp(z + dz)])
                                             .expect("in bounds")
                                     })
                                     .collect();
-                                let c = coalesce_elems(
-                                    &idx,
-                                    4,
-                                    0,
-                                    cfg.sector_bytes,
-                                );
+                                let c = coalesce_elems(&idx, 4, 0, cfg.sector_bytes);
                                 l2_bytes += c.moved_bytes as f64;
                                 let mut sectors: Vec<i64> = idx
                                     .iter()
-                                    .map(|&i| {
-                                        i * 4 / cfg.sector_bytes as i64
-                                    })
+                                    .map(|&i| i * 4 / cfg.sector_bytes as i64)
                                     .collect();
                                 sectors.sort_unstable();
                                 sectors.dedup();
@@ -152,8 +137,7 @@ pub fn sweep(
     }
 
     let stats = l2.stats();
-    let dram_bytes =
-        stats.misses as f64 * cfg.sector_bytes as f64 + (n * n * n * 4) as f64;
+    let dram_bytes = stats.misses as f64 * cfg.sector_bytes as f64 + (n * n * n * 4) as f64;
     let flops = 2.0 * shape.points() as f64 * (n * n * n) as f64;
     let profile = KernelProfile {
         flops,

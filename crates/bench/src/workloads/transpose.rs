@@ -5,10 +5,9 @@
 //! — conflict-free — in the LEGO version, per the generated kernel).
 
 use gpu_sim::{
-    GpuConfig, KernelProfile, Pipeline, achieved_bandwidth,
-    bank_conflicts_elems, coalesce_elems,
+    achieved_bandwidth, bank_conflicts_elems, coalesce_elems, GpuConfig, KernelProfile, Pipeline,
 };
-use lego_codegen::cuda::transpose::{TransposeVariant, generate};
+use lego_codegen::cuda::transpose::{generate, TransposeVariant};
 
 /// Fraction of streaming bandwidth a transpose-pattern kernel achieves:
 /// alternating read/write streams to distinct regions pay DRAM
@@ -44,9 +43,7 @@ pub fn simulate(n: i64, t: i64, variant: TransposeVariant, cfg: &GpuConfig) -> T
             let write_idx: Vec<i64> = (0..32).map(|l| l * n).collect();
             let r = coalesce_elems(&read_idx, 4, 0, cfg.sector_bytes);
             let w = coalesce_elems(&write_idx, 4, 0, cfg.sector_bytes);
-            moved += (r.moved_bytes + w.moved_bytes) as f64
-                * warps_per_tile
-                * tiles as f64;
+            moved += (r.moved_bytes + w.moved_bytes) as f64 * warps_per_tile * tiles as f64;
         }
         TransposeVariant::SmemCoalesced => {
             // Both global accesses row-contiguous.
@@ -64,8 +61,7 @@ pub fn simulate(n: i64, t: i64, variant: TransposeVariant, cfg: &GpuConfig) -> T
                     .map(|tx| smem.apply_c(&[tx, ty]).expect("in tile"))
                     .collect();
                 smem_passes += (bank_conflicts_elems(&store, 32).passes
-                    + bank_conflicts_elems(&load, 32).passes)
-                    as f64;
+                    + bank_conflicts_elems(&load, 32).passes) as f64;
             }
             smem_passes *= tiles as f64;
         }
@@ -80,10 +76,12 @@ pub fn simulate(n: i64, t: i64, variant: TransposeVariant, cfg: &GpuConfig) -> T
         blocks: tiles as f64,
         launches: 1.0,
     };
-    let gbps =
-        achieved_bandwidth(useful, &profile, cfg) / 1e9 * TRANSPOSE_BW_DERATE;
+    let gbps = achieved_bandwidth(useful, &profile, cfg) / 1e9 * TRANSPOSE_BW_DERATE;
     let _ = Pipeline::Fp32;
-    TransposeResult { gbps, dram_bytes: moved }
+    TransposeResult {
+        gbps,
+        dram_bytes: moved,
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,5 @@
 fn main() {
-    let k = lego_codegen::triton::matmul::generate(
-        lego_codegen::triton::matmul::MatmulVariant::NN).unwrap();
+    let k = lego_codegen::triton::matmul::generate(lego_codegen::triton::matmul::MatmulVariant::NN)
+        .unwrap();
     println!("{}", k.source);
 }

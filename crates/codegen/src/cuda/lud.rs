@@ -8,9 +8,9 @@
 //! an `(R·T)×(R·T)` LUD block. The layout binds both the loop bounds
 //! (`R`) and the per-point index expression.
 
-use lego_core::{Layout, OrderBy, Result, sugar};
+use lego_core::{sugar, Layout, OrderBy, Result};
 use lego_expr::printer::c;
-use lego_expr::{Expr, RangeEnv, pick_cheaper};
+use lego_expr::{pick_cheaper, Expr, RangeEnv};
 
 use crate::template;
 
@@ -83,19 +83,22 @@ pub fn generate(r: i64, t: i64) -> Result<LudKernel> {
         ("r", r.to_string()),
         ("t", t.to_string()),
         ("bs", bs.to_string()),
-        (
-            "point_expr",
-            c::print(&point_expr).expect("C-printable"),
-        ),
+        ("point_expr", c::print(&point_expr).expect("C-printable")),
     ]);
     let source = template::render(TEMPLATE, &values).expect("closed template");
-    Ok(LudKernel { source, point_expr, r, t, layout })
+    Ok(LudKernel {
+        source,
+        point_expr,
+        r,
+        t,
+        layout,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lego_expr::{Bindings, eval};
+    use lego_expr::{eval, Bindings};
 
     #[test]
     fn point_expr_matches_coarsening_formula() {

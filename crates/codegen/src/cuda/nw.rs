@@ -9,9 +9,9 @@
 //! in a small wrapper class; [`generate`] emits that wrapper with the
 //! LEGO-derived index expression.
 
-use lego_core::{Layout, OrderBy, Result, perms::antidiag};
+use lego_core::{perms::antidiag, Layout, OrderBy, Result};
 use lego_expr::printer::c;
-use lego_expr::{Expr, RangeEnv, simplify};
+use lego_expr::{simplify, Expr, RangeEnv};
 
 use crate::template;
 
@@ -80,9 +80,14 @@ pub fn generate(b: i64) -> Result<NwKernel> {
             c::print(&idx_expr).expect("antidiag is C-printable"),
         ),
     ]);
-    let source =
-        template::render(WRAPPER_TEMPLATE, &values).expect("closed template");
-    Ok(NwKernel { source, idx_expr, n, baseline, optimized })
+    let source = template::render(WRAPPER_TEMPLATE, &values).expect("closed template");
+    Ok(NwKernel {
+        source,
+        idx_expr,
+        n,
+        baseline,
+        optimized,
+    })
 }
 
 /// The logical shared-memory accesses of one NW wavefront step: on
@@ -122,11 +127,7 @@ mod tests {
                 .map(|&(i, j)| k.optimized.apply_c(&[i, j]).unwrap())
                 .collect();
             for w in slots.windows(2) {
-                assert_eq!(
-                    (w[0] - w[1]).abs(),
-                    1,
-                    "diag {d} not contiguous: {slots:?}"
-                );
+                assert_eq!((w[0] - w[1]).abs(), 1, "diag {d} not contiguous: {slots:?}");
             }
         }
     }
@@ -150,7 +151,7 @@ mod tests {
 
     #[test]
     fn idx_expr_matches_concrete_layout() {
-        use lego_expr::{Bindings, eval};
+        use lego_expr::{eval, Bindings};
         let k = generate(8).unwrap();
         let mut bind = Bindings::new();
         for i in 0..9 {

@@ -7,9 +7,10 @@
 //! the LEGO layout the index expressions are derived from.
 
 use lego_core::brick::{brick3d, row_major3d};
-use lego_core::{Layout, Result};
+use lego_core::{Layout, LayoutError, Result};
 
 use crate::template;
+use crate::tuning::{StencilLayoutChoice, TunedConfig};
 
 /// The stencil shapes evaluated in Fig. 12c: star (radius 1..4) and cube
 /// (3³ and 5³).
@@ -137,22 +138,103 @@ __global__ void stencil_{{ kind }}(const float* __restrict__ in, float* __restri
 pub fn generate(shape: StencilShape, n: i64, b: i64) -> Result<StencilBench> {
     let row_major = row_major3d(n)?;
     let brick = brick3d(n, b)?;
+    let source = render_sweep(TEMPLATE, shape, n, Some(b));
+    Ok(StencilBench {
+        shape,
+        n,
+        b,
+        row_major,
+        brick,
+        source,
+    })
+}
+
+/// Renders a sweep template: the tap lines plus the shared bindings
+/// (`b` only for templates that declare a brick side).
+fn render_sweep(tpl: &str, shape: StencilShape, n: i64, b: Option<i64>) -> String {
     let taps: String = shape
         .offsets()
         .iter()
-        .map(|&(dx, dy, dz)| {
-            format!("acc += in[IDX(x + ({dx}), y + ({dy}), z + ({dz}))];\n    ")
-        })
+        .map(|&(dx, dy, dz)| format!("acc += in[IDX(x + ({dx}), y + ({dy}), z + ({dz}))];\n    "))
         .collect();
-    let values = template::bindings([
+    let mut values = template::bindings([
         ("name", shape.name()),
         ("kind", shape.name().replace('-', "_")),
         ("n", n.to_string()),
-        ("b", b.to_string()),
         ("taps", taps),
     ]);
-    let source = template::render(TEMPLATE, &values).expect("closed template");
-    Ok(StencilBench { shape, n, b, row_major, brick, source })
+    if let Some(b) = b {
+        values.insert("b".to_string(), b.to_string());
+    }
+    template::render(tpl, &values).expect("closed template")
+}
+
+/// A stencil kernel instantiated from a tuned configuration: the chosen
+/// layout plus the CUDA source that sweeps it.
+#[derive(Clone, Debug)]
+pub struct TunedStencil {
+    /// The stencil shape.
+    pub shape: StencilShape,
+    /// Domain side length.
+    pub n: i64,
+    /// The tuned layout choice.
+    pub choice: StencilLayoutChoice,
+    /// The data layout the kernel indexes through.
+    pub layout: Layout,
+    /// Generated CUDA source.
+    pub source: String,
+}
+
+const ROW_MAJOR_TEMPLATE: &str = r#"// LEGO-generated {{ name }} stencil over a {{ n }}^3 row-major domain.
+__global__ void stencil_{{ kind }}_rm(const float* __restrict__ in, float* __restrict__ out, int n) {
+    int x = blockIdx.x * blockDim.x + threadIdx.x;
+    int y = blockIdx.y * blockDim.y + threadIdx.y;
+    int z = blockIdx.z * blockDim.z + threadIdx.z;
+    if (x >= n || y >= n || z >= n) return;
+    #define IDX(x, y, z) (((x)*n + (y))*n + (z))
+    float acc = 0.0f;
+    {{ taps }}
+    out[IDX(x, y, z)] = acc;
+    #undef IDX
+}
+"#;
+
+/// Instantiates a stencil kernel for `shape` from a tuned configuration.
+///
+/// # Errors
+///
+/// Rejects non-stencil configs and propagates layout construction
+/// errors (e.g. a brick side not dividing `n`).
+pub fn from_tuned(shape: StencilShape, config: &TunedConfig) -> Result<TunedStencil> {
+    let TunedConfig::Stencil { n, layout: choice } = *config else {
+        return Err(LayoutError::Unsupported(
+            "from_tuned(stencil) requires a TunedConfig::Stencil",
+        ));
+    };
+    let header = format!("// lego-tune: {config}\n");
+    match choice {
+        StencilLayoutChoice::Brick { b } => {
+            let bench = generate(shape, n, b)?;
+            Ok(TunedStencil {
+                shape,
+                n,
+                choice,
+                layout: bench.brick,
+                source: header + &bench.source,
+            })
+        }
+        StencilLayoutChoice::RowMajorY | StencilLayoutChoice::RowMajorZ => {
+            let layout = row_major3d(n)?;
+            let source = render_sweep(ROW_MAJOR_TEMPLATE, shape, n, None);
+            Ok(TunedStencil {
+                shape,
+                n,
+                choice,
+                layout,
+                source: header + &source,
+            })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -161,8 +243,7 @@ mod tests {
 
     #[test]
     fn shape_point_counts() {
-        let counts: Vec<usize> =
-            StencilShape::ALL.iter().map(|s| s.points()).collect();
+        let counts: Vec<usize> = StencilShape::ALL.iter().map(|s| s.points()).collect();
         assert_eq!(counts, vec![7, 13, 19, 25, 27, 125]);
     }
 
@@ -179,9 +260,7 @@ mod tests {
         let bench = generate(StencilShape::Star(1), 8, 4).unwrap();
         let (b, g) = (4i64, 2i64);
         let idx = |x: i64, y: i64, z: i64| {
-            (((x / b) * g + y / b) * g + z / b) * b * b * b
-                + ((x % b) * b + y % b) * b
-                + z % b
+            (((x / b) * g + y / b) * g + z / b) * b * b * b + ((x % b) * b + y % b) * b + z % b
         };
         for x in 0..8 {
             for y in 0..8 {

@@ -8,11 +8,13 @@
 //!   LEGO XOR-swizzle layout instead of the SDK's `+1` padding to kill
 //!   bank conflicts ("another layout in LEGO").
 
-use lego_core::{Layout, OrderBy, Result, perms::xor_swizzle};
+use lego_core::perms::{antidiag, block_cyclic_elems, xor_swizzle};
+use lego_core::{sugar, Layout, LayoutError, OrderBy, Perm, Result};
 use lego_expr::printer::c;
-use lego_expr::{Expr, RangeEnv, simplify};
+use lego_expr::{simplify, Expr, RangeEnv};
 
 use crate::template;
+use crate::tuning::{StagingChoice, TunedConfig};
 
 /// Which transpose variant.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -51,7 +53,7 @@ __global__ void transpose_naive(float* out, const float* in, int n) {
 "#;
 
 const SMEM_TEMPLATE: &str = r#"// LEGO transpose (smem + coalesced): both global accesses coalesced;
-// the staging tile uses a LEGO XOR-swizzle layout (no +1 padding).
+// the staging tile uses a LEGO layout instead of +1 padding.
 __global__ void transpose_smem(float* out, const float* in, int n) {
     __shared__ float tile[{{ t }} * {{ t }}];
     int tx = threadIdx.x, ty = threadIdx.y;
@@ -91,14 +93,8 @@ pub fn generate(variant: TransposeVariant, t: i64) -> Result<TransposeKernel> {
     for s in ["i", "j"] {
         env.set_bounds(s, Expr::zero(), n.clone());
     }
-    let in_idx = simplify(
-        &input.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?,
-        &env,
-    );
-    let out_idx = simplify(
-        &output.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?,
-        &env,
-    );
+    let in_idx = simplify(&input.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?, &env);
+    let out_idx = simplify(&output.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?, &env);
 
     match variant {
         TransposeVariant::Naive => {
@@ -106,8 +102,7 @@ pub fn generate(variant: TransposeVariant, t: i64) -> Result<TransposeKernel> {
                 ("in_idx", c::print(&in_idx).expect("C-printable")),
                 ("out_idx", c::print(&out_idx).expect("C-printable")),
             ]);
-            let source = template::render(NAIVE_TEMPLATE, &values)
-                .expect("closed template");
+            let source = template::render(NAIVE_TEMPLATE, &values).expect("closed template");
             Ok(TransposeKernel {
                 source,
                 variant,
@@ -117,40 +112,92 @@ pub fn generate(variant: TransposeVariant, t: i64) -> Result<TransposeKernel> {
                 output,
             })
         }
-        TransposeVariant::SmemCoalesced => {
-            let smem = Layout::builder([t, t])
-                .order_by(OrderBy::new([xor_swizzle(t, t)?])?)
-                .build()?;
-            let mut tenv = RangeEnv::new();
-            for s in ["tx", "ty"] {
-                tenv.set_bounds(s, Expr::zero(), Expr::val(t));
-            }
-            let store = smem.apply_sym(&[Expr::sym("ty"), Expr::sym("tx")])?;
-            let load = smem.apply_sym(&[Expr::sym("tx"), Expr::sym("ty")])?;
-            let values = template::bindings([
-                ("t", t.to_string()),
-                ("in_idx", "i * n + j".to_string()),
-                (
-                    "smem_store",
-                    c::print(&simplify(&store, &tenv)).expect("C-printable"),
-                ),
-                (
-                    "smem_load",
-                    c::print(&simplify(&load, &tenv)).expect("C-printable"),
-                ),
-            ]);
-            let source = template::render(SMEM_TEMPLATE, &values)
-                .expect("closed template");
-            Ok(TransposeKernel {
-                source,
-                variant,
-                t,
-                smem_layout: Some(smem),
-                input,
-                output,
-            })
-        }
+        TransposeVariant::SmemCoalesced => generate_smem(t, StagingChoice::Swizzle, input, output),
     }
+}
+
+/// Builds the staging permutation for one [`StagingChoice`].
+///
+/// # Errors
+///
+/// Propagates permutation construction errors (e.g. non-power-of-two
+/// tiles for the swizzle).
+pub fn staging_perm(t: i64, choice: StagingChoice) -> Result<Perm> {
+    match choice {
+        StagingChoice::Identity => sugar::row([t, t]),
+        StagingChoice::Swizzle => xor_swizzle(t, t),
+        StagingChoice::ColMajor => sugar::col([t, t]),
+        StagingChoice::Antidiag => antidiag(t),
+        StagingChoice::BlockCyclic { p, b } => block_cyclic_elems(t, t, p, b),
+    }
+}
+
+/// Instantiates a transpose kernel from a tuned configuration: naive
+/// when `staging` is `None`, otherwise the smem-staged kernel with the
+/// staging layout the `lego-tune` search selected.
+///
+/// # Errors
+///
+/// Rejects non-transpose configs and propagates layout construction
+/// errors.
+pub fn from_tuned(config: &TunedConfig) -> Result<TransposeKernel> {
+    let TunedConfig::Transpose { t, staging } = *config else {
+        return Err(LayoutError::Unsupported(
+            "from_tuned(transpose) requires a TunedConfig::Transpose",
+        ));
+    };
+    let mut k = match staging {
+        None => generate(TransposeVariant::Naive, t)?,
+        Some(choice) => {
+            let n = Expr::sym("n");
+            let input = Layout::identity([n.clone(), n.clone()])?;
+            let output = Layout::builder([n.clone(), n.clone()])
+                .order_by(OrderBy::new([sugar::col([n.clone(), n])?])?)
+                .build()?;
+            generate_smem(t, choice, input, output)?
+        }
+    };
+    k.source = format!("// lego-tune: {config}\n{}", k.source);
+    Ok(k)
+}
+
+/// The smem-staged generation path, parameterized by staging choice.
+fn generate_smem(
+    t: i64,
+    choice: StagingChoice,
+    input: Layout,
+    output: Layout,
+) -> Result<TransposeKernel> {
+    let smem = Layout::builder([t, t])
+        .order_by(OrderBy::new([staging_perm(t, choice)?])?)
+        .build()?;
+    let mut tenv = RangeEnv::new();
+    for s in ["tx", "ty"] {
+        tenv.set_bounds(s, Expr::zero(), Expr::val(t));
+    }
+    let store = smem.apply_sym(&[Expr::sym("ty"), Expr::sym("tx")])?;
+    let load = smem.apply_sym(&[Expr::sym("tx"), Expr::sym("ty")])?;
+    let values = template::bindings([
+        ("t", t.to_string()),
+        ("in_idx", "i * n + j".to_string()),
+        (
+            "smem_store",
+            c::print(&simplify(&store, &tenv)).expect("C-printable"),
+        ),
+        (
+            "smem_load",
+            c::print(&simplify(&load, &tenv)).expect("C-printable"),
+        ),
+    ]);
+    let source = template::render(SMEM_TEMPLATE, &values).expect("closed template");
+    Ok(TransposeKernel {
+        source,
+        variant: TransposeVariant::SmemCoalesced,
+        t,
+        smem_layout: Some(smem),
+        input,
+        output,
+    })
 }
 
 #[cfg(test)]
@@ -159,7 +206,7 @@ mod tests {
 
     #[test]
     fn naive_indices_transpose() {
-        use lego_expr::{Bindings, eval};
+        use lego_expr::{eval, Bindings};
         let k = generate(TransposeVariant::Naive, 32).unwrap();
         let out_sym = k
             .output

@@ -13,3 +13,6 @@ pub mod mlir;
 pub mod opcount;
 pub mod template;
 pub mod triton;
+pub mod tuning;
+
+pub use tuning::{RowwiseOp, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig};

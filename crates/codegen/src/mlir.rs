@@ -2,9 +2,9 @@
 //! module in the `gpu`/`memref`/`arith` dialects, with LEGO-derived
 //! index expressions emitted through [`MlirEmitter`].
 
-use lego_core::{Layout, OrderBy, Result, sugar};
+use lego_core::{sugar, Layout, OrderBy, Result};
 use lego_expr::printer::mlir::MlirEmitter;
-use lego_expr::{Expr, RangeEnv, simplify};
+use lego_expr::{simplify, Expr, RangeEnv};
 
 /// Which transpose lowering to emit.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,14 +42,8 @@ pub fn transpose_module(variant: MlirTranspose) -> Result<MlirModule> {
     env.assume_pos("n");
     env.set_bounds("i", Expr::zero(), n.clone());
     env.set_bounds("j", Expr::zero(), n.clone());
-    let in_idx = simplify(
-        &input.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?,
-        &env,
-    );
-    let out_idx = simplify(
-        &output.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?,
-        &env,
-    );
+    let in_idx = simplify(&input.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?, &env);
+    let out_idx = simplify(&output.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?, &env);
 
     let mut em = MlirEmitter::new();
     em.bind_sym("n", "%n");
@@ -61,11 +55,7 @@ pub fn transpose_module(variant: MlirTranspose) -> Result<MlirModule> {
     let out_v = em
         .emit(&out_idx)
         .map_err(|_| lego_core::LayoutError::Unsupported("mlir emission"))?;
-    let body: String = em
-        .lines()
-        .iter()
-        .map(|l| format!("      {l}\n"))
-        .collect();
+    let body: String = em.lines().iter().map(|l| format!("      {l}\n")).collect();
 
     let text = match variant {
         MlirTranspose::Naive => format!(

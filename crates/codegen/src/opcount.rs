@@ -8,7 +8,7 @@
 //! * [`GeneratedExprs`] — op counts of the expressions LEGO derived,
 //!   which end up *in generated code*, not user code.
 
-use lego_expr::{Expr, op_count};
+use lego_expr::{op_count, Expr};
 
 /// A named bundle of generated index expressions (one benchmark).
 #[derive(Clone, Debug)]
@@ -134,7 +134,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_arrows_ignored(){
+    fn comments_and_arrows_ignored() {
         assert_eq!(count_source_ops("def f() -> int:  # a + b"), 0);
     }
 

@@ -60,9 +60,7 @@ impl Template {
             }
             let after = &rest[start + 2..];
             let Some(end) = after.find("}}") else {
-                return Err(TemplateError::UnterminatedPlaceholder(
-                    consumed + start,
-                ));
+                return Err(TemplateError::UnterminatedPlaceholder(consumed + start));
             };
             chunks.push(Chunk::Hole(after[..end].trim().to_string()));
             consumed += start + 2 + end + 2;
@@ -92,10 +90,7 @@ impl Template {
     /// # Errors
     ///
     /// [`TemplateError::MissingValue`] if any placeholder is unbound.
-    pub fn render(
-        &self,
-        values: &HashMap<String, String>,
-    ) -> Result<String, TemplateError> {
+    pub fn render(&self, values: &HashMap<String, String>) -> Result<String, TemplateError> {
         let mut out = String::new();
         for c in &self.chunks {
             match c {
@@ -117,21 +112,13 @@ impl Template {
 /// # Errors
 ///
 /// As [`Template::parse`] and [`Template::render`].
-pub fn render(
-    src: &str,
-    values: &HashMap<String, String>,
-) -> Result<String, TemplateError> {
+pub fn render(src: &str, values: &HashMap<String, String>) -> Result<String, TemplateError> {
     Template::parse(src)?.render(values)
 }
 
 /// Builds a binding map from `(name, value)` pairs.
-pub fn bindings<const N: usize>(
-    pairs: [(&str, String); N],
-) -> HashMap<String, String> {
-    pairs
-        .into_iter()
-        .map(|(k, v)| (k.to_string(), v))
-        .collect()
+pub fn bindings<const N: usize>(pairs: [(&str, String); N]) -> HashMap<String, String> {
+    pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect()
 }
 
 #[cfg(test)]

@@ -7,9 +7,9 @@
 
 use std::collections::HashMap;
 
-use lego_core::{IdxArg, Result, sugar};
-use lego_expr::printer::python::{Flavor, print};
-use lego_expr::{Expr, RangeEnv, pick_cheaper, simplify};
+use lego_core::{sugar, IdxArg, Result};
+use lego_expr::printer::python::{print, Flavor};
+use lego_expr::{pick_cheaper, simplify, Expr, RangeEnv};
 
 use crate::opcount::GeneratedExprs;
 use crate::template;
@@ -71,11 +71,7 @@ def grouped_gemm_kernel(group_a_ptrs, group_b_ptrs, group_c_ptrs,
 pub fn grouped_env() -> RangeEnv {
     let mut env = crate::triton::matmul::matmul_env();
     // `pid` here is the within-problem tile id.
-    env.set_bounds(
-        "pid",
-        Expr::zero(),
-        Expr::sym("nt_m") * Expr::sym("nt_n"),
-    );
+    env.set_bounds("pid", Expr::zero(), Expr::sym("nt_m") * Expr::sym("nt_n"));
     env
 }
 
@@ -88,8 +84,7 @@ pub fn generate() -> Result<GroupedGemmKernel> {
     let env = grouped_env();
 
     // Plain 2-D row-major thread layout: TileBy([nt_m, nt_n]).
-    let cl = sugar::tile_by([vec![Expr::sym("nt_m"), Expr::sym("nt_n")]])?
-        .build()?;
+    let cl = sugar::tile_by([vec![Expr::sym("nt_m"), Expr::sym("nt_n")]])?.build()?;
     let pids = cl.inv_sym(&Expr::sym("pid"))?;
     let pid_m = simplify(&pids[0], &env);
     let pid_n = simplify(&pids[1], &env);
@@ -137,7 +132,15 @@ pub fn generate() -> Result<GroupedGemmKernel> {
         ("lc_optr", p(&c_off)),
     ]);
     let source = template::render(TEMPLATE, &values).expect("closed template");
-    Ok(GroupedGemmKernel { source, pid_m, pid_n, a_off, b_off, c_off, env })
+    Ok(GroupedGemmKernel {
+        source,
+        pid_m,
+        pid_n,
+        a_off,
+        b_off,
+        c_off,
+        env,
+    })
 }
 
 impl GroupedGemmKernel {
@@ -159,7 +162,7 @@ impl GroupedGemmKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lego_expr::{Bindings, eval};
+    use lego_expr::{eval, Bindings};
 
     #[test]
     fn pids_are_plain_row_major() {

@@ -8,12 +8,13 @@
 
 use std::collections::HashMap;
 
-use lego_core::{IdxArg, Layout, Result};
-use lego_expr::printer::python::{Flavor, print};
-use lego_expr::{Expr, RangeEnv, pick_cheaper};
+use lego_core::{IdxArg, Layout, LayoutError, Result};
+use lego_expr::printer::python::{print, Flavor};
+use lego_expr::{pick_cheaper, Expr, RangeEnv};
 
 use crate::opcount::GeneratedExprs;
 use crate::template;
+use crate::tuning::{RowwiseOp, TunedConfig};
 
 /// Forward or backward pass.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -136,8 +137,8 @@ pub fn generate(pass: Pass) -> Result<LayernormKernel> {
     let x_off = pick_cheaper(&x_raw, &env).expr;
     // Column vector (weight/bias): the same layout with the row axis
     // broadcast away, i.e. row 0 of a [1, N/BS, BS] view.
-    let col_raw = Expr::sym("BS") * Expr::sym("cb")
-        + Expr::range(Expr::zero(), Expr::sym("BS"), 0, 1);
+    let col_raw =
+        Expr::sym("BS") * Expr::sym("cb") + Expr::range(Expr::zero(), Expr::sym("BS"), 0, 1);
     let col_off = pick_cheaper(&col_raw, &env).expr;
 
     let p = |e: &Expr| print(e, Flavor::Triton).expect("triton-printable");
@@ -148,7 +149,46 @@ pub fn generate(pass: Pass) -> Result<LayernormKernel> {
         Pass::Bwd => BWD_TEMPLATE,
     };
     let source = template::render(tpl, &values).expect("template is closed");
-    Ok(LayernormKernel { source, x_off, col_off, env, pass })
+    Ok(LayernormKernel {
+        source,
+        x_off,
+        col_off,
+        env,
+        pass,
+    })
+}
+
+/// Instantiates a LayerNorm kernel from a tuned configuration: the
+/// pass is selected by the config's [`RowwiseOp`] and the source gains
+/// a header recording the tuned `BS` block size.
+///
+/// # Errors
+///
+/// Rejects configs that are not LayerNorm `Rowwise` configs or whose
+/// block size is not a positive power of two.
+pub fn from_tuned(config: &TunedConfig) -> Result<LayernormKernel> {
+    let TunedConfig::Rowwise { op, bs } = *config else {
+        return Err(LayoutError::Unsupported(
+            "from_tuned(layernorm) requires a Rowwise config",
+        ));
+    };
+    let pass = match op {
+        RowwiseOp::LayernormFwd => Pass::Fwd,
+        RowwiseOp::LayernormBwd => Pass::Bwd,
+        RowwiseOp::Softmax => {
+            return Err(LayoutError::Unsupported(
+                "from_tuned(layernorm) got a softmax config",
+            ));
+        }
+    };
+    if bs <= 0 || bs & (bs - 1) != 0 {
+        return Err(LayoutError::Unsupported(
+            "layernorm block size must be a positive power of two",
+        ));
+    }
+    let mut k = generate(pass)?;
+    k.source = format!("# lego-tune: BS={bs}\n{}", k.source);
+    Ok(k)
 }
 
 impl LayernormKernel {
@@ -167,7 +207,7 @@ impl LayernormKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lego_expr::{Bindings, eval_lane};
+    use lego_expr::{eval_lane, Bindings};
 
     #[test]
     fn x_offset_is_row_major_block() {

@@ -10,12 +10,13 @@
 
 use std::collections::HashMap;
 
-use lego_core::{IdxArg, Layout, OrderBy, Result, sugar};
-use lego_expr::printer::python::{Flavor, print};
-use lego_expr::{Expr, RangeEnv, pick_cheaper, simplify};
+use lego_core::{perms, sugar, IdxArg, Layout, LayoutError, OrderBy, Result};
+use lego_expr::printer::python::{print, Flavor};
+use lego_expr::{pick_cheaper, simplify, Expr, RangeEnv};
 
 use crate::opcount::GeneratedExprs;
 use crate::template;
+use crate::tuning::{ScheduleChoice, TunedConfig};
 
 /// Which of `A`, `B` are transposed — the four variants of Fig. 11.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -33,8 +34,12 @@ pub enum MatmulVariant {
 
 impl MatmulVariant {
     /// All four variants.
-    pub const ALL: [MatmulVariant; 4] =
-        [MatmulVariant::NN, MatmulVariant::NT, MatmulVariant::TN, MatmulVariant::TT];
+    pub const ALL: [MatmulVariant; 4] = [
+        MatmulVariant::NN,
+        MatmulVariant::NT,
+        MatmulVariant::TN,
+        MatmulVariant::TT,
+    ];
 
     /// Short display name (`AB`, `ABt`, `AtB`, `AtBt`).
     pub fn name(self) -> &'static str {
@@ -116,12 +121,12 @@ pub fn matmul_env() -> RangeEnv {
     for s in ["M", "N", "K", "BM", "BN", "BK", "GM", "nt_m", "nt_n"] {
         env.assume_pos(s);
     }
+    env.set_bounds("pid", Expr::zero(), Expr::sym("nt_m") * Expr::sym("nt_n"));
     env.set_bounds(
-        "pid",
+        "k",
         Expr::zero(),
-        Expr::sym("nt_m") * Expr::sym("nt_n"),
+        Expr::sym("K").floor_div(&Expr::sym("BK")),
     );
-    env.set_bounds("k", Expr::zero(), Expr::sym("K").floor_div(&Expr::sym("BK")));
     env.set_bounds(
         "pid_m",
         Expr::zero(),
@@ -167,13 +172,100 @@ def matmul_kernel(a_ptr, b_ptr, c_ptr, M, N, K,
 /// layouts; the `Result` keeps the pipeline honest).
 pub fn generate(variant: MatmulVariant) -> Result<MatmulKernel> {
     let env = matmul_env();
-
     // Thread-block layout: lpid_m, lpid_n = CL.inv(pid).
     let cl = thread_layout()?;
     let pids = cl.inv_sym(&Expr::sym("pid"))?;
     let pid_m = simplify(&pids[0], &env);
     let pid_n = simplify(&pids[1], &env);
+    generate_from_pids(pid_m, pid_n, variant, env, None, None)
+}
 
+/// Instantiates the matmul kernel from a tuned configuration: the
+/// thread-block schedule the `lego-tune` search selected becomes the
+/// `CL` layout, and the tuned tile constants are recorded in a header
+/// so launchers can bind `BM`/`BN`/`BK`/`GM`.
+///
+/// # Errors
+///
+/// Rejects non-matmul configs and propagates layout/printing failures.
+pub fn from_tuned(config: &TunedConfig) -> Result<MatmulKernel> {
+    let TunedConfig::Matmul {
+        bm,
+        bn,
+        bk,
+        schedule,
+    } = *config
+    else {
+        return Err(LayoutError::Unsupported(
+            "from_tuned(matmul) requires a TunedConfig::Matmul",
+        ));
+    };
+    let env = matmul_env();
+    let header = format!("# lego-tune: BM={bm}, BN={bn}, BK={bk}, schedule={schedule}\n");
+    let (nt_m, nt_n) = (Expr::sym("nt_m"), Expr::sym("nt_n"));
+    match schedule {
+        ScheduleChoice::Grouped { gm: _ } => {
+            // The Fig. 1 grouped layout; the tuned GM binds at launch.
+            let cl = thread_layout()?;
+            let pids = cl.inv_sym(&Expr::sym("pid"))?;
+            let pid_m = simplify(&pids[0], &env);
+            let pid_n = simplify(&pids[1], &env);
+            generate_from_pids(pid_m, pid_n, MatmulVariant::NN, env, Some(header), None)
+        }
+        ScheduleChoice::RowMajor => {
+            let cl = Layout::identity([nt_m, nt_n])?;
+            let pids = cl.inv_sym(&Expr::sym("pid"))?;
+            let pid_m = simplify(&pids[0], &env);
+            let pid_n = simplify(&pids[1], &env);
+            generate_from_pids(pid_m, pid_n, MatmulVariant::NN, env, Some(header), None)
+        }
+        ScheduleChoice::BlockCyclic { p, b } => {
+            // Rows distributed block-cyclically: pid = bc(pid_m)·nt_n +
+            // pid_n with c = nt_m/(p·b) cycles, so the kernel inverts
+            // the shared block-cyclic map on pid // nt_n.
+            let pid = Expr::sym("pid");
+            let row_slot = pid.floor_div(&nt_n);
+            let ec = nt_m.floor_div(&(Expr::val(p * b)));
+            let raw = perms::block_cyclic_inv_sym(&row_slot, &Expr::val(p), &Expr::val(b), &ec);
+            let pid_m = simplify(&raw, &env);
+            let pid_n = simplify(&pid.rem(&nt_n), &env);
+            generate_from_pids(pid_m, pid_n, MatmulVariant::NN, env, Some(header), None)
+        }
+        ScheduleChoice::Morton => {
+            // The Morton bit-interleave is outside the expression
+            // language; emit an unrolled de-interleave preamble instead
+            // of a layout-derived formula.
+            let preamble = "\
+pid_m = tl.zeros((), dtype=tl.int32)\n    \
+pid_n = tl.zeros((), dtype=tl.int32)\n    \
+for _b in tl.static_range(16):\n        \
+    pid_m += ((pid >> (2 * _b + 1)) & 1) << _b\n        \
+    pid_n += ((pid >> (2 * _b)) & 1) << _b";
+            let pid_m = Expr::sym("pid_m");
+            let pid_n = Expr::sym("pid_n");
+            generate_from_pids(
+                pid_m,
+                pid_n,
+                MatmulVariant::NN,
+                env,
+                Some(header),
+                Some(preamble.to_string()),
+            )
+        }
+    }
+}
+
+/// Shared back half of kernel generation: data layouts, simplification,
+/// template instantiation. `pid_text` replaces the `pid_m`/`pid_n`
+/// assignment lines with a hand-written preamble (Morton schedules).
+fn generate_from_pids(
+    pid_m: Expr,
+    pid_n: Expr,
+    variant: MatmulVariant,
+    env: RangeEnv,
+    header: Option<String>,
+    pid_text: Option<String>,
+) -> Result<MatmulKernel> {
     // Data layouts (the only thing that changes between variants).
     let (ta, tb) = match variant {
         MatmulVariant::NN => (false, false),
@@ -217,8 +309,13 @@ pub fn generate(variant: MatmulVariant) -> Result<MatmulKernel> {
         ("dot_a", if ta { "tl.trans(a)" } else { "a" }.to_string()),
         ("dot_b", if tb { "tl.trans(b)" } else { "b" }.to_string()),
     ]);
-    let source =
-        template::render(KERNEL_TEMPLATE, &values).expect("template is closed");
+    let template = match &pid_text {
+        None => KERNEL_TEMPLATE.to_string(),
+        // Hand-written pid preamble replaces the layout-derived lines.
+        Some(pre) => KERNEL_TEMPLATE.replace("pid_m = {{ lpid_m }}\n    pid_n = {{ lpid_n }}", pre),
+    };
+    let source = header.unwrap_or_default()
+        + &template::render(&template, &values).expect("template is closed");
 
     Ok(MatmulKernel {
         source,
@@ -253,11 +350,11 @@ impl MatmulKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lego_expr::{Bindings, eval, eval_lane};
+    use lego_expr::{eval, eval_lane, Bindings};
 
     /// Reference: the hand-written index computation of the original
     /// Triton matmul (Fig. 1 left).
-    fn reference_pids(pid: i64, nt_m: i64, nt_n: i64, gm: i64) -> (i64, i64) {
+    fn reference_pids(pid: i64, _nt_m: i64, nt_n: i64, gm: i64) -> (i64, i64) {
         let num_pid_in_group = gm * nt_n;
         let group_id = pid / num_pid_in_group;
         let first_pid_m = group_id * gm;
@@ -306,8 +403,7 @@ mod tests {
         bind.insert("k".into(), 3);
         // lane (r0, r1) of the 2-D tile:
         for (r0, r1) in [(0i64, 0i64), (5, 3), (15, 7)] {
-            let v = eval_lane(&k.a_off, &bind, &|axis| if axis == 0 { r0 } else { r1 })
-                .unwrap();
+            let v = eval_lane(&k.a_off, &bind, &|axis| if axis == 0 { r0 } else { r1 }).unwrap();
             let want = 32 * (16 * 2 + r0) + (8 * 3 + r1);
             assert_eq!(v, want, "lane ({r0},{r1})");
         }
@@ -324,10 +420,9 @@ mod tests {
         bind.insert("k".into(), 1);
         bind.insert("pid_n".into(), 2);
         for (r0, r1) in [(0i64, 0i64), (7, 15), (3, 9)] {
-            let v = eval_lane(&k.b_off, &bind, &|axis| if axis == 0 { r0 } else { r1 })
-                .unwrap();
+            let v = eval_lane(&k.b_off, &bind, &|axis| if axis == 0 { r0 } else { r1 }).unwrap();
             // Column-major: offset = col*K + row.
-            let (row, col) = (8 * 1 + r0, 16 * 2 + r1);
+            let (row, col) = (8 + r0, 16 * 2 + r1);
             assert_eq!(v, col * 32 + row, "lane ({r0},{r1})");
         }
     }
@@ -339,7 +434,11 @@ mod tests {
         assert!(k.source.contains("tl.arange(0, BM)"));
         assert!(k.source.contains("tl.arange(0, BK)"));
         assert!(k.source.contains("tl.dot(a, b, accumulator)"));
-        assert!(!k.source.contains("{{"), "unfilled placeholder:\n{}", k.source);
+        assert!(
+            !k.source.contains("{{"),
+            "unfilled placeholder:\n{}",
+            k.source
+        );
     }
 
     #[test]

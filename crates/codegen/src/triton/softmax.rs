@@ -6,12 +6,13 @@
 
 use std::collections::HashMap;
 
-use lego_core::{IdxArg, Layout, Result};
-use lego_expr::printer::python::{Flavor, print};
-use lego_expr::{Expr, RangeEnv, pick_cheaper};
+use lego_core::{IdxArg, Layout, LayoutError, Result};
+use lego_expr::printer::python::{print, Flavor};
+use lego_expr::{pick_cheaper, Expr, RangeEnv};
 
 use crate::opcount::GeneratedExprs;
 use crate::template;
+use crate::tuning::{RowwiseOp, TunedConfig};
 
 /// A generated softmax kernel.
 #[derive(Clone, Debug)]
@@ -60,7 +61,39 @@ pub fn generate() -> Result<SoftmaxKernel> {
         ("mask", "tl.arange(0, BS) < N".to_string()),
     ]);
     let source = template::render(TEMPLATE, &values).expect("closed template");
-    Ok(SoftmaxKernel { source, row_off, env })
+    Ok(SoftmaxKernel {
+        source,
+        row_off,
+        env,
+    })
+}
+
+/// Instantiates the softmax kernel from a tuned configuration: the
+/// generated source gains a header recording the tuned `BS` block size
+/// for the launcher to bind.
+///
+/// # Errors
+///
+/// Rejects configs that are not `Rowwise { op: Softmax, .. }` or whose
+/// block size is not a positive power of two.
+pub fn from_tuned(config: &TunedConfig) -> Result<SoftmaxKernel> {
+    let TunedConfig::Rowwise {
+        op: RowwiseOp::Softmax,
+        bs,
+    } = *config
+    else {
+        return Err(LayoutError::Unsupported(
+            "from_tuned(softmax) requires a Rowwise softmax config",
+        ));
+    };
+    if bs <= 0 || bs & (bs - 1) != 0 {
+        return Err(LayoutError::Unsupported(
+            "softmax block size must be a positive power of two",
+        ));
+    }
+    let mut k = generate()?;
+    k.source = format!("# lego-tune: BS={bs}\n{}", k.source);
+    Ok(k)
 }
 
 impl SoftmaxKernel {
@@ -76,7 +109,7 @@ impl SoftmaxKernel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lego_expr::{Bindings, eval_lane};
+    use lego_expr::{eval_lane, Bindings};
 
     #[test]
     fn offset_is_row_base_plus_lane() {

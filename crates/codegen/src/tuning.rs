@@ -1,0 +1,208 @@
+//! Tuned kernel configurations — the data contract between the
+//! `lego-tune` search and the generators' `from_tuned` constructor
+//! paths.
+//!
+//! The autotuner enumerates [`TunedConfig`] candidates, scores each one
+//! on the `gpu-sim` model, and hands the winner back here; every
+//! generator family exposes a `from_tuned(&TunedConfig)` entry point
+//! that instantiates the corresponding kernel.
+
+use std::fmt;
+
+/// How matmul program ids map to tile coordinates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScheduleChoice {
+    /// Plain row-major pid order.
+    RowMajor,
+    /// Grouped column-major (Fig. 1) with group size `gm`.
+    Grouped {
+        /// The `GM` group size.
+        gm: i64,
+    },
+    /// Morton (Z-order) over the tile grid (square power-of-two grids).
+    Morton,
+    /// Rows distributed block-cyclically: `p` row groups of block `b`.
+    BlockCyclic {
+        /// Number of "processors" (row groups).
+        p: i64,
+        /// Block size in rows.
+        b: i64,
+    },
+}
+
+impl fmt::Display for ScheduleChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleChoice::RowMajor => write!(f, "row-major"),
+            ScheduleChoice::Grouped { gm } => write!(f, "grouped(gm={gm})"),
+            ScheduleChoice::Morton => write!(f, "morton"),
+            ScheduleChoice::BlockCyclic { p, b } => {
+                write!(f, "block-cyclic(p={p},b={b})")
+            }
+        }
+    }
+}
+
+/// Which permutation orders a shared-memory staging tile.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StagingChoice {
+    /// Row-major staging (the conflicted baseline).
+    Identity,
+    /// XOR bank swizzle (CUTLASS-style).
+    Swizzle,
+    /// Column-major staging.
+    ColMajor,
+    /// Anti-diagonal traversal (the NW trick).
+    Antidiag,
+    /// Element-level block-cyclic distribution.
+    BlockCyclic {
+        /// Number of "processors".
+        p: i64,
+        /// Block size in elements.
+        b: i64,
+    },
+}
+
+impl fmt::Display for StagingChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StagingChoice::Identity => write!(f, "identity"),
+            StagingChoice::Swizzle => write!(f, "swizzle"),
+            StagingChoice::ColMajor => write!(f, "col-major"),
+            StagingChoice::Antidiag => write!(f, "antidiag"),
+            StagingChoice::BlockCyclic { p, b } => {
+                write!(f, "block-cyclic(p={p},b={b})")
+            }
+        }
+    }
+}
+
+/// Which 3-D data layout a stencil kernel sweeps, and how warps walk it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StencilLayoutChoice {
+    /// Row-major array, warp lanes along the strided `y` axis (the
+    /// conventional baseline).
+    RowMajorY,
+    /// Row-major array, warp lanes along the unit-stride `z` axis.
+    RowMajorZ,
+    /// Brick layout with side `b`, brick-local thread order.
+    Brick {
+        /// Brick side length.
+        b: i64,
+    },
+}
+
+impl fmt::Display for StencilLayoutChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StencilLayoutChoice::RowMajorY => write!(f, "row-major(lanes=y)"),
+            StencilLayoutChoice::RowMajorZ => write!(f, "row-major(lanes=z)"),
+            StencilLayoutChoice::Brick { b } => write!(f, "brick(b={b})"),
+        }
+    }
+}
+
+/// Which row-wise Triton operator a [`TunedConfig::Rowwise`] addresses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RowwiseOp {
+    /// Row softmax.
+    Softmax,
+    /// LayerNorm forward.
+    LayernormFwd,
+    /// LayerNorm backward.
+    LayernormBwd,
+}
+
+/// A tuned configuration for one kernel family.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TunedConfig {
+    /// Tiled FP16 GEMM.
+    Matmul {
+        /// Tile rows.
+        bm: i64,
+        /// Tile columns.
+        bn: i64,
+        /// K-step depth.
+        bk: i64,
+        /// Thread-block schedule.
+        schedule: ScheduleChoice,
+    },
+    /// 2-D transpose: `staging == None` is the naive (unstaged) kernel.
+    Transpose {
+        /// Tile side (threads per block dimension).
+        t: i64,
+        /// Shared-memory staging layout, if staged.
+        staging: Option<StagingChoice>,
+    },
+    /// 3-D stencil sweep.
+    Stencil {
+        /// Domain side length.
+        n: i64,
+        /// Data layout + lane walk.
+        layout: StencilLayoutChoice,
+    },
+    /// Row-wise streaming operator (softmax / LayerNorm): the tuned
+    /// knob is the column block size `BS`.
+    Rowwise {
+        /// Which operator.
+        op: RowwiseOp,
+        /// Column block size (power of two).
+        bs: i64,
+    },
+}
+
+impl fmt::Display for TunedConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TunedConfig::Matmul {
+                bm,
+                bn,
+                bk,
+                schedule,
+            } => {
+                write!(f, "tiles={bm}x{bn}x{bk} sched={schedule}")
+            }
+            TunedConfig::Transpose { t, staging: None } => {
+                write!(f, "naive t={t}")
+            }
+            TunedConfig::Transpose {
+                t,
+                staging: Some(s),
+            } => {
+                write!(f, "smem t={t} staging={s}")
+            }
+            TunedConfig::Stencil { n, layout } => {
+                write!(f, "n={n} layout={layout}")
+            }
+            TunedConfig::Rowwise { op, bs } => {
+                let name = match op {
+                    RowwiseOp::Softmax => "softmax",
+                    RowwiseOp::LayernormFwd => "layernorm-fwd",
+                    RowwiseOp::LayernormBwd => "layernorm-bwd",
+                };
+                write!(f, "{name} BS={bs}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        let c = TunedConfig::Matmul {
+            bm: 128,
+            bn: 128,
+            bk: 64,
+            schedule: ScheduleChoice::Grouped { gm: 8 },
+        };
+        assert_eq!(c.to_string(), "tiles=128x128x64 sched=grouped(gm=8)");
+        let t = TunedConfig::Transpose {
+            t: 32,
+            staging: Some(StagingChoice::Swizzle),
+        };
+        assert_eq!(t.to_string(), "smem t=32 staging=swizzle");
+    }
+}

@@ -140,7 +140,7 @@ mod tests {
             max_b = max_b.max((brick.apply_c(&q).unwrap() - pb).abs());
             max_r = max_r.max((rm.apply_c(&q).unwrap() - pr).abs());
         }
-        assert!(max_b <= (b * b) as i64);
-        assert_eq!(max_r, (n * n) as i64);
+        assert!(max_b <= (b * b));
+        assert_eq!(max_r, n * n);
     }
 }

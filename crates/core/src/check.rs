@@ -38,9 +38,7 @@ pub fn check_genp_bijective(perm: &Perm) -> Result<()> {
         seen[p as usize] = true;
         let back = perm.inv_c(p)?;
         if back != idx {
-            return Err(LayoutError::Unsupported(
-                "inv is not the inverse of apply",
-            ));
+            return Err(LayoutError::Unsupported("inv is not the inverse of apply"));
         }
     }
     Ok(())
@@ -82,7 +80,7 @@ mod tests {
     use super::*;
     use crate::perm::GenFns;
     use crate::perms::{antidiag, hilbert, morton, reverse_perm, xor_swizzle};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     #[test]
     fn library_perms_all_pass() {
@@ -102,8 +100,8 @@ mod tests {
         // A "permutation" that collapses everything to 0.
         let fns = GenFns {
             name: "broken".into(),
-            fwd: Rc::new(|_idx: &[i64]| 0),
-            inv: Rc::new(|_f: i64| vec![0, 0]),
+            fwd: Arc::new(|_idx: &[i64]| 0),
+            inv: Arc::new(|_f: i64| vec![0, 0]),
             fwd_sym: None,
             inv_sym: None,
         };
@@ -116,8 +114,8 @@ mod tests {
         // apply is the identity but inv always answers [0, 0].
         let fns = GenFns {
             name: "bad-inv".into(),
-            fwd: Rc::new(|idx: &[i64]| idx[0] * 2 + idx[1]),
-            inv: Rc::new(|_f: i64| vec![0, 0]),
+            fwd: Arc::new(|idx: &[i64]| idx[0] * 2 + idx[1]),
+            inv: Arc::new(|_f: i64| vec![0, 0]),
             fwd_sym: None,
             inv_sym: None,
         };

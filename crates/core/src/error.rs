@@ -75,7 +75,11 @@ impl fmt::Display for LayoutError {
             LayoutError::RankMismatch { expected, got } => {
                 write!(f, "index rank mismatch: expected {expected}, got {got}")
             }
-            LayoutError::SizeMismatch { view, order_by, position } => write!(
+            LayoutError::SizeMismatch {
+                view,
+                order_by,
+                position,
+            } => write!(
                 f,
                 "element count mismatch: view has {view} elements but \
                  OrderBy #{position} covers {order_by}"
@@ -84,10 +88,9 @@ impl fmt::Display for LayoutError {
                 f,
                 "operation requires constant dimensions but `{dim}` is symbolic"
             ),
-            LayoutError::MissingSymbolicFn { name } => write!(
-                f,
-                "GenP `{name}` has no symbolic implementation"
-            ),
+            LayoutError::MissingSymbolicFn { name } => {
+                write!(f, "GenP `{name}` has no symbolic implementation")
+            }
             LayoutError::IndexOutOfBounds { index, size, axis } => write!(
                 f,
                 "index {index} out of bounds for axis {axis} of size {size}"

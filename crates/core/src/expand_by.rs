@@ -11,7 +11,7 @@ use lego_expr::{Cond, Expr};
 
 use crate::error::{LayoutError, Result};
 use crate::group_by::Layout;
-use crate::shape::{Ix, Shape, flatten, flatten_sym, unflatten, unflatten_sym};
+use crate::shape::{flatten, flatten_sym, unflatten, unflatten_sym, Ix, Shape};
 
 /// A layout over a space whose true extents do not divide the tiling:
 /// bijective in an expanded space, partial in the original one.
@@ -44,9 +44,7 @@ impl ExpandBy {
                 got: expanded.rank(),
             });
         }
-        if let (Ok(es), Some(is)) =
-            (expanded.size_const(), inner.size().as_const())
-        {
+        if let (Ok(es), Some(is)) = (expanded.size_const(), inner.size().as_const()) {
             if es != is {
                 return Err(LayoutError::SizeMismatch {
                     view: es,
@@ -55,7 +53,11 @@ impl ExpandBy {
                 });
             }
         }
-        Ok(ExpandBy { orig, expanded, inner })
+        Ok(ExpandBy {
+            orig,
+            expanded,
+            inner,
+        })
     }
 
     /// Convenience constructor: pads each original extent up to the next
@@ -217,7 +219,7 @@ mod tests {
 
     #[test]
     fn symbolic_guard_matches_concrete_masking() {
-        use lego_expr::{Bindings, eval, eval_cond};
+        use lego_expr::{eval, eval_cond, Bindings};
         let e = partial();
         let idx = [
             Expr::sym("a"),
@@ -227,9 +229,12 @@ mod tests {
         ];
         let (off, guard) = e.apply_sym(&idx).unwrap();
         let mut bind = Bindings::new();
-        for (a, b, i, j) in
-            [(0i64, 0i64, 0i64, 0i64), (0, 2, 0, 3), (2, 1, 1, 1), (2, 2, 2, 2)]
-        {
+        for (a, b, i, j) in [
+            (0i64, 0i64, 0i64, 0i64),
+            (0, 2, 0, 3),
+            (2, 1, 1, 1),
+            (2, 2, 2, 2),
+        ] {
             bind.insert("a".into(), a);
             bind.insert("b".into(), b);
             bind.insert("i".into(), i);

@@ -13,7 +13,7 @@ use lego_expr::{Expr, RangeEnv};
 
 use crate::error::{LayoutError, Result};
 use crate::order_by::OrderBy;
-use crate::shape::{Ix, Shape, flatten, flatten_sym, unflatten, unflatten_sym};
+use crate::shape::{flatten, flatten_sym, unflatten, unflatten_sym, Ix, Shape};
 
 /// An index argument for [`Layout::apply_sliced`]: either a point
 /// coordinate or a full-dimension slice (the `:` of the paper's Triton
@@ -100,14 +100,20 @@ impl LayoutBuilder {
                 }
             }
         }
-        Ok(Layout { view: self.view, orders: self.orders })
+        Ok(Layout {
+            view: self.view,
+            orders: self.orders,
+        })
     }
 }
 
 impl Layout {
     /// Starts a layout from its logical view shape (`GroupBy`).
     pub fn builder(view: impl Into<Shape>) -> LayoutBuilder {
-        LayoutBuilder { view: view.into(), orders: Vec::new() }
+        LayoutBuilder {
+            view: view.into(),
+            orders: Vec::new(),
+        }
     }
 
     /// An identity layout over `view` (no reordering).
@@ -215,10 +221,7 @@ impl Layout {
                 got: args.len(),
             });
         }
-        let nslices = args
-            .iter()
-            .filter(|a| matches!(a, IdxArg::Slice))
-            .count();
+        let nslices = args.iter().filter(|a| matches!(a, IdxArg::Slice)).count();
         let mut axis = 0usize;
         let idx: Vec<Expr> = args
             .iter()
@@ -243,11 +246,7 @@ impl Layout {
     ///
     /// [`LayoutError::RankMismatch`] when `names` does not match the view
     /// rank.
-    pub fn declare_index_bounds(
-        &self,
-        env: &mut RangeEnv,
-        names: &[&str],
-    ) -> Result<()> {
+    pub fn declare_index_bounds(&self, env: &mut RangeEnv, names: &[&str]) -> Result<()> {
         if names.len() != self.view.rank() {
             return Err(LayoutError::RankMismatch {
                 expected: self.view.rank(),
@@ -317,7 +316,7 @@ mod tests {
         // brings logical tile [1,0] second), and so on.
         let l = fig2();
         let perm = l.to_permutation().unwrap();
-        let mut phys = vec![0i64; 24];
+        let mut phys = [0i64; 24];
         for (logical, &p) in perm.iter().enumerate() {
             phys[p as usize] = logical as i64;
         }
@@ -355,23 +354,23 @@ mod tests {
 
     #[test]
     fn size_mismatch_detected_at_build() {
-        let bad = Layout::builder([6i64, 4]).order_by(
-            OrderBy::new([Perm::reg([5i64, 5], [1usize, 2]).unwrap()])
-                .unwrap(),
-        );
+        let bad = Layout::builder([6i64, 4])
+            .order_by(OrderBy::new([Perm::reg([5i64, 5], [1usize, 2]).unwrap()]).unwrap());
         assert!(matches!(
             bad.build(),
-            Err(LayoutError::SizeMismatch { view: 24, order_by: 25, .. })
+            Err(LayoutError::SizeMismatch {
+                view: 24,
+                order_by: 25,
+                ..
+            })
         ));
     }
 
     #[test]
     fn symbolic_apply_matches_concrete() {
-        use lego_expr::{Bindings, eval};
+        use lego_expr::{eval, Bindings};
         let l = fig2();
-        let e = l
-            .apply_sym(&[Expr::sym("i"), Expr::sym("j")])
-            .unwrap();
+        let e = l.apply_sym(&[Expr::sym("i"), Expr::sym("j")]).unwrap();
         let mut bind = Bindings::new();
         for i in 0..6 {
             for j in 0..4 {

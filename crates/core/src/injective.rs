@@ -5,17 +5,17 @@
 //! injective) `GenP`. [`InjectiveLayout`] enforces that restriction in
 //! the type: there is no `inv`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lego_expr::Expr;
 
 use crate::error::{LayoutError, Result};
-use crate::shape::{Ix, Shape, flatten_sym};
+use crate::shape::{flatten_sym, Ix, Shape};
 
 /// Forward-only map of a logical index to a flat position.
-pub type InjFwd = Rc<dyn Fn(&[Ix]) -> Ix>;
+pub type InjFwd = Arc<dyn Fn(&[Ix]) -> Ix + Send + Sync>;
 /// Symbolic forward-only map.
-pub type InjFwdSym = Rc<dyn Fn(&[Expr]) -> Expr>;
+pub type InjFwdSym = Arc<dyn Fn(&[Expr]) -> Expr + Send + Sync>;
 
 /// An apply-only layout that may merge logical positions (broadcast) or
 /// leave physical gaps (dilation).
@@ -52,7 +52,12 @@ impl InjectiveLayout {
         if view.rank() == 0 {
             return Err(LayoutError::Empty("injective view"));
         }
-        Ok(InjectiveLayout { view, name: name.into(), fwd, fwd_sym })
+        Ok(InjectiveLayout {
+            view,
+            name: name.into(),
+            fwd,
+            fwd_sym,
+        })
     }
 
     /// Broadcast along `axis`: `(i_0, …, i_{d-1}) ↦` the flat position of
@@ -77,10 +82,9 @@ impl InjectiveLayout {
             .filter(|(k, _)| *k != axis)
             .map(|(_, d)| d.clone())
             .collect();
-        let kept_c: Option<Vec<Ix>> =
-            kept.iter().map(|d| d.as_const()).collect();
+        let kept_c: Option<Vec<Ix>> = kept.iter().map(|d| d.as_const()).collect();
         let kept_sym = kept.clone();
-        let fwd: InjFwd = Rc::new(move |idx: &[Ix]| {
+        let fwd: InjFwd = Arc::new(move |idx: &[Ix]| {
             let kd = kept_c
                 .as_ref()
                 .expect("broadcast apply_c needs constant dims");
@@ -96,7 +100,7 @@ impl InjectiveLayout {
             }
             flat
         });
-        let fwd_sym: InjFwdSym = Rc::new(move |idx: &[Expr]| {
+        let fwd_sym: InjFwdSym = Arc::new(move |idx: &[Expr]| {
             let sub: Vec<Expr> = idx
                 .iter()
                 .enumerate()
@@ -118,7 +122,7 @@ impl InjectiveLayout {
         let view = view.into();
         let dims_c = view.dims_const().ok();
         let dims_s: Vec<Expr> = view.dims().to_vec();
-        let fwd: InjFwd = Rc::new(move |idx: &[Ix]| {
+        let fwd: InjFwd = Arc::new(move |idx: &[Ix]| {
             let kd = dims_c.as_ref().expect("dilate apply_c needs constant dims");
             let mut flat = 0;
             for (&n, &i) in kd.iter().zip(idx) {
@@ -126,7 +130,7 @@ impl InjectiveLayout {
             }
             flat * stride
         });
-        let fwd_sym: InjFwdSym = Rc::new(move |idx: &[Expr]| {
+        let fwd_sym: InjFwdSym = Arc::new(move |idx: &[Expr]| {
             flatten_sym(&dims_s, idx).expect("rank checked") * Expr::val(stride)
         });
         InjectiveLayout::new(view, format!("dilate({stride})"), fwd, Some(fwd_sym))
@@ -197,7 +201,7 @@ mod tests {
 
     #[test]
     fn symbolic_broadcast() {
-        use lego_expr::{Bindings, eval};
+        use lego_expr::{eval, Bindings};
         let l = InjectiveLayout::broadcast([4i64, 8], 1).unwrap();
         let e = l.apply_sym(&[Expr::sym("i"), Expr::sym("j")]).unwrap();
         let mut bind = Bindings::new();

@@ -158,10 +158,7 @@ mod tests {
     /// The paper's O2 (Fig. 6 middle): a 6x6 view stripmined to
     /// [2,3,2,3] with sigma = [1,3,2,4].
     fn o2() -> OrderBy {
-        OrderBy::new([
-            Perm::reg([2i64, 3, 2, 3], [1usize, 3, 2, 4]).unwrap()
-        ])
-        .unwrap()
+        OrderBy::new([Perm::reg([2i64, 3, 2, 3], [1usize, 3, 2, 4]).unwrap()]).unwrap()
     }
 
     #[test]
@@ -207,13 +204,16 @@ mod tests {
         let ob = o2();
         assert!(matches!(
             ob.apply_c(&[0, 0]),
-            Err(LayoutError::RankMismatch { expected: 4, got: 2 })
+            Err(LayoutError::RankMismatch {
+                expected: 4,
+                got: 2
+            })
         ));
     }
 
     #[test]
     fn symbolic_matches_concrete() {
-        use lego_expr::{Bindings, eval};
+        use lego_expr::{eval, Bindings};
         let ob = OrderBy::new([
             Perm::reg([2i64, 2], [2usize, 1]).unwrap(),
             Perm::reg([3i64, 2], [1usize, 2]).unwrap(),
@@ -230,10 +230,7 @@ mod tests {
                         for (s, v) in syms.iter().zip([a, b, c, d]) {
                             bind.insert(s.to_string(), v);
                         }
-                        assert_eq!(
-                            eval(&e, &bind).unwrap(),
-                            ob.apply_c(&[a, b, c, d]).unwrap()
-                        );
+                        assert_eq!(eval(&e, &bind).unwrap(), ob.apply_c(&[a, b, c, d]).unwrap());
                     }
                 }
             }
@@ -242,7 +239,7 @@ mod tests {
 
     #[test]
     fn symbolic_inv_matches_concrete() {
-        use lego_expr::{Bindings, eval};
+        use lego_expr::{eval, Bindings};
         let ob = o2();
         let idx = ob.inv_sym(&Expr::sym("f")).unwrap();
         let mut bind = Bindings::new();

@@ -81,7 +81,10 @@ impl From<LayoutError> for ParseError {
 ///
 /// [`ParseError`] describing the first syntax or validation problem.
 pub fn parse_layout(src: &str) -> Result<Layout, ParseError> {
-    let mut p = Parser { src: src.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
     let layout = p.layout()?;
     p.skip_ws();
     if p.pos != p.src.len() {
@@ -100,11 +103,13 @@ impl<'a> Parser<'a> {
         let found = self
             .src
             .get(self.pos..)
-            .map(|r| {
-                String::from_utf8_lossy(&r[..r.len().min(12)]).into_owned()
-            })
+            .map(|r| String::from_utf8_lossy(&r[..r.len().min(12)]).into_owned())
             .unwrap_or_default();
-        ParseError::Unexpected { at: self.pos, found, wanted }
+        ParseError::Unexpected {
+            at: self.pos,
+            found,
+            wanted,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -128,20 +133,24 @@ impl<'a> Parser<'a> {
     }
 
     fn expect(&mut self, tok: &str, wanted: &'static str) -> Result<(), ParseError> {
-        if self.eat(tok) { Ok(()) } else { Err(self.err(wanted)) }
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(wanted))
+        }
     }
 
     fn ident(&mut self) -> Option<String> {
         self.skip_ws();
         let start = self.pos;
-        while self.src.get(self.pos).is_some_and(|c| {
-            c.is_ascii_alphanumeric() || *c == b'_'
-        }) {
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        {
             self.pos += 1;
         }
-        if self.pos == start
-            || self.src[start].is_ascii_digit()
-        {
+        if self.pos == start || self.src[start].is_ascii_digit() {
             self.pos = start;
             return None;
         }
@@ -157,7 +166,9 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return None;
         }
-        String::from_utf8_lossy(&self.src[start..self.pos]).parse().ok()
+        String::from_utf8_lossy(&self.src[start..self.pos])
+            .parse()
+            .ok()
     }
 
     // ---- expressions: + -  |  * // %  |  atom -----------------------
@@ -404,10 +415,8 @@ mod tests {
 
     #[test]
     fn parses_fig2() {
-        let l = parse_layout(
-            "GroupBy([6,4]).OrderBy(RegP([2,2],[2,1]), GenP([3,2], reverse))",
-        )
-        .unwrap();
+        let l = parse_layout("GroupBy([6,4]).OrderBy(RegP([2,2],[2,1]), GenP([3,2], reverse))")
+            .unwrap();
         assert_eq!(l.apply_c(&[4, 1]).unwrap(), 6);
     }
 
@@ -425,10 +434,7 @@ mod tests {
 
     #[test]
     fn parses_table1_matmul_row() {
-        let l = parse_layout(
-            "TileBy([M//BM, K//BK], [BM, BK]).OrderBy(Row(M, K))",
-        )
-        .unwrap();
+        let l = parse_layout("TileBy([M//BM, K//BK], [BM, BK]).OrderBy(Row(M, K))").unwrap();
         assert_eq!(l.view().rank(), 4);
         // Symbolic sizes parse into expressions.
         assert!(l.view().dims()[0].as_const().is_none());
@@ -446,10 +452,8 @@ mod tests {
 
     #[test]
     fn parses_brick_spec() {
-        let l = parse_layout(
-            "GroupBy([8,8,8]).OrderBy(RegP([2,4,2,4,2,4],[1,3,5,2,4,6]))",
-        )
-        .unwrap();
+        let l =
+            parse_layout("GroupBy([8,8,8]).OrderBy(RegP([2,4,2,4,2,4],[1,3,5,2,4,6]))").unwrap();
         let direct = crate::brick::brick3d(8, 4).unwrap();
         for p in [[0i64, 0, 0], [3, 5, 7], [7, 7, 7], [4, 0, 6]] {
             assert_eq!(l.apply_c(&p).unwrap(), direct.apply_c(&p).unwrap());
@@ -489,7 +493,8 @@ mod tests {
 
     #[test]
     fn whitespace_insensitive() {
-        let a = parse_layout("GroupBy([6,4]).OrderBy(RegP([2,2],[2,1]),GenP([3,2],reverse))").unwrap();
+        let a =
+            parse_layout("GroupBy([6,4]).OrderBy(RegP([2,2],[2,1]),GenP([3,2],reverse))").unwrap();
         let b = parse_layout(
             "GroupBy( [ 6 , 4 ] ) . OrderBy ( RegP ( [2, 2], [2, 1] ) , \
              GenP ( [3, 2] , reverse ) )",

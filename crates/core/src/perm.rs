@@ -9,21 +9,21 @@
 //! Both expose the `apply` / `inv` / `dims` interface of Fig. 4.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lego_expr::Expr;
 
 use crate::error::{LayoutError, Result};
-use crate::shape::{Ix, Shape, flatten, flatten_sym, unflatten, unflatten_sym};
+use crate::shape::{flatten, flatten_sym, unflatten, unflatten_sym, Ix, Shape};
 
 /// Concrete forward function of a `GenP`: multi-dim index → flat offset.
-pub type GenFwd = Rc<dyn Fn(&[Ix]) -> Ix>;
+pub type GenFwd = Arc<dyn Fn(&[Ix]) -> Ix + Send + Sync>;
 /// Concrete inverse function of a `GenP`: flat offset → multi-dim index.
-pub type GenInv = Rc<dyn Fn(Ix) -> Vec<Ix>>;
+pub type GenInv = Arc<dyn Fn(Ix) -> Vec<Ix> + Send + Sync>;
 /// Symbolic forward function of a `GenP`.
-pub type GenFwdSym = Rc<dyn Fn(&[Expr]) -> Expr>;
+pub type GenFwdSym = Arc<dyn Fn(&[Expr]) -> Expr + Send + Sync>;
 /// Symbolic inverse function of a `GenP`.
-pub type GenInvSym = Rc<dyn Fn(&Expr) -> Vec<Expr>>;
+pub type GenInvSym = Arc<dyn Fn(&Expr) -> Vec<Expr> + Send + Sync>;
 
 /// The function bundle of a general permutation.
 #[derive(Clone)]
@@ -288,7 +288,7 @@ mod tests {
     #[test]
     fn reg_is_bijection() {
         let p = Perm::reg([3i64, 4], [2usize, 1]).unwrap();
-        let mut seen = vec![false; 12];
+        let mut seen = [false; 12];
         for i in 0..3 {
             for j in 0..4 {
                 let f = p.apply_c(&[i, j]).unwrap() as usize;
@@ -322,10 +322,8 @@ mod tests {
         let (n1, n2) = (3i64, 2i64);
         let fns = GenFns {
             name: "reverse".into(),
-            fwd: Rc::new(move |i: &[Ix]| {
-                (n1 - 1 - i[0]) * n2 + (n2 - 1 - i[1])
-            }),
-            inv: Rc::new(move |f: Ix| {
+            fwd: Arc::new(move |i: &[Ix]| (n1 - 1 - i[0]) * n2 + (n2 - 1 - i[1])),
+            inv: Arc::new(move |f: Ix| {
                 let r = n1 * n2 - 1 - f;
                 vec![r / n2, r % n2]
             }),
@@ -344,8 +342,8 @@ mod tests {
     fn gen_without_symbolic_reports_missing() {
         let fns = GenFns {
             name: "opaque".into(),
-            fwd: Rc::new(|i: &[Ix]| i[0]),
-            inv: Rc::new(|f: Ix| vec![f]),
+            fwd: Arc::new(|i: &[Ix]| i[0]),
+            inv: Arc::new(|f: Ix| vec![f]),
             fwd_sym: None,
             inv_sym: None,
         };
@@ -358,7 +356,7 @@ mod tests {
 
     #[test]
     fn symbolic_reg_matches_concrete() {
-        use lego_expr::{Bindings, eval};
+        use lego_expr::{eval, Bindings};
         let p = Perm::reg([3i64, 4], [2usize, 1]).unwrap();
         let e = p.apply_sym(&[Expr::sym("i"), Expr::sym("j")]).unwrap();
         let mut bind = Bindings::new();
@@ -366,10 +364,7 @@ mod tests {
             for j in 0..4 {
                 bind.insert("i".into(), i);
                 bind.insert("j".into(), j);
-                assert_eq!(
-                    eval(&e, &bind).unwrap(),
-                    p.apply_c(&[i, j]).unwrap()
-                );
+                assert_eq!(eval(&e, &bind).unwrap(), p.apply_c(&[i, j]).unwrap());
             }
         }
     }

@@ -5,9 +5,9 @@
 //! stride-`b` accesses of a wavefront update into unit-stride accesses,
 //! eliminating shared-memory bank conflicts (§V-B).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
-use lego_expr::{Cond, Expr, isqrt64};
+use lego_expr::{isqrt64, Cond, Expr};
 
 use crate::error::Result;
 use crate::perm::{GenFns, Perm};
@@ -48,8 +48,7 @@ pub fn antidiag_flat_inv(n: Ix, x0: Ix) -> (Ix, Ix) {
 pub fn antidiag_sym(n: &Expr, i: &Expr, j: &Expr) -> Expr {
     let antidg = i + j + Expr::one();
     let two = Expr::val(2);
-    let on_upper = (i + (&antidg * (&antidg - Expr::one())).floor_div(&two))
-        .clone();
+    let on_upper = (i + (&antidg * (&antidg - Expr::one())).floor_div(&two)).clone();
     let lower_d = Expr::val(2) * n - &antidg;
     let gauss = (&lower_d * (&lower_d - Expr::one())).floor_div(&two);
     let on_lower = n * n - n + i - gauss;
@@ -65,21 +64,14 @@ pub fn antidiag_inv_sym(n: &Expr, x0: &Expr) -> (Expr, Expr) {
     let x = Expr::select(in_upper.clone(), x0.clone(), mirrored);
     let base = (&two * &x).isqrt();
     let bump = Expr::select(
-        Cond::ge(
-            x.clone(),
-            (&base * (&base + Expr::one())).floor_div(&two),
-        ),
+        Cond::ge(x.clone(), (&base * (&base + Expr::one())).floor_div(&two)),
         Expr::one(),
         Expr::zero(),
     );
     let antidg = base + bump;
     let i = &x - (&antidg * (&antidg - Expr::one())).floor_div(&two);
     let j = &antidg - &i - Expr::one();
-    let i_out = Expr::select(
-        in_upper.clone(),
-        i.clone(),
-        n - Expr::one() - &i,
-    );
+    let i_out = Expr::select(in_upper.clone(), i.clone(), n - Expr::one() - &i);
     let j_out = Expr::select(in_upper, j.clone(), n - Expr::one() - &j);
     (i_out, j_out)
 }
@@ -105,15 +97,15 @@ pub fn antidiag_inv_sym(n: &Expr, x0: &Expr) -> (Expr, Expr) {
 pub fn antidiag(n: Ix) -> Result<Perm> {
     let fns = GenFns {
         name: format!("antidiag{n}"),
-        fwd: Rc::new(move |idx: &[Ix]| antidiag_flat(n, idx[0], idx[1])),
-        inv: Rc::new(move |f: Ix| {
+        fwd: Arc::new(move |idx: &[Ix]| antidiag_flat(n, idx[0], idx[1])),
+        inv: Arc::new(move |f: Ix| {
             let (i, j) = antidiag_flat_inv(n, f);
             vec![i, j]
         }),
-        fwd_sym: Some(Rc::new(move |idx: &[Expr]| {
+        fwd_sym: Some(Arc::new(move |idx: &[Expr]| {
             antidiag_sym(&Expr::val(n), &idx[0], &idx[1])
         })),
-        inv_sym: Some(Rc::new(move |f: &Expr| {
+        inv_sym: Some(Arc::new(move |f: &Expr| {
             let (i, j) = antidiag_inv_sym(&Expr::val(n), f);
             vec![i, j]
         })),
@@ -173,7 +165,7 @@ mod tests {
 
     #[test]
     fn symbolic_forward_matches_concrete() {
-        use lego_expr::{Bindings, eval};
+        use lego_expr::{eval, Bindings};
         let n = 6i64;
         let e = antidiag_sym(&Expr::val(n), &Expr::sym("i"), &Expr::sym("j"));
         let mut bind = Bindings::new();
@@ -192,7 +184,7 @@ mod tests {
 
     #[test]
     fn symbolic_inverse_matches_concrete() {
-        use lego_expr::{Bindings, eval};
+        use lego_expr::{eval, Bindings};
         let n = 5i64;
         let (ie, je) = antidiag_inv_sym(&Expr::val(n), &Expr::sym("x"));
         let mut bind = Bindings::new();

@@ -5,7 +5,7 @@
 //! inverse is the permutation itself — a nice stress case for the
 //! `GenP` machinery.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::error::{LayoutError, Result};
 use crate::perm::{GenFns, Perm};
@@ -41,11 +41,11 @@ pub fn bit_reversal(n: Ix) -> Result<Perm> {
             "bit reversal requires a power-of-two length",
         ));
     }
-    let bits = (63 - n.leading_zeros()) as u32;
+    let bits = 63 - n.leading_zeros();
     let fns = GenFns {
         name: format!("bitrev{n}"),
-        fwd: Rc::new(move |idx: &[Ix]| reverse_bits(idx[0], bits)),
-        inv: Rc::new(move |f: Ix| vec![reverse_bits(f, bits)]),
+        fwd: Arc::new(move |idx: &[Ix]| reverse_bits(idx[0], bits)),
+        inv: Arc::new(move |f: Ix| vec![reverse_bits(f, bits)]),
         fwd_sym: None,
         inv_sym: None,
     };

@@ -7,7 +7,7 @@
 //! interchange, provided here as a ready-made `GenP` with symbolic
 //! forms.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lego_expr::Expr;
 
@@ -40,40 +40,128 @@ pub fn block_cyclic(p: Ix, b: Ix, c: Ix) -> Result<Perm> {
         ));
     }
     let n = p * b * c;
-    let fwd_map = move |i: Ix| -> Ix {
-        let proc = (i / b) % p;
-        let slot = (i / b) / p;
-        let off = i % b;
-        (proc * c + slot) * b + off
-    };
-    let inv_map = move |f: Ix| -> Ix {
-        let off = f % b;
-        let slot = (f / b) % c;
-        let proc = (f / b) / c;
-        (slot * p + proc) * b + off
-    };
     let fns = GenFns {
         name: format!("block_cyclic(p={p},b={b},c={c})"),
-        fwd: Rc::new(move |idx: &[Ix]| fwd_map(idx[0])),
-        inv: Rc::new(move |f: Ix| vec![inv_map(f)]),
-        fwd_sym: Some(Rc::new(move |idx: &[Expr]| {
-            let i = &idx[0];
-            let (bp, bb, bc) = (Expr::val(p), Expr::val(b), Expr::val(c));
-            let proc = i.floor_div(&bb).rem(&bp);
-            let slot = i.floor_div(&bb).floor_div(&bp);
-            let off = i.rem(&bb);
-            (proc * &bc + slot) * &bb + off
+        fwd: Arc::new(move |idx: &[Ix]| bc_fwd(idx[0], p, b, c)),
+        inv: Arc::new(move |f: Ix| vec![bc_inv(f, p, b, c)]),
+        fwd_sym: Some(Arc::new(move |idx: &[Expr]| bc_fwd_sym(&idx[0], p, b, c))),
+        inv_sym: Some(Arc::new(move |f: &Expr| vec![bc_inv_sym(f, p, b, c)])),
+    };
+    Perm::gen([n], fns)
+}
+
+/// The scalar block-cyclic forward map (`p` processors, block `b`,
+/// `c` cycles), shared by [`block_cyclic`] and the rank-2 wrappers.
+fn bc_fwd(i: Ix, p: Ix, b: Ix, c: Ix) -> Ix {
+    let proc = (i / b) % p;
+    let slot = (i / b) / p;
+    let off = i % b;
+    (proc * c + slot) * b + off
+}
+
+/// The scalar block-cyclic inverse map.
+fn bc_inv(f: Ix, p: Ix, b: Ix, c: Ix) -> Ix {
+    let off = f % b;
+    let slot = (f / b) % c;
+    let proc = (f / b) / c;
+    (slot * p + proc) * b + off
+}
+
+/// Symbolic block-cyclic forward map with expression-valued parameters
+/// — the single definition of the distribution, also usable with
+/// symbolic `p`/`b`/`c` (e.g. `c = nt_m // (p·b)` in tuned kernels).
+pub fn block_cyclic_fwd_sym(i: &Expr, p: &Expr, b: &Expr, c: &Expr) -> Expr {
+    let proc = i.floor_div(b).rem(p);
+    let slot = i.floor_div(b).floor_div(p);
+    let off = i.rem(b);
+    (proc * c + slot) * b + off
+}
+
+/// Symbolic block-cyclic inverse map with expression-valued parameters.
+pub fn block_cyclic_inv_sym(f: &Expr, p: &Expr, b: &Expr, c: &Expr) -> Expr {
+    let off = f.rem(b);
+    let slot = f.floor_div(b).rem(c);
+    let proc = f.floor_div(b).floor_div(c);
+    (slot * p + proc) * b + off
+}
+
+/// Concrete-parameter wrapper over [`block_cyclic_fwd_sym`].
+fn bc_fwd_sym(i: &Expr, p: Ix, b: Ix, c: Ix) -> Expr {
+    block_cyclic_fwd_sym(i, &Expr::val(p), &Expr::val(b), &Expr::val(c))
+}
+
+/// Concrete-parameter wrapper over [`block_cyclic_inv_sym`].
+fn bc_inv_sym(f: &Expr, p: Ix, b: Ix, c: Ix) -> Expr {
+    block_cyclic_inv_sym(f, &Expr::val(p), &Expr::val(b), &Expr::val(c))
+}
+
+/// Rank-2 block-cyclic over the *row* axis: `(i, j) → bc(i)·cols + j`.
+///
+/// Distributes the rows of a `rows×cols` space block-cyclically while
+/// keeping each row contiguous — the thread-block schedule variant of
+/// the §VI-e distribution (used by the `lego-tune` matmul search).
+///
+/// # Errors
+///
+/// [`LayoutError::Unsupported`] unless `p·b` divides `rows` and all
+/// parameters are positive.
+pub fn block_cyclic_rows(rows: Ix, cols: Ix, p: Ix, b: Ix) -> Result<Perm> {
+    if p <= 0 || b <= 0 || rows <= 0 || cols <= 0 || rows % (p * b) != 0 {
+        return Err(LayoutError::Unsupported(
+            "block_cyclic_rows requires positive parameters with p*b | rows",
+        ));
+    }
+    let c = rows / (p * b);
+    let fns = GenFns {
+        name: format!("block_cyclic_rows({rows}x{cols},p={p},b={b})"),
+        fwd: Arc::new(move |idx: &[Ix]| bc_fwd(idx[0], p, b, c) * cols + idx[1]),
+        inv: Arc::new(move |f: Ix| vec![bc_inv(f / cols, p, b, c), f % cols]),
+        fwd_sym: Some(Arc::new(move |idx: &[Expr]| {
+            bc_fwd_sym(&idx[0], p, b, c) * Expr::val(cols) + &idx[1]
         })),
-        inv_sym: Some(Rc::new(move |f: &Expr| {
-            let (bp, bb, bc) = (Expr::val(p), Expr::val(b), Expr::val(c));
-            let off = f.rem(&bb);
-            let slot = f.floor_div(&bb).rem(&bc);
-            let proc = f.floor_div(&bb).floor_div(&bc);
-            vec![(slot * &bp + proc) * &bb + off]
+        inv_sym: Some(Arc::new(move |f: &Expr| {
+            vec![
+                bc_inv_sym(&f.floor_div(&Expr::val(cols)), p, b, c),
+                f.rem(&Expr::val(cols)),
+            ]
         })),
     };
-    let _ = n;
-    Perm::gen([n], fns)
+    Perm::gen([rows, cols], fns)
+}
+
+/// Rank-2 block-cyclic over the *flattened elements* of a `rows×cols`
+/// tile: `(i, j) → bc(i·cols + j)`.
+///
+/// Scatters consecutive elements across "processors" — a shared-memory
+/// staging candidate in the `lego-tune` transpose search.
+///
+/// # Errors
+///
+/// [`LayoutError::Unsupported`] unless `p·b` divides `rows·cols` and
+/// all parameters are positive.
+pub fn block_cyclic_elems(rows: Ix, cols: Ix, p: Ix, b: Ix) -> Result<Perm> {
+    if p <= 0 || b <= 0 || rows <= 0 || cols <= 0 || (rows * cols) % (p * b) != 0 {
+        return Err(LayoutError::Unsupported(
+            "block_cyclic_elems requires positive parameters with p*b | rows*cols",
+        ));
+    }
+    let c = rows * cols / (p * b);
+    let fns = GenFns {
+        name: format!("block_cyclic_elems({rows}x{cols},p={p},b={b})"),
+        fwd: Arc::new(move |idx: &[Ix]| bc_fwd(idx[0] * cols + idx[1], p, b, c)),
+        inv: Arc::new(move |f: Ix| {
+            let i = bc_inv(f, p, b, c);
+            vec![i / cols, i % cols]
+        }),
+        fwd_sym: Some(Arc::new(move |idx: &[Expr]| {
+            bc_fwd_sym(&(&idx[0] * Expr::val(cols) + &idx[1]), p, b, c)
+        })),
+        inv_sym: Some(Arc::new(move |f: &Expr| {
+            let i = bc_inv_sym(f, p, b, c);
+            vec![i.floor_div(&Expr::val(cols)), i.rem(&Expr::val(cols))]
+        })),
+    };
+    Perm::gen([rows, cols], fns)
 }
 
 #[cfg(test)]
@@ -103,7 +191,7 @@ mod tests {
 
     #[test]
     fn symbolic_matches_concrete() {
-        use lego_expr::{Bindings, eval};
+        use lego_expr::{eval, Bindings};
         let perm = block_cyclic(3, 2, 4).unwrap();
         let e = perm.apply_sym(&[Expr::sym("i")]).unwrap();
         let inv = perm.inv_sym(&Expr::sym("f")).unwrap();
@@ -112,10 +200,7 @@ mod tests {
             bind.insert("i".into(), i);
             bind.insert("f".into(), i);
             assert_eq!(eval(&e, &bind).unwrap(), perm.apply_c(&[i]).unwrap());
-            assert_eq!(
-                eval(&inv[0], &bind).unwrap(),
-                perm.inv_c(i).unwrap()[0]
-            );
+            assert_eq!(eval(&inv[0], &bind).unwrap(), perm.inv_c(i).unwrap()[0]);
         }
     }
 
@@ -123,5 +208,57 @@ mod tests {
     fn invalid_params_rejected() {
         assert!(block_cyclic(0, 2, 2).is_err());
         assert!(block_cyclic(2, -1, 2).is_err());
+    }
+
+    #[test]
+    fn rows_variant_is_bijective_and_row_contiguous() {
+        let perm = block_cyclic_rows(8, 3, 2, 2).unwrap();
+        crate::check::check_genp_bijective(&perm).unwrap();
+        // Each row stays contiguous: (i, j) and (i, j+1) are adjacent.
+        for i in 0..8 {
+            let a = perm.apply_c(&[i, 0]).unwrap();
+            let b = perm.apply_c(&[i, 1]).unwrap();
+            assert_eq!(b, a + 1);
+        }
+    }
+
+    #[test]
+    fn elems_variant_is_bijective() {
+        let perm = block_cyclic_elems(4, 4, 2, 2).unwrap();
+        crate::check::check_genp_bijective(&perm).unwrap();
+    }
+
+    #[test]
+    fn rank2_symbolic_matches_concrete() {
+        use lego_expr::{eval, Bindings};
+        for perm in [
+            block_cyclic_rows(8, 3, 2, 2).unwrap(),
+            block_cyclic_elems(4, 6, 3, 2).unwrap(),
+        ] {
+            let e = perm.apply_sym(&[Expr::sym("i"), Expr::sym("j")]).unwrap();
+            let inv = perm.inv_sym(&Expr::sym("f")).unwrap();
+            let dims = perm.tile().dims_const().unwrap();
+            let mut bind = Bindings::new();
+            for i in 0..dims[0] {
+                for j in 0..dims[1] {
+                    bind.insert("i".into(), i);
+                    bind.insert("j".into(), j);
+                    assert_eq!(eval(&e, &bind).unwrap(), perm.apply_c(&[i, j]).unwrap());
+                }
+            }
+            for f in 0..dims[0] * dims[1] {
+                bind.insert("f".into(), f);
+                let conc = perm.inv_c(f).unwrap();
+                for (s, c) in inv.iter().zip(&conc) {
+                    assert_eq!(eval(s, &bind).unwrap(), *c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank2_invalid_params_rejected() {
+        assert!(block_cyclic_rows(7, 3, 2, 2).is_err()); // 4 ∤ 7
+        assert!(block_cyclic_elems(3, 3, 2, 2).is_err()); // 4 ∤ 9
     }
 }

@@ -4,7 +4,7 @@
 //! consecutive curve positions adjacent in 2-D, which maximizes locality
 //! for scanning workloads.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::error::{LayoutError, Result};
 use crate::perm::{GenFns, Perm};
@@ -65,8 +65,8 @@ pub fn hilbert(n: Ix) -> Result<Perm> {
     }
     let fns = GenFns {
         name: format!("hilbert{n}"),
-        fwd: Rc::new(move |idx: &[Ix]| hilbert_xy2d(n, idx[0], idx[1])),
-        inv: Rc::new(move |d: Ix| {
+        fwd: Arc::new(move |idx: &[Ix]| hilbert_xy2d(n, idx[0], idx[1])),
+        inv: Arc::new(move |d: Ix| {
             let (x, y) = hilbert_d2xy(n, d);
             vec![x, y]
         }),

@@ -28,7 +28,9 @@ mod swizzle;
 
 pub use antidiag::{antidiag, antidiag_flat, antidiag_flat_inv};
 pub use bitrev::{bit_reversal, reverse_bits};
-pub use block_cyclic::block_cyclic;
+pub use block_cyclic::{
+    block_cyclic, block_cyclic_elems, block_cyclic_fwd_sym, block_cyclic_inv_sym, block_cyclic_rows,
+};
 pub use hilbert::{hilbert, hilbert_d2xy, hilbert_xy2d};
 pub use morton::{morton, morton_decode2, morton_encode2};
 pub use reverse::reverse_perm;

@@ -5,7 +5,7 @@
 //! layouts" the paper's conclusion points to (cf. Wise et al. [10] in the
 //! paper's related work).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::error::{LayoutError, Result};
 use crate::perm::{GenFns, Perm};
@@ -70,8 +70,8 @@ pub fn morton(n: Ix) -> Result<Perm> {
     }
     let fns = GenFns {
         name: format!("morton{n}"),
-        fwd: Rc::new(|idx: &[Ix]| morton_encode2(idx[0], idx[1])),
-        inv: Rc::new(|z: Ix| {
+        fwd: Arc::new(|idx: &[Ix]| morton_encode2(idx[0], idx[1])),
+        inv: Arc::new(|z: Ix| {
             let (i, j) = morton_decode2(z);
             vec![i, j]
         }),

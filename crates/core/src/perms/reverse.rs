@@ -1,13 +1,13 @@
 //! Elementwise reversal permutation (the inner `GenP` of the paper's
 //! Fig. 2): every axis is mirrored, `p(i_1..i_d) = B(n_1-1-i_1, …)`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lego_expr::Expr;
 
 use crate::error::Result;
 use crate::perm::{GenFns, Perm};
-use crate::shape::{Ix, flatten, unflatten};
+use crate::shape::{flatten, unflatten, Ix};
 
 /// Builds the all-axes reversal `GenP` for the given tile shape.
 ///
@@ -32,27 +32,21 @@ pub fn reverse_perm(dims: &[Ix]) -> Result<Perm> {
     let total: Ix = dims_f.iter().product();
     let fns = GenFns {
         name: format!("reverse{dims_f:?}"),
-        fwd: Rc::new(move |idx: &[Ix]| {
-            let mirrored: Vec<Ix> = idx
-                .iter()
-                .zip(&dims_f)
-                .map(|(&i, &n)| n - 1 - i)
-                .collect();
+        fwd: Arc::new(move |idx: &[Ix]| {
+            let mirrored: Vec<Ix> = idx.iter().zip(&dims_f).map(|(&i, &n)| n - 1 - i).collect();
             flatten(&dims_f, &mirrored).expect("mirrored index in bounds")
         }),
-        inv: Rc::new(move |f: Ix| {
-            let idx = unflatten(&dims_i, total - 1 - f)
-                .expect("mirrored flat in bounds");
-            idx
+        inv: Arc::new(move |f: Ix| {
+            unflatten(&dims_i, total - 1 - f).expect("mirrored flat in bounds")
         }),
-        fwd_sym: Some(Rc::new(move |idx: &[Expr]| {
+        fwd_sym: Some(Arc::new(move |idx: &[Expr]| {
             let mut flat = Expr::zero();
             for (i, &n) in idx.iter().zip(&dims_s) {
                 flat = flat * Expr::val(n) + (Expr::val(n - 1) - i);
             }
             flat
         })),
-        inv_sym: Some(Rc::new(move |f: &Expr| {
+        inv_sym: Some(Arc::new(move |f: &Expr| {
             let total: Ix = dims_si.iter().product();
             let mirrored = Expr::val(total - 1) - f;
             let mut rest = mirrored;
@@ -90,7 +84,7 @@ mod tests {
 
     #[test]
     fn symbolic_matches_concrete() {
-        use lego_expr::{Bindings, eval};
+        use lego_expr::{eval, Bindings};
         let p = reverse_perm(&[4, 3]).unwrap();
         let e = p.apply_sym(&[Expr::sym("i"), Expr::sym("j")]).unwrap();
         let mut bind = Bindings::new();
@@ -105,7 +99,7 @@ mod tests {
 
     #[test]
     fn symbolic_inv_matches_concrete() {
-        use lego_expr::{Bindings, eval};
+        use lego_expr::{eval, Bindings};
         let p = reverse_perm(&[4, 3]).unwrap();
         let idx = p.inv_sym(&Expr::sym("f")).unwrap();
         let mut bind = Bindings::new();

@@ -5,7 +5,7 @@
 //! banks — the CUTLASS-style alternative to the padding/anti-diagonal
 //! tricks of §V-B. Bijective per row, hence bijective overall.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lego_expr::Expr;
 
@@ -37,20 +37,20 @@ pub fn xor_swizzle(rows: Ix, cols: Ix) -> Result<Perm> {
     }
     let fns = GenFns {
         name: format!("xor_swizzle{rows}x{cols}"),
-        fwd: Rc::new(move |idx: &[Ix]| {
+        fwd: Arc::new(move |idx: &[Ix]| {
             let (i, j) = (idx[0], idx[1]);
             i * cols + (j ^ (i % cols))
         }),
-        inv: Rc::new(move |f: Ix| {
+        inv: Arc::new(move |f: Ix| {
             let i = f / cols;
             let js = f % cols;
             vec![i, js ^ (i % cols)]
         }),
-        fwd_sym: Some(Rc::new(move |idx: &[Expr]| {
+        fwd_sym: Some(Arc::new(move |idx: &[Expr]| {
             let (i, j) = (&idx[0], &idx[1]);
             i * Expr::val(cols) + j.xor(&i.rem(&Expr::val(cols)))
         })),
-        inv_sym: Some(Rc::new(move |f: &Expr| {
+        inv_sym: Some(Arc::new(move |f: &Expr| {
             let i = f.floor_div(&Expr::val(cols));
             let js = f.rem(&Expr::val(cols));
             vec![i.clone(), js.xor(&i.rem(&Expr::val(cols)))]
@@ -77,8 +77,7 @@ mod tests {
         // physical column slots (banks) — the whole point of the swizzle.
         let p = xor_swizzle(8, 8).unwrap();
         for j in 0..8 {
-            let mut banks: Vec<Ix> =
-                (0..8).map(|i| p.apply_c(&[i, j]).unwrap() % 8).collect();
+            let mut banks: Vec<Ix> = (0..8).map(|i| p.apply_c(&[i, j]).unwrap() % 8).collect();
             banks.sort_unstable();
             banks.dedup();
             assert_eq!(banks.len(), 8, "column {j} conflicts");

@@ -65,9 +65,8 @@ impl Shape {
         self.0
             .iter()
             .map(|d| {
-                d.as_const().ok_or_else(|| LayoutError::NonConstDims {
-                    dim: d.to_string(),
-                })
+                d.as_const()
+                    .ok_or_else(|| LayoutError::NonConstDims { dim: d.to_string() })
             })
             .collect()
     }
@@ -123,7 +122,11 @@ pub fn flatten(dims: &[Ix], idx: &[Ix]) -> Result<Ix> {
     let mut flat: Ix = 0;
     for (axis, (&n, &i)) in dims.iter().zip(idx).enumerate() {
         if i < 0 || i >= n {
-            return Err(LayoutError::IndexOutOfBounds { index: i, size: n, axis });
+            return Err(LayoutError::IndexOutOfBounds {
+                index: i,
+                size: n,
+                axis,
+            });
         }
         flat = flat * n + i;
     }
@@ -182,7 +185,7 @@ pub fn unflatten_sym(dims: &[Expr], flat: &Expr) -> Vec<Expr> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lego_expr::{Bindings, eval};
+    use lego_expr::{eval, Bindings};
 
     #[test]
     fn flatten_row_major() {
@@ -223,15 +226,17 @@ mod tests {
     fn rank_mismatch_reported() {
         assert!(matches!(
             flatten(&[6, 4], &[1]),
-            Err(LayoutError::RankMismatch { expected: 2, got: 1 })
+            Err(LayoutError::RankMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
     #[test]
     fn symbolic_matches_concrete() {
         let dims_c = [5i64, 7, 3];
-        let dims_s: Vec<Expr> =
-            dims_c.iter().map(|&d| Expr::val(d)).collect();
+        let dims_s: Vec<Expr> = dims_c.iter().map(|&d| Expr::val(d)).collect();
         let idx_s = [Expr::sym("a"), Expr::sym("b"), Expr::sym("c")];
         let flat_s = flatten_sym(&dims_s, &idx_s).unwrap();
         let mut bind = Bindings::new();

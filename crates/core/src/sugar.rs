@@ -131,11 +131,9 @@ pub fn tile_order_by<I: IntoIterator<Item = Perm>>(perms: I) -> Result<LayoutBui
     if perms.is_empty() {
         return Err(LayoutError::Empty("TileOrderBy perms"));
     }
-    let concat = perms
-        .iter()
-        .fold(Shape::new(Vec::<Expr>::new()), |acc, p| {
-            acc.concat(p.tile())
-        });
+    let concat = perms.iter().fold(Shape::new(Vec::<Expr>::new()), |acc, p| {
+        acc.concat(p.tile())
+    });
     Ok(Layout::builder(concat).order_by(OrderBy::new(perms)?))
 }
 
@@ -203,10 +201,7 @@ mod tests {
         let l = tile_by([Shape::from([2i64, 2]), Shape::from([3i64, 2])])
             .unwrap()
             .order_by(
-                OrderBy::new([
-                    Perm::reg([2i64, 3, 2, 2], [1usize, 3, 2, 4]).unwrap(),
-                ])
-                .unwrap(),
+                OrderBy::new([Perm::reg([2i64, 3, 2, 2], [1usize, 3, 2, 4]).unwrap()]).unwrap(),
             )
             .build()
             .unwrap();
@@ -256,14 +251,10 @@ mod tests {
         let (r, t) = (4i64, 16i64);
         let l = tile_by([Shape::from([r, r]), Shape::from([t, t])])
             .unwrap()
-            .order_by(
-                OrderBy::new([row([r * t, r * t]).unwrap()]).unwrap(),
-            )
+            .order_by(OrderBy::new([row([r * t, r * t]).unwrap()]).unwrap())
             .build()
             .unwrap();
-        for &(ri, rj, ti, tj) in
-            &[(0, 0, 0, 0), (1, 2, 3, 4), (3, 3, 15, 15), (2, 0, 7, 9)]
-        {
+        for &(ri, rj, ti, tj) in &[(0, 0, 0, 0), (1, 2, 3, 4), (3, 3, 15, 15), (2, 0, 7, 9)] {
             let want = (ri * t + ti) * (r * t) + (rj * t + tj);
             assert_eq!(l.apply_c(&[ri, rj, ti, tj]).unwrap(), want);
         }

@@ -20,15 +20,11 @@ pub fn op_count(e: &Expr) -> usize {
         ExprKind::Add(ts) | ExprKind::Mul(ts) => {
             ts.len() - 1 + ts.iter().map(op_count).sum::<usize>()
         }
-        ExprKind::FloorDiv(a, b) | ExprKind::Mod(a, b) => {
-            1 + op_count(a) + op_count(b)
-        }
+        ExprKind::FloorDiv(a, b) | ExprKind::Mod(a, b) => 1 + op_count(a) + op_count(b),
         ExprKind::Min(a, b) | ExprKind::Max(a, b) | ExprKind::Xor(a, b) => {
             1 + op_count(a) + op_count(b)
         }
-        ExprKind::Select(c, t, f) => {
-            1 + cond_op_count(c) + op_count(t) + op_count(f)
-        }
+        ExprKind::Select(c, t, f) => 1 + cond_op_count(c) + op_count(t) + op_count(f),
         ExprKind::ISqrt(a) => 1 + op_count(a),
         // A lane range is materialized by one `arange`; its bounds may
         // still contain arithmetic.

@@ -38,13 +38,14 @@ pub fn expand(e: &Expr) -> Expr {
         ExprKind::Min(a, b) => expand(a).min(&expand(b)),
         ExprKind::Max(a, b) => expand(a).max(&expand(b)),
         ExprKind::Xor(a, b) => expand(a).xor(&expand(b)),
-        ExprKind::Select(c, t, f) => {
-            Expr::select(c.clone(), expand(t), expand(f))
-        }
+        ExprKind::Select(c, t, f) => Expr::select(c.clone(), expand(t), expand(f)),
         ExprKind::ISqrt(a) => expand(a).isqrt(),
-        ExprKind::Range { lo, len, axis, ndims } => {
-            Expr::range(expand(lo), expand(len), *axis, *ndims)
-        }
+        ExprKind::Range {
+            lo,
+            len,
+            axis,
+            ndims,
+        } => Expr::range(expand(lo), expand(len), *axis, *ndims),
     }
 }
 
@@ -61,8 +62,12 @@ mod tests {
 
     #[test]
     fn distributes_both_sides() {
-        let (a, b, c, d) =
-            (Expr::sym("a"), Expr::sym("b"), Expr::sym("c"), Expr::sym("d"));
+        let (a, b, c, d) = (
+            Expr::sym("a"),
+            Expr::sym("b"),
+            Expr::sym("c"),
+            Expr::sym("d"),
+        );
         let e = (&a + &b) * (&c + &d);
         let x = expand(&e);
         assert_eq!(x, &a * &c + &a * &d + &b * &c + &b * &d);
@@ -79,10 +84,8 @@ mod tests {
 
     #[test]
     fn expansion_preserves_value() {
-        use crate::subst::{Bindings, eval};
-        let e = (Expr::sym("a") + Expr::val(3))
-            * (Expr::sym("b") + Expr::sym("a"))
-            * Expr::val(2);
+        use crate::subst::{eval, Bindings};
+        let e = (Expr::sym("a") + Expr::val(3)) * (Expr::sym("b") + Expr::sym("a")) * Expr::val(2);
         let x = expand(&e);
         let mut bind = Bindings::new();
         for (a, b) in [(0i64, 0i64), (5, -3), (17, 11), (-2, 9)] {

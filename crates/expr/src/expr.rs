@@ -1,6 +1,6 @@
 //! The symbolic integer expression AST.
 //!
-//! Expressions are immutable trees behind [`std::rc::Rc`], so cloning is
+//! Expressions are immutable trees behind [`std::sync::Arc`], so cloning is
 //! cheap and sharing is pervasive. All arithmetic is over mathematical
 //! integers; `/` and `%` denote *floor* division and the matching modulo
 //! (which coincide with C semantics on the non-negative operands LEGO
@@ -17,7 +17,7 @@
 //! ```
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Comparison operators usable inside [`Cond`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -94,7 +94,7 @@ impl Cond {
     }
 
     /// Collects the free symbols of the condition into `out`.
-    pub fn collect_syms(&self, out: &mut Vec<Rc<str>>) {
+    pub fn collect_syms(&self, out: &mut Vec<Arc<str>>) {
         match self {
             Cond::Cmp(_, a, b) => {
                 a.collect_syms(out);
@@ -116,7 +116,7 @@ pub enum ExprKind {
     /// An integer literal.
     Const(i64),
     /// A free symbol, e.g. a kernel parameter (`M`) or an index (`pid`).
-    Sym(Rc<str>),
+    Sym(Arc<str>),
     /// N-ary sum. Invariant after canonicalization: at least two operands,
     /// no nested `Add`, at most one constant (last).
     Add(Vec<Expr>),
@@ -164,7 +164,7 @@ pub enum ExprKind {
 /// light local canonicalization (constant folding, flattening); the full
 /// rewriting lives in [`crate::simplify`].
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Expr(pub(crate) Rc<ExprKind>);
+pub struct Expr(pub(crate) Arc<ExprKind>);
 
 impl fmt::Debug for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -175,7 +175,7 @@ impl fmt::Debug for Expr {
 impl Expr {
     /// Wraps an [`ExprKind`] without any canonicalization.
     pub fn raw(kind: ExprKind) -> Expr {
-        Expr(Rc::new(kind))
+        Expr(Arc::new(kind))
     }
 
     /// An integer literal.
@@ -184,7 +184,7 @@ impl Expr {
     }
 
     /// A free symbol.
-    pub fn sym(name: impl Into<Rc<str>>) -> Expr {
+    pub fn sym(name: impl Into<Arc<str>>) -> Expr {
         Expr::raw(ExprKind::Sym(name.into()))
     }
 
@@ -200,7 +200,12 @@ impl Expr {
 
     /// A lane range `[lo, lo+len)` broadcasting on `axis` of `ndims`.
     pub fn range(lo: Expr, len: Expr, axis: usize, ndims: usize) -> Expr {
-        Expr::raw(ExprKind::Range { lo, len, axis, ndims })
+        Expr::raw(ExprKind::Range {
+            lo,
+            len,
+            axis,
+            ndims,
+        })
     }
 
     /// Borrow the node payload.
@@ -265,7 +270,7 @@ impl Expr {
     /// Binary minimum (constant-folds).
     ///
     /// Takes `self` by value so that it is selected over [`Ord::min`]
-    /// during method resolution; `Expr` is `Rc`-backed, so passing by
+    /// during method resolution; `Expr` is `Arc`-backed, so passing by
     /// value is cheap.
     pub fn min(self, other: &Expr) -> Expr {
         if let (Some(a), Some(b)) = (self.as_const(), other.as_const()) {
@@ -357,9 +362,7 @@ impl Expr {
         }
         // Sort larger terms first (then structurally) so sums print in the
         // conventional `i*n + j + 1` order and stay deterministic.
-        flat.sort_by(|a, b| {
-            b.node_count().cmp(&a.node_count()).then_with(|| a.cmp(b))
-        });
+        flat.sort_by(|a, b| b.node_count().cmp(&a.node_count()).then_with(|| a.cmp(b)));
         if k != 0 {
             flat.push(Expr::val(k));
         }
@@ -404,7 +407,7 @@ impl Expr {
     }
 
     /// Collects every free symbol (with duplicates) into `out`.
-    pub fn collect_syms(&self, out: &mut Vec<Rc<str>>) {
+    pub fn collect_syms(&self, out: &mut Vec<Arc<str>>) {
         match self.kind() {
             ExprKind::Const(_) => {}
             ExprKind::Sym(s) => out.push(s.clone()),
@@ -435,7 +438,7 @@ impl Expr {
     }
 
     /// The set of free symbol names, sorted and deduplicated.
-    pub fn free_syms(&self) -> Vec<Rc<str>> {
+    pub fn free_syms(&self) -> Vec<Arc<str>> {
         let mut v = Vec::new();
         self.collect_syms(&mut v);
         v.sort();
@@ -653,7 +656,12 @@ impl fmt::Display for Expr {
             ExprKind::Max(a, b) => write!(f, "max({a}, {b})"),
             ExprKind::Select(c, t, e) => write!(f, "({t} if {c} else {e})"),
             ExprKind::ISqrt(a) => write!(f, "isqrt({a})"),
-            ExprKind::Range { lo, len, axis, ndims } => {
+            ExprKind::Range {
+                lo,
+                len,
+                axis,
+                ndims,
+            } => {
                 write!(f, "range({lo}, {lo}+{len}; axis={axis}/{ndims})")
             }
         }
@@ -747,8 +755,7 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let e = (Expr::sym("i") * Expr::sym("n") + Expr::sym("j"))
-            .floor_div(&Expr::sym("d"));
+        let e = (Expr::sym("i") * Expr::sym("n") + Expr::sym("j")).floor_div(&Expr::sym("d"));
         assert_eq!(e.to_string(), "(i*n + j) // d");
     }
 

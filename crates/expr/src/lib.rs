@@ -43,12 +43,9 @@ pub mod range;
 pub mod simplify;
 pub mod subst;
 
-pub use cost::{CostChoice, Variant, op_count, pick_cheaper};
+pub use cost::{op_count, pick_cheaper, CostChoice, Variant};
 pub use expand::expand;
-pub use expr::{CmpOp, Cond, Expr, ExprKind, isqrt64};
+pub use expr::{isqrt64, CmpOp, Cond, Expr, ExprKind};
 pub use range::{NumRange, RangeEnv, SymBounds};
-pub use simplify::{RuleStats, simplify, simplify_with_stats};
-pub use subst::{
-    Bindings, EvalError, eval, eval_cond, eval_lane, map_ranges, subst,
-    transform,
-};
+pub use simplify::{simplify, simplify_with_stats, RuleStats};
+pub use subst::{eval, eval_cond, eval_lane, map_ranges, subst, transform, Bindings, EvalError};

@@ -26,9 +26,7 @@ pub fn print(e: &Expr) -> Result<String, PrintError> {
 /// Prints a condition as a C boolean expression.
 pub fn print_cond(c: &Cond) -> Result<String, PrintError> {
     match c {
-        Cond::Cmp(op, a, b) => {
-            Ok(format!("{} {} {}", print(a)?, op.token(), print(b)?))
-        }
+        Cond::Cmp(op, a, b) => Ok(format!("{} {} {}", print(a)?, op.token(), print(b)?)),
         Cond::All(cs) => {
             let parts: Result<Vec<_>, _> = cs.iter().map(print_cond).collect();
             Ok(format!("({})", parts?.join(") && (")))

@@ -65,8 +65,7 @@ impl MlirEmitter {
 
     fn push_op(&mut self, op: &str, a: &str, b: &str) -> String {
         let v = self.fresh();
-        self.lines
-            .push(format!("{v} = {op} {a}, {b} : index"));
+        self.lines.push(format!("{v} = {op} {a}, {b} : index"));
         v
     }
 
@@ -74,7 +73,14 @@ impl MlirEmitter {
         if let Some(s) = self.consts.get(&v) {
             return s.clone();
         }
-        let name = format!("%c{}", if v < 0 { format!("m{}", -v) } else { v.to_string() });
+        let name = format!(
+            "%c{}",
+            if v < 0 {
+                format!("m{}", -v)
+            } else {
+                v.to_string()
+            }
+        );
         self.lines
             .push(format!("{name} = arith.constant {v} : index"));
         self.consts.insert(v, name.clone());
@@ -141,17 +147,15 @@ impl MlirEmitter {
                 let cv = self.emit_cond(c)?;
                 let (tv, fv) = (self.emit(t)?, self.emit(f)?);
                 let v = self.fresh();
-                self.lines.push(format!(
-                    "{v} = arith.select {cv}, {tv}, {fv} : index"
-                ));
+                self.lines
+                    .push(format!("{v} = arith.select {cv}, {tv}, {fv} : index"));
                 v
             }
             ExprKind::ISqrt(a) => {
                 let av = self.emit(a)?;
                 let (f, s, r) = (self.fresh(), self.fresh(), self.fresh());
-                self.lines.push(format!(
-                    "{f} = arith.index_cast {av} : index to i64"
-                ));
+                self.lines
+                    .push(format!("{f} = arith.index_cast {av} : index to i64"));
                 let g = self.fresh();
                 self.lines
                     .push(format!("{g} = arith.sitofp {f} : i64 to f64"));
@@ -159,9 +163,8 @@ impl MlirEmitter {
                 let h = self.fresh();
                 self.lines
                     .push(format!("{h} = arith.fptosi {s} : f64 to i64"));
-                self.lines.push(format!(
-                    "{r} = arith.index_cast {h} : i64 to index"
-                ));
+                self.lines
+                    .push(format!("{r} = arith.index_cast {h} : i64 to index"));
                 r
             }
             ExprKind::Range { .. } => {
@@ -192,9 +195,8 @@ impl MlirEmitter {
                     CmpOp::Ge => "sge",
                 };
                 let v = self.fresh();
-                self.lines.push(format!(
-                    "{v} = arith.cmpi {pred}, {av}, {bv} : index"
-                ));
+                self.lines
+                    .push(format!("{v} = arith.cmpi {pred}, {av}, {bv} : index"));
                 Ok(v)
             }
             Cond::All(cs) => self.fold_bool(cs, "arith.andi", true),
@@ -202,22 +204,15 @@ impl MlirEmitter {
             Cond::Not(c) => {
                 let cv = self.emit_cond(c)?;
                 let t = self.fresh();
-                self.lines
-                    .push(format!("{t} = arith.constant true"));
+                self.lines.push(format!("{t} = arith.constant true"));
                 let v = self.fresh();
-                self.lines
-                    .push(format!("{v} = arith.xori {cv}, {t} : i1"));
+                self.lines.push(format!("{v} = arith.xori {cv}, {t} : i1"));
                 Ok(v)
             }
         }
     }
 
-    fn fold_bool(
-        &mut self,
-        cs: &[Cond],
-        op: &str,
-        empty: bool,
-    ) -> Result<String, PrintError> {
+    fn fold_bool(&mut self, cs: &[Cond], op: &str, empty: bool) -> Result<String, PrintError> {
         if cs.is_empty() {
             let v = self.fresh();
             let mut line = String::new();
@@ -269,8 +264,7 @@ mod tests {
     fn constants_are_deduplicated() {
         let mut em = MlirEmitter::new();
         em.bind_sym("x", "%x");
-        let e = Expr::sym("x").rem(&Expr::val(32))
-            + Expr::sym("x").floor_div(&Expr::val(32));
+        let e = Expr::sym("x").rem(&Expr::val(32)) + Expr::sym("x").floor_div(&Expr::val(32));
         em.emit(&e).unwrap();
         let consts = em.body().matches("arith.constant 32").count();
         assert_eq!(consts, 1);

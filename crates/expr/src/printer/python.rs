@@ -42,13 +42,11 @@ pub fn print_cond(c: &Cond, flavor: Flavor) -> Result<String, PrintError> {
             print(b, flavor)?
         )),
         Cond::All(cs) => {
-            let parts: Result<Vec<_>, _> =
-                cs.iter().map(|c| print_cond(c, flavor)).collect();
+            let parts: Result<Vec<_>, _> = cs.iter().map(|c| print_cond(c, flavor)).collect();
             Ok(format!("({})", parts?.join(") and (")))
         }
         Cond::Any(cs) => {
-            let parts: Result<Vec<_>, _> =
-                cs.iter().map(|c| print_cond(c, flavor)).collect();
+            let parts: Result<Vec<_>, _> = cs.iter().map(|c| print_cond(c, flavor)).collect();
             Ok(format!("({})", parts?.join(") or (")))
         }
         Cond::Not(c) => Ok(format!("not ({})", print_cond(c, flavor)?)),
@@ -65,12 +63,7 @@ fn prec(e: &Expr) -> u8 {
     }
 }
 
-fn child(
-    e: &Expr,
-    flavor: Flavor,
-    parent: u8,
-    out: &mut String,
-) -> Result<(), PrintError> {
+fn child(e: &Expr, flavor: Flavor, parent: u8, out: &mut String) -> Result<(), PrintError> {
     if prec(e) < parent {
         out.push('(');
         go(e, flavor, 0, out)?;
@@ -81,12 +74,7 @@ fn child(
     }
 }
 
-fn go(
-    e: &Expr,
-    flavor: Flavor,
-    _parent: u8,
-    out: &mut String,
-) -> Result<(), PrintError> {
+fn go(e: &Expr, flavor: Flavor, _parent: u8, out: &mut String) -> Result<(), PrintError> {
     match e.kind() {
         ExprKind::Const(v) => {
             let _ = write!(out, "{v}");
@@ -175,7 +163,12 @@ fn go(
             }
             Ok(())
         }
-        ExprKind::Range { lo, len, axis, ndims } => match flavor {
+        ExprKind::Range {
+            lo,
+            len,
+            axis,
+            ndims,
+        } => match flavor {
             Flavor::Python => Err(PrintError::Unsupported(
                 "lane range in plain Python (use the Triton flavour)",
             )),
@@ -211,8 +204,7 @@ mod tests {
 
     #[test]
     fn simple_arith() {
-        let e = Expr::sym("K") * (Expr::sym("BM") * Expr::sym("pid_m"))
-            + Expr::sym("off");
+        let e = Expr::sym("K") * (Expr::sym("BM") * Expr::sym("pid_m")) + Expr::sym("off");
         let s = print(&e, Flavor::Python).unwrap();
         assert_eq!(s, "BM*K*pid_m + off");
     }
@@ -262,10 +254,7 @@ mod tests {
             Expr::sym("x"),
             Expr::sym("y"),
         );
-        assert_eq!(
-            print(&e, Flavor::Python).unwrap(),
-            "(x if x < S else y)"
-        );
+        assert_eq!(print(&e, Flavor::Python).unwrap(), "(x if x < S else y)");
     }
 
     #[test]

@@ -28,9 +28,7 @@ pub fn prove_nonneg(e: &Expr, env: &RangeEnv) -> bool {
         return true;
     }
     let structural = match e.kind() {
-        ExprKind::Add(ts) | ExprKind::Mul(ts) => {
-            ts.iter().all(|t| prove_nonneg(t, env))
-        }
+        ExprKind::Add(ts) | ExprKind::Mul(ts) => ts.iter().all(|t| prove_nonneg(t, env)),
         ExprKind::FloorDiv(a, b) => prove_nonneg(a, env) && prove_pos(b, env),
         ExprKind::Mod(_, d) => prove_pos(d, env),
         ExprKind::Min(a, b) => prove_nonneg(a, env) && prove_nonneg(b, env),
@@ -38,9 +36,7 @@ pub fn prove_nonneg(e: &Expr, env: &RangeEnv) -> bool {
         ExprKind::Select(_, t, f) => prove_nonneg(t, env) && prove_nonneg(f, env),
         ExprKind::ISqrt(_) => true,
         ExprKind::Xor(a, b) => prove_nonneg(a, env) && prove_nonneg(b, env),
-        ExprKind::Range { lo, len, .. } => {
-            prove_nonneg(lo, env) && prove_nonneg(len, env)
-        }
+        ExprKind::Range { lo, len, .. } => prove_nonneg(lo, env) && prove_nonneg(len, env),
         _ => false,
     };
     structural || nonneg_factored_difference(e, env)
@@ -51,7 +47,9 @@ pub fn prove_nonneg(e: &Expr, env: &RangeEnv) -> bool {
 /// `nt_m*nt_n - nt_n*max(nt_m/GM,1)*min(GM,nt_m) >= 0` reduces to the
 /// grouped-layout lemma `max(x/g,1)*min(g,x) <= x`.
 fn nonneg_factored_difference(e: &Expr, env: &RangeEnv) -> bool {
-    let ExprKind::Add(ts) = e.kind() else { return false };
+    let ExprKind::Add(ts) = e.kind() else {
+        return false;
+    };
     if ts.len() != 2 {
         return false;
     }
@@ -73,9 +71,11 @@ fn nonneg_factored_difference(e: &Expr, env: &RangeEnv) -> bool {
         ExprKind::Mul(fs) => fs.clone(),
         _ => vec![pos.clone()],
     };
-    let ExprKind::Mul(nfs) = neg.kind() else { return false };
+    let ExprKind::Mul(nfs) = neg.kind() else {
+        return false;
+    };
     let mut nf: Vec<Expr> = nfs[1..].to_vec(); // drop the -1
-    // Cancel common non-negative factors.
+                                               // Cancel common non-negative factors.
     let mut i = 0;
     while i < pf.len() {
         if let Some(j) = nf.iter().position(|f| f == &pf[i]) {
@@ -99,7 +99,9 @@ fn nonneg_factored_difference(e: &Expr, env: &RangeEnv) -> bool {
 /// The grouped thread-block bound: `max(x/g, 1) * min(g, x) <= x` for
 /// positive `x`, `g` (both `Min`/`Max` argument orders accepted).
 fn grouped_bound_lemma(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
-    let ExprKind::Mul(fs) = a.kind() else { return false };
+    let ExprKind::Mul(fs) = a.kind() else {
+        return false;
+    };
     if fs.len() != 2 {
         return false;
     }
@@ -108,8 +110,12 @@ fn grouped_bound_lemma(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
         (ExprKind::Min(..), ExprKind::Max(..)) => (&fs[1], &fs[0]),
         _ => return false,
     };
-    let ExprKind::Max(m1, m2) = mx.kind() else { return false };
-    let ExprKind::Min(n1, n2) = mn.kind() else { return false };
+    let ExprKind::Max(m1, m2) = mx.kind() else {
+        return false;
+    };
+    let ExprKind::Min(n1, n2) = mn.kind() else {
+        return false;
+    };
     // One Max arm must be the literal 1, the other x/g.
     let div = if m1.is_const(1) {
         m2
@@ -118,7 +124,9 @@ fn grouped_bound_lemma(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
     } else {
         return false;
     };
-    let ExprKind::FloorDiv(x, g) = div.kind() else { return false };
+    let ExprKind::FloorDiv(x, g) = div.kind() else {
+        return false;
+    };
     if x != b {
         return false;
     }
@@ -135,9 +143,7 @@ pub fn prove_pos(e: &Expr, env: &RangeEnv) -> bool {
         ExprKind::Mul(ts) => ts.iter().all(|t| prove_pos(t, env)),
         // x/d > 0 when d | x exactly and both are positive: x = d*(x/d)
         // with x >= 1 forces x/d >= 1 (e.g. K/BK >= 1 under exact tiling).
-        ExprKind::FloorDiv(x, d) => {
-            env.divides(d, x) && prove_pos(x, env) && prove_pos(d, env)
-        }
+        ExprKind::FloorDiv(x, d) => env.divides(d, x) && prove_pos(x, env) && prove_pos(d, env),
         ExprKind::Min(a, b) => prove_pos(a, env) && prove_pos(b, env),
         ExprKind::Max(a, b) => {
             (prove_pos(a, env) && prove_nonneg(b, env))
@@ -147,8 +153,7 @@ pub fn prove_pos(e: &Expr, env: &RangeEnv) -> bool {
         ExprKind::Add(ts) => {
             // A sum is positive if all terms are non-negative and at least
             // one is positive.
-            ts.iter().all(|t| prove_nonneg(t, env))
-                && ts.iter().any(|t| prove_pos(t, env))
+            ts.iter().all(|t| prove_nonneg(t, env)) && ts.iter().any(|t| prove_pos(t, env))
         }
         ExprKind::Select(_, t, f) => prove_pos(t, env) && prove_pos(f, env),
         _ => false,
@@ -328,9 +333,10 @@ fn divide_term(t: &Expr, d: &Expr) -> Option<Expr> {
         // …or divide the constant coefficient when `d` is constant.
         if let Some(dv) = d.as_const() {
             if dv != 0 {
-                if let Some(pos) = fs.iter().position(|f| {
-                    f.as_const().is_some_and(|c| c % dv == 0)
-                }) {
+                if let Some(pos) = fs
+                    .iter()
+                    .position(|f| f.as_const().is_some_and(|c| c % dv == 0))
+                {
                     let mut rest: Vec<Expr> = Vec::with_capacity(fs.len());
                     for (i, f) in fs.iter().enumerate() {
                         if i == pos {

@@ -30,22 +30,34 @@ impl NumRange {
 
     /// A single point.
     pub fn point(v: i64) -> NumRange {
-        NumRange { lo: Some(v), hi: Some(v) }
+        NumRange {
+            lo: Some(v),
+            hi: Some(v),
+        }
     }
 
     /// Inclusive `[lo, hi]`.
     pub fn closed(lo: i64, hi: i64) -> NumRange {
-        NumRange { lo: Some(lo), hi: Some(hi) }
+        NumRange {
+            lo: Some(lo),
+            hi: Some(hi),
+        }
     }
 
     /// `[lo, +∞)`.
     pub fn at_least(lo: i64) -> NumRange {
-        NumRange { lo: Some(lo), hi: None }
+        NumRange {
+            lo: Some(lo),
+            hi: None,
+        }
     }
 
     /// `(-∞, hi]`.
     pub fn at_most(hi: i64) -> NumRange {
-        NumRange { lo: None, hi: Some(hi) }
+        NumRange {
+            lo: None,
+            hi: Some(hi),
+        }
     }
 
     /// True if every value in the interval is `>= 0`.
@@ -214,8 +226,13 @@ impl RangeEnv {
 
     /// Declares `lo <= name < hi`.
     pub fn set_bounds(&mut self, name: &str, lo: Expr, hi: Expr) -> &mut Self {
-        self.bounds
-            .insert(name.to_string(), SymBounds { lo: Some(lo), hi: Some(hi) });
+        self.bounds.insert(
+            name.to_string(),
+            SymBounds {
+                lo: Some(lo),
+                hi: Some(hi),
+            },
+        );
         self
     }
 
@@ -255,11 +272,10 @@ impl RangeEnv {
                 let lo = b.lo.as_ref().and_then(|e| self.num_range(e).lo);
                 // hi is exclusive: sym <= hi - 1, so we need a numeric lower
                 // bound on nothing — we need an upper bound on `hi`.
-                let hi = b
-                    .hi
-                    .as_ref()
-                    .and_then(|e| self.num_range(e).hi)
-                    .map(|h| h - 1);
+                let hi =
+                    b.hi.as_ref()
+                        .and_then(|e| self.num_range(e).hi)
+                        .map(|h| h - 1);
                 NumRange { lo, hi }
             }
             ExprKind::Add(ts) => ts
@@ -351,9 +367,7 @@ impl RangeEnv {
                 Some(h) => h - Expr::one(),
                 None => e.clone(),
             },
-            ExprKind::Add(ts) => {
-                Expr::add_all(ts.iter().map(|t| self.upper_inclusive(t)))
-            }
+            ExprKind::Add(ts) => Expr::add_all(ts.iter().map(|t| self.upper_inclusive(t))),
             ExprKind::Mul(ts) => {
                 // `prod <= prod of uppers` is only valid when every factor
                 // is provably non-negative; otherwise fall back to `e`.
@@ -367,18 +381,14 @@ impl RangeEnv {
                 // (x % m) / b <= q - 1 when m = b*q exactly (the quotient
                 // of an unflatten never exceeds the outer extent).
                 if let ExprKind::Mod(_, m) = a.kind() {
-                    if crate::prove::prove_pos(b, self)
-                        && crate::prove::prove_pos(m, self)
-                    {
+                    if crate::prove::prove_pos(b, self) && crate::prove::prove_pos(m, self) {
                         if let Some(q) = crate::prove::divide_exact(m, b, self) {
                             return q - Expr::one();
                         }
                     }
                 }
                 // a/b <= upper(a) when a >= 0 and b >= 1.
-                if crate::prove::prove_nonneg(a, self)
-                    && crate::prove::prove_pos(b, self)
-                {
+                if crate::prove::prove_nonneg(a, self) && crate::prove::prove_pos(b, self) {
                     self.upper_inclusive(a)
                 } else {
                     e.clone()
@@ -396,17 +406,11 @@ impl RangeEnv {
                 // needs min(g, x) intact, and Min of constants folds.
                 self.upper_inclusive(a).min(&self.upper_inclusive(b))
             }
-            ExprKind::Max(a, b) => {
-                self.upper_inclusive(a).max(&self.upper_inclusive(b))
-            }
+            ExprKind::Max(a, b) => self.upper_inclusive(a).max(&self.upper_inclusive(b)),
             ExprKind::Xor(_, _) => e.clone(),
-            ExprKind::Select(_, t, f) => {
-                self.upper_inclusive(t).max(&self.upper_inclusive(f))
-            }
+            ExprKind::Select(_, t, f) => self.upper_inclusive(t).max(&self.upper_inclusive(f)),
             ExprKind::ISqrt(a) => self.upper_inclusive(a),
-            ExprKind::Range { lo, len, .. } => {
-                lo + self.upper_inclusive(len) - Expr::one()
-            }
+            ExprKind::Range { lo, len, .. } => lo + self.upper_inclusive(len) - Expr::one(),
         }
     }
 }
@@ -472,9 +476,7 @@ mod tests {
         // (n1 - 1)*n2 + n2 - 1 expands to n1*n2 - 1.
         let expanded = crate::simplify::simplify(&crate::expand::expand(&u), &env);
         let target = crate::simplify::simplify(
-            &crate::expand::expand(
-                &(Expr::sym("n1") * Expr::sym("n2") - Expr::one()),
-            ),
+            &crate::expand::expand(&(Expr::sym("n1") * Expr::sym("n2") - Expr::one())),
             &env,
         );
         assert_eq!(expanded, target);

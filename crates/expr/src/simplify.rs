@@ -22,9 +22,7 @@ use std::collections::HashMap;
 
 use crate::cost::op_count;
 use crate::expr::{Expr, ExprKind};
-use crate::prove::{
-    divide_exact, prove_in_half_open, prove_le, prove_nonzero, prove_pos,
-};
+use crate::prove::{divide_exact, prove_in_half_open, prove_le, prove_nonzero, prove_pos};
 use crate::range::RangeEnv;
 
 /// Counts how many times each named rewrite rule fired.
@@ -85,31 +83,23 @@ fn pass(e: &Expr, env: &RangeEnv, stats: &mut RuleStats) -> Expr {
     // Rebuild children first.
     let rebuilt = match e.kind() {
         ExprKind::Const(_) | ExprKind::Sym(_) => e.clone(),
-        ExprKind::Add(ts) => {
-            Expr::add_all(ts.iter().map(|t| pass(t, env, stats)))
-        }
-        ExprKind::Mul(ts) => {
-            Expr::mul_all(ts.iter().map(|t| pass(t, env, stats)))
-        }
-        ExprKind::FloorDiv(a, b) => {
-            pass(a, env, stats).floor_div(&pass(b, env, stats))
-        }
+        ExprKind::Add(ts) => Expr::add_all(ts.iter().map(|t| pass(t, env, stats))),
+        ExprKind::Mul(ts) => Expr::mul_all(ts.iter().map(|t| pass(t, env, stats))),
+        ExprKind::FloorDiv(a, b) => pass(a, env, stats).floor_div(&pass(b, env, stats)),
         ExprKind::Mod(a, b) => pass(a, env, stats).rem(&pass(b, env, stats)),
         ExprKind::Xor(a, b) => pass(a, env, stats).xor(&pass(b, env, stats)),
         ExprKind::Min(a, b) => pass(a, env, stats).min(&pass(b, env, stats)),
         ExprKind::Max(a, b) => pass(a, env, stats).max(&pass(b, env, stats)),
-        ExprKind::Select(c, t, f) => Expr::select(
-            c.clone(),
-            pass(t, env, stats),
-            pass(f, env, stats),
-        ),
+        ExprKind::Select(c, t, f) => {
+            Expr::select(c.clone(), pass(t, env, stats), pass(f, env, stats))
+        }
         ExprKind::ISqrt(a) => pass(a, env, stats).isqrt(),
-        ExprKind::Range { lo, len, axis, ndims } => Expr::range(
-            pass(lo, env, stats),
-            pass(len, env, stats),
-            *axis,
-            *ndims,
-        ),
+        ExprKind::Range {
+            lo,
+            len,
+            axis,
+            ndims,
+        } => Expr::range(pass(lo, env, stats), pass(len, env, stats), *axis, *ndims),
     };
     // Then apply node-level rules until the node stops changing.
     let mut cur = rebuilt;
@@ -245,23 +235,16 @@ fn simplify_add(ts: &[Expr], env: &RangeEnv, stats: &mut RuleStats) -> Expr {
 /// Inside a product, cancels `(x / d) * d -> x` when the environment
 /// declares `d | x` (exact tiling). The matching `x % d -> 0` fold falls
 /// out of `divide_exact` consulting the same declarations.
-fn simplify_mul(
-    ts: &[Expr],
-    orig: &Expr,
-    env: &RangeEnv,
-    stats: &mut RuleStats,
-) -> Expr {
+fn simplify_mul(ts: &[Expr], orig: &Expr, env: &RangeEnv, stats: &mut RuleStats) -> Expr {
     for (i, f) in ts.iter().enumerate() {
-        let ExprKind::FloorDiv(x, d) = f.kind() else { continue };
+        let ExprKind::FloorDiv(x, d) = f.kind() else {
+            continue;
+        };
         if !env.divides(d, x) {
             continue;
         }
         // Find a matching factor `d` elsewhere in the product.
-        if let Some(j) = ts
-            .iter()
-            .enumerate()
-            .position(|(j, g)| j != i && g == d)
-        {
+        if let Some(j) = ts.iter().enumerate().position(|(j, g)| j != i && g == d) {
             stats.hit("div_mul_exact");
             let rest = ts
                 .iter()
@@ -293,13 +276,7 @@ fn find_recompose_product(fs: &[Expr]) -> Option<(Expr, Expr)> {
     None
 }
 
-fn simplify_mod(
-    a: &Expr,
-    d: &Expr,
-    orig: &Expr,
-    env: &RangeEnv,
-    stats: &mut RuleStats,
-) -> Expr {
+fn simplify_mod(a: &Expr, d: &Expr, orig: &Expr, env: &RangeEnv, stats: &mut RuleStats) -> Expr {
     // Exact divisibility: (d*q) % d -> 0.
     if divide_exact(a, d, env).is_some() {
         stats.hit("mod_exact_zero");
@@ -318,10 +295,7 @@ fn simplify_mod(
             stats.hit("mod_of_mod");
             return a.clone();
         }
-        if prove_pos(d, env)
-            && prove_pos(m2, env)
-            && divide_exact(m2, d, env).is_some()
-        {
+        if prove_pos(d, env) && prove_pos(m2, env) && divide_exact(m2, d, env).is_some() {
             stats.hit("mod_of_mod");
             let inner = x2.rem(d);
             return simplify_mod(x2, d, &inner, env, stats);
@@ -344,13 +318,7 @@ fn simplify_mod(
     orig.clone()
 }
 
-fn simplify_div(
-    a: &Expr,
-    d: &Expr,
-    orig: &Expr,
-    env: &RangeEnv,
-    stats: &mut RuleStats,
-) -> Expr {
+fn simplify_div(a: &Expr, d: &Expr, orig: &Expr, env: &RangeEnv, stats: &mut RuleStats) -> Expr {
     // Exact division: (d*q) / d -> q.
     if let Some(q) = divide_exact(a, d, env) {
         stats.hit("div_exact");
@@ -431,8 +399,7 @@ mod tests {
     fn rule1_mod_split() {
         let env = env_tile();
         // (d*q + r) % d -> r   (r already < d so the inner mod erases too)
-        let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r"))
-            .rem(&Expr::sym("d"));
+        let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r")).rem(&Expr::sym("d"));
         let (s, st) = simplify_with_stats(&e, &env);
         assert_eq!(s, Expr::sym("r"));
         assert!(st.count("mod_split") >= 1);
@@ -441,8 +408,7 @@ mod tests {
     #[test]
     fn rule2_div_split_exact() {
         let env = env_tile();
-        let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r"))
-            .floor_div(&Expr::sym("d"));
+        let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r")).floor_div(&Expr::sym("d"));
         let (s, st) = simplify_with_stats(&e, &env);
         assert_eq!(s, Expr::sym("q"));
         assert!(st.count("div_split") >= 1);
@@ -548,8 +514,7 @@ mod tests {
     #[test]
     fn stats_total_counts() {
         let env = env_tile();
-        let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r"))
-            .rem(&Expr::sym("d"));
+        let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r")).rem(&Expr::sym("d"));
         let (_, st) = simplify_with_stats(&e, &env);
         assert!(st.total() >= 1);
     }

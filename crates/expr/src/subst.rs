@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::expr::{Cond, Expr, ExprKind, isqrt64};
+use crate::expr::{isqrt64, Cond, Expr, ExprKind};
 
 /// A binding of symbol names to concrete integer values.
 pub type Bindings = HashMap<String, i64>;
@@ -155,7 +155,12 @@ pub fn eval_lane(
 /// ndims)`, recursively.
 pub fn map_ranges(e: &Expr, f: &dyn Fn(&Expr, &Expr, usize, usize) -> Expr) -> Expr {
     transform(e, &|node| match node.kind() {
-        ExprKind::Range { lo, len, axis, ndims } => Some(f(lo, len, *axis, *ndims)),
+        ExprKind::Range {
+            lo,
+            len,
+            axis,
+            ndims,
+        } => Some(f(lo, len, *axis, *ndims)),
         _ => None,
     })
 }
@@ -184,9 +189,12 @@ pub fn transform(e: &Expr, f: &dyn Fn(&Expr) -> Option<Expr>) -> Expr {
             Expr::select(transform_cond(c, f), transform(t, f), transform(el, f))
         }
         ExprKind::ISqrt(a) => transform(a, f).isqrt(),
-        ExprKind::Range { lo, len, axis, ndims } => {
-            Expr::range(transform(lo, f), transform(len, f), *axis, *ndims)
-        }
+        ExprKind::Range {
+            lo,
+            len,
+            axis,
+            ndims,
+        } => Expr::range(transform(lo, f), transform(len, f), *axis, *ndims),
     };
     f(&rebuilt).unwrap_or(rebuilt)
 }

@@ -31,11 +31,7 @@ impl CoalesceResult {
 /// Coalesces one warp access: `addrs` are per-lane *byte* addresses,
 /// `access_bytes` the per-lane access width, `sector_bytes` the
 /// transaction size (32 on A100).
-pub fn coalesce_warp(
-    addrs: &[i64],
-    access_bytes: usize,
-    sector_bytes: usize,
-) -> CoalesceResult {
+pub fn coalesce_warp(addrs: &[i64], access_bytes: usize, sector_bytes: usize) -> CoalesceResult {
     let mut sectors: HashSet<i64> = HashSet::with_capacity(addrs.len());
     for &a in addrs {
         let first = a / sector_bytes as i64;

@@ -45,8 +45,8 @@ pub fn a100() -> GpuConfig {
         warp_size: 32,
         smem_banks: 32,
         bank_bytes: 4,
-        dram_bw: 2.039e12,      // 2039 GB/s HBM2e
-        l2_bw: 5.0e12,          // ~5 TB/s aggregate L2
+        dram_bw: 2.039e12, // 2039 GB/s HBM2e
+        l2_bw: 5.0e12,     // ~5 TB/s aggregate L2
         l2_bytes: 40 * 1024 * 1024,
         sector_bytes: 32,
         fp32_flops: 19.5e12,

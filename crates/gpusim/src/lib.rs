@@ -11,7 +11,9 @@
 //!   granularity (stencils, matmul grouping);
 //! * [`timing`] — the bulk-synchronous roofline timing model;
 //! * [`roofline`] — Fig. 13-style attainable-performance curves;
-//! * [`config`] — A100 hardware parameters.
+//! * [`config`] — A100 hardware parameters;
+//! * [`score`] — the one-call `score(layout, workload, cfg)` oracle the
+//!   `lego-tune` autotuner searches with, plus parallel batch scoring.
 //!
 //! Layouts change *addresses*; this model turns address streams into
 //! sectors, conflicts, hits, and finally time. Absolute times are
@@ -35,17 +37,18 @@ pub mod cache;
 pub mod coalesce;
 pub mod config;
 pub mod roofline;
+pub mod score;
 pub mod smem;
 pub mod tilecache;
 pub mod timing;
 
 pub use cache::{Cache, CacheStats};
-pub use coalesce::{CoalesceResult, coalesce_elems, coalesce_warp};
-pub use config::{GpuConfig, a100};
-pub use roofline::{RooflinePoint, attainable, ridge};
-pub use smem::{BankConflictResult, bank_conflicts, bank_conflicts_elems};
+pub use coalesce::{coalesce_elems, coalesce_warp, CoalesceResult};
+pub use config::{a100, GpuConfig};
+pub use roofline::{attainable, ridge, RooflinePoint};
+pub use score::{score, score_batch, Estimate, L2Model, Phase, ScoreJob, Workload};
+pub use smem::{bank_conflicts, bank_conflicts_elems, BankConflictResult};
 pub use tilecache::TileCache;
 pub use timing::{
-    KernelProfile, Pipeline, TimeEstimate, achieved_bandwidth, achieved_flops,
-    estimate,
+    achieved_bandwidth, achieved_flops, estimate, KernelProfile, Pipeline, TimeEstimate,
 };

@@ -28,12 +28,7 @@ pub fn attainable(intensity: f64, pipeline: Pipeline, cfg: &GpuConfig) -> f64 {
 }
 
 /// Builds a roofline point from measured intensity and achieved rate.
-pub fn point(
-    intensity: f64,
-    achieved: f64,
-    pipeline: Pipeline,
-    cfg: &GpuConfig,
-) -> RooflinePoint {
+pub fn point(intensity: f64, achieved: f64, pipeline: Pipeline, cfg: &GpuConfig) -> RooflinePoint {
     RooflinePoint {
         intensity,
         achieved,

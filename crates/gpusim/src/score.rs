@@ -1,0 +1,360 @@
+//! One-call layout scoring: the autotuner's evaluation oracle.
+//!
+//! [`score`] composes the crate's primitive models — warp coalescing
+//! ([`crate::coalesce`]), shared-memory bank serialization
+//! ([`crate::smem`]), sector- and tile-granular L2 filtering
+//! ([`crate::cache`] / [`crate::tilecache`]) and the roofline timing
+//! model ([`crate::timing`]) — into a single `score(layout, workload,
+//! cfg) -> Estimate` entry point, and [`score_batch`] evaluates many
+//! candidate layouts in parallel (layouts are `Send + Sync` since the
+//! `Arc` refactor).
+//!
+//! A [`Workload`] describes *what* a kernel touches in logical terms;
+//! the [`lego_core::Layout`] under evaluation decides *where* those
+//! touches land. The workload's trace generators receive the layout and
+//! emit warp-level element indices (or tile touches) through a callback,
+//! so traces never have to be materialized in memory.
+
+use lego_core::Layout;
+
+use crate::cache::Cache;
+use crate::coalesce::coalesce_elems;
+use crate::config::GpuConfig;
+use crate::smem::bank_conflicts_elems;
+use crate::tilecache::TileCache;
+use crate::timing::{estimate, KernelProfile, Pipeline, TimeEstimate};
+
+/// Generator of warp-level element-index groups: called with the layout
+/// under evaluation and a sink receiving one warp's flat element indices
+/// per call.
+pub type AddrGen = Box<dyn Fn(&Layout, &mut dyn FnMut(&[i64])) + Send + Sync>;
+
+/// Generator of tile-granular touches: called with the layout under
+/// evaluation and a sink receiving `(tile_id, bytes)` per touch, in
+/// execution order.
+pub type TouchGen = Box<dyn Fn(&Layout, &mut dyn FnMut(i64, usize)) + Send + Sync>;
+
+/// A sector-granular L2 model for [`Phase::Global`] traffic.
+#[derive(Clone, Copy, Debug)]
+pub struct L2Model {
+    /// Number of cache lines (sectors).
+    pub lines: usize,
+    /// Associativity.
+    pub assoc: usize,
+}
+
+/// One traffic phase of a workload.
+pub enum Phase {
+    /// Global-memory warp accesses: each emitted warp is coalesced into
+    /// `cfg.sector_bytes` sectors; the sector stream is filtered through
+    /// the workload's L2 model (if any) to split L2 from DRAM traffic.
+    Global {
+        /// The warp trace.
+        trace: AddrGen,
+        /// Element size in bytes.
+        elem_bytes: usize,
+        /// How many times the representative trace repeats.
+        scale: f64,
+    },
+    /// Shared-memory warp accesses, serialized by bank conflicts.
+    Shared {
+        /// The warp trace (element indices into the staging buffer).
+        trace: AddrGen,
+        /// How many times the representative trace repeats.
+        scale: f64,
+    },
+    /// Tile-granular touches filtered through an LRU of L2 capacity —
+    /// the wave-reuse model of the matmul driver.
+    TileTouches {
+        /// The touch trace.
+        trace: TouchGen,
+        /// How many times the representative trace repeats.
+        scale: f64,
+    },
+}
+
+/// A workload description: fixed logical structure, layout left free.
+pub struct Workload {
+    /// Display name.
+    pub name: String,
+    /// Compute pipeline the kernel saturates.
+    pub pipeline: Pipeline,
+    /// Floating-point work (layout-independent).
+    pub flops: f64,
+    /// Useful bytes (for bandwidth accounting).
+    pub useful_bytes: f64,
+    /// Streaming traffic not covered by the traces (e.g. result
+    /// writeback) — added to both DRAM and L2 terms.
+    pub streamed_bytes: f64,
+    /// Thread blocks launched.
+    pub blocks: f64,
+    /// Kernel launches.
+    pub launches: f64,
+    /// Whether compute time is wave-quantized (a partial last wave costs
+    /// a full wave).
+    pub wave_quantized: bool,
+    /// Sector-granular L2 for [`Phase::Global`] traffic; `None` sends
+    /// all coalesced traffic to DRAM (streaming kernels).
+    pub l2: Option<L2Model>,
+    /// The traffic phases.
+    pub phases: Vec<Phase>,
+}
+
+/// The scored result of one (layout, workload) pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Final runtime estimate in seconds.
+    pub time_s: f64,
+    /// Bottleneck breakdown.
+    pub breakdown: TimeEstimate,
+    /// DRAM bytes moved.
+    pub dram_bytes: f64,
+    /// L2↔SM bytes moved.
+    pub l2_bytes: f64,
+    /// Bank-conflict-serialized shared-memory passes.
+    pub smem_passes: f64,
+    /// Hit rate of the cache model(s), traffic-weighted.
+    pub l2_hit_rate: f64,
+    /// FLOPs of the workload (copied through for throughput helpers).
+    pub flops: f64,
+    /// Useful bytes of the workload.
+    pub useful_bytes: f64,
+}
+
+impl Estimate {
+    /// Achieved TFLOP/s.
+    pub fn tflops(&self) -> f64 {
+        self.flops / self.time_s / 1e12
+    }
+
+    /// Achieved useful GB/s.
+    pub fn gbps(&self) -> f64 {
+        self.useful_bytes / self.time_s / 1e9
+    }
+}
+
+/// Scores one candidate layout against a workload on `cfg`: runs every
+/// phase's trace through the coalescing / bank-conflict / cache models,
+/// assembles a [`KernelProfile`], and prices it with the roofline timing
+/// model.
+pub fn score(layout: &Layout, workload: &Workload, cfg: &GpuConfig) -> Estimate {
+    let mut l2_bytes = 0f64;
+    let mut dram_bytes = 0f64;
+    let mut smem_passes = 0f64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+
+    for phase in &workload.phases {
+        match phase {
+            Phase::Global {
+                trace,
+                elem_bytes,
+                scale,
+            } => {
+                let mut moved = 0f64;
+                let mut cache = workload.l2.map(|m| Cache::new(m.lines, m.assoc));
+                let mut sectors: Vec<i64> = Vec::with_capacity(32);
+                trace(layout, &mut |idx: &[i64]| {
+                    let c = coalesce_elems(idx, *elem_bytes, 0, cfg.sector_bytes);
+                    moved += c.moved_bytes as f64;
+                    if let Some(cache) = cache.as_mut() {
+                        sectors.clear();
+                        sectors.extend(
+                            idx.iter()
+                                .map(|&i| i * *elem_bytes as i64 / cfg.sector_bytes as i64),
+                        );
+                        sectors.sort_unstable();
+                        sectors.dedup();
+                        for &s in sectors.iter() {
+                            cache.access(s);
+                        }
+                    }
+                });
+                l2_bytes += moved * scale;
+                match cache {
+                    Some(cache) => {
+                        let stats = cache.stats();
+                        hits += stats.hits;
+                        misses += stats.misses;
+                        dram_bytes += stats.misses as f64 * cfg.sector_bytes as f64 * scale;
+                    }
+                    // No L2 filtering: streamed straight to DRAM.
+                    None => dram_bytes += moved * scale,
+                }
+            }
+            Phase::Shared { trace, scale } => {
+                let mut passes = 0f64;
+                trace(layout, &mut |idx: &[i64]| {
+                    passes += bank_conflicts_elems(idx, cfg.smem_banks).passes as f64;
+                });
+                smem_passes += passes * scale;
+            }
+            Phase::TileTouches { trace, scale } => {
+                let mut tiles = TileCache::new(cfg.l2_bytes);
+                let mut touched = 0f64;
+                trace(layout, &mut |id: i64, bytes: usize| {
+                    tiles.touch(id, bytes);
+                    touched += bytes as f64;
+                });
+                l2_bytes += touched * scale;
+                dram_bytes += tiles.miss_bytes() as f64 * scale;
+                hits += tiles.hits();
+                misses += tiles.misses();
+            }
+        }
+    }
+
+    let profile = KernelProfile {
+        flops: workload.flops,
+        dram_bytes: dram_bytes + workload.streamed_bytes,
+        l2_bytes: l2_bytes + workload.streamed_bytes,
+        smem_passes,
+        blocks: workload.blocks,
+        launches: workload.launches,
+    };
+    let mut t = estimate(&profile, workload.pipeline, cfg);
+    if workload.wave_quantized && workload.blocks > 0.0 {
+        // A partial last wave occupies the machine for a full wave.
+        let peak = match workload.pipeline {
+            Pipeline::Fp32 => cfg.fp32_flops,
+            Pipeline::TensorFp16 => cfg.fp16_tc_flops,
+        };
+        let per_sm = peak / cfg.sm_count as f64;
+        let wave_time = workload.flops / workload.blocks / per_sm;
+        let waves = (workload.blocks / cfg.sm_count as f64).ceil();
+        t.compute_s = waves * wave_time;
+        t.total_s = t.compute_s.max(t.dram_s).max(t.l2_s).max(t.smem_s) + t.overhead_s;
+    }
+
+    let accesses = hits + misses;
+    Estimate {
+        time_s: t.total_s,
+        breakdown: t,
+        dram_bytes: profile.dram_bytes,
+        l2_bytes: profile.l2_bytes,
+        smem_passes,
+        l2_hit_rate: if accesses == 0 {
+            0.0
+        } else {
+            hits as f64 / accesses as f64
+        },
+        flops: workload.flops,
+        useful_bytes: workload.useful_bytes,
+    }
+}
+
+/// One unit of batch work: a candidate layout plus the workload it is
+/// scored against (workloads may differ per candidate, e.g. tile sizes).
+pub type ScoreJob = (Layout, Workload);
+
+/// Scores a batch of candidates in parallel, preserving order.
+///
+/// Spreads jobs over `available_parallelism` OS threads; falls back to
+/// sequential evaluation for tiny batches.
+pub fn score_batch(jobs: Vec<ScoreJob>, cfg: &GpuConfig) -> Vec<Estimate> {
+    let n = jobs.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 {
+        return jobs.iter().map(|(l, w)| score(l, w, cfg)).collect();
+    }
+    let mut results: Vec<Option<Estimate>> = vec![None; n];
+    let chunk = n.div_ceil(threads);
+    let jobs = &jobs;
+    std::thread::scope(|s| {
+        for (ci, out) in results.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                for (k, slot) in out.iter_mut().enumerate() {
+                    let (layout, workload) = &jobs[ci * chunk + k];
+                    *slot = Some(score(layout, workload, cfg));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|o| o.expect("scored")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::a100;
+
+    fn streaming_workload(stride: i64) -> Workload {
+        Workload {
+            name: format!("stream-stride-{stride}"),
+            pipeline: Pipeline::Fp32,
+            flops: 0.0,
+            useful_bytes: 32.0 * 4.0 * 1000.0,
+            streamed_bytes: 0.0,
+            blocks: 1.0,
+            launches: 1.0,
+            wave_quantized: false,
+            l2: None,
+            phases: vec![Phase::Global {
+                trace: Box::new(move |layout, sink| {
+                    let idx: Vec<i64> = (0..32)
+                        .map(|l| layout.apply_c(&[l * stride]).unwrap())
+                        .collect();
+                    sink(&idx);
+                }),
+                elem_bytes: 4,
+                scale: 1000.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn strided_stream_scores_slower_than_unit_stride() {
+        let cfg = a100();
+        let layout = Layout::identity([100_000i64]).unwrap();
+        let unit = score(&layout, &streaming_workload(1), &cfg);
+        let strided = score(&layout, &streaming_workload(64), &cfg);
+        assert!(strided.time_s > unit.time_s);
+        assert!(strided.dram_bytes > unit.dram_bytes);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let cfg = a100();
+        let jobs: Vec<ScoreJob> = (1..9)
+            .map(|s| {
+                (
+                    Layout::identity([100_000i64]).unwrap(),
+                    streaming_workload(s),
+                )
+            })
+            .collect();
+        let seq: Vec<Estimate> = jobs.iter().map(|(l, w)| score(l, w, &cfg)).collect();
+        let par = score_batch(jobs, &cfg);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn shared_phase_counts_conflict_passes() {
+        let cfg = a100();
+        let layout = Layout::identity([32i64, 32]).unwrap();
+        // Column walk through an unswizzled 32x32 tile: 32-way conflicts.
+        let w = Workload {
+            name: "smem".into(),
+            pipeline: Pipeline::Fp32,
+            flops: 0.0,
+            useful_bytes: 0.0,
+            streamed_bytes: 0.0,
+            blocks: 1.0,
+            launches: 1.0,
+            wave_quantized: false,
+            l2: None,
+            phases: vec![Phase::Shared {
+                trace: Box::new(|layout, sink| {
+                    let idx: Vec<i64> = (0..32).map(|r| layout.apply_c(&[r, 0]).unwrap()).collect();
+                    sink(&idx);
+                }),
+                scale: 1.0,
+            }],
+        };
+        let e = score(&layout, &w, &cfg);
+        assert_eq!(e.smem_passes, 32.0);
+    }
+}

@@ -31,10 +31,16 @@ pub fn bank_conflicts(addrs: &[i64], banks: usize, bank_bytes: usize) -> BankCon
             entry.push(word);
         }
     }
-    let passes = per_bank.values().map(Vec::len).max().unwrap_or(0).max(
-        usize::from(!addrs.is_empty()),
-    );
-    BankConflictResult { passes, lanes: addrs.len() }
+    let passes = per_bank
+        .values()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0)
+        .max(usize::from(!addrs.is_empty()));
+    BankConflictResult {
+        passes,
+        lanes: addrs.len(),
+    }
 }
 
 /// Computes conflicts for a warp of *element indices* into a 4-byte

@@ -79,7 +79,11 @@ impl TileCache {
     /// Hit rate in [0, 1] (1.0 when untouched).
     pub fn hit_rate(&self) -> f64 {
         let t = self.hits + self.misses;
-        if t == 0 { 1.0 } else { self.hits as f64 / t as f64 }
+        if t == 0 {
+            1.0
+        } else {
+            self.hits as f64 / t as f64
+        }
     }
 }
 

@@ -57,7 +57,7 @@ impl KernelProfile {
 }
 
 /// A time estimate broken into bottleneck terms.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TimeEstimate {
     /// Compute-bound time (s).
     pub compute_s: f64,
@@ -86,11 +86,17 @@ pub fn estimate(profile: &KernelProfile, pipeline: Pipeline, cfg: &GpuConfig) ->
     let dram_s = profile.dram_bytes / (cfg.dram_bw * cfg.dram_efficiency);
     let l2_s = profile.l2_bytes / cfg.l2_bw;
     // One warp smem pass per SM per cycle across all SMs.
-    let smem_s =
-        profile.smem_passes / (cfg.sm_count as f64 * cfg.clock_hz);
+    let smem_s = profile.smem_passes / (cfg.sm_count as f64 * cfg.clock_hz);
     let overhead_s = profile.launches.max(1.0) * cfg.launch_overhead;
     let total_s = compute_s.max(dram_s).max(l2_s).max(smem_s) + overhead_s;
-    TimeEstimate { compute_s, dram_s, l2_s, smem_s, overhead_s, total_s }
+    TimeEstimate {
+        compute_s,
+        dram_s,
+        l2_s,
+        smem_s,
+        overhead_s,
+        total_s,
+    }
 }
 
 /// Achieved FLOP/s of a profile under the estimate.
@@ -139,7 +145,11 @@ mod tests {
     #[test]
     fn overhead_dominates_tiny_kernels() {
         let cfg = a100();
-        let p = KernelProfile { flops: 1.0, launches: 100.0, ..Default::default() };
+        let p = KernelProfile {
+            flops: 1.0,
+            launches: 100.0,
+            ..Default::default()
+        };
         let t = estimate(&p, Pipeline::Fp32, &cfg);
         assert!((t.total_s - 100.0 * cfg.launch_overhead).abs() / t.total_s < 0.01);
     }
@@ -147,8 +157,14 @@ mod tests {
     #[test]
     fn smem_term_scales_with_passes() {
         let cfg = a100();
-        let p1 = KernelProfile { smem_passes: 1e9, ..Default::default() };
-        let p2 = KernelProfile { smem_passes: 2e9, ..Default::default() };
+        let p1 = KernelProfile {
+            smem_passes: 1e9,
+            ..Default::default()
+        };
+        let p2 = KernelProfile {
+            smem_passes: 2e9,
+            ..Default::default()
+        };
         let t1 = estimate(&p1, Pipeline::Fp32, &cfg).smem_s;
         let t2 = estimate(&p2, Pipeline::Fp32, &cfg).smem_s;
         assert!((t2 / t1 - 2.0).abs() < 1e-9);
@@ -156,7 +172,11 @@ mod tests {
 
     #[test]
     fn arithmetic_intensity() {
-        let p = KernelProfile { flops: 100.0, dram_bytes: 50.0, ..Default::default() };
+        let p = KernelProfile {
+            flops: 100.0,
+            dram_bytes: 50.0,
+            ..Default::default()
+        };
         assert!((p.arithmetic_intensity() - 2.0).abs() < 1e-12);
     }
 }

@@ -1,0 +1,393 @@
+//! The persistent JSON tuning cache.
+//!
+//! Results are keyed by `(workload, problem size, hardware config)` so
+//! repeated runs skip the search entirely. The file is a single JSON
+//! document; floats round-trip bit-exactly (see [`crate::json`]), so a
+//! cached [`Estimate`] compares equal to the freshly computed one.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use gpu_sim::score::Estimate;
+use gpu_sim::timing::TimeEstimate;
+use gpu_sim::GpuConfig;
+use lego_codegen::tuning::{
+    RowwiseOp, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
+};
+use lego_expr::Variant;
+
+use crate::json::Json;
+
+/// One cached tuning outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedTuning {
+    /// The winning configuration.
+    pub config: TunedConfig,
+    /// Expression variant the cost model chose for the winner.
+    pub expr_variant: Option<Variant>,
+    /// Index-expression op count of the winner.
+    pub index_ops: Option<usize>,
+    /// Estimate of the hand-picked default configuration.
+    pub naive: Estimate,
+    /// Estimate of the winning configuration.
+    pub tuned: Estimate,
+    /// How many candidates the search evaluated.
+    pub evaluated: usize,
+}
+
+/// A file-backed tuning cache.
+#[derive(Clone, Debug)]
+pub struct TuningCache {
+    path: PathBuf,
+}
+
+/// The cache key for one (workload, hardware) pair: the workload name
+/// already encodes the problem size, and the salient hardware
+/// parameters guard against stale entries after config changes.
+pub fn cache_key(workload_name: &str, gpu: &GpuConfig) -> String {
+    format!(
+        "{workload_name}|{}|sm={}|l2={}|bw={:e}|sec={}",
+        gpu.name, gpu.sm_count, gpu.l2_bytes, gpu.dram_bw, gpu.sector_bytes
+    )
+}
+
+impl TuningCache {
+    /// Opens (or will create on first store) the cache at `path`.
+    pub fn new(path: impl Into<PathBuf>) -> TuningCache {
+        TuningCache { path: path.into() }
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn load(&self) -> Json {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return Json::Obj(vec![]);
+        };
+        match Json::parse(&text) {
+            Ok(doc) => doc,
+            // A corrupt cache is a cache miss, not a failure.
+            Err(_) => Json::Obj(vec![]),
+        }
+    }
+
+    /// Looks up a cached tuning by key.
+    pub fn lookup(&self, key: &str) -> Option<CachedTuning> {
+        let doc = self.load();
+        let entry = doc.get("entries")?.get(key)?;
+        tuning_from_json(entry)
+    }
+
+    /// Stores (or replaces) a cached tuning under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn store(&self, key: &str, value: &CachedTuning) -> io::Result<()> {
+        let doc = self.load();
+        let mut entries: Vec<(String, Json)> = doc
+            .get("entries")
+            .and_then(Json::as_obj)
+            .map(<[(String, Json)]>::to_vec)
+            .unwrap_or_default();
+        let rendered = tuning_to_json(value);
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, slot)) => *slot = rendered,
+            None => entries.push((key.to_string(), rendered)),
+        }
+        let doc = Json::obj([("version", Json::Int(1)), ("entries", Json::Obj(entries))]);
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(&self.path, doc.render_pretty())
+    }
+}
+
+/// Serializes an [`Estimate`] (bit-exact float round trip).
+pub fn estimate_to_json(e: &Estimate) -> Json {
+    Json::obj([
+        ("time_s", Json::num(e.time_s)),
+        ("compute_s", Json::num(e.breakdown.compute_s)),
+        ("dram_s", Json::num(e.breakdown.dram_s)),
+        ("l2_s", Json::num(e.breakdown.l2_s)),
+        ("smem_s", Json::num(e.breakdown.smem_s)),
+        ("overhead_s", Json::num(e.breakdown.overhead_s)),
+        ("total_s", Json::num(e.breakdown.total_s)),
+        ("dram_bytes", Json::num(e.dram_bytes)),
+        ("l2_bytes", Json::num(e.l2_bytes)),
+        ("smem_passes", Json::num(e.smem_passes)),
+        ("l2_hit_rate", Json::num(e.l2_hit_rate)),
+        ("flops", Json::num(e.flops)),
+        ("useful_bytes", Json::num(e.useful_bytes)),
+    ])
+}
+
+/// Deserializes an [`Estimate`].
+pub fn estimate_from_json(j: &Json) -> Option<Estimate> {
+    let f = |k: &str| j.get(k).and_then(Json::as_f64);
+    Some(Estimate {
+        time_s: f("time_s")?,
+        breakdown: TimeEstimate {
+            compute_s: f("compute_s")?,
+            dram_s: f("dram_s")?,
+            l2_s: f("l2_s")?,
+            smem_s: f("smem_s")?,
+            overhead_s: f("overhead_s")?,
+            total_s: f("total_s")?,
+        },
+        dram_bytes: f("dram_bytes")?,
+        l2_bytes: f("l2_bytes")?,
+        smem_passes: f("smem_passes")?,
+        l2_hit_rate: f("l2_hit_rate")?,
+        flops: f("flops")?,
+        useful_bytes: f("useful_bytes")?,
+    })
+}
+
+/// Serializes a [`TunedConfig`] as a tagged object.
+pub fn config_to_json(c: &TunedConfig) -> Json {
+    match *c {
+        TunedConfig::Matmul {
+            bm,
+            bn,
+            bk,
+            schedule,
+        } => {
+            let (sched, p1, p2) = match schedule {
+                ScheduleChoice::RowMajor => ("row-major", 0, 0),
+                ScheduleChoice::Grouped { gm } => ("grouped", gm, 0),
+                ScheduleChoice::Morton => ("morton", 0, 0),
+                ScheduleChoice::BlockCyclic { p, b } => ("block-cyclic", p, b),
+            };
+            Json::obj([
+                ("kind", Json::Str("matmul".into())),
+                ("bm", Json::Int(bm)),
+                ("bn", Json::Int(bn)),
+                ("bk", Json::Int(bk)),
+                ("schedule", Json::Str(sched.into())),
+                ("p1", Json::Int(p1)),
+                ("p2", Json::Int(p2)),
+            ])
+        }
+        TunedConfig::Transpose { t, staging } => {
+            let (name, p1, p2) = match staging {
+                None => ("naive", 0, 0),
+                Some(StagingChoice::Identity) => ("identity", 0, 0),
+                Some(StagingChoice::Swizzle) => ("swizzle", 0, 0),
+                Some(StagingChoice::ColMajor) => ("col-major", 0, 0),
+                Some(StagingChoice::Antidiag) => ("antidiag", 0, 0),
+                Some(StagingChoice::BlockCyclic { p, b }) => ("block-cyclic", p, b),
+            };
+            Json::obj([
+                ("kind", Json::Str("transpose".into())),
+                ("t", Json::Int(t)),
+                ("staging", Json::Str(name.into())),
+                ("p1", Json::Int(p1)),
+                ("p2", Json::Int(p2)),
+            ])
+        }
+        TunedConfig::Stencil { n, layout } => {
+            let (name, b) = match layout {
+                StencilLayoutChoice::RowMajorY => ("row-major-y", 0),
+                StencilLayoutChoice::RowMajorZ => ("row-major-z", 0),
+                StencilLayoutChoice::Brick { b } => ("brick", b),
+            };
+            Json::obj([
+                ("kind", Json::Str("stencil".into())),
+                ("n", Json::Int(n)),
+                ("layout", Json::Str(name.into())),
+                ("b", Json::Int(b)),
+            ])
+        }
+        TunedConfig::Rowwise { op, bs } => {
+            let name = match op {
+                RowwiseOp::Softmax => "softmax",
+                RowwiseOp::LayernormFwd => "layernorm-fwd",
+                RowwiseOp::LayernormBwd => "layernorm-bwd",
+            };
+            Json::obj([
+                ("kind", Json::Str("rowwise".into())),
+                ("op", Json::Str(name.into())),
+                ("bs", Json::Int(bs)),
+            ])
+        }
+    }
+}
+
+/// Deserializes a [`TunedConfig`].
+pub fn config_from_json(j: &Json) -> Option<TunedConfig> {
+    let s = |k: &str| j.get(k).and_then(Json::as_str);
+    let i = |k: &str| j.get(k).and_then(Json::as_i64);
+    match s("kind")? {
+        "matmul" => {
+            let schedule = match s("schedule")? {
+                "row-major" => ScheduleChoice::RowMajor,
+                "grouped" => ScheduleChoice::Grouped { gm: i("p1")? },
+                "morton" => ScheduleChoice::Morton,
+                "block-cyclic" => ScheduleChoice::BlockCyclic {
+                    p: i("p1")?,
+                    b: i("p2")?,
+                },
+                _ => return None,
+            };
+            Some(TunedConfig::Matmul {
+                bm: i("bm")?,
+                bn: i("bn")?,
+                bk: i("bk")?,
+                schedule,
+            })
+        }
+        "transpose" => {
+            let staging = match s("staging")? {
+                "naive" => None,
+                "identity" => Some(StagingChoice::Identity),
+                "swizzle" => Some(StagingChoice::Swizzle),
+                "col-major" => Some(StagingChoice::ColMajor),
+                "antidiag" => Some(StagingChoice::Antidiag),
+                "block-cyclic" => Some(StagingChoice::BlockCyclic {
+                    p: i("p1")?,
+                    b: i("p2")?,
+                }),
+                _ => return None,
+            };
+            Some(TunedConfig::Transpose {
+                t: i("t")?,
+                staging,
+            })
+        }
+        "stencil" => {
+            let layout = match s("layout")? {
+                "row-major-y" => StencilLayoutChoice::RowMajorY,
+                "row-major-z" => StencilLayoutChoice::RowMajorZ,
+                "brick" => StencilLayoutChoice::Brick { b: i("b")? },
+                _ => return None,
+            };
+            Some(TunedConfig::Stencil { n: i("n")?, layout })
+        }
+        "rowwise" => {
+            let op = match s("op")? {
+                "softmax" => RowwiseOp::Softmax,
+                "layernorm-fwd" => RowwiseOp::LayernormFwd,
+                "layernorm-bwd" => RowwiseOp::LayernormBwd,
+                _ => return None,
+            };
+            Some(TunedConfig::Rowwise { op, bs: i("bs")? })
+        }
+        _ => None,
+    }
+}
+
+fn tuning_to_json(t: &CachedTuning) -> Json {
+    Json::obj([
+        ("config", config_to_json(&t.config)),
+        (
+            "expr_variant",
+            match t.expr_variant {
+                None => Json::Null,
+                Some(Variant::Unexpanded) => Json::Str("unexpanded".into()),
+                Some(Variant::Expanded) => Json::Str("expanded".into()),
+            },
+        ),
+        (
+            "index_ops",
+            match t.index_ops {
+                None => Json::Null,
+                Some(v) => Json::Int(v as i64),
+            },
+        ),
+        ("naive", estimate_to_json(&t.naive)),
+        ("tuned", estimate_to_json(&t.tuned)),
+        ("evaluated", Json::Int(t.evaluated as i64)),
+    ])
+}
+
+fn tuning_from_json(j: &Json) -> Option<CachedTuning> {
+    let expr_variant = match j.get("expr_variant")? {
+        Json::Null => None,
+        Json::Str(s) if s == "unexpanded" => Some(Variant::Unexpanded),
+        Json::Str(s) if s == "expanded" => Some(Variant::Expanded),
+        _ => return None,
+    };
+    Some(CachedTuning {
+        config: config_from_json(j.get("config")?)?,
+        expr_variant,
+        index_ops: j
+            .get("index_ops")
+            .and_then(Json::as_i64)
+            .map(|v| v as usize),
+        naive: estimate_from_json(j.get("naive")?)?,
+        tuned: estimate_from_json(j.get("tuned")?)?,
+        evaluated: j.get("evaluated")?.as_i64()? as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_estimate(seed: f64) -> Estimate {
+        Estimate {
+            time_s: 1.23e-3 * seed,
+            breakdown: TimeEstimate {
+                compute_s: 0.1 * seed,
+                dram_s: 0.2 * seed,
+                l2_s: 0.3 / seed,
+                smem_s: 0.0,
+                overhead_s: 8e-6,
+                total_s: 1.23e-3 * seed,
+            },
+            dram_bytes: 1e9 / seed,
+            l2_bytes: 3e9,
+            smem_passes: 42.0,
+            l2_hit_rate: 0.875,
+            flops: 2.0 * seed.powi(3),
+            useful_bytes: 6.7e8,
+        }
+    }
+
+    #[test]
+    fn estimate_json_round_trips_exactly() {
+        let e = sample_estimate(7.77);
+        let back = estimate_from_json(&estimate_to_json(&e)).unwrap();
+        assert_eq!(back, e);
+        // Through text, too.
+        let text = estimate_to_json(&e).render();
+        let back = estimate_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn config_json_round_trips() {
+        let configs = [
+            TunedConfig::Matmul {
+                bm: 128,
+                bn: 64,
+                bk: 32,
+                schedule: ScheduleChoice::BlockCyclic { p: 8, b: 2 },
+            },
+            TunedConfig::Transpose {
+                t: 32,
+                staging: Some(StagingChoice::Antidiag),
+            },
+            TunedConfig::Transpose {
+                t: 16,
+                staging: None,
+            },
+            TunedConfig::Stencil {
+                n: 64,
+                layout: StencilLayoutChoice::Brick { b: 8 },
+            },
+            TunedConfig::Rowwise {
+                op: RowwiseOp::Softmax,
+                bs: 1024,
+            },
+        ];
+        for c in configs {
+            assert_eq!(config_from_json(&config_to_json(&c)), Some(c));
+        }
+    }
+}

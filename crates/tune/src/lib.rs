@@ -1,0 +1,45 @@
+//! # lego-tune — analytic layout autotuning
+//!
+//! The LEGO algebra makes whole families of layouts *expressible*; this
+//! crate makes them *searchable*. For each workload it:
+//!
+//! 1. enumerates a [`SearchSpace`] of candidate configurations — tile
+//!    shapes, `OrderBy` permutation choices (grouped, Morton,
+//!    block-cyclic, XOR-swizzle, anti-diagonal, …) and the
+//!    expanded-vs-unexpanded expression variants of the §IV-A cost
+//!    model ([`lego_expr::cost`]);
+//! 2. scores every candidate in parallel through `gpu-sim`'s
+//!    [`gpu_sim::score`] oracle (coalescing + bank conflicts + cache
+//!    filtering + roofline timing in one call);
+//! 3. persists the winner in a JSON [`TuningCache`] keyed by
+//!    `(workload, problem size, hardware config)`, so repeated runs
+//!    skip the search;
+//! 4. hands the winning [`TunedConfig`] back to `lego-codegen`'s
+//!    `from_tuned` constructors to instantiate the tuned kernel.
+//!
+//! ```
+//! use gpu_sim::a100;
+//! use lego_tune::{Tuner, WorkloadKind};
+//!
+//! let tuner = Tuner::new(a100());
+//! let r = tuner.tune(&WorkloadKind::Transpose { n: 1024 }).unwrap();
+//! // The space always contains the hand-picked default, so tuning
+//! // never regresses it.
+//! assert!(r.tuned.time_s <= r.naive.time_s);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod space;
+pub mod tuner;
+
+pub use cache::{cache_key, CachedTuning, TuningCache};
+pub use json::Json;
+pub use lego_codegen::tuning::{
+    RowwiseOp, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
+};
+pub use space::{build_layout, build_workload, Candidate, SearchSpace, WorkloadKind};
+pub use tuner::{TuneError, TuneResult, Tuner};

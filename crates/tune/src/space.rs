@@ -1,0 +1,565 @@
+//! Search spaces: which (tile, layout, expression-variant)
+//! configurations the tuner explores per workload, and how each
+//! candidate becomes a concrete [`Layout`] plus a `gpu-sim`
+//! [`Workload`] trace.
+//!
+//! Every space lists the paper's hand-picked configuration first, so
+//! the tuned result can never regress the shipped default — the search
+//! is free to do better, never worse.
+
+use gpu_sim::score::{AddrGen, L2Model, Phase, TouchGen, Workload};
+use gpu_sim::{GpuConfig, Pipeline};
+use lego_codegen::cuda::stencil::StencilShape;
+use lego_codegen::cuda::transpose::staging_perm;
+use lego_codegen::tuning::{ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig};
+use lego_core::brick::{brick3d, row_major3d};
+use lego_core::perms::{block_cyclic_rows, morton};
+use lego_core::{sugar, Layout, OrderBy, Result};
+use lego_expr::{expand, op_count, simplify, Expr, RangeEnv, Variant};
+
+/// A tunable workload instance: the problem, not the configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkloadKind {
+    /// Square FP16 GEMM `C = A·B`.
+    Matmul {
+        /// Problem side length.
+        n: i64,
+    },
+    /// Square FP32 out-of-place transpose.
+    Transpose {
+        /// Problem side length.
+        n: i64,
+    },
+    /// 3-D FP32 stencil sweep.
+    Stencil {
+        /// The stencil shape.
+        shape: StencilShape,
+        /// Domain side length.
+        n: i64,
+    },
+}
+
+impl WorkloadKind {
+    /// Stable display/cache name, e.g. `matmul(n=2048)`.
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadKind::Matmul { n } => format!("matmul(n={n})"),
+            WorkloadKind::Transpose { n } => format!("transpose(n={n})"),
+            WorkloadKind::Stencil { shape, n } => {
+                format!("stencil({},n={n})", shape.name())
+            }
+        }
+    }
+
+    /// The paper's hand-picked default configuration — the baseline the
+    /// tuned result is compared against.
+    pub fn default_config(&self) -> TunedConfig {
+        match self {
+            WorkloadKind::Matmul { n } => {
+                // The Fig. 1 config, degraded gracefully for sizes the
+                // 128-tile or GM=8 grouping doesn't divide.
+                let (bm, bn, bk) = if n % 128 == 0 {
+                    (128, 128, 64)
+                } else {
+                    (64, 64, 32)
+                };
+                let nt_m = n / bm;
+                let gm = [8i64, 4, 2]
+                    .into_iter()
+                    .find(|g| nt_m % g == 0)
+                    .unwrap_or(1);
+                TunedConfig::Matmul {
+                    bm,
+                    bn,
+                    bk,
+                    schedule: ScheduleChoice::Grouped { gm },
+                }
+            }
+            WorkloadKind::Transpose { .. } => TunedConfig::Transpose {
+                t: 32,
+                staging: None,
+            },
+            WorkloadKind::Stencil { n, .. } => TunedConfig::Stencil {
+                n: *n,
+                layout: StencilLayoutChoice::RowMajorY,
+            },
+        }
+    }
+}
+
+/// One point of a search space.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The kernel configuration.
+    pub config: TunedConfig,
+    /// Which simplification variant the §IV-A cost model picked for
+    /// this layout's index expressions (`None` when the layout has no
+    /// symbolic form).
+    pub expr_variant: Option<Variant>,
+    /// Operation count of the chosen variant.
+    pub index_ops: Option<usize>,
+}
+
+/// The enumerated search space of one workload.
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    /// The workload being tuned.
+    pub kind: WorkloadKind,
+    /// All candidates, default configuration first.
+    pub candidates: Vec<Candidate>,
+}
+
+impl SearchSpace {
+    /// Enumerates the space for `kind`: tile shapes × `OrderBy`
+    /// permutation choices, each annotated with the cheaper
+    /// expanded/unexpanded expression variant via `lego_expr::cost`.
+    pub fn enumerate(kind: WorkloadKind) -> SearchSpace {
+        let mut configs = vec![kind.default_config()];
+        let push = |c: TunedConfig, configs: &mut Vec<TunedConfig>| {
+            if !configs.contains(&c) {
+                configs.push(c);
+            }
+        };
+        match kind {
+            WorkloadKind::Matmul { n } => {
+                const TILES: [(i64, i64, i64); 8] = [
+                    (128, 128, 64),
+                    (128, 128, 32),
+                    (64, 64, 64),
+                    (64, 64, 32),
+                    (256, 128, 64),
+                    (128, 256, 64),
+                    (128, 64, 64),
+                    (64, 128, 64),
+                ];
+                for (bm, bn, bk) in TILES {
+                    if n % bm != 0 || n % bn != 0 || n % bk != 0 {
+                        continue;
+                    }
+                    let (nt_m, nt_n) = (n / bm, n / bn);
+                    let mut schedules = vec![ScheduleChoice::RowMajor];
+                    for gm in [4i64, 8, 16] {
+                        // The concrete grouped layout factorizes nt_m as
+                        // (nt_m/gm)·gm, so gm must divide nt_m.
+                        if nt_m % gm == 0 {
+                            schedules.push(ScheduleChoice::Grouped { gm });
+                        }
+                    }
+                    if nt_m == nt_n && nt_m.count_ones() == 1 {
+                        schedules.push(ScheduleChoice::Morton);
+                    }
+                    if nt_m % 16 == 0 {
+                        schedules.push(ScheduleChoice::BlockCyclic { p: 8, b: 2 });
+                    }
+                    for schedule in schedules {
+                        push(
+                            TunedConfig::Matmul {
+                                bm,
+                                bn,
+                                bk,
+                                schedule,
+                            },
+                            &mut configs,
+                        );
+                    }
+                }
+            }
+            WorkloadKind::Transpose { n } => {
+                for t in [16i64, 32] {
+                    if n % t != 0 {
+                        continue;
+                    }
+                    for staging in [
+                        StagingChoice::Identity,
+                        StagingChoice::Swizzle,
+                        StagingChoice::ColMajor,
+                        StagingChoice::Antidiag,
+                        StagingChoice::BlockCyclic { p: 8, b: 4 },
+                    ] {
+                        push(
+                            TunedConfig::Transpose {
+                                t,
+                                staging: Some(staging),
+                            },
+                            &mut configs,
+                        );
+                    }
+                }
+            }
+            WorkloadKind::Stencil { n, .. } => {
+                push(
+                    TunedConfig::Stencil {
+                        n,
+                        layout: StencilLayoutChoice::RowMajorZ,
+                    },
+                    &mut configs,
+                );
+                for b in [4i64, 8] {
+                    if n % b == 0 {
+                        push(
+                            TunedConfig::Stencil {
+                                n,
+                                layout: StencilLayoutChoice::Brick { b },
+                            },
+                            &mut configs,
+                        );
+                    }
+                }
+            }
+        }
+        let candidates = configs
+            .into_iter()
+            .map(|config| {
+                let (expr_variant, index_ops) = annotate(&kind, &config);
+                Candidate {
+                    config,
+                    expr_variant,
+                    index_ops,
+                }
+            })
+            .collect();
+        SearchSpace { kind, candidates }
+    }
+}
+
+/// Builds the concrete layout a candidate configuration describes: the
+/// pid→tile schedule for matmul, the smem staging tile for transpose,
+/// the 3-D data layout for stencils.
+///
+/// # Errors
+///
+/// Propagates layout construction errors (the enumerated spaces only
+/// emit constructible configs).
+pub fn build_layout(kind: &WorkloadKind, config: &TunedConfig) -> Result<Layout> {
+    match (kind, config) {
+        (
+            WorkloadKind::Matmul { n },
+            TunedConfig::Matmul {
+                bm, bn, schedule, ..
+            },
+        ) => {
+            let (nt_m, nt_n) = (n / bm, n / bn);
+            match *schedule {
+                ScheduleChoice::RowMajor => Layout::identity([nt_m, nt_n]),
+                ScheduleChoice::Grouped { gm } => {
+                    let g = gm.min(nt_m);
+                    let gmax = (nt_m / gm).max(1);
+                    sugar::tile_by([vec![Expr::val(nt_m), Expr::val(nt_n)]])?
+                        .order_by(OrderBy::new([
+                            sugar::col([gmax, 1])?,
+                            sugar::col([g, nt_n])?,
+                        ])?)
+                        .build()
+                }
+                ScheduleChoice::Morton => Layout::builder([nt_m, nt_n])
+                    .order_by(OrderBy::new([morton(nt_m)?])?)
+                    .build(),
+                ScheduleChoice::BlockCyclic { p, b } => Layout::builder([nt_m, nt_n])
+                    .order_by(OrderBy::new([block_cyclic_rows(nt_m, nt_n, p, b)?])?)
+                    .build(),
+            }
+        }
+        (WorkloadKind::Transpose { .. }, TunedConfig::Transpose { t, staging }) => match staging {
+            None => Layout::identity([*t, *t]),
+            Some(choice) => Layout::builder([*t, *t])
+                .order_by(OrderBy::new([staging_perm(*t, *choice)?])?)
+                .build(),
+        },
+        (WorkloadKind::Stencil { .. }, TunedConfig::Stencil { n, layout }) => match layout {
+            StencilLayoutChoice::RowMajorY | StencilLayoutChoice::RowMajorZ => row_major3d(*n),
+            StencilLayoutChoice::Brick { b } => brick3d(*n, *b),
+        },
+        _ => Err(lego_core::LayoutError::Unsupported(
+            "workload kind and config disagree",
+        )),
+    }
+}
+
+/// Picks the cheaper expanded/unexpanded variant of a candidate's index
+/// expressions (§IV-A cost model) and returns `(variant, op_count)`;
+/// `(None, None)` when the layout has no symbolic form (e.g. Morton).
+fn annotate(kind: &WorkloadKind, config: &TunedConfig) -> (Option<Variant>, Option<usize>) {
+    let sym = symbolic_exprs(kind, config);
+    let Some((raws, env)) = sym else {
+        return (None, None);
+    };
+    let ops_u: usize = raws.iter().map(|e| op_count(&simplify(e, &env))).sum();
+    let ops_e: usize = raws
+        .iter()
+        .map(|e| op_count(&simplify(&expand(e), &env)))
+        .sum();
+    if ops_e < ops_u {
+        (Some(Variant::Expanded), Some(ops_e))
+    } else {
+        (Some(Variant::Unexpanded), Some(ops_u))
+    }
+}
+
+/// The symbolic index expressions a candidate's kernel would compute,
+/// with the range environment they simplify under.
+fn symbolic_exprs(kind: &WorkloadKind, config: &TunedConfig) -> Option<(Vec<Expr>, RangeEnv)> {
+    match (kind, config) {
+        (WorkloadKind::Matmul { .. }, _) => {
+            let layout = build_layout(kind, config).ok()?;
+            let mut env = RangeEnv::new();
+            let dims = layout.view().dims_const().ok()?;
+            env.set_bounds("pid", Expr::zero(), Expr::val(dims[0] * dims[1]));
+            let pids = layout.inv_sym(&Expr::sym("pid")).ok()?;
+            Some((pids, env))
+        }
+        (WorkloadKind::Transpose { .. }, TunedConfig::Transpose { t, staging }) => {
+            let mut env = RangeEnv::new();
+            for s in ["tx", "ty"] {
+                env.set_bounds(s, Expr::zero(), Expr::val(*t));
+            }
+            match staging {
+                // Naive: global in/out indices only.
+                None => {
+                    env.assume_pos("n");
+                    let n = Expr::sym("n");
+                    let i = Expr::sym("ty");
+                    let j = Expr::sym("tx");
+                    Some((vec![&i * &n + &j, &j * &n + &i], env))
+                }
+                Some(_) => {
+                    let layout = build_layout(kind, config).ok()?;
+                    let store = layout.apply_sym(&[Expr::sym("ty"), Expr::sym("tx")]).ok()?;
+                    let load = layout.apply_sym(&[Expr::sym("tx"), Expr::sym("ty")]).ok()?;
+                    Some((vec![store, load], env))
+                }
+            }
+        }
+        (WorkloadKind::Stencil { .. }, TunedConfig::Stencil { n, .. }) => {
+            let layout = build_layout(kind, config).ok()?;
+            let mut env = RangeEnv::new();
+            for s in ["x", "y", "z"] {
+                env.set_bounds(s, Expr::zero(), Expr::val(*n));
+            }
+            let off = layout
+                .apply_sym(&[Expr::sym("x"), Expr::sym("y"), Expr::sym("z")])
+                .ok()?;
+            Some((vec![off], env))
+        }
+        _ => None,
+    }
+}
+
+/// How many times a kernel evaluates its index expressions — scales the
+/// candidate's `index_ops` into a flop-side term so cheaper expression
+/// variants win ties.
+fn index_evals(kind: &WorkloadKind, config: &TunedConfig) -> f64 {
+    match (kind, config) {
+        (WorkloadKind::Matmul { n }, TunedConfig::Matmul { bm, bn, bk, .. }) => {
+            ((n / bm) * (n / bn) * (n / bk)) as f64
+        }
+        (WorkloadKind::Transpose { n }, _) => (n * n) as f64,
+        (WorkloadKind::Stencil { shape, n }, _) => shape.points() as f64 * (n * n * n) as f64,
+        _ => 0.0,
+    }
+}
+
+/// Builds the `gpu-sim` workload trace for one candidate.
+///
+/// The returned [`Workload`] holds closures that replay the kernel's
+/// logical access pattern through whatever layout is scored against it.
+pub fn build_workload(kind: &WorkloadKind, candidate: &Candidate, gpu: &GpuConfig) -> Workload {
+    let index_flops =
+        candidate.index_ops.unwrap_or(0) as f64 * index_evals(kind, &candidate.config);
+    match (*kind, candidate.config) {
+        (WorkloadKind::Matmul { n }, TunedConfig::Matmul { bm, bn, bk, .. }) => {
+            let elem = 2i64; // fp16
+            let (nt_m, nt_n) = (n / bm, n / bn);
+            let ksteps = n / bk;
+            let nblocks = nt_m * nt_n;
+            let wave = gpu.sm_count as i64;
+            let a_bytes = (bm * bk * elem) as usize;
+            let b_bytes = (bk * bn * elem) as usize;
+            let trace: TouchGen = Box::new(move |layout, sink| {
+                let mut pid0 = 0i64;
+                while pid0 < nblocks {
+                    let pids: Vec<(i64, i64)> = (pid0..(pid0 + wave).min(nblocks))
+                        .map(|pid| {
+                            let v = layout.inv_c(pid).expect("pid in range");
+                            (v[0], v[1])
+                        })
+                        .collect();
+                    for kk in 0..ksteps {
+                        for &(pm, pn) in &pids {
+                            sink((pm * ksteps + kk) << 1, a_bytes);
+                            sink(((kk * nt_n + pn) << 1) | 1, b_bytes);
+                        }
+                    }
+                    pid0 += wave;
+                }
+            });
+            let c_bytes = (n * n * elem) as f64;
+            Workload {
+                name: format!("matmul(n={n},{bm}x{bn}x{bk})"),
+                pipeline: Pipeline::TensorFp16,
+                flops: 2.0 * (n as f64).powi(3) + index_flops,
+                useful_bytes: 3.0 * c_bytes,
+                streamed_bytes: c_bytes,
+                blocks: nblocks as f64,
+                launches: 2.0,
+                wave_quantized: true,
+                l2: None,
+                phases: vec![Phase::TileTouches { trace, scale: 1.0 }],
+            }
+        }
+        (WorkloadKind::Transpose { n }, TunedConfig::Transpose { t, staging }) => {
+            let tiles = (n / t) * (n / t);
+            let warps_per_tile = (t * t / 32) as f64;
+            let staged = staging.is_some();
+            let global: AddrGen = Box::new(move |_layout, sink| {
+                let row: Vec<i64> = (0..32).collect();
+                if staged {
+                    // Both global accesses row-contiguous.
+                    sink(&row);
+                    sink(&row);
+                } else {
+                    // Coalesced read, stride-n write.
+                    let col: Vec<i64> = (0..32).map(|l| l * n).collect();
+                    sink(&row);
+                    sink(&col);
+                }
+            });
+            let mut phases = vec![Phase::Global {
+                trace: global,
+                elem_bytes: 4,
+                scale: warps_per_tile * tiles as f64,
+            }];
+            if staged {
+                let shared: AddrGen = Box::new(move |layout, sink| {
+                    for ty in 0..t.min(32) {
+                        let store: Vec<i64> = (0..32.min(t))
+                            .map(|tx| layout.apply_c(&[ty, tx]).expect("in tile"))
+                            .collect();
+                        let load: Vec<i64> = (0..32.min(t))
+                            .map(|tx| layout.apply_c(&[tx, ty]).expect("in tile"))
+                            .collect();
+                        sink(&store);
+                        sink(&load);
+                    }
+                });
+                phases.push(Phase::Shared {
+                    trace: shared,
+                    scale: tiles as f64,
+                });
+            }
+            Workload {
+                name: format!("transpose(n={n},t={t})"),
+                pipeline: Pipeline::Fp32,
+                flops: index_flops,
+                useful_bytes: 2.0 * (n * n * 4) as f64,
+                streamed_bytes: 0.0,
+                blocks: tiles as f64,
+                launches: 1.0,
+                wave_quantized: false,
+                l2: None,
+                phases,
+            }
+        }
+        (WorkloadKind::Stencil { shape, n }, TunedConfig::Stencil { layout: choice, .. }) => {
+            // The lane axis must span (up to) a full warp so coalescing
+            // is charged per 32-lane access: y-lane blocks put 32 in y,
+            // z-lane blocks put the largest 32-capped divisor of n in z.
+            let lane_extent = if n % 32 == 0 {
+                32
+            } else if n % 16 == 0 {
+                16
+            } else {
+                8
+            };
+            let (block, yz_lanes, y_lanes) = match choice {
+                StencilLayoutChoice::RowMajorY => ((4, lane_extent, 4), false, true),
+                StencilLayoutChoice::RowMajorZ => ((4, 4, lane_extent), false, false),
+                StencilLayoutChoice::Brick { b } => ((b, b, b), true, false),
+            };
+            let offs = shape.offsets();
+            let r = shape.radius();
+            let (bx, by, bz) = block;
+            let trace: AddrGen = Box::new(move |layout, sink| {
+                let clamp = |v: i64| v.clamp(r, n - 1 - r);
+                let lanes = 32i64;
+                let mut idx = Vec::with_capacity(32);
+                for tx in 0..n / bx {
+                    for ty in 0..n / by {
+                        for tz in 0..n / bz {
+                            let (wi_max, wj_max, lane_max) = if yz_lanes {
+                                (bx, 1, by * bz)
+                            } else if y_lanes {
+                                (bx, bz, by)
+                            } else {
+                                (bx, by, bz)
+                            };
+                            for wi in 0..wi_max {
+                                for wj in 0..wj_max {
+                                    let mut l0 = 0i64;
+                                    while l0 < lane_max {
+                                        let nl = lanes.min(lane_max - l0);
+                                        for &(dx, dy, dz) in &offs {
+                                            idx.clear();
+                                            for lane in 0..nl {
+                                                let (x, y, z) = if yz_lanes {
+                                                    let local = l0 + lane;
+                                                    (
+                                                        tx * bx + wi,
+                                                        ty * by + local / bz,
+                                                        tz * bz + local % bz,
+                                                    )
+                                                } else if y_lanes {
+                                                    (
+                                                        tx * bx + wi,
+                                                        ty * by + l0 + lane,
+                                                        tz * bz + wj,
+                                                    )
+                                                } else {
+                                                    (
+                                                        tx * bx + wi,
+                                                        ty * by + wj,
+                                                        tz * bz + l0 + lane,
+                                                    )
+                                                };
+                                                idx.push(
+                                                    layout
+                                                        .apply_c(&[
+                                                            clamp(x + dx),
+                                                            clamp(y + dy),
+                                                            clamp(z + dz),
+                                                        ])
+                                                        .expect("in bounds"),
+                                                );
+                                            }
+                                            sink(&idx);
+                                        }
+                                        l0 += lanes;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+            // Scaled L2: preserve the paper's 512³·4B : 40 MiB ratio.
+            let domain_bytes = (n * n * n * 4) as f64;
+            let lines = ((domain_bytes / 12.8) as usize / gpu.sector_bytes).max(1024);
+            Workload {
+                name: format!("stencil({},n={n})", shape.name()),
+                pipeline: Pipeline::Fp32,
+                flops: 2.0 * shape.points() as f64 * (n * n * n) as f64 + index_flops,
+                useful_bytes: 2.0 * domain_bytes,
+                streamed_bytes: domain_bytes,
+                blocks: ((n / bx) * (n / by) * (n / bz)) as f64,
+                launches: 1.0,
+                wave_quantized: false,
+                l2: Some(L2Model { lines, assoc: 16 }),
+                phases: vec![Phase::Global {
+                    trace,
+                    elem_bytes: 4,
+                    scale: 1.0,
+                }],
+            }
+        }
+        _ => unreachable!("kind/config pairs come from SearchSpace::enumerate"),
+    }
+}

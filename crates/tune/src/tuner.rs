@@ -1,0 +1,194 @@
+//! The search driver: enumerate → batch-score → pick → cache.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use gpu_sim::score::{score_batch, Estimate};
+use gpu_sim::GpuConfig;
+use lego_codegen::tuning::TunedConfig;
+use lego_core::LayoutError;
+use lego_expr::Variant;
+
+use crate::cache::{cache_key, CachedTuning, TuningCache};
+use crate::space::{build_layout, build_workload, SearchSpace, WorkloadKind};
+
+/// Errors of the tuning pipeline.
+#[derive(Debug)]
+pub enum TuneError {
+    /// A candidate layout failed to build.
+    Layout(LayoutError),
+    /// The cache file could not be written.
+    Io(std::io::Error),
+    /// The search space was empty (never produced by the built-in
+    /// spaces; guards custom ones).
+    EmptySpace(String),
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::Layout(e) => write!(f, "layout error: {e}"),
+            TuneError::Io(e) => write!(f, "cache i/o error: {e}"),
+            TuneError::EmptySpace(w) => {
+                write!(f, "empty search space for {w}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl From<LayoutError> for TuneError {
+    fn from(e: LayoutError) -> TuneError {
+        TuneError::Layout(e)
+    }
+}
+
+impl From<std::io::Error> for TuneError {
+    fn from(e: std::io::Error) -> TuneError {
+        TuneError::Io(e)
+    }
+}
+
+/// The outcome of tuning one workload.
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// Workload name (also the first half of the cache key).
+    pub workload: String,
+    /// The winning configuration.
+    pub config: TunedConfig,
+    /// Expression variant the §IV-A cost model chose for the winner.
+    pub expr_variant: Option<Variant>,
+    /// Index-expression op count of the winner.
+    pub index_ops: Option<usize>,
+    /// Estimate of the hand-picked default configuration.
+    pub naive: Estimate,
+    /// Estimate of the winning configuration.
+    pub tuned: Estimate,
+    /// How many candidates were evaluated (0 on a cache hit).
+    pub evaluated: usize,
+    /// Whether the result came from the JSON tuning cache.
+    pub from_cache: bool,
+}
+
+impl TuneResult {
+    /// Naive-over-tuned speedup.
+    pub fn speedup(&self) -> f64 {
+        self.naive.time_s / self.tuned.time_s
+    }
+}
+
+/// The autotuner: a hardware model plus an optional persistent cache.
+#[derive(Clone, Debug)]
+pub struct Tuner {
+    gpu: GpuConfig,
+    cache: Option<TuningCache>,
+}
+
+impl Tuner {
+    /// A tuner for the given hardware model, without a cache.
+    pub fn new(gpu: GpuConfig) -> Tuner {
+        Tuner { gpu, cache: None }
+    }
+
+    /// Attaches a JSON tuning cache at `path`.
+    #[must_use]
+    pub fn with_cache(mut self, path: impl Into<PathBuf>) -> Tuner {
+        self.cache = Some(TuningCache::new(path.into()));
+        self
+    }
+
+    /// The hardware model being tuned against.
+    pub fn gpu(&self) -> &GpuConfig {
+        &self.gpu
+    }
+
+    /// Tunes one workload: returns the cached result when the cache has
+    /// an entry for `(workload, hardware)`, otherwise enumerates the
+    /// search space, scores every candidate in parallel on the
+    /// `gpu-sim` model, picks the fastest, and persists it.
+    ///
+    /// The default configuration is always candidate zero, so
+    /// `tuned.time_s <= naive.time_s` holds by construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout construction and cache write failures.
+    pub fn tune(&self, kind: &WorkloadKind) -> Result<TuneResult, TuneError> {
+        let workload = kind.name();
+        let key = cache_key(&workload, &self.gpu);
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.lookup(&key) {
+                return Ok(TuneResult {
+                    workload,
+                    config: hit.config,
+                    expr_variant: hit.expr_variant,
+                    index_ops: hit.index_ops,
+                    naive: hit.naive,
+                    tuned: hit.tuned,
+                    evaluated: 0,
+                    from_cache: true,
+                });
+            }
+        }
+
+        let space = SearchSpace::enumerate(*kind);
+        if space.candidates.is_empty() {
+            return Err(TuneError::EmptySpace(workload));
+        }
+        let mut jobs = Vec::with_capacity(space.candidates.len());
+        for cand in &space.candidates {
+            let layout = build_layout(kind, &cand.config)?;
+            let wl = build_workload(kind, cand, &self.gpu);
+            jobs.push((layout, wl));
+        }
+        let estimates = score_batch(jobs, &self.gpu);
+
+        // Candidate 0 is the hand-picked default by construction.
+        let naive = estimates[0];
+        // Pick the fastest; the roofline max() hides non-bottleneck
+        // improvements, so ties break toward fewer shared-memory passes,
+        // then less DRAM traffic, then enumeration order (stable).
+        let rank = |e: &Estimate| (e.time_s, e.smem_passes, e.dram_bytes);
+        let (best, _) = estimates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| rank(a).partial_cmp(&rank(b)).expect("estimates are finite"))
+            .expect("non-empty space");
+        let winner = &space.candidates[best];
+
+        let result = TuneResult {
+            workload,
+            config: winner.config,
+            expr_variant: winner.expr_variant,
+            index_ops: winner.index_ops,
+            naive,
+            tuned: estimates[best],
+            evaluated: space.candidates.len(),
+            from_cache: false,
+        };
+        if let Some(cache) = &self.cache {
+            cache.store(
+                &key,
+                &CachedTuning {
+                    config: result.config,
+                    expr_variant: result.expr_variant,
+                    index_ops: result.index_ops,
+                    naive: result.naive,
+                    tuned: result.tuned,
+                    evaluated: result.evaluated,
+                },
+            )?;
+        }
+        Ok(result)
+    }
+
+    /// Tunes a list of workloads in order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing workload.
+    pub fn tune_all(&self, kinds: &[WorkloadKind]) -> Result<Vec<TuneResult>, TuneError> {
+        kinds.iter().map(|k| self.tune(k)).collect()
+    }
+}

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             lego_core::perms::reverse_perm(&[3, 2])?,
         ])?)
         .build()?;
-    show("Fig. 2: GroupBy([6,4]).OrderBy(RegP([2,2],[2,1]), GenP(reverse))", &fig2);
+    show(
+        "Fig. 2: GroupBy([6,4]).OrderBy(RegP([2,2],[2,1]), GenP(reverse))",
+        &fig2,
+    );
 
     // Fig. 6: 6x6, stripmine+interchange, then transpose + anti-diagonal.
     let fig6 = Layout::builder([6i64, 6])
@@ -46,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             antidiag(3)?,
         ])?)
         .build()?;
-    show("Fig. 6: O2 then O1 (anti-diagonal 3x3 blocks, transposed grid)", &fig6);
+    show(
+        "Fig. 6: O2 then O1 (anti-diagonal 3x3 blocks, transposed grid)",
+        &fig6,
+    );
 
     // Paper check: logical [4,2] (element 26) lands at physical 15.
     assert_eq!(fig6.apply_c(&[4, 2])?, 15);
@@ -61,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             [5usize, 2, 4, 3, 1],
         )?])?)
         .build()?;
-    show("Fig. 8: GroupBy([2,2,2,2,2]).OrderBy(RegP(..., [5,2,4,3,1]))", &fig8);
+    show(
+        "Fig. 8: GroupBy([2,2,2,2,2]).OrderBy(RegP(..., [5,2,4,3,1]))",
+        &fig8,
+    );
 
     // Library permutations.
     let z = Layout::builder([8i64, 8])

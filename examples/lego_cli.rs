@@ -16,16 +16,14 @@
 //! ```
 
 use lego_core::parse::parse_layout;
-use lego_expr::printer::python::{Flavor, print as py_print};
+use lego_expr::printer::python::{print as py_print, Flavor};
 use lego_expr::printer::{c, mlir::MlirEmitter};
-use lego_expr::{Expr, RangeEnv, pick_cheaper};
+use lego_expr::{pick_cheaper, Expr, RangeEnv};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(spec) = args.first() else {
-        eprintln!(
-            "usage: lego_cli '<layout spec>' [--dialect triton|c|mlir]"
-        );
+        eprintln!("usage: lego_cli '<layout spec>' [--dialect triton|c|mlir]");
         eprintln!(
             "e.g.:  lego_cli 'GroupBy([6,4]).OrderBy(RegP([2,2],[2,1]), GenP([3,2], reverse))'"
         );
@@ -39,7 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or("triton");
 
     let layout = parse_layout(spec)?;
-    println!("parsed: view {:?}, {} OrderBy level(s)\n",
+    println!(
+        "parsed: view {:?}, {} OrderBy level(s)\n",
         layout
             .view()
             .dims()
@@ -67,8 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Symbolic apply with auto-named indices i0..iN.
-    let names: Vec<String> =
-        (0..layout.view().rank()).map(|k| format!("i{k}")).collect();
+    let names: Vec<String> = (0..layout.view().rank()).map(|k| format!("i{k}")).collect();
     let idx: Vec<Expr> = names.iter().map(|n| Expr::sym(n.as_str())).collect();
     let raw = layout.apply_sym(&idx)?;
     let mut env = RangeEnv::new();

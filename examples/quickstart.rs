@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use lego_core::{Layout, OrderBy, Perm, perms};
-use lego_expr::{Expr, RangeEnv, simplify};
+use lego_core::{perms, Layout, OrderBy, Perm};
+use lego_expr::{simplify, Expr, RangeEnv};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- concrete: build the Fig. 2 layout --------------------------
@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Physical memory order: position p holds logical element phys[p].
     let perm = layout.to_permutation()?;
-    let mut phys = vec![0i64; 24];
+    let mut phys = [0i64; 24];
     for (logical, &p) in perm.iter().enumerate() {
         phys[p as usize] = logical as i64;
     }
@@ -39,12 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // DL_a = TileBy([M/BM, K/BK], [BM, BK]).OrderBy(Row(M, K))
     let (m, k) = (Expr::sym("M"), Expr::sym("K"));
     let (bm, bk) = (Expr::sym("BM"), Expr::sym("BK"));
-    let dl_a = lego_core::sugar::tile_by([
-        vec![m.floor_div(&bm), k.floor_div(&bk)],
-        vec![bm, bk],
-    ])?
-    .order_by(OrderBy::new([lego_core::sugar::row([m, k])?])?)
-    .build()?;
+    let dl_a = lego_core::sugar::tile_by([vec![m.floor_div(&bm), k.floor_div(&bk)], vec![bm, bk]])?
+        .order_by(OrderBy::new([lego_core::sugar::row([m, k])?])?)
+        .build()?;
 
     let raw = dl_a.apply_sym(&[
         Expr::sym("pid_m"),
@@ -52,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Expr::sym("r0"),
         Expr::sym("r1"),
     ])?;
-    println!("\nraw generated offset ({} ops):", lego_expr::op_count(&raw));
+    println!(
+        "\nraw generated offset ({} ops):",
+        lego_expr::op_count(&raw)
+    );
     println!("  {raw}");
 
     let mut env = RangeEnv::new();
@@ -61,8 +61,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     env.assume_divides(Expr::sym("BM"), Expr::sym("M"));
     env.assume_divides(Expr::sym("BK"), Expr::sym("K"));
-    env.set_bounds("pid_m", Expr::zero(), Expr::sym("M").floor_div(&Expr::sym("BM")));
-    env.set_bounds("kk", Expr::zero(), Expr::sym("K").floor_div(&Expr::sym("BK")));
+    env.set_bounds(
+        "pid_m",
+        Expr::zero(),
+        Expr::sym("M").floor_div(&Expr::sym("BM")),
+    );
+    env.set_bounds(
+        "kk",
+        Expr::zero(),
+        Expr::sym("K").floor_div(&Expr::sym("BK")),
+    );
     env.set_bounds("r0", Expr::zero(), Expr::sym("BM"));
     env.set_bounds("r1", Expr::zero(), Expr::sym("BK"));
 
@@ -78,7 +86,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // a sample binding to check):
     let also = simplify(&lego_expr::expand(&raw), &env);
     let mut bind = lego_expr::Bindings::new();
-    for (k, v) in [("M", 64i64), ("K", 32), ("BM", 16), ("BK", 8), ("pid_m", 2), ("kk", 3), ("r0", 5), ("r1", 3)] {
+    for (k, v) in [
+        ("M", 64i64),
+        ("K", 32),
+        ("BM", 16),
+        ("BK", 8),
+        ("pid_m", 2),
+        ("kk", 3),
+        ("r0", 5),
+        ("r1", 3),
+    ] {
         bind.insert(k.to_string(), v);
     }
     let lane = |_: usize| 5i64;

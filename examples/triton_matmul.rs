@@ -5,8 +5,8 @@
 //! Run with: `cargo run --example triton_matmul [N]`
 
 use gpu_sim::a100;
-use lego_bench::workloads::matmul::{Schedule, simulate};
-use lego_codegen::triton::matmul::{MatmulVariant, generate};
+use lego_bench::workloads::matmul::{simulate, Schedule};
+use lego_codegen::triton::matmul::{generate, MatmulVariant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n: i64 = std::env::args()

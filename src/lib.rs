@@ -5,3 +5,4 @@ pub use lego_bench;
 pub use lego_codegen;
 pub use lego_core;
 pub use lego_expr;
+pub use lego_tune;

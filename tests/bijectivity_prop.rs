@@ -1,56 +1,31 @@
 //! Property-based tests: randomly generated layout trees are bijections,
 //! and `inv` is always the exact inverse of `apply`.
+//!
+//! Driven by the deterministic generator in `prop_support` (see its
+//! module docs for why `proptest` is not used here).
+
+mod prop_support;
 
 use lego_core::check::check_layout_bijective;
 use lego_core::perms::{antidiag, hilbert, morton, reverse_perm, xor_swizzle};
 use lego_core::{Layout, OrderBy, Perm};
-use proptest::prelude::*;
+use prop_support::Rng;
 
-/// A random 1-based permutation of 1..=d.
-fn arb_sigma(d: usize) -> impl Strategy<Value = Vec<usize>> {
-    Just((1..=d).collect::<Vec<_>>()).prop_shuffle()
-}
+const CASES: u64 = 64;
 
-/// A random 2-D RegP over the given tile.
-fn arb_regp(tile: [i64; 2]) -> impl Strategy<Value = Perm> {
-    arb_sigma(2).prop_map(move |sigma| Perm::reg(tile, sigma).expect("valid sigma"))
-}
-
-/// A random library GenP for an n×n tile (n must be a power of two for
-/// Morton/Hilbert; the strategy picks accordingly).
-fn arb_genp(n: i64) -> impl Strategy<Value = Perm> {
-    let pow2 = n > 0 && (n & (n - 1)) == 0;
-    let mut options: Vec<Perm> = vec![
-        antidiag(n).expect("antidiag"),
-        reverse_perm(&[n, n]).expect("reverse"),
-    ];
-    if pow2 {
-        options.push(morton(n).expect("morton"));
-        options.push(hilbert(n).expect("hilbert"));
-        options.push(xor_swizzle(n, n).expect("swizzle"));
-    }
-    let k = options.len();
-    (0..k).prop_map(move |i| options[i].clone())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Two-level OrderBy with random dimension permutations is a
-    /// bijection, for random tile sizes.
-    #[test]
-    fn random_two_level_regp_layout_is_bijective(
-        (o1, o2) in (1i64..4, 1i64..4),
-        (i1, i2) in (1i64..5, 1i64..5),
-        s_outer in arb_sigma(2),
-        s_inner in arb_sigma(2),
-    ) {
+/// Two-level OrderBy with random dimension permutations is a bijection,
+/// for random tile sizes.
+#[test]
+fn random_two_level_regp_layout_is_bijective() {
+    let mut rng = Rng::new(0xB17E);
+    for _ in 0..CASES {
+        let (o1, o2) = (rng.range_i64(1, 4), rng.range_i64(1, 4));
+        let (i1, i2) = (rng.range_i64(1, 5), rng.range_i64(1, 5));
+        let s_outer = rng.sigma(2);
+        let s_inner = rng.sigma(2);
         let view = [o1 * i1, o2 * i2];
         // Stripmine + per-level permutation: a generalized Fig. 6 O2.
-        let strip = Perm::reg(
-            [o1, i1, o2, i2],
-            [1usize, 3, 2, 4],
-        ).unwrap();
+        let strip = Perm::reg([o1, i1, o2, i2], [1usize, 3, 2, 4]).unwrap();
         let outer = Perm::reg([o1, o2], s_outer).unwrap();
         let inner = Perm::reg([i1, i2], s_inner).unwrap();
         let layout = Layout::builder(view)
@@ -60,14 +35,16 @@ proptest! {
             .unwrap();
         check_layout_bijective(&layout).unwrap();
     }
+}
 
-    /// Chaining a random GenP after random RegPs stays bijective.
-    #[test]
-    fn random_genp_chain_is_bijective(
-        n in prop::sample::select(vec![2i64, 3, 4, 6, 8]),
-        sigma in arb_sigma(2),
-        genp_sel in 0usize..5,
-    ) {
+/// Chaining a random GenP after random RegPs stays bijective.
+#[test]
+fn random_genp_chain_is_bijective() {
+    let mut rng = Rng::new(0x6E9);
+    for _ in 0..CASES {
+        let n = *rng.choose(&[2i64, 3, 4, 6, 8]);
+        let sigma = rng.sigma(2);
+        let genp_sel = rng.index(5);
         let reg = Perm::reg([n, n], sigma).unwrap();
         // Materialize a GenP choice deterministically from the selector.
         let pow2 = (n & (n - 1)) == 0;
@@ -86,36 +63,37 @@ proptest! {
             .unwrap();
         check_layout_bijective(&layout).unwrap();
     }
+}
 
-    /// apply then inv is the identity on random in-range indices, for a
-    /// random RegP layout (pointwise version of bijectivity, cheap on
-    /// bigger spaces).
-    #[test]
-    fn apply_inv_pointwise_roundtrip(
-        dims in (2i64..20, 2i64..20),
-        sigma in arb_sigma(2),
-        seed in 0u64..1000,
-    ) {
+/// apply then inv is the identity on random in-range indices, for a
+/// random RegP layout (pointwise version of bijectivity, cheap on
+/// bigger spaces).
+#[test]
+fn apply_inv_pointwise_roundtrip() {
+    let mut rng = Rng::new(0xAB11E);
+    for _ in 0..CASES {
+        let dims = (rng.range_i64(2, 20), rng.range_i64(2, 20));
+        let sigma = rng.sigma(2);
+        let seed = rng.range_i64(0, 1000);
         let layout = Layout::builder([dims.0, dims.1])
-            .order_by(OrderBy::new([
-                Perm::reg([dims.0, dims.1], sigma).unwrap()
-            ]).unwrap())
+            .order_by(OrderBy::new([Perm::reg([dims.0, dims.1], sigma).unwrap()]).unwrap())
             .build()
             .unwrap();
-        let i = (seed as i64 * 7919) % dims.0;
-        let j = (seed as i64 * 104729) % dims.1;
+        let i = (seed * 7919) % dims.0;
+        let j = (seed * 104729) % dims.1;
         let f = layout.apply_c(&[i, j]).unwrap();
-        prop_assert_eq!(layout.inv_c(f).unwrap(), vec![i, j]);
+        assert_eq!(layout.inv_c(f).unwrap(), vec![i, j]);
     }
+}
 
-    /// Library GenPs round-trip on random flat positions.
-    #[test]
-    fn library_perm_roundtrip(
-        n in prop::sample::select(vec![4i64, 8, 16]),
-        sel in 0usize..5,
-        seed in 0u64..10_000,
-    ) {
-        let _ = arb_genp(n); // exercise the strategy constructor
+/// Library GenPs round-trip on random flat positions.
+#[test]
+fn library_perm_roundtrip() {
+    let mut rng = Rng::new(0x11B);
+    for _ in 0..CASES {
+        let n = *rng.choose(&[4i64, 8, 16]);
+        let sel = rng.index(5);
+        let seed = rng.range_i64(0, 10_000);
         let p = match sel {
             0 => antidiag(n).unwrap(),
             1 => reverse_perm(&[n, n]).unwrap(),
@@ -123,8 +101,8 @@ proptest! {
             3 => hilbert(n).unwrap(),
             _ => xor_swizzle(n, n).unwrap(),
         };
-        let f = (seed as i64) % (n * n);
+        let f = seed % (n * n);
         let idx = p.inv_c(f).unwrap();
-        prop_assert_eq!(p.apply_c(&idx).unwrap(), f);
+        assert_eq!(p.apply_c(&idx).unwrap(), f);
     }
 }

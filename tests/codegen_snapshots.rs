@@ -3,8 +3,8 @@
 //! shows the expected output.
 
 use lego_codegen::cuda::{nw, stencil, transpose};
-use lego_codegen::mlir::{MlirTranspose, transpose_module};
-use lego_codegen::triton::matmul::{MatmulVariant, generate};
+use lego_codegen::mlir::{transpose_module, MlirTranspose};
+use lego_codegen::triton::matmul::{generate, MatmulVariant};
 use lego_codegen::triton::{grouped_gemm, layernorm, softmax};
 
 /// The generated matmul kernel carries the exact Fig. 10 index lines.
@@ -94,8 +94,7 @@ fn stencil_sources_have_one_tap_per_point() {
 
 #[test]
 fn transpose_smem_uses_swizzled_indices() {
-    let k = transpose::generate(transpose::TransposeVariant::SmemCoalesced, 32)
-        .unwrap();
+    let k = transpose::generate(transpose::TransposeVariant::SmemCoalesced, 32).unwrap();
     assert!(
         k.source.contains('^'),
         "expected XOR swizzle in smem indices:\n{}",

@@ -3,7 +3,7 @@
 //! (who wins, roughly by how much).
 
 use gpu_sim::a100;
-use lego_bench::workloads::matmul::{Schedule, simulate as matmul};
+use lego_bench::workloads::matmul::{simulate as matmul, Schedule};
 use lego_bench::workloads::rowwise::{Impl, RowwiseBench};
 use lego_bench::workloads::{lud, nw, stencil, transpose};
 use lego_codegen::cuda::stencil::StencilShape;
@@ -20,7 +20,10 @@ fn fig11_crossover_shape() {
     let large = matmul(8192, TILES, Schedule::Grouped { gm: 8 }, &cfg).tflops
         / matmul(8192, TILES, Schedule::Vendor, &cfg).tflops;
     assert!(small < 0.9, "LEGO should trail at 2k (ratio {small:.2})");
-    assert!(large > 0.95, "LEGO should reach parity at 8k (ratio {large:.2})");
+    assert!(
+        large > 0.95,
+        "LEGO should reach parity at 8k (ratio {large:.2})"
+    );
 }
 
 /// Fig. 11: LEGO ≥ Triton on LayerNorm FWD, ties elsewhere; both beat
@@ -101,11 +104,18 @@ fn table5_shape() {
     let cfg = a100();
     for n in [2048i64, 4096, 8192] {
         let naive = transpose::simulate(n, 32, TransposeVariant::Naive, &cfg);
-        let smem =
-            transpose::simulate(n, 32, TransposeVariant::SmemCoalesced, &cfg);
+        let smem = transpose::simulate(n, 32, TransposeVariant::SmemCoalesced, &cfg);
         assert!(smem.gbps / naive.gbps > 2.5, "n={n}");
         // Absolute band sanity vs the paper's numbers.
-        assert!(naive.gbps > 100.0 && naive.gbps < 450.0, "naive {}", naive.gbps);
-        assert!(smem.gbps > 450.0 && smem.gbps < 1200.0, "smem {}", smem.gbps);
+        assert!(
+            naive.gbps > 100.0 && naive.gbps < 450.0,
+            "naive {}",
+            naive.gbps
+        );
+        assert!(
+            smem.gbps > 450.0 && smem.gbps < 1200.0,
+            "smem {}",
+            smem.gbps
+        );
     }
 }

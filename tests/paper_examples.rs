@@ -3,7 +3,7 @@
 
 use lego_core::check::check_layout_bijective;
 use lego_core::perms::{antidiag, reverse_perm};
-use lego_core::{Layout, OrderBy, Perm, Shape, sugar};
+use lego_core::{sugar, Layout, OrderBy, Perm, Shape};
 use lego_expr::Expr;
 
 /// Fig. 2: GroupBy([6,4], OrderBy(RegP([2,2],[2,1]), GenP([3,2], p, p⁻¹))).
@@ -28,12 +28,7 @@ fn fig2_layout_anchors() {
 /// .OrderBy(RegP([2,2],[2,1]), GenP([3,3], antidiag, antidiag⁻¹)).
 fn fig6_layout() -> Layout {
     Layout::builder([6i64, 6])
-        .order_by(
-            OrderBy::new([
-                Perm::reg([2i64, 3, 2, 3], [1usize, 3, 2, 4]).unwrap(),
-            ])
-            .unwrap(),
-        )
+        .order_by(OrderBy::new([Perm::reg([2i64, 3, 2, 3], [1usize, 3, 2, 4]).unwrap()]).unwrap())
         .order_by(
             OrderBy::new([
                 Perm::reg([2i64, 2], [2usize, 1]).unwrap(),
@@ -59,12 +54,7 @@ fn fig6_chain_anchors() {
 fn fig6_intermediate_o2_step() {
     // The middle column alone: only the stripmine+interchange OrderBy.
     let o2 = Layout::builder([6i64, 6])
-        .order_by(
-            OrderBy::new([
-                Perm::reg([2i64, 3, 2, 3], [1usize, 3, 2, 4]).unwrap(),
-            ])
-            .unwrap(),
-        )
+        .order_by(OrderBy::new([Perm::reg([2i64, 3, 2, 3], [1usize, 3, 2, 4]).unwrap()]).unwrap())
         .build()
         .unwrap();
     assert_eq!(o2.apply_c(&[4, 2]).unwrap(), 23);
@@ -83,10 +73,7 @@ fn fig6_intermediate_o2_step() {
 fn fig8_layout_is_bijective_and_non_contiguous() {
     let layout = Layout::builder([4i64, 8])
         .order_by(
-            OrderBy::new([
-                Perm::reg([2i64, 2, 2, 2, 2], [5usize, 2, 4, 3, 1]).unwrap(),
-            ])
-            .unwrap(),
+            OrderBy::new([Perm::reg([2i64, 2, 2, 2, 2], [5usize, 2, 4, 3, 1]).unwrap()]).unwrap(),
         )
         .build()
         .unwrap();
@@ -119,14 +106,11 @@ fn fig8_layout_is_bijective_and_non_contiguous() {
 #[test]
 fn table1_matmul_data_layout() {
     let (m, k, bm, bk) = (64i64, 32, 16, 8);
-    let dl = sugar::tile_by([
-        Shape::from([m / bm, k / bk]),
-        Shape::from([bm, bk]),
-    ])
-    .unwrap()
-    .order_by(OrderBy::new([sugar::row([m, k]).unwrap()]).unwrap())
-    .build()
-    .unwrap();
+    let dl = sugar::tile_by([Shape::from([m / bm, k / bk]), Shape::from([bm, bk])])
+        .unwrap()
+        .order_by(OrderBy::new([sugar::row([m, k]).unwrap()]).unwrap())
+        .build()
+        .unwrap();
     for (pm, kk, r0, r1) in [(0i64, 0i64, 0i64, 0i64), (2, 3, 5, 7), (3, 1, 15, 3)] {
         let want = (pm * bm + r0) * k + kk * bk + r1;
         assert_eq!(dl.apply_c(&[pm, kk, r0, r1]).unwrap(), want);
@@ -161,9 +145,7 @@ fn table1_lud_coarsening_layout() {
     .order_by(OrderBy::new([sugar::row([r * t, r * t]).unwrap()]).unwrap())
     .build()
     .unwrap();
-    let want = |ri: i64, rj: i64, ti: i64, tj: i64| {
-        (ri * t + ti) * (r * t) + rj * t + tj
-    };
+    let want = |ri: i64, rj: i64, ti: i64, tj: i64| (ri * t + ti) * (r * t) + rj * t + tj;
     assert_eq!(l.apply_c(&[1, 2, 3, 4]).unwrap(), want(1, 2, 3, 4));
     assert_eq!(l.apply_c(&[3, 0, 15, 9]).unwrap(), want(3, 0, 15, 9));
 }

@@ -1,0 +1,55 @@
+//! Minimal deterministic pseudo-random driver for the property tests.
+//!
+//! The container building this workspace has no crate registry, so the
+//! original `proptest` strategies are replaced by an explicit xorshift64*
+//! generator: every test enumerates a fixed number of seeded cases, which
+//! keeps the tests deterministic and shrink-free but preserves the
+//! randomized coverage of the layout space.
+
+// Each integration-test binary compiles this module independently and
+// uses a different subset of the helpers.
+#![allow(dead_code)]
+
+/// xorshift64* — tiny, fast, and good enough to scatter test points.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi);
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A random 1-based permutation of `1..=d` (Fisher–Yates).
+    pub fn sigma(&mut self, d: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = (1..=d).collect();
+        for i in (1..d).rev() {
+            v.swap(i, self.index(i + 1));
+        }
+        v
+    }
+
+    /// Pick one element of a slice.
+    pub fn choose<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.index(options.len())]
+    }
+}

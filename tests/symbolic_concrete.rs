@@ -3,10 +3,12 @@
 //! Table II simplification is semantics-preserving on layout-generated
 //! expressions.
 
+mod prop_support;
+
 use lego_core::perms::{antidiag, reverse_perm};
 use lego_core::{Layout, OrderBy, Perm};
-use lego_expr::{Bindings, Expr, RangeEnv, eval, expand, pick_cheaper, simplify};
-use proptest::prelude::*;
+use lego_expr::{eval, expand, pick_cheaper, simplify, Bindings, Expr, RangeEnv};
+use prop_support::Rng;
 
 fn check_layout_symbolic(layout: &Layout, dims: &[i64]) {
     let names = ["i0", "i1", "i2", "i3"];
@@ -29,7 +31,12 @@ fn check_layout_symbolic(layout: &Layout, dims: &[i64]) {
         let want = layout
             .apply_c(&counters)
             .unwrap_or_else(|e| panic!("concrete apply failed: {e}"));
-        for (tag, e) in [("raw", &raw), ("simplified", &simp), ("expanded", &exp), ("cheapest", &cheap)] {
+        for (tag, e) in [
+            ("raw", &raw),
+            ("simplified", &simp),
+            ("expanded", &exp),
+            ("cheapest", &cheap),
+        ] {
             assert_eq!(
                 eval(e, &bind).unwrap(),
                 want,
@@ -73,12 +80,7 @@ fn fig2_symbolic_agrees_everywhere() {
 #[test]
 fn fig6_symbolic_agrees_everywhere() {
     let layout = Layout::builder([6i64, 6])
-        .order_by(
-            OrderBy::new([
-                Perm::reg([2i64, 3, 2, 3], [1usize, 3, 2, 4]).unwrap(),
-            ])
-            .unwrap(),
-        )
+        .order_by(OrderBy::new([Perm::reg([2i64, 3, 2, 3], [1usize, 3, 2, 4]).unwrap()]).unwrap())
         .order_by(
             OrderBy::new([
                 Perm::reg([2i64, 2], [2usize, 1]).unwrap(),
@@ -97,34 +99,32 @@ fn brick_symbolic_agrees_everywhere() {
     check_layout_symbolic(&layout, &[4, 4, 4]);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Random stripmined layouts: simplified symbolic expression equals
-    /// concrete apply at every point.
-    #[test]
-    fn random_stripmine_symbolic_agrees(
-        (o1, o2) in (1i64..4, 1i64..4),
-        (i1, i2) in (1i64..4, 1i64..4),
-        sigma in Just(vec![1usize, 3, 2, 4]),
-    ) {
+/// Random stripmined layouts: simplified symbolic expression equals
+/// concrete apply at every point.
+#[test]
+fn random_stripmine_symbolic_agrees() {
+    let mut rng = Rng::new(0x57121);
+    for _ in 0..32 {
+        let (o1, o2) = (rng.range_i64(1, 4), rng.range_i64(1, 4));
+        let (i1, i2) = (rng.range_i64(1, 4), rng.range_i64(1, 4));
+        let sigma = vec![1usize, 3, 2, 4];
         let layout = Layout::builder([o1 * i1, o2 * i2])
-            .order_by(OrderBy::new([
-                Perm::reg([o1, i1, o2, i2], sigma).unwrap()
-            ]).unwrap())
+            .order_by(OrderBy::new([Perm::reg([o1, i1, o2, i2], sigma).unwrap()]).unwrap())
             .build()
             .unwrap();
         check_layout_symbolic(&layout, &[o1 * i1, o2 * i2]);
     }
+}
 
-    /// Simplification is sound on arbitrary (non-layout) expressions:
-    /// evaluate original vs simplified on random bindings within ranges.
-    #[test]
-    fn simplify_preserves_semantics_on_random_exprs(
-        a in 0i64..100,
-        b in 1i64..20,
-        c in 1i64..20,
-    ) {
+/// Simplification is sound on arbitrary (non-layout) expressions:
+/// evaluate original vs simplified on random bindings within ranges.
+#[test]
+fn simplify_preserves_semantics_on_random_exprs() {
+    let mut rng = Rng::new(0x51479);
+    for _ in 0..32 {
+        let a = rng.range_i64(0, 100);
+        let b = rng.range_i64(1, 20);
+        let c = rng.range_i64(1, 20);
         let mut env = RangeEnv::new();
         env.set_bounds("a", Expr::zero(), Expr::val(100));
         let x = Expr::sym("a");
@@ -140,10 +140,12 @@ proptest! {
         bind.insert("a".into(), a);
         for e in exprs {
             let s = simplify(&e, &env);
-            prop_assert_eq!(
+            assert_eq!(
                 eval(&e, &bind).unwrap(),
                 eval(&s, &bind).unwrap(),
-                "expr {} simplified to {}", e, s
+                "expr {} simplified to {}",
+                e,
+                s
             );
         }
     }
