@@ -102,6 +102,8 @@ fn main() {
     tuned::maybe_report(
         "fig12",
         &[
+            WorkloadKind::Nw { n: 2048, b: 16 },
+            WorkloadKind::Lud { n: 2048, bs: 16 },
             WorkloadKind::Stencil {
                 shape: StencilShape::Star(1),
                 n: 64,

@@ -1,13 +1,17 @@
 //! **Figure 13** (a/b): roofline plots for LUD and the stencils —
 //! arithmetic intensity vs. achieved performance against the A100
-//! compute and bandwidth roofs.
+//! compute and bandwidth roofs. Both panels are priced through the
+//! shared `gpu_sim::trace` builders, so these points and the
+//! `lego-tune` estimates come from the same code path. Pass `--tuned`
+//! to additionally run the LUD/stencil searches and report
+//! naive-vs-tuned estimates.
 
 use gpu_sim::timing::Pipeline;
 use gpu_sim::{a100, attainable, ridge};
-use lego_bench::emit;
 use lego_bench::workloads::{lud, stencil};
+use lego_bench::{emit, tuned};
 use lego_codegen::cuda::stencil::StencilShape;
-use lego_tune::Json;
+use lego_tune::{Json, WorkloadKind};
 
 fn main() {
     let cfg = a100();
@@ -69,4 +73,18 @@ fn main() {
         }
     }
     emit::announce(emit::write_bench_json("fig13", rows));
+    tuned::maybe_report(
+        "fig13",
+        &[
+            WorkloadKind::Lud { n: 4096, bs: 16 },
+            WorkloadKind::Stencil {
+                shape: StencilShape::Star(2),
+                n: 64,
+            },
+            WorkloadKind::Stencil {
+                shape: StencilShape::Cube(2),
+                n: 64,
+            },
+        ],
+    );
 }

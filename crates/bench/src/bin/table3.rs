@@ -2,14 +2,18 @@
 //! latency. Reproduces the paper's one-time cost table by timing this
 //! repository's actual generators (layout construction + symbolic
 //! apply/inv + Table II simplification + printing).
+//!
+//! Pass `--tuned` to additionally run the `lego-tune` search for every
+//! generator family (through the shared `gpu_sim::trace` builders) and
+//! report naive-vs-tuned estimates.
 
 use std::time::Instant;
 
-use lego_bench::emit;
+use lego_bench::{emit, tuned};
 use lego_codegen::cuda::{lud, nw, stencil, transpose};
 use lego_codegen::mlir::{transpose_module, MlirTranspose};
 use lego_codegen::triton::{grouped_gemm, layernorm, matmul, softmax};
-use lego_tune::Json;
+use lego_tune::{Json, WorkloadKind};
 
 fn time<F: FnMut()>(mut f: F) -> f64 {
     // Warm once, then take the best of 3 (generation is deterministic).
@@ -118,4 +122,19 @@ fn main() {
         ]));
     }
     emit::announce(emit::write_bench_json("table3", json_rows));
+    // One search per generator family timed above, so the one-time
+    // codegen cost can be read next to the tuning payoff.
+    tuned::maybe_report(
+        "table3",
+        &[
+            WorkloadKind::Matmul { n: 2048 },
+            WorkloadKind::Transpose { n: 2048 },
+            WorkloadKind::Stencil {
+                shape: stencil::StencilShape::Star(2),
+                n: 64,
+            },
+            WorkloadKind::Nw { n: 2048, b: 16 },
+            WorkloadKind::Lud { n: 2048, bs: 16 },
+        ],
+    );
 }

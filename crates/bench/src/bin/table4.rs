@@ -1,5 +1,6 @@
 //! **Table IV**: arithmetic operations in user-written code, original
-//! Triton kernels vs. the LEGO versions.
+//! Triton kernels vs. the LEGO versions, plus the CUDA workloads (NW,
+//! LUD) the tuner now searches.
 //!
 //! Both sides are *counted from source text* with the same counter
 //! ([`lego_codegen::opcount::count_source_ops`]): the original column
@@ -7,10 +8,14 @@
 //! reference kernels (the colored boxes of Fig. 1); the LEGO column
 //! counts the layout specification plus placeholder usage — everything
 //! else is generated.
+//!
+//! Pass `--tuned` to additionally run the `lego-tune` search (through
+//! the shared `gpu_sim::trace` builders) for the counted kernels.
 
-use lego_bench::emit;
+use lego_bench::{emit, tuned};
+use lego_codegen::cuda::stencil::StencilShape;
 use lego_codegen::opcount::count_source_ops;
-use lego_tune::Json;
+use lego_tune::{Json, WorkloadKind};
 
 /// Index-computation lines of the reference Triton matmul (Fig. 1 left).
 const MATMUL_ORIG: &str = "\
@@ -106,6 +111,33 @@ la_optr = DL_a[lpid_m, k, :, :]
 lb_optr = DL_b[k, lpid_n, :, :]
 lc_optr = DL_c[lpid_m, lpid_n, :, :]";
 
+/// Index computation of the Rodinia NW shared-buffer accesses (the
+/// wavefront loop writes `temp[i][j]` through manual 2-D arithmetic).
+const NW_ORIG: &str = "\
+index = cols * BLOCK_SIZE * by + BLOCK_SIZE * bx + tx + (cols + 1)
+temp_ij = temp[(ty + 1) * (BLOCK_SIZE + 1) + (tx + 1)]
+temp_nw = temp[ty * (BLOCK_SIZE + 1) + tx]
+temp_n = temp[ty * (BLOCK_SIZE + 1) + (tx + 1)]
+temp_w = temp[(ty + 1) * (BLOCK_SIZE + 1) + tx]";
+
+/// The LEGO NW specification: one buffer layout, accesses unchanged.
+const NW_LEGO: &str = "\
+BL = GroupBy([b + 1, b + 1]).OrderBy(AntiDiag(b + 1))
+slot = BL[i, j]";
+
+/// Index computation of the Rodinia coarsened LUD internal kernel.
+const LUD_ORIG: &str = "\
+global_row_id = offset + (blockIdx.y + 1) * BLOCK_SIZE
+global_col_id = offset + (blockIdx.x + 1) * BLOCK_SIZE
+peri_row_idx = (ri * T + ty) * BLOCK_SIZE + rj * T + tx
+peri_col_idx = (ri * T + ty) * BLOCK_SIZE + rj * T + tx
+m_idx = (global_row_id + ri * T + ty) * matrix_dim + global_col_id + rj * T + tx";
+
+/// The LEGO LUD specification: coarsening as a thread layout.
+const LUD_LEGO: &str = "\
+TL = TileBy([R, R], [T, T]).OrderBy(Row(R * T, R * T))
+point = TL[ri, rj, ti, tj]";
+
 fn main() {
     println!("Table IV: arithmetic ops in user-written code, before/after\n");
     println!(
@@ -118,6 +150,8 @@ fn main() {
         ("Softmax", SOFTMAX_ORIG, SOFTMAX_LEGO, 4, 0),
         ("Grouped GEMM", GROUPED_ORIG, GROUPED_LEGO, 20, 6),
         ("Matmul", MATMUL_ORIG, MATMUL_LEGO, 31, 9),
+        ("NW", NW_ORIG, NW_LEGO, 14, 1),
+        ("LUD", LUD_ORIG, LUD_LEGO, 18, 3),
     ];
     let mut json_rows = Vec::new();
     for (name, orig, lego, p_orig, p_lego) in rows {
@@ -139,4 +173,16 @@ fn main() {
          counts depend on which lines are attributed to indexing.)"
     );
     emit::announce(emit::write_bench_json("table4", json_rows));
+    tuned::maybe_report(
+        "table4",
+        &[
+            WorkloadKind::Matmul { n: 2048 },
+            WorkloadKind::Stencil {
+                shape: StencilShape::Star(1),
+                n: 64,
+            },
+            WorkloadKind::Nw { n: 2048, b: 16 },
+            WorkloadKind::Lud { n: 2048, bs: 16 },
+        ],
+    );
 }

@@ -6,9 +6,13 @@
 //! perimeter row and column. Thread coarsening (LEGO's layout view of
 //! it) enlarges the LUD block (`bs = r·16`), which divides both the
 //! number of steps (launches) and the total perimeter traffic by `r` —
-//! the arithmetic-intensity shift visible on the paper's roofline.
+//! the arithmetic-intensity shift visible on the paper's roofline. The
+//! panel walk lives in [`gpu_sim::trace::LudPanels`], shared with the
+//! `lego-tune` oracle.
 
-use gpu_sim::{estimate, GpuConfig, KernelProfile, Pipeline};
+use gpu_sim::trace::{LudPanels, TraceBuilder};
+use gpu_sim::{score, Estimate, GpuConfig};
+use lego_core::Layout;
 
 /// Result for one LUD configuration.
 #[derive(Clone, Copy, Debug)]
@@ -23,45 +27,31 @@ pub struct LudResult {
     pub dram_bytes: f64,
 }
 
+/// Scores one LUD configuration through the shared trace builder,
+/// returning the raw `gpu-sim` estimate.
+pub fn estimate(n: i64, bs: i64, cfg: &GpuConfig) -> Estimate {
+    assert!(n % bs == 0, "block must divide matrix");
+    let workload = LudPanels {
+        n,
+        bs,
+        t: 16,
+        index_flops: 0.0,
+    }
+    .build(cfg);
+    // The panel trace is pre-aggregated; the layout is unused.
+    let layout = Layout::identity([bs, bs]).expect("identity");
+    score(&layout, &workload, cfg)
+}
+
 /// Simulates LUD with LUD-block side `bs` (the CUDA block stays 16×16;
 /// coarsening factor is `bs/16`).
 pub fn simulate(n: i64, bs: i64, cfg: &GpuConfig) -> LudResult {
-    assert!(n % bs == 0, "block must divide matrix");
-    let steps = n / bs;
-    let mut dram = 0f64;
-    let mut flops = 0f64;
-    let mut launches = 0f64;
-    let mut blocks = 0f64;
-    for d in 0..steps {
-        let rem = (steps - d - 1) as f64; // interior blocks per side
-                                          // Diagonal kernel: one bs x bs block.
-        dram += (bs * bs * 4) as f64 * 2.0;
-        flops += 2.0 / 3.0 * (bs as f64).powi(3);
-        // Perimeter kernel: 2*rem blocks, each reads the diagonal block
-        // and updates its own.
-        dram += rem * 2.0 * (bs * bs * 4) as f64 * 2.0;
-        flops += rem * 2.0 * (bs as f64).powi(3);
-        // Internal kernel: rem^2 blocks; each reads its tile + the
-        // perimeter row tile + the perimeter column tile and writes back.
-        dram += rem * rem * (bs * bs * 4) as f64 * 4.0;
-        flops += rem * rem * 2.0 * (bs as f64).powi(3);
-        launches += 3.0;
-        blocks += 1.0 + 2.0 * rem + rem * rem;
-    }
-    let profile = KernelProfile {
-        flops,
-        dram_bytes: dram,
-        l2_bytes: dram * 1.5,
-        smem_passes: 0.0,
-        blocks,
-        launches,
-    };
-    let t = estimate(&profile, Pipeline::Fp32, cfg);
+    let e = estimate(n, bs, cfg);
     LudResult {
-        time_s: t.total_s,
-        gflops: flops / t.total_s / 1e9,
-        intensity: profile.arithmetic_intensity(),
-        dram_bytes: dram,
+        time_s: e.time_s,
+        gflops: e.flops / e.time_s / 1e9,
+        intensity: e.flops / e.dram_bytes,
+        dram_bytes: e.dram_bytes,
     }
 }
 

@@ -1,14 +1,16 @@
 //! Tile-level matmul simulation (Fig. 11).
 //!
 //! Simulates the wave-by-wave execution of a tiled FP16 GEMM on the
-//! A100 model: thread blocks are issued `sm_count` at a time in `pid`
-//! order; each block walks the K loop touching its `A` and `B` tiles,
-//! filtered through a tile-granular L2. The *thread-block layout* decides
-//! which `(pid_m, pid_n)` a `pid` gets — the grouped column-major layout
-//! of Fig. 1 vs. plain row-major — and therefore how much reuse a wave
-//! finds in L2. Compute time is wave-quantized tensor-core time.
+//! A100 model. The trace itself — thread blocks issued `sm_count` at a
+//! time in `pid` order, each block walking the K loop touching its `A`
+//! and `B` tiles through a tile-granular L2 — lives in
+//! [`gpu_sim::trace::MatmulWaves`], shared with the `lego-tune` oracle.
+//! The *thread-block layout* decides which `(pid_m, pid_n)` a `pid`
+//! gets — the grouped column-major layout of Fig. 1 vs. plain
+//! row-major — and therefore how much reuse a wave finds in L2.
 
-use gpu_sim::{estimate, GpuConfig, KernelProfile, Pipeline, TileCache};
+use gpu_sim::trace::{MatmulWaves, TraceBuilder};
+use gpu_sim::{score, Estimate, GpuConfig};
 use lego_core::{sugar, Layout, OrderBy};
 use lego_expr::Expr;
 
@@ -57,89 +59,41 @@ fn grouped_layout(nt_m: i64, nt_n: i64, gm: i64) -> Layout {
         .expect("layout")
 }
 
-/// Simulates `C = A·B` for square `n`, FP16, `BM×BN×BK` tiles.
-pub fn simulate(
+/// Scores one GEMM configuration through the shared trace builder,
+/// returning the raw `gpu-sim` estimate.
+pub fn estimate(
     n: i64,
     (bm, bn, bk): (i64, i64, i64),
     schedule: Schedule,
     cfg: &GpuConfig,
-) -> MatmulResult {
-    let elem = 2i64; // fp16
+) -> Estimate {
     let (nt_m, nt_n) = (n / bm, n / bn);
-    let ksteps = n / bk;
-    let nblocks = nt_m * nt_n;
-    let flops = 2.0 * (n as f64).powi(3);
-
     // pid -> (pid_m, pid_n)
     let layout = match schedule {
-        Schedule::Grouped { gm } => Some(grouped_layout(nt_m, nt_n, gm)),
-        Schedule::RowMajor | Schedule::Vendor => None,
+        Schedule::Grouped { gm } => grouped_layout(nt_m, nt_n, gm),
+        Schedule::RowMajor | Schedule::Vendor => Layout::identity([nt_m, nt_n]).expect("identity"),
     };
-    let pid_of = |pid: i64| -> (i64, i64) {
-        match &layout {
-            Some(l) => {
-                let v = l.inv_c(pid).expect("pid in range");
-                (v[0], v[1])
-            }
-            None => (pid / nt_n, pid % nt_n),
-        }
-    };
-
-    let a_tile_bytes = (bm * bk * elem) as usize;
-    let b_tile_bytes = (bk * bn * elem) as usize;
-    let mut l2 = TileCache::new(cfg.l2_bytes);
-    let mut l2_bytes = 0f64;
-
-    let wave = cfg.sm_count as i64;
-    let mut pid0 = 0i64;
-    while pid0 < nblocks {
-        let pids: Vec<(i64, i64)> = (pid0..(pid0 + wave).min(nblocks)).map(pid_of).collect();
-        for kk in 0..ksteps {
-            for &(pm, pn) in &pids {
-                // Tile ids: disjoint namespaces for A and B.
-                let a_id = (pm * ksteps + kk) << 1;
-                let b_id = ((kk * nt_n + pn) << 1) | 1;
-                l2.touch(a_id, a_tile_bytes);
-                l2.touch(b_id, b_tile_bytes);
-                l2_bytes += (a_tile_bytes + b_tile_bytes) as f64;
-            }
-        }
-        pid0 += wave;
+    let workload = MatmulWaves {
+        vendor: matches!(schedule, Schedule::Vendor),
+        ..MatmulWaves::with_tiles(n, (bm, bn, bk))
     }
-    // C writeback goes straight to DRAM.
-    let c_bytes = (n * n * elem) as f64;
-    let dram_bytes = l2.miss_bytes() as f64 + c_bytes;
+    .build(cfg);
+    score(&layout, &workload, cfg)
+}
 
-    let profile = KernelProfile {
-        flops,
-        dram_bytes,
-        l2_bytes: l2_bytes + c_bytes,
-        smem_passes: 0.0,
-        blocks: nblocks as f64,
-        launches: 1.0,
-    };
-    let t = estimate(&profile, Pipeline::TensorFp16, cfg);
-
-    // Wave quantization: the last partial wave still takes a full wave's
-    // compute time. Vendor libraries pick tile shapes that avoid it and
-    // have lower dispatch overhead.
-    let flops_per_block = flops / nblocks as f64;
-    let per_sm = cfg.fp16_tc_flops / cfg.sm_count as f64;
-    let wave_time = flops_per_block / per_sm;
-    let (compute_s, overhead_s) = match schedule {
-        Schedule::Vendor => (flops / cfg.fp16_tc_flops, cfg.launch_overhead),
-        _ => {
-            let waves = (nblocks as f64 / cfg.sm_count as f64).ceil();
-            (waves * wave_time, 2.0 * cfg.launch_overhead)
-        }
-    };
-    let total = compute_s.max(t.dram_s).max(t.l2_s) + overhead_s;
-
+/// Simulates `C = A·B` for square `n`, FP16, `BM×BN×BK` tiles.
+pub fn simulate(
+    n: i64,
+    tiles: (i64, i64, i64),
+    schedule: Schedule,
+    cfg: &GpuConfig,
+) -> MatmulResult {
+    let e = estimate(n, tiles, schedule, cfg);
     MatmulResult {
-        time_s: total,
-        tflops: flops / total / 1e12,
-        l2_hit_rate: l2.hit_rate(),
-        dram_bytes,
+        time_s: e.time_s,
+        tflops: e.tflops(),
+        l2_hit_rate: e.l2_hit_rate,
+        dram_bytes: e.dram_bytes,
     }
 }
 

@@ -5,12 +5,14 @@
 //! block's `(b+1)×(b+1)` shared buffer is updated over `2b-1` in-block
 //! wavefront steps. The only difference between the two variants is the
 //! *buffer layout*: row-major (stride-`b` bank conflicts) vs. the LEGO
-//! anti-diagonal permutation (conflict-free). Bank passes are counted
-//! from the actual layouts; the timing model charges each in-block step
-//! a fixed instruction cost plus its serialized shared-memory passes,
-//! and each block diagonal runs its blocks `sm_count` at a time.
+//! anti-diagonal permutation (conflict-free). The wavefront access
+//! groups are emitted by the shared [`gpu_sim::trace::NwWavefront`]
+//! builder (also the `lego-tune` oracle's trace); this driver keeps the
+//! calibrated additive timing: each in-block step costs a fixed
+//! instruction budget plus its serialized shared-memory passes, and
+//! each block diagonal runs its blocks `sm_count` at a time.
 
-use gpu_sim::bank_conflicts_elems;
+use gpu_sim::trace::NwWavefront;
 use gpu_sim::GpuConfig;
 use lego_codegen::cuda::nw as nwgen;
 use lego_core::Layout;
@@ -24,8 +26,9 @@ pub struct NwResult {
     pub block_passes: f64,
 }
 
-/// Non-smem instruction cycles per in-block wavefront step (calibrated).
-const STEP_CYCLES: f64 = 40.0;
+/// Non-smem instruction cycles per in-block wavefront step (calibrated;
+/// same constant the shared builder's tuner workload uses).
+const STEP_CYCLES: f64 = gpu_sim::trace::NW_STEP_CYCLES;
 /// Cycles per serialized shared-memory pass (calibrated).
 const PASS_CYCLES: f64 = 5.0;
 /// Per-launch overhead for the short wavefront kernels (they pipeline
@@ -33,31 +36,10 @@ const PASS_CYCLES: f64 = 5.0;
 const NW_LAUNCH_S: f64 = 2.0e-6;
 
 /// Shared-memory passes for one block's full wavefront sweep under a
-/// given buffer layout.
+/// given buffer layout — counted from the shared trace builder's
+/// per-block wavefront walk.
 pub fn block_smem_passes(layout: &Layout, b: i64) -> f64 {
-    let mut passes = 0usize;
-    for d in 0..(2 * b - 1) {
-        let lo = (d + 1 - b).max(0);
-        let hi = d.min(b - 1);
-        // Active lanes write (t+1, d-t+1) and read the three neighbors
-        // (NW, N, W) — four warp access groups per step.
-        let coords = |f: &dyn Fn(i64, i64) -> (i64, i64)| -> Vec<i64> {
-            (lo..=hi)
-                .map(|t| {
-                    let (i, j) = f(t, d);
-                    layout.apply_c(&[i, j]).expect("in bounds")
-                })
-                .collect()
-        };
-        let write: Vec<i64> = coords(&|t, d| (t + 1, d - t + 1));
-        let nw_read: Vec<i64> = coords(&|t, d| (t, d - t));
-        let n_read: Vec<i64> = coords(&|t, d| (t, d - t + 1));
-        let w_read: Vec<i64> = coords(&|t, d| (t + 1, d - t));
-        for g in [write, nw_read, n_read, w_read] {
-            passes += bank_conflicts_elems(&g, 32).passes;
-        }
-    }
-    passes as f64
+    NwWavefront::block_passes(layout, b, 32)
 }
 
 /// Simulates the full NW run for an `n×n` matrix with block size `b`.

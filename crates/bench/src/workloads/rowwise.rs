@@ -91,6 +91,7 @@ impl RowwiseBench {
             smem_passes: 0.0,
             blocks: m as f64,
             launches,
+            ..Default::default()
         };
         estimate(&profile, Pipeline::Fp32, cfg).total_s
     }

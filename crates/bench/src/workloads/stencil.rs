@@ -1,9 +1,10 @@
 //! Trace-driven 3-D stencil simulation (Fig. 12c / Fig. 13b).
 //!
-//! For every warp of every thread block the driver computes the 32
-//! element addresses of each stencil tap through the *actual layout*
-//! (row-major vs. brick), coalesces them into 32-byte sectors, and
-//! filters the sector stream through a scaled L2 model.
+//! The per-warp lane walk — every stencil tap's 32 element addresses
+//! computed through the *actual layout* (row-major vs. brick),
+//! coalesced into 32-byte sectors and filtered through a scaled L2 —
+//! lives in [`gpu_sim::trace::StencilWalk`], shared with the
+//! `lego-tune` oracle.
 //!
 //! The mechanism is the one the paper names: bricks put "spatially
 //! adjacent data related to a block of computation … physically
@@ -16,9 +17,12 @@
 //! at a smaller size with L2 capacity scaled by the same factor, so the
 //! working-set-to-cache ratio that decides hit rates is preserved.
 
-use gpu_sim::{coalesce_elems, estimate, Cache, GpuConfig, KernelProfile, Pipeline};
+use gpu_sim::trace::{StencilWalk, TraceBuilder};
+use gpu_sim::{score, Estimate, GpuConfig};
 use lego_codegen::cuda::stencil::{generate, StencilBench, StencilShape};
 use lego_core::Layout;
+
+pub use gpu_sim::trace::LaneAxis;
 
 /// Result for one stencil configuration.
 #[derive(Clone, Copy, Debug)]
@@ -35,28 +39,27 @@ pub struct StencilResult {
     pub intensity: f64,
 }
 
-/// Which logical order a warp's 32 lanes follow.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum LaneAxis {
-    /// Lanes along `y` (stride `n` in row-major) — the strided walk of
-    /// the baseline array kernel (§V-B: "data movement over strided
-    /// data when a conventional row-major layout is used").
-    Y,
-    /// Lanes along `z` (unit stride in row-major).
-    Z,
-    /// Lanes along the tile-local `(y, z)` plane in row-major order —
-    /// the brick-local thread order that the brick layout makes
-    /// memory-contiguous by construction.
-    YZ,
-}
-
-/// Scaled-L2 sector cache for the simulated domain (preserves the
-/// paper's domain-to-L2 ratio 512³·4B : 40 MiB ≈ 12.8).
-fn scaled_l2(n: i64, cfg: &GpuConfig) -> Cache {
-    let domain_bytes = (n * n * n * 4) as f64;
-    let scaled = (domain_bytes / 12.8) as usize;
-    let lines = (scaled / cfg.sector_bytes).max(1024);
-    Cache::new(lines, 16)
+/// Scores one stencil sweep through the shared trace builder, returning
+/// the raw `gpu-sim` estimate.
+pub fn estimate(
+    layout: &Layout,
+    shape: StencilShape,
+    n: i64,
+    block: (i64, i64, i64),
+    lane_axis: LaneAxis,
+    cfg: &GpuConfig,
+) -> Estimate {
+    let workload = StencilWalk {
+        shape_name: shape.name(),
+        offsets: shape.offsets(),
+        radius: shape.radius(),
+        n,
+        block,
+        lane_axis,
+        index_flops: 0.0,
+    }
+    .build(cfg);
+    score(layout, &workload, cfg)
 }
 
 /// Simulates one stencil sweep over an `n³` domain with the given
@@ -70,90 +73,13 @@ pub fn sweep(
     lane_axis: LaneAxis,
     cfg: &GpuConfig,
 ) -> StencilResult {
-    let offs = shape.offsets();
-    let (bx, by, bz) = block;
-    let mut l2 = scaled_l2(n, cfg);
-    let mut l2_bytes = 0f64;
-    let r = shape.radius();
-    let clamp = |v: i64| v.clamp(r, n - 1 - r);
-
-    let lanes = 32i64;
-    for tx in 0..n / bx {
-        for ty in 0..n / by {
-            for tz in 0..n / bz {
-                // Enumerate warps inside the tile.
-                let (wi_max, wj_max, lane_max) = match lane_axis {
-                    LaneAxis::Z => (bx, by, bz),
-                    LaneAxis::Y => (bx, bz, by),
-                    LaneAxis::YZ => (bx, 1, by * bz),
-                };
-                for wi in 0..wi_max {
-                    for wj in 0..wj_max {
-                        let mut l0 = 0i64;
-                        while l0 < lane_max {
-                            let nl = lanes.min(lane_max - l0);
-                            for &(dx, dy, dz) in &offs {
-                                let idx: Vec<i64> = (0..nl)
-                                    .map(|lane| {
-                                        let (x, y, z) = match lane_axis {
-                                            LaneAxis::Z => {
-                                                (tx * bx + wi, ty * by + wj, tz * bz + l0 + lane)
-                                            }
-                                            LaneAxis::Y => {
-                                                (tx * bx + wi, ty * by + l0 + lane, tz * bz + wj)
-                                            }
-                                            LaneAxis::YZ => {
-                                                let local = l0 + lane;
-                                                (
-                                                    tx * bx + wi,
-                                                    ty * by + local / bz,
-                                                    tz * bz + local % bz,
-                                                )
-                                            }
-                                        };
-                                        layout
-                                            .apply_c(&[clamp(x + dx), clamp(y + dy), clamp(z + dz)])
-                                            .expect("in bounds")
-                                    })
-                                    .collect();
-                                let c = coalesce_elems(&idx, 4, 0, cfg.sector_bytes);
-                                l2_bytes += c.moved_bytes as f64;
-                                let mut sectors: Vec<i64> = idx
-                                    .iter()
-                                    .map(|&i| i * 4 / cfg.sector_bytes as i64)
-                                    .collect();
-                                sectors.sort_unstable();
-                                sectors.dedup();
-                                for s in sectors {
-                                    l2.access(s);
-                                }
-                            }
-                            l0 += lanes;
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    let stats = l2.stats();
-    let dram_bytes = stats.misses as f64 * cfg.sector_bytes as f64 + (n * n * n * 4) as f64;
-    let flops = 2.0 * shape.points() as f64 * (n * n * n) as f64;
-    let profile = KernelProfile {
-        flops,
-        dram_bytes,
-        l2_bytes,
-        smem_passes: 0.0,
-        blocks: ((n / bx) * (n / by) * (n / bz)) as f64,
-        launches: 1.0,
-    };
-    let t = estimate(&profile, Pipeline::Fp32, cfg);
+    let e = estimate(layout, shape, n, block, lane_axis, cfg);
     StencilResult {
-        time_s: t.total_s,
-        gflops: flops / t.total_s / 1e9,
-        dram_bytes,
-        l2_bytes,
-        intensity: profile.arithmetic_intensity(),
+        time_s: e.time_s,
+        gflops: e.flops / e.time_s / 1e9,
+        dram_bytes: e.dram_bytes,
+        l2_bytes: e.l2_bytes,
+        intensity: e.flops / e.dram_bytes,
     }
 }
 

@@ -1,13 +1,15 @@
 //! Trace-driven 2-D transpose simulation (Table V).
 //!
-//! Every warp's global read and write addresses are coalesced; the smem
-//! variant additionally pays bank passes for the staging tile (swizzled
-//! — conflict-free — in the LEGO version, per the generated kernel).
+//! The warp sweep — coalesced/strided global halves plus the staged
+//! variant's bank passes — lives in
+//! [`gpu_sim::trace::TransposeSweeps`], shared with the `lego-tune`
+//! oracle; this driver scores it against the *generated* staging layout
+//! (swizzled — conflict-free — in the LEGO version, per the kernel).
 
-use gpu_sim::{
-    achieved_bandwidth, bank_conflicts_elems, coalesce_elems, GpuConfig, KernelProfile, Pipeline,
-};
+use gpu_sim::trace::{TraceBuilder, TransposeSweeps};
+use gpu_sim::{score, Estimate, GpuConfig};
 use lego_codegen::cuda::transpose::{generate, TransposeVariant};
+use lego_core::Layout;
 
 /// Fraction of streaming bandwidth a transpose-pattern kernel achieves:
 /// alternating read/write streams to distinct regions pay DRAM
@@ -24,63 +26,34 @@ pub struct TransposeResult {
     pub dram_bytes: f64,
 }
 
+/// Scores one transpose configuration through the shared trace builder,
+/// returning the raw `gpu-sim` estimate (no bandwidth derate applied).
+pub fn estimate(n: i64, t: i64, variant: TransposeVariant, cfg: &GpuConfig) -> Estimate {
+    let staged = variant == TransposeVariant::SmemCoalesced;
+    let layout = if staged {
+        let k = generate(variant, t).expect("transpose kernels");
+        k.smem_layout.expect("smem variant")
+    } else {
+        // The unstaged kernel has no staging tile; the layout is unused
+        // by the trace.
+        Layout::identity([t, t]).expect("identity")
+    };
+    let workload = TransposeSweeps {
+        n,
+        t,
+        staged,
+        index_flops: 0.0,
+    }
+    .build(cfg);
+    score(&layout, &workload, cfg)
+}
+
 /// Simulates an `n×n` fp32 transpose with `t×t` tiles.
 pub fn simulate(n: i64, t: i64, variant: TransposeVariant, cfg: &GpuConfig) -> TransposeResult {
-    let k = generate(variant, t).expect("transpose kernels");
-    let mut moved = 0f64;
-    let mut smem_passes = 0f64;
-
-    // One representative tile per distinct address pattern is enough —
-    // every tile has identical coalescing. Trace one tile and scale.
-    let tiles = (n / t) * (n / t);
-    let warps_per_tile = (t * t / 32) as f64;
-
-    match variant {
-        TransposeVariant::Naive => {
-            // Warp lanes run along j: read row-major (i, j..j+32),
-            // write (j..j+32, i) i.e. stride-n elements.
-            let read_idx: Vec<i64> = (0..32).collect();
-            let write_idx: Vec<i64> = (0..32).map(|l| l * n).collect();
-            let r = coalesce_elems(&read_idx, 4, 0, cfg.sector_bytes);
-            let w = coalesce_elems(&write_idx, 4, 0, cfg.sector_bytes);
-            moved += (r.moved_bytes + w.moved_bytes) as f64 * warps_per_tile * tiles as f64;
-        }
-        TransposeVariant::SmemCoalesced => {
-            // Both global accesses row-contiguous.
-            let idx: Vec<i64> = (0..32).collect();
-            let g = coalesce_elems(&idx, 4, 0, cfg.sector_bytes);
-            moved += 2.0 * g.moved_bytes as f64 * warps_per_tile * tiles as f64;
-            // Shared staging: store (ty, tx) then load (tx, ty) through
-            // the generated (swizzled) layout.
-            let smem = k.smem_layout.as_ref().expect("smem variant");
-            for ty in 0..t.min(32) {
-                let store: Vec<i64> = (0..32)
-                    .map(|tx| smem.apply_c(&[ty, tx]).expect("in tile"))
-                    .collect();
-                let load: Vec<i64> = (0..32)
-                    .map(|tx| smem.apply_c(&[tx, ty]).expect("in tile"))
-                    .collect();
-                smem_passes += (bank_conflicts_elems(&store, 32).passes
-                    + bank_conflicts_elems(&load, 32).passes) as f64;
-            }
-            smem_passes *= tiles as f64;
-        }
-    }
-
-    let useful = 2.0 * (n * n * 4) as f64;
-    let profile = KernelProfile {
-        flops: 0.0,
-        dram_bytes: moved,
-        l2_bytes: moved,
-        smem_passes,
-        blocks: tiles as f64,
-        launches: 1.0,
-    };
-    let gbps = achieved_bandwidth(useful, &profile, cfg) / 1e9 * TRANSPOSE_BW_DERATE;
-    let _ = Pipeline::Fp32;
+    let e = estimate(n, t, variant, cfg);
     TransposeResult {
-        gbps,
-        dram_bytes: moved,
+        gbps: e.gbps() * TRANSPOSE_BW_DERATE,
+        dram_bytes: e.dram_bytes,
     }
 }
 

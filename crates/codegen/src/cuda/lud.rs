@@ -8,11 +8,12 @@
 //! an `(R·T)×(R·T)` LUD block. The layout binds both the loop bounds
 //! (`R`) and the per-point index expression.
 
-use lego_core::{sugar, Layout, OrderBy, Result};
+use lego_core::{sugar, Layout, LayoutError, OrderBy, Result};
 use lego_expr::printer::c;
 use lego_expr::{pick_cheaper, Expr, RangeEnv};
 
 use crate::template;
+use crate::tuning::TunedConfig;
 
 /// The generated LUD artifacts for one coarsening configuration.
 #[derive(Clone, Debug)]
@@ -95,6 +96,23 @@ pub fn generate(r: i64, t: i64) -> Result<LudKernel> {
     })
 }
 
+/// Instantiates the coarsened LUD internal kernel from a tuned
+/// configuration.
+///
+/// # Errors
+///
+/// Rejects non-LUD configs and propagates layout construction errors.
+pub fn from_tuned(config: &TunedConfig) -> Result<LudKernel> {
+    let TunedConfig::Lud { r, t } = *config else {
+        return Err(LayoutError::Unsupported(
+            "from_tuned(lud) requires a TunedConfig::Lud",
+        ));
+    };
+    let mut k = generate(r, t)?;
+    k.source = format!("// lego-tune: {config}\n{}", k.source);
+    Ok(k)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +155,20 @@ mod tests {
         let k = generate(4, 16).unwrap();
         assert!(!k.source.contains("{{"));
         assert!(k.source.contains("lud_internal_coarsened"));
+    }
+
+    #[test]
+    fn from_tuned_matches_generate() {
+        let tuned = from_tuned(&TunedConfig::Lud { r: 4, t: 16 }).unwrap();
+        let direct = generate(4, 16).unwrap();
+        assert_eq!(tuned.r, 4);
+        assert_eq!(tuned.t, 16);
+        assert_eq!(tuned.point_expr, direct.point_expr);
+        assert!(tuned.source.contains("lego-tune"));
+        assert!(from_tuned(&TunedConfig::Transpose {
+            t: 32,
+            staging: None
+        })
+        .is_err());
     }
 }

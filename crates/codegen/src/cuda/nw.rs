@@ -9,11 +9,12 @@
 //! in a small wrapper class; [`generate`] emits that wrapper with the
 //! LEGO-derived index expression.
 
-use lego_core::{perms::antidiag, Layout, OrderBy, Result};
+use lego_core::{perms::antidiag, Layout, LayoutError, OrderBy, Result};
 use lego_expr::printer::c;
 use lego_expr::{simplify, Expr, RangeEnv};
 
 use crate::template;
+use crate::tuning::{NwLayoutChoice, TunedConfig};
 
 /// The generated NW artifacts.
 #[derive(Clone, Debug)]
@@ -90,6 +91,49 @@ pub fn generate(b: i64) -> Result<NwKernel> {
     })
 }
 
+/// An NW kernel instantiated from a tuned configuration: the chosen
+/// buffer layout plus the wrapper source when the layout is non-trivial.
+#[derive(Clone, Debug)]
+pub struct TunedNw {
+    /// Block size.
+    pub b: i64,
+    /// The tuned buffer-layout choice.
+    pub choice: NwLayoutChoice,
+    /// The shared-buffer layout the kernel indexes through.
+    pub layout: Layout,
+    /// Generated CUDA source (the anti-diagonal wrapper, or the
+    /// baseline kernel comment for row-major).
+    pub source: String,
+}
+
+/// Instantiates an NW kernel from a tuned configuration.
+///
+/// # Errors
+///
+/// Rejects non-NW configs and propagates layout construction errors.
+pub fn from_tuned(config: &TunedConfig) -> Result<TunedNw> {
+    let TunedConfig::Nw { b, layout: choice } = *config else {
+        return Err(LayoutError::Unsupported(
+            "from_tuned(nw) requires a TunedConfig::Nw",
+        ));
+    };
+    let k = generate(b)?;
+    let header = format!("// lego-tune: {config}\n");
+    let (layout, source) = match choice {
+        NwLayoutChoice::Antidiag => (k.optimized, header + &k.source),
+        NwLayoutChoice::RowMajor => (
+            k.baseline,
+            header + "// Baseline row-major buffer: original Rodinia needle_cuda_shared_1.\n",
+        ),
+    };
+    Ok(TunedNw {
+        b,
+        choice,
+        layout,
+        source,
+    })
+}
+
 /// The logical shared-memory accesses of one NW wavefront step: on
 /// diagonal `d` (0-based, `d < b`), thread `t ∈ 0..=d` reads
 /// `(t, d-t)`-ish neighbors and writes `(t+1, d-t+1)`. Returns the
@@ -147,6 +191,32 @@ mod tests {
         for w in slots.windows(2) {
             assert!((w[0] - w[1]).abs() > 1);
         }
+    }
+
+    #[test]
+    fn from_tuned_picks_the_requested_layout() {
+        let opt = from_tuned(&TunedConfig::Nw {
+            b: 16,
+            layout: NwLayoutChoice::Antidiag,
+        })
+        .unwrap();
+        let base = from_tuned(&TunedConfig::Nw {
+            b: 16,
+            layout: NwLayoutChoice::RowMajor,
+        })
+        .unwrap();
+        let k = generate(16).unwrap();
+        // Anti-diagonal wavefronts contiguous, row-major strided.
+        let writes = wavefront_writes(16, 8);
+        let slot = |l: &lego_core::Layout, (i, j): (i64, i64)| l.apply_c(&[i, j]).unwrap();
+        assert_eq!(slot(&opt.layout, writes[0]), slot(&k.optimized, writes[0]));
+        assert_eq!(slot(&base.layout, writes[0]), slot(&k.baseline, writes[0]));
+        assert!(opt.source.contains("slot(int i, int j)"));
+        assert!(from_tuned(&TunedConfig::Transpose {
+            t: 32,
+            staging: None
+        })
+        .is_err());
     }
 
     #[test]

@@ -102,6 +102,26 @@ impl fmt::Display for StencilLayoutChoice {
     }
 }
 
+/// Which shared-memory buffer layout an NW wavefront kernel uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NwLayoutChoice {
+    /// Row-major `(b+1)×(b+1)` buffer (the Rodinia baseline; wavefront
+    /// accesses are strided and bank-conflicted).
+    RowMajor,
+    /// Anti-diagonal permutation (Fig. 7): every wavefront is
+    /// contiguous, hence conflict-free.
+    Antidiag,
+}
+
+impl fmt::Display for NwLayoutChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NwLayoutChoice::RowMajor => write!(f, "row-major"),
+            NwLayoutChoice::Antidiag => write!(f, "antidiag"),
+        }
+    }
+}
+
 /// Which row-wise Triton operator a [`TunedConfig::Rowwise`] addresses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RowwiseOp {
@@ -149,6 +169,22 @@ pub enum TunedConfig {
         /// Column block size (power of two).
         bs: i64,
     },
+    /// Needleman–Wunsch wavefront: the tuned knobs are the block size
+    /// and the shared-buffer layout.
+    Nw {
+        /// Block size (buffer side is `b + 1`).
+        b: i64,
+        /// Shared-buffer layout.
+        layout: NwLayoutChoice,
+    },
+    /// LU decomposition: the tuned knob is the thread-coarsening factor
+    /// `r` (LUD block side is `r·t`).
+    Lud {
+        /// Coarsening factor per dimension.
+        r: i64,
+        /// CUDA block side (16 in Rodinia).
+        t: i64,
+    },
 }
 
 impl fmt::Display for TunedConfig {
@@ -181,6 +217,12 @@ impl fmt::Display for TunedConfig {
                     RowwiseOp::LayernormBwd => "layernorm-bwd",
                 };
                 write!(f, "{name} BS={bs}")
+            }
+            TunedConfig::Nw { b, layout } => {
+                write!(f, "nw b={b} buffer={layout}")
+            }
+            TunedConfig::Lud { r, t } => {
+                write!(f, "lud block={}x{} (r={r})", r * t, r * t)
             }
         }
     }

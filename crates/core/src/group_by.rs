@@ -175,7 +175,7 @@ impl Layout {
 
     /// Symbolic `apply`: logical index expressions → physical offset
     /// expression (unsimplified; feed the result to
-    /// [`lego_expr::simplify`] with ranges from
+    /// [`lego_expr::simplify()`] with ranges from
     /// [`Layout::declare_index_bounds`]).
     ///
     /// # Errors

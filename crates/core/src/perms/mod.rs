@@ -14,7 +14,7 @@
 //! * [`block_cyclic`] — the ScaLAPACK/HPF distribution of §VI-e as a
 //!   permutation.
 //!
-//! All constructors return a [`Perm`] whose concrete `apply`/`inv` are
+//! All constructors return a [`Perm`](crate::Perm) whose concrete `apply`/`inv` are
 //! exact bijections (property-tested); symbolic forms are provided where
 //! the pattern is expressible in the expression language.
 

@@ -162,7 +162,7 @@ pub enum ExprKind {
 /// plus [`Expr::floor_div`], [`Expr::rem`], [`Expr::min`], [`Expr::max`],
 /// [`Expr::select`] and [`Expr::isqrt`] constructors. Construction performs
 /// light local canonicalization (constant folding, flattening); the full
-/// rewriting lives in [`crate::simplify`].
+/// rewriting lives in [`crate::simplify()`].
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Expr(pub(crate) Arc<ExprKind>);
 

@@ -8,9 +8,9 @@
 //!   `+ - * // % min max select isqrt` and Triton-style lane ranges;
 //! * range analysis ([`RangeEnv`]) seeded from layout-derived index bounds;
 //! * the seven division/modulo rewrite rules of the paper's Table II
-//!   ([`simplify`]), with side conditions discharged by a structural
+//!   ([`simplify()`]), with side conditions discharged by a structural
 //!   prover ([`prove`]) instead of an SMT solver;
-//! * expression expansion ([`expand`]) and the op-count cost model
+//! * expression expansion ([`expand()`]) and the op-count cost model
 //!   ([`cost`]) that picks expanded vs. unexpanded variants (NW vs. LUD);
 //! * printers for Python/Triton, C/CUDA, and MLIR (`printer`).
 //!

@@ -1,7 +1,8 @@
 //! GPU hardware configurations for the performance model.
 //!
 //! The default is an NVIDIA A100-80GB (SXM), the machine of the paper's
-//! evaluation (§V). Only parameters the model actually uses are included.
+//! evaluation (§V); [`h100`] is a Hopper-class sibling for cross-hardware
+//! tuning. Only parameters the model actually uses are included.
 
 /// Hardware parameters consumed by the timing model.
 #[derive(Clone, Debug, PartialEq)]
@@ -35,6 +36,12 @@ pub struct GpuConfig {
     pub dram_efficiency: f64,
     /// Fixed per-kernel-launch overhead in seconds.
     pub launch_overhead: f64,
+    /// Register file size per SM (32-bit registers).
+    pub regs_per_sm: usize,
+    /// Shared memory per SM in bytes (maximum carveout).
+    pub smem_per_sm: usize,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: usize,
 }
 
 /// The A100-80GB configuration used throughout the evaluation.
@@ -54,6 +61,34 @@ pub fn a100() -> GpuConfig {
         clock_hz: 1.41e9,
         dram_efficiency: 0.85,
         launch_overhead: 4.0e-6,
+        regs_per_sm: 64 * 1024,
+        smem_per_sm: 164 * 1024,
+        max_warps_per_sm: 64,
+    }
+}
+
+/// An H100-80GB (SXM5) configuration: more SMs, faster HBM3, a larger
+/// L2 and shared-memory carveout than the A100 — the same register file
+/// and warp cap, so occupancy limits bind differently across the two.
+pub fn h100() -> GpuConfig {
+    GpuConfig {
+        name: "NVIDIA H100-SXM5-80GB",
+        sm_count: 132,
+        warp_size: 32,
+        smem_banks: 32,
+        bank_bytes: 4,
+        dram_bw: 3.35e12, // 3350 GB/s HBM3
+        l2_bw: 7.5e12,
+        l2_bytes: 50 * 1024 * 1024,
+        sector_bytes: 32,
+        fp32_flops: 66.9e12,
+        fp16_tc_flops: 989.4e12, // dense (no sparsity)
+        clock_hz: 1.98e9,
+        dram_efficiency: 0.85,
+        launch_overhead: 4.0e-6,
+        regs_per_sm: 64 * 1024,
+        smem_per_sm: 228 * 1024,
+        max_warps_per_sm: 64,
     }
 }
 
@@ -79,5 +114,17 @@ mod tests {
     #[test]
     fn default_is_a100() {
         assert_eq!(GpuConfig::default(), a100());
+    }
+
+    #[test]
+    fn h100_outclasses_a100_except_occupancy_limits() {
+        let (a, h) = (a100(), h100());
+        assert!(h.sm_count > a.sm_count);
+        assert!(h.dram_bw > a.dram_bw);
+        assert!(h.smem_per_sm > a.smem_per_sm);
+        // Same register file and warp cap: register-bound kernels
+        // occupy both generations identically.
+        assert_eq!(h.regs_per_sm, a.regs_per_sm);
+        assert_eq!(h.max_warps_per_sm, a.max_warps_per_sm);
     }
 }

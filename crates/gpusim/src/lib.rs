@@ -9,11 +9,15 @@
 //! * [`smem`] — shared-memory bank-conflict serialization (NW);
 //! * [`cache`] / [`tilecache`] — LRU L2 models at element and tile
 //!   granularity (stencils, matmul grouping);
-//! * [`timing`] — the bulk-synchronous roofline timing model;
+//! * [`timing`] — the bulk-synchronous roofline timing model with a
+//!   per-SM occupancy term;
 //! * [`roofline`] — Fig. 13-style attainable-performance curves;
-//! * [`config`] — A100 hardware parameters;
-//! * [`score`] — the one-call `score(layout, workload, cfg)` oracle the
-//!   `lego-tune` autotuner searches with, plus parallel batch scoring.
+//! * [`config`] — A100 and H100 hardware parameters;
+//! * [`mod@score`] — the one-call `score(layout, workload, cfg)` oracle the
+//!   `lego-tune` autotuner searches with, plus parallel batch scoring;
+//! * [`trace`] — the shared workload trace builders that both the
+//!   `lego-bench` paper reproductions and the `lego-tune` search space
+//!   consume, so their estimates cannot drift apart.
 //!
 //! Layouts change *addresses*; this model turns address streams into
 //! sectors, conflicts, hits, and finally time. Absolute times are
@@ -41,14 +45,18 @@ pub mod score;
 pub mod smem;
 pub mod tilecache;
 pub mod timing;
+pub mod trace;
 
 pub use cache::{Cache, CacheStats};
 pub use coalesce::{coalesce_elems, coalesce_warp, CoalesceResult};
-pub use config::{a100, GpuConfig};
+pub use config::{a100, h100, GpuConfig};
 pub use roofline::{attainable, ridge, RooflinePoint};
-pub use score::{score, score_batch, Estimate, L2Model, Phase, ScoreJob, Workload};
+pub use score::{score, score_batch, BlockResources, Estimate, L2Model, Phase, ScoreJob, Workload};
 pub use smem::{bank_conflicts, bank_conflicts_elems, BankConflictResult};
 pub use tilecache::TileCache;
 pub use timing::{
     achieved_bandwidth, achieved_flops, estimate, KernelProfile, Pipeline, TimeEstimate,
+};
+pub use trace::{
+    LaneAxis, LudPanels, MatmulWaves, NwWavefront, StencilWalk, TraceBuilder, TransposeSweeps,
 };

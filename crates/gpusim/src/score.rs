@@ -22,7 +22,9 @@ use crate::coalesce::coalesce_elems;
 use crate::config::GpuConfig;
 use crate::smem::bank_conflicts_elems;
 use crate::tilecache::TileCache;
-use crate::timing::{estimate, KernelProfile, Pipeline, TimeEstimate};
+use crate::timing::{
+    estimate, occupancy_derate, KernelProfile, Pipeline, TimeEstimate, ISSUE_SAT_OCCUPANCY,
+};
 
 /// Generator of warp-level element-index groups: called with the layout
 /// under evaluation and a sink receiving one warp's flat element indices
@@ -71,6 +73,28 @@ pub enum Phase {
         /// How many times the representative trace repeats.
         scale: f64,
     },
+    /// Pre-aggregated traffic charged directly to the DRAM and L2
+    /// terms, without cache filtering — for workloads (LUD panels)
+    /// whose reuse is modeled analytically at panel granularity.
+    Streamed {
+        /// Bytes charged to the DRAM term.
+        dram_bytes: f64,
+        /// Bytes charged to the L2 term.
+        l2_bytes: f64,
+    },
+}
+
+/// Per-thread-block resource footprint of a workload's kernel — feeds
+/// the occupancy term of [`crate::timing::estimate`]. The zero default
+/// means "unspecified": full occupancy, no derating.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BlockResources {
+    /// Warps per thread block.
+    pub warps_per_block: f64,
+    /// Registers allocated per thread block.
+    pub regs_per_block: f64,
+    /// Shared memory per thread block in bytes.
+    pub smem_per_block: f64,
 }
 
 /// A workload description: fixed logical structure, layout left free.
@@ -96,6 +120,8 @@ pub struct Workload {
     /// Sector-granular L2 for [`Phase::Global`] traffic; `None` sends
     /// all coalesced traffic to DRAM (streaming kernels).
     pub l2: Option<L2Model>,
+    /// Per-block resource footprint for the occupancy model.
+    pub resources: BlockResources,
     /// The traffic phases.
     pub phases: Vec<Phase>,
 }
@@ -201,6 +227,13 @@ pub fn score(layout: &Layout, workload: &Workload, cfg: &GpuConfig) -> Estimate 
                 hits += tiles.hits();
                 misses += tiles.misses();
             }
+            Phase::Streamed {
+                dram_bytes: d,
+                l2_bytes: l,
+            } => {
+                dram_bytes += d;
+                l2_bytes += l;
+            }
         }
     }
 
@@ -211,6 +244,9 @@ pub fn score(layout: &Layout, workload: &Workload, cfg: &GpuConfig) -> Estimate 
         smem_passes,
         blocks: workload.blocks,
         launches: workload.launches,
+        warps_per_block: workload.resources.warps_per_block,
+        regs_per_block: workload.resources.regs_per_block,
+        smem_per_block: workload.resources.smem_per_block,
     };
     let mut t = estimate(&profile, workload.pipeline, cfg);
     if workload.wave_quantized && workload.blocks > 0.0 {
@@ -219,7 +255,8 @@ pub fn score(layout: &Layout, workload: &Workload, cfg: &GpuConfig) -> Estimate 
             Pipeline::Fp32 => cfg.fp32_flops,
             Pipeline::TensorFp16 => cfg.fp16_tc_flops,
         };
-        let per_sm = peak / cfg.sm_count as f64;
+        let issue = occupancy_derate(profile.occupancy(cfg), ISSUE_SAT_OCCUPANCY, cfg);
+        let per_sm = peak * issue / cfg.sm_count as f64;
         let wave_time = workload.flops / workload.blocks / per_sm;
         let waves = (workload.blocks / cfg.sm_count as f64).ceil();
         t.compute_s = waves * wave_time;
@@ -292,6 +329,7 @@ mod tests {
             launches: 1.0,
             wave_quantized: false,
             l2: None,
+            resources: BlockResources::default(),
             phases: vec![Phase::Global {
                 trace: Box::new(move |layout, sink| {
                     let idx: Vec<i64> = (0..32)
@@ -346,6 +384,7 @@ mod tests {
             launches: 1.0,
             wave_quantized: false,
             l2: None,
+            resources: BlockResources::default(),
             phases: vec![Phase::Shared {
                 trace: Box::new(|layout, sink| {
                     let idx: Vec<i64> = (0..32).map(|r| layout.apply_c(&[r, 0]).unwrap()).collect();

@@ -1,4 +1,4 @@
-//! The roofline-style timing model.
+//! The roofline-style timing model, with a per-SM occupancy term.
 //!
 //! A kernel's runtime is estimated as the maximum of its bottleneck
 //! times (compute, DRAM traffic, L2 traffic, shared-memory serialization)
@@ -6,8 +6,24 @@
 //! experiments compare *layouts*, so what matters is that each layout's
 //! traffic and conflict counts feed these terms; absolute constants only
 //! scale the axes.
+//!
+//! When a profile declares its per-block resources (warps, registers,
+//! shared memory), [`KernelProfile::occupancy`] computes the resident
+//! warps per SM against the [`GpuConfig`] limits and [`estimate`]
+//! derates achievable bandwidth and issue rate below the saturation
+//! occupancies — so register/smem-hungry tiles that cap residency pay
+//! for the latency they can no longer hide.
 
 use crate::config::GpuConfig;
+
+/// Fraction of the warp cap at which memory latency is fully hidden;
+/// below it, achievable DRAM/L2 bandwidth scales linearly with
+/// occupancy (a standard little's-law approximation).
+pub const MEM_SAT_OCCUPANCY: f64 = 0.25;
+
+/// Fraction of the warp cap at which the issue pipelines (compute and
+/// shared-memory access) saturate.
+pub const ISSUE_SAT_OCCUPANCY: f64 = 0.5;
 
 /// Which compute pipeline a kernel saturates.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -33,10 +49,18 @@ pub struct KernelProfile {
     pub blocks: f64,
     /// Number of kernel launches this profile covers.
     pub launches: f64,
+    /// Warps per thread block (`0` = unspecified: full occupancy).
+    pub warps_per_block: f64,
+    /// Registers allocated per thread block (`0` = no register limit).
+    pub regs_per_block: f64,
+    /// Shared memory per thread block in bytes (`0` = no smem limit).
+    pub smem_per_block: f64,
 }
 
 impl KernelProfile {
     /// Merges another profile into this one (e.g. per-block profiles).
+    /// Traffic and work are additive; per-block resources take the
+    /// maximum (the worst-occupancy kernel bounds the merged launch).
     pub fn merge(&mut self, other: &KernelProfile) {
         self.flops += other.flops;
         self.dram_bytes += other.dram_bytes;
@@ -44,6 +68,34 @@ impl KernelProfile {
         self.smem_passes += other.smem_passes;
         self.blocks += other.blocks;
         self.launches += other.launches;
+        self.warps_per_block = self.warps_per_block.max(other.warps_per_block);
+        self.regs_per_block = self.regs_per_block.max(other.regs_per_block);
+        self.smem_per_block = self.smem_per_block.max(other.smem_per_block);
+    }
+
+    /// Resident warps per SM under `cfg`'s occupancy limits: how many
+    /// whole blocks fit the register file, the shared-memory carveout,
+    /// and the warp cap, times warps per block. Returns the warp cap
+    /// when the profile declares no per-block resources.
+    pub fn resident_warps(&self, cfg: &GpuConfig) -> f64 {
+        let cap = cfg.max_warps_per_sm as f64;
+        if self.warps_per_block <= 0.0 {
+            return cap;
+        }
+        let mut blocks = cap / self.warps_per_block;
+        if self.regs_per_block > 0.0 {
+            blocks = blocks.min(cfg.regs_per_sm as f64 / self.regs_per_block);
+        }
+        if self.smem_per_block > 0.0 {
+            blocks = blocks.min(cfg.smem_per_sm as f64 / self.smem_per_block);
+        }
+        (blocks.floor() * self.warps_per_block).min(cap)
+    }
+
+    /// Occupancy fraction: resident warps over the hardware warp cap,
+    /// in `[0, 1]`. Zero means the block does not fit the SM at all.
+    pub fn occupancy(&self, cfg: &GpuConfig) -> f64 {
+        self.resident_warps(cfg) / cfg.max_warps_per_sm as f64
     }
 
     /// Arithmetic intensity against DRAM traffic (FLOP/byte) — the
@@ -73,20 +125,35 @@ pub struct TimeEstimate {
     pub total_s: f64,
 }
 
+/// Derate factor for a resource that saturates at occupancy `sat`:
+/// linear below saturation, flat at `1.0` above it. An occupancy of
+/// zero (block does not fit) is priced as a single resident warp —
+/// terrible but finite, so the tuner can still rank such candidates.
+pub fn occupancy_derate(occ: f64, sat: f64, cfg: &GpuConfig) -> f64 {
+    let floor = 1.0 / cfg.max_warps_per_sm as f64;
+    (occ.max(floor) / sat).min(1.0)
+}
+
 /// Estimates the runtime of a kernel profile on `cfg`.
 ///
 /// Shared-memory passes are serviced at one pass per SM per cycle
-/// (128 bytes/pass), aggregated over all SMs.
+/// (128 bytes/pass), aggregated over all SMs. When the profile declares
+/// per-block resources, achievable bandwidth scales with
+/// `occupancy / MEM_SAT_OCCUPANCY` and issue rate (compute + smem) with
+/// `occupancy / ISSUE_SAT_OCCUPANCY`, both capped at 1.
 pub fn estimate(profile: &KernelProfile, pipeline: Pipeline, cfg: &GpuConfig) -> TimeEstimate {
     let peak = match pipeline {
         Pipeline::Fp32 => cfg.fp32_flops,
         Pipeline::TensorFp16 => cfg.fp16_tc_flops,
     };
-    let compute_s = profile.flops / peak;
-    let dram_s = profile.dram_bytes / (cfg.dram_bw * cfg.dram_efficiency);
-    let l2_s = profile.l2_bytes / cfg.l2_bw;
+    let occ = profile.occupancy(cfg);
+    let mem = occupancy_derate(occ, MEM_SAT_OCCUPANCY, cfg);
+    let issue = occupancy_derate(occ, ISSUE_SAT_OCCUPANCY, cfg);
+    let compute_s = profile.flops / (peak * issue);
+    let dram_s = profile.dram_bytes / (cfg.dram_bw * cfg.dram_efficiency * mem);
+    let l2_s = profile.l2_bytes / (cfg.l2_bw * mem);
     // One warp smem pass per SM per cycle across all SMs.
-    let smem_s = profile.smem_passes / (cfg.sm_count as f64 * cfg.clock_hz);
+    let smem_s = profile.smem_passes / (cfg.sm_count as f64 * cfg.clock_hz * issue);
     let overhead_s = profile.launches.max(1.0) * cfg.launch_overhead;
     let total_s = compute_s.max(dram_s).max(l2_s).max(smem_s) + overhead_s;
     TimeEstimate {
@@ -178,5 +245,85 @@ mod tests {
             ..Default::default()
         };
         assert!((p.arithmetic_intensity() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unspecified_resources_run_at_full_occupancy() {
+        let cfg = a100();
+        let p = KernelProfile::default();
+        assert_eq!(p.occupancy(&cfg), 1.0);
+        assert_eq!(p.resident_warps(&cfg), cfg.max_warps_per_sm as f64);
+    }
+
+    #[test]
+    fn occupancy_respects_each_limit() {
+        let cfg = a100();
+        // Warp-cap bound: 8-warp blocks, no other limits -> 8 blocks.
+        let p = KernelProfile {
+            warps_per_block: 8.0,
+            ..Default::default()
+        };
+        assert_eq!(p.resident_warps(&cfg), 64.0);
+        // Smem bound: 48 KiB blocks -> 3 blocks of 8 warps on A100.
+        let p = KernelProfile {
+            warps_per_block: 8.0,
+            smem_per_block: 48.0 * 1024.0,
+            ..Default::default()
+        };
+        assert_eq!(p.resident_warps(&cfg), 24.0);
+        // The H100's larger carveout fits one more block.
+        assert_eq!(p.resident_warps(&crate::config::h100()), 32.0);
+        // Register bound: 32k regs per block -> 2 blocks.
+        let p = KernelProfile {
+            warps_per_block: 8.0,
+            regs_per_block: 32.0 * 1024.0,
+            ..Default::default()
+        };
+        assert_eq!(p.resident_warps(&cfg), 16.0);
+    }
+
+    #[test]
+    fn low_occupancy_slows_memory_bound_kernels() {
+        let cfg = a100();
+        let full = KernelProfile {
+            dram_bytes: 1e9,
+            warps_per_block: 8.0,
+            ..Default::default()
+        };
+        let starved = KernelProfile {
+            // One 4-warp block resident: occupancy 1/16, below MEM_SAT.
+            smem_per_block: 160.0 * 1024.0,
+            warps_per_block: 4.0,
+            ..full
+        };
+        let t_full = estimate(&full, Pipeline::Fp32, &cfg);
+        let t_starved = estimate(&starved, Pipeline::Fp32, &cfg);
+        assert!(t_starved.dram_s > 3.0 * t_full.dram_s);
+    }
+
+    #[test]
+    fn unfittable_block_is_finite_but_terrible() {
+        let cfg = a100();
+        let p = KernelProfile {
+            flops: 1e12,
+            warps_per_block: 8.0,
+            smem_per_block: 1024.0 * 1024.0, // exceeds any SM
+            ..Default::default()
+        };
+        assert_eq!(p.occupancy(&cfg), 0.0);
+        let t = estimate(&p, Pipeline::Fp32, &cfg);
+        assert!(t.total_s.is_finite());
+        assert!(
+            t.compute_s
+                > estimate(
+                    &KernelProfile {
+                        smem_per_block: 0.0,
+                        ..p
+                    },
+                    Pipeline::Fp32,
+                    &cfg
+                )
+                .compute_s
+        );
     }
 }

@@ -4,6 +4,11 @@
 //! repeated runs skip the search entirely. The file is a single JSON
 //! document; floats round-trip bit-exactly (see [`crate::json`]), so a
 //! cached [`Estimate`] compares equal to the freshly computed one.
+//!
+//! The document carries a schema version ([`CACHE_SCHEMA_VERSION`]):
+//! documents whose version doesn't match the current one are treated as
+//! empty, so winners cached under an older trace/occupancy model can
+//! never be served stale.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -12,11 +17,20 @@ use gpu_sim::score::Estimate;
 use gpu_sim::timing::TimeEstimate;
 use gpu_sim::GpuConfig;
 use lego_codegen::tuning::{
-    RowwiseOp, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
+    NwLayoutChoice, RowwiseOp, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
 };
 use lego_expr::Variant;
 
 use crate::json::Json;
+
+/// Version of the cache schema *and* of the estimate semantics behind
+/// it. Bump whenever the trace builders, the timing model, or the
+/// on-disk shape change incompatibly; mismatched documents are
+/// discarded wholesale (a cache miss, not an error).
+///
+/// History: 1 = original per-crate trace loops; 2 = shared
+/// `gpu_sim::trace` builders + occupancy-aware timing.
+pub const CACHE_SCHEMA_VERSION: i64 = 2;
 
 /// One cached tuning outcome.
 #[derive(Clone, Debug, PartialEq)]
@@ -46,8 +60,15 @@ pub struct TuningCache {
 /// parameters guard against stale entries after config changes.
 pub fn cache_key(workload_name: &str, gpu: &GpuConfig) -> String {
     format!(
-        "{workload_name}|{}|sm={}|l2={}|bw={:e}|sec={}",
-        gpu.name, gpu.sm_count, gpu.l2_bytes, gpu.dram_bw, gpu.sector_bytes
+        "{workload_name}|{}|sm={}|l2={}|bw={:e}|sec={}|regs={}|smem={}|warps={}",
+        gpu.name,
+        gpu.sm_count,
+        gpu.l2_bytes,
+        gpu.dram_bw,
+        gpu.sector_bytes,
+        gpu.regs_per_sm,
+        gpu.smem_per_sm,
+        gpu.max_warps_per_sm
     )
 }
 
@@ -67,7 +88,13 @@ impl TuningCache {
             return Json::Obj(vec![]);
         };
         match Json::parse(&text) {
-            Ok(doc) => doc,
+            // A document written under a different schema version (or
+            // with no version at all) is invalidated wholesale: the
+            // estimates it stores were produced by a different model.
+            Ok(doc) => match doc.get("version").and_then(Json::as_i64) {
+                Some(CACHE_SCHEMA_VERSION) => doc,
+                _ => Json::Obj(vec![]),
+            },
             // A corrupt cache is a cache miss, not a failure.
             Err(_) => Json::Obj(vec![]),
         }
@@ -97,7 +124,10 @@ impl TuningCache {
             Some((_, slot)) => *slot = rendered,
             None => entries.push((key.to_string(), rendered)),
         }
-        let doc = Json::obj([("version", Json::Int(1)), ("entries", Json::Obj(entries))]);
+        let doc = Json::obj([
+            ("version", Json::Int(CACHE_SCHEMA_VERSION)),
+            ("entries", Json::Obj(entries)),
+        ]);
         if let Some(dir) = self.path.parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir)?;
@@ -215,6 +245,22 @@ pub fn config_to_json(c: &TunedConfig) -> Json {
                 ("bs", Json::Int(bs)),
             ])
         }
+        TunedConfig::Nw { b, layout } => {
+            let name = match layout {
+                NwLayoutChoice::RowMajor => "row-major",
+                NwLayoutChoice::Antidiag => "antidiag",
+            };
+            Json::obj([
+                ("kind", Json::Str("nw".into())),
+                ("b", Json::Int(b)),
+                ("layout", Json::Str(name.into())),
+            ])
+        }
+        TunedConfig::Lud { r, t } => Json::obj([
+            ("kind", Json::Str("lud".into())),
+            ("r", Json::Int(r)),
+            ("t", Json::Int(t)),
+        ]),
     }
 }
 
@@ -277,6 +323,18 @@ pub fn config_from_json(j: &Json) -> Option<TunedConfig> {
             };
             Some(TunedConfig::Rowwise { op, bs: i("bs")? })
         }
+        "nw" => {
+            let layout = match s("layout")? {
+                "row-major" => NwLayoutChoice::RowMajor,
+                "antidiag" => NwLayoutChoice::Antidiag,
+                _ => return None,
+            };
+            Some(TunedConfig::Nw { b: i("b")?, layout })
+        }
+        "lud" => Some(TunedConfig::Lud {
+            r: i("r")?,
+            t: i("t")?,
+        }),
         _ => None,
     }
 }
@@ -385,9 +443,72 @@ mod tests {
                 op: RowwiseOp::Softmax,
                 bs: 1024,
             },
+            TunedConfig::Nw {
+                b: 64,
+                layout: NwLayoutChoice::Antidiag,
+            },
+            TunedConfig::Nw {
+                b: 16,
+                layout: NwLayoutChoice::RowMajor,
+            },
+            TunedConfig::Lud { r: 4, t: 16 },
         ];
         for c in configs {
             assert_eq!(config_from_json(&config_to_json(&c)), Some(c));
         }
+    }
+
+    #[test]
+    fn cache_key_separates_occupancy_limits() {
+        // The occupancy limits decide winners, so a config differing
+        // only in them must not share a key with the stock A100.
+        let a = gpu_sim::a100();
+        let mut tweaked = a.clone();
+        tweaked.smem_per_sm = gpu_sim::h100().smem_per_sm;
+        assert_ne!(
+            cache_key("nw(n=3584,b=16)", &a),
+            cache_key("nw(n=3584,b=16)", &tweaked)
+        );
+    }
+
+    #[test]
+    fn mismatched_schema_version_invalidates_the_document() {
+        let dir = std::env::temp_dir().join(format!("lego-cache-ver-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("versioned.json");
+        let cache = TuningCache::new(&path);
+        let entry = CachedTuning {
+            config: TunedConfig::Lud { r: 2, t: 16 },
+            expr_variant: None,
+            index_ops: None,
+            naive: sample_estimate(1.0),
+            tuned: sample_estimate(0.5),
+            evaluated: 4,
+        };
+        cache.store("k", &entry).unwrap();
+        assert_eq!(cache.lookup("k"), Some(entry.clone()));
+
+        // Rewrite the document under an older version: every entry is
+        // invalidated, and the next store starts a fresh document.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stale = text.replacen(
+            &format!("\"version\": {CACHE_SCHEMA_VERSION}"),
+            "\"version\": 1",
+            1,
+        );
+        assert_ne!(text, stale, "version field must be present");
+        std::fs::write(&path, stale).unwrap();
+        assert_eq!(cache.lookup("k"), None);
+
+        // A document with no version at all is also discarded.
+        std::fs::write(&path, "{\"entries\": {}}").unwrap();
+        assert_eq!(cache.lookup("k"), None);
+
+        cache.store("k2", &entry).unwrap();
+        assert_eq!(cache.lookup("k2"), Some(entry));
+        assert_eq!(cache.lookup("k"), None, "stale entries dropped on store");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
     }
 }

@@ -9,7 +9,7 @@
 //!    expanded-vs-unexpanded expression variants of the §IV-A cost
 //!    model ([`lego_expr::cost`]);
 //! 2. scores every candidate in parallel through `gpu-sim`'s
-//!    [`gpu_sim::score`] oracle (coalescing + bank conflicts + cache
+//!    [`gpu_sim::score()`] oracle (coalescing + bank conflicts + cache
 //!    filtering + roofline timing in one call);
 //! 3. persists the winner in a JSON [`TuningCache`] keyed by
 //!    `(workload, problem size, hardware config)`, so repeated runs
@@ -36,10 +36,12 @@ pub mod json;
 pub mod space;
 pub mod tuner;
 
-pub use cache::{cache_key, CachedTuning, TuningCache};
+pub use cache::{cache_key, CachedTuning, TuningCache, CACHE_SCHEMA_VERSION};
 pub use json::Json;
 pub use lego_codegen::tuning::{
-    RowwiseOp, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
+    NwLayoutChoice, RowwiseOp, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
 };
-pub use space::{build_layout, build_workload, Candidate, SearchSpace, WorkloadKind};
+pub use space::{
+    build_layout, build_workload, stencil_block, Candidate, SearchSpace, WorkloadKind,
+};
 pub use tuner::{TuneError, TuneResult, Tuner};

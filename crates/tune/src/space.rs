@@ -6,12 +6,23 @@
 //! Every space lists the paper's hand-picked configuration first, so
 //! the tuned result can never regress the shipped default — the search
 //! is free to do better, never worse.
+//!
+//! Trace construction lives in [`gpu_sim::trace`]: this module only
+//! maps a [`TunedConfig`] onto the shared builders (plus the tuner-side
+//! index-expression flop term), so the estimate the tuner ranks is
+//! produced by literally the same code path as the paper tables in
+//! `lego-bench`.
 
-use gpu_sim::score::{AddrGen, L2Model, Phase, TouchGen, Workload};
-use gpu_sim::{GpuConfig, Pipeline};
+use gpu_sim::score::Workload;
+use gpu_sim::trace::{
+    LaneAxis, LudPanels, MatmulWaves, NwWavefront, StencilWalk, TraceBuilder, TransposeSweeps,
+};
+use gpu_sim::GpuConfig;
 use lego_codegen::cuda::stencil::StencilShape;
 use lego_codegen::cuda::transpose::staging_perm;
-use lego_codegen::tuning::{ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig};
+use lego_codegen::tuning::{
+    NwLayoutChoice, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
+};
 use lego_core::brick::{brick3d, row_major3d};
 use lego_core::perms::{block_cyclic_rows, morton};
 use lego_core::{sugar, Layout, OrderBy, Result};
@@ -37,6 +48,20 @@ pub enum WorkloadKind {
         /// Domain side length.
         n: i64,
     },
+    /// Needleman–Wunsch wavefront over an `n×n` scoring matrix.
+    Nw {
+        /// Scoring-matrix side length.
+        n: i64,
+        /// Baseline block size (the Rodinia default, 16).
+        b: i64,
+    },
+    /// LU decomposition of an `n×n` matrix.
+    Lud {
+        /// Matrix side length.
+        n: i64,
+        /// Baseline LUD block side = CUDA block side (16 in Rodinia).
+        bs: i64,
+    },
 }
 
 impl WorkloadKind {
@@ -48,6 +73,8 @@ impl WorkloadKind {
             WorkloadKind::Stencil { shape, n } => {
                 format!("stencil({},n={n})", shape.name())
             }
+            WorkloadKind::Nw { n, b } => format!("nw(n={n},b={b})"),
+            WorkloadKind::Lud { n, bs } => format!("lud(n={n},bs={bs})"),
         }
     }
 
@@ -83,6 +110,11 @@ impl WorkloadKind {
                 n: *n,
                 layout: StencilLayoutChoice::RowMajorY,
             },
+            WorkloadKind::Nw { b, .. } => TunedConfig::Nw {
+                b: *b,
+                layout: NwLayoutChoice::RowMajor,
+            },
+            WorkloadKind::Lud { bs, .. } => TunedConfig::Lud { r: 1, t: *bs },
         }
     }
 }
@@ -206,6 +238,26 @@ impl SearchSpace {
                     }
                 }
             }
+            WorkloadKind::Nw { n, .. } => {
+                // Block sizes trade launch count against occupancy: the
+                // (b+1)² scoring buffer is the smem footprint, so the
+                // largest blocks only fit hardware with a big carveout.
+                for b in [16i64, 32, 64, 112, 128, 224] {
+                    if n % b != 0 {
+                        continue;
+                    }
+                    for layout in [NwLayoutChoice::RowMajor, NwLayoutChoice::Antidiag] {
+                        push(TunedConfig::Nw { b, layout }, &mut configs);
+                    }
+                }
+            }
+            WorkloadKind::Lud { n, bs } => {
+                for r in [1i64, 2, 4, 8] {
+                    if n % (r * bs) == 0 {
+                        push(TunedConfig::Lud { r, t: bs }, &mut configs);
+                    }
+                }
+            }
         }
         let candidates = configs
             .into_iter()
@@ -224,7 +276,8 @@ impl SearchSpace {
 
 /// Builds the concrete layout a candidate configuration describes: the
 /// pid→tile schedule for matmul, the smem staging tile for transpose,
-/// the 3-D data layout for stencils.
+/// the 3-D data layout for stencils, the shared-buffer layout for NW,
+/// and the coarsened thread layout for LUD.
 ///
 /// # Errors
 ///
@@ -269,6 +322,19 @@ pub fn build_layout(kind: &WorkloadKind, config: &TunedConfig) -> Result<Layout>
             StencilLayoutChoice::RowMajorY | StencilLayoutChoice::RowMajorZ => row_major3d(*n),
             StencilLayoutChoice::Brick { b } => brick3d(*n, *b),
         },
+        // NW and LUD layouts come from the generators themselves, so
+        // the layout the tuner ranks is by construction the layout
+        // `from_tuned` will emit a kernel for.
+        (WorkloadKind::Nw { .. }, TunedConfig::Nw { b, layout }) => {
+            let k = lego_codegen::cuda::nw::generate(*b)?;
+            Ok(match layout {
+                NwLayoutChoice::RowMajor => k.baseline,
+                NwLayoutChoice::Antidiag => k.optimized,
+            })
+        }
+        (WorkloadKind::Lud { .. }, TunedConfig::Lud { r, t }) => {
+            Ok(lego_codegen::cuda::lud::generate(*r, *t)?.layout)
+        }
         _ => Err(lego_core::LayoutError::Unsupported(
             "workload kind and config disagree",
         )),
@@ -340,6 +406,32 @@ fn symbolic_exprs(kind: &WorkloadKind, config: &TunedConfig) -> Option<(Vec<Expr
                 .ok()?;
             Some((vec![off], env))
         }
+        (WorkloadKind::Nw { .. }, TunedConfig::Nw { b, .. }) => {
+            let layout = build_layout(kind, config).ok()?;
+            let mut env = RangeEnv::new();
+            for s in ["i", "j"] {
+                env.set_bounds(s, Expr::zero(), Expr::val(b + 1));
+            }
+            let slot = layout.apply_sym(&[Expr::sym("i"), Expr::sym("j")]).ok()?;
+            Some((vec![slot], env))
+        }
+        (WorkloadKind::Lud { .. }, TunedConfig::Lud { r, t }) => {
+            let layout = build_layout(kind, config).ok()?;
+            let mut env = RangeEnv::new();
+            env.set_bounds("ri", Expr::zero(), Expr::val(*r));
+            env.set_bounds("rj", Expr::zero(), Expr::val(*r));
+            env.set_bounds("ti", Expr::zero(), Expr::val(*t));
+            env.set_bounds("tj", Expr::zero(), Expr::val(*t));
+            let point = layout
+                .apply_sym(&[
+                    Expr::sym("ri"),
+                    Expr::sym("rj"),
+                    Expr::sym("ti"),
+                    Expr::sym("tj"),
+                ])
+                .ok()?;
+            Some((vec![point], env))
+        }
         _ => None,
     }
 }
@@ -354,212 +446,83 @@ fn index_evals(kind: &WorkloadKind, config: &TunedConfig) -> f64 {
         }
         (WorkloadKind::Transpose { n }, _) => (n * n) as f64,
         (WorkloadKind::Stencil { shape, n }, _) => shape.points() as f64 * (n * n * n) as f64,
+        // Four buffer accesses per cell update.
+        (WorkloadKind::Nw { n, .. }, _) => 4.0 * (n * n) as f64,
+        // Point updates of the internal kernel across all factorization
+        // steps, ~n²·steps/3.
+        (WorkloadKind::Lud { n, .. }, TunedConfig::Lud { r, t }) => {
+            (n * n) as f64 * (n / (r * t)) as f64 / 3.0
+        }
         _ => 0.0,
     }
 }
 
-/// Builds the `gpu-sim` workload trace for one candidate.
-///
-/// The returned [`Workload`] holds closures that replay the kernel's
-/// logical access pattern through whatever layout is scored against it.
+/// Builds the `gpu-sim` workload trace for one candidate by
+/// instantiating the matching [`gpu_sim::trace`] builder — the same
+/// builders the `lego-bench` drivers replay — with the tuner's
+/// index-expression flop term attached.
 pub fn build_workload(kind: &WorkloadKind, candidate: &Candidate, gpu: &GpuConfig) -> Workload {
     let index_flops =
         candidate.index_ops.unwrap_or(0) as f64 * index_evals(kind, &candidate.config);
     match (*kind, candidate.config) {
-        (WorkloadKind::Matmul { n }, TunedConfig::Matmul { bm, bn, bk, .. }) => {
-            let elem = 2i64; // fp16
-            let (nt_m, nt_n) = (n / bm, n / bn);
-            let ksteps = n / bk;
-            let nblocks = nt_m * nt_n;
-            let wave = gpu.sm_count as i64;
-            let a_bytes = (bm * bk * elem) as usize;
-            let b_bytes = (bk * bn * elem) as usize;
-            let trace: TouchGen = Box::new(move |layout, sink| {
-                let mut pid0 = 0i64;
-                while pid0 < nblocks {
-                    let pids: Vec<(i64, i64)> = (pid0..(pid0 + wave).min(nblocks))
-                        .map(|pid| {
-                            let v = layout.inv_c(pid).expect("pid in range");
-                            (v[0], v[1])
-                        })
-                        .collect();
-                    for kk in 0..ksteps {
-                        for &(pm, pn) in &pids {
-                            sink((pm * ksteps + kk) << 1, a_bytes);
-                            sink(((kk * nt_n + pn) << 1) | 1, b_bytes);
-                        }
-                    }
-                    pid0 += wave;
-                }
-            });
-            let c_bytes = (n * n * elem) as f64;
-            Workload {
-                name: format!("matmul(n={n},{bm}x{bn}x{bk})"),
-                pipeline: Pipeline::TensorFp16,
-                flops: 2.0 * (n as f64).powi(3) + index_flops,
-                useful_bytes: 3.0 * c_bytes,
-                streamed_bytes: c_bytes,
-                blocks: nblocks as f64,
-                launches: 2.0,
-                wave_quantized: true,
-                l2: None,
-                phases: vec![Phase::TileTouches { trace, scale: 1.0 }],
-            }
+        (WorkloadKind::Matmul { n }, TunedConfig::Matmul { bm, bn, bk, .. }) => MatmulWaves {
+            n,
+            bm,
+            bn,
+            bk,
+            index_flops,
+            vendor: false,
         }
-        (WorkloadKind::Transpose { n }, TunedConfig::Transpose { t, staging }) => {
-            let tiles = (n / t) * (n / t);
-            let warps_per_tile = (t * t / 32) as f64;
-            let staged = staging.is_some();
-            let global: AddrGen = Box::new(move |_layout, sink| {
-                let row: Vec<i64> = (0..32).collect();
-                if staged {
-                    // Both global accesses row-contiguous.
-                    sink(&row);
-                    sink(&row);
-                } else {
-                    // Coalesced read, stride-n write.
-                    let col: Vec<i64> = (0..32).map(|l| l * n).collect();
-                    sink(&row);
-                    sink(&col);
-                }
-            });
-            let mut phases = vec![Phase::Global {
-                trace: global,
-                elem_bytes: 4,
-                scale: warps_per_tile * tiles as f64,
-            }];
-            if staged {
-                let shared: AddrGen = Box::new(move |layout, sink| {
-                    for ty in 0..t.min(32) {
-                        let store: Vec<i64> = (0..32.min(t))
-                            .map(|tx| layout.apply_c(&[ty, tx]).expect("in tile"))
-                            .collect();
-                        let load: Vec<i64> = (0..32.min(t))
-                            .map(|tx| layout.apply_c(&[tx, ty]).expect("in tile"))
-                            .collect();
-                        sink(&store);
-                        sink(&load);
-                    }
-                });
-                phases.push(Phase::Shared {
-                    trace: shared,
-                    scale: tiles as f64,
-                });
-            }
-            Workload {
-                name: format!("transpose(n={n},t={t})"),
-                pipeline: Pipeline::Fp32,
-                flops: index_flops,
-                useful_bytes: 2.0 * (n * n * 4) as f64,
-                streamed_bytes: 0.0,
-                blocks: tiles as f64,
-                launches: 1.0,
-                wave_quantized: false,
-                l2: None,
-                phases,
-            }
+        .build(gpu),
+        (WorkloadKind::Transpose { n }, TunedConfig::Transpose { t, staging }) => TransposeSweeps {
+            n,
+            t,
+            staged: staging.is_some(),
+            index_flops,
         }
+        .build(gpu),
         (WorkloadKind::Stencil { shape, n }, TunedConfig::Stencil { layout: choice, .. }) => {
-            // The lane axis must span (up to) a full warp so coalescing
-            // is charged per 32-lane access: y-lane blocks put 32 in y,
-            // z-lane blocks put the largest 32-capped divisor of n in z.
-            let lane_extent = if n % 32 == 0 {
-                32
-            } else if n % 16 == 0 {
-                16
-            } else {
-                8
-            };
-            let (block, yz_lanes, y_lanes) = match choice {
-                StencilLayoutChoice::RowMajorY => ((4, lane_extent, 4), false, true),
-                StencilLayoutChoice::RowMajorZ => ((4, 4, lane_extent), false, false),
-                StencilLayoutChoice::Brick { b } => ((b, b, b), true, false),
-            };
-            let offs = shape.offsets();
-            let r = shape.radius();
-            let (bx, by, bz) = block;
-            let trace: AddrGen = Box::new(move |layout, sink| {
-                let clamp = |v: i64| v.clamp(r, n - 1 - r);
-                let lanes = 32i64;
-                let mut idx = Vec::with_capacity(32);
-                for tx in 0..n / bx {
-                    for ty in 0..n / by {
-                        for tz in 0..n / bz {
-                            let (wi_max, wj_max, lane_max) = if yz_lanes {
-                                (bx, 1, by * bz)
-                            } else if y_lanes {
-                                (bx, bz, by)
-                            } else {
-                                (bx, by, bz)
-                            };
-                            for wi in 0..wi_max {
-                                for wj in 0..wj_max {
-                                    let mut l0 = 0i64;
-                                    while l0 < lane_max {
-                                        let nl = lanes.min(lane_max - l0);
-                                        for &(dx, dy, dz) in &offs {
-                                            idx.clear();
-                                            for lane in 0..nl {
-                                                let (x, y, z) = if yz_lanes {
-                                                    let local = l0 + lane;
-                                                    (
-                                                        tx * bx + wi,
-                                                        ty * by + local / bz,
-                                                        tz * bz + local % bz,
-                                                    )
-                                                } else if y_lanes {
-                                                    (
-                                                        tx * bx + wi,
-                                                        ty * by + l0 + lane,
-                                                        tz * bz + wj,
-                                                    )
-                                                } else {
-                                                    (
-                                                        tx * bx + wi,
-                                                        ty * by + wj,
-                                                        tz * bz + l0 + lane,
-                                                    )
-                                                };
-                                                idx.push(
-                                                    layout
-                                                        .apply_c(&[
-                                                            clamp(x + dx),
-                                                            clamp(y + dy),
-                                                            clamp(z + dz),
-                                                        ])
-                                                        .expect("in bounds"),
-                                                );
-                                            }
-                                            sink(&idx);
-                                        }
-                                        l0 += lanes;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            });
-            // Scaled L2: preserve the paper's 512³·4B : 40 MiB ratio.
-            let domain_bytes = (n * n * n * 4) as f64;
-            let lines = ((domain_bytes / 12.8) as usize / gpu.sector_bytes).max(1024);
-            Workload {
-                name: format!("stencil({},n={n})", shape.name()),
-                pipeline: Pipeline::Fp32,
-                flops: 2.0 * shape.points() as f64 * (n * n * n) as f64 + index_flops,
-                useful_bytes: 2.0 * domain_bytes,
-                streamed_bytes: domain_bytes,
-                blocks: ((n / bx) * (n / by) * (n / bz)) as f64,
-                launches: 1.0,
-                wave_quantized: false,
-                l2: Some(L2Model { lines, assoc: 16 }),
-                phases: vec![Phase::Global {
-                    trace,
-                    elem_bytes: 4,
-                    scale: 1.0,
-                }],
+            let (block, lane_axis) = stencil_block(&choice, n);
+            StencilWalk {
+                shape_name: shape.name(),
+                offsets: shape.offsets(),
+                radius: shape.radius(),
+                n,
+                block,
+                lane_axis,
+                index_flops,
             }
+            .build(gpu)
         }
+        (WorkloadKind::Nw { n, .. }, TunedConfig::Nw { b, .. }) => {
+            NwWavefront { n, b, index_flops }.build(gpu)
+        }
+        (WorkloadKind::Lud { n, .. }, TunedConfig::Lud { r, t }) => LudPanels {
+            n,
+            bs: r * t,
+            t,
+            index_flops,
+        }
+        .build(gpu),
         _ => unreachable!("kind/config pairs come from SearchSpace::enumerate"),
+    }
+}
+
+/// The thread-block tile and warp lane walk of a stencil layout choice.
+/// The lane axis must span (up to) a full warp so coalescing is charged
+/// per 32-lane access: y-lane blocks put 32 in y, z-lane blocks put the
+/// largest 32-capped divisor of `n` in z, bricks use brick-local order.
+pub fn stencil_block(choice: &StencilLayoutChoice, n: i64) -> ((i64, i64, i64), LaneAxis) {
+    let lane_extent = if n % 32 == 0 {
+        32
+    } else if n % 16 == 0 {
+        16
+    } else {
+        8
+    };
+    match choice {
+        StencilLayoutChoice::RowMajorY => ((4, lane_extent, 4), LaneAxis::Y),
+        StencilLayoutChoice::RowMajorZ => ((4, 4, lane_extent), LaneAxis::Z),
+        StencilLayoutChoice::Brick { b } => ((*b, *b, *b), LaneAxis::YZ),
     }
 }

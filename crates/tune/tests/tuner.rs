@@ -16,6 +16,8 @@ fn small_kinds() -> Vec<WorkloadKind> {
             shape: StencilShape::Star(1),
             n: 32,
         },
+        WorkloadKind::Nw { n: 512, b: 16 },
+        WorkloadKind::Lud { n: 512, bs: 16 },
     ]
 }
 

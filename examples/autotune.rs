@@ -1,16 +1,17 @@
 //! End-to-end autotuning demo: search the layout/tile configuration
-//! space of three workloads (matmul, transpose, stencil) against the
-//! `gpu-sim` A100 model, persist the winners in `TUNE_CACHE.json`, and
-//! show that a second run is served from the cache without
-//! re-evaluation.
+//! space of five workloads (matmul, transpose, stencil, NW, LUD)
+//! against the `gpu-sim` A100 model, persist the winners in
+//! `TUNE_CACHE.json`, show that a second run is served from the cache
+//! without re-evaluation — then re-tune on the H100 model and show the
+//! occupancy term moving winners across hardware generations.
 //!
 //! ```text
 //! cargo run --release --example autotune
 //! ```
 
-use gpu_sim::a100;
+use gpu_sim::{a100, h100};
 use lego_codegen::cuda::stencil::StencilShape;
-use lego_codegen::cuda::transpose;
+use lego_codegen::cuda::{lud, nw, transpose};
 use lego_codegen::triton::matmul;
 use lego_tune::{TuneResult, TunedConfig, Tuner, WorkloadKind};
 
@@ -53,11 +54,13 @@ fn main() {
             shape: StencilShape::Star(2),
             n: 48,
         },
+        WorkloadKind::Nw { n: 3584, b: 16 },
+        WorkloadKind::Lud { n: 2048, bs: 16 },
     ];
     let tuner = Tuner::new(a100()).with_cache(CACHE_PATH);
 
     let first = tuner.tune_all(&kinds).expect("search");
-    report("first run (cold cache: full search)", &first);
+    report("first run, A100 (cold cache: full search)", &first);
     for r in &first {
         assert!(!r.from_cache, "{}: first run must search", r.workload);
         assert!(
@@ -70,7 +73,7 @@ fn main() {
     }
 
     let second = tuner.tune_all(&kinds).expect("cache read");
-    report("second run (warm cache: no re-evaluation)", &second);
+    report("second run, A100 (warm cache: no re-evaluation)", &second);
     for (a, b) in first.iter().zip(&second) {
         assert!(
             b.from_cache,
@@ -81,6 +84,25 @@ fn main() {
         assert_eq!(a.config, b.config);
         assert_eq!(a.tuned, b.tuned, "cached estimate must be bit-identical");
     }
+
+    // Cross-hardware pass: the cache key is hardware-aware, so the H100
+    // searches fresh and stores its own winners next to the A100's.
+    let h_tuner = Tuner::new(h100()).with_cache(CACHE_PATH);
+    let hopper = h_tuner.tune_all(&kinds).expect("h100 search");
+    report("third run, H100 (per-device cache entries)", &hopper);
+    let moved: Vec<&str> = first
+        .iter()
+        .zip(&hopper)
+        .filter(|(a, h)| a.config != h.config)
+        .map(|(a, _)| a.workload.as_str())
+        .collect();
+    println!("winners that moved A100 -> H100: {moved:?}");
+    println!("(occupancy term: e.g. an NW b=224 block's 225^2 scoring buffer");
+    println!(" fits the H100's 228 KiB smem carveout but not the A100's 164 KiB)\n");
+    assert!(
+        !moved.is_empty(),
+        "occupancy model should move at least one winner across generations"
+    );
 
     // Feed the winners back into the generators.
     println!("== tuned kernels (from_tuned) ==");
@@ -99,6 +121,14 @@ fn main() {
                 let k = lego_codegen::cuda::stencil::from_tuned(shape, &r.config)
                     .expect("stencil kernel");
                 println!("stencil: {}", k.source.lines().next().unwrap_or_default());
+            }
+            TunedConfig::Nw { .. } => {
+                let k = nw::from_tuned(&r.config).expect("nw kernel");
+                println!("nw: {}", k.source.lines().next().unwrap_or_default());
+            }
+            TunedConfig::Lud { .. } => {
+                let k = lud::from_tuned(&r.config).expect("lud kernel");
+                println!("lud: {}", k.source.lines().next().unwrap_or_default());
             }
             TunedConfig::Rowwise { .. } => {}
         }
