@@ -7,14 +7,17 @@
 //! attributes a codegen inefficiency to the reference Triton loop.
 //!
 //! Pass `--tuned` to additionally run the `lego-tune` search for the
-//! matmul sizes and report naive-vs-tuned estimates.
+//! matmul sizes and the row-wise operators (softmax / LayerNorm block
+//! sizes) and report naive-vs-tuned estimates; `--strategy
+//! anneal|genetic` with `--budget N` selects a budgeted metaheuristic
+//! over the enlarged space instead of exhaustive enumeration.
 
 use gpu_sim::a100;
 use lego_bench::workloads::matmul::{simulate, Schedule};
 use lego_bench::workloads::rowwise::{grouped_gemm_tflops, Impl, RowwiseBench};
 use lego_bench::{emit, tuned};
 use lego_codegen::triton::matmul::MatmulVariant;
-use lego_tune::{Json, WorkloadKind};
+use lego_tune::{Json, RowwiseOp, WorkloadKind};
 
 const TILES: (i64, i64, i64) = (128, 128, 64);
 
@@ -132,6 +135,21 @@ fn main() {
         &[
             WorkloadKind::Matmul { n: 2048 },
             WorkloadKind::Matmul { n: 4096 },
+            WorkloadKind::Rowwise {
+                op: RowwiseOp::Softmax,
+                m: 4096,
+                n: 4096,
+            },
+            WorkloadKind::Rowwise {
+                op: RowwiseOp::LayernormFwd,
+                m: 4096,
+                n: 4096,
+            },
+            WorkloadKind::Rowwise {
+                op: RowwiseOp::LayernormBwd,
+                m: 4096,
+                n: 4096,
+            },
         ],
     );
 }

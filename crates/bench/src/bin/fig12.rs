@@ -3,7 +3,8 @@
 //!
 //! Run all three panels, or one: `fig12 [nw|lud|stencil]`. Pass
 //! `--tuned` to additionally run the `lego-tune` stencil-layout search
-//! and report naive-vs-tuned estimates.
+//! and report naive-vs-tuned estimates (`--strategy anneal|genetic`
+//! with `--budget N` searches the enlarged free-integer space).
 
 use gpu_sim::a100;
 use lego_bench::workloads::{lud, nw, stencil};

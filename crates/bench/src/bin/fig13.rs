@@ -4,7 +4,8 @@
 //! shared `gpu_sim::trace` builders, so these points and the
 //! `lego-tune` estimates come from the same code path. Pass `--tuned`
 //! to additionally run the LUD/stencil searches and report
-//! naive-vs-tuned estimates.
+//! naive-vs-tuned estimates (`--strategy anneal|genetic` with
+//! `--budget N` searches the enlarged free-integer space).
 
 use gpu_sim::timing::Pipeline;
 use gpu_sim::{a100, attainable, ridge};

@@ -5,7 +5,8 @@
 //!
 //! Pass `--tuned` to additionally run the `lego-tune` search for every
 //! generator family (through the shared `gpu_sim::trace` builders) and
-//! report naive-vs-tuned estimates.
+//! report naive-vs-tuned estimates (`--strategy anneal|genetic` with
+//! `--budget N` searches the enlarged free-integer space).
 
 use std::time::Instant;
 

@@ -10,7 +10,9 @@
 //! else is generated.
 //!
 //! Pass `--tuned` to additionally run the `lego-tune` search (through
-//! the shared `gpu_sim::trace` builders) for the counted kernels.
+//! the shared `gpu_sim::trace` builders) for the counted kernels
+//! (`--strategy anneal|genetic` with `--budget N` searches the
+//! enlarged free-integer space).
 
 use lego_bench::{emit, tuned};
 use lego_codegen::cuda::stencil::StencilShape;

@@ -8,7 +8,9 @@
 //! toolchains) are the reproduced result.
 //!
 //! Pass `--tuned` to additionally run the `lego-tune` staging-layout
-//! search and report naive-vs-tuned estimates.
+//! search and report naive-vs-tuned estimates (`--strategy
+//! anneal|genetic` with `--budget N` searches the enlarged
+//! free-integer space).
 
 use gpu_sim::a100;
 use lego_bench::workloads::transpose::simulate;

@@ -1,9 +1,19 @@
 //! The `--tuned` mode of the bench binaries: run the `lego-tune` search
 //! for the binary's workloads and report naive-vs-tuned estimates,
 //! backed by the persistent `TUNE_CACHE.json`.
+//!
+//! The search is steered from the command line:
+//!
+//! * `--strategy exhaustive|anneal|genetic` — how to explore the space
+//!   (default `exhaustive`, the v2 behavior);
+//! * `--budget N` — evaluation cap for the metaheuristics (default
+//!   2000);
+//! * `--space legacy|enlarged` — pin the space scale (by default
+//!   exhaustive enumerates the legacy space and the metaheuristics
+//!   search the enlarged free-integer one).
 
 use gpu_sim::a100;
-use lego_tune::{Json, Tuner, WorkloadKind};
+use lego_tune::{Budget, Json, SpaceScale, Strategy, Tuner, WorkloadKind};
 
 use crate::emit;
 
@@ -12,15 +22,84 @@ pub fn tuned_requested() -> bool {
     std::env::args().any(|a| a == "--tuned")
 }
 
-/// If `--tuned` was requested, tunes `kinds`, prints a naive-vs-tuned
-/// table, and emits `BENCH_<name>_tuned.json`. Returns whether the
-/// report ran.
+/// The value following `flag` on the command line. `None` when the
+/// flag is absent; a flag given without a value (end of line, or
+/// followed by another `--flag`) aborts with a usage message instead of
+/// silently falling back to the default.
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return match args.next() {
+                Some(v) if !v.starts_with("--") => Some(v),
+                _ => {
+                    eprintln!("{flag} requires a value");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    None
+}
+
+/// The search strategy selected by `--strategy` (default exhaustive).
+/// Unknown names abort with a usage message rather than silently
+/// falling back.
+pub fn strategy_from_args() -> Strategy {
+    match flag_value("--strategy") {
+        None => Strategy::Exhaustive,
+        Some(v) => Strategy::parse(&v).unwrap_or_else(|| {
+            eprintln!("unknown --strategy {v:?} (use exhaustive|anneal|genetic)");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// The evaluation budget selected by `--budget` (default 2000).
+pub fn budget_from_args() -> Budget {
+    match flag_value("--budget") {
+        None => Budget::default(),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Budget(n),
+            _ => {
+                eprintln!("--budget requires a positive integer, got {v:?}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// The space-scale pin selected by `--space`, if any.
+pub fn space_from_args() -> Option<SpaceScale> {
+    flag_value("--space").map(|v| {
+        SpaceScale::parse(&v).unwrap_or_else(|| {
+            eprintln!("unknown --space {v:?} (use legacy|enlarged)");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// If `--tuned` was requested, tunes `kinds` with the strategy/budget
+/// from the command line, prints a naive-vs-tuned table, and emits
+/// `BENCH_<name>_tuned.json`. Returns whether the report ran.
 pub fn maybe_report(name: &str, kinds: &[WorkloadKind]) -> bool {
     if !tuned_requested() {
         return false;
     }
-    let tuner = Tuner::new(a100()).with_cache("TUNE_CACHE.json");
-    println!("\n-- lego-tune: naive vs tuned (gpu-sim estimates) --");
+    let strategy = strategy_from_args();
+    let budget = budget_from_args();
+    let mut tuner = Tuner::new(a100())
+        .with_cache("TUNE_CACHE.json")
+        .with_strategy(strategy)
+        .with_budget(budget);
+    if let Some(space) = space_from_args() {
+        tuner = tuner.with_space(space);
+    }
+    println!(
+        "\n-- lego-tune: naive vs tuned (gpu-sim estimates; strategy={}, space={}) --",
+        strategy,
+        tuner.effective_space().name()
+    );
     println!(
         "{:<26} {:>12} {:>12} {:>8}  {:<34} source",
         "workload", "naive (ms)", "tuned (ms)", "speedup", "winner"
@@ -50,6 +129,7 @@ pub fn maybe_report(name: &str, kinds: &[WorkloadKind]) -> bool {
                     ("winner", Json::Str(r.config.to_string())),
                     ("from_cache", Json::Bool(r.from_cache)),
                     ("evaluated", Json::Int(r.evaluated as i64)),
+                    ("strategy", Json::Str(strategy.name().to_string())),
                 ]));
             }
             Err(e) => eprintln!("{}: tuning failed: {e}", kind.name()),

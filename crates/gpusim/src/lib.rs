@@ -58,5 +58,6 @@ pub use timing::{
     achieved_bandwidth, achieved_flops, estimate, KernelProfile, Pipeline, TimeEstimate,
 };
 pub use trace::{
-    LaneAxis, LudPanels, MatmulWaves, NwWavefront, StencilWalk, TraceBuilder, TransposeSweeps,
+    LaneAxis, LudPanels, MatmulWaves, NwWavefront, RowwiseSweep, StencilWalk, TraceBuilder,
+    TransposeSweeps,
 };

@@ -472,7 +472,9 @@ impl TraceBuilder for NwWavefront {
 
     fn build(&self, cfg: &GpuConfig) -> Workload {
         let NwWavefront { n, b, .. } = *self;
-        let nb = n / b;
+        // Block sizes need not divide n (the kernel pads the last block
+        // diagonal); a partial block costs a full one.
+        let nb = (n + b - 1) / b;
         // Two triangular sweeps over block anti-diagonals: every block
         // runs once per sweep, one kernel launch per block diagonal.
         let blocks = 2.0 * (nb * nb) as f64;
@@ -546,7 +548,9 @@ impl TraceBuilder for LudPanels {
 
     fn build(&self, _cfg: &GpuConfig) -> Workload {
         let LudPanels { n, bs, .. } = *self;
-        let steps = n / bs;
+        // Block sides need not divide n: the Rodinia driver pads the
+        // trailing step, so a partial panel is priced as a full one.
+        let steps = (n + bs - 1) / bs;
         let mut dram = 0f64;
         let mut flops = 0f64;
         let mut launches = 0f64;
@@ -583,6 +587,100 @@ impl TraceBuilder for LudPanels {
             phases: vec![Phase::Streamed {
                 dram_bytes: dram,
                 l2_bytes: dram * 1.5,
+            }],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rowwise: streaming row-block sweeps (softmax / LayerNorm).
+// ---------------------------------------------------------------------
+
+/// Non-smem instruction cycles per rowwise column-chunk iteration
+/// (pointer bump, mask computation, partial-reduction bookkeeping).
+pub const ROWWISE_CHUNK_CYCLES: f64 = 28.0;
+
+/// A row-wise streaming operator (softmax, LayerNorm fwd/bwd) over an
+/// `m×n` fp16 matrix: one program per row walks the row in `bs`-wide
+/// column chunks. The layout under evaluation is the program's lane
+/// block (`row·BS + lane` in the generated kernels — unit stride by
+/// construction). The tunable tension is the block size: small `bs`
+/// pays per-chunk loop instructions, large `bs` pays masked-lane
+/// compute past the row end and register pressure that lowers
+/// occupancy below the bandwidth-saturation point.
+#[derive(Clone, Debug)]
+pub struct RowwiseSweep {
+    /// Display name of the operator, e.g. `softmax`.
+    pub op_name: String,
+    /// Number of rows (one program each).
+    pub m: i64,
+    /// Row length in elements.
+    pub n: i64,
+    /// Column block size (elements per chunk).
+    pub bs: i64,
+    /// Element passes over the matrix (reads + writes per element).
+    pub passes: f64,
+    /// Floating-point work per processed (lane-padded) element.
+    pub flops_per_elem: f64,
+    /// Extra flops charged for index computation (tuner cost model).
+    pub index_flops: f64,
+}
+
+impl RowwiseSweep {
+    /// Per-block resources: Triton-style `num_warps` scaling with the
+    /// block size, with the row chunk held live in registers.
+    pub fn resources(&self) -> BlockResources {
+        let warps = ((self.bs / 256) as f64).clamp(1.0, 16.0);
+        BlockResources {
+            warps_per_block: warps,
+            // Each program keeps its bs-wide chunk (value + accumulator)
+            // in registers, plus a fixed per-thread base cost.
+            regs_per_block: self.bs as f64 * 2.0 + warps * 32.0 * 24.0,
+            // Cross-warp reduction scratch.
+            smem_per_block: warps * 128.0,
+        }
+    }
+}
+
+impl TraceBuilder for RowwiseSweep {
+    fn name(&self) -> String {
+        format!("{}(m={},n={},bs={})", self.op_name, self.m, self.n, self.bs)
+    }
+
+    fn build(&self, cfg: &GpuConfig) -> Workload {
+        let RowwiseSweep { m, n, bs, .. } = *self;
+        let chunks = ((n + bs - 1) / bs).max(1);
+        let elems = (m * n) as f64;
+        // Masked lanes past the row end still execute the vector ops.
+        let padded = (m * chunks * bs) as f64;
+        let instr_flops = (m * chunks) as f64 * ROWWISE_CHUNK_CYCLES * cfg.fp32_flops
+            / (cfg.sm_count as f64 * cfg.clock_hz);
+        let bytes = elems * 2.0 * self.passes;
+        // One representative warp: 32 consecutive lanes of a chunk
+        // through the lane-block layout; every warp of every chunk is
+        // identical, so the trace is scaled to the full traffic.
+        let trace: AddrGen = Box::new(move |layout, sink| {
+            let idx: Vec<i64> = (0..32)
+                .map(|l| layout.apply_c(&[l]).expect("lane in block"))
+                .collect();
+            sink(&idx);
+        });
+        let warp_bytes = 32.0 * 2.0;
+        Workload {
+            name: self.name(),
+            pipeline: Pipeline::Fp32,
+            flops: padded * self.flops_per_elem + instr_flops + self.index_flops,
+            useful_bytes: 2.0 * elems * 2.0,
+            streamed_bytes: 0.0,
+            blocks: m as f64,
+            launches: 1.0,
+            wave_quantized: false,
+            l2: None,
+            resources: self.resources(),
+            phases: vec![Phase::Global {
+                trace,
+                elem_bytes: 2,
+                scale: bytes / warp_bytes,
             }],
         }
     }
@@ -676,6 +774,71 @@ mod tests {
         let ec = score(&id, &coarse, &cfg);
         assert!(ec.dram_bytes < eb.dram_bytes);
         assert!(ec.time_s < eb.time_s);
+    }
+
+    #[test]
+    fn nw_and_lud_pad_non_dividing_blocks() {
+        let cfg = a100();
+        // 512 = 5·96 + 32: six block diagonals, the last one partial.
+        let padded = NwWavefront {
+            n: 512,
+            b: 96,
+            index_flops: 0.0,
+        }
+        .build(&cfg);
+        assert_eq!(padded.launches, 2.0 * 11.0);
+        assert_eq!(padded.blocks, 2.0 * 36.0);
+        let lud = LudPanels {
+            n: 512,
+            bs: 96,
+            t: 16,
+            index_flops: 0.0,
+        }
+        .build(&cfg);
+        // ceil(512/96) = 6 factorization steps, 3 launches each.
+        assert_eq!(lud.launches, 18.0);
+    }
+
+    #[test]
+    fn rowwise_block_size_is_a_real_tradeoff() {
+        let cfg = a100();
+        let layout = |bs: i64| Layout::identity([bs]).unwrap();
+        let sweep = |bs: i64| RowwiseSweep {
+            op_name: "softmax".into(),
+            m: 4096,
+            n: 3000,
+            bs,
+            passes: 2.0,
+            flops_per_elem: 6.0,
+            index_flops: 0.0,
+        };
+        let t = |bs: i64| {
+            let w = sweep(bs).build(&cfg);
+            score(&layout(bs), &w, &cfg).time_s
+        };
+        // A mid-size block beats both a tiny one (chunk-loop overhead)
+        // and a grossly padded one (masked-lane compute + occupancy).
+        let (tiny, mid, huge) = (t(32), t(512), t(16384));
+        assert!(mid < tiny, "mid {mid} tiny {tiny}");
+        assert!(mid < huge, "mid {mid} huge {huge}");
+    }
+
+    #[test]
+    fn rowwise_traffic_scales_with_passes() {
+        let cfg = a100();
+        let mk = |passes: f64| RowwiseSweep {
+            op_name: "layernorm".into(),
+            m: 1024,
+            n: 1024,
+            bs: 1024,
+            passes,
+            flops_per_elem: 8.0,
+            index_flops: 0.0,
+        };
+        let l = Layout::identity([1024i64]).unwrap();
+        let two = score(&l, &mk(2.0).build(&cfg), &cfg);
+        let four = score(&l, &mk(4.0).build(&cfg), &cfg);
+        assert!((four.dram_bytes / two.dram_bytes - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -29,8 +29,10 @@ use crate::json::Json;
 /// discarded wholesale (a cache miss, not an error).
 ///
 /// History: 1 = original per-crate trace loops; 2 = shared
-/// `gpu_sim::trace` builders + occupancy-aware timing.
-pub const CACHE_SCHEMA_VERSION: i64 = 2;
+/// `gpu_sim::trace` builders + occupancy-aware timing; 3 = entries
+/// record their search strategy/budget/space and persist a top-k
+/// frontier as the metaheuristics' warm-start population.
+pub const CACHE_SCHEMA_VERSION: i64 = 3;
 
 /// One cached tuning outcome.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,6 +49,17 @@ pub struct CachedTuning {
     pub tuned: Estimate,
     /// How many candidates the search evaluated.
     pub evaluated: usize,
+    /// Name of the strategy that produced the entry
+    /// (`exhaustive`/`anneal`/`genetic`).
+    pub strategy: String,
+    /// Evaluation budget of the search (`None` for exhaustive).
+    pub budget: Option<usize>,
+    /// Which space scale was searched (`legacy`/`enlarged`).
+    pub space: String,
+    /// Top-k evaluated configurations (best first) with their estimated
+    /// times — served as the warm-start population when a later search
+    /// of the same key is not satisfied by this entry.
+    pub frontier: Vec<(TunedConfig, f64)>,
 }
 
 /// A file-backed tuning cache.
@@ -360,6 +373,29 @@ fn tuning_to_json(t: &CachedTuning) -> Json {
         ("naive", estimate_to_json(&t.naive)),
         ("tuned", estimate_to_json(&t.tuned)),
         ("evaluated", Json::Int(t.evaluated as i64)),
+        ("strategy", Json::Str(t.strategy.clone())),
+        (
+            "budget",
+            match t.budget {
+                None => Json::Null,
+                Some(v) => Json::Int(v as i64),
+            },
+        ),
+        ("space", Json::Str(t.space.clone())),
+        (
+            "frontier",
+            Json::Arr(
+                t.frontier
+                    .iter()
+                    .map(|(c, time_s)| {
+                        Json::obj([
+                            ("config", config_to_json(c)),
+                            ("time_s", Json::num(*time_s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -370,6 +406,17 @@ fn tuning_from_json(j: &Json) -> Option<CachedTuning> {
         Json::Str(s) if s == "expanded" => Some(Variant::Expanded),
         _ => return None,
     };
+    let frontier = j
+        .get("frontier")?
+        .as_arr()?
+        .iter()
+        .map(|e| {
+            Some((
+                config_from_json(e.get("config")?)?,
+                e.get("time_s")?.as_f64()?,
+            ))
+        })
+        .collect::<Option<Vec<_>>>()?;
     Some(CachedTuning {
         config: config_from_json(j.get("config")?)?,
         expr_variant,
@@ -380,6 +427,10 @@ fn tuning_from_json(j: &Json) -> Option<CachedTuning> {
         naive: estimate_from_json(j.get("naive")?)?,
         tuned: estimate_from_json(j.get("tuned")?)?,
         evaluated: j.get("evaluated")?.as_i64()? as usize,
+        strategy: j.get("strategy")?.as_str()?.to_string(),
+        budget: j.get("budget").and_then(Json::as_i64).map(|v| v as usize),
+        space: j.get("space")?.as_str()?.to_string(),
+        frontier,
     })
 }
 
@@ -472,6 +523,56 @@ mod tests {
     }
 
     #[test]
+    fn v2_documents_are_invalidated_wholesale() {
+        // A handcrafted v2 document (the PR 2 on-disk shape: no
+        // strategy/budget/space/frontier fields) must read as empty
+        // under v3 — stale winners cached by the old exhaustive search
+        // can never be served against the new estimate semantics.
+        let dir = std::env::temp_dir().join(format!("lego-cache-v2v3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v2.json");
+        let v2_entry = Json::obj([
+            ("config", config_to_json(&TunedConfig::Lud { r: 2, t: 16 })),
+            ("expr_variant", Json::Null),
+            ("index_ops", Json::Null),
+            ("naive", estimate_to_json(&sample_estimate(1.0))),
+            ("tuned", estimate_to_json(&sample_estimate(0.5))),
+            ("evaluated", Json::Int(4)),
+        ]);
+        let doc = Json::obj([
+            ("version", Json::Int(2)),
+            ("entries", Json::Obj(vec![("k".to_string(), v2_entry)])),
+        ]);
+        std::fs::write(&path, doc.render_pretty()).unwrap();
+
+        let cache = TuningCache::new(&path);
+        assert_eq!(cache.lookup("k"), None, "v2 entries must not be served");
+
+        // The next store rewrites the document under v3 and drops the
+        // stale entry wholesale.
+        let entry = CachedTuning {
+            config: TunedConfig::Lud { r: 4, t: 16 },
+            expr_variant: None,
+            index_ops: None,
+            naive: sample_estimate(1.0),
+            tuned: sample_estimate(0.25),
+            evaluated: 40,
+            strategy: "genetic".to_string(),
+            budget: Some(128),
+            space: "enlarged".to_string(),
+            frontier: vec![(TunedConfig::Lud { r: 4, t: 16 }, 0.25)],
+        };
+        cache.store("k2", &entry).unwrap();
+        assert_eq!(cache.lookup("k2"), Some(entry));
+        assert_eq!(cache.lookup("k"), None);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"version\": 3"), "rewritten under v3");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
     fn mismatched_schema_version_invalidates_the_document() {
         let dir = std::env::temp_dir().join(format!("lego-cache-ver-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -484,6 +585,13 @@ mod tests {
             naive: sample_estimate(1.0),
             tuned: sample_estimate(0.5),
             evaluated: 4,
+            strategy: "anneal".to_string(),
+            budget: Some(64),
+            space: "enlarged".to_string(),
+            frontier: vec![
+                (TunedConfig::Lud { r: 2, t: 16 }, 0.5),
+                (TunedConfig::Lud { r: 4, t: 16 }, 0.75),
+            ],
         };
         cache.store("k", &entry).unwrap();
         assert_eq!(cache.lookup("k"), Some(entry.clone()));

@@ -1,0 +1,946 @@
+//! The parameterized search domain: legal configuration axes per
+//! workload, with the `neighbor`/`crossover` moves the metaheuristic
+//! strategies walk.
+//!
+//! [`SearchSpace::enumerate`](crate::space::SearchSpace::enumerate)
+//! materializes the fixed v2 candidate list the exhaustive search was
+//! built on. This module generalizes that list into a *domain*: each
+//! workload's configuration is a point on a few integer axes (tile
+//! sides, coarsening factors, permutation families and their
+//! parameters), every axis carries its list of legal values, and the
+//! domain knows how to
+//!
+//! * [`Domain::enumerate`] the full cross product (exhaustive ground
+//!   truth — affordable for the legacy ranges, expensive for the
+//!   enlarged ones),
+//! * draw a uniform [`Domain::random`] point (population seeding),
+//! * take a [`Domain::neighbor`] step — perturb one tile dimension to
+//!   an adjacent legal value, swap the permutation family, or flip a
+//!   coarsening factor (simulated annealing), and
+//! * [`Domain::crossover`] two parents axis-wise (genetic search),
+//!
+//! repairing dependent axes (e.g. a grouped-schedule `gm` must divide
+//! the new tile count) after every move.
+//!
+//! [`SpaceScale::Legacy`] reproduces the v2 ranges; the free-integer
+//! [`SpaceScale::Enlarged`] ranges are roughly an order of magnitude
+//! bigger — the spaces exhaustive enumeration couldn't afford, which is
+//! exactly what the budgeted strategies are for.
+
+use lego_codegen::tuning::{
+    NwLayoutChoice, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
+};
+
+use crate::rng::Rng;
+use crate::space::{SearchSpace, WorkloadKind};
+
+/// Which parameter ranges a domain spans.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SpaceScale {
+    /// The v2 hand-enumerated ranges (what exhaustive search affords).
+    #[default]
+    Legacy,
+    /// Free-integer tile ranges and composed-perm parameter grids —
+    /// roughly 10× more candidates, meant for budgeted strategies.
+    Enlarged,
+}
+
+impl SpaceScale {
+    /// Stable name, used in the cache document.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpaceScale::Legacy => "legacy",
+            SpaceScale::Enlarged => "enlarged",
+        }
+    }
+
+    /// Parses a `--space` argument.
+    pub fn parse(s: &str) -> Option<SpaceScale> {
+        match s {
+            "legacy" => Some(SpaceScale::Legacy),
+            "enlarged" => Some(SpaceScale::Enlarged),
+            _ => None,
+        }
+    }
+}
+
+/// A workload's parameterized configuration domain at one scale.
+#[derive(Clone, Debug)]
+pub struct Domain {
+    /// The workload being tuned.
+    pub kind: WorkloadKind,
+    /// Parameter ranges.
+    pub scale: SpaceScale,
+    /// The materialized v2 list when `scale` is legacy (that space is a
+    /// hand-picked list, not an axis product, so membership checks and
+    /// snapped moves need it — built once here, not per query).
+    legacy: Vec<TunedConfig>,
+}
+
+/// Divisors of `n` inside `[lo, hi]`, ascending.
+fn divisors_in(n: i64, lo: i64, hi: i64) -> Vec<i64> {
+    (lo.max(1)..=hi.min(n)).filter(|d| n % d == 0).collect()
+}
+
+/// The legal value nearest to `cur` (ties toward the smaller value).
+fn nearest(values: &[i64], cur: i64) -> i64 {
+    *values
+        .iter()
+        .min_by_key(|&&v| ((v - cur).abs(), v))
+        .expect("non-empty axis")
+}
+
+/// One step along an axis: move 1, 2, 4, or 8 legal values (geometric
+/// stride, so long axes are crossed in logarithmically many moves) to a
+/// random side, clamped at the ends. `cur` is first snapped to the
+/// axis.
+fn step(values: &[i64], cur: i64, rng: &mut Rng) -> i64 {
+    let snapped = nearest(values, cur);
+    let i = values
+        .iter()
+        .position(|&v| v == snapped)
+        .expect("snapped onto axis");
+    let dist = 1usize << rng.below(4);
+    let j = if rng.chance(0.5) {
+        i.saturating_sub(dist)
+    } else {
+        (i + dist).min(values.len() - 1)
+    };
+    values[j]
+}
+
+impl Domain {
+    /// The domain of `kind` at `scale`.
+    pub fn new(kind: WorkloadKind, scale: SpaceScale) -> Domain {
+        let legacy = match scale {
+            SpaceScale::Legacy => SearchSpace::enumerate(kind)
+                .candidates
+                .into_iter()
+                .map(|c| c.config)
+                .collect(),
+            SpaceScale::Enlarged => Vec::new(),
+        };
+        Domain {
+            kind,
+            scale,
+            legacy,
+        }
+    }
+
+    /// The hand-picked default configuration (always evaluated first, so
+    /// the search can never regress it).
+    pub fn default_config(&self) -> TunedConfig {
+        self.kind.default_config()
+    }
+
+    /// Number of points in the domain.
+    pub fn len(&self) -> usize {
+        self.enumerate().len()
+    }
+
+    /// Whether the domain is empty (never true for built-in workloads).
+    pub fn is_empty(&self) -> bool {
+        self.enumerate().is_empty()
+    }
+
+    /// Materializes every configuration of the domain, default first,
+    /// deduplicated, in a deterministic order.
+    pub fn enumerate(&self) -> Vec<TunedConfig> {
+        if self.scale == SpaceScale::Legacy {
+            // The v2 list verbatim — candidate zero is the default and
+            // existing caches/tests depend on the exact ordering.
+            return self.legacy.clone();
+        }
+        let mut out = vec![self.default_config()];
+        let push = |c: TunedConfig, out: &mut Vec<TunedConfig>| {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        match self.kind {
+            WorkloadKind::Matmul { n } => {
+                for bm in self.matmul_tile_values(n) {
+                    for bn in self.matmul_tile_values(n) {
+                        for bk in self.matmul_bk_values(n) {
+                            for schedule in self.matmul_schedules(n, bm, bn) {
+                                push(
+                                    TunedConfig::Matmul {
+                                        bm,
+                                        bn,
+                                        bk,
+                                        schedule,
+                                    },
+                                    &mut out,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            WorkloadKind::Transpose { n } => {
+                for t in self.transpose_t_values(n) {
+                    for staging in self.transpose_stagings(t) {
+                        push(TunedConfig::Transpose { t, staging }, &mut out);
+                    }
+                }
+            }
+            WorkloadKind::Stencil { n, .. } => {
+                for layout in self.stencil_layouts(n) {
+                    push(TunedConfig::Stencil { n, layout }, &mut out);
+                }
+            }
+            WorkloadKind::Nw { n, .. } => {
+                for b in self.nw_b_values(n) {
+                    for layout in [NwLayoutChoice::RowMajor, NwLayoutChoice::Antidiag] {
+                        push(TunedConfig::Nw { b, layout }, &mut out);
+                    }
+                }
+            }
+            WorkloadKind::Lud { n, bs } => {
+                for t in self.lud_t_values(n, bs) {
+                    for r in self.lud_r_values(n, t) {
+                        push(TunedConfig::Lud { r, t }, &mut out);
+                    }
+                }
+            }
+            WorkloadKind::Rowwise { op, n, .. } => {
+                for bs in self.rowwise_bs_values(n) {
+                    push(TunedConfig::Rowwise { op, bs }, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `c` is a member of this domain. Under the enlarged scale
+    /// membership is exactly "every axis value is legal"; under the
+    /// legacy scale it is membership in the fixed v2 list (which is
+    /// *not* an axis cross product — e.g. the v2 matmul tiles are
+    /// hand-picked pairs).
+    pub fn contains(&self, c: &TunedConfig) -> bool {
+        if self.scale == SpaceScale::Legacy {
+            return self.legacy.contains(c);
+        }
+        match (*c, self.kind) {
+            (
+                TunedConfig::Matmul {
+                    bm,
+                    bn,
+                    bk,
+                    schedule,
+                },
+                WorkloadKind::Matmul { n },
+            ) => {
+                self.matmul_tile_values(n).contains(&bm)
+                    && self.matmul_tile_values(n).contains(&bn)
+                    && self.matmul_bk_values(n).contains(&bk)
+                    && self.matmul_schedules(n, bm, bn).contains(&schedule)
+            }
+            (TunedConfig::Transpose { t, staging }, WorkloadKind::Transpose { n }) => {
+                self.transpose_t_values(n).contains(&t)
+                    && self.transpose_stagings(t).contains(&staging)
+            }
+            (TunedConfig::Stencil { n, layout }, WorkloadKind::Stencil { n: wn, .. }) => {
+                n == wn && self.stencil_layouts(n).contains(&layout)
+            }
+            (TunedConfig::Nw { b, .. }, WorkloadKind::Nw { n, .. }) => {
+                self.nw_b_values(n).contains(&b)
+            }
+            (TunedConfig::Lud { r, t }, WorkloadKind::Lud { n, bs }) => {
+                self.lud_t_values(n, bs).contains(&t) && self.lud_r_values(n, t).contains(&r)
+            }
+            (TunedConfig::Rowwise { op, bs }, WorkloadKind::Rowwise { op: wop, n, .. }) => {
+                op == wop && self.rowwise_bs_values(n).contains(&bs)
+            }
+            _ => false,
+        }
+    }
+
+    /// Snaps a proposed move back into the domain: the enlarged axes
+    /// generate members by construction, but the legacy space is a
+    /// hand-picked list the independent axes over-approximate, so a
+    /// legacy-scale move that left the list is replaced by a uniform
+    /// list member.
+    fn snap(&self, c: TunedConfig, rng: &mut Rng) -> TunedConfig {
+        if self.contains(&c) || self.legacy.is_empty() {
+            // The enlarged axes generate members by construction.
+            c
+        } else {
+            *rng.pick(&self.legacy)
+        }
+    }
+
+    /// A uniform random point of the domain.
+    pub fn random(&self, rng: &mut Rng) -> TunedConfig {
+        let c = self.random_axes(rng);
+        self.snap(c, rng)
+    }
+
+    /// A uniform random point of the axis cross product.
+    fn random_axes(&self, rng: &mut Rng) -> TunedConfig {
+        match self.kind {
+            WorkloadKind::Matmul { n } => {
+                let bm = *rng.pick(&self.matmul_tile_values(n));
+                let bn = *rng.pick(&self.matmul_tile_values(n));
+                let bk = *rng.pick(&self.matmul_bk_values(n));
+                let schedule = *rng.pick(&self.matmul_schedules(n, bm, bn));
+                TunedConfig::Matmul {
+                    bm,
+                    bn,
+                    bk,
+                    schedule,
+                }
+            }
+            WorkloadKind::Transpose { n } => {
+                let t = *rng.pick(&self.transpose_t_values(n));
+                let staging = *rng.pick(&self.transpose_stagings(t));
+                TunedConfig::Transpose { t, staging }
+            }
+            WorkloadKind::Stencil { n, .. } => TunedConfig::Stencil {
+                n,
+                layout: *rng.pick(&self.stencil_layouts(n)),
+            },
+            WorkloadKind::Nw { n, .. } => TunedConfig::Nw {
+                b: *rng.pick(&self.nw_b_values(n)),
+                layout: if rng.chance(0.5) {
+                    NwLayoutChoice::RowMajor
+                } else {
+                    NwLayoutChoice::Antidiag
+                },
+            },
+            WorkloadKind::Lud { n, bs } => {
+                let t = *rng.pick(&self.lud_t_values(n, bs));
+                let r = *rng.pick(&self.lud_r_values(n, t));
+                TunedConfig::Lud { r, t }
+            }
+            WorkloadKind::Rowwise { op, n, .. } => TunedConfig::Rowwise {
+                op,
+                bs: *rng.pick(&self.rowwise_bs_values(n)),
+            },
+        }
+    }
+
+    /// One local move: perturb a single axis of `c` to an adjacent legal
+    /// value (tile dimension, coarsening factor) or swap the
+    /// permutation/layout choice, repairing dependent axes.
+    pub fn neighbor(&self, c: &TunedConfig, rng: &mut Rng) -> TunedConfig {
+        let m = self.neighbor_axes(c, rng);
+        self.snap(m, rng)
+    }
+
+    /// The raw axis move behind [`Domain::neighbor`].
+    fn neighbor_axes(&self, c: &TunedConfig, rng: &mut Rng) -> TunedConfig {
+        match (*c, self.kind) {
+            (
+                TunedConfig::Matmul {
+                    mut bm,
+                    mut bn,
+                    mut bk,
+                    mut schedule,
+                },
+                WorkloadKind::Matmul { n },
+            ) => {
+                match rng.below(4) {
+                    0 => bm = step(&self.matmul_tile_values(n), bm, rng),
+                    1 => bn = step(&self.matmul_tile_values(n), bn, rng),
+                    2 => bk = step(&self.matmul_bk_values(n), bk, rng),
+                    _ => schedule = *rng.pick(&self.matmul_schedules(n, bm, bn)),
+                }
+                schedule = self.repair_schedule(n, bm, bn, schedule);
+                TunedConfig::Matmul {
+                    bm,
+                    bn,
+                    bk,
+                    schedule,
+                }
+            }
+            (TunedConfig::Transpose { mut t, mut staging }, WorkloadKind::Transpose { n }) => {
+                if rng.chance(0.5) {
+                    t = step(&self.transpose_t_values(n), t, rng);
+                    staging = self.repair_staging(t, staging);
+                } else {
+                    staging = *rng.pick(&self.transpose_stagings(t));
+                }
+                TunedConfig::Transpose { t, staging }
+            }
+            (TunedConfig::Stencil { n, layout }, WorkloadKind::Stencil { .. }) => {
+                let layouts = self.stencil_layouts(n);
+                let i = layouts.iter().position(|&l| l == layout).unwrap_or(0);
+                let j = if rng.chance(0.5) {
+                    i.saturating_sub(1)
+                } else {
+                    (i + 1).min(layouts.len() - 1)
+                };
+                TunedConfig::Stencil {
+                    n,
+                    layout: layouts[j],
+                }
+            }
+            (TunedConfig::Nw { mut b, mut layout }, WorkloadKind::Nw { n, .. }) => {
+                if rng.chance(0.7) {
+                    b = step(&self.nw_b_values(n), b, rng);
+                } else {
+                    layout = match layout {
+                        NwLayoutChoice::RowMajor => NwLayoutChoice::Antidiag,
+                        NwLayoutChoice::Antidiag => NwLayoutChoice::RowMajor,
+                    };
+                }
+                TunedConfig::Nw { b, layout }
+            }
+            (TunedConfig::Lud { mut r, mut t }, WorkloadKind::Lud { n, bs }) => {
+                if rng.chance(0.7) {
+                    r = step(&self.lud_r_values(n, t), r, rng);
+                } else {
+                    t = step(&self.lud_t_values(n, bs), t, rng);
+                    r = nearest(&self.lud_r_values(n, t), r);
+                }
+                TunedConfig::Lud { r, t }
+            }
+            (TunedConfig::Rowwise { op, bs }, WorkloadKind::Rowwise { n, .. }) => {
+                TunedConfig::Rowwise {
+                    op,
+                    bs: step(&self.rowwise_bs_values(n), bs, rng),
+                }
+            }
+            // A foreign config (e.g. a stale cache frontier from another
+            // workload) has no neighborhood here; restart randomly.
+            _ => self.random(rng),
+        }
+    }
+
+    /// The deterministic unit-step neighborhood of `c`: each integer
+    /// axis moved one legal value in each direction, each categorical
+    /// axis moved one position in its legal list. Used by the annealer
+    /// to polish a new incumbent best — probing these guarantees the
+    /// walk converges to a local optimum of the unit lattice.
+    pub fn local_neighbors(&self, c: &TunedConfig) -> Vec<TunedConfig> {
+        let adjacent = |values: &[i64], cur: i64| -> Vec<i64> {
+            let snapped = nearest(values, cur);
+            let i = values.iter().position(|&v| v == snapped).unwrap_or(0);
+            let mut out = Vec::new();
+            if i > 0 {
+                out.push(values[i - 1]);
+            }
+            if i + 1 < values.len() {
+                out.push(values[i + 1]);
+            }
+            out
+        };
+        let mut out = Vec::new();
+        match (*c, self.kind) {
+            (
+                TunedConfig::Matmul {
+                    bm,
+                    bn,
+                    bk,
+                    schedule,
+                },
+                WorkloadKind::Matmul { n },
+            ) => {
+                for v in adjacent(&self.matmul_tile_values(n), bm) {
+                    let s = self.repair_schedule(n, v, bn, schedule);
+                    out.push(TunedConfig::Matmul {
+                        bm: v,
+                        bn,
+                        bk,
+                        schedule: s,
+                    });
+                }
+                for v in adjacent(&self.matmul_tile_values(n), bn) {
+                    let s = self.repair_schedule(n, bm, v, schedule);
+                    out.push(TunedConfig::Matmul {
+                        bm,
+                        bn: v,
+                        bk,
+                        schedule: s,
+                    });
+                }
+                for v in adjacent(&self.matmul_bk_values(n), bk) {
+                    out.push(TunedConfig::Matmul {
+                        bm,
+                        bn,
+                        bk: v,
+                        schedule,
+                    });
+                }
+                let schedules = self.matmul_schedules(n, bm, bn);
+                if let Some(i) = schedules.iter().position(|&s| s == schedule) {
+                    for j in [i.wrapping_sub(1), i + 1] {
+                        if let Some(&s) = schedules.get(j) {
+                            out.push(TunedConfig::Matmul {
+                                bm,
+                                bn,
+                                bk,
+                                schedule: s,
+                            });
+                        }
+                    }
+                }
+            }
+            (TunedConfig::Transpose { t, staging }, WorkloadKind::Transpose { n }) => {
+                for v in adjacent(&self.transpose_t_values(n), t) {
+                    out.push(TunedConfig::Transpose {
+                        t: v,
+                        staging: self.repair_staging(v, staging),
+                    });
+                }
+                let stagings = self.transpose_stagings(t);
+                if let Some(i) = stagings.iter().position(|&s| s == staging) {
+                    for j in [i.wrapping_sub(1), i + 1] {
+                        if let Some(&s) = stagings.get(j) {
+                            out.push(TunedConfig::Transpose { t, staging: s });
+                        }
+                    }
+                }
+            }
+            (TunedConfig::Stencil { n, layout }, WorkloadKind::Stencil { .. }) => {
+                let layouts = self.stencil_layouts(n);
+                if let Some(i) = layouts.iter().position(|&l| l == layout) {
+                    for j in [i.wrapping_sub(1), i + 1] {
+                        if let Some(&l) = layouts.get(j) {
+                            out.push(TunedConfig::Stencil { n, layout: l });
+                        }
+                    }
+                }
+            }
+            (TunedConfig::Nw { b, layout }, WorkloadKind::Nw { n, .. }) => {
+                for v in adjacent(&self.nw_b_values(n), b) {
+                    out.push(TunedConfig::Nw { b: v, layout });
+                }
+                out.push(TunedConfig::Nw {
+                    b,
+                    layout: match layout {
+                        NwLayoutChoice::RowMajor => NwLayoutChoice::Antidiag,
+                        NwLayoutChoice::Antidiag => NwLayoutChoice::RowMajor,
+                    },
+                });
+            }
+            (TunedConfig::Lud { r, t }, WorkloadKind::Lud { n, bs }) => {
+                for v in adjacent(&self.lud_r_values(n, t), r) {
+                    out.push(TunedConfig::Lud { r: v, t });
+                }
+                for v in adjacent(&self.lud_t_values(n, bs), t) {
+                    out.push(TunedConfig::Lud {
+                        r: nearest(&self.lud_r_values(n, v), r),
+                        t: v,
+                    });
+                }
+            }
+            (TunedConfig::Rowwise { op, bs }, WorkloadKind::Rowwise { n, .. }) => {
+                for v in adjacent(&self.rowwise_bs_values(n), bs) {
+                    out.push(TunedConfig::Rowwise { op, bs: v });
+                }
+            }
+            _ => {}
+        }
+        out.retain(|x| x != c);
+        // The legacy space is a hand-picked list, not an axis product:
+        // drop probes that fall outside it.
+        if self.scale == SpaceScale::Legacy {
+            out.retain(|x| self.contains(x));
+        }
+        out.dedup();
+        out
+    }
+
+    /// Axis-wise recombination of two parents: each axis is inherited
+    /// from a random parent, then dependent axes are repaired.
+    pub fn crossover(&self, a: &TunedConfig, b: &TunedConfig, rng: &mut Rng) -> TunedConfig {
+        let c = self.crossover_axes(a, b, rng);
+        self.snap(c, rng)
+    }
+
+    /// The raw axis recombination behind [`Domain::crossover`].
+    fn crossover_axes(&self, a: &TunedConfig, b: &TunedConfig, rng: &mut Rng) -> TunedConfig {
+        match (*a, *b) {
+            (
+                TunedConfig::Matmul {
+                    bm: am,
+                    bn: an,
+                    bk: ak,
+                    schedule: asched,
+                },
+                TunedConfig::Matmul {
+                    bm: bm_,
+                    bn: bn_,
+                    bk: bk_,
+                    schedule: bsched,
+                },
+            ) => {
+                let WorkloadKind::Matmul { n } = self.kind else {
+                    return self.random(rng);
+                };
+                let bm = if rng.chance(0.5) { am } else { bm_ };
+                let bn = if rng.chance(0.5) { an } else { bn_ };
+                let bk = if rng.chance(0.5) { ak } else { bk_ };
+                let schedule =
+                    self.repair_schedule(n, bm, bn, if rng.chance(0.5) { asched } else { bsched });
+                TunedConfig::Matmul {
+                    bm,
+                    bn,
+                    bk,
+                    schedule,
+                }
+            }
+            (
+                TunedConfig::Transpose {
+                    t: at,
+                    staging: astage,
+                },
+                TunedConfig::Transpose {
+                    t: bt,
+                    staging: bstage,
+                },
+            ) => {
+                let t = if rng.chance(0.5) { at } else { bt };
+                let staging = self.repair_staging(t, if rng.chance(0.5) { astage } else { bstage });
+                TunedConfig::Transpose { t, staging }
+            }
+            (TunedConfig::Stencil { n, layout: al }, TunedConfig::Stencil { layout: bl, .. }) => {
+                TunedConfig::Stencil {
+                    n,
+                    layout: if rng.chance(0.5) { al } else { bl },
+                }
+            }
+            (
+                TunedConfig::Nw {
+                    b: ab,
+                    layout: alay,
+                },
+                TunedConfig::Nw {
+                    b: bb,
+                    layout: blay,
+                },
+            ) => TunedConfig::Nw {
+                b: if rng.chance(0.5) { ab } else { bb },
+                layout: if rng.chance(0.5) { alay } else { blay },
+            },
+            (TunedConfig::Lud { r: ar, t: at }, TunedConfig::Lud { r: br, t: bt }) => {
+                let WorkloadKind::Lud { n, .. } = self.kind else {
+                    return self.random(rng);
+                };
+                let t = if rng.chance(0.5) { at } else { bt };
+                let r = nearest(
+                    &self.lud_r_values(n, t),
+                    if rng.chance(0.5) { ar } else { br },
+                );
+                TunedConfig::Lud { r, t }
+            }
+            (TunedConfig::Rowwise { op, bs: abs }, TunedConfig::Rowwise { bs: bbs, .. }) => {
+                TunedConfig::Rowwise {
+                    op,
+                    bs: if rng.chance(0.5) { abs } else { bbs },
+                }
+            }
+            // Mismatched parents (shouldn't happen inside one search):
+            // fall back to a fresh sample.
+            _ => self.random(rng),
+        }
+    }
+
+    // -- per-workload axes ------------------------------------------------
+
+    /// Legal `bm`/`bn` matmul tile sides.
+    fn matmul_tile_values(&self, n: i64) -> Vec<i64> {
+        match self.scale {
+            SpaceScale::Legacy => divisors_in(n, 64, 256)
+                .into_iter()
+                .filter(|v| v.count_ones() == 1)
+                .collect(),
+            SpaceScale::Enlarged => divisors_in(n, 32, 256),
+        }
+    }
+
+    /// Legal `bk` K-step depths.
+    fn matmul_bk_values(&self, n: i64) -> Vec<i64> {
+        match self.scale {
+            SpaceScale::Legacy => divisors_in(n, 32, 64)
+                .into_iter()
+                .filter(|v| v.count_ones() == 1)
+                .collect(),
+            SpaceScale::Enlarged => divisors_in(n, 16, 128),
+        }
+    }
+
+    /// Legal schedules for an `(n/bm) × (n/bn)` tile grid.
+    fn matmul_schedules(&self, n: i64, bm: i64, bn: i64) -> Vec<ScheduleChoice> {
+        let (nt_m, nt_n) = (n / bm, n / bn);
+        let mut out = vec![ScheduleChoice::RowMajor];
+        let gms = match self.scale {
+            SpaceScale::Legacy => divisors_in(nt_m, 4, 16),
+            SpaceScale::Enlarged => divisors_in(nt_m, 2, 64),
+        };
+        for gm in gms {
+            out.push(ScheduleChoice::Grouped { gm });
+        }
+        if nt_m == nt_n && nt_m.count_ones() == 1 && nt_m > 1 {
+            out.push(ScheduleChoice::Morton);
+        }
+        let bc: &[(i64, i64)] = match self.scale {
+            SpaceScale::Legacy => &[(8, 2)],
+            SpaceScale::Enlarged => &[
+                (2, 1),
+                (2, 2),
+                (2, 4),
+                (4, 1),
+                (4, 2),
+                (4, 4),
+                (8, 1),
+                (8, 2),
+                (8, 4),
+                (16, 1),
+                (16, 2),
+                (16, 4),
+            ],
+        };
+        for &(p, b) in bc {
+            if nt_m % (p * b) == 0 {
+                out.push(ScheduleChoice::BlockCyclic { p, b });
+            }
+        }
+        out
+    }
+
+    /// Snaps a schedule onto the legal set for the `(bm, bn)` grid.
+    fn repair_schedule(
+        &self,
+        n: i64,
+        bm: i64,
+        bn: i64,
+        schedule: ScheduleChoice,
+    ) -> ScheduleChoice {
+        let legal = self.matmul_schedules(n, bm, bn);
+        if legal.contains(&schedule) {
+            return schedule;
+        }
+        match schedule {
+            ScheduleChoice::Grouped { gm } => {
+                let gms: Vec<i64> = legal
+                    .iter()
+                    .filter_map(|s| match s {
+                        ScheduleChoice::Grouped { gm } => Some(*gm),
+                        _ => None,
+                    })
+                    .collect();
+                if gms.is_empty() {
+                    ScheduleChoice::RowMajor
+                } else {
+                    ScheduleChoice::Grouped {
+                        gm: nearest(&gms, gm),
+                    }
+                }
+            }
+            _ => ScheduleChoice::RowMajor,
+        }
+    }
+
+    /// Legal transpose tile sides.
+    fn transpose_t_values(&self, n: i64) -> Vec<i64> {
+        match self.scale {
+            SpaceScale::Legacy => divisors_in(n, 16, 32)
+                .into_iter()
+                .filter(|v| v.count_ones() == 1)
+                .collect(),
+            SpaceScale::Enlarged => divisors_in(n, 8, 64)
+                .into_iter()
+                .filter(|v| v.count_ones() == 1)
+                .collect(),
+        }
+    }
+
+    /// Legal staging layouts for a `t×t` tile (`None` = unstaged).
+    fn transpose_stagings(&self, t: i64) -> Vec<Option<StagingChoice>> {
+        let mut out = vec![
+            None,
+            Some(StagingChoice::Identity),
+            Some(StagingChoice::Swizzle),
+            Some(StagingChoice::ColMajor),
+            Some(StagingChoice::Antidiag),
+        ];
+        let (ps, bs): (&[i64], &[i64]) = match self.scale {
+            SpaceScale::Legacy => (&[8], &[4]),
+            SpaceScale::Enlarged => (&[2, 4, 8, 16, 32], &[1, 2, 4, 8, 16]),
+        };
+        for &p in ps {
+            for &b in bs {
+                // block_cyclic_elems needs p·b | t².
+                if p * b <= t * t && (t * t) % (p * b) == 0 {
+                    out.push(Some(StagingChoice::BlockCyclic { p, b }));
+                }
+            }
+        }
+        out
+    }
+
+    /// Snaps a staging choice onto the legal set for tile side `t`.
+    fn repair_staging(&self, t: i64, staging: Option<StagingChoice>) -> Option<StagingChoice> {
+        let legal = self.transpose_stagings(t);
+        if legal.contains(&staging) {
+            return staging;
+        }
+        if let Some(StagingChoice::BlockCyclic { p, b }) = staging {
+            let pairs: Vec<(i64, i64)> = legal
+                .iter()
+                .filter_map(|s| match s {
+                    Some(StagingChoice::BlockCyclic { p, b }) => Some((*p, *b)),
+                    _ => None,
+                })
+                .collect();
+            if let Some(&(np, nb)) = pairs
+                .iter()
+                .min_by_key(|(lp, lb)| (lp - p).abs() + (lb - b).abs())
+            {
+                return Some(StagingChoice::BlockCyclic { p: np, b: nb });
+            }
+        }
+        Some(StagingChoice::Swizzle)
+    }
+
+    /// Legal stencil layouts, flattened (row-major walks + brick sides).
+    fn stencil_layouts(&self, n: i64) -> Vec<StencilLayoutChoice> {
+        let mut out = vec![
+            StencilLayoutChoice::RowMajorY,
+            StencilLayoutChoice::RowMajorZ,
+        ];
+        let bricks = match self.scale {
+            SpaceScale::Legacy => divisors_in(n, 4, 8),
+            SpaceScale::Enlarged => divisors_in(n, 2, 16),
+        };
+        for b in bricks {
+            out.push(StencilLayoutChoice::Brick { b });
+        }
+        out
+    }
+
+    /// Legal NW block sizes. The legacy list requires `b | n`; the
+    /// enlarged range frees `b` to any multiple of 4 (the trace pads the
+    /// last block diagonal, as the generated kernel does).
+    fn nw_b_values(&self, n: i64) -> Vec<i64> {
+        match self.scale {
+            SpaceScale::Legacy => [16i64, 32, 64, 112, 128, 224]
+                .into_iter()
+                .filter(|b| n % b == 0)
+                .collect(),
+            SpaceScale::Enlarged => (2..=64)
+                .map(|k| k * 4)
+                .filter(|&b| b <= 256.min(n))
+                .collect(),
+        }
+    }
+
+    /// Legal LUD CUDA block sides.
+    fn lud_t_values(&self, n: i64, bs: i64) -> Vec<i64> {
+        match self.scale {
+            SpaceScale::Legacy => vec![bs],
+            SpaceScale::Enlarged => [8i64, 16, 32].into_iter().filter(|&t| t <= n).collect(),
+        }
+    }
+
+    /// Legal LUD coarsening factors for block side `t`.
+    fn lud_r_values(&self, n: i64, t: i64) -> Vec<i64> {
+        match self.scale {
+            SpaceScale::Legacy => [1i64, 2, 4, 8]
+                .into_iter()
+                .filter(|r| n % (r * t) == 0)
+                .collect(),
+            // Free integers: any coarsening whose LUD block fits a sane
+            // panel (r·t ≤ 256); the trace pads a partial last step.
+            SpaceScale::Enlarged => (1..=16).filter(|r| r * t <= 256.min(n)).collect(),
+        }
+    }
+
+    /// Legal rowwise column block sizes (powers of two — the generated
+    /// Triton kernels require it). Rowwise has no v2 enumeration, so
+    /// both scales share the list.
+    fn rowwise_bs_values(&self, n: i64) -> Vec<i64> {
+        crate::space::rowwise_block_sizes(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::build_layout;
+    use lego_codegen::cuda::stencil::StencilShape;
+
+    fn kinds() -> Vec<WorkloadKind> {
+        vec![
+            WorkloadKind::Matmul { n: 512 },
+            WorkloadKind::Transpose { n: 256 },
+            WorkloadKind::Stencil {
+                shape: StencilShape::Star(1),
+                n: 32,
+            },
+            WorkloadKind::Nw { n: 256, b: 16 },
+            WorkloadKind::Lud { n: 256, bs: 16 },
+            WorkloadKind::Rowwise {
+                op: lego_codegen::tuning::RowwiseOp::Softmax,
+                m: 128,
+                n: 1024,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_enumerated_config_builds_a_layout() {
+        for kind in kinds() {
+            for scale in [SpaceScale::Legacy, SpaceScale::Enlarged] {
+                let domain = Domain::new(kind, scale);
+                let configs = domain.enumerate();
+                assert_eq!(configs[0], kind.default_config(), "{}", kind.name());
+                for c in &configs {
+                    build_layout(&kind, c)
+                        .unwrap_or_else(|e| panic!("{} {:?} {c}: {e}", kind.name(), scale));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn moves_stay_inside_the_domain() {
+        for kind in kinds() {
+            for scale in [SpaceScale::Legacy, SpaceScale::Enlarged] {
+                let domain = Domain::new(kind, scale);
+                let all = domain.enumerate();
+                let mut rng = Rng::from_key(&kind.name());
+                let mut c = domain.default_config();
+                for i in 0..200 {
+                    c = match i % 3 {
+                        0 => domain.neighbor(&c, &mut rng),
+                        1 => domain.random(&mut rng),
+                        _ => {
+                            let other = domain.random(&mut rng);
+                            domain.crossover(&c, &other, &mut rng)
+                        }
+                    };
+                    assert!(
+                        all.contains(&c),
+                        "{}: {scale:?} move left the domain: {c}",
+                        kind.name()
+                    );
+                    for p in domain.local_neighbors(&c) {
+                        assert!(
+                            all.contains(&p),
+                            "{}: {scale:?} local neighbor left the domain: {p}",
+                            kind.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_usually_moves() {
+        // The walk must not get stuck returning the same point forever.
+        for kind in kinds() {
+            let domain = Domain::new(kind, SpaceScale::Enlarged);
+            let mut rng = Rng::from_key("move-check");
+            let c = domain.default_config();
+            let moved = (0..64)
+                .filter(|_| domain.neighbor(&c, &mut rng) != c)
+                .count();
+            assert!(moved > 16, "{}: only {moved}/64 moves", kind.name());
+        }
+    }
+}

@@ -3,45 +3,66 @@
 //! The LEGO algebra makes whole families of layouts *expressible*; this
 //! crate makes them *searchable*. For each workload it:
 //!
-//! 1. enumerates a [`SearchSpace`] of candidate configurations — tile
-//!    shapes, `OrderBy` permutation choices (grouped, Morton,
-//!    block-cyclic, XOR-swizzle, anti-diagonal, …) and the
-//!    expanded-vs-unexpanded expression variants of the §IV-A cost
-//!    model ([`lego_expr::cost`]);
-//! 2. scores every candidate in parallel through `gpu-sim`'s
-//!    [`gpu_sim::score()`] oracle (coalescing + bank conflicts + cache
-//!    filtering + roofline timing in one call);
-//! 3. persists the winner in a JSON [`TuningCache`] keyed by
-//!    `(workload, problem size, hardware config)`, so repeated runs
-//!    skip the search;
+//! 1. models the configuration space twice: the fixed v2
+//!    [`SearchSpace`] list (what exhaustive enumeration affords) and the
+//!    parameterized [`Domain`] with free-integer tile ranges plus
+//!    `neighbor`/`crossover` moves — tile shapes, `OrderBy` permutation
+//!    choices (grouped, Morton, block-cyclic, XOR-swizzle,
+//!    anti-diagonal, …) and the expanded-vs-unexpanded expression
+//!    variants of the §IV-A cost model ([`lego_expr::cost`]);
+//! 2. explores it with a [`Strategy`] — [`Strategy::Exhaustive`]
+//!    batch-scoring, or budgeted [`Strategy::Anneal`] /
+//!    [`Strategy::Genetic`] metaheuristics driven by a seeded in-crate
+//!    RNG ([`rng::Rng`]) so every search replays deterministically —
+//!    every candidate priced by `gpu-sim`'s [`gpu_sim::score()`] oracle
+//!    (coalescing + bank conflicts + cache filtering + roofline timing
+//!    in one call);
+//! 3. persists the winner *and the top-k frontier* in a JSON
+//!    [`TuningCache`] keyed by `(workload, problem size, hardware
+//!    config)`, so repeated runs skip the search and later searches
+//!    warm-start from previous populations;
 //! 4. hands the winning [`TunedConfig`] back to `lego-codegen`'s
 //!    `from_tuned` constructors to instantiate the tuned kernel.
 //!
 //! ```
 //! use gpu_sim::a100;
-//! use lego_tune::{Tuner, WorkloadKind};
+//! use lego_tune::{Budget, Strategy, Tuner, WorkloadKind};
 //!
 //! let tuner = Tuner::new(a100());
 //! let r = tuner.tune(&WorkloadKind::Transpose { n: 1024 }).unwrap();
 //! // The space always contains the hand-picked default, so tuning
 //! // never regresses it.
 //! assert!(r.tuned.time_s <= r.naive.time_s);
+//!
+//! // Budgeted annealing over the enlarged free-integer space: same
+//! // guarantee, bounded evaluations, deterministic per seed.
+//! let tuner = Tuner::new(a100())
+//!     .with_strategy(Strategy::Anneal)
+//!     .with_budget(Budget(64));
+//! let r = tuner.tune(&WorkloadKind::Transpose { n: 1024 }).unwrap();
+//! assert!(r.evaluated <= 64 && r.tuned.time_s <= r.naive.time_s);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod domain;
 pub mod json;
+pub mod rng;
 pub mod space;
+pub mod strategy;
 pub mod tuner;
 
 pub use cache::{cache_key, CachedTuning, TuningCache, CACHE_SCHEMA_VERSION};
+pub use domain::{Domain, SpaceScale};
 pub use json::Json;
 pub use lego_codegen::tuning::{
     NwLayoutChoice, RowwiseOp, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
 };
 pub use space::{
-    build_layout, build_workload, stencil_block, Candidate, SearchSpace, WorkloadKind,
+    build_layout, build_workload, rowwise_block_sizes, stencil_block, Candidate, SearchSpace,
+    WorkloadKind,
 };
+pub use strategy::{run_search, Budget, SearchOutcome, Strategy, FRONTIER_K};
 pub use tuner::{TuneError, TuneResult, Tuner};

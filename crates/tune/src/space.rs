@@ -15,13 +15,14 @@
 
 use gpu_sim::score::Workload;
 use gpu_sim::trace::{
-    LaneAxis, LudPanels, MatmulWaves, NwWavefront, StencilWalk, TraceBuilder, TransposeSweeps,
+    LaneAxis, LudPanels, MatmulWaves, NwWavefront, RowwiseSweep, StencilWalk, TraceBuilder,
+    TransposeSweeps,
 };
 use gpu_sim::GpuConfig;
 use lego_codegen::cuda::stencil::StencilShape;
 use lego_codegen::cuda::transpose::staging_perm;
 use lego_codegen::tuning::{
-    NwLayoutChoice, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
+    NwLayoutChoice, RowwiseOp, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
 };
 use lego_core::brick::{brick3d, row_major3d};
 use lego_core::perms::{block_cyclic_rows, morton};
@@ -62,6 +63,46 @@ pub enum WorkloadKind {
         /// Baseline LUD block side = CUDA block side (16 in Rodinia).
         bs: i64,
     },
+    /// Row-wise streaming operator (softmax / LayerNorm) over an `m×n`
+    /// fp16 matrix; the tuned knob is the column block size `BS`.
+    Rowwise {
+        /// Which operator.
+        op: RowwiseOp,
+        /// Number of rows.
+        m: i64,
+        /// Row length (columns).
+        n: i64,
+    },
+}
+
+/// Stable short tag of a rowwise operator, shared by workload names and
+/// trace labels.
+pub fn rowwise_tag(op: RowwiseOp) -> &'static str {
+    match op {
+        RowwiseOp::Softmax => "softmax",
+        RowwiseOp::LayernormFwd => "layernorm-fwd",
+        RowwiseOp::LayernormBwd => "layernorm-bwd",
+    }
+}
+
+/// The smallest power of two ≥ `n` (for positive `n`).
+fn next_pow2(n: i64) -> i64 {
+    (n.max(1) as u64).next_power_of_two() as i64
+}
+
+/// Legal rowwise column block sizes for row length `n`: powers of two
+/// (the generated Triton kernels require it) from one warp's worth up
+/// to a few× the padded row. Never empty: the floor of 32 keeps the
+/// default config a member even for degenerate tiny rows.
+pub fn rowwise_block_sizes(n: i64) -> Vec<i64> {
+    let hi = (next_pow2(n) * 4).clamp(32, 16384);
+    let mut out = Vec::new();
+    let mut p = 32i64;
+    while p <= hi {
+        out.push(p);
+        p *= 2;
+    }
+    out
 }
 
 impl WorkloadKind {
@@ -75,6 +116,9 @@ impl WorkloadKind {
             }
             WorkloadKind::Nw { n, b } => format!("nw(n={n},b={b})"),
             WorkloadKind::Lud { n, bs } => format!("lud(n={n},bs={bs})"),
+            WorkloadKind::Rowwise { op, m, n } => {
+                format!("{}(m={m},n={n})", rowwise_tag(*op))
+            }
         }
     }
 
@@ -115,6 +159,12 @@ impl WorkloadKind {
                 layout: NwLayoutChoice::RowMajor,
             },
             WorkloadKind::Lud { bs, .. } => TunedConfig::Lud { r: 1, t: *bs },
+            // The Triton tutorial default: one block covering the whole
+            // (power-of-two padded) row.
+            WorkloadKind::Rowwise { op, n, .. } => TunedConfig::Rowwise {
+                op: *op,
+                bs: next_pow2(*n).clamp(32, 16384),
+            },
         }
     }
 }
@@ -130,6 +180,20 @@ pub struct Candidate {
     pub expr_variant: Option<Variant>,
     /// Operation count of the chosen variant.
     pub index_ops: Option<usize>,
+}
+
+impl Candidate {
+    /// Annotates a configuration with the cheaper expression variant of
+    /// the §IV-A cost model — the single constructor both the exhaustive
+    /// enumeration and the metaheuristic strategies go through.
+    pub fn annotated(kind: &WorkloadKind, config: &TunedConfig) -> Candidate {
+        let (expr_variant, index_ops) = annotate(kind, config);
+        Candidate {
+            config: *config,
+            expr_variant,
+            index_ops,
+        }
+    }
 }
 
 /// The enumerated search space of one workload.
@@ -258,17 +322,15 @@ impl SearchSpace {
                     }
                 }
             }
+            WorkloadKind::Rowwise { op, n, .. } => {
+                for bs in rowwise_block_sizes(n) {
+                    push(TunedConfig::Rowwise { op, bs }, &mut configs);
+                }
+            }
         }
         let candidates = configs
             .into_iter()
-            .map(|config| {
-                let (expr_variant, index_ops) = annotate(&kind, &config);
-                Candidate {
-                    config,
-                    expr_variant,
-                    index_ops,
-                }
-            })
+            .map(|config| Candidate::annotated(&kind, &config))
             .collect();
         SearchSpace { kind, candidates }
     }
@@ -335,6 +397,10 @@ pub fn build_layout(kind: &WorkloadKind, config: &TunedConfig) -> Result<Layout>
         (WorkloadKind::Lud { .. }, TunedConfig::Lud { r, t }) => {
             Ok(lego_codegen::cuda::lud::generate(*r, *t)?.layout)
         }
+        // The rowwise lane block: one program's `BS`-wide row slice,
+        // unit-stride by construction (the generated kernels index it as
+        // `row·BS + arange(BS)`).
+        (WorkloadKind::Rowwise { .. }, TunedConfig::Rowwise { bs, .. }) => Layout::identity([*bs]),
         _ => Err(lego_core::LayoutError::Unsupported(
             "workload kind and config disagree",
         )),
@@ -432,6 +498,15 @@ fn symbolic_exprs(kind: &WorkloadKind, config: &TunedConfig) -> Option<(Vec<Expr
                 .ok()?;
             Some((vec![point], env))
         }
+        (WorkloadKind::Rowwise { m, .. }, TunedConfig::Rowwise { bs, .. }) => {
+            // The per-program global offset of the generated kernels:
+            // `row·BS + lane` over the padded M×BS view.
+            let mut env = RangeEnv::new();
+            env.set_bounds("row", Expr::zero(), Expr::val(*m));
+            env.set_bounds("lane", Expr::zero(), Expr::val(*bs));
+            let off = Expr::sym("row") * Expr::val(*bs) + Expr::sym("lane");
+            Some((vec![off], env))
+        }
         _ => None,
     }
 }
@@ -452,6 +527,10 @@ fn index_evals(kind: &WorkloadKind, config: &TunedConfig) -> f64 {
         // steps, ~n²·steps/3.
         (WorkloadKind::Lud { n, .. }, TunedConfig::Lud { r, t }) => {
             (n * n) as f64 * (n / (r * t)) as f64 / 3.0
+        }
+        // One offset vector per program per column chunk.
+        (WorkloadKind::Rowwise { m, n, .. }, TunedConfig::Rowwise { bs, .. }) => {
+            (*m as f64) * (n + bs - 1).div_euclid(*bs).max(1) as f64
         }
         _ => 0.0,
     }
@@ -504,6 +583,25 @@ pub fn build_workload(kind: &WorkloadKind, candidate: &Candidate, gpu: &GpuConfi
             index_flops,
         }
         .build(gpu),
+        (WorkloadKind::Rowwise { op, m, n }, TunedConfig::Rowwise { bs, .. }) => {
+            // Traffic and flop factors match `lego-bench`'s rowwise
+            // model (reads+writes per element pass, fused-kernel flops).
+            let (passes, flops_per_elem) = match op {
+                RowwiseOp::Softmax => (2.0, 6.0),
+                RowwiseOp::LayernormFwd => (3.0, 8.0),
+                RowwiseOp::LayernormBwd => (4.5, 12.0),
+            };
+            RowwiseSweep {
+                op_name: rowwise_tag(op).to_string(),
+                m,
+                n,
+                bs,
+                passes,
+                flops_per_elem,
+                index_flops,
+            }
+            .build(gpu)
+        }
         _ => unreachable!("kind/config pairs come from SearchSpace::enumerate"),
     }
 }

@@ -1,0 +1,497 @@
+//! Search strategies: how the tuner spends its evaluation budget.
+//!
+//! The v2 tuner had exactly one move — enumerate everything and
+//! batch-score it — which caps how rich the configuration space can get
+//! before `score_batch` dominates. This module adds budgeted
+//! metaheuristics over the parameterized [`Domain`]:
+//!
+//! * [`Strategy::Exhaustive`] — score every point (the v2 behavior;
+//!   ground truth for the CI search-parity gate);
+//! * [`Strategy::Anneal`] — simulated annealing: a [`Domain::neighbor`]
+//!   walk with Metropolis acceptance on relative slowdown, geometric
+//!   cooling, and greedy reheats from the incumbent best;
+//! * [`Strategy::Genetic`] — a (μ+λ) genetic search: elite carry-over,
+//!   tournament parent selection, axis-wise [`Domain::crossover`] and
+//!   neighbor-mutation, with the population seeded from the cache's
+//!   persisted top-k frontier when one is available.
+//!
+//! All strategies are deterministic: randomness comes from the in-crate
+//! [`Rng`] seeded by the tuning cache key plus the strategy name, so
+//! the same search replays bit-identically (the basis of the
+//! determinism tests and the CI gate). A [`Budget`] bounds *unique*
+//! configurations scored; re-proposing an already-scored point costs
+//! nothing. Because the proposal stream does not depend on the budget,
+//! a larger budget evaluates a superset of a smaller one — the winner
+//! can only improve (asserted by the budget-monotonicity test).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use gpu_sim::score::{score_batch, Estimate};
+use gpu_sim::GpuConfig;
+use lego_codegen::tuning::TunedConfig;
+
+use crate::cache::config_to_json;
+use crate::domain::Domain;
+use crate::rng::Rng;
+use crate::space::{build_layout, build_workload, Candidate, WorkloadKind};
+use crate::tuner::TuneError;
+
+/// Maximum number of unique configurations a search may score. The
+/// default (2000) comfortably covers every built-in enlarged space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Budget(pub usize);
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget(2000)
+    }
+}
+
+impl Budget {
+    /// The evaluation cap (at least 1: the default config is always
+    /// scored so the search can never regress it).
+    pub fn max_evals(self) -> usize {
+        self.0.max(1)
+    }
+}
+
+/// How the tuner explores a search space.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Enumerate and score every candidate (the v2 behavior).
+    #[default]
+    Exhaustive,
+    /// Simulated annealing over the parameterized domain.
+    Anneal,
+    /// Genetic search with cache-frontier warm starts.
+    Genetic,
+}
+
+impl Strategy {
+    /// Stable name, used for seeds, the cache document, and `--strategy`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Exhaustive => "exhaustive",
+            Strategy::Anneal => "anneal",
+            Strategy::Genetic => "genetic",
+        }
+    }
+
+    /// Parses a `--strategy` argument.
+    pub fn parse(s: &str) -> Option<Strategy> {
+        match s {
+            "exhaustive" => Some(Strategy::Exhaustive),
+            "anneal" => Some(Strategy::Anneal),
+            "genetic" => Some(Strategy::Genetic),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Ranking key of an estimate: the roofline `max()` hides
+/// non-bottleneck improvements, so ties break toward fewer
+/// shared-memory passes, then less DRAM traffic.
+pub fn rank(e: &Estimate) -> (f64, f64, f64) {
+    (e.time_s, e.smem_passes, e.dram_bytes)
+}
+
+/// The outcome of one search run.
+pub struct SearchOutcome {
+    /// The winning candidate (annotated with its expression variant).
+    pub winner: Candidate,
+    /// Estimate of the winner.
+    pub tuned: Estimate,
+    /// Estimate of the default configuration (always evaluated first).
+    pub naive: Estimate,
+    /// Unique configurations scored.
+    pub evaluated: usize,
+    /// The top-k evaluated configs (best first) with their times — the
+    /// warm-start population persisted in the cache.
+    pub frontier: Vec<(TunedConfig, f64)>,
+}
+
+/// Memoizing, budget-enforcing evaluation oracle shared by all
+/// strategies. Every unique config is scored once; the default config
+/// is entry zero.
+struct Evaluator<'a> {
+    kind: WorkloadKind,
+    gpu: &'a GpuConfig,
+    max_evals: usize,
+    /// Serialized config → index into `entries` (scored) or `usize::MAX`
+    /// (failed to build: treated as infeasible, not charged).
+    seen: HashMap<String, usize>,
+    entries: Vec<(Candidate, Estimate)>,
+    best: usize,
+}
+
+fn config_key(c: &TunedConfig) -> String {
+    config_to_json(c).render()
+}
+
+impl<'a> Evaluator<'a> {
+    fn new(kind: WorkloadKind, gpu: &'a GpuConfig, max_evals: usize) -> Evaluator<'a> {
+        Evaluator {
+            kind,
+            gpu,
+            max_evals,
+            seen: HashMap::new(),
+            entries: Vec::new(),
+            best: 0,
+        }
+    }
+
+    fn evals(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn exhausted(&self) -> bool {
+        self.entries.len() >= self.max_evals
+    }
+
+    /// Scores a batch of configs (deduplicated, in order) until the
+    /// budget runs out. Returns how many new configs were scored.
+    fn eval_batch(&mut self, configs: &[TunedConfig]) -> usize {
+        let mut fresh: Vec<(String, Candidate)> = Vec::new();
+        let mut jobs = Vec::new();
+        for c in configs {
+            if self.entries.len() + fresh.len() >= self.max_evals {
+                break;
+            }
+            let key = config_key(c);
+            if self.seen.contains_key(&key) || fresh.iter().any(|(k, _)| *k == key) {
+                continue;
+            }
+            let cand = Candidate::annotated(&self.kind, c);
+            match build_layout(&self.kind, &cand.config) {
+                Ok(layout) => {
+                    let wl = build_workload(&self.kind, &cand, self.gpu);
+                    jobs.push((layout, wl));
+                    fresh.push((key, cand));
+                }
+                // Unbuildable configs are infeasible, not charged.
+                Err(_) => {
+                    self.seen.insert(key, usize::MAX);
+                }
+            }
+        }
+        if fresh.is_empty() {
+            return 0;
+        }
+        let estimates = score_batch(jobs, self.gpu);
+        let added = fresh.len();
+        for ((key, cand), est) in fresh.into_iter().zip(estimates) {
+            let idx = self.entries.len();
+            self.seen.insert(key, idx);
+            self.entries.push((cand, est));
+            if rank(&est) < rank(&self.entries[self.best].1) {
+                self.best = idx;
+            }
+        }
+        added
+    }
+
+    /// Scores the default configuration — always the first evaluation,
+    /// so it becomes entry zero (the naive baseline every strategy is
+    /// compared against). Unlike [`Evaluator::eval`], a build failure
+    /// here is an error, not an infeasible point: a default that does
+    /// not build is a bug in the space, and skipping it would silently
+    /// misattribute the naive baseline to some other candidate.
+    fn eval_default(&mut self, c: &TunedConfig) -> Result<Estimate, TuneError> {
+        debug_assert!(self.entries.is_empty(), "default must be entry zero");
+        let cand = Candidate::annotated(&self.kind, c);
+        let layout = build_layout(&self.kind, &cand.config)?;
+        let wl = build_workload(&self.kind, &cand, self.gpu);
+        let est = gpu_sim::score(&layout, &wl, self.gpu);
+        self.seen.insert(config_key(c), self.entries.len());
+        self.entries.push((cand, est));
+        Ok(est)
+    }
+
+    /// Scores one config, returning its estimate. `None` when the
+    /// config is infeasible or the budget is exhausted (and the config
+    /// unseen).
+    fn eval(&mut self, c: &TunedConfig) -> Option<Estimate> {
+        let key = config_key(c);
+        if let Some(&idx) = self.seen.get(&key) {
+            return (idx != usize::MAX).then(|| self.entries[idx].1);
+        }
+        if self.exhausted() {
+            return None;
+        }
+        let cand = Candidate::annotated(&self.kind, c);
+        let Ok(layout) = build_layout(&self.kind, &cand.config) else {
+            self.seen.insert(key, usize::MAX);
+            return None;
+        };
+        let wl = build_workload(&self.kind, &cand, self.gpu);
+        let est = gpu_sim::score(&layout, &wl, self.gpu);
+        let idx = self.entries.len();
+        self.seen.insert(key, idx);
+        self.entries.push((cand, est));
+        if rank(&est) < rank(&self.entries[self.best].1) {
+            self.best = idx;
+        }
+        Some(est)
+    }
+
+    fn best_config(&self) -> TunedConfig {
+        self.entries[self.best].0.config
+    }
+
+    fn finish(self) -> Result<SearchOutcome, TuneError> {
+        if self.entries.is_empty() {
+            return Err(TuneError::EmptySpace(self.kind.name()));
+        }
+        let naive = self.entries[0].1;
+        let (winner, tuned) = self.entries[self.best].clone();
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            rank(&self.entries[a].1)
+                .partial_cmp(&rank(&self.entries[b].1))
+                .expect("estimates are finite")
+                .then(a.cmp(&b))
+        });
+        let frontier = order
+            .into_iter()
+            .take(FRONTIER_K)
+            .map(|i| (self.entries[i].0.config, self.entries[i].1.time_s))
+            .collect();
+        Ok(SearchOutcome {
+            winner,
+            tuned,
+            naive,
+            evaluated: self.entries.len(),
+            frontier,
+        })
+    }
+}
+
+/// How many frontier configs are persisted per cache entry.
+pub const FRONTIER_K: usize = 8;
+
+/// Runs `strategy` over `domain` and returns the outcome.
+///
+/// `seed_key` derives the deterministic RNG (pass the tuning cache key);
+/// `warm_start` is a previously persisted frontier to seed from (ignored
+/// by `Exhaustive`).
+///
+/// # Errors
+///
+/// [`TuneError::EmptySpace`] when the domain has no feasible point.
+pub fn run_search(
+    strategy: Strategy,
+    domain: &Domain,
+    gpu: &GpuConfig,
+    budget: Budget,
+    seed_key: &str,
+    warm_start: &[TunedConfig],
+) -> Result<SearchOutcome, TuneError> {
+    let mut rng = Rng::from_key(&format!("{seed_key}|{}", strategy.name()));
+    match strategy {
+        Strategy::Exhaustive => {
+            // Exhaustive ignores the budget: it is the ground truth the
+            // budgeted strategies are gated against.
+            let all = domain.enumerate();
+            let mut eval = Evaluator::new(domain.kind, gpu, all.len().max(1));
+            eval.eval_default(&domain.default_config())?;
+            eval.eval_batch(&all);
+            eval.finish()
+        }
+        Strategy::Anneal => {
+            let mut eval = Evaluator::new(domain.kind, gpu, budget.max_evals());
+            eval.eval_default(&domain.default_config())?;
+            anneal(domain, &mut eval, &mut rng, warm_start);
+            eval.finish()
+        }
+        Strategy::Genetic => {
+            let mut eval = Evaluator::new(domain.kind, gpu, budget.max_evals());
+            eval.eval_default(&domain.default_config())?;
+            genetic(domain, &mut eval, &mut rng, warm_start);
+            eval.finish()
+        }
+    }
+}
+
+/// Simulated annealing: Metropolis acceptance on *relative* slowdown
+/// with geometric cooling; when the chain freezes it reheats from the
+/// incumbent best. A small fraction of proposals are uniform random
+/// points (basin hopping) so jagged landscapes — e.g. NW's padded
+/// block sizes — cannot trap the walk in a local valley, and every new
+/// incumbent best is polished by probing its deterministic unit-step
+/// neighborhood, so the returned winner is always a local optimum of
+/// the unit lattice (budget permitting). The whole proposal stream is
+/// a function of the evaluation history only — never of the budget —
+/// so a longer run extends (never reshuffles) a shorter one.
+fn anneal(domain: &Domain, eval: &mut Evaluator<'_>, rng: &mut Rng, warm_start: &[TunedConfig]) {
+    const T0: f64 = 0.06;
+    const ALPHA: f64 = 0.88;
+    const TMIN: f64 = 1.5e-3;
+    const JUMP_P: f64 = 0.15;
+
+    // The default is entry zero already (`run_search` scored it)…
+    let default = domain.default_config();
+    let Some(mut cur_est) = eval.eval(&default) else {
+        return;
+    };
+    let mut current = default;
+    // …then the walk starts from the best warm-start point, if any.
+    for c in warm_start {
+        if let Some(e) = eval.eval(c) {
+            if rank(&e) < rank(&cur_est) {
+                current = *c;
+                cur_est = e;
+            }
+        }
+    }
+
+    let mut t = T0;
+    let max_proposals = 64 * eval.max_evals;
+    let mut proposals = 0usize;
+    // Whenever a new incumbent best appears, its unit-step neighborhood
+    // is queued for systematic probing before random proposals resume.
+    let mut polish: std::collections::VecDeque<TunedConfig> = std::collections::VecDeque::new();
+    let mut polished_best = eval.best_config();
+    polish.extend(domain.local_neighbors(&polished_best));
+    while !eval.exhausted() && proposals < max_proposals {
+        proposals += 1;
+        let cand = if let Some(p) = polish.pop_front() {
+            p
+        } else if rng.chance(JUMP_P) {
+            domain.random(rng)
+        } else {
+            domain.neighbor(&current, rng)
+        };
+        if cand == current {
+            continue;
+        }
+        let fresh = eval.evals();
+        let Some(est) = eval.eval(&cand) else {
+            // Infeasible or out of budget; out-of-budget ends the walk.
+            if eval.exhausted() {
+                break;
+            }
+            continue;
+        };
+        let delta = (est.time_s - cur_est.time_s) / cur_est.time_s.max(f64::MIN_POSITIVE);
+        if delta <= 0.0 || rng.f64() < (-delta / t).exp() {
+            current = cand;
+            cur_est = est;
+        }
+        // Cool per *new* evaluation so the schedule tracks budget
+        // consumption (re-proposing a seen point is free and must not
+        // freeze the chain), yet stays budget-independent: a longer run
+        // replays a shorter one exactly and keeps going.
+        if eval.evals() > fresh {
+            t *= ALPHA;
+        }
+        let best = eval.best_config();
+        if best != polished_best {
+            polished_best = best;
+            polish.clear();
+            polish.extend(domain.local_neighbors(&polished_best));
+        }
+        if t < TMIN {
+            // Reheat greedily from the best point found so far.
+            t = T0;
+            current = eval.best_config();
+            cur_est = eval.eval(&current).expect("best is evaluated");
+        }
+    }
+}
+
+/// (μ+λ) genetic search: elites survive, parents are picked by binary
+/// tournament, children are axis-wise crossovers with neighbor
+/// mutation. Each generation is batch-scored in parallel, and every
+/// new incumbent best has its deterministic unit-step neighborhood
+/// probed (same local-optimum guarantee as the annealer).
+fn genetic(domain: &Domain, eval: &mut Evaluator<'_>, rng: &mut Rng, warm_start: &[TunedConfig]) {
+    const POP: usize = 16;
+    const ELITE: usize = 4;
+    const MUTATE_P: f64 = 0.4;
+
+    // Founding population: default first (the naive baseline), then the
+    // persisted frontier, then random samples.
+    let mut pop: Vec<TunedConfig> = vec![domain.default_config()];
+    for c in warm_start {
+        if !pop.contains(c) {
+            pop.push(*c);
+        }
+    }
+    let mut attempts = 0;
+    while pop.len() < POP && attempts < 64 * POP {
+        attempts += 1;
+        let c = domain.random(rng);
+        if !pop.contains(&c) {
+            pop.push(c);
+        }
+    }
+    eval.eval_batch(&pop);
+
+    let max_generations = 4 * eval.max_evals / POP.min(eval.max_evals).max(1) + 4;
+    let mut polished_best: Option<TunedConfig> = None;
+    for _ in 0..max_generations {
+        if eval.exhausted() {
+            break;
+        }
+        // Polish a new incumbent best to its unit-lattice local optimum
+        // before spending budget on the next generation.
+        loop {
+            let best = eval.best_config();
+            if polished_best == Some(best) || eval.exhausted() {
+                break;
+            }
+            polished_best = Some(best);
+            eval.eval_batch(&domain.local_neighbors(&best));
+        }
+        if eval.exhausted() {
+            break;
+        }
+        // Rank the current population (unevaluated members sink).
+        let mut ranked: Vec<(TunedConfig, (f64, f64, f64))> = pop
+            .iter()
+            .map(|c| {
+                let r = eval
+                    .eval(c)
+                    .map_or((f64::INFINITY, f64::INFINITY, f64::INFINITY), |e| rank(&e));
+                (*c, r)
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite or inf ranks"));
+        let elites: Vec<TunedConfig> = ranked.iter().take(ELITE).map(|(c, _)| *c).collect();
+
+        let tournament = |rng: &mut Rng| -> TunedConfig {
+            let a = rng.below(ranked.len());
+            let b = rng.below(ranked.len());
+            if ranked[a].1 <= ranked[b].1 {
+                ranked[a].0
+            } else {
+                ranked[b].0
+            }
+        };
+        let mut children: Vec<TunedConfig> = Vec::new();
+        let mut stall = 0;
+        while children.len() < POP - ELITE && stall < 64 * POP {
+            let pa = tournament(rng);
+            let pb = tournament(rng);
+            let mut child = domain.crossover(&pa, &pb, rng);
+            if rng.chance(MUTATE_P) {
+                child = domain.neighbor(&child, rng);
+            }
+            if elites.contains(&child) || children.contains(&child) {
+                stall += 1;
+                continue;
+            }
+            children.push(child);
+        }
+        eval.eval_batch(&children);
+        pop = elites;
+        pop.extend(children);
+    }
+}

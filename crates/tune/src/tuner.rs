@@ -1,16 +1,19 @@
-//! The search driver: enumerate → batch-score → pick → cache.
+//! The search driver: pick a strategy, spend the budget, cache the
+//! winner (with its frontier) per `(workload, hardware)`.
 
 use std::fmt;
 use std::path::PathBuf;
 
-use gpu_sim::score::{score_batch, Estimate};
+use gpu_sim::score::Estimate;
 use gpu_sim::GpuConfig;
 use lego_codegen::tuning::TunedConfig;
 use lego_core::LayoutError;
 use lego_expr::Variant;
 
 use crate::cache::{cache_key, CachedTuning, TuningCache};
-use crate::space::{build_layout, build_workload, SearchSpace, WorkloadKind};
+use crate::domain::{Domain, SpaceScale};
+use crate::space::WorkloadKind;
+use crate::strategy::{run_search, Budget, Strategy};
 
 /// Errors of the tuning pipeline.
 #[derive(Debug)]
@@ -78,17 +81,28 @@ impl TuneResult {
     }
 }
 
-/// The autotuner: a hardware model plus an optional persistent cache.
+/// The autotuner: a hardware model, a search strategy with its budget,
+/// and an optional persistent cache.
 #[derive(Clone, Debug)]
 pub struct Tuner {
     gpu: GpuConfig,
     cache: Option<TuningCache>,
+    strategy: Strategy,
+    budget: Budget,
+    space: Option<SpaceScale>,
 }
 
 impl Tuner {
-    /// A tuner for the given hardware model, without a cache.
+    /// A tuner for the given hardware model: exhaustive search over the
+    /// legacy space, no cache.
     pub fn new(gpu: GpuConfig) -> Tuner {
-        Tuner { gpu, cache: None }
+        Tuner {
+            gpu,
+            cache: None,
+            strategy: Strategy::default(),
+            budget: Budget::default(),
+            space: None,
+        }
     }
 
     /// Attaches a JSON tuning cache at `path`.
@@ -98,18 +112,71 @@ impl Tuner {
         self
     }
 
+    /// Selects the search strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: Strategy) -> Tuner {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the evaluation budget (ignored by `Exhaustive`).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Budget) -> Tuner {
+        self.budget = budget;
+        self
+    }
+
+    /// Pins the space scale. Without a pin, `Exhaustive` enumerates the
+    /// legacy space (what it can afford) and the budgeted strategies
+    /// search the enlarged one (what they exist for).
+    #[must_use]
+    pub fn with_space(mut self, space: SpaceScale) -> Tuner {
+        self.space = Some(space);
+        self
+    }
+
     /// The hardware model being tuned against.
     pub fn gpu(&self) -> &GpuConfig {
         &self.gpu
     }
 
+    /// The strategy in use.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The space scale the current strategy will search.
+    pub fn effective_space(&self) -> SpaceScale {
+        self.space.unwrap_or(match self.strategy {
+            Strategy::Exhaustive => SpaceScale::Legacy,
+            Strategy::Anneal | Strategy::Genetic => SpaceScale::Enlarged,
+        })
+    }
+
+    /// Whether a cached entry satisfies the current search request: the
+    /// strategy and space must match, and a budgeted entry must have
+    /// spent at least the requested budget.
+    fn satisfied_by(&self, hit: &CachedTuning) -> bool {
+        hit.strategy == self.strategy.name()
+            && hit.space == self.effective_space().name()
+            && match self.strategy {
+                Strategy::Exhaustive => true,
+                Strategy::Anneal | Strategy::Genetic => {
+                    hit.budget.unwrap_or(0) >= self.budget.max_evals()
+                }
+            }
+    }
+
     /// Tunes one workload: returns the cached result when the cache has
-    /// an entry for `(workload, hardware)`, otherwise enumerates the
-    /// search space, scores every candidate in parallel on the
-    /// `gpu-sim` model, picks the fastest, and persists it.
+    /// a satisfying entry for `(workload, hardware)`, otherwise runs the
+    /// configured [`Strategy`] over the workload's [`Domain`] — warm-
+    /// started from any unsatisfying entry's persisted frontier — picks
+    /// the fastest evaluated configuration, and persists it together
+    /// with the new top-k frontier.
     ///
-    /// The default configuration is always candidate zero, so
-    /// `tuned.time_s <= naive.time_s` holds by construction.
+    /// The default configuration is always evaluated first, so
+    /// `tuned.time_s <= naive.time_s` holds by construction under every
+    /// strategy.
     ///
     /// # Errors
     ///
@@ -117,54 +184,49 @@ impl Tuner {
     pub fn tune(&self, kind: &WorkloadKind) -> Result<TuneResult, TuneError> {
         let workload = kind.name();
         let key = cache_key(&workload, &self.gpu);
+        let mut warm_start: Vec<TunedConfig> = Vec::new();
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.lookup(&key) {
-                return Ok(TuneResult {
-                    workload,
-                    config: hit.config,
-                    expr_variant: hit.expr_variant,
-                    index_ops: hit.index_ops,
-                    naive: hit.naive,
-                    tuned: hit.tuned,
-                    evaluated: 0,
-                    from_cache: true,
-                });
+                if self.satisfied_by(&hit) {
+                    return Ok(TuneResult {
+                        workload,
+                        config: hit.config,
+                        expr_variant: hit.expr_variant,
+                        index_ops: hit.index_ops,
+                        naive: hit.naive,
+                        tuned: hit.tuned,
+                        evaluated: 0,
+                        from_cache: true,
+                    });
+                }
+                // A differently-searched entry still knows good points:
+                // reuse its frontier as the warm-start population.
+                warm_start = hit.frontier.iter().map(|(c, _)| *c).collect();
             }
         }
 
-        let space = SearchSpace::enumerate(*kind);
-        if space.candidates.is_empty() {
-            return Err(TuneError::EmptySpace(workload));
-        }
-        let mut jobs = Vec::with_capacity(space.candidates.len());
-        for cand in &space.candidates {
-            let layout = build_layout(kind, &cand.config)?;
-            let wl = build_workload(kind, cand, &self.gpu);
-            jobs.push((layout, wl));
-        }
-        let estimates = score_batch(jobs, &self.gpu);
-
-        // Candidate 0 is the hand-picked default by construction.
-        let naive = estimates[0];
-        // Pick the fastest; the roofline max() hides non-bottleneck
-        // improvements, so ties break toward fewer shared-memory passes,
-        // then less DRAM traffic, then enumeration order (stable).
-        let rank = |e: &Estimate| (e.time_s, e.smem_passes, e.dram_bytes);
-        let (best, _) = estimates
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| rank(a).partial_cmp(&rank(b)).expect("estimates are finite"))
-            .expect("non-empty space");
-        let winner = &space.candidates[best];
+        let domain = Domain::new(*kind, self.effective_space());
+        // A frontier cached under another space scale may hold configs
+        // this search must not return (e.g. an enlarged-only NW block
+        // size when the caller pinned --space legacy).
+        warm_start.retain(|c| domain.contains(c));
+        let outcome = run_search(
+            self.strategy,
+            &domain,
+            &self.gpu,
+            self.budget,
+            &key,
+            &warm_start,
+        )?;
 
         let result = TuneResult {
             workload,
-            config: winner.config,
-            expr_variant: winner.expr_variant,
-            index_ops: winner.index_ops,
-            naive,
-            tuned: estimates[best],
-            evaluated: space.candidates.len(),
+            config: outcome.winner.config,
+            expr_variant: outcome.winner.expr_variant,
+            index_ops: outcome.winner.index_ops,
+            naive: outcome.naive,
+            tuned: outcome.tuned,
+            evaluated: outcome.evaluated,
             from_cache: false,
         };
         if let Some(cache) = &self.cache {
@@ -177,6 +239,13 @@ impl Tuner {
                     naive: result.naive,
                     tuned: result.tuned,
                     evaluated: result.evaluated,
+                    strategy: self.strategy.name().to_string(),
+                    budget: match self.strategy {
+                        Strategy::Exhaustive => None,
+                        Strategy::Anneal | Strategy::Genetic => Some(self.budget.max_evals()),
+                    },
+                    space: self.effective_space().name().to_string(),
+                    frontier: outcome.frontier,
                 },
             )?;
         }

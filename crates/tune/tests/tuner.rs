@@ -130,6 +130,10 @@ fn cache_round_trips_estimates() {
         naive: fresh.naive,
         tuned: fresh.tuned,
         evaluated: fresh.evaluated,
+        strategy: "exhaustive".to_string(),
+        budget: None,
+        space: "legacy".to_string(),
+        frontier: vec![(fresh.config, fresh.tuned.time_s)],
     };
     cache.store(&key, &entry).unwrap();
     let back = cache.lookup(&key).unwrap();
