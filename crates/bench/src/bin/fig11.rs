@@ -12,7 +12,6 @@
 //! anneal|genetic` with `--budget N` selects a budgeted metaheuristic
 //! over the enlarged space instead of exhaustive enumeration.
 
-use gpu_sim::a100;
 use lego_bench::workloads::matmul::{simulate, Schedule};
 use lego_bench::workloads::rowwise::{grouped_gemm_tflops, Impl, RowwiseBench};
 use lego_bench::{emit, tuned};
@@ -22,11 +21,14 @@ use lego_tune::{Json, RowwiseOp, WorkloadKind};
 const TILES: (i64, i64, i64) = (128, 128, 64);
 
 fn main() {
-    let cfg = a100();
+    let cfg = tuned::device_from_args();
     let sizes = [2048i64, 4096, 8192];
     let mut rows = Vec::new();
 
-    println!("Figure 11: Triton suite (TFLOP/s for GEMMs, GB/s for row-wise)\n");
+    println!(
+        "Figure 11: Triton suite (TFLOP/s for GEMMs, GB/s for row-wise; {})\n",
+        cfg.name
+    );
 
     for variant in MatmulVariant::ALL {
         println!("-- Matmul {} (TFLOP/s) --", variant.name());
@@ -129,7 +131,10 @@ fn main() {
         ]));
     }
 
-    emit::announce(emit::write_bench_json("fig11", rows));
+    emit::announce(emit::write_bench_json(
+        &tuned::bench_name("fig11", &cfg),
+        rows,
+    ));
     tuned::maybe_report(
         "fig11",
         &[

@@ -2,22 +2,24 @@
 //! LUD thread coarsening, and brick vs. row-major stencils.
 //!
 //! Run all three panels, or one: `fig12 [nw|lud|stencil]`. Pass
-//! `--tuned` to additionally run the `lego-tune` stencil-layout search
-//! and report naive-vs-tuned estimates (`--strategy anneal|genetic`
-//! with `--budget N` searches the enlarged free-integer space).
+//! `--device a100|h100|mi300` to simulate another hardware model
+//! (non-default devices suffix the JSON artifact), and `--tuned` to
+//! additionally run the `lego-tune` searches and report naive-vs-tuned
+//! estimates (`--strategy anneal|genetic` with `--budget N` searches
+//! the enlarged free-integer space).
 
-use gpu_sim::a100;
 use lego_bench::workloads::{lud, nw, stencil};
 use lego_bench::{emit, tuned};
 use lego_codegen::cuda::stencil::StencilShape;
 use lego_tune::{Json, WorkloadKind};
 
 fn main() {
-    let which = std::env::args()
-        .skip(1)
-        .find(|a| a != "--tuned")
+    let which = tuned::positional_args()
+        .into_iter()
+        .next()
         .unwrap_or_else(|| "all".to_string());
-    let cfg = a100();
+    let cfg = tuned::device_from_args();
+    println!("(device model: {})\n", cfg.name);
     let mut rows = Vec::new();
 
     if which == "all" || which == "nw" {
@@ -99,7 +101,10 @@ fn main() {
         }
     }
 
-    emit::announce(emit::write_bench_json("fig12", rows));
+    emit::announce(emit::write_bench_json(
+        &tuned::bench_name("fig12", &cfg),
+        rows,
+    ));
     tuned::maybe_report(
         "fig12",
         &[

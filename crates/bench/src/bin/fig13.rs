@@ -8,15 +8,15 @@
 //! `--budget N` searches the enlarged free-integer space).
 
 use gpu_sim::timing::Pipeline;
-use gpu_sim::{a100, attainable, ridge};
+use gpu_sim::{attainable, ridge};
 use lego_bench::workloads::{lud, stencil};
 use lego_bench::{emit, tuned};
 use lego_codegen::cuda::stencil::StencilShape;
 use lego_tune::{Json, WorkloadKind};
 
 fn main() {
-    let cfg = a100();
-    println!("Figure 13: rooflines (A100 FP32 model)");
+    let cfg = tuned::device_from_args();
+    println!("Figure 13: rooflines ({} FP32 model)", cfg.name);
     println!(
         "peak = {:.1} TFLOP/s, BW roof = {:.0} GB/s, ridge at {:.1} FLOP/B\n",
         cfg.fp32_flops / 1e12,
@@ -73,7 +73,10 @@ fn main() {
             ]));
         }
     }
-    emit::announce(emit::write_bench_json("fig13", rows));
+    emit::announce(emit::write_bench_json(
+        &tuned::bench_name("fig13", &cfg),
+        rows,
+    ));
     tuned::maybe_report(
         "fig13",
         &[

@@ -122,7 +122,11 @@ fn main() {
             ("paper_s", Json::Str(paper.to_string())),
         ]));
     }
-    emit::announce(emit::write_bench_json("table3", json_rows));
+    emit::announce(emit::write_bench_json(
+        // Codegen latency does not depend on the device model; only the
+        // maybe_report sidecar below is per-device.
+        "table3", json_rows,
+    ));
     // One search per generator family timed above, so the one-time
     // codegen cost can be read next to the tuning payoff.
     tuned::maybe_report(

@@ -12,7 +12,6 @@
 //! anneal|genetic` with `--budget N` searches the enlarged
 //! free-integer space).
 
-use gpu_sim::a100;
 use lego_bench::workloads::transpose::simulate;
 use lego_bench::{emit, tuned};
 use lego_codegen::cuda::transpose::TransposeVariant;
@@ -23,10 +22,13 @@ use lego_tune::{Json, WorkloadKind};
 const SDK_OVERHEAD: f64 = 0.98;
 
 fn main() {
-    let cfg = a100();
+    let cfg = tuned::device_from_args();
     let sizes = [2048i64, 4096, 8192];
 
-    println!("Table V: 2-D transpose throughput (GB/s; higher is better)\n");
+    println!(
+        "Table V: 2-D transpose throughput (GB/s; higher is better; {})\n",
+        cfg.name
+    );
     println!(
         "{:<12} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}",
         "", "2048", "4096", "8192", "2048", "4096", "8192"
@@ -68,7 +70,10 @@ fn main() {
     println!("\npaper:      212.0    175.8    175.4      670.0    718.2    735.7  (CUDA-SDK)");
     println!("            206.8    178.0    190.7      681.7    741.2    759.4  (LEGO-MLIR)");
 
-    emit::announce(emit::write_bench_json("table5", json_rows));
+    emit::announce(emit::write_bench_json(
+        &tuned::bench_name("table5", &cfg),
+        json_rows,
+    ));
     tuned::maybe_report(
         "table5",
         &[

@@ -4,6 +4,9 @@
 //!
 //! The search is steered from the command line:
 //!
+//! * `--device a100|h100|mi300` — which hardware model to simulate and
+//!   tune against (default `a100`); non-default devices suffix the
+//!   `BENCH_*.json` artifacts, so per-device results sit side by side;
 //! * `--strategy exhaustive|anneal|genetic` — how to explore the space
 //!   (default `exhaustive`, the v2 behavior);
 //! * `--budget N` — evaluation cap for the metaheuristics (default
@@ -12,7 +15,7 @@
 //!   exhaustive enumerates the legacy space and the metaheuristics
 //!   search the enlarged free-integer one).
 
-use gpu_sim::a100;
+use gpu_sim::GpuConfig;
 use lego_tune::{Budget, Json, SpaceScale, Strategy, Tuner, WorkloadKind};
 
 use crate::emit;
@@ -20,6 +23,51 @@ use crate::emit;
 /// Whether `--tuned` was passed on the command line.
 pub fn tuned_requested() -> bool {
     std::env::args().any(|a| a == "--tuned")
+}
+
+/// The command-line flags that take a value — skipped (with their
+/// values) by [`positional_args`].
+const VALUE_FLAGS: [&str; 4] = ["--device", "--strategy", "--budget", "--space"];
+
+/// The positional (non-flag) arguments: everything after the binary
+/// name minus `--tuned` and the value-taking flags with their values.
+pub fn positional_args() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            let _ = args.next();
+        } else if !a.starts_with("--") {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// The device model selected by `--device` (default A100). Unknown
+/// tags abort with a usage message rather than silently falling back.
+pub fn device_from_args() -> GpuConfig {
+    match flag_value("--device") {
+        None => gpu_sim::a100(),
+        Some(v) => gpu_sim::by_name(&v).unwrap_or_else(|| {
+            eprintln!(
+                "unknown --device {v:?} (use {})",
+                gpu_sim::DEVICE_TAGS.join("|")
+            );
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// The `BENCH_*.json` name for `base` on device `cfg`: the default
+/// A100 keeps the historical name, other devices are suffixed
+/// (`fig12_mi300`), so per-device artifacts coexist.
+pub fn bench_name(base: &str, cfg: &GpuConfig) -> String {
+    if cfg.tag == "a100" {
+        base.to_string()
+    } else {
+        format!("{base}_{}", cfg.tag)
+    }
 }
 
 /// The value following `flag` on the command line. `None` when the
@@ -79,16 +127,18 @@ pub fn space_from_args() -> Option<SpaceScale> {
     })
 }
 
-/// If `--tuned` was requested, tunes `kinds` with the strategy/budget
-/// from the command line, prints a naive-vs-tuned table, and emits
-/// `BENCH_<name>_tuned.json`. Returns whether the report ran.
+/// If `--tuned` was requested, tunes `kinds` on the `--device` model
+/// with the strategy/budget from the command line, prints a
+/// naive-vs-tuned table, and emits `BENCH_<name>[_<device>]_tuned.json`.
+/// Returns whether the report ran.
 pub fn maybe_report(name: &str, kinds: &[WorkloadKind]) -> bool {
     if !tuned_requested() {
         return false;
     }
+    let device = device_from_args();
     let strategy = strategy_from_args();
     let budget = budget_from_args();
-    let mut tuner = Tuner::new(a100())
+    let mut tuner = Tuner::new(device.clone())
         .with_cache("TUNE_CACHE.json")
         .with_strategy(strategy)
         .with_budget(budget);
@@ -96,7 +146,8 @@ pub fn maybe_report(name: &str, kinds: &[WorkloadKind]) -> bool {
         tuner = tuner.with_space(space);
     }
     println!(
-        "\n-- lego-tune: naive vs tuned (gpu-sim estimates; strategy={}, space={}) --",
+        "\n-- lego-tune: naive vs tuned ({} estimates; strategy={}, space={}) --",
+        device.name,
         strategy,
         tuner.effective_space().name()
     );
@@ -130,11 +181,15 @@ pub fn maybe_report(name: &str, kinds: &[WorkloadKind]) -> bool {
                     ("from_cache", Json::Bool(r.from_cache)),
                     ("evaluated", Json::Int(r.evaluated as i64)),
                     ("strategy", Json::Str(strategy.name().to_string())),
+                    ("device", Json::Str(device.tag.to_string())),
                 ]));
             }
             Err(e) => eprintln!("{}: tuning failed: {e}", kind.name()),
         }
     }
-    emit::announce(emit::write_bench_json(&format!("{name}_tuned"), rows));
+    emit::announce(emit::write_bench_json(
+        &format!("{}_tuned", bench_name(name, &device)),
+        rows,
+    ));
     true
 }

@@ -8,7 +8,10 @@
 //! number of steps (launches) and the total perimeter traffic by `r` —
 //! the arithmetic-intensity shift visible on the paper's roofline. The
 //! panel walk lives in [`gpu_sim::trace::LudPanels`], shared with the
-//! `lego-tune` oracle.
+//! `lego-tune` oracle, and is priced by `gpu_sim`'s `CostModel` under
+//! the workload's `PricingMode::AdditiveLaunch` — the dependent
+//! diagonal/perimeter/internal kernels cannot overlap compute with
+//! panel traffic, so the bottleneck terms add.
 
 use gpu_sim::trace::{LudPanels, TraceBuilder};
 use gpu_sim::{score, Estimate, GpuConfig};

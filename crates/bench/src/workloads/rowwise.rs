@@ -10,7 +10,10 @@
 //! PyTorch baselines run the operation as multiple passes (uncoalesced
 //! fusion), modeled as extra traffic.
 
-use gpu_sim::{estimate, GpuConfig, KernelProfile, Pipeline};
+use gpu_sim::trace::{RowwiseSweep, TraceBuilder};
+use gpu_sim::{estimate, Estimate, GpuConfig, KernelProfile, Pipeline};
+use lego_codegen::tuning::RowwiseOp;
+use lego_core::Layout;
 
 use crate::workloads::matmul::{simulate as simulate_matmul, Schedule};
 
@@ -46,18 +49,20 @@ impl RowwiseBench {
         }
     }
 
+    /// The tuner-side operator this benchmark corresponds to — and the
+    /// single home of the per-op traffic/flop calibration constants.
+    pub fn op(self) -> RowwiseOp {
+        match self {
+            RowwiseBench::LayernormFwd => RowwiseOp::LayernormFwd,
+            RowwiseBench::LayernormBwd => RowwiseOp::LayernormBwd,
+            RowwiseBench::Softmax => RowwiseOp::Softmax,
+        }
+    }
+
     /// Bytes moved per element pass (reads + writes per fp16 element),
     /// per implementation.
     fn traffic_factor(self, im: Impl) -> f64 {
-        let base = match self {
-            // fwd: read x (2B) twice (mean/var fused as 2 passes) + read
-            // w,b (amortized) + write y.
-            RowwiseBench::LayernormFwd => 3.0,
-            // bwd: read x, dy, w + write dx, partial sums.
-            RowwiseBench::LayernormBwd => 4.5,
-            // softmax: read x, write y (max/sum in registers).
-            RowwiseBench::Softmax => 2.0,
-        };
+        let base = self.op().traffic_passes();
         match im {
             Impl::Lego | Impl::Triton => base,
             // Eager multi-kernel execution re-reads intermediates.
@@ -69,12 +74,7 @@ impl RowwiseBench {
     pub fn time_s(self, m: i64, n: i64, im: Impl, cfg: &GpuConfig) -> f64 {
         let elems = (m * n) as f64;
         let bytes = elems * 2.0 * self.traffic_factor(im);
-        let mut flops = elems
-            * match self {
-                RowwiseBench::LayernormFwd => 8.0,
-                RowwiseBench::LayernormBwd => 12.0,
-                RowwiseBench::Softmax => 6.0,
-            };
+        let mut flops = elems * self.op().flops_per_elem();
         // §V-A: Triton's codegen handles the explicit-step loop of the
         // reference LayerNorm-fwd less efficiently.
         if self == RowwiseBench::LayernormFwd && im == Impl::Triton {
@@ -100,6 +100,27 @@ impl RowwiseBench {
     pub fn gbps(self, m: i64, n: i64, im: Impl, cfg: &GpuConfig) -> f64 {
         let useful = (m * n) as f64 * 2.0 * self.traffic_factor(Impl::Lego);
         useful / self.time_s(m, n, im, cfg) / 1e9
+    }
+
+    /// Scores one block-size configuration through the shared trace
+    /// builder and cost model, returning the raw `gpu-sim` estimate —
+    /// bit-identical to the `lego-tune` oracle's estimate for the same
+    /// `(op, m, n, bs)` on the same device.
+    pub fn estimate(self, m: i64, n: i64, bs: i64, cfg: &GpuConfig) -> Estimate {
+        let op = self.op();
+        let workload = RowwiseSweep {
+            op_name: op.tag().to_string(),
+            m,
+            n,
+            bs,
+            passes: op.traffic_passes(),
+            flops_per_elem: op.flops_per_elem(),
+            index_flops: 0.0,
+        }
+        .build(cfg);
+        // The lane-block layout of the generated kernels: unit stride.
+        let layout = Layout::identity([bs]).expect("identity");
+        gpu_sim::score(&layout, &workload, cfg)
     }
 }
 

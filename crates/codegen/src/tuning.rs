@@ -133,6 +133,42 @@ pub enum RowwiseOp {
     LayernormBwd,
 }
 
+impl RowwiseOp {
+    /// Stable short tag, shared by workload names and trace labels.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RowwiseOp::Softmax => "softmax",
+            RowwiseOp::LayernormFwd => "layernorm-fwd",
+            RowwiseOp::LayernormBwd => "layernorm-bwd",
+        }
+    }
+
+    /// Element passes over the matrix (reads + writes per element) of
+    /// the fused kernel — the single calibration point both
+    /// `lego-bench`'s driver and `lego-tune`'s trace mapping consume,
+    /// so the two crates cannot drift apart.
+    pub fn traffic_passes(self) -> f64 {
+        match self {
+            // softmax: read x, write y (max/sum in registers).
+            RowwiseOp::Softmax => 2.0,
+            // fwd: read x twice (mean/var fused as 2 passes) + read
+            // w,b (amortized) + write y.
+            RowwiseOp::LayernormFwd => 3.0,
+            // bwd: read x, dy, w + write dx, partial sums.
+            RowwiseOp::LayernormBwd => 4.5,
+        }
+    }
+
+    /// Floating-point work per processed element of the fused kernel.
+    pub fn flops_per_elem(self) -> f64 {
+        match self {
+            RowwiseOp::Softmax => 6.0,
+            RowwiseOp::LayernormFwd => 8.0,
+            RowwiseOp::LayernormBwd => 12.0,
+        }
+    }
+}
+
 /// A tuned configuration for one kernel family.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TunedConfig {
@@ -211,12 +247,7 @@ impl fmt::Display for TunedConfig {
                 write!(f, "n={n} layout={layout}")
             }
             TunedConfig::Rowwise { op, bs } => {
-                let name = match op {
-                    RowwiseOp::Softmax => "softmax",
-                    RowwiseOp::LayernormFwd => "layernorm-fwd",
-                    RowwiseOp::LayernormBwd => "layernorm-bwd",
-                };
-                write!(f, "{name} BS={bs}")
+                write!(f, "{} BS={bs}", op.tag())
             }
             TunedConfig::Nw { b, layout } => {
                 write!(f, "nw b={b} buffer={layout}")

@@ -1,11 +1,17 @@
 //! Global-memory coalescing model.
 //!
-//! A warp's 32 lane addresses are serviced in 32-byte sectors: the
-//! memory system moves `distinct_sectors × 32` bytes regardless of how
-//! many bytes the warp actually uses. Layout quality is exactly the
-//! ratio of useful to moved bytes.
+//! A warp's lane addresses (32 on NVIDIA, 64 on a CDNA wavefront) are
+//! serviced in fixed-size memory segments (32-byte sectors on
+//! A100/H100, 64-byte cache lines on MI300): the memory system moves
+//! `distinct_segments × segment_bytes` regardless of how many bytes the
+//! warp actually uses. Layout quality is exactly the ratio of useful to
+//! moved bytes. The segment width comes from
+//! [`GpuConfig::sector_bytes`]; nothing here assumes a lane count — the
+//! trace builders emit warp-sized groups for the device being modeled.
 
 use std::collections::HashSet;
+
+use crate::config::GpuConfig;
 
 /// The result of coalescing one warp access.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -30,7 +36,7 @@ impl CoalesceResult {
 
 /// Coalesces one warp access: `addrs` are per-lane *byte* addresses,
 /// `access_bytes` the per-lane access width, `sector_bytes` the
-/// transaction size (32 on A100).
+/// transaction segment size (32 on A100/H100, 64 on MI300).
 pub fn coalesce_warp(addrs: &[i64], access_bytes: usize, sector_bytes: usize) -> CoalesceResult {
     let mut sectors: HashSet<i64> = HashSet::with_capacity(addrs.len());
     for &a in addrs {
@@ -60,6 +66,19 @@ pub fn coalesce_elems(
         .map(|&i| base + i * elem_bytes as i64)
         .collect();
     coalesce_warp(&addrs, elem_bytes, sector_bytes)
+}
+
+/// Coalesces a warp of element indices using the memory-segment width
+/// of the device `cfg` — the entry point the [`crate::model`] pricing
+/// engine uses, so no caller has to know which parameter is the
+/// device-dependent one.
+pub fn coalesce_elems_on(
+    elem_idx: &[i64],
+    elem_bytes: usize,
+    base: i64,
+    cfg: &GpuConfig,
+) -> CoalesceResult {
+    coalesce_elems(elem_idx, elem_bytes, base, cfg.sector_bytes)
 }
 
 #[cfg(test)]
@@ -106,5 +125,22 @@ mod tests {
         let a = coalesce_elems(&idx, 4, 0, 32);
         let b = coalesce_warp(&(0..32).map(|i| i * 4).collect::<Vec<_>>(), 4, 32);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wave64_on_64b_segments_is_fully_coalesced() {
+        // 64 contiguous fp32 lanes = 256 B = 4 x 64 B segments on an
+        // MI300-shaped device; efficiency stays 1.0 even though both
+        // the lane count and the segment width doubled.
+        let cfg = crate::config::mi300();
+        let idx: Vec<i64> = (0..64).collect();
+        let r = coalesce_elems_on(&idx, 4, 0, &cfg);
+        assert_eq!(r.sectors, 4);
+        assert_eq!(r.moved_bytes, 256);
+        assert!((r.efficiency() - 1.0).abs() < 1e-12);
+        // A strided wave-64 column walk still pays one segment per lane.
+        let col: Vec<i64> = (0..64).map(|i| i * 2048).collect();
+        let r = coalesce_elems_on(&col, 4, 0, &cfg);
+        assert_eq!(r.sectors, 64);
     }
 }

@@ -12,9 +12,16 @@
 //! * [`timing`] — the bulk-synchronous roofline timing model with a
 //!   per-SM occupancy term;
 //! * [`roofline`] — Fig. 13-style attainable-performance curves;
-//! * [`config`] — A100 and H100 hardware parameters;
-//! * [`mod@score`] — the one-call `score(layout, workload, cfg)` oracle the
-//!   `lego-tune` autotuner searches with, plus parallel batch scoring;
+//! * [`config`] — A100, H100 and MI300 (warp-64) hardware parameters,
+//!   including per-device bank geometry, segment width and saturation
+//!   occupancies;
+//! * [`model`] — the device-generic pricing engine: one [`CostModel`]
+//!   owns the full trace→estimate path under a per-workload
+//!   [`PricingMode`] (roofline for overlapped kernels, additive launch
+//!   for the NW/LUD wavefront pipelines);
+//! * [`mod@score`] — the one-call `score(layout, workload, cfg)` face of
+//!   the cost model the `lego-tune` autotuner searches with, plus
+//!   parallel batch scoring;
 //! * [`trace`] — the shared workload trace builders that both the
 //!   `lego-bench` paper reproductions and the `lego-tune` search space
 //!   consume, so their estimates cannot drift apart.
@@ -40,6 +47,7 @@
 pub mod cache;
 pub mod coalesce;
 pub mod config;
+pub mod model;
 pub mod roofline;
 pub mod score;
 pub mod smem;
@@ -48,11 +56,12 @@ pub mod timing;
 pub mod trace;
 
 pub use cache::{Cache, CacheStats};
-pub use coalesce::{coalesce_elems, coalesce_warp, CoalesceResult};
-pub use config::{a100, h100, GpuConfig};
+pub use coalesce::{coalesce_elems, coalesce_elems_on, coalesce_warp, CoalesceResult};
+pub use config::{a100, by_name, h100, mi300, GpuConfig, DEVICE_TAGS};
+pub use model::{CostModel, PricingMode};
 pub use roofline::{attainable, ridge, RooflinePoint};
 pub use score::{score, score_batch, BlockResources, Estimate, L2Model, Phase, ScoreJob, Workload};
-pub use smem::{bank_conflicts, bank_conflicts_elems, BankConflictResult};
+pub use smem::{bank_conflicts, bank_conflicts_elems, bank_conflicts_elems_on, BankConflictResult};
 pub use tilecache::TileCache;
 pub use timing::{
     achieved_bandwidth, achieved_flops, estimate, KernelProfile, Pipeline, TimeEstimate,

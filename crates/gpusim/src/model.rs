@@ -1,0 +1,392 @@
+//! The device-generic pricing engine: one [`CostModel`] owns the full
+//! trace→estimate path.
+//!
+//! Historically the repo priced traces in *two* places: the shared
+//! [`crate::score::score`] oracle (roofline timing, used by `lego-tune`
+//! and most `lego-bench` drivers) and a private additive wavefront loop
+//! inside `lego-bench`'s NW driver — so an NW table number and the
+//! tuner's NW ranking could disagree. This module is the merge point:
+//! every estimate, bench or tuner, on any device, is produced by
+//! [`CostModel::price`] (the `score()` free function is a thin wrapper
+//! kept for call-site convenience). A [`Workload`] now carries its
+//! [`PricingMode`], so the dependency-serialized wavefront workloads
+//! (NW, LUD) are priced additively by the same engine that prices the
+//! overlapped streaming workloads with the roofline — and both crates
+//! get bit-identical numbers by construction.
+//!
+//! Every device-shaped constant — warp size, memory-segment width, bank
+//! count and bank word, saturation occupancies — comes from the
+//! [`GpuConfig`] handed to [`CostModel::new`], so an MI300-class
+//! (warp-64, 64-bank LDS, 64-byte segment) device prices through
+//! exactly the same code as the A100.
+
+use lego_core::Layout;
+
+use crate::cache::Cache;
+use crate::coalesce::coalesce_elems_on;
+use crate::config::GpuConfig;
+use crate::score::{Estimate, Phase, Workload};
+use crate::smem::bank_conflicts_elems_on;
+use crate::tilecache::TileCache;
+use crate::timing::{estimate, occupancy_derate, KernelProfile, Pipeline, TimeEstimate};
+
+/// How a workload's bottleneck terms combine into a runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum PricingMode {
+    /// Overlapped bulk-synchronous execution: runtime is the *maximum*
+    /// of the compute / DRAM / L2 / shared-memory terms plus launch
+    /// overhead — the standard roofline. Used by matmul, transpose,
+    /// stencil and rowwise workloads.
+    #[default]
+    Roofline,
+    /// Dependency-serialized execution (wavefront and panel pipelines):
+    /// the launch schedule forbids overlapping compute with the
+    /// streamed traffic, so the terms *add*, and in-block compute is
+    /// round-quantized by the wavefront schedule. Used by NW and LUD.
+    AdditiveLaunch {
+        /// Sequential block rounds of the dependency-limited schedule
+        /// (`0` = no round quantization: compute comes from `flops`
+        /// alone, as in LUD's panel pipeline).
+        rounds: f64,
+        /// Non-smem instruction cycles each round's block executes.
+        step_cycles: f64,
+        /// Cycles per serialized shared-memory pass (bank passes are
+        /// priced inside the rounds, not as a separate smem term).
+        pass_cycles: f64,
+        /// Per-launch overhead in seconds — short dependent kernels
+        /// pipeline their launches better than the config default.
+        launch_overhead_s: f64,
+    },
+}
+
+impl PricingMode {
+    /// Stable name for cache keys and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PricingMode::Roofline => "roofline",
+            PricingMode::AdditiveLaunch { .. } => "additive-launch",
+        }
+    }
+}
+
+/// The pricing engine for one device: turns `(layout, workload)` pairs
+/// into [`Estimate`]s. This is the *only* path from a trace to cycles —
+/// `lego-bench` drivers and the `lego-tune` oracle both go through it.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel<'a> {
+    cfg: &'a GpuConfig,
+}
+
+impl<'a> CostModel<'a> {
+    /// A pricing engine for the device `cfg`.
+    pub fn new(cfg: &'a GpuConfig) -> CostModel<'a> {
+        CostModel { cfg }
+    }
+
+    /// The device being modeled.
+    pub fn device(&self) -> &GpuConfig {
+        self.cfg
+    }
+
+    /// Prices one candidate layout against a workload: runs every
+    /// phase's trace through the coalescing / bank-conflict / cache
+    /// models (all parameterized by the device), assembles a
+    /// [`KernelProfile`], and prices it under the workload's
+    /// [`PricingMode`].
+    pub fn price(&self, layout: &Layout, workload: &Workload) -> Estimate {
+        let cfg = self.cfg;
+        let mut l2_bytes = 0f64;
+        let mut dram_bytes = 0f64;
+        let mut smem_passes = 0f64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+
+        for phase in &workload.phases {
+            match phase {
+                Phase::Global {
+                    trace,
+                    elem_bytes,
+                    scale,
+                } => {
+                    let mut moved = 0f64;
+                    let mut cache = workload.l2.map(|m| Cache::new(m.lines, m.assoc));
+                    let mut sectors: Vec<i64> = Vec::with_capacity(cfg.warp_size);
+                    trace(layout, &mut |idx: &[i64]| {
+                        let c = coalesce_elems_on(idx, *elem_bytes, 0, cfg);
+                        moved += c.moved_bytes as f64;
+                        if let Some(cache) = cache.as_mut() {
+                            sectors.clear();
+                            sectors.extend(
+                                idx.iter()
+                                    .map(|&i| i * *elem_bytes as i64 / cfg.sector_bytes as i64),
+                            );
+                            sectors.sort_unstable();
+                            sectors.dedup();
+                            for &s in sectors.iter() {
+                                cache.access(s);
+                            }
+                        }
+                    });
+                    l2_bytes += moved * scale;
+                    match cache {
+                        Some(cache) => {
+                            let stats = cache.stats();
+                            hits += stats.hits;
+                            misses += stats.misses;
+                            dram_bytes += stats.misses as f64 * cfg.sector_bytes as f64 * scale;
+                        }
+                        // No L2 filtering: streamed straight to DRAM.
+                        None => dram_bytes += moved * scale,
+                    }
+                }
+                Phase::Shared { trace, scale } => {
+                    let mut passes = 0f64;
+                    trace(layout, &mut |idx: &[i64]| {
+                        passes += bank_conflicts_elems_on(idx, 4, cfg).passes as f64;
+                    });
+                    smem_passes += passes * scale;
+                }
+                Phase::TileTouches { trace, scale } => {
+                    let mut tiles = TileCache::new(cfg.l2_bytes);
+                    let mut touched = 0f64;
+                    trace(layout, &mut |id: i64, bytes: usize| {
+                        tiles.touch(id, bytes);
+                        touched += bytes as f64;
+                    });
+                    l2_bytes += touched * scale;
+                    dram_bytes += tiles.miss_bytes() as f64 * scale;
+                    hits += tiles.hits();
+                    misses += tiles.misses();
+                }
+                Phase::Streamed {
+                    dram_bytes: d,
+                    l2_bytes: l,
+                } => {
+                    dram_bytes += d;
+                    l2_bytes += l;
+                }
+            }
+        }
+
+        let profile = KernelProfile {
+            flops: workload.flops,
+            dram_bytes: dram_bytes + workload.streamed_bytes,
+            l2_bytes: l2_bytes + workload.streamed_bytes,
+            smem_passes,
+            blocks: workload.blocks,
+            launches: workload.launches,
+            warps_per_block: workload.resources.warps_per_block,
+            regs_per_block: workload.resources.regs_per_block,
+            smem_per_block: workload.resources.smem_per_block,
+        };
+        let t = match workload.mode {
+            PricingMode::Roofline => self.price_roofline(workload, &profile),
+            PricingMode::AdditiveLaunch {
+                rounds,
+                step_cycles,
+                pass_cycles,
+                launch_overhead_s,
+            } => self.price_additive(
+                workload,
+                &profile,
+                rounds,
+                step_cycles,
+                pass_cycles,
+                launch_overhead_s,
+            ),
+        };
+
+        let accesses = hits + misses;
+        Estimate {
+            time_s: t.total_s,
+            breakdown: t,
+            dram_bytes: profile.dram_bytes,
+            l2_bytes: profile.l2_bytes,
+            smem_passes,
+            l2_hit_rate: if accesses == 0 {
+                0.0
+            } else {
+                hits as f64 / accesses as f64
+            },
+            flops: workload.flops,
+            useful_bytes: workload.useful_bytes,
+        }
+    }
+
+    /// Roofline pricing: overlapped bottleneck terms, with matmul-style
+    /// wave quantization when the workload asks for it.
+    fn price_roofline(&self, workload: &Workload, profile: &KernelProfile) -> TimeEstimate {
+        let cfg = self.cfg;
+        let mut t = estimate(profile, workload.pipeline, cfg);
+        if workload.wave_quantized && workload.blocks > 0.0 {
+            // A partial last wave occupies the machine for a full wave.
+            let peak = self.peak(workload.pipeline);
+            let issue = occupancy_derate(profile.occupancy(cfg), cfg.issue_sat_occupancy, cfg);
+            let per_sm = peak * issue / cfg.sm_count as f64;
+            let wave_time = workload.flops / workload.blocks / per_sm;
+            let waves = (workload.blocks / cfg.sm_count as f64).ceil();
+            t.compute_s = waves * wave_time;
+            t.total_s = t.compute_s.max(t.dram_s).max(t.l2_s).max(t.smem_s) + t.overhead_s;
+        }
+        t
+    }
+
+    /// Additive-launch pricing: the calibrated dependent-kernel model
+    /// the NW driver used to keep private. Compute is round-quantized
+    /// (`rounds` sequential block sweeps, each `step_cycles` plus the
+    /// block's serialized bank passes at `pass_cycles` each), memory is
+    /// the streamed traffic at derated bandwidth, and the terms *add* —
+    /// a wavefront cannot overlap its traffic with the next diagonal's
+    /// compute. Occupancy derates both, so a block too big for the SM
+    /// (e.g. an NW `b=224` buffer on a 64 KiB-LDS device) is still
+    /// finite but punished.
+    fn price_additive(
+        &self,
+        workload: &Workload,
+        profile: &KernelProfile,
+        rounds: f64,
+        step_cycles: f64,
+        pass_cycles: f64,
+        launch_overhead_s: f64,
+    ) -> TimeEstimate {
+        let cfg = self.cfg;
+        let occ = profile.occupancy(cfg);
+        let mem = occupancy_derate(occ, cfg.mem_sat_occupancy, cfg);
+        let issue = occupancy_derate(occ, cfg.issue_sat_occupancy, cfg);
+        // Bank passes of one block's sweep (the shared phase scales by
+        // the block count).
+        let block_passes = if workload.blocks > 0.0 {
+            profile.smem_passes / workload.blocks
+        } else {
+            0.0
+        };
+        let round_cycles = step_cycles + block_passes * pass_cycles;
+        let compute_s = profile.flops / (self.peak(workload.pipeline) * issue)
+            + rounds * round_cycles / (cfg.clock_hz * issue);
+        let dram_s = profile.dram_bytes / (cfg.dram_bw * cfg.dram_efficiency * mem);
+        let l2_s = profile.l2_bytes / (cfg.l2_bw * mem);
+        let overhead_s = profile.launches.max(1.0) * launch_overhead_s;
+        // Bank serialization is inside the rounds; no separate smem term.
+        let total_s = compute_s + dram_s.max(l2_s) + overhead_s;
+        TimeEstimate {
+            compute_s,
+            dram_s,
+            l2_s,
+            smem_s: 0.0,
+            overhead_s,
+            total_s,
+        }
+    }
+
+    fn peak(&self, pipeline: Pipeline) -> f64 {
+        match pipeline {
+            Pipeline::Fp32 => self.cfg.fp32_flops,
+            Pipeline::TensorFp16 => self.cfg.fp16_tc_flops,
+        }
+    }
+
+    /// Prices a batch of candidates in parallel, preserving order.
+    ///
+    /// Spreads jobs over `available_parallelism` OS threads; falls back
+    /// to sequential evaluation for tiny batches.
+    pub fn price_batch(&self, jobs: Vec<(Layout, Workload)>) -> Vec<Estimate> {
+        let n = jobs.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 {
+            return jobs.iter().map(|(l, w)| self.price(l, w)).collect();
+        }
+        let mut results: Vec<Option<Estimate>> = vec![None; n];
+        let chunk = n.div_ceil(threads);
+        let jobs = &jobs;
+        std::thread::scope(|s| {
+            for (ci, out) in results.chunks_mut(chunk).enumerate() {
+                s.spawn(move || {
+                    for (k, slot) in out.iter_mut().enumerate() {
+                        let (layout, workload) = &jobs[ci * chunk + k];
+                        *slot = Some(self.price(layout, workload));
+                    }
+                });
+            }
+        });
+        results.into_iter().map(|o| o.expect("priced")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::a100;
+    use crate::score::{BlockResources, Phase, Workload};
+
+    fn additive_workload(rounds: f64, launches: f64) -> Workload {
+        Workload {
+            name: "wavefront".into(),
+            pipeline: Pipeline::Fp32,
+            flops: 0.0,
+            useful_bytes: 1e6,
+            streamed_bytes: 1e6,
+            blocks: 8.0,
+            launches,
+            wave_quantized: false,
+            l2: None,
+            resources: BlockResources::default(),
+            mode: PricingMode::AdditiveLaunch {
+                rounds,
+                step_cycles: 100.0,
+                pass_cycles: 5.0,
+                launch_overhead_s: 2.0e-6,
+            },
+            phases: vec![Phase::Shared {
+                trace: Box::new(|_layout, sink| {
+                    let idx: Vec<i64> = (0..32).collect();
+                    sink(&idx);
+                }),
+                // One conflict-free pass per block.
+                scale: 8.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn additive_terms_sum_instead_of_overlapping() {
+        let cfg = a100();
+        let model = CostModel::new(&cfg);
+        let layout = Layout::identity([64i64]).unwrap();
+        let e = model.price(&layout, &additive_workload(10.0, 4.0));
+        let b = e.breakdown;
+        // compute = rounds * (step + passes_per_block * pass_cycles) / clock.
+        let want_compute = 10.0 * (100.0 + 1.0 * 5.0) / cfg.clock_hz;
+        assert!((b.compute_s - want_compute).abs() < 1e-15);
+        assert!((b.overhead_s - 4.0 * 2.0e-6).abs() < 1e-18);
+        assert!((b.total_s - (b.compute_s + b.dram_s + b.overhead_s)).abs() < 1e-15);
+        assert_eq!(b.smem_s, 0.0, "bank passes priced inside the rounds");
+    }
+
+    #[test]
+    fn additive_rounds_scale_compute_linearly() {
+        let cfg = a100();
+        let model = CostModel::new(&cfg);
+        let layout = Layout::identity([64i64]).unwrap();
+        let e1 = model.price(&layout, &additive_workload(10.0, 1.0));
+        let e2 = model.price(&layout, &additive_workload(20.0, 1.0));
+        assert!((e2.breakdown.compute_s / e1.breakdown.compute_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_names_are_stable() {
+        assert_eq!(PricingMode::Roofline.name(), "roofline");
+        assert_eq!(
+            PricingMode::AdditiveLaunch {
+                rounds: 0.0,
+                step_cycles: 0.0,
+                pass_cycles: 0.0,
+                launch_overhead_s: 0.0
+            }
+            .name(),
+            "additive-launch"
+        );
+    }
+}

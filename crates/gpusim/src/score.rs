@@ -1,13 +1,14 @@
 //! One-call layout scoring: the autotuner's evaluation oracle.
 //!
-//! [`score`] composes the crate's primitive models — warp coalescing
-//! ([`crate::coalesce`]), shared-memory bank serialization
-//! ([`crate::smem`]), sector- and tile-granular L2 filtering
-//! ([`crate::cache`] / [`crate::tilecache`]) and the roofline timing
-//! model ([`crate::timing`]) — into a single `score(layout, workload,
-//! cfg) -> Estimate` entry point, and [`score_batch`] evaluates many
-//! candidate layouts in parallel (layouts are `Send + Sync` since the
-//! `Arc` refactor).
+//! [`score`] is the call-site-friendly face of the device-generic
+//! pricing engine in [`crate::model`]: it hands the `(layout, workload,
+//! cfg)` triple to a [`CostModel`], which composes the crate's
+//! primitive models — warp coalescing ([`crate::coalesce`]),
+//! shared-memory bank serialization ([`crate::smem`]), sector- and
+//! tile-granular L2 filtering ([`crate::cache`] / [`crate::tilecache`])
+//! and the timing model ([`crate::timing`]) — under the workload's
+//! [`PricingMode`]. [`score_batch`] evaluates many candidate layouts in
+//! parallel (layouts are `Send + Sync` since the `Arc` refactor).
 //!
 //! A [`Workload`] describes *what* a kernel touches in logical terms;
 //! the [`lego_core::Layout`] under evaluation decides *where* those
@@ -17,14 +18,9 @@
 
 use lego_core::Layout;
 
-use crate::cache::Cache;
-use crate::coalesce::coalesce_elems;
 use crate::config::GpuConfig;
-use crate::smem::bank_conflicts_elems;
-use crate::tilecache::TileCache;
-use crate::timing::{
-    estimate, occupancy_derate, KernelProfile, Pipeline, TimeEstimate, ISSUE_SAT_OCCUPANCY,
-};
+use crate::model::{CostModel, PricingMode};
+use crate::timing::{Pipeline, TimeEstimate};
 
 /// Generator of warp-level element-index groups: called with the layout
 /// under evaluation and a sink receiving one warp's flat element indices
@@ -122,6 +118,9 @@ pub struct Workload {
     pub l2: Option<L2Model>,
     /// Per-block resource footprint for the occupancy model.
     pub resources: BlockResources,
+    /// How the bottleneck terms combine into a runtime (roofline for
+    /// overlapped kernels, additive for dependency-serialized ones).
+    pub mode: PricingMode,
     /// The traffic phases.
     pub phases: Vec<Phase>,
 }
@@ -159,158 +158,21 @@ impl Estimate {
     }
 }
 
-/// Scores one candidate layout against a workload on `cfg`: runs every
-/// phase's trace through the coalescing / bank-conflict / cache models,
-/// assembles a [`KernelProfile`], and prices it with the roofline timing
-/// model.
+/// Scores one candidate layout against a workload on `cfg` by handing
+/// it to the device's [`CostModel`] — the single trace→estimate path
+/// shared by the bench drivers and the tuner.
 pub fn score(layout: &Layout, workload: &Workload, cfg: &GpuConfig) -> Estimate {
-    let mut l2_bytes = 0f64;
-    let mut dram_bytes = 0f64;
-    let mut smem_passes = 0f64;
-    let mut hits = 0u64;
-    let mut misses = 0u64;
-
-    for phase in &workload.phases {
-        match phase {
-            Phase::Global {
-                trace,
-                elem_bytes,
-                scale,
-            } => {
-                let mut moved = 0f64;
-                let mut cache = workload.l2.map(|m| Cache::new(m.lines, m.assoc));
-                let mut sectors: Vec<i64> = Vec::with_capacity(32);
-                trace(layout, &mut |idx: &[i64]| {
-                    let c = coalesce_elems(idx, *elem_bytes, 0, cfg.sector_bytes);
-                    moved += c.moved_bytes as f64;
-                    if let Some(cache) = cache.as_mut() {
-                        sectors.clear();
-                        sectors.extend(
-                            idx.iter()
-                                .map(|&i| i * *elem_bytes as i64 / cfg.sector_bytes as i64),
-                        );
-                        sectors.sort_unstable();
-                        sectors.dedup();
-                        for &s in sectors.iter() {
-                            cache.access(s);
-                        }
-                    }
-                });
-                l2_bytes += moved * scale;
-                match cache {
-                    Some(cache) => {
-                        let stats = cache.stats();
-                        hits += stats.hits;
-                        misses += stats.misses;
-                        dram_bytes += stats.misses as f64 * cfg.sector_bytes as f64 * scale;
-                    }
-                    // No L2 filtering: streamed straight to DRAM.
-                    None => dram_bytes += moved * scale,
-                }
-            }
-            Phase::Shared { trace, scale } => {
-                let mut passes = 0f64;
-                trace(layout, &mut |idx: &[i64]| {
-                    passes += bank_conflicts_elems(idx, cfg.smem_banks).passes as f64;
-                });
-                smem_passes += passes * scale;
-            }
-            Phase::TileTouches { trace, scale } => {
-                let mut tiles = TileCache::new(cfg.l2_bytes);
-                let mut touched = 0f64;
-                trace(layout, &mut |id: i64, bytes: usize| {
-                    tiles.touch(id, bytes);
-                    touched += bytes as f64;
-                });
-                l2_bytes += touched * scale;
-                dram_bytes += tiles.miss_bytes() as f64 * scale;
-                hits += tiles.hits();
-                misses += tiles.misses();
-            }
-            Phase::Streamed {
-                dram_bytes: d,
-                l2_bytes: l,
-            } => {
-                dram_bytes += d;
-                l2_bytes += l;
-            }
-        }
-    }
-
-    let profile = KernelProfile {
-        flops: workload.flops,
-        dram_bytes: dram_bytes + workload.streamed_bytes,
-        l2_bytes: l2_bytes + workload.streamed_bytes,
-        smem_passes,
-        blocks: workload.blocks,
-        launches: workload.launches,
-        warps_per_block: workload.resources.warps_per_block,
-        regs_per_block: workload.resources.regs_per_block,
-        smem_per_block: workload.resources.smem_per_block,
-    };
-    let mut t = estimate(&profile, workload.pipeline, cfg);
-    if workload.wave_quantized && workload.blocks > 0.0 {
-        // A partial last wave occupies the machine for a full wave.
-        let peak = match workload.pipeline {
-            Pipeline::Fp32 => cfg.fp32_flops,
-            Pipeline::TensorFp16 => cfg.fp16_tc_flops,
-        };
-        let issue = occupancy_derate(profile.occupancy(cfg), ISSUE_SAT_OCCUPANCY, cfg);
-        let per_sm = peak * issue / cfg.sm_count as f64;
-        let wave_time = workload.flops / workload.blocks / per_sm;
-        let waves = (workload.blocks / cfg.sm_count as f64).ceil();
-        t.compute_s = waves * wave_time;
-        t.total_s = t.compute_s.max(t.dram_s).max(t.l2_s).max(t.smem_s) + t.overhead_s;
-    }
-
-    let accesses = hits + misses;
-    Estimate {
-        time_s: t.total_s,
-        breakdown: t,
-        dram_bytes: profile.dram_bytes,
-        l2_bytes: profile.l2_bytes,
-        smem_passes,
-        l2_hit_rate: if accesses == 0 {
-            0.0
-        } else {
-            hits as f64 / accesses as f64
-        },
-        flops: workload.flops,
-        useful_bytes: workload.useful_bytes,
-    }
+    CostModel::new(cfg).price(layout, workload)
 }
 
 /// One unit of batch work: a candidate layout plus the workload it is
 /// scored against (workloads may differ per candidate, e.g. tile sizes).
 pub type ScoreJob = (Layout, Workload);
 
-/// Scores a batch of candidates in parallel, preserving order.
-///
-/// Spreads jobs over `available_parallelism` OS threads; falls back to
-/// sequential evaluation for tiny batches.
+/// Scores a batch of candidates in parallel, preserving order (see
+/// [`CostModel::price_batch`]).
 pub fn score_batch(jobs: Vec<ScoreJob>, cfg: &GpuConfig) -> Vec<Estimate> {
-    let n = jobs.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    if threads <= 1 {
-        return jobs.iter().map(|(l, w)| score(l, w, cfg)).collect();
-    }
-    let mut results: Vec<Option<Estimate>> = vec![None; n];
-    let chunk = n.div_ceil(threads);
-    let jobs = &jobs;
-    std::thread::scope(|s| {
-        for (ci, out) in results.chunks_mut(chunk).enumerate() {
-            s.spawn(move || {
-                for (k, slot) in out.iter_mut().enumerate() {
-                    let (layout, workload) = &jobs[ci * chunk + k];
-                    *slot = Some(score(layout, workload, cfg));
-                }
-            });
-        }
-    });
-    results.into_iter().map(|o| o.expect("scored")).collect()
+    CostModel::new(cfg).price_batch(jobs)
 }
 
 #[cfg(test)]
@@ -330,6 +192,7 @@ mod tests {
             wave_quantized: false,
             l2: None,
             resources: BlockResources::default(),
+            mode: PricingMode::Roofline,
             phases: vec![Phase::Global {
                 trace: Box::new(move |layout, sink| {
                     let idx: Vec<i64> = (0..32)
@@ -385,6 +248,7 @@ mod tests {
             wave_quantized: false,
             l2: None,
             resources: BlockResources::default(),
+            mode: PricingMode::Roofline,
             phases: vec![Phase::Shared {
                 trace: Box::new(|layout, sink| {
                     let idx: Vec<i64> = (0..32).map(|r| layout.apply_c(&[r, 0]).unwrap()).collect();

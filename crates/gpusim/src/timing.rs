@@ -16,13 +16,18 @@
 
 use crate::config::GpuConfig;
 
-/// Fraction of the warp cap at which memory latency is fully hidden;
-/// below it, achievable DRAM/L2 bandwidth scales linearly with
-/// occupancy (a standard little's-law approximation).
+/// The NVIDIA-calibrated default for
+/// [`GpuConfig::mem_sat_occupancy`]: the fraction of the warp cap at
+/// which memory latency is fully hidden; below it, achievable DRAM/L2
+/// bandwidth scales linearly with occupancy (a standard little's-law
+/// approximation). The saturation points are per-device config fields
+/// now — `a100()`/`h100()` keep this value, `mi300()` sets its own.
 pub const MEM_SAT_OCCUPANCY: f64 = 0.25;
 
-/// Fraction of the warp cap at which the issue pipelines (compute and
-/// shared-memory access) saturate.
+/// The NVIDIA-calibrated default for
+/// [`GpuConfig::issue_sat_occupancy`]: the fraction of the warp cap at
+/// which the issue pipelines (compute and shared-memory access)
+/// saturate.
 pub const ISSUE_SAT_OCCUPANCY: f64 = 0.5;
 
 /// Which compute pipeline a kernel saturates.
@@ -139,16 +144,17 @@ pub fn occupancy_derate(occ: f64, sat: f64, cfg: &GpuConfig) -> f64 {
 /// Shared-memory passes are serviced at one pass per SM per cycle
 /// (128 bytes/pass), aggregated over all SMs. When the profile declares
 /// per-block resources, achievable bandwidth scales with
-/// `occupancy / MEM_SAT_OCCUPANCY` and issue rate (compute + smem) with
-/// `occupancy / ISSUE_SAT_OCCUPANCY`, both capped at 1.
+/// `occupancy / cfg.mem_sat_occupancy` and issue rate (compute + smem)
+/// with `occupancy / cfg.issue_sat_occupancy`, both capped at 1 — the
+/// saturation points are per-device [`GpuConfig`] fields.
 pub fn estimate(profile: &KernelProfile, pipeline: Pipeline, cfg: &GpuConfig) -> TimeEstimate {
     let peak = match pipeline {
         Pipeline::Fp32 => cfg.fp32_flops,
         Pipeline::TensorFp16 => cfg.fp16_tc_flops,
     };
     let occ = profile.occupancy(cfg);
-    let mem = occupancy_derate(occ, MEM_SAT_OCCUPANCY, cfg);
-    let issue = occupancy_derate(occ, ISSUE_SAT_OCCUPANCY, cfg);
+    let mem = occupancy_derate(occ, cfg.mem_sat_occupancy, cfg);
+    let issue = occupancy_derate(occ, cfg.issue_sat_occupancy, cfg);
     let compute_s = profile.flops / (peak * issue);
     let dram_s = profile.dram_bytes / (cfg.dram_bw * cfg.dram_efficiency * mem);
     let l2_s = profile.l2_bytes / (cfg.l2_bw * mem);

@@ -13,19 +13,35 @@
 //! literally the same code path.
 //!
 //! Builders also declare the kernel's per-block resource footprint
-//! ([`BlockResources`]) so the occupancy term of [`crate::timing`] can
-//! penalize register/smem-hungry configurations.
+//! ([`BlockResources`]) — a trait method taking the device config, so
+//! register/warp estimates come from the generator family and scale
+//! with the device's warp size — and the occupancy term of
+//! [`crate::timing`] can penalize register/smem-hungry configurations.
+//! Warp-sized lane groups are emitted per [`GpuConfig::warp_size`]
+//! (32-lane NVIDIA warps, 64-lane CDNA wavefronts), so the same trace
+//! code prices both device families.
 
 use lego_core::Layout;
 
 use crate::config::GpuConfig;
+use crate::model::PricingMode;
 use crate::score::{AddrGen, BlockResources, L2Model, Phase, TouchGen, Workload};
-use crate::smem::bank_conflicts_elems;
+use crate::smem::bank_conflicts_elems_on;
 use crate::timing::Pipeline;
 
 /// Non-smem instruction cycles per NW in-block wavefront step
 /// (calibrated against the Rodinia kernel).
 pub const NW_STEP_CYCLES: f64 = 40.0;
+
+/// Cycles per serialized NW shared-memory pass (calibrated).
+pub const NW_PASS_CYCLES: f64 = 5.0;
+
+/// Per-launch overhead of the short NW wavefront kernels as a fraction
+/// of the device's [`GpuConfig::launch_overhead`] — dependent back-to-
+/// back kernels pipeline their dispatch better than large kernels
+/// (calibrated at half the A100's 4 µs), and scaling by the config
+/// keeps the device descriptor authoritative for dispatch cost.
+pub const NW_LAUNCH_OVERHEAD_RATIO: f64 = 0.5;
 
 /// A builder of one workload's memory trace: given the hardware model,
 /// produces the [`Workload`] whose phases replay the kernel's logical
@@ -34,8 +50,22 @@ pub trait TraceBuilder {
     /// Stable display name, e.g. `matmul(n=2048,128x128x64)`.
     fn name(&self) -> String;
 
+    /// The kernel family's per-block resource footprint on `cfg` —
+    /// warps per block follow the device's warp size; register and
+    /// shared-memory estimates are the family's calibrated heuristics.
+    fn resources(&self, cfg: &GpuConfig) -> BlockResources;
+
     /// Builds the scoreable workload for hardware `cfg`.
     fn build(&self, cfg: &GpuConfig) -> Workload;
+}
+
+/// Splits `idx` into device-warp-sized lane groups and feeds each to
+/// `sink` — the shared "what is one warp access on this device"
+/// helper of the trace builders.
+fn emit_warp_chunks(idx: &[i64], warp: usize, sink: &mut dyn FnMut(&[i64])) {
+    for chunk in idx.chunks(warp.max(1)) {
+        sink(chunk);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -76,23 +106,23 @@ impl MatmulWaves {
             vendor: false,
         }
     }
-
-    /// Per-block resources of the tiled GEMM kernel: 256 threads
-    /// (8 warps), single-buffered `A`/`B` staging tiles in shared
-    /// memory, and accumulator registers growing with the tile area.
-    pub fn resources(&self) -> BlockResources {
-        let threads = 256.0;
-        BlockResources {
-            warps_per_block: threads / 32.0,
-            regs_per_block: threads * ((self.bm * self.bn) as f64 / 1024.0 + 24.0),
-            smem_per_block: ((self.bm + self.bn) * self.bk * 2) as f64,
-        }
-    }
 }
 
 impl TraceBuilder for MatmulWaves {
     fn name(&self) -> String {
         format!("matmul(n={},{}x{}x{})", self.n, self.bm, self.bn, self.bk)
+    }
+
+    /// 256 threads (8 NVIDIA warps, 4 CDNA wavefronts), single-buffered
+    /// `A`/`B` staging tiles in shared memory, and accumulator
+    /// registers growing with the tile area.
+    fn resources(&self, cfg: &GpuConfig) -> BlockResources {
+        let threads = 256.0;
+        BlockResources {
+            warps_per_block: (threads / cfg.warp_size as f64).ceil(),
+            regs_per_block: threads * ((self.bm * self.bn) as f64 / 1024.0 + 24.0),
+            smem_per_block: ((self.bm + self.bn) * self.bk * 2) as f64,
+        }
     }
 
     fn build(&self, cfg: &GpuConfig) -> Workload {
@@ -134,7 +164,8 @@ impl TraceBuilder for MatmulWaves {
             launches: if self.vendor { 1.0 } else { 2.0 },
             wave_quantized: !self.vendor,
             l2: None,
-            resources: self.resources(),
+            resources: self.resources(cfg),
+            mode: PricingMode::Roofline,
             phases: vec![Phase::TileTouches { trace, scale: 1.0 }],
         }
     }
@@ -161,37 +192,38 @@ pub struct TransposeSweeps {
     pub index_flops: f64,
 }
 
-impl TransposeSweeps {
-    /// Per-block resources: `t×t` threads, a `t×t` fp32 staging tile
-    /// when staged.
-    pub fn resources(&self) -> BlockResources {
-        let threads = (self.t * self.t) as f64;
-        BlockResources {
-            warps_per_block: (threads / 32.0).ceil(),
-            regs_per_block: threads * 24.0,
-            smem_per_block: if self.staged { threads * 4.0 } else { 0.0 },
-        }
-    }
-}
-
 impl TraceBuilder for TransposeSweeps {
     fn name(&self) -> String {
         format!("transpose(n={},t={})", self.n, self.t)
     }
 
-    fn build(&self, _cfg: &GpuConfig) -> Workload {
+    /// Per-block resources: `t×t` threads, a `t×t` fp32 staging tile
+    /// when staged.
+    fn resources(&self, cfg: &GpuConfig) -> BlockResources {
+        let threads = (self.t * self.t) as f64;
+        BlockResources {
+            warps_per_block: (threads / cfg.warp_size as f64).ceil(),
+            regs_per_block: threads * 24.0,
+            smem_per_block: if self.staged { threads * 4.0 } else { 0.0 },
+        }
+    }
+
+    fn build(&self, cfg: &GpuConfig) -> Workload {
         let TransposeSweeps { n, t, staged, .. } = *self;
         let tiles = (n / t) * (n / t);
-        let warps_per_tile = (t * t / 32) as f64;
+        // One representative warp per global access group, scaled to the
+        // tile's thread count.
+        let lanes = (cfg.warp_size as i64).min(t * t);
+        let warps_per_tile = (t * t) as f64 / lanes as f64;
         let global: AddrGen = Box::new(move |_layout, sink| {
-            let row: Vec<i64> = (0..32).collect();
+            let row: Vec<i64> = (0..lanes).collect();
             if staged {
                 // Both global accesses row-contiguous.
                 sink(&row);
                 sink(&row);
             } else {
                 // Coalesced read, stride-n write.
-                let col: Vec<i64> = (0..32).map(|l| l * n).collect();
+                let col: Vec<i64> = (0..lanes).map(|l| l * n).collect();
                 sink(&row);
                 sink(&col);
             }
@@ -202,13 +234,22 @@ impl TraceBuilder for TransposeSweeps {
             scale: warps_per_tile * tiles as f64,
         }];
         if staged {
+            // The staging tile's threads in row-major order, chunked
+            // into device-warp lane groups: each warp stores its slice
+            // row-wise and loads it transposed.
+            let warp = cfg.warp_size;
             let shared: AddrGen = Box::new(move |layout, sink| {
-                for ty in 0..t.min(32) {
-                    let store: Vec<i64> = (0..32.min(t))
-                        .map(|tx| layout.apply_c(&[ty, tx]).expect("in tile"))
+                let threads: Vec<(i64, i64)> = (0..t)
+                    .flat_map(|ty| (0..t).map(move |tx| (ty, tx)))
+                    .collect();
+                for chunk in threads.chunks(warp) {
+                    let store: Vec<i64> = chunk
+                        .iter()
+                        .map(|&(ty, tx)| layout.apply_c(&[ty, tx]).expect("in tile"))
                         .collect();
-                    let load: Vec<i64> = (0..32.min(t))
-                        .map(|tx| layout.apply_c(&[tx, ty]).expect("in tile"))
+                    let load: Vec<i64> = chunk
+                        .iter()
+                        .map(|&(ty, tx)| layout.apply_c(&[tx, ty]).expect("in tile"))
                         .collect();
                     sink(&store);
                     sink(&load);
@@ -229,7 +270,8 @@ impl TraceBuilder for TransposeSweeps {
             launches: 1.0,
             wave_quantized: false,
             l2: None,
-            resources: self.resources(),
+            resources: self.resources(cfg),
+            mode: PricingMode::Roofline,
             phases,
         }
     }
@@ -277,23 +319,21 @@ pub struct StencilWalk {
     pub index_flops: f64,
 }
 
-impl StencilWalk {
-    /// Per-block resources: one thread per tile point, no shared
-    /// staging.
-    pub fn resources(&self) -> BlockResources {
-        let (bx, by, bz) = self.block;
-        let threads = (bx * by * bz) as f64;
-        BlockResources {
-            warps_per_block: (threads / 32.0).ceil(),
-            regs_per_block: threads * 32.0,
-            smem_per_block: 0.0,
-        }
-    }
-}
-
 impl TraceBuilder for StencilWalk {
     fn name(&self) -> String {
         format!("stencil({},n={})", self.shape_name, self.n)
+    }
+
+    /// Per-block resources: one thread per tile point, no shared
+    /// staging.
+    fn resources(&self, cfg: &GpuConfig) -> BlockResources {
+        let (bx, by, bz) = self.block;
+        let threads = (bx * by * bz) as f64;
+        BlockResources {
+            warps_per_block: (threads / cfg.warp_size as f64).ceil(),
+            regs_per_block: threads * 32.0,
+            smem_per_block: 0.0,
+        }
     }
 
     fn build(&self, cfg: &GpuConfig) -> Workload {
@@ -306,10 +346,11 @@ impl TraceBuilder for StencilWalk {
         } = *self;
         let offs = self.offsets.clone();
         let points = offs.len() as f64;
+        let warp_lanes = cfg.warp_size as i64;
         let trace: AddrGen = Box::new(move |layout, sink| {
             let clamp = |v: i64| v.clamp(r, n - 1 - r);
-            let lanes = 32i64;
-            let mut idx = Vec::with_capacity(32);
+            let lanes = warp_lanes;
+            let mut idx = Vec::with_capacity(lanes as usize);
             for tx in 0..n / bx {
                 for ty in 0..n / by {
                     for tz in 0..n / bz {
@@ -380,7 +421,8 @@ impl TraceBuilder for StencilWalk {
             launches: 1.0,
             wave_quantized: false,
             l2: Some(L2Model { lines, assoc: 16 }),
-            resources: self.resources(),
+            resources: self.resources(cfg),
+            mode: PricingMode::Roofline,
             phases: vec![Phase::Global {
                 trace,
                 elem_bytes: 4,
@@ -413,9 +455,11 @@ pub struct NwWavefront {
 impl NwWavefront {
     /// The per-block wavefront warp trace: on each of the `2b-1`
     /// in-block diagonals the active lanes write `(t+1, d-t+1)` and
-    /// read the three neighbors (NW, N, W) — four warp access groups
-    /// per step, each emitted through the buffer layout.
-    pub fn block_trace(b: i64) -> AddrGen {
+    /// read the three neighbors (NW, N, W) — four access groups per
+    /// step, each emitted through the buffer layout in `warp`-lane
+    /// chunks (a diagonal longer than the device's warp takes several
+    /// warp instructions).
+    pub fn block_trace(b: i64, warp: usize) -> AddrGen {
         Box::new(move |layout, sink| {
             for d in 0..(2 * b - 1) {
                 let lo = (d + 1 - b).max(0);
@@ -433,41 +477,58 @@ impl NwWavefront {
                 let n_read: Vec<i64> = coords(&|t, d| (t, d - t + 1));
                 let w_read: Vec<i64> = coords(&|t, d| (t + 1, d - t));
                 for g in [write, nw_read, n_read, w_read] {
-                    sink(&g);
+                    emit_warp_chunks(&g, warp, sink);
                 }
             }
         })
     }
 
     /// Shared-memory passes for one block's full wavefront sweep under
-    /// a given buffer layout — the quantity the bench driver reports
-    /// and the tuner's smem phase scales up.
-    pub fn block_passes(layout: &Layout, b: i64, banks: usize) -> f64 {
-        let trace = NwWavefront::block_trace(b);
+    /// a given buffer layout, on the warp and bank geometry of `cfg` —
+    /// the quantity the additive pricing mode charges per round.
+    pub fn block_passes(layout: &Layout, b: i64, cfg: &GpuConfig) -> f64 {
+        let trace = NwWavefront::block_trace(b, cfg.warp_size);
         let mut passes = 0usize;
         trace(layout, &mut |g: &[i64]| {
-            passes += bank_conflicts_elems(g, banks).passes;
+            passes += bank_conflicts_elems_on(g, 4, cfg).passes;
         });
         passes as f64
     }
 
-    /// Per-block resources: `b` threads (one per wavefront lane) and
-    /// the `(b+1)²` fp32 scoring buffer in shared memory. Large blocks
-    /// are smem-bound: a `b=224` buffer fits an H100's 228 KiB carveout
-    /// but not an A100's.
-    pub fn resources(&self) -> BlockResources {
-        let b = self.b as f64;
-        BlockResources {
-            warps_per_block: (b / 32.0).ceil().max(1.0),
-            regs_per_block: b * 32.0,
-            smem_per_block: (b + 1.0) * (b + 1.0) * 4.0,
+    /// The dependency-limited launch schedule over `nb × nb` blocks:
+    /// two triangular sweeps over block anti-diagonals, one kernel
+    /// launch per diagonal running its blocks `sm_count` at a time.
+    /// Returns `(rounds, launches)`.
+    pub fn schedule(nb: i64, cfg: &GpuConfig) -> (f64, f64) {
+        let mut rounds = 0f64;
+        let mut launches = 0f64;
+        for _sweep in 0..2 {
+            for d in 0..(2 * nb - 1) {
+                let len = (d + 1).min(2 * nb - 1 - d).min(nb);
+                rounds += (len as f64 / cfg.sm_count as f64).ceil();
+                launches += 1.0;
+            }
         }
+        (rounds, launches)
     }
 }
 
 impl TraceBuilder for NwWavefront {
     fn name(&self) -> String {
         format!("nw(n={},b={})", self.n, self.b)
+    }
+
+    /// Per-block resources: `b` threads (one per wavefront lane) and
+    /// the `(b+1)²` fp32 scoring buffer in shared memory. Large blocks
+    /// are smem-bound: a `b=224` buffer fits an H100's 228 KiB carveout
+    /// but neither an A100's 164 KiB nor an MI300's 64 KiB LDS.
+    fn resources(&self, cfg: &GpuConfig) -> BlockResources {
+        let b = self.b as f64;
+        BlockResources {
+            warps_per_block: (b / cfg.warp_size as f64).ceil().max(1.0),
+            regs_per_block: b * 32.0,
+            smem_per_block: (b + 1.0) * (b + 1.0) * 4.0,
+        }
     }
 
     fn build(&self, cfg: &GpuConfig) -> Workload {
@@ -478,18 +539,12 @@ impl TraceBuilder for NwWavefront {
         // Two triangular sweeps over block anti-diagonals: every block
         // runs once per sweep, one kernel launch per block diagonal.
         let blocks = 2.0 * (nb * nb) as f64;
-        let launches = 2.0 * (2 * nb - 1) as f64;
-        let steps = blocks * (2 * b - 1) as f64;
-        // Each wavefront step costs NW_STEP_CYCLES warp-cycles of
-        // non-smem instructions; expressed as flops so the compute term
-        // serializes them at one warp per SM per cycle.
-        let instr_flops =
-            steps * NW_STEP_CYCLES * cfg.fp32_flops / (cfg.sm_count as f64 * cfg.clock_hz);
+        let (rounds, launches) = NwWavefront::schedule(nb, cfg);
         let matrix_bytes = (n * n * 4) as f64;
         Workload {
             name: self.name(),
             pipeline: Pipeline::Fp32,
-            flops: instr_flops + self.index_flops,
+            flops: self.index_flops,
             useful_bytes: 2.0 * matrix_bytes,
             // Matrix read + write plus one reference-matrix read.
             streamed_bytes: 3.0 * matrix_bytes,
@@ -497,9 +552,19 @@ impl TraceBuilder for NwWavefront {
             launches,
             wave_quantized: false,
             l2: None,
-            resources: self.resources(),
+            resources: self.resources(cfg),
+            // The calibrated additive wavefront pricing that used to be
+            // the NW bench driver's private loop: each of the `2b-1`
+            // in-block steps costs a fixed instruction budget plus its
+            // serialized bank passes, rounds cannot overlap traffic.
+            mode: PricingMode::AdditiveLaunch {
+                rounds,
+                step_cycles: (2 * b - 1) as f64 * NW_STEP_CYCLES,
+                pass_cycles: NW_PASS_CYCLES,
+                launch_overhead_s: NW_LAUNCH_OVERHEAD_RATIO * cfg.launch_overhead,
+            },
             phases: vec![Phase::Shared {
-                trace: NwWavefront::block_trace(b),
+                trace: NwWavefront::block_trace(b, cfg.warp_size),
                 scale: blocks,
             }],
         }
@@ -527,26 +592,24 @@ pub struct LudPanels {
     pub index_flops: f64,
 }
 
-impl LudPanels {
-    /// Per-block resources: a `t×t` CUDA block staging the perimeter
-    /// row and column panels, with `r²` accumulators per thread.
-    pub fn resources(&self) -> BlockResources {
-        let threads = (self.t * self.t) as f64;
-        let r = (self.bs / self.t) as f64;
-        BlockResources {
-            warps_per_block: (threads / 32.0).ceil(),
-            regs_per_block: threads * (r * r + 24.0),
-            smem_per_block: (2 * self.bs * self.t * 4) as f64,
-        }
-    }
-}
-
 impl TraceBuilder for LudPanels {
     fn name(&self) -> String {
         format!("lud(n={},bs={})", self.n, self.bs)
     }
 
-    fn build(&self, _cfg: &GpuConfig) -> Workload {
+    /// Per-block resources: a `t×t` CUDA block staging the perimeter
+    /// row and column panels, with `r²` accumulators per thread.
+    fn resources(&self, cfg: &GpuConfig) -> BlockResources {
+        let threads = (self.t * self.t) as f64;
+        let r = (self.bs / self.t) as f64;
+        BlockResources {
+            warps_per_block: (threads / cfg.warp_size as f64).ceil(),
+            regs_per_block: threads * (r * r + 24.0),
+            smem_per_block: (2 * self.bs * self.t * 4) as f64,
+        }
+    }
+
+    fn build(&self, cfg: &GpuConfig) -> Workload {
         let LudPanels { n, bs, .. } = *self;
         // Block sides need not divide n: the Rodinia driver pads the
         // trailing step, so a partial panel is priced as a full one.
@@ -583,7 +646,17 @@ impl TraceBuilder for LudPanels {
             launches,
             wave_quantized: false,
             l2: None,
-            resources: self.resources(),
+            resources: self.resources(cfg),
+            // The three kernels of every factorization step depend on
+            // each other: panel traffic and compute cannot overlap
+            // across launches, so the terms add (no wavefront rounds —
+            // compute comes from the flop count).
+            mode: PricingMode::AdditiveLaunch {
+                rounds: 0.0,
+                step_cycles: 0.0,
+                pass_cycles: 0.0,
+                launch_overhead_s: cfg.launch_overhead,
+            },
             phases: vec![Phase::Streamed {
                 dram_bytes: dram,
                 l2_bytes: dram * 1.5,
@@ -626,25 +699,24 @@ pub struct RowwiseSweep {
     pub index_flops: f64,
 }
 
-impl RowwiseSweep {
+impl TraceBuilder for RowwiseSweep {
+    fn name(&self) -> String {
+        format!("{}(m={},n={},bs={})", self.op_name, self.m, self.n, self.bs)
+    }
+
     /// Per-block resources: Triton-style `num_warps` scaling with the
-    /// block size, with the row chunk held live in registers.
-    pub fn resources(&self) -> BlockResources {
-        let warps = ((self.bs / 256) as f64).clamp(1.0, 16.0);
+    /// block size (8 warp-widths of work per warp, as in the 32-lane
+    /// `bs/256` heuristic), with the row chunk held live in registers.
+    fn resources(&self, cfg: &GpuConfig) -> BlockResources {
+        let warps = ((self.bs / (8 * cfg.warp_size as i64)) as f64).clamp(1.0, 16.0);
         BlockResources {
             warps_per_block: warps,
             // Each program keeps its bs-wide chunk (value + accumulator)
             // in registers, plus a fixed per-thread base cost.
-            regs_per_block: self.bs as f64 * 2.0 + warps * 32.0 * 24.0,
+            regs_per_block: self.bs as f64 * 2.0 + warps * cfg.warp_size as f64 * 24.0,
             // Cross-warp reduction scratch.
             smem_per_block: warps * 128.0,
         }
-    }
-}
-
-impl TraceBuilder for RowwiseSweep {
-    fn name(&self) -> String {
-        format!("{}(m={},n={},bs={})", self.op_name, self.m, self.n, self.bs)
     }
 
     fn build(&self, cfg: &GpuConfig) -> Workload {
@@ -656,16 +728,18 @@ impl TraceBuilder for RowwiseSweep {
         let instr_flops = (m * chunks) as f64 * ROWWISE_CHUNK_CYCLES * cfg.fp32_flops
             / (cfg.sm_count as f64 * cfg.clock_hz);
         let bytes = elems * 2.0 * self.passes;
-        // One representative warp: 32 consecutive lanes of a chunk
-        // through the lane-block layout; every warp of every chunk is
-        // identical, so the trace is scaled to the full traffic.
+        // One representative warp: a device-warp's worth of consecutive
+        // lanes of a chunk through the lane-block layout; every warp of
+        // every chunk is identical, so the trace is scaled to the full
+        // traffic.
+        let lanes = (cfg.warp_size as i64).min(bs);
         let trace: AddrGen = Box::new(move |layout, sink| {
-            let idx: Vec<i64> = (0..32)
+            let idx: Vec<i64> = (0..lanes)
                 .map(|l| layout.apply_c(&[l]).expect("lane in block"))
                 .collect();
             sink(&idx);
         });
-        let warp_bytes = 32.0 * 2.0;
+        let warp_bytes = lanes as f64 * 2.0;
         Workload {
             name: self.name(),
             pipeline: Pipeline::Fp32,
@@ -676,7 +750,8 @@ impl TraceBuilder for RowwiseSweep {
             launches: 1.0,
             wave_quantized: false,
             l2: None,
-            resources: self.resources(),
+            resources: self.resources(cfg),
+            mode: PricingMode::Roofline,
             phases: vec![Phase::Global {
                 trace,
                 elem_bytes: 2,
@@ -719,6 +794,7 @@ mod tests {
     fn nw_block_passes_distinguish_layouts() {
         use lego_core::perms::antidiag;
         use lego_core::OrderBy;
+        let cfg = a100();
         let b = 16i64;
         let nsz = b + 1;
         let baseline = Layout::identity([nsz, nsz]).unwrap();
@@ -726,8 +802,8 @@ mod tests {
             .order_by(OrderBy::new([antidiag(nsz).unwrap()]).unwrap())
             .build()
             .unwrap();
-        let base = NwWavefront::block_passes(&baseline, b, 32);
-        let opt = NwWavefront::block_passes(&optimized, b, 32);
+        let base = NwWavefront::block_passes(&baseline, b, &cfg);
+        let opt = NwWavefront::block_passes(&optimized, b, &cfg);
         assert!(base / opt > 1.5, "base {base} opt {opt}");
         // Conflict-free floor: 4 groups per step.
         assert!(opt >= (4 * (2 * b - 1)) as f64);
@@ -740,7 +816,7 @@ mod tests {
             b: 224,
             index_flops: 0.0,
         };
-        let r = w.resources();
+        let r = w.resources(&a100());
         let p = crate::timing::KernelProfile {
             warps_per_block: r.warps_per_block,
             regs_per_block: r.regs_per_block,

@@ -31,8 +31,13 @@ use crate::json::Json;
 /// History: 1 = original per-crate trace loops; 2 = shared
 /// `gpu_sim::trace` builders + occupancy-aware timing; 3 = entries
 /// record their search strategy/budget/space and persist a top-k
-/// frontier as the metaheuristics' warm-start population.
-pub const CACHE_SCHEMA_VERSION: i64 = 3;
+/// frontier as the metaheuristics' warm-start population; 4 = the
+/// device-generic `CostModel` — keys carry the full device identity
+/// (warp size, bank geometry, segment width, saturation occupancies)
+/// plus the workload's pricing mode, so per-device winners can never be
+/// served cross-device and v3 roofline-priced NW/LUD entries are
+/// invalidated wholesale.
+pub const CACHE_SCHEMA_VERSION: i64 = 4;
 
 /// One cached tuning outcome.
 #[derive(Clone, Debug, PartialEq)]
@@ -68,20 +73,29 @@ pub struct TuningCache {
     path: PathBuf,
 }
 
-/// The cache key for one (workload, hardware) pair: the workload name
-/// already encodes the problem size, and the salient hardware
-/// parameters guard against stale entries after config changes.
-pub fn cache_key(workload_name: &str, gpu: &GpuConfig) -> String {
+/// The cache key for one (workload, pricing mode, hardware) triple: the
+/// workload name already encodes the problem size, the pricing mode
+/// guards against entries estimated under another combining rule, and
+/// the salient hardware parameters — including the warp/bank/segment
+/// geometry and saturation occupancies the device-generic `CostModel`
+/// consumes — guard against stale entries after config changes, so
+/// per-device winners can never be served cross-device.
+pub fn cache_key(workload_name: &str, mode: &str, gpu: &GpuConfig) -> String {
     format!(
-        "{workload_name}|{}|sm={}|l2={}|bw={:e}|sec={}|regs={}|smem={}|warps={}",
+        "{workload_name}|mode={mode}|{}|sm={}|warp={}|banks={}x{}|l2={}|bw={:e}|sec={}|regs={}|smem={}|warps={}|sat={}/{}",
         gpu.name,
         gpu.sm_count,
+        gpu.warp_size,
+        gpu.smem_banks,
+        gpu.bank_bytes,
         gpu.l2_bytes,
         gpu.dram_bw,
         gpu.sector_bytes,
         gpu.regs_per_sm,
         gpu.smem_per_sm,
-        gpu.max_warps_per_sm
+        gpu.max_warps_per_sm,
+        gpu.mem_sat_occupancy,
+        gpu.issue_sat_occupancy
     )
 }
 
@@ -517,8 +531,33 @@ mod tests {
         let mut tweaked = a.clone();
         tweaked.smem_per_sm = gpu_sim::h100().smem_per_sm;
         assert_ne!(
-            cache_key("nw(n=3584,b=16)", &a),
-            cache_key("nw(n=3584,b=16)", &tweaked)
+            cache_key("nw(n=3584,b=16)", "additive-launch", &a),
+            cache_key("nw(n=3584,b=16)", "additive-launch", &tweaked)
+        );
+    }
+
+    #[test]
+    fn cache_key_separates_devices_and_modes() {
+        // Every device pair must key apart (warp-64 geometry included),
+        // and the same workload priced under another mode must miss.
+        let (a, h, m) = (gpu_sim::a100(), gpu_sim::h100(), gpu_sim::mi300());
+        let keys: Vec<String> = [&a, &h, &m]
+            .iter()
+            .map(|g| cache_key("nw(n=2048,b=16)", "additive-launch", g))
+            .collect();
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
+        assert_ne!(keys[1], keys[2]);
+        assert_ne!(
+            cache_key("nw(n=2048,b=16)", "additive-launch", &a),
+            cache_key("nw(n=2048,b=16)", "roofline", &a)
+        );
+        // Warp size alone must split keys even if everything else ties.
+        let mut wide = a.clone();
+        wide.warp_size = 64;
+        assert_ne!(
+            cache_key("matmul(n=2048)", "roofline", &a),
+            cache_key("matmul(n=2048)", "roofline", &wide)
         );
     }
 
@@ -526,8 +565,9 @@ mod tests {
     fn v2_documents_are_invalidated_wholesale() {
         // A handcrafted v2 document (the PR 2 on-disk shape: no
         // strategy/budget/space/frontier fields) must read as empty
-        // under v3 — stale winners cached by the old exhaustive search
-        // can never be served against the new estimate semantics.
+        // under the current schema — stale winners cached by the old
+        // exhaustive search can never be served against the new
+        // estimate semantics.
         let dir = std::env::temp_dir().join(format!("lego-cache-v2v3-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("v2.json");
@@ -566,7 +606,10 @@ mod tests {
         assert_eq!(cache.lookup("k2"), Some(entry));
         assert_eq!(cache.lookup("k"), None);
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("\"version\": 3"), "rewritten under v3");
+        assert!(
+            text.contains(&format!("\"version\": {CACHE_SCHEMA_VERSION}")),
+            "rewritten under the current schema"
+        );
 
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);

@@ -301,7 +301,15 @@ impl Domain {
                 layout: *rng.pick(&self.stencil_layouts(n)),
             },
             WorkloadKind::Nw { n, .. } => TunedConfig::Nw {
-                b: *rng.pick(&self.nw_b_values(n)),
+                // Half the samples land on the launch-schedule tooth
+                // bottoms — the sub-lattice every additive-pricing
+                // optimum lives on — so population seeding covers the
+                // meaningful coordinate, not just the raw axis.
+                b: if rng.chance(0.5) {
+                    *rng.pick(&self.nw_tooth_values(n))
+                } else {
+                    *rng.pick(&self.nw_b_values(n))
+                },
                 layout: if rng.chance(0.5) {
                     NwLayoutChoice::RowMajor
                 } else {
@@ -378,7 +386,15 @@ impl Domain {
             }
             (TunedConfig::Nw { mut b, mut layout }, WorkloadKind::Nw { n, .. }) => {
                 if rng.chance(0.7) {
-                    b = step(&self.nw_b_values(n), b, rng);
+                    // Half the block-size moves walk the launch-schedule
+                    // tooth bottoms (the additive pricing's meaningful
+                    // coordinate), half walk the raw axis.
+                    let axis = if rng.chance(0.5) {
+                        self.nw_tooth_values(n)
+                    } else {
+                        self.nw_b_values(n)
+                    };
+                    b = step(&axis, b, rng);
                 } else {
                     layout = match layout {
                         NwLayoutChoice::RowMajor => NwLayoutChoice::Antidiag,
@@ -391,8 +407,13 @@ impl Domain {
                 if rng.chance(0.7) {
                     r = step(&self.lud_r_values(n, t), r, rng);
                 } else {
+                    // A CUDA-tile step preserves the coarsened LUD block
+                    // `bs = r·t` (the coordinate the panel traffic and
+                    // launch count depend on), re-deriving r for the new
+                    // tile instead of dragging the old r along.
+                    let lud_block = r * t;
                     t = step(&self.lud_t_values(n, bs), t, rng);
-                    r = nearest(&self.lud_r_values(n, t), r);
+                    r = nearest(&self.lud_r_values(n, t), lud_block / t);
                 }
                 TunedConfig::Lud { r, t }
             }
@@ -504,6 +525,13 @@ impl Domain {
                 }
             }
             (TunedConfig::Nw { b, layout }, WorkloadKind::Nw { n, .. }) => {
+                // The adjacent launch-schedule tooth bottoms first, so
+                // polishing converges across the additive pricing's
+                // sawtooth instead of stalling at one tooth's floor;
+                // then the raw-axis steps for within-tooth refinement.
+                for v in adjacent(&self.nw_tooth_values(n), b) {
+                    out.push(TunedConfig::Nw { b: v, layout });
+                }
                 for v in adjacent(&self.nw_b_values(n), b) {
                     out.push(TunedConfig::Nw { b: v, layout });
                 }
@@ -516,14 +544,18 @@ impl Domain {
                 });
             }
             (TunedConfig::Lud { r, t }, WorkloadKind::Lud { n, bs }) => {
-                for v in adjacent(&self.lud_r_values(n, t), r) {
-                    out.push(TunedConfig::Lud { r: v, t });
-                }
+                // Tile moves first, holding the coarsened block r·t
+                // fixed: the same LUD block on another CUDA tile changes
+                // only the occupancy footprint, which is exactly the
+                // refinement polishing is for.
                 for v in adjacent(&self.lud_t_values(n, bs), t) {
                     out.push(TunedConfig::Lud {
-                        r: nearest(&self.lud_r_values(n, v), r),
+                        r: nearest(&self.lud_r_values(n, v), (r * t) / v),
                         t: v,
                     });
+                }
+                for v in adjacent(&self.lud_r_values(n, t), r) {
+                    out.push(TunedConfig::Lud { r: v, t });
                 }
             }
             (TunedConfig::Rowwise { op, bs }, WorkloadKind::Rowwise { n, .. }) => {
@@ -826,6 +858,27 @@ impl Domain {
                 .filter(|&b| b <= 256.min(n))
                 .collect(),
         }
+    }
+
+    /// The NW block sizes at the "tooth bottoms" of the additive launch
+    /// schedule: the smallest legal `b` for each distinct block-diagonal
+    /// count `ceil(n/b)`. The additive pricing is sawtooth in `b` —
+    /// time drops whenever the diagonal count falls, then climbs within
+    /// a tooth — so the meaningful search coordinate is the diagonal
+    /// count, and moves that step between tooth bottoms cross the
+    /// sawtooth in one hop instead of fighting uphill through it.
+    fn nw_tooth_values(&self, n: i64) -> Vec<i64> {
+        let all = self.nw_b_values(n);
+        let mut out = Vec::new();
+        let mut last_nb = i64::MIN;
+        for &b in &all {
+            let nb = (n + b - 1) / b;
+            if nb != last_nb {
+                out.push(b);
+                last_nb = nb;
+            }
+        }
+        out
     }
 
     /// Legal LUD CUDA block sides.

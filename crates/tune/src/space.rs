@@ -78,11 +78,7 @@ pub enum WorkloadKind {
 /// Stable short tag of a rowwise operator, shared by workload names and
 /// trace labels.
 pub fn rowwise_tag(op: RowwiseOp) -> &'static str {
-    match op {
-        RowwiseOp::Softmax => "softmax",
-        RowwiseOp::LayernormFwd => "layernorm-fwd",
-        RowwiseOp::LayernormBwd => "layernorm-bwd",
-    }
+    op.tag()
 }
 
 /// The smallest power of two ≥ `n` (for positive `n`).
@@ -119,6 +115,19 @@ impl WorkloadKind {
             WorkloadKind::Rowwise { op, m, n } => {
                 format!("{}(m={m},n={n})", rowwise_tag(*op))
             }
+        }
+    }
+
+    /// The stable name of the [`gpu_sim::PricingMode`] the cost model
+    /// applies to this workload family — part of the tuning-cache key,
+    /// so estimates produced under one combining rule are never served
+    /// to a search expecting another. Must agree with the modes the
+    /// `gpu_sim::trace` builders declare (asserted in tests).
+    pub fn pricing_mode(&self) -> &'static str {
+        match self {
+            // Dependency-serialized wavefront / panel pipelines.
+            WorkloadKind::Nw { .. } | WorkloadKind::Lud { .. } => "additive-launch",
+            _ => "roofline",
         }
     }
 
@@ -584,20 +593,16 @@ pub fn build_workload(kind: &WorkloadKind, candidate: &Candidate, gpu: &GpuConfi
         }
         .build(gpu),
         (WorkloadKind::Rowwise { op, m, n }, TunedConfig::Rowwise { bs, .. }) => {
-            // Traffic and flop factors match `lego-bench`'s rowwise
-            // model (reads+writes per element pass, fused-kernel flops).
-            let (passes, flops_per_elem) = match op {
-                RowwiseOp::Softmax => (2.0, 6.0),
-                RowwiseOp::LayernormFwd => (3.0, 8.0),
-                RowwiseOp::LayernormBwd => (4.5, 12.0),
-            };
+            // Traffic and flop factors come from the operator itself
+            // (`RowwiseOp::{traffic_passes, flops_per_elem}`), the same
+            // calibration point `lego-bench`'s driver consumes.
             RowwiseSweep {
-                op_name: rowwise_tag(op).to_string(),
+                op_name: op.tag().to_string(),
                 m,
                 n,
                 bs,
-                passes,
-                flops_per_elem,
+                passes: op.traffic_passes(),
+                flops_per_elem: op.flops_per_elem(),
                 index_flops,
             }
             .build(gpu)
@@ -622,5 +627,45 @@ pub fn stencil_block(choice: &StencilLayoutChoice, n: i64) -> ((i64, i64, i64), 
         StencilLayoutChoice::RowMajorY => ((4, lane_extent, 4), LaneAxis::Y),
         StencilLayoutChoice::RowMajorZ => ((4, 4, lane_extent), LaneAxis::Z),
         StencilLayoutChoice::Brick { b } => ((*b, *b, *b), LaneAxis::YZ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The mode name baked into the cache key must agree with the mode
+    /// the trace builders actually declare on the built workload — for
+    /// every kind, on every device.
+    #[test]
+    fn pricing_mode_names_match_built_workloads() {
+        let kinds = [
+            WorkloadKind::Matmul { n: 512 },
+            WorkloadKind::Transpose { n: 256 },
+            WorkloadKind::Stencil {
+                shape: StencilShape::Star(1),
+                n: 32,
+            },
+            WorkloadKind::Nw { n: 256, b: 16 },
+            WorkloadKind::Lud { n: 256, bs: 16 },
+            WorkloadKind::Rowwise {
+                op: RowwiseOp::Softmax,
+                m: 128,
+                n: 1024,
+            },
+        ];
+        for cfg in [gpu_sim::a100(), gpu_sim::h100(), gpu_sim::mi300()] {
+            for kind in kinds {
+                let cand = Candidate::annotated(&kind, &kind.default_config());
+                let w = build_workload(&kind, &cand, &cfg);
+                assert_eq!(
+                    w.mode.name(),
+                    kind.pricing_mode(),
+                    "{} on {}",
+                    kind.name(),
+                    cfg.name
+                );
+            }
+        }
     }
 }

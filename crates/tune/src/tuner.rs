@@ -183,7 +183,7 @@ impl Tuner {
     /// Propagates layout construction and cache write failures.
     pub fn tune(&self, kind: &WorkloadKind) -> Result<TuneResult, TuneError> {
         let workload = kind.name();
-        let key = cache_key(&workload, &self.gpu);
+        let key = cache_key(&workload, kind.pricing_mode(), &self.gpu);
         let mut warm_start: Vec<TunedConfig> = Vec::new();
         if let Some(cache) = &self.cache {
             if let Some(hit) = cache.lookup(&key) {

@@ -48,10 +48,15 @@ fn parity_kinds() -> Vec<WorkloadKind> {
     ]
 }
 
-/// The parity budget: ≤ 25% of the exhaustive count, floored at 8 for
-/// spaces so small that a quarter rounds down to nothing to search.
+/// The parity budget: ≤ 25% of the exhaustive count, floored at 16 for
+/// spaces so small that a quarter rounds down to less than one genetic
+/// founding population. (The floor moved from 8 when the additive
+/// launch pricing sharpened the NW/LUD landscapes: the old roofline
+/// `max()` left many configurations tied at the optimum, which a
+/// handful of random probes would hit; the additive model's optima are
+/// unique points.)
 fn parity_budget(exhaustive_evals: usize) -> Budget {
-    Budget((exhaustive_evals / 4).max(8))
+    Budget((exhaustive_evals / 4).max(16))
 }
 
 /// Seeded Anneal and Genetic reach the exhaustive optimum of the

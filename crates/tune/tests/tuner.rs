@@ -122,7 +122,7 @@ fn cache_round_trips_estimates() {
     let fresh = tuner.tune(&kind).unwrap();
 
     let cache = TuningCache::new(&path);
-    let key = cache_key(&fresh.workload, &gpu);
+    let key = cache_key(&fresh.workload, kind.pricing_mode(), &gpu);
     let entry = CachedTuning {
         config: fresh.config,
         expr_variant: fresh.expr_variant,

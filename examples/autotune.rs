@@ -1,24 +1,29 @@
 //! End-to-end autotuning demo: search the layout/tile configuration
 //! space of five workloads (matmul, transpose, stencil, NW, LUD)
-//! against the `gpu-sim` A100 model, persist the winners in
-//! `TUNE_CACHE.json`, show that a second run is served from the cache
-//! without re-evaluation — then re-tune on the H100 model and show the
-//! occupancy term moving winners across hardware generations. A final
-//! section runs the budgeted metaheuristics (simulated annealing and
-//! genetic search) over the enlarged free-integer spaces and shows them
+//! against the `gpu-sim` device model (`--device`, default A100),
+//! persist the winners in `TUNE_CACHE.json`, show that a second run is
+//! served from the cache without re-evaluation — then re-tune on the
+//! H100 model (occupancy limits moving winners across NVIDIA
+//! generations) and on the warp-64 MI300 model (a different vendor's
+//! warp/bank/segment geometry moving them again). A final section runs
+//! the budgeted metaheuristics (simulated annealing and genetic
+//! search) over the enlarged free-integer spaces and shows them
 //! matching or beating the exhaustive winners on a fraction of the
 //! evaluations.
 //!
 //! ```text
 //! cargo run --release --example autotune
 //! cargo run --release --example autotune -- --strategy anneal --budget 500
+//! cargo run --release --example autotune -- --device h100
 //! ```
 //!
-//! `--strategy exhaustive|anneal|genetic` and `--budget N` select how
-//! the three main passes search (default: exhaustive, the v2 behavior).
+//! `--device a100|h100|mi300` selects the baseline device of the first
+//! two passes; `--strategy exhaustive|anneal|genetic` and `--budget N`
+//! select how the main passes search (default: exhaustive, the v2
+//! behavior).
 
-use gpu_sim::{a100, h100};
-use lego_bench::tuned::{budget_from_args, strategy_from_args};
+use gpu_sim::{h100, mi300};
+use lego_bench::tuned::{budget_from_args, device_from_args, strategy_from_args};
 use lego_codegen::cuda::stencil::StencilShape;
 use lego_codegen::cuda::{lud, nw, transpose};
 use lego_codegen::triton::matmul;
@@ -58,6 +63,7 @@ fn main() {
 
     let strategy = strategy_from_args();
     let budget = budget_from_args();
+    let baseline = device_from_args();
 
     let kinds = [
         WorkloadKind::Matmul { n: 2048 },
@@ -69,13 +75,16 @@ fn main() {
         WorkloadKind::Nw { n: 3584, b: 16 },
         WorkloadKind::Lud { n: 2048, bs: 16 },
     ];
-    let tuner = Tuner::new(a100())
+    let tuner = Tuner::new(baseline.clone())
         .with_cache(CACHE_PATH)
         .with_strategy(strategy)
         .with_budget(budget);
 
     let first = tuner.tune_all(&kinds).expect("search");
-    report("first run, A100 (cold cache: full search)", &first);
+    report(
+        &format!("first run, {} (cold cache: full search)", baseline.name),
+        &first,
+    );
     for r in &first {
         assert!(!r.from_cache, "{}: first run must search", r.workload);
         assert!(
@@ -88,7 +97,13 @@ fn main() {
     }
 
     let second = tuner.tune_all(&kinds).expect("cache read");
-    report("second run, A100 (warm cache: no re-evaluation)", &second);
+    report(
+        &format!(
+            "second run, {} (warm cache: no re-evaluation)",
+            baseline.name
+        ),
+        &second,
+    );
     for (a, b) in first.iter().zip(&second) {
         assert!(
             b.from_cache,
@@ -101,7 +116,7 @@ fn main() {
     }
 
     // Cross-hardware pass: the cache key is hardware-aware, so the H100
-    // searches fresh and stores its own winners next to the A100's.
+    // searches fresh and stores its own winners next to the baseline's.
     let h_tuner = Tuner::new(h100())
         .with_cache(CACHE_PATH)
         .with_strategy(strategy)
@@ -114,13 +129,43 @@ fn main() {
         .filter(|(a, h)| a.config != h.config)
         .map(|(a, _)| a.workload.as_str())
         .collect();
-    println!("winners that moved A100 -> H100: {moved:?}");
+    println!("winners that moved {} -> H100: {moved:?}", baseline.tag);
     println!("(occupancy term: e.g. an NW b=224 block's 225^2 scoring buffer");
     println!(" fits the H100's 228 KiB smem carveout but not the A100's 164 KiB)\n");
-    if strategy == Strategy::Exhaustive {
+    if strategy == Strategy::Exhaustive && baseline.tag == "a100" {
         assert!(
             !moved.is_empty(),
             "occupancy model should move at least one winner across generations"
+        );
+    }
+
+    // Cross-vendor pass: the MI300 model differs in every shape the
+    // NVIDIA configs share — 64-lane wavefronts, 64 LDS banks, 64-byte
+    // memory segments, a 64 KiB LDS and a 32-wave cap — so the same
+    // device-generic cost model must re-rank the candidates, not just
+    // re-scale them.
+    let m_tuner = Tuner::new(mi300())
+        .with_cache(CACHE_PATH)
+        .with_strategy(strategy)
+        .with_budget(budget);
+    let amd = m_tuner.tune_all(&kinds).expect("mi300 search");
+    report("fourth run, MI300 (warp-64 device model)", &amd);
+    let moved_amd: Vec<&str> = first
+        .iter()
+        .zip(&amd)
+        .filter(|(a, m)| a.config != m.config)
+        .map(|(a, _)| a.workload.as_str())
+        .collect();
+    println!(
+        "winners that moved {} -> MI300: {moved_amd:?}",
+        baseline.tag
+    );
+    println!("(e.g. NW blocks are capped by the 64 KiB LDS: a (b+1)^2 scoring");
+    println!(" buffer must fit 65,536 bytes, so b > 127 is infeasible on MI300)\n");
+    if strategy == Strategy::Exhaustive && baseline.tag == "a100" {
+        assert!(
+            !moved_amd.is_empty(),
+            "the warp-64 device model should move at least one winner across vendors"
         );
     }
 
@@ -173,7 +218,9 @@ fn main() {
         },
     ];
     for s in [Strategy::Anneal, Strategy::Genetic] {
-        let meta = Tuner::new(a100()).with_strategy(s).with_budget(Budget(200));
+        let meta = Tuner::new(baseline.clone())
+            .with_strategy(s)
+            .with_budget(Budget(200));
         for kind in &meta_kinds {
             let r = meta.tune(kind).expect("budgeted search");
             assert!(r.evaluated <= 200, "{}: blew the budget", r.workload);

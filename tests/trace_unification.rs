@@ -1,22 +1,33 @@
-//! Cross-crate trace unification: the estimate a `lego-bench` driver
+//! Cross-crate price unification: the estimate a `lego-bench` driver
 //! prints in a paper table and the estimate the `lego-tune` oracle
 //! ranks must be *bit-identical* for the same (workload, config,
-//! hardware) — both route through the shared `gpu_sim::trace` builders,
-//! so nothing can drift. Plus property tests for the occupancy model.
+//! hardware) — for **every** workload, including the additive-launch
+//! NW/LUD wavefronts, on every device (A100, H100 and the warp-64
+//! MI300) — because both route through the shared `gpu_sim::trace`
+//! builders and the one `CostModel` pricing engine, so nothing can
+//! drift. Plus property tests for the occupancy model.
 
 mod prop_support;
 
-use gpu_sim::{a100, h100, score, Estimate, GpuConfig, KernelProfile};
+use gpu_sim::{a100, h100, mi300, score, Estimate, GpuConfig, KernelProfile};
 use lego_bench::workloads::matmul::Schedule;
+use lego_bench::workloads::rowwise::RowwiseBench;
 use lego_bench::workloads::{lud as bench_lud, matmul, nw as bench_nw, stencil, transpose};
 use lego_codegen::cuda::stencil::StencilShape;
 use lego_codegen::cuda::transpose::TransposeVariant;
 use lego_core::Layout;
 use lego_tune::{
-    build_layout, build_workload, Candidate, ScheduleChoice, StagingChoice, StencilLayoutChoice,
-    TunedConfig, WorkloadKind,
+    build_layout, build_workload, Candidate, RowwiseOp, ScheduleChoice, StagingChoice,
+    StencilLayoutChoice, TunedConfig, WorkloadKind,
 };
 use prop_support::Rng;
+
+/// Every device configuration of the model — each parity test runs on
+/// all of them, so an NVIDIA-shaped assumption anywhere in the pricing
+/// path shows up as a cross-crate mismatch on the MI300.
+fn devices() -> [GpuConfig; 3] {
+    [a100(), h100(), mi300()]
+}
 
 /// The tuner-oracle estimate for a config, with the tuner-only
 /// index-expression flop term zeroed so it prices exactly what the
@@ -34,7 +45,7 @@ fn oracle(kind: WorkloadKind, config: TunedConfig, cfg: &GpuConfig) -> Estimate 
 
 #[test]
 fn matmul_bench_and_oracle_estimates_are_bit_identical() {
-    for cfg in [a100(), h100()] {
+    for cfg in devices() {
         for (n, tiles, gm) in [(2048i64, (128, 128, 64), 8i64), (4096, (64, 64, 32), 4)] {
             let bench = matmul::estimate(n, tiles, Schedule::Grouped { gm }, &cfg);
             let (bm, bn, bk) = tiles;
@@ -69,7 +80,7 @@ fn matmul_bench_and_oracle_estimates_are_bit_identical() {
 
 #[test]
 fn transpose_bench_and_oracle_estimates_are_bit_identical() {
-    for cfg in [a100(), h100()] {
+    for cfg in devices() {
         for n in [1024i64, 2048] {
             // Naive <-> staging None.
             let bench = transpose::estimate(n, 32, TransposeVariant::Naive, &cfg);
@@ -101,7 +112,13 @@ fn transpose_bench_and_oracle_estimates_are_bit_identical() {
 
 #[test]
 fn stencil_bench_and_oracle_estimates_are_bit_identical() {
-    let cfg = a100();
+    for cfg in devices() {
+        stencil_parity_on(&cfg);
+    }
+}
+
+fn stencil_parity_on(cfg: &GpuConfig) {
+    let cfg = cfg.clone();
     for shape in [StencilShape::Star(2), StencilShape::Cube(1)] {
         let n = 32i64;
         let bench_kernels = lego_codegen::cuda::stencil::generate(shape, n, 8).unwrap();
@@ -145,45 +162,90 @@ fn stencil_bench_and_oracle_estimates_are_bit_identical() {
     }
 }
 
-/// NW and LUD share the trace loops with the tuner even though the
-/// bench drivers keep their calibrated timing: the bank-pass counts
-/// (NW) and the panel traffic (LUD) must agree exactly.
+/// NW and LUD prices — not just traces — are bit-identical between the
+/// bench drivers and the tuner oracle on every device: both go through
+/// the one `CostModel` under `PricingMode::AdditiveLaunch`, and the
+/// bench crate no longer owns any pricing loop of its own.
 #[test]
-fn nw_and_lud_share_the_trace_source_of_truth() {
-    let cfg = a100();
-
-    // NW: the bench driver's per-block pass count is the oracle's smem
-    // phase, block for block.
-    let k = lego_codegen::cuda::nw::generate(16).unwrap();
-    for layout in [&k.baseline, &k.optimized] {
-        let bench_passes = bench_nw::block_smem_passes(layout, 16);
-        let nb = 2048 / 16;
-        let blocks = 2.0 * (nb * nb) as f64;
-        let tuned = score(
-            layout,
-            &gpu_sim::trace::TraceBuilder::build(
-                &gpu_sim::trace::NwWavefront {
-                    n: 2048,
-                    b: 16,
-                    index_flops: 0.0,
-                },
+fn nw_and_lud_prices_are_bit_identical() {
+    use lego_codegen::tuning::NwLayoutChoice;
+    for cfg in devices() {
+        // NW: the full additive-launch estimate, both buffer layouts.
+        for (optimized, layout) in [
+            (false, NwLayoutChoice::RowMajor),
+            (true, NwLayoutChoice::Antidiag),
+        ] {
+            let bench = bench_nw::estimate(2048, 16, optimized, &cfg);
+            let tuned = oracle(
+                WorkloadKind::Nw { n: 2048, b: 16 },
+                TunedConfig::Nw { b: 16, layout },
                 &cfg,
-            ),
-            &cfg,
-        );
-        assert_eq!(tuned.smem_passes, bench_passes * blocks);
-    }
+            );
+            assert_eq!(bench, tuned, "nw optimized={optimized} on {}", cfg.name);
+        }
 
-    // LUD: the bench estimate IS the oracle estimate (layout-free
-    // panel trace).
-    for (n, bs) in [(2048i64, 16i64), (2048, 64), (4096, 128)] {
-        let bench = bench_lud::estimate(n, bs, &cfg);
-        let tuned = oracle(
-            WorkloadKind::Lud { n, bs: 16 },
-            TunedConfig::Lud { r: bs / 16, t: 16 },
-            &cfg,
-        );
-        assert_eq!(bench, tuned, "lud n={n} bs={bs}");
+        // The bench driver's per-block pass count is still the oracle's
+        // smem phase, block for block.
+        let k = lego_codegen::cuda::nw::generate(16).unwrap();
+        for layout in [&k.baseline, &k.optimized] {
+            let bench_passes = bench_nw::block_smem_passes(layout, 16, &cfg);
+            let nb = 2048 / 16;
+            let blocks = 2.0 * (nb * nb) as f64;
+            let tuned = score(
+                layout,
+                &gpu_sim::trace::TraceBuilder::build(
+                    &gpu_sim::trace::NwWavefront {
+                        n: 2048,
+                        b: 16,
+                        index_flops: 0.0,
+                    },
+                    &cfg,
+                ),
+                &cfg,
+            );
+            assert_eq!(tuned.smem_passes, bench_passes * blocks);
+        }
+
+        // LUD: the bench estimate IS the oracle estimate (layout-free
+        // panel trace).
+        for (n, bs) in [(2048i64, 16i64), (2048, 64), (4096, 128)] {
+            let bench = bench_lud::estimate(n, bs, &cfg);
+            let tuned = oracle(
+                WorkloadKind::Lud { n, bs: 16 },
+                TunedConfig::Lud { r: bs / 16, t: 16 },
+                &cfg,
+            );
+            assert_eq!(bench, tuned, "lud n={n} bs={bs} on {}", cfg.name);
+        }
+    }
+}
+
+/// The row-wise operators complete the "every workload" guarantee: the
+/// bench-side `RowwiseBench::estimate` and the tuner oracle price the
+/// same `RowwiseSweep` trace through the same cost model.
+#[test]
+fn rowwise_prices_are_bit_identical() {
+    let pairs = [
+        (RowwiseBench::Softmax, RowwiseOp::Softmax),
+        (RowwiseBench::LayernormFwd, RowwiseOp::LayernormFwd),
+        (RowwiseBench::LayernormBwd, RowwiseOp::LayernormBwd),
+    ];
+    for cfg in devices() {
+        for (bench_op, tune_op) in pairs {
+            for bs in [256i64, 4096] {
+                let bench = bench_op.estimate(4096, 4096, bs, &cfg);
+                let tuned = oracle(
+                    WorkloadKind::Rowwise {
+                        op: tune_op,
+                        m: 4096,
+                        n: 4096,
+                    },
+                    TunedConfig::Rowwise { op: tune_op, bs },
+                    &cfg,
+                );
+                assert_eq!(bench, tuned, "{:?} bs={bs} on {}", bench_op, cfg.name);
+            }
+        }
     }
 }
 
@@ -192,7 +254,7 @@ fn nw_and_lud_share_the_trace_source_of_truth() {
 #[test]
 fn occupancy_is_monotone_and_capped() {
     let mut rng = Rng::new(0x0cc0_9a7e);
-    for cfg in [a100(), h100()] {
+    for cfg in devices() {
         for _ in 0..500 {
             let warps = rng.range_i64(1, 33) as f64;
             let regs = rng.range_i64(0, 80_000) as f64;
