@@ -1,0 +1,189 @@
+//! `tuner-bench`: the tuner-side perf series.
+//!
+//! The paper tables track what the *kernels* cost; this binary tracks
+//! what the *tuner* costs — candidate construction
+//! (`Layout` → `Expr` → simplify/op-count) is the search hot path, and
+//! the interned expression IR exists to make it fast. Per workload
+//! family it measures
+//!
+//! * a **cold** legacy-space enumeration (every candidate annotated
+//!   from scratch — though even here the expression arena shares
+//!   subtree work *across* candidates),
+//! * a **warm** re-enumeration (the per-session candidate fast path:
+//!   every annotation is a map hit), and
+//! * a budgeted **anneal** search whose neighbor moves revisit
+//!   incumbent-adjacent configurations,
+//!
+//! and reports candidates/second plus the arena and memo hit rates
+//! from [`lego_expr::intern::stats`]. Results land in
+//! `BENCH_tuner[_<device>].json` (`--device a100|h100|mi300`), uploaded
+//! by CI next to the paper-table artifacts so the tuner's throughput
+//! finally has its own trajectory.
+
+use std::time::Instant;
+
+use lego_bench::{emit, tuned};
+use lego_codegen::cuda::stencil::StencilShape;
+use lego_expr::intern::stats as arena_stats;
+use lego_tune::space::annotate_cache_stats;
+use lego_tune::{Budget, Json, RowwiseOp, SearchSpace, Strategy, Tuner, WorkloadKind};
+
+/// The benchmarked workload instances (gate-sized: every legacy tile
+/// and block choice divides the problem).
+fn workloads() -> Vec<WorkloadKind> {
+    vec![
+        WorkloadKind::Matmul { n: 1024 },
+        WorkloadKind::Transpose { n: 512 },
+        WorkloadKind::Stencil {
+            shape: StencilShape::Star(1),
+            n: 64,
+        },
+        WorkloadKind::Nw { n: 448, b: 16 },
+        WorkloadKind::Lud { n: 512, bs: 16 },
+        WorkloadKind::Rowwise {
+            op: RowwiseOp::Softmax,
+            m: 256,
+            n: 1024,
+        },
+    ]
+}
+
+/// Hit rate of a `(hits, misses)` pair, `0.0` when idle.
+fn rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// Candidates per second, guarding tiny elapsed times.
+fn per_second(count: usize, secs: f64) -> f64 {
+    count as f64 / secs.max(1e-9)
+}
+
+fn main() {
+    let device = tuned::device_from_args();
+    println!(
+        "-- tuner-bench: candidate-construction throughput ({}) --",
+        device.name
+    );
+    println!(
+        "{:<22} {:>6} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "workload", "cands", "cold c/s", "warm c/s", "intern%", "memo%", "anneal c/s"
+    );
+
+    let mut rows = Vec::new();
+    for kind in workloads() {
+        let before = arena_stats();
+        let (ann_h0, ann_m0) = annotate_cache_stats();
+
+        // Cold: every candidate annotated for the first time.
+        let t0 = Instant::now();
+        let space = SearchSpace::enumerate(kind);
+        let cold_s = t0.elapsed().as_secs_f64();
+        let candidates = space.candidates.len();
+        let cold_stats = arena_stats().since(&before);
+
+        // Warm: the annotation fast path answers from the session map.
+        let t1 = Instant::now();
+        let warm_space = SearchSpace::enumerate(kind);
+        let warm_s = t1.elapsed().as_secs_f64();
+        assert_eq!(warm_space.candidates.len(), candidates);
+
+        // Anneal: neighbor/crossover moves share the incumbent's
+        // subtrees through the same arena.
+        let t2 = Instant::now();
+        let result = Tuner::new(device.clone())
+            .with_strategy(Strategy::Anneal)
+            .with_budget(Budget(128))
+            .tune(&kind)
+            .expect("anneal search");
+        let anneal_s = t2.elapsed().as_secs_f64();
+
+        let total_stats = arena_stats().since(&before);
+        let (ann_h1, ann_m1) = annotate_cache_stats();
+        let intern_rate = rate(total_stats.intern_hits, total_stats.intern_misses);
+        let memo_rate = rate(total_stats.memo_hits(), total_stats.memo_misses());
+        // The cold enumeration alone must already share work across
+        // candidates; this is the number the acceptance gate watches.
+        let cold_memo_rate = rate(cold_stats.memo_hits(), cold_stats.memo_misses());
+
+        println!(
+            "{:<22} {:>6} {:>12.0} {:>12.0} {:>9.1}% {:>9.1}% {:>10.0}",
+            kind.name(),
+            candidates,
+            per_second(candidates, cold_s),
+            per_second(candidates, warm_s),
+            intern_rate * 100.0,
+            memo_rate * 100.0,
+            per_second(result.evaluated, anneal_s),
+        );
+
+        rows.push(Json::obj([
+            ("workload", Json::Str(kind.name())),
+            ("candidates", Json::Int(candidates as i64)),
+            ("cold_enumerate_s", Json::Num(cold_s)),
+            ("warm_enumerate_s", Json::Num(warm_s)),
+            (
+                "cold_candidates_per_s",
+                Json::Num(per_second(candidates, cold_s)),
+            ),
+            (
+                "warm_candidates_per_s",
+                Json::Num(per_second(candidates, warm_s)),
+            ),
+            ("anneal_evaluated", Json::Int(result.evaluated as i64)),
+            ("anneal_s", Json::Num(anneal_s)),
+            (
+                "anneal_evals_per_s",
+                Json::Num(per_second(result.evaluated, anneal_s)),
+            ),
+            ("arena_nodes", Json::Int(arena_stats().nodes as i64)),
+            ("intern_hit_rate", Json::Num(intern_rate)),
+            ("memo_hit_rate", Json::Num(memo_rate)),
+            ("cold_memo_hit_rate", Json::Num(cold_memo_rate)),
+            (
+                "simplify_hit_rate",
+                Json::Num(rate(total_stats.simplify_hits, total_stats.simplify_misses)),
+            ),
+            (
+                "pass_hit_rate",
+                Json::Num(rate(total_stats.pass_hits, total_stats.pass_misses)),
+            ),
+            (
+                "opcount_hit_rate",
+                Json::Num(rate(total_stats.opcount_hits, total_stats.opcount_misses)),
+            ),
+            (
+                "prove_hit_rate",
+                Json::Num(rate(total_stats.prove_hits, total_stats.prove_misses)),
+            ),
+            ("annotate_cache_hits", Json::Int((ann_h1 - ann_h0) as i64)),
+            ("annotate_cache_misses", Json::Int((ann_m1 - ann_m0) as i64)),
+        ]));
+
+        // The whole point of the interned IR: candidate construction
+        // work repeats, and the memo tables must be absorbing it —
+        // already during the *cold* enumeration (cross-candidate
+        // subtree sharing), not just on warm revisits.
+        assert!(
+            cold_stats.memo_hits() > 0,
+            "{}: cold enumeration shared no expression work",
+            kind.name()
+        );
+        // Warm revisits must short-circuit in the annotation fast path
+        // (they never even reach the expression tables).
+        assert!(
+            ann_h1 - ann_h0 >= candidates as u64,
+            "{}: warm enumeration missed the annotation cache",
+            kind.name()
+        );
+    }
+
+    emit::announce(emit::write_bench_json(
+        &tuned::bench_name("tuner", &device),
+        rows,
+    ));
+}

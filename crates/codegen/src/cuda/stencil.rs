@@ -14,7 +14,7 @@ use crate::tuning::{StencilLayoutChoice, TunedConfig};
 
 /// The stencil shapes evaluated in Fig. 12c: star (radius 1..4) and cube
 /// (3³ and 5³).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum StencilShape {
     /// Star stencil of the given radius: `1 + 6r` points.
     Star(i64),

@@ -10,7 +10,7 @@
 use std::fmt;
 
 /// How matmul program ids map to tile coordinates.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ScheduleChoice {
     /// Plain row-major pid order.
     RowMajor,
@@ -44,7 +44,7 @@ impl fmt::Display for ScheduleChoice {
 }
 
 /// Which permutation orders a shared-memory staging tile.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum StagingChoice {
     /// Row-major staging (the conflicted baseline).
     Identity,
@@ -78,7 +78,7 @@ impl fmt::Display for StagingChoice {
 }
 
 /// Which 3-D data layout a stencil kernel sweeps, and how warps walk it.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum StencilLayoutChoice {
     /// Row-major array, warp lanes along the strided `y` axis (the
     /// conventional baseline).
@@ -103,7 +103,7 @@ impl fmt::Display for StencilLayoutChoice {
 }
 
 /// Which shared-memory buffer layout an NW wavefront kernel uses.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum NwLayoutChoice {
     /// Row-major `(b+1)×(b+1)` buffer (the Rodinia baseline; wavefront
     /// accesses are strided and bank-conflicted).
@@ -123,7 +123,7 @@ impl fmt::Display for NwLayoutChoice {
 }
 
 /// Which row-wise Triton operator a [`TunedConfig::Rowwise`] addresses.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum RowwiseOp {
     /// Row softmax.
     Softmax,
@@ -170,7 +170,7 @@ impl RowwiseOp {
 }
 
 /// A tuned configuration for one kernel family.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum TunedConfig {
     /// Tiled FP16 GEMM.
     Matmul {

@@ -178,6 +178,11 @@ impl Layout {
     /// [`lego_expr::simplify()`] with ranges from
     /// [`Layout::declare_index_bounds`]).
     ///
+    /// Lowering emits through the interned expression arena: the
+    /// returned expression is a hash-consed DAG, so repeated lowering
+    /// of the same layout yields pointer-equal nodes and the simplifier
+    /// reuses any memoized work from earlier candidates.
+    ///
     /// # Errors
     ///
     /// Rank mismatches and `GenP`s without symbolic implementations.
@@ -257,6 +262,19 @@ impl Layout {
             env.set_bounds(name, Expr::zero(), dim.clone());
         }
         Ok(())
+    }
+
+    /// The free symbols of the view's dimension expressions (size
+    /// parameters such as `M` or `BM`), deduplicated and in
+    /// lexicographic order — the deterministic ordering guarantee of
+    /// the `BTreeSet`-backed collector in [`lego_expr`], so callers can
+    /// bind or declare them in a reproducible order.
+    pub fn free_syms(&self) -> Vec<std::sync::Arc<str>> {
+        let mut set = std::collections::BTreeSet::new();
+        for d in self.view.dims() {
+            d.collect_syms(&mut set);
+        }
+        set.into_iter().collect()
     }
 
     /// Enumerates `apply_c` over the whole (constant) view, returning the

@@ -8,13 +8,25 @@
 
 use crate::expand::expand;
 use crate::expr::{Cond, Expr, ExprKind};
+use crate::intern;
 use crate::range::RangeEnv;
 use crate::simplify::simplify;
 
 /// Counts arithmetic operations in an expression: each n-ary sum/product
 /// contributes `n-1`, every division/modulo/min/max/select/isqrt counts 1,
 /// and comparisons inside conditions count 1 each. Leaves are free.
+/// Counts are memoized per interned node for the session.
 pub fn op_count(e: &Expr) -> usize {
+    let id = e.id().get();
+    if let Some(n) = intern::opcount_get(id) {
+        return n;
+    }
+    let n = op_count_uncached(e);
+    intern::opcount_insert(id, n);
+    n
+}
+
+fn op_count_uncached(e: &Expr) -> usize {
     match e.kind() {
         ExprKind::Const(_) | ExprKind::Sym(_) => 0,
         ExprKind::Add(ts) | ExprKind::Mul(ts) => {

@@ -6,11 +6,23 @@
 //! see [`crate::cost::pick_cheaper`].
 
 use crate::expr::{Expr, ExprKind};
+use crate::intern;
 
 /// Recursively distributes every product over sums, e.g.
 /// `a*(b + c) → a*b + a*c`. Division, modulo, min/max, and select children
-/// are expanded but not distributed through.
+/// are expanded but not distributed through. Results are memoized per
+/// interned node for the session (expansion is environment-free).
 pub fn expand(e: &Expr) -> Expr {
+    let id = e.id().get();
+    if let Some(hit) = intern::expand_get(id) {
+        return hit;
+    }
+    let r = expand_uncached(e);
+    intern::expand_insert(id, r.clone());
+    r
+}
+
+fn expand_uncached(e: &Expr) -> Expr {
     match e.kind() {
         ExprKind::Const(_) | ExprKind::Sym(_) => e.clone(),
         ExprKind::Add(ts) => Expr::add_all(ts.iter().map(expand)),

@@ -1,10 +1,16 @@
 //! The symbolic integer expression AST.
 //!
-//! Expressions are immutable trees behind [`std::sync::Arc`], so cloning is
-//! cheap and sharing is pervasive. All arithmetic is over mathematical
-//! integers; `/` and `%` denote *floor* division and the matching modulo
-//! (which coincide with C semantics on the non-negative operands LEGO
-//! produces).
+//! Expressions are immutable, *hash-consed* DAGs: every construction
+//! interns its node in the thread's [`crate::intern`] arena, so
+//! structurally identical subtrees are the same allocation (same
+//! [`ExprId`]), cloning is an `Arc` bump, equality is usually one
+//! integer compare, and the rewrite passes memoize their work per node.
+//! Commutative chains are canonicalized into sorted n-ary `Add`/`Mul`
+//! forms by the constructors before interning, so each algebraic sum or
+//! product has exactly one node. All arithmetic is over mathematical
+//! integers; `/` and `%` denote *floor* division and the matching
+//! modulo (which coincide with C semantics on the non-negative operands
+//! LEGO produces).
 //!
 //! # Examples
 //!
@@ -14,10 +20,17 @@
 //! let i = Expr::sym("i");
 //! let flat = &i * &m + Expr::val(3);
 //! assert_eq!(flat.to_string(), "M*i + 3");
+//! // Rebuilding the same structure yields the same interned node.
+//! let again = &i * &m + Expr::val(3);
+//! assert!(flat.ptr_eq(&again));
+//! assert_eq!(flat.id(), again.id());
 //! ```
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
+
+use crate::intern::{self, structural_hash, ExprId};
 
 /// Comparison operators usable inside [`Cond`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -93,8 +106,10 @@ impl Cond {
         Cond::Cmp(CmpOp::Ge, a, b)
     }
 
-    /// Collects the free symbols of the condition into `out`.
-    pub fn collect_syms(&self, out: &mut Vec<Arc<str>>) {
+    /// Collects the free symbols of the condition into `out`. The
+    /// `BTreeSet` deduplicates and keeps the names in lexicographic
+    /// order, so downstream iteration is deterministic.
+    pub fn collect_syms(&self, out: &mut BTreeSet<Arc<str>>) {
         match self {
             Cond::Cmp(_, a, b) => {
                 a.collect_syms(out);
@@ -156,15 +171,63 @@ pub enum ExprKind {
     },
 }
 
-/// A reference-counted symbolic integer expression.
+/// One interned expression node: the payload plus its session identity
+/// and a cached structural hash (a pure function of the tree shape, so
+/// it agrees across threads even when ids do not).
+pub(crate) struct Node {
+    id: u64,
+    shash: u64,
+    /// Cached `node_count` (the tree-size measure used to order sums).
+    count: usize,
+    kind: ExprKind,
+}
+
+/// A handle to an interned symbolic integer expression.
 ///
 /// `Expr` supports the `+`, `-`, `*` operators (by value and by reference),
 /// plus [`Expr::floor_div`], [`Expr::rem`], [`Expr::min`], [`Expr::max`],
 /// [`Expr::select`] and [`Expr::isqrt`] constructors. Construction performs
-/// light local canonicalization (constant folding, flattening); the full
-/// rewriting lives in [`crate::simplify()`].
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Expr(pub(crate) Arc<ExprKind>);
+/// light local canonicalization (constant folding, flattening, operand
+/// sorting) and then hash-conses the node, so structurally identical
+/// expressions share one allocation; the full rewriting lives in
+/// [`crate::simplify()`].
+///
+/// Equality, ordering and hashing are *structural* (unchanged from the
+/// tree representation), but accelerated: two handles to the same node
+/// compare equal by id, and differing structural hashes prove
+/// inequality without a walk. Only structurally identical expressions
+/// interned from different threads fall back to the deep comparison.
+#[derive(Clone)]
+pub struct Expr(pub(crate) Arc<Node>);
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Expr) -> bool {
+        self.0.id == other.0.id || (self.0.shash == other.0.shash && self.0.kind == other.0.kind)
+    }
+}
+
+impl Eq for Expr {}
+
+impl std::hash::Hash for Expr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0.shash);
+    }
+}
+
+impl PartialOrd for Expr {
+    fn partial_cmp(&self, other: &Expr) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Expr {
+    fn cmp(&self, other: &Expr) -> std::cmp::Ordering {
+        if self.0.id == other.0.id {
+            return std::cmp::Ordering::Equal;
+        }
+        self.0.kind.cmp(&other.0.kind)
+    }
+}
 
 impl fmt::Debug for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -173,9 +236,40 @@ impl fmt::Debug for Expr {
 }
 
 impl Expr {
-    /// Wraps an [`ExprKind`] without any canonicalization.
+    /// Allocates a fresh node for `kind` (interner-miss path; called
+    /// only by [`crate::intern::intern`]).
+    pub(crate) fn new_node(kind: ExprKind) -> Expr {
+        let shash = structural_hash(&kind);
+        let mut count = 1usize;
+        for_each_child_of(&kind, |c| count += c.node_count());
+        Expr(Arc::new(Node {
+            id: intern::fresh_node_id(),
+            shash,
+            count,
+            kind,
+        }))
+    }
+
+    /// Interns an [`ExprKind`] as-is, without any canonicalization of
+    /// the node itself (children are whatever the caller built).
     pub fn raw(kind: ExprKind) -> Expr {
-        Expr(Arc::new(kind))
+        intern::intern(kind)
+    }
+
+    /// The node's session-unique identity (see [`ExprId`]). Equal ids
+    /// imply structural equality; on one thread the converse holds too.
+    pub fn id(&self) -> ExprId {
+        ExprId(self.0.id)
+    }
+
+    /// The cached structural hash (thread-independent).
+    pub(crate) fn shash(&self) -> u64 {
+        self.0.shash
+    }
+
+    /// True if both handles point at the same interned node.
+    pub fn ptr_eq(&self, other: &Expr) -> bool {
+        self.0.id == other.0.id
     }
 
     /// An integer literal.
@@ -210,7 +304,7 @@ impl Expr {
 
     /// Borrow the node payload.
     pub fn kind(&self) -> &ExprKind {
-        &self.0
+        &self.0.kind
     }
 
     /// Returns the literal value if this expression is a constant.
@@ -406,11 +500,16 @@ impl Expr {
         }
     }
 
-    /// Collects every free symbol (with duplicates) into `out`.
-    pub fn collect_syms(&self, out: &mut Vec<Arc<str>>) {
+    /// Collects every free symbol into `out`. The `BTreeSet` collector
+    /// deduplicates as it goes and iterates in lexicographic name
+    /// order, so every consumer of the result sees the same
+    /// deterministic ordering regardless of traversal order.
+    pub fn collect_syms(&self, out: &mut BTreeSet<Arc<str>>) {
         match self.kind() {
             ExprKind::Const(_) => {}
-            ExprKind::Sym(s) => out.push(s.clone()),
+            ExprKind::Sym(s) => {
+                out.insert(s.clone());
+            }
             ExprKind::Add(ts) | ExprKind::Mul(ts) => {
                 for t in ts {
                     t.collect_syms(out);
@@ -437,48 +536,46 @@ impl Expr {
         }
     }
 
-    /// The set of free symbol names, sorted and deduplicated.
+    /// The set of free symbol names, deduplicated and in lexicographic
+    /// order (the iteration order of the [`BTreeSet`] collector).
     pub fn free_syms(&self) -> Vec<Arc<str>> {
-        let mut v = Vec::new();
-        self.collect_syms(&mut v);
-        v.sort();
-        v.dedup();
-        v
+        let mut set = BTreeSet::new();
+        self.collect_syms(&mut set);
+        set.into_iter().collect()
     }
 
-    /// Number of nodes in the tree (a crude size measure).
+    /// Number of nodes in the tree (a crude size measure). Cached on
+    /// the interned node, so this is a field read.
     pub fn node_count(&self) -> usize {
-        let mut n = 1usize;
-        self.for_each_child(|c| n += c.node_count());
-        n
+        self.0.count
     }
+}
 
-    /// Visits each direct child expression.
-    pub(crate) fn for_each_child(&self, mut f: impl FnMut(&Expr)) {
-        match self.kind() {
-            ExprKind::Const(_) | ExprKind::Sym(_) => {}
-            ExprKind::Add(ts) | ExprKind::Mul(ts) => {
-                for t in ts {
-                    f(t);
-                }
-            }
-            ExprKind::FloorDiv(a, b)
-            | ExprKind::Mod(a, b)
-            | ExprKind::Min(a, b)
-            | ExprKind::Max(a, b)
-            | ExprKind::Xor(a, b) => {
-                f(a);
-                f(b);
-            }
-            ExprKind::Select(_, t, e) => {
+/// Visits each direct child expression of a node payload.
+pub(crate) fn for_each_child_of(kind: &ExprKind, mut f: impl FnMut(&Expr)) {
+    match kind {
+        ExprKind::Const(_) | ExprKind::Sym(_) => {}
+        ExprKind::Add(ts) | ExprKind::Mul(ts) => {
+            for t in ts {
                 f(t);
-                f(e);
             }
-            ExprKind::ISqrt(a) => f(a),
-            ExprKind::Range { lo, len, .. } => {
-                f(lo);
-                f(len);
-            }
+        }
+        ExprKind::FloorDiv(a, b)
+        | ExprKind::Mod(a, b)
+        | ExprKind::Min(a, b)
+        | ExprKind::Max(a, b)
+        | ExprKind::Xor(a, b) => {
+            f(a);
+            f(b);
+        }
+        ExprKind::Select(_, t, e) => {
+            f(t);
+            f(e);
+        }
+        ExprKind::ISqrt(a) => f(a),
+        ExprKind::Range { lo, len, .. } => {
+            f(lo);
+            f(len);
         }
     }
 }

@@ -4,12 +4,20 @@
 //! LEGO paper builds on (§IV-A): a small symbolic engine for the integer
 //! index expressions produced by hierarchical layouts, with
 //!
-//! * an immutable, cheaply-clonable expression AST ([`Expr`]) covering
-//!   `+ - * // % min max select isqrt` and Triton-style lane ranges;
+//! * an immutable, *hash-consed* expression IR ([`Expr`]) covering
+//!   `+ - * // % min max select isqrt` and Triton-style lane ranges —
+//!   every construction interns its node in a per-thread arena
+//!   ([`intern`]), so structurally identical subtrees share one
+//!   allocation ([`ExprId`]), equality is (usually) an integer compare,
+//!   and commutative chains take one canonical sorted n-ary form;
 //! * range analysis ([`RangeEnv`]) seeded from layout-derived index bounds;
 //! * the seven division/modulo rewrite rules of the paper's Table II
 //!   ([`simplify()`]), with side conditions discharged by a structural
-//!   prover ([`prove`]) instead of an SMT solver;
+//!   prover ([`prove`]) instead of an SMT solver — simplification,
+//!   interval analysis, op counting, expansion and depth-0 proof facts
+//!   are all memoized per `(environment, node)` for the session, so
+//!   shared subtrees are processed once across an entire tuner
+//!   enumeration ([`intern::stats`] reports the hit rates);
 //! * expression expansion ([`expand()`]) and the op-count cost model
 //!   ([`cost`]) that picks expanded vs. unexpanded variants (NW vs. LUD);
 //! * printers for Python/Triton, C/CUDA, and MLIR (`printer`).
@@ -37,6 +45,7 @@
 pub mod cost;
 pub mod expand;
 mod expr;
+pub mod intern;
 pub mod printer;
 pub mod prove;
 pub mod range;
@@ -46,6 +55,7 @@ pub mod subst;
 pub use cost::{op_count, pick_cheaper, CostChoice, Variant};
 pub use expand::expand;
 pub use expr::{isqrt64, CmpOp, Cond, Expr, ExprKind};
+pub use intern::{ArenaStats, ExprId};
 pub use range::{NumRange, RangeEnv, SymBounds};
 pub use simplify::{simplify, simplify_with_stats, RuleStats};
 pub use subst::{eval, eval_cond, eval_lane, map_ranges, subst, transform, Bindings, EvalError};

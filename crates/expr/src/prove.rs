@@ -17,13 +17,37 @@
 
 use crate::expand::expand;
 use crate::expr::{Expr, ExprKind};
+use crate::intern;
 use crate::range::RangeEnv;
 use crate::simplify::simplify_nofix;
+
+/// Memo discriminants for the unary proof facts.
+const FACT_NONNEG: u8 = 0;
+const FACT_POS: u8 = 1;
 
 /// Proves `e >= 0`. Sound but incomplete (may return `false` for true
 /// facts); never returns `true` for a falsifiable one given a sound
 /// environment.
+///
+/// Verdicts established at recursion depth 0 — where the prover's depth
+/// budget is full, making the answer a pure function of `(env, e)` —
+/// are memoized for the session. Deeper (budget-truncated) queries are
+/// answered fresh and never cached, so memoization can't strengthen or
+/// weaken any proof.
 pub fn prove_nonneg(e: &Expr, env: &RangeEnv) -> bool {
+    if at_depth0() {
+        let key = (env.id(), e.id().get());
+        if let Some(v) = intern::prove_unary_get(key.0, key.1, FACT_NONNEG) {
+            return v;
+        }
+        let v = prove_nonneg_uncached(e, env);
+        intern::prove_unary_insert(key.0, key.1, FACT_NONNEG, v);
+        return v;
+    }
+    prove_nonneg_uncached(e, env)
+}
+
+fn prove_nonneg_uncached(e: &Expr, env: &RangeEnv) -> bool {
     if env.num_range(e).is_nonneg() {
         return true;
     }
@@ -134,8 +158,22 @@ fn grouped_bound_lemma(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
     min_matches && prove_pos(x, env) && prove_pos(g, env)
 }
 
-/// Proves `e > 0`.
+/// Proves `e > 0`. Depth-0 verdicts are memoized (see
+/// [`prove_nonneg`]).
 pub fn prove_pos(e: &Expr, env: &RangeEnv) -> bool {
+    if at_depth0() {
+        let key = (env.id(), e.id().get());
+        if let Some(v) = intern::prove_unary_get(key.0, key.1, FACT_POS) {
+            return v;
+        }
+        let v = prove_pos_uncached(e, env);
+        intern::prove_unary_insert(key.0, key.1, FACT_POS, v);
+        return v;
+    }
+    prove_pos_uncached(e, env)
+}
+
+fn prove_pos_uncached(e: &Expr, env: &RangeEnv) -> bool {
     if env.num_range(e).is_pos() {
         return true;
     }
@@ -172,6 +210,19 @@ pub fn prove_nonzero(e: &Expr, env: &RangeEnv) -> bool {
 /// symbolic comparison `upper_inclusive(a) <= b - 1` checked by
 /// expand-and-cancel.
 pub fn prove_lt(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
+    if at_depth0() {
+        let key = (env.id(), a.id().get(), b.id().get());
+        if let Some(v) = intern::prove_lt_get(key.0, key.1, key.2) {
+            return v;
+        }
+        let v = prove_lt_uncached(a, b, env);
+        intern::prove_lt_insert(key.0, key.1, key.2, v);
+        return v;
+    }
+    prove_lt_uncached(a, b, env)
+}
+
+fn prove_lt_uncached(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
     // Numeric fast path.
     let (ra, rb) = (env.num_range(a), env.num_range(b));
     if let (Some(ah), Some(bl)) = (ra.hi, rb.lo) {
@@ -231,6 +282,14 @@ pub fn prove_lt(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
 
 thread_local! {
     static PROVE_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// True when the prover's mutual recursion with the simplifier is at
+/// its top level (full depth budget). Only then are proof verdicts and
+/// single-pass rewrites pure functions of their inputs, so only then
+/// may they be served from (or stored into) the session memo tables.
+pub(crate) fn at_depth0() -> bool {
+    PROVE_DEPTH.with(|d| d.get() == 0)
 }
 
 /// Runs `f` with the recursion-depth counter incremented; returns `None`

@@ -12,8 +12,10 @@
 //! The symbolic bounds power the structural prover in [`crate::prove`].
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use crate::expr::{Expr, ExprKind};
+use crate::intern;
 
 /// A (possibly unbounded) inclusive numeric interval.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -199,12 +201,49 @@ pub struct SymBounds {
 pub struct RangeEnv {
     bounds: HashMap<String, SymBounds>,
     divs: Vec<(Expr, Expr)>,
+    /// Lazily computed session identity (see [`RangeEnv::id`]); reset
+    /// by every mutator.
+    interned: OnceLock<u64>,
 }
 
 impl RangeEnv {
     /// An empty environment (every symbol unbounded).
     pub fn new() -> RangeEnv {
         RangeEnv::default()
+    }
+
+    /// The environment's session identity: environments with identical
+    /// content (same bounds, same divisibility facts, by interned node
+    /// identity) share one id, which keys the per-environment memo
+    /// tables of [`crate::simplify()`], [`RangeEnv::num_range`] and the
+    /// prover. Computed once and cached; any mutation invalidates it.
+    pub fn id(&self) -> u64 {
+        *self.interned.get_or_init(|| {
+            let mut bounds: Vec<(String, Option<u64>, Option<u64>)> = self
+                .bounds
+                .iter()
+                .map(|(name, b)| {
+                    (
+                        name.clone(),
+                        b.lo.as_ref().map(|e| e.id().get()),
+                        b.hi.as_ref().map(|e| e.id().get()),
+                    )
+                })
+                .collect();
+            bounds.sort();
+            let mut divs: Vec<(u64, u64)> = self
+                .divs
+                .iter()
+                .map(|(d, x)| (d.id().get(), x.id().get()))
+                .collect();
+            divs.sort_unstable();
+            intern::intern_env((bounds, divs))
+        })
+    }
+
+    /// Drops the cached identity after a mutation.
+    fn touch(&mut self) {
+        self.interned = OnceLock::new();
     }
 
     /// Declares the user constraint `d | x` (`d` evenly divides `x`),
@@ -215,6 +254,7 @@ impl RangeEnv {
         let (d, x) = (d.into(), x.into());
         if !self.divides(&d, &x) {
             self.divs.push((d, x));
+            self.touch();
         }
         self
     }
@@ -233,6 +273,7 @@ impl RangeEnv {
                 hi: Some(hi),
             },
         );
+        self.touch();
         self
     }
 
@@ -240,6 +281,7 @@ impl RangeEnv {
     pub fn assume_pos(&mut self, name: &str) -> &mut Self {
         let e = self.bounds.entry(name.to_string()).or_default();
         e.lo = Some(Expr::one());
+        self.touch();
         self
     }
 
@@ -247,6 +289,7 @@ impl RangeEnv {
     pub fn assume_nonneg(&mut self, name: &str) -> &mut Self {
         let e = self.bounds.entry(name.to_string()).or_default();
         e.lo = Some(Expr::zero());
+        self.touch();
         self
     }
 
@@ -262,7 +305,19 @@ impl RangeEnv {
 
     /// Computes a sound numeric interval for `e` by interval arithmetic,
     /// using whatever numeric information the per-symbol bounds carry.
+    /// Results are memoized per `(environment, node)` for the session,
+    /// so shared subtrees are analyzed once.
     pub fn num_range(&self, e: &Expr) -> NumRange {
+        let key = (self.id(), e.id().get());
+        if let Some(hit) = intern::range_get(key.0, key.1) {
+            return hit;
+        }
+        let r = self.num_range_uncached(e);
+        intern::range_insert(key.0, key.1, r);
+        r
+    }
+
+    fn num_range_uncached(&self, e: &Expr) -> NumRange {
         match e.kind() {
             ExprKind::Const(v) => NumRange::point(*v),
             ExprKind::Sym(s) => {

@@ -22,10 +22,23 @@ use std::collections::HashMap;
 
 use crate::cost::op_count;
 use crate::expr::{Expr, ExprKind};
-use crate::prove::{divide_exact, prove_in_half_open, prove_le, prove_nonzero, prove_pos};
+use crate::intern;
+use crate::prove::{
+    at_depth0, divide_exact, prove_in_half_open, prove_le, prove_nonzero, prove_pos,
+};
 use crate::range::RangeEnv;
 
 /// Counts how many times each named rewrite rule fired.
+///
+/// Under the interned IR the rewrite passes are memoized per node, so a
+/// rule firing is counted **once per unique `(environment, node)`
+/// within a `simplify_with_stats` call**: when a shared subtree is
+/// reached again (or the fixpoint loop revisits an already-rewritten
+/// node), the memoized result is reused and nothing is re-counted. The
+/// counts are therefore a property of the expression DAG, not of how
+/// many tree paths happen to reach each node — and they stay
+/// deterministic per call because `simplify_with_stats` uses a fresh
+/// per-call memo rather than the session tables.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RuleStats {
     counts: HashMap<&'static str, usize>,
@@ -53,22 +66,39 @@ impl RuleStats {
 }
 
 /// Simplifies to fixpoint (bounded at 12 passes).
+///
+/// Results are memoized for the session per `(environment, node)` —
+/// both the full fixpoint result and every per-node single-pass result
+/// — so shared subtrees across different call sites (e.g. the
+/// tile-offset terms thousands of neighboring tuner candidates have in
+/// common) are rewritten once.
 pub fn simplify(e: &Expr, env: &RangeEnv) -> Expr {
-    simplify_with_stats(e, env).0
+    if !at_depth0() {
+        // Inside a prover query the depth budget is partially spent and
+        // pass results are not pure; stay off the session tables.
+        return simplify_with_stats(e, env).0;
+    }
+    let env_id = env.id();
+    if let Some(hit) = intern::simplify_get(env_id, e.id().get()) {
+        return hit;
+    }
+    let mut stats = RuleStats::default();
+    let result = fixpoint(e, env, &mut stats, &mut PassMemo::Session);
+    intern::simplify_insert(env_id, e.id().get(), result.clone());
+    result
 }
 
 /// Simplifies to fixpoint and reports which rules fired.
+///
+/// Uses a fresh per-call memo instead of the session tables, so the
+/// reported [`RuleStats`] are a deterministic function of `(e, env)`
+/// (counted once per unique node — see [`RuleStats`]) no matter what
+/// was simplified earlier in the session.
 pub fn simplify_with_stats(e: &Expr, env: &RangeEnv) -> (Expr, RuleStats) {
     let mut stats = RuleStats::default();
-    let mut cur = e.clone();
-    for _ in 0..12 {
-        let next = pass(&cur, env, &mut stats);
-        if next == cur {
-            break;
-        }
-        cur = next;
-    }
-    (cur, stats)
+    let mut local = HashMap::new();
+    let result = fixpoint(e, env, &mut stats, &mut PassMemo::Local(&mut local));
+    (result, stats)
 }
 
 /// A single bottom-up simplification pass (no fixpoint iteration). Used
@@ -76,30 +106,83 @@ pub fn simplify_with_stats(e: &Expr, env: &RangeEnv) -> (Expr, RuleStats) {
 /// unbounded recursion.
 pub fn simplify_nofix(e: &Expr, env: &RangeEnv) -> Expr {
     let mut stats = RuleStats::default();
-    pass(e, env, &mut stats)
+    let mut local = HashMap::new();
+    pass(e, env, &mut stats, &mut PassMemo::Local(&mut local))
 }
 
-fn pass(e: &Expr, env: &RangeEnv, stats: &mut RuleStats) -> Expr {
+/// Where a rewrite pass looks up (and records) per-node results.
+enum PassMemo<'a> {
+    /// The session-lifetime table in [`crate::intern`], keyed by
+    /// `(environment, node)`. Only consulted at prover depth 0, where
+    /// pass results are pure.
+    Session,
+    /// A per-call table keyed by node id (stats runs and prover-internal
+    /// normalization, where session entries must not be touched).
+    Local(&'a mut HashMap<u64, Expr>),
+}
+
+/// Iterates [`pass`] to fixpoint (bounded at 12 sweeps).
+fn fixpoint(e: &Expr, env: &RangeEnv, stats: &mut RuleStats, memo: &mut PassMemo) -> Expr {
+    let mut cur = e.clone();
+    for _ in 0..12 {
+        let next = pass(&cur, env, stats, memo);
+        if next == cur {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+fn pass(e: &Expr, env: &RangeEnv, stats: &mut RuleStats, memo: &mut PassMemo) -> Expr {
+    // Memoized? Reuse without re-counting any rule firings.
+    match memo {
+        PassMemo::Session => {
+            if at_depth0() {
+                if let Some(hit) = intern::pass_get(env.id(), e.id().get()) {
+                    return hit;
+                }
+            }
+        }
+        PassMemo::Local(map) => {
+            if let Some(hit) = map.get(&e.id().get()) {
+                return hit.clone();
+            }
+        }
+    }
     // Rebuild children first.
     let rebuilt = match e.kind() {
         ExprKind::Const(_) | ExprKind::Sym(_) => e.clone(),
-        ExprKind::Add(ts) => Expr::add_all(ts.iter().map(|t| pass(t, env, stats))),
-        ExprKind::Mul(ts) => Expr::mul_all(ts.iter().map(|t| pass(t, env, stats))),
-        ExprKind::FloorDiv(a, b) => pass(a, env, stats).floor_div(&pass(b, env, stats)),
-        ExprKind::Mod(a, b) => pass(a, env, stats).rem(&pass(b, env, stats)),
-        ExprKind::Xor(a, b) => pass(a, env, stats).xor(&pass(b, env, stats)),
-        ExprKind::Min(a, b) => pass(a, env, stats).min(&pass(b, env, stats)),
-        ExprKind::Max(a, b) => pass(a, env, stats).max(&pass(b, env, stats)),
-        ExprKind::Select(c, t, f) => {
-            Expr::select(c.clone(), pass(t, env, stats), pass(f, env, stats))
+        ExprKind::Add(ts) => {
+            let ts: Vec<Expr> = ts.iter().map(|t| pass(t, env, stats, memo)).collect();
+            Expr::add_all(ts)
         }
-        ExprKind::ISqrt(a) => pass(a, env, stats).isqrt(),
+        ExprKind::Mul(ts) => {
+            let ts: Vec<Expr> = ts.iter().map(|t| pass(t, env, stats, memo)).collect();
+            Expr::mul_all(ts)
+        }
+        ExprKind::FloorDiv(a, b) => pass(a, env, stats, memo).floor_div(&pass(b, env, stats, memo)),
+        ExprKind::Mod(a, b) => pass(a, env, stats, memo).rem(&pass(b, env, stats, memo)),
+        ExprKind::Xor(a, b) => pass(a, env, stats, memo).xor(&pass(b, env, stats, memo)),
+        ExprKind::Min(a, b) => pass(a, env, stats, memo).min(&pass(b, env, stats, memo)),
+        ExprKind::Max(a, b) => pass(a, env, stats, memo).max(&pass(b, env, stats, memo)),
+        ExprKind::Select(c, t, f) => Expr::select(
+            c.clone(),
+            pass(t, env, stats, memo),
+            pass(f, env, stats, memo),
+        ),
+        ExprKind::ISqrt(a) => pass(a, env, stats, memo).isqrt(),
         ExprKind::Range {
             lo,
             len,
             axis,
             ndims,
-        } => Expr::range(pass(lo, env, stats), pass(len, env, stats), *axis, *ndims),
+        } => Expr::range(
+            pass(lo, env, stats, memo),
+            pass(len, env, stats, memo),
+            *axis,
+            *ndims,
+        ),
     };
     // Then apply node-level rules until the node stops changing.
     let mut cur = rebuilt;
@@ -109,6 +192,16 @@ fn pass(e: &Expr, env: &RangeEnv, stats: &mut RuleStats) -> Expr {
             break;
         }
         cur = next;
+    }
+    match memo {
+        PassMemo::Session => {
+            if at_depth0() {
+                intern::pass_insert(env.id(), e.id().get(), cur.clone());
+            }
+        }
+        PassMemo::Local(map) => {
+            map.insert(e.id().get(), cur.clone());
+        }
     }
     cur
 }
@@ -517,5 +610,32 @@ mod tests {
         let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r")).rem(&Expr::sym("d"));
         let (_, st) = simplify_with_stats(&e, &env);
         assert!(st.total() >= 1);
+    }
+
+    #[test]
+    fn stats_count_once_per_unique_node() {
+        // The same rewritable subtree twice over: with the per-node
+        // memo, `mod_split` fires once for the unique node, not once
+        // per occurrence (hits don't double-count).
+        let env = env_tile();
+        let sub = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r")).rem(&Expr::sym("d"));
+        let e = Expr::min(sub.clone(), &Expr::val(1_000_000)) + sub.rem(&Expr::val(7));
+        let (_, st) = simplify_with_stats(&e, &env);
+        assert_eq!(st.count("mod_split"), 1);
+    }
+
+    #[test]
+    fn stats_are_deterministic_per_call() {
+        // `simplify_with_stats` must report the same counts no matter
+        // what the session memo tables already contain — including a
+        // prior simplify of the very same expression.
+        let env = env_tile();
+        let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r")).rem(&Expr::sym("d"));
+        let first = simplify_with_stats(&e, &env);
+        let _ = simplify(&e, &env); // populate session tables
+        let second = simplify_with_stats(&e, &env);
+        assert_eq!(first.0, second.0);
+        assert_eq!(first.1, second.1);
+        assert!(second.1.count("mod_split") >= 1);
     }
 }

@@ -26,6 +26,14 @@
 //! [`SpaceScale::Enlarged`] ranges are roughly an order of magnitude
 //! bigger — the spaces exhaustive enumeration couldn't afford, which is
 //! exactly what the budgeted strategies are for.
+//!
+//! Every configuration a move produces is annotated through
+//! [`crate::space::Candidate::annotated`], so the whole search shares
+//! one expression arena per tuning session (the thread's `lego_expr`
+//! interner): a neighbor or crossover of the incumbent re-derives only
+//! the index subexpressions its changed axes actually touch — the rest
+//! are memo hits on the incumbent's interned subtrees — and revisited
+//! configurations skip lowering entirely via the annotation fast path.
 
 use lego_codegen::tuning::{
     NwLayoutChoice, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,

@@ -61,8 +61,8 @@ pub use lego_codegen::tuning::{
     NwLayoutChoice, RowwiseOp, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
 };
 pub use space::{
-    build_layout, build_workload, rowwise_block_sizes, stencil_block, Candidate, SearchSpace,
-    WorkloadKind,
+    annotate_cache_stats, build_layout, build_workload, rowwise_block_sizes, stencil_block,
+    symbolic_exprs, Candidate, SearchSpace, WorkloadKind,
 };
 pub use strategy::{run_search, Budget, SearchOutcome, Strategy, FRONTIER_K};
 pub use tuner::{TuneError, TuneResult, Tuner};

@@ -30,7 +30,7 @@ use lego_core::{sugar, Layout, OrderBy, Result};
 use lego_expr::{expand, op_count, simplify, Expr, RangeEnv, Variant};
 
 /// A tunable workload instance: the problem, not the configuration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum WorkloadKind {
     /// Square FP16 GEMM `C = A·B`.
     Matmul {
@@ -191,12 +191,59 @@ pub struct Candidate {
     pub index_ops: Option<usize>,
 }
 
+/// One memoized annotation: the chosen expression variant and its op
+/// count (both `None` for layouts without a symbolic form).
+type Annotation = (Option<Variant>, Option<usize>);
+
+thread_local! {
+    /// The candidate-construction fast path: annotation results per
+    /// `(workload, config)` for the tuning session. Metaheuristic
+    /// neighbor/crossover moves repeatedly revisit configurations (the
+    /// incumbent's whole neighborhood, genetic recombinations of known
+    /// parents), and the lowering→simplify→op-count pipeline behind
+    /// [`annotate`] is deterministic, so revisits are a map lookup.
+    /// Underneath, the thread's `lego_expr` arena memoizes the
+    /// per-subtree work even for *fresh* configs that share tile-offset
+    /// subexpressions with previously annotated ones.
+    static ANNOTATE_CACHE: std::cell::RefCell<
+        std::collections::HashMap<(WorkloadKind, TunedConfig), Annotation>,
+    > = std::cell::RefCell::new(std::collections::HashMap::new());
+    /// `(hits, misses)` of [`ANNOTATE_CACHE`], for `BENCH_tuner.json`.
+    static ANNOTATE_STATS: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+/// `(hits, misses)` of the candidate-annotation fast path on this
+/// thread, monotone over the session.
+pub fn annotate_cache_stats() -> (u64, u64) {
+    ANNOTATE_STATS.with(std::cell::Cell::get)
+}
+
 impl Candidate {
     /// Annotates a configuration with the cheaper expression variant of
     /// the §IV-A cost model — the single constructor both the exhaustive
-    /// enumeration and the metaheuristic strategies go through.
+    /// enumeration and the metaheuristic strategies go through. Results
+    /// are memoized per `(workload, config)` for the tuning session.
     pub fn annotated(kind: &WorkloadKind, config: &TunedConfig) -> Candidate {
-        let (expr_variant, index_ops) = annotate(kind, config);
+        let key = (*kind, *config);
+        let cached = ANNOTATE_CACHE.with(|c| c.borrow().get(&key).copied());
+        let (expr_variant, index_ops) = match cached {
+            Some(hit) => {
+                ANNOTATE_STATS.with(|s| {
+                    let (h, m) = s.get();
+                    s.set((h + 1, m));
+                });
+                hit
+            }
+            None => {
+                let fresh = annotate(kind, config);
+                ANNOTATE_CACHE.with(|c| c.borrow_mut().insert(key, fresh));
+                ANNOTATE_STATS.with(|s| {
+                    let (h, m) = s.get();
+                    s.set((h, m + 1));
+                });
+                fresh
+            }
+        };
         Candidate {
             config: *config,
             expr_variant,
@@ -437,8 +484,11 @@ fn annotate(kind: &WorkloadKind, config: &TunedConfig) -> (Option<Variant>, Opti
 }
 
 /// The symbolic index expressions a candidate's kernel would compute,
-/// with the range environment they simplify under.
-fn symbolic_exprs(kind: &WorkloadKind, config: &TunedConfig) -> Option<(Vec<Expr>, RangeEnv)> {
+/// with the range environment they simplify under. `None` when the
+/// layout has no symbolic form (e.g. Morton schedules). Public so the
+/// IR property tests can exercise exactly the expressions the tuner
+/// constructs.
+pub fn symbolic_exprs(kind: &WorkloadKind, config: &TunedConfig) -> Option<(Vec<Expr>, RangeEnv)> {
     match (kind, config) {
         (WorkloadKind::Matmul { .. }, _) => {
             let layout = build_layout(kind, config).ok()?;

@@ -72,10 +72,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut env = RangeEnv::new();
     let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
     layout.declare_index_bounds(&mut env, &name_refs)?;
+    // Size parameters, in the deterministic order Layout::free_syms
+    // guarantees (deduplicated across dimensions, lexicographic).
+    for s in layout.free_syms() {
+        env.assume_pos(&s);
+    }
     for d in layout.view().dims() {
-        for s in d.free_syms() {
-            env.assume_pos(&s);
-        }
         // A view dimension written `X//Y` implies exact tiling: Y | X.
         if let lego_expr::ExprKind::FloorDiv(x, y) = d.kind() {
             env.assume_divides(y.clone(), x.clone());
@@ -96,10 +98,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for n in &names {
                 em.bind_sym(n, &format!("%{n}"));
             }
-            for d in layout.view().dims() {
-                for s in d.free_syms() {
-                    em.bind_sym(&s, &format!("%{s}"));
-                }
+            for s in layout.free_syms() {
+                em.bind_sym(&s, &format!("%{s}"));
             }
             let v = em.emit(&choice.expr)?;
             for line in em.lines() {
