@@ -53,6 +53,29 @@ impl StencilShape {
         }
     }
 
+    /// Parses a display name back into a shape (`star-13pt`,
+    /// `cube-27pt`). Inverse of [`StencilShape::name`] for any radius
+    /// ≥ 1 whose point count matches, not just the paper's six — the
+    /// tuning-service wire protocol names stencils this way.
+    pub fn parse(s: &str) -> Option<StencilShape> {
+        let (family, rest) = s.split_once('-')?;
+        let points: i64 = rest.strip_suffix("pt")?.parse().ok()?;
+        let shape = match family {
+            // star has 1 + 6r points
+            "star" if points > 1 && (points - 1) % 6 == 0 => StencilShape::Star((points - 1) / 6),
+            // cube has (2r+1)³ points
+            "cube" => {
+                let side = (points as f64).cbrt().round() as i64;
+                if side < 3 || side % 2 == 0 || side * side * side != points {
+                    return None;
+                }
+                StencilShape::Cube((side - 1) / 2)
+            }
+            _ => return None,
+        };
+        Some(shape)
+    }
+
     /// The neighbor offsets `(dx, dy, dz)` of the stencil.
     pub fn offsets(self) -> Vec<(i64, i64, i64)> {
         match self {
@@ -280,5 +303,27 @@ mod tests {
         let bench = generate(StencilShape::Cube(1), 16, 4).unwrap();
         assert!(!bench.source.contains("{{"));
         assert_eq!(bench.source.matches("acc +=").count(), 27);
+    }
+
+    #[test]
+    fn shape_name_round_trips_through_parse() {
+        for shape in StencilShape::ALL {
+            assert_eq!(StencilShape::parse(&shape.name()), Some(shape));
+        }
+        // Beyond the paper set: star-31pt is radius 5, cube-343pt is
+        // radius 3.
+        assert_eq!(
+            StencilShape::parse("star-31pt"),
+            Some(StencilShape::Star(5))
+        );
+        assert_eq!(
+            StencilShape::parse("cube-343pt"),
+            Some(StencilShape::Cube(3))
+        );
+        for bad in [
+            "star-8pt", "cube-8pt", "cube-1pt", "ball-7pt", "star-7", "7pt",
+        ] {
+            assert_eq!(StencilShape::parse(bad), None, "{bad:?} must not parse");
+        }
     }
 }

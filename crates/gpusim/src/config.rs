@@ -157,6 +157,19 @@ pub fn by_name(tag: &str) -> Option<GpuConfig> {
 /// The tags [`by_name`] accepts, for usage messages.
 pub const DEVICE_TAGS: [&str; 3] = ["a100", "h100", "mi300"];
 
+/// Looks a device up by CLI tag *or* full marketing name,
+/// ASCII-case-insensitively and ignoring surrounding whitespace — the
+/// forgiving lookup the tuning-service wire protocol uses, so a client
+/// may say `"h100"`, `"H100"`, or `"NVIDIA H100-SXM5-80GB"` and reach
+/// the same model. The strict [`by_name`] stays the CLI entry point.
+pub fn lookup(name: &str) -> Option<GpuConfig> {
+    let want = name.trim();
+    DEVICE_TAGS
+        .iter()
+        .filter_map(|t| by_name(t))
+        .find(|cfg| cfg.tag.eq_ignore_ascii_case(want) || cfg.name.eq_ignore_ascii_case(want))
+}
+
 impl Default for GpuConfig {
     fn default() -> GpuConfig {
         a100()
@@ -216,5 +229,23 @@ mod tests {
             assert_eq!(cfg.tag, tag);
         }
         assert!(by_name("v100").is_none());
+    }
+
+    #[test]
+    fn lookup_accepts_tags_and_full_names() {
+        for tag in DEVICE_TAGS {
+            let strict = by_name(tag).unwrap();
+            assert_eq!(lookup(tag).unwrap().tag, tag);
+            assert_eq!(lookup(&tag.to_uppercase()).unwrap().tag, tag);
+            assert_eq!(lookup(strict.name).unwrap().tag, tag);
+            assert_eq!(
+                lookup(&format!("  {}  ", strict.name.to_lowercase()))
+                    .unwrap()
+                    .tag,
+                tag
+            );
+        }
+        assert!(lookup("v100").is_none());
+        assert!(lookup("").is_none());
     }
 }

@@ -57,7 +57,7 @@ pub mod trace;
 
 pub use cache::{Cache, CacheStats};
 pub use coalesce::{coalesce_elems, coalesce_elems_on, coalesce_warp, CoalesceResult};
-pub use config::{a100, by_name, h100, mi300, GpuConfig, DEVICE_TAGS};
+pub use config::{a100, by_name, h100, lookup, mi300, GpuConfig, DEVICE_TAGS};
 pub use model::{CostModel, PricingMode};
 pub use roofline::{attainable, ridge, RooflinePoint};
 pub use score::{score, score_batch, BlockResources, Estimate, L2Model, Phase, ScoreJob, Workload};

@@ -1,0 +1,38 @@
+//! lego-served: a concurrent tuning-service daemon.
+//!
+//! Batch tuning (`lego-tune`, `tuner-bench`) answers "what is the best
+//! configuration for this workload on this device?" one process at a
+//! time, re-paying tuner startup and cache I/O per invocation. This
+//! crate keeps one warm process resident and serves that question over
+//! a TCP line-JSON protocol, resolving every request through three
+//! tiers (see [`service`]):
+//!
+//! 1. an in-memory map of completed results, preloaded from and
+//!    persisted to the schema-v4 [`lego_tune::TuningCache`];
+//! 2. an in-flight table that coalesces identical concurrent searches
+//!    (a thundering herd of N requests runs one search, and every
+//!    requester receives byte-identical bytes);
+//! 3. a fresh [`lego_tune::Tuner`] run on the worker's warm per-thread
+//!    expression arena.
+//!
+//! Everything is `std`-only: `std::net::TcpListener` plus a fixed
+//! worker-thread pool — no async runtime.
+//!
+//! Binaries: `lego-served` (the daemon) and `lego-served-load` (a load
+//! generator that emits `BENCH_served.json`). Programs embed the daemon
+//! through [`server::Server`] and talk to one through
+//! [`client::Client`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use client::Client;
+pub use protocol::{Request, TuneSpec};
+pub use server::{Server, ServerConfig};
+pub use service::{Served, Tier, TuneService};

@@ -1,0 +1,287 @@
+//! The wire protocol: one JSON object per line, in both directions.
+//!
+//! Requests carry a `verb`:
+//!
+//! ```json
+//! {"verb": "tune", "workload": "matmul(n=2048)", "device": "h100",
+//!  "strategy": "anneal", "budget": 256, "space": "enlarged"}
+//! {"verb": "metrics"}
+//! {"verb": "shutdown"}
+//! ```
+//!
+//! Only `workload` is required for `tune`; `device` falls back to the
+//! daemon's `--device-default`, and the search knobs fall back to the
+//! [`lego_tune::Tuner`] defaults (exhaustive, budget 2000, unpinned
+//! space). Responses always carry `"ok"`; failures look like
+//! `{"ok": false, "error": "..."}` and never close the connection —
+//! a malformed line costs one error response, nothing more.
+//!
+//! Tune responses are *deterministic*: they contain only the served
+//! result (winner config, estimates, evaluation count), never
+//! per-request data like the serving tier or latency. A thundering herd
+//! that coalesces onto one search therefore receives byte-identical
+//! response lines, which the herd tests assert.
+
+use gpu_sim::GpuConfig;
+use lego_tune::domain::SpaceScale;
+use lego_tune::strategy::{Budget, Strategy};
+use lego_tune::{Json, TuneRequest, WorkloadKind};
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Resolve a best-config query.
+    Tune(TuneSpec),
+    /// Report the live service counters.
+    Metrics,
+    /// Drain in-flight work, flush the cache, exit.
+    Shutdown,
+}
+
+/// The `tune` verb's parameters, still in wire form (strings).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TuneSpec {
+    /// Workload display name, e.g. `matmul(n=2048)`.
+    pub workload: String,
+    /// Device tag or full name (`None` = daemon default).
+    pub device: Option<String>,
+    /// Search strategy name (`None` = exhaustive).
+    pub strategy: Option<String>,
+    /// Evaluation budget (`None` = default).
+    pub budget: Option<usize>,
+    /// Space-scale pin (`None` = strategy default).
+    pub space: Option<String>,
+}
+
+impl TuneSpec {
+    /// A spec naming only the workload (daemon-default device and
+    /// search knobs).
+    pub fn workload(name: impl Into<String>) -> TuneSpec {
+        TuneSpec {
+            workload: name.into(),
+            ..TuneSpec::default()
+        }
+    }
+
+    /// Renders the spec as a request line's JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("verb".to_string(), Json::Str("tune".into())),
+            ("workload".to_string(), Json::Str(self.workload.clone())),
+        ];
+        let mut opt = |k: &str, v: &Option<String>| {
+            if let Some(v) = v {
+                pairs.push((k.to_string(), Json::Str(v.clone())));
+            }
+        };
+        opt("device", &self.device);
+        opt("strategy", &self.strategy);
+        opt("space", &self.space);
+        if let Some(b) = self.budget {
+            pairs.push(("budget".to_string(), Json::Int(b as i64)));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Describes what was malformed — the message becomes the `error` field
+/// of the response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    if doc.get("verb").is_none() {
+        return Err("missing \"verb\" (use tune|metrics|shutdown)".to_string());
+    }
+    let verb = doc
+        .get("verb")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "\"verb\" must be a string".to_string())?;
+    match verb {
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        "tune" => {
+            let workload = doc
+                .get("workload")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "tune requires a string \"workload\"".to_string())?
+                .to_string();
+            let opt_str = |k: &str| -> Result<Option<String>, String> {
+                match doc.get(k) {
+                    None | Some(Json::Null) => Ok(None),
+                    Some(Json::Str(s)) => Ok(Some(s.clone())),
+                    Some(_) => Err(format!("\"{k}\" must be a string")),
+                }
+            };
+            let budget = match doc.get("budget") {
+                None | Some(Json::Null) => None,
+                Some(Json::Int(v)) if *v > 0 => Some(*v as usize),
+                Some(_) => {
+                    return Err("\"budget\" must be a positive integer".to_string());
+                }
+            };
+            Ok(Request::Tune(TuneSpec {
+                workload,
+                device: opt_str("device")?,
+                strategy: opt_str("strategy")?,
+                budget,
+                space: opt_str("space")?,
+            }))
+        }
+        other => Err(format!(
+            "unknown verb {other:?} (use tune|metrics|shutdown)"
+        )),
+    }
+}
+
+/// Resolves a wire-form spec into a typed [`TuneRequest`] against the
+/// daemon's default device.
+///
+/// # Errors
+///
+/// Unknown workload name, device, strategy, or space; the message names
+/// the accepted values.
+pub fn resolve(spec: &TuneSpec, default_device: &GpuConfig) -> Result<TuneRequest, String> {
+    let kind = WorkloadKind::parse(&spec.workload)?;
+    let device = match &spec.device {
+        None => default_device.clone(),
+        Some(name) => gpu_sim::lookup(name).ok_or_else(|| {
+            format!(
+                "unknown device {name:?} (use {})",
+                gpu_sim::DEVICE_TAGS.join("|")
+            )
+        })?,
+    };
+    let strategy = match &spec.strategy {
+        None => Strategy::default(),
+        Some(name) => Strategy::parse(name)
+            .ok_or_else(|| format!("unknown strategy {name:?} (use exhaustive|anneal|genetic)"))?,
+    };
+    let space = match &spec.space {
+        None => None,
+        Some(name) => Some(
+            SpaceScale::parse(name)
+                .ok_or_else(|| format!("unknown space {name:?} (use legacy|enlarged)"))?,
+        ),
+    };
+    Ok(TuneRequest {
+        kind,
+        device,
+        strategy,
+        budget: spec.budget.map(Budget).unwrap_or_default(),
+        space,
+    })
+}
+
+/// The uniform failure response.
+pub fn error_response(msg: &str) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(msg.to_string())),
+    ])
+}
+
+/// Renders a response value as one wire line (newline-terminated).
+pub fn render_line(j: &Json) -> String {
+    let mut s = j.render();
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_verbs() {
+        assert_eq!(
+            parse_request("{\"verb\": \"metrics\"}"),
+            Ok(Request::Metrics)
+        );
+        assert_eq!(
+            parse_request("{\"verb\": \"shutdown\"}"),
+            Ok(Request::Shutdown)
+        );
+        let r = parse_request(
+            "{\"verb\":\"tune\",\"workload\":\"nw(n=448,b=16)\",\"device\":\"mi300\",\
+             \"strategy\":\"anneal\",\"budget\":64,\"space\":\"enlarged\"}",
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Tune(TuneSpec {
+                workload: "nw(n=448,b=16)".into(),
+                device: Some("mi300".into()),
+                strategy: Some("anneal".into()),
+                budget: Some(64),
+                space: Some("enlarged".into()),
+            })
+        );
+    }
+
+    #[test]
+    fn spec_round_trips_through_its_own_rendering() {
+        let spec = TuneSpec {
+            workload: "matmul(n=1024)".into(),
+            device: Some("h100".into()),
+            strategy: Some("genetic".into()),
+            budget: Some(128),
+            space: None,
+        };
+        let line = render_line(&spec.to_json());
+        assert_eq!(parse_request(&line), Ok(Request::Tune(spec)));
+    }
+
+    #[test]
+    fn malformed_lines_error_without_panicking() {
+        for bad in [
+            "",
+            "not json",
+            "42",
+            "{}",
+            "{\"verb\": 7}",
+            "{\"verb\": \"frobnicate\"}",
+            "{\"verb\": \"tune\"}",
+            "{\"verb\": \"tune\", \"workload\": 9}",
+            "{\"verb\": \"tune\", \"workload\": \"matmul(n=64)\", \"budget\": -1}",
+            "{\"verb\": \"tune\", \"workload\": \"matmul(n=64)\", \"budget\": \"big\"}",
+            "{\"verb\": \"tune\", \"workload\": \"matmul(n=64)\", \"strategy\": 3}",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn resolve_applies_defaults_and_rejects_unknowns() {
+        let spec = TuneSpec::workload("transpose(n=512)");
+        let req = resolve(&spec, &gpu_sim::h100()).unwrap();
+        assert_eq!(req.device.tag, "h100");
+        assert_eq!(req.strategy, Strategy::Exhaustive);
+
+        let mut bad_dev = spec.clone();
+        bad_dev.device = Some("v100".into());
+        assert!(resolve(&bad_dev, &gpu_sim::a100())
+            .unwrap_err()
+            .contains("unknown device"));
+
+        let mut bad_strat = spec.clone();
+        bad_strat.strategy = Some("brute".into());
+        assert!(resolve(&bad_strat, &gpu_sim::a100())
+            .unwrap_err()
+            .contains("unknown strategy"));
+
+        let mut bad_space = spec;
+        bad_space.space = Some("huge".into());
+        assert!(resolve(&bad_space, &gpu_sim::a100())
+            .unwrap_err()
+            .contains("unknown space"));
+
+        assert!(
+            resolve(&TuneSpec::workload("frobnicate(n=2)"), &gpu_sim::a100())
+                .unwrap_err()
+                .contains("unknown workload family")
+        );
+    }
+}

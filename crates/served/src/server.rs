@@ -1,0 +1,257 @@
+//! The daemon shell: a `TcpListener`, a fixed worker-thread pool, and
+//! the request dispatch loop.
+//!
+//! The container has no crate registry, so there is no tokio/hyper
+//! here — plain `std::net` blocking I/O. One acceptor thread pushes
+//! connections into an `mpsc` channel; each worker owns one connection
+//! at a time and serves its line-delimited requests until the client
+//! hangs up. Sizing note: a client holds its worker for the lifetime of
+//! the *connection*, so `--workers` bounds concurrent clients — a herd
+//! of N simultaneous connections needs N workers to all coalesce in
+//! flight at once (with fewer they serialize, which is still correct,
+//! just less concurrent).
+//!
+//! Shutdown: the `shutdown` verb flags the service, answers, and pokes
+//! the acceptor awake with a throwaway connection. The acceptor stops
+//! and drops the channel sender; workers drain whatever connections
+//! were already queued, finish their in-flight searches (reads poll on
+//! a short timeout so idle connections notice the flag), and exit. The
+//! daemon then flushes the cache and exits 0.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gpu_sim::GpuConfig;
+use lego_tune::Json;
+
+use crate::protocol::{self, Request};
+use crate::service::TuneService;
+
+/// How often a blocked read re-checks the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Daemon configuration (the `lego-served` flags).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7711` (`:0` for ephemeral).
+    pub addr: String,
+    /// Worker-thread count = max concurrently-served connections.
+    pub workers: usize,
+    /// Persistent tuning-cache path (`None` = memory only).
+    pub cache: Option<PathBuf>,
+    /// Device used when a request names none.
+    pub device_default: GpuConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7711".to_string(),
+            workers: 8,
+            cache: Some(PathBuf::from("TUNE_CACHE.json")),
+            device_default: gpu_sim::a100(),
+        }
+    }
+}
+
+/// A running daemon: join it to block until shutdown completes.
+pub struct Server {
+    local: SocketAddr,
+    service: Arc<TuneService>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local = listener.local_addr()?;
+        let service = Arc::new(TuneService::new(cfg.device_default, cfg.cache));
+        service.set_addr(local);
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..cfg.workers.max(1))
+            .map(|idx| {
+                let rx = Arc::clone(&rx);
+                let service = Arc::clone(&service);
+                std::thread::Builder::new()
+                    .name(format!("served-worker-{idx}"))
+                    .spawn(move || worker_loop(idx, &rx, &service))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let service = Arc::clone(&service);
+            std::thread::Builder::new()
+                .name("served-acceptor".to_string())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if service.is_shutdown() {
+                            break;
+                        }
+                        match conn {
+                            Ok(stream) => {
+                                if tx.send(stream).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                if service.is_shutdown() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    // Dropping `tx` closes the channel: workers drain
+                    // queued connections, then exit.
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            local,
+            service,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` ephemeral binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// The shared service state (tests and the load generator read
+    /// counters and trigger shutdown through it).
+    pub fn service(&self) -> Arc<TuneService> {
+        Arc::clone(&self.service)
+    }
+
+    /// Blocks until the daemon has shut down and every worker drained,
+    /// then flushes the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cache-flush I/O errors.
+    pub fn join(self) -> std::io::Result<()> {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.service.flush()
+    }
+}
+
+/// One worker: pull connections until the channel closes.
+fn worker_loop(idx: usize, rx: &Mutex<mpsc::Receiver<TcpStream>>, service: &TuneService) {
+    loop {
+        let conn = {
+            let guard = rx.lock().expect("connection channel poisoned");
+            guard.recv()
+        };
+        match conn {
+            Ok(stream) => serve_connection(idx, stream, service),
+            Err(_) => break, // acceptor gone and queue drained
+        }
+    }
+}
+
+/// Serves one connection's line-delimited requests until EOF, error, or
+/// shutdown. A malformed line costs an error response, never the
+/// connection; a client that disconnects mid-search only loses its
+/// response — the search result is still promoted and persisted.
+fn serve_connection(idx: usize, stream: TcpStream, service: &TuneService) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // `read_line` may deliver a partial line before the poll
+        // timeout fires; keep accumulating into the same buffer until
+        // the newline arrives.
+        match reader.read_line(&mut line) {
+            Ok(0) => break,                          // EOF
+            Ok(_) if !line.ends_with('\n') => break, // EOF mid-line
+            Ok(_) => {
+                let (response, shutdown) = dispatch(idx, line.trim(), service);
+                line.clear();
+                if writer
+                    .write_all(protocol::render_line(&response).as_bytes())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    break; // client went away; nothing to report to
+                }
+                if shutdown {
+                    service.begin_shutdown();
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if service.is_shutdown() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Parses and executes one request line; returns the response and
+/// whether a shutdown was requested.
+fn dispatch(idx: usize, line: &str, service: &TuneService) -> (Json, bool) {
+    if line.is_empty() {
+        service.metrics().record_rejected();
+        return (protocol::error_response("empty request line"), false);
+    }
+    match protocol::parse_request(line) {
+        Err(e) => {
+            service.metrics().record_rejected();
+            (protocol::error_response(&e), false)
+        }
+        Ok(Request::Metrics) => (service.metrics().to_json(), false),
+        Ok(Request::Shutdown) => (
+            Json::obj([("ok", Json::Bool(true)), ("draining", Json::Bool(true))]),
+            true,
+        ),
+        Ok(Request::Tune(spec)) => match protocol::resolve(&spec, service.default_device()) {
+            Err(e) => {
+                service.metrics().record_rejected();
+                (protocol::error_response(&e), false)
+            }
+            Ok(req) => {
+                let t0 = Instant::now();
+                let (result, tier) = service.resolve(&req);
+                let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+                service
+                    .metrics()
+                    .record_tune(&req.class(), tier, result.is_ok(), elapsed_ms);
+                // The arena is per worker thread; publish this worker's
+                // counters so the metrics report can aggregate them.
+                service
+                    .metrics()
+                    .record_arena(idx, lego_expr::intern::stats());
+                match result {
+                    Ok(served) => (served.to_json(), false),
+                    Err(e) => (protocol::error_response(&e), false),
+                }
+            }
+        },
+    }
+}

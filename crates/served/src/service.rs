@@ -1,0 +1,365 @@
+//! The three-tier resolution path behind every `tune` request.
+//!
+//! 1. **Memory** — a `HashMap` of completed [`CachedTuning`]s keyed by
+//!    the schema-v4 cache key, preloaded from the persistent
+//!    [`TuningCache`] at startup and extended after every search. A hit
+//!    costs one lock acquisition.
+//! 2. **In-flight coalescing** — a table of searches currently running,
+//!    keyed by [`TuneRequest::coalesce_key`] (cache key + search
+//!    knobs). A thundering herd of N identical concurrent requests
+//!    finds the first requester's slot here and blocks on its
+//!    `Condvar`; all N receive the single search's result. Seeds derive
+//!    from the key, so the shared result is exactly what each request
+//!    would have computed alone.
+//! 3. **Search** — a fresh [`lego_tune::Tuner`] run on the worker's
+//!    warm per-thread expression arena, persisted through the
+//!    concurrency-safe cache and promoted into the memory tier.
+//!
+//! The tier an answer came from is reported to [`Metrics`] but never
+//! serialized into the response, so coalesced, memory-served and
+//! freshly-searched answers for one key are byte-identical on the wire.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use gpu_sim::score::Estimate;
+use gpu_sim::GpuConfig;
+use lego_expr::Variant;
+use lego_tune::cache::{config_to_json, estimate_to_json};
+use lego_tune::strategy::Strategy;
+use lego_tune::{CachedTuning, Json, TuneRequest, TunedConfig, TuningCache};
+
+use crate::metrics::Metrics;
+
+/// Which tier answered a request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Tier {
+    /// In-memory map of completed results.
+    Memory,
+    /// The persistent schema-v4 tuning cache (first touch after a
+    /// restart without preload, or a file shared with batch runs).
+    Cache,
+    /// Blocked on another request's identical in-flight search.
+    Coalesced,
+    /// Ran a fresh search.
+    Searched,
+}
+
+impl Tier {
+    /// Stable metrics label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Memory => "memory",
+            Tier::Cache => "cache",
+            Tier::Coalesced => "coalesced",
+            Tier::Searched => "searched",
+        }
+    }
+
+    /// All tiers, in serving order.
+    pub const ALL: [Tier; 4] = [Tier::Memory, Tier::Cache, Tier::Coalesced, Tier::Searched];
+}
+
+/// A served tuning result — everything a `tune` response carries.
+#[derive(Clone, Debug)]
+pub struct Served {
+    /// Workload display name.
+    pub workload: String,
+    /// Device tag the result was tuned for.
+    pub device: &'static str,
+    /// The winning configuration.
+    pub config: TunedConfig,
+    /// Expression variant the cost model chose.
+    pub expr_variant: Option<Variant>,
+    /// Index-expression op count of the winner.
+    pub index_ops: Option<usize>,
+    /// Estimate of the hand-picked default.
+    pub naive: Estimate,
+    /// Estimate of the winner.
+    pub tuned: Estimate,
+    /// Candidates the producing search evaluated.
+    pub evaluated: usize,
+    /// Strategy that produced the entry.
+    pub strategy: String,
+    /// Space scale that was searched.
+    pub space: String,
+}
+
+impl Served {
+    /// The deterministic success response. Contains no per-request
+    /// data (tier, latency), so every requester of one result receives
+    /// identical bytes.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("workload", Json::Str(self.workload.clone())),
+            ("device", Json::Str(self.device.to_string())),
+            ("config", config_to_json(&self.config)),
+            ("winner", Json::Str(self.config.to_string())),
+            (
+                "expr_variant",
+                match self.expr_variant {
+                    None => Json::Null,
+                    Some(Variant::Unexpanded) => Json::Str("unexpanded".into()),
+                    Some(Variant::Expanded) => Json::Str("expanded".into()),
+                },
+            ),
+            (
+                "index_ops",
+                match self.index_ops {
+                    None => Json::Null,
+                    Some(v) => Json::Int(v as i64),
+                },
+            ),
+            ("naive", estimate_to_json(&self.naive)),
+            ("tuned", estimate_to_json(&self.tuned)),
+            ("naive_s", Json::num(self.naive.time_s)),
+            ("tuned_s", Json::num(self.tuned.time_s)),
+            ("speedup", Json::num(self.naive.time_s / self.tuned.time_s)),
+            ("evaluated", Json::Int(self.evaluated as i64)),
+            ("strategy", Json::Str(self.strategy.clone())),
+            ("space", Json::Str(self.space.clone())),
+        ])
+    }
+}
+
+/// One in-flight search: followers wait on the condvar until the
+/// runner publishes into `result`.
+struct Slot {
+    result: Mutex<Option<Result<Served, String>>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, value: Result<Served, String>) {
+        let mut slot = self.result.lock().expect("slot lock poisoned");
+        *slot = Some(value);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<Served, String> {
+        let mut slot = self.result.lock().expect("slot lock poisoned");
+        while slot.is_none() {
+            slot = self.done.wait(slot).expect("slot condvar poisoned");
+        }
+        slot.clone().expect("checked above")
+    }
+}
+
+/// The shared state of one daemon: tiers, metrics, shutdown flag.
+pub struct TuneService {
+    default_device: GpuConfig,
+    cache: Option<TuningCache>,
+    memory: Mutex<HashMap<String, CachedTuning>>,
+    inflight: Mutex<HashMap<String, Arc<Slot>>>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    /// Set once the listener is bound; `begin_shutdown` pokes it to
+    /// wake the blocking accept loop.
+    addr: OnceLock<SocketAddr>,
+}
+
+impl TuneService {
+    /// A service persisting to `cache_path` (None = in-memory only),
+    /// preloading every persisted entry into the memory tier.
+    pub fn new(default_device: GpuConfig, cache_path: Option<PathBuf>) -> TuneService {
+        let cache = cache_path.map(TuningCache::new);
+        let memory = cache
+            .as_ref()
+            .map(|c| c.entries().into_iter().collect())
+            .unwrap_or_default();
+        TuneService {
+            default_device,
+            cache,
+            memory: Mutex::new(memory),
+            inflight: Mutex::new(HashMap::new()),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            addr: OnceLock::new(),
+        }
+    }
+
+    /// The device used when a request names none.
+    pub fn default_device(&self) -> &GpuConfig {
+        &self.default_device
+    }
+
+    /// The live counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of completed results held in the memory tier.
+    pub fn memory_len(&self) -> usize {
+        self.memory.lock().expect("memory tier poisoned").len()
+    }
+
+    /// Records the bound listener address (enables acceptor wakeup).
+    pub fn set_addr(&self, addr: SocketAddr) {
+        let _ = self.addr.set(addr);
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flags shutdown and wakes the acceptor with a throwaway
+    /// connection so it observes the flag immediately.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.addr.get() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    /// Writes every memory-tier entry absent from the persistent cache
+    /// back to disk (entries produced by searches are already persisted
+    /// eagerly with their frontiers; this covers a cache file deleted
+    /// or truncated while the daemon ran). No-op without a cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let Some(cache) = &self.cache else {
+            return Ok(());
+        };
+        let on_disk: std::collections::HashSet<String> =
+            cache.entries().into_iter().map(|(k, _)| k).collect();
+        let memory = self.memory.lock().expect("memory tier poisoned").clone();
+        for (key, entry) in &memory {
+            if !on_disk.contains(key) {
+                cache.store(key, entry)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves one request through the three tiers. The `Tier` is
+    /// reported even on failure (a failed fresh search reports
+    /// `Searched`; followers of a failed search report `Coalesced`).
+    pub fn resolve(&self, req: &TuneRequest) -> (Result<Served, String>, Tier) {
+        let cache_key = req.cache_key();
+        let coalesce_key = req.coalesce_key();
+
+        // One inflight-table critical section covers both the memory
+        // probe and the slot probe. The runner promotes to memory
+        // *before* unpublishing its slot (the removal also takes this
+        // lock), so any concurrent request is guaranteed to observe one
+        // of the two — a herd can never leak a second search through
+        // the promote/unpublish gap.
+        let slot = {
+            let mut inflight = self.inflight.lock().expect("inflight table poisoned");
+
+            // Tier 1: completed results in memory.
+            {
+                let memory = self.memory.lock().expect("memory tier poisoned");
+                if let Some(hit) = memory.get(&cache_key) {
+                    if req.satisfied_by(hit) {
+                        return (Ok(served_from(req, hit)), Tier::Memory);
+                    }
+                }
+            }
+
+            // Tier 2: an identical search already in flight.
+            if let Some(slot) = inflight.get(&coalesce_key) {
+                let slot = Arc::clone(slot);
+                drop(inflight);
+                return (slot.wait(), Tier::Coalesced);
+            }
+            let slot = Arc::new(Slot::new());
+            inflight.insert(coalesce_key.clone(), Arc::clone(&slot));
+            slot
+        };
+
+        // Tier 3: we are the runner.
+        let (result, tier) = self.run_search(req, &cache_key);
+
+        // Promote before unpublishing the slot, so a request arriving
+        // between the two always finds one of the tiers populated.
+        {
+            let mut inflight = self.inflight.lock().expect("inflight table poisoned");
+            inflight.remove(&coalesce_key);
+        }
+        slot.publish(result.clone());
+        (result, tier)
+    }
+
+    /// Runs the search tier: a tuner configured exactly as the request
+    /// asks, persisting through the concurrency-safe cache. Panics in
+    /// the search are contained so a follower can never be left waiting
+    /// on a dead slot.
+    fn run_search(&self, req: &TuneRequest, cache_key: &str) -> (Result<Served, String>, Tier) {
+        let mut tuner = req.tuner();
+        if let Some(cache) = &self.cache {
+            tuner = tuner.with_cache(cache.path());
+        }
+        let kind = req.kind;
+        let outcome = catch_unwind(AssertUnwindSafe(|| tuner.tune(&kind)));
+        match outcome {
+            Ok(Ok(r)) => {
+                let tier = if r.from_cache {
+                    Tier::Cache
+                } else {
+                    Tier::Searched
+                };
+                let entry = CachedTuning {
+                    config: r.config,
+                    expr_variant: r.expr_variant,
+                    index_ops: r.index_ops,
+                    naive: r.naive,
+                    tuned: r.tuned,
+                    evaluated: r.evaluated,
+                    strategy: req.strategy.name().to_string(),
+                    budget: match req.strategy {
+                        Strategy::Exhaustive => None,
+                        Strategy::Anneal | Strategy::Genetic => Some(req.budget.max_evals()),
+                    },
+                    space: req.effective_space().name().to_string(),
+                    // The serving tier never warm-starts searches; the
+                    // persistent cache keeps the real frontier.
+                    frontier: vec![],
+                };
+                let served = served_from(req, &entry);
+                self.memory
+                    .lock()
+                    .expect("memory tier poisoned")
+                    .insert(cache_key.to_string(), entry);
+                (Ok(served), tier)
+            }
+            Ok(Err(e)) => (Err(format!("tuning failed: {e}")), Tier::Searched),
+            Err(_) => (
+                Err(format!("tuning panicked for {}", kind.name())),
+                Tier::Searched,
+            ),
+        }
+    }
+}
+
+/// Maps a stored entry onto the wire shape for one request.
+fn served_from(req: &TuneRequest, entry: &CachedTuning) -> Served {
+    Served {
+        workload: req.kind.name(),
+        device: req.device.tag,
+        config: entry.config,
+        expr_variant: entry.expr_variant,
+        index_ops: entry.index_ops,
+        naive: entry.naive,
+        tuned: entry.tuned,
+        evaluated: entry.evaluated,
+        strategy: entry.strategy.clone(),
+        space: entry.space.clone(),
+    }
+}

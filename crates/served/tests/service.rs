@@ -1,0 +1,245 @@
+//! End-to-end tests against a real daemon on an ephemeral port.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+
+use lego_served::client::{is_ok, Client};
+use lego_served::{Server, ServerConfig, TuneSpec};
+use lego_tune::Json;
+
+/// A unique temp cache path per test (tests run in one process, so the
+/// pid alone is not enough).
+fn temp_cache(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "lego_served_test_{}_{}.json",
+        tag,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn start(tag: &str, workers: usize) -> (Server, PathBuf) {
+    let cache = temp_cache(tag);
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        cache: Some(cache.clone()),
+        device_default: gpu_sim::a100(),
+    })
+    .expect("bind ephemeral daemon");
+    (server, cache)
+}
+
+fn shutdown_and_join(server: Server) {
+    let mut ctl = Client::connect(server.local_addr()).expect("connect for shutdown");
+    let bye = ctl.shutdown().expect("shutdown roundtrip");
+    assert!(is_ok(&bye), "shutdown must be acknowledged");
+    server.join().expect("drain and flush");
+}
+
+#[test]
+fn herd_of_sixteen_coalesces_onto_one_search() {
+    const HERD: usize = 16;
+    let (server, cache) = start("herd", HERD);
+    let addr = server.local_addr();
+    let service = server.service();
+
+    let barrier = Arc::new(Barrier::new(HERD));
+    let handles: Vec<_> = (0..HERD)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                barrier.wait();
+                client
+                    .roundtrip_line(
+                        "{\"verb\":\"tune\",\"workload\":\"nw(n=448,b=16)\",\
+                         \"device\":\"h100\"}",
+                    )
+                    .expect("tune roundtrip")
+            })
+        })
+        .collect();
+    let lines: Vec<String> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .collect();
+
+    assert_eq!(
+        service.metrics().searches_run(),
+        1,
+        "a herd of {HERD} identical requests must run exactly one search"
+    );
+    let first = &lines[0];
+    assert!(is_ok(&Json::parse(first).expect("parse response")));
+    for line in &lines {
+        assert_eq!(line, first, "herd responses must be byte-identical");
+    }
+
+    shutdown_and_join(server);
+    let _ = std::fs::remove_file(&cache);
+}
+
+#[test]
+fn malformed_lines_error_without_dropping_the_connection() {
+    let (server, cache) = start("malformed", 2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    for bad in [
+        "this is not json",
+        "{\"verb\": \"frobnicate\"}",
+        "{\"verb\": \"tune\"}",
+        "{\"verb\": \"tune\", \"workload\": \"matmul(n=nope)\"}",
+        "{\"verb\": \"tune\", \"workload\": \"matmul(n=64)\", \"device\": \"v100\"}",
+        "{\"verb\": \"tune\", \"workload\": \"matmul(n=64)\", \"strategy\": \"brute\"}",
+    ] {
+        let line = client.roundtrip_line(bad).expect("connection must survive");
+        let response = Json::parse(&line).expect("error responses are JSON");
+        assert!(!is_ok(&response), "{bad:?} must be rejected");
+        assert!(
+            response.get("error").and_then(Json::as_str).is_some(),
+            "rejections carry an error message"
+        );
+    }
+
+    // The same connection still serves a good request afterwards.
+    let good = client
+        .tune(&TuneSpec::workload("transpose(n=256)"))
+        .expect("tune after malformed lines");
+    assert!(
+        is_ok(&good),
+        "connection must still serve: {}",
+        good.render()
+    );
+    assert_eq!(service_errors(&server), 6);
+
+    shutdown_and_join(server);
+    let _ = std::fs::remove_file(&cache);
+}
+
+fn service_errors(server: &Server) -> i64 {
+    server
+        .service()
+        .metrics()
+        .to_json()
+        .get("malformed")
+        .and_then(Json::as_i64)
+        .expect("metrics carry malformed count")
+}
+
+#[test]
+fn memory_tier_serves_repeats_and_metrics_see_every_tier() {
+    let (server, cache) = start("tiers", 2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let spec = TuneSpec::workload("softmax(m=64,n=256)");
+
+    let first = client.tune(&spec).expect("first tune");
+    assert!(is_ok(&first));
+    let second = client.tune(&spec).expect("second tune");
+    assert_eq!(
+        first.render(),
+        second.render(),
+        "repeat must serve the same result"
+    );
+
+    let metrics = client.metrics().expect("metrics");
+    let tiers = metrics.get("tiers").expect("tiers object");
+    assert_eq!(tiers.get("searched").and_then(Json::as_i64), Some(1));
+    assert_eq!(tiers.get("memory").and_then(Json::as_i64), Some(1));
+    let class = metrics
+        .get("classes")
+        .and_then(|c| c.get("softmax@a100"))
+        .expect("per-class stats under family@tag");
+    assert_eq!(class.get("requests").and_then(Json::as_i64), Some(2));
+    assert!(class.get("p99_ms").and_then(Json::as_f64).unwrap() > 0.0);
+    let arena = metrics.get("arena").expect("arena aggregate");
+    assert!(arena.get("nodes").and_then(Json::as_i64).unwrap() > 0);
+
+    shutdown_and_join(server);
+    let _ = std::fs::remove_file(&cache);
+}
+
+#[test]
+fn shutdown_flushes_the_cache_and_a_restart_preloads_it() {
+    let (server, cache) = start("restart", 2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let spec = TuneSpec::workload("nw(n=192,b=8)");
+    let first = client.tune(&spec).expect("tune before restart");
+    assert!(is_ok(&first));
+    shutdown_and_join(server);
+    assert!(cache.exists(), "shutdown must leave a flushed cache behind");
+
+    // A fresh daemon on the same cache serves the key from memory.
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache: Some(cache.clone()),
+        device_default: gpu_sim::a100(),
+    })
+    .expect("restart daemon");
+    assert_eq!(
+        server.service().memory_len(),
+        1,
+        "restart must preload the cache"
+    );
+    let mut client = Client::connect(server.local_addr()).expect("reconnect");
+    let again = client.tune(&spec).expect("tune after restart");
+    assert_eq!(
+        first.render(),
+        again.render(),
+        "restart must serve the same result"
+    );
+    assert_eq!(
+        server.service().metrics().searches_run(),
+        0,
+        "the preloaded key must not trigger a search"
+    );
+
+    shutdown_and_join(server);
+    let _ = std::fs::remove_file(&cache);
+}
+
+#[test]
+fn client_disconnect_mid_search_still_promotes_the_result() {
+    let (server, cache) = start("disconnect", 4);
+    let addr = server.local_addr();
+    let service = server.service();
+
+    // Fire a tune request and hang up without reading the response.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(addr).expect("connect raw");
+        raw.write_all(b"{\"verb\":\"tune\",\"workload\":\"transpose(n=320)\"}\n")
+            .expect("send");
+        // Dropping the stream closes the connection mid-search.
+    }
+
+    // The search must still complete and land in the memory tier.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    while service.metrics().searches_run() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "search must survive the client disconnect"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    while service.memory_len() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "result must be promoted to the memory tier"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // A new client gets it from memory, no second search.
+    let mut client = Client::connect(addr).expect("connect");
+    let served = client
+        .tune(&TuneSpec::workload("transpose(n=320)"))
+        .expect("tune after disconnect");
+    assert!(is_ok(&served));
+    assert_eq!(service.metrics().searches_run(), 1);
+
+    shutdown_and_join(server);
+    let _ = std::fs::remove_file(&cache);
+}

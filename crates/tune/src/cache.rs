@@ -10,8 +10,11 @@
 //! empty, so winners cached under an older trace/occupancy model can
 //! never be served stale.
 
+use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use gpu_sim::score::Estimate;
 use gpu_sim::timing::TimeEstimate;
@@ -71,6 +74,39 @@ pub struct CachedTuning {
 #[derive(Clone, Debug)]
 pub struct TuningCache {
     path: PathBuf,
+}
+
+/// The process-wide lock guarding each cache file's read-modify-write
+/// cycle, keyed by the file's stable identity (see [`lock_key`]).
+/// Concurrent [`TuningCache::store`] calls against the same file — the
+/// tuning-service daemon's workers, or a parallel fleet driver — are
+/// serialized here, so no writer can clobber another's entry.
+fn file_lock(path: &Path) -> Arc<Mutex<()>> {
+    static LOCKS: OnceLock<Mutex<HashMap<PathBuf, Arc<Mutex<()>>>>> = OnceLock::new();
+    let mut locks = LOCKS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("cache lock registry poisoned");
+    locks.entry(lock_key(path)).or_default().clone()
+}
+
+/// A stable identity for a cache file: the canonical path when the file
+/// (or at least its directory) exists, otherwise the path absolutized
+/// against the current directory — so `TUNE_CACHE.json` and
+/// `./TUNE_CACHE.json` share one lock.
+fn lock_key(path: &Path) -> PathBuf {
+    if let Ok(canon) = path.canonicalize() {
+        return canon;
+    }
+    let file = path.file_name().map(PathBuf::from).unwrap_or_default();
+    let parent = match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => dir.canonicalize().ok(),
+        _ => std::env::current_dir().ok(),
+    };
+    match parent {
+        Some(dir) => dir.join(file),
+        None => path.to_path_buf(),
+    }
 }
 
 /// The cache key for one (workload, pricing mode, hardware) triple: the
@@ -134,12 +170,36 @@ impl TuningCache {
         tuning_from_json(entry)
     }
 
+    /// Every decodable entry of the current-schema document, in file
+    /// order. Used by the tuning-service daemon to promote the whole
+    /// persisted cache into its in-memory tier at startup.
+    pub fn entries(&self) -> Vec<(String, CachedTuning)> {
+        let doc = self.load();
+        doc.get("entries")
+            .and_then(Json::as_obj)
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .filter_map(|(k, v)| Some((k.clone(), tuning_from_json(v)?)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     /// Stores (or replaces) a cached tuning under `key`.
+    ///
+    /// Safe under concurrency: the whole read-modify-write cycle runs
+    /// under a process-wide per-file mutex (so parallel stores from the
+    /// service daemon's workers can't drop each other's entries), and
+    /// the document is written to a tempfile and atomically renamed
+    /// into place (so a concurrent reader never observes a torn file).
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn store(&self, key: &str, value: &CachedTuning) -> io::Result<()> {
+        let lock = file_lock(&self.path);
+        let _guard = lock.lock().expect("cache file lock poisoned");
         let doc = self.load();
         let mut entries: Vec<(String, Json)> = doc
             .get("entries")
@@ -160,7 +220,28 @@ impl TuningCache {
                 std::fs::create_dir_all(dir)?;
             }
         }
-        std::fs::write(&self.path, doc.render_pretty())
+        // Unique tempfile per write (the per-file mutex already
+        // serializes same-file writers in this process; the counter
+        // keeps names distinct across files sharing a directory and
+        // across processes).
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.path.with_file_name(format!(
+            "{}.tmp.{}.{}",
+            self.path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "cache".to_string()),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::write(&tmp, doc.render_pretty())?;
+        match std::fs::rename(&tmp, &self.path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
     }
 }
 
@@ -610,6 +691,87 @@ mod tests {
             text.contains(&format!("\"version\": {CACHE_SCHEMA_VERSION}")),
             "rewritten under the current schema"
         );
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn concurrent_stores_drop_no_entries() {
+        // The pre-fix `store()` was a bare read-modify-write of the
+        // whole document: two racing writers would each load the same
+        // snapshot and the slower one would erase the faster one's
+        // entry. Hammer one file from many threads and require every
+        // entry to survive.
+        let dir = std::env::temp_dir().join(format!("lego-cache-conc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("concurrent.json");
+        let _ = std::fs::remove_file(&path);
+
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 6;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let path = path.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    let cache = TuningCache::new(&path);
+                    barrier.wait();
+                    for i in 0..PER_THREAD {
+                        let entry = CachedTuning {
+                            config: TunedConfig::Lud {
+                                r: (t + 1) as i64,
+                                t: 16,
+                            },
+                            expr_variant: None,
+                            index_ops: None,
+                            naive: sample_estimate(1.0),
+                            tuned: sample_estimate(0.5),
+                            evaluated: i,
+                            strategy: "exhaustive".to_string(),
+                            budget: None,
+                            space: "legacy".to_string(),
+                            frontier: vec![],
+                        };
+                        cache.store(&format!("k-{t}-{i}"), &entry).unwrap();
+                        // Interleave a read: the atomic rename means a
+                        // reader can never see a torn document (which
+                        // `load` would silently treat as empty).
+                        assert!(
+                            cache.lookup(&format!("k-{t}-0")).is_some(),
+                            "reader observed a torn or clobbered document"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let cache = TuningCache::new(&path);
+        let entries = cache.entries();
+        assert_eq!(
+            entries.len(),
+            THREADS * PER_THREAD,
+            "concurrent stores dropped entries"
+        );
+        for t in 0..THREADS {
+            for i in 0..PER_THREAD {
+                assert!(
+                    cache.lookup(&format!("k-{t}-{i}")).is_some(),
+                    "entry k-{t}-{i} lost"
+                );
+            }
+        }
+        // No tempfiles left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stale tempfiles: {leftovers:?}");
 
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);

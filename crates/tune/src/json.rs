@@ -297,13 +297,30 @@ impl Parser<'_> {
                         _ => return Err(format!("bad escape at {}", self.pos)),
                     }
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                // ASCII fast path: the overwhelmingly common case in
+                // cache keys and bench labels.
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Decode exactly one multi-byte UTF-8 character.
+                    // Validating only its own bytes keeps string parsing
+                    // linear — validating the whole remaining input per
+                    // character made large-document parses quadratic.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err("invalid utf-8".to_string()),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| "invalid utf-8".to_string())?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| "invalid utf-8".to_string())?;
+                    out.push(s.chars().next().expect("validated non-empty chunk"));
+                    self.pos += len;
                 }
             }
         }
@@ -436,6 +453,12 @@ mod tests {
     #[test]
     fn string_escapes() {
         let s = Json::Str("a\"b\\c\nd\te".into());
+        assert_eq!(Json::parse(&s.render()).unwrap(), s);
+    }
+
+    #[test]
+    fn multibyte_strings_round_trip() {
+        let s = Json::Str("π ≈ 3.14159 — θ/φ 日本語 🚀".into());
         assert_eq!(Json::parse(&s.render()).unwrap(), s);
     }
 

@@ -49,6 +49,7 @@
 pub mod cache;
 pub mod domain;
 pub mod json;
+pub mod request;
 pub mod rng;
 pub mod space;
 pub mod strategy;
@@ -60,6 +61,7 @@ pub use json::Json;
 pub use lego_codegen::tuning::{
     NwLayoutChoice, RowwiseOp, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
 };
+pub use request::TuneRequest;
 pub use space::{
     annotate_cache_stats, build_layout, build_workload, rowwise_block_sizes, stencil_block,
     symbolic_exprs, Candidate, SearchSpace, WorkloadKind,

@@ -1,0 +1,201 @@
+//! [`TuneRequest`]: the reusable "what do you want tuned, and how
+//! hard" key type shared by the batch CLI paths and the `lego-served`
+//! tuning daemon.
+//!
+//! A request bundles the workload instance with the device model and
+//! the search knobs (strategy, budget, optional space pin). Two string
+//! keys fall out of it:
+//!
+//! * [`TuneRequest::cache_key`] — the schema-v4 [`crate::TuningCache`]
+//!   key: `(workload, pricing mode, device identity)`. Results live
+//!   under this key; whether a stored entry *satisfies* a request is a
+//!   separate check ([`TuneRequest::satisfied_by`]) because a
+//!   higher-budget entry may serve a lower-budget request.
+//! * [`TuneRequest::coalesce_key`] — the cache key plus the search
+//!   knobs. Two requests with equal coalesce keys are guaranteed to run
+//!   the *same deterministic search* (seeds derive from the cache key
+//!   and strategy), which is what lets the daemon collapse a thundering
+//!   herd of identical concurrent requests onto one in-flight slot.
+
+use gpu_sim::GpuConfig;
+
+use crate::cache::{cache_key, CachedTuning};
+use crate::domain::SpaceScale;
+use crate::space::WorkloadKind;
+use crate::strategy::{Budget, Strategy};
+use crate::tuner::Tuner;
+
+/// One fully-specified tuning request: workload, device, search knobs.
+#[derive(Clone, Debug)]
+pub struct TuneRequest {
+    /// The workload instance to tune.
+    pub kind: WorkloadKind,
+    /// The device model to tune against.
+    pub device: GpuConfig,
+    /// How to explore the space.
+    pub strategy: Strategy,
+    /// Evaluation cap for the budgeted strategies.
+    pub budget: Budget,
+    /// Optional space-scale pin (`None` = the strategy's default).
+    pub space: Option<SpaceScale>,
+}
+
+impl TuneRequest {
+    /// A request with the default search knobs (exhaustive, default
+    /// budget, unpinned space) — the v2 CLI behavior.
+    pub fn new(kind: WorkloadKind, device: GpuConfig) -> TuneRequest {
+        TuneRequest {
+            kind,
+            device,
+            strategy: Strategy::default(),
+            budget: Budget::default(),
+            space: None,
+        }
+    }
+
+    /// A [`Tuner`] configured exactly as this request asks (no cache
+    /// attached; callers decide persistence).
+    pub fn tuner(&self) -> Tuner {
+        let mut t = Tuner::new(self.device.clone())
+            .with_strategy(self.strategy)
+            .with_budget(self.budget);
+        if let Some(space) = self.space {
+            t = t.with_space(space);
+        }
+        t
+    }
+
+    /// The space scale the request's strategy will actually search.
+    pub fn effective_space(&self) -> SpaceScale {
+        self.tuner().effective_space()
+    }
+
+    /// The schema-v4 tuning-cache key for this request.
+    pub fn cache_key(&self) -> String {
+        cache_key(&self.kind.name(), self.kind.pricing_mode(), &self.device)
+    }
+
+    /// The in-flight coalescing key: the cache key extended with every
+    /// knob that changes what a search would compute. Requests agreeing
+    /// on this key run byte-identical deterministic searches and may
+    /// share one result.
+    pub fn coalesce_key(&self) -> String {
+        format!(
+            "{}|strategy={}|space={}|budget={}",
+            self.cache_key(),
+            self.strategy.name(),
+            self.effective_space().name(),
+            match self.strategy {
+                Strategy::Exhaustive => 0,
+                Strategy::Anneal | Strategy::Genetic => self.budget.max_evals(),
+            }
+        )
+    }
+
+    /// The request class for metrics aggregation: workload family @
+    /// device tag, e.g. `matmul@a100`.
+    pub fn class(&self) -> String {
+        format!("{}@{}", self.kind.family(), self.device.tag)
+    }
+
+    /// Whether a stored entry satisfies this request (same rule the
+    /// [`Tuner`] applies on a cache hit).
+    pub fn satisfied_by(&self, hit: &CachedTuning) -> bool {
+        self.tuner().satisfied_by(hit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(strategy: Strategy, budget: usize) -> TuneRequest {
+        TuneRequest {
+            kind: WorkloadKind::Transpose { n: 512 },
+            device: gpu_sim::a100(),
+            strategy,
+            budget: Budget(budget),
+            space: None,
+        }
+    }
+
+    #[test]
+    fn coalesce_key_separates_search_knobs() {
+        let exhaustive = req(Strategy::Exhaustive, 64);
+        let anneal = req(Strategy::Anneal, 64);
+        let bigger = req(Strategy::Anneal, 128);
+        // Same result slot...
+        assert_eq!(exhaustive.cache_key(), anneal.cache_key());
+        // ...but never the same in-flight search.
+        assert_ne!(exhaustive.coalesce_key(), anneal.coalesce_key());
+        assert_ne!(anneal.coalesce_key(), bigger.coalesce_key());
+        // Exhaustive ignores the budget, so budgets must not split it.
+        assert_eq!(
+            req(Strategy::Exhaustive, 64).coalesce_key(),
+            req(Strategy::Exhaustive, 128).coalesce_key()
+        );
+        // Devices split both keys.
+        let mut on_h100 = req(Strategy::Anneal, 64);
+        on_h100.device = gpu_sim::h100();
+        assert_ne!(anneal.cache_key(), on_h100.cache_key());
+        assert_ne!(anneal.coalesce_key(), on_h100.coalesce_key());
+    }
+
+    #[test]
+    fn class_labels_family_and_device() {
+        assert_eq!(req(Strategy::Exhaustive, 1).class(), "transpose@a100");
+        let r = TuneRequest::new(
+            WorkloadKind::Rowwise {
+                op: crate::RowwiseOp::Softmax,
+                m: 64,
+                n: 256,
+            },
+            gpu_sim::mi300(),
+        );
+        assert_eq!(r.class(), "softmax@mi300");
+    }
+
+    #[test]
+    fn satisfaction_mirrors_the_tuner_rule() {
+        let estimate = gpu_sim::score::Estimate {
+            time_s: 1.0,
+            breakdown: gpu_sim::timing::TimeEstimate {
+                compute_s: 0.2,
+                dram_s: 0.8,
+                l2_s: 0.1,
+                smem_s: 0.0,
+                overhead_s: 0.0,
+                total_s: 1.0,
+            },
+            dram_bytes: 1.0,
+            l2_bytes: 1.0,
+            smem_passes: 0.0,
+            l2_hit_rate: 0.5,
+            flops: 1.0,
+            useful_bytes: 1.0,
+        };
+        let hit = CachedTuning {
+            config: lego_codegen::tuning::TunedConfig::Transpose {
+                t: 32,
+                staging: None,
+            },
+            expr_variant: None,
+            index_ops: None,
+            naive: estimate,
+            tuned: estimate,
+            evaluated: 64,
+            strategy: "anneal".to_string(),
+            budget: Some(64),
+            space: "enlarged".to_string(),
+            frontier: vec![],
+        };
+        assert!(req(Strategy::Anneal, 64).satisfied_by(&hit));
+        assert!(
+            req(Strategy::Anneal, 32).satisfied_by(&hit),
+            "bigger budget serves smaller"
+        );
+        assert!(!req(Strategy::Anneal, 128).satisfied_by(&hit));
+        assert!(!req(Strategy::Genetic, 64).satisfied_by(&hit));
+        assert!(!req(Strategy::Exhaustive, 64).satisfied_by(&hit));
+    }
+}

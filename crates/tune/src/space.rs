@@ -102,6 +102,112 @@ pub fn rowwise_block_sizes(n: i64) -> Vec<i64> {
 }
 
 impl WorkloadKind {
+    /// The workload family tag (`matmul`, `transpose`, `stencil`, `nw`,
+    /// `lud`, or the rowwise operator tag) — the request-class label
+    /// the tuning service aggregates metrics under.
+    pub fn family(&self) -> &'static str {
+        match self {
+            WorkloadKind::Matmul { .. } => "matmul",
+            WorkloadKind::Transpose { .. } => "transpose",
+            WorkloadKind::Stencil { .. } => "stencil",
+            WorkloadKind::Nw { .. } => "nw",
+            WorkloadKind::Lud { .. } => "lud",
+            WorkloadKind::Rowwise { op, .. } => op.tag(),
+        }
+    }
+
+    /// Parses a display/cache name (the exact strings [`Self::name`]
+    /// produces, e.g. `matmul(n=2048)` or `stencil(star-13pt,n=48)`)
+    /// back into a workload — the tuning-service wire protocol names
+    /// workloads this way. Errors describe what was wrong, for the
+    /// protocol's error responses.
+    ///
+    /// # Errors
+    ///
+    /// Unknown family, malformed parameter list, missing/extra/
+    /// non-positive parameters.
+    pub fn parse(name: &str) -> std::result::Result<WorkloadKind, String> {
+        let s = name.trim();
+        let (family, rest) = s
+            .split_once('(')
+            .ok_or_else(|| format!("malformed workload {s:?}: expected family(params)"))?;
+        let args = rest
+            .strip_suffix(')')
+            .ok_or_else(|| format!("malformed workload {s:?}: missing closing paren"))?;
+
+        // `stencil` leads with a shape tag; everything else is k=v only.
+        let mut shape: Option<StencilShape> = None;
+        let mut params: Vec<(&str, i64)> = Vec::new();
+        for (i, part) in args.split(',').enumerate() {
+            let part = part.trim();
+            match part.split_once('=') {
+                Some((k, v)) => {
+                    let v: i64 = v.parse().map_err(|_| {
+                        format!("workload {s:?}: parameter {k}={v:?} is not an integer")
+                    })?;
+                    if v <= 0 {
+                        return Err(format!("workload {s:?}: parameter {k} must be positive"));
+                    }
+                    params.push((k, v));
+                }
+                None if family == "stencil" && i == 0 => {
+                    shape = Some(StencilShape::parse(part).ok_or_else(|| {
+                        format!("workload {s:?}: unknown stencil shape {part:?} (use e.g. star-13pt, cube-27pt)")
+                    })?);
+                }
+                None => {
+                    return Err(format!("workload {s:?}: expected k=v, got {part:?}"));
+                }
+            }
+        }
+
+        let take = |keys: &[&str]| -> std::result::Result<Vec<i64>, String> {
+            let got: Vec<&str> = params.iter().map(|(k, _)| *k).collect();
+            if got != keys {
+                return Err(format!(
+                    "workload {s:?}: expected parameters {keys:?}, got {got:?}"
+                ));
+            }
+            Ok(params.iter().map(|(_, v)| *v).collect())
+        };
+
+        let rowwise = |op: RowwiseOp| -> std::result::Result<WorkloadKind, String> {
+            let v = take(&["m", "n"])?;
+            Ok(WorkloadKind::Rowwise {
+                op,
+                m: v[0],
+                n: v[1],
+            })
+        };
+
+        match family {
+            "matmul" => Ok(WorkloadKind::Matmul { n: take(&["n"])?[0] }),
+            "transpose" => Ok(WorkloadKind::Transpose { n: take(&["n"])?[0] }),
+            "stencil" => {
+                let shape =
+                    shape.ok_or_else(|| format!("workload {s:?}: missing stencil shape"))?;
+                Ok(WorkloadKind::Stencil {
+                    shape,
+                    n: take(&["n"])?[0],
+                })
+            }
+            "nw" => {
+                let v = take(&["n", "b"])?;
+                Ok(WorkloadKind::Nw { n: v[0], b: v[1] })
+            }
+            "lud" => {
+                let v = take(&["n", "bs"])?;
+                Ok(WorkloadKind::Lud { n: v[0], bs: v[1] })
+            }
+            "softmax" => rowwise(RowwiseOp::Softmax),
+            "layernorm-fwd" => rowwise(RowwiseOp::LayernormFwd),
+            "layernorm-bwd" => rowwise(RowwiseOp::LayernormBwd),
+            other => Err(format!(
+                "unknown workload family {other:?} (use matmul|transpose|stencil|nw|lud|softmax|layernorm-fwd|layernorm-bwd)"
+            )),
+        }
+    }
+
     /// Stable display/cache name, e.g. `matmul(n=2048)`.
     pub fn name(&self) -> String {
         match self {
@@ -716,6 +822,68 @@ mod tests {
                     cfg.name
                 );
             }
+        }
+    }
+
+    #[test]
+    fn workload_names_round_trip_through_parse() {
+        let kinds = [
+            WorkloadKind::Matmul { n: 2048 },
+            WorkloadKind::Transpose { n: 1024 },
+            WorkloadKind::Stencil {
+                shape: StencilShape::Star(2),
+                n: 48,
+            },
+            WorkloadKind::Stencil {
+                shape: StencilShape::Cube(1),
+                n: 64,
+            },
+            WorkloadKind::Nw { n: 3584, b: 16 },
+            WorkloadKind::Lud { n: 2048, bs: 16 },
+            WorkloadKind::Rowwise {
+                op: RowwiseOp::Softmax,
+                m: 256,
+                n: 1024,
+            },
+            WorkloadKind::Rowwise {
+                op: RowwiseOp::LayernormBwd,
+                m: 64,
+                n: 512,
+            },
+        ];
+        for kind in kinds {
+            assert_eq!(
+                WorkloadKind::parse(&kind.name()),
+                Ok(kind),
+                "{}",
+                kind.name()
+            );
+        }
+        // Whitespace tolerance (clients hand-write these).
+        assert_eq!(
+            WorkloadKind::parse(" nw( n=64, b=16 ) "),
+            Ok(WorkloadKind::Nw { n: 64, b: 16 })
+        );
+    }
+
+    #[test]
+    fn workload_parse_rejects_malformed_names() {
+        for bad in [
+            "matmul",                    // no parameter list
+            "matmul(n=2048",             // unterminated
+            "matmul(m=2048)",            // wrong key
+            "matmul(n=2048,extra=1)",    // extra key
+            "matmul(n=0)",               // non-positive
+            "matmul(n=-4)",              // negative
+            "matmul(n=banana)",          // non-integer
+            "frobnicate(n=4)",           // unknown family
+            "stencil(n=48)",             // missing shape
+            "stencil(ball-7pt,n=48)",    // unknown shape
+            "nw(n=64)",                  // missing b
+            "softmax(n=1024)",           // missing m
+            "lud(n=2048,bs=16,extra=1)", // extra key
+        ] {
+            assert!(WorkloadKind::parse(bad).is_err(), "{bad:?} must not parse");
         }
     }
 }

@@ -155,8 +155,10 @@ impl Tuner {
 
     /// Whether a cached entry satisfies the current search request: the
     /// strategy and space must match, and a budgeted entry must have
-    /// spent at least the requested budget.
-    fn satisfied_by(&self, hit: &CachedTuning) -> bool {
+    /// spent at least the requested budget. Public so services layering
+    /// their own in-memory tier over the cache (the `lego-served`
+    /// daemon) apply exactly the serving rule `tune` does.
+    pub fn satisfied_by(&self, hit: &CachedTuning) -> bool {
         hit.strategy == self.strategy.name()
             && hit.space == self.effective_space().name()
             && match self.strategy {

@@ -5,4 +5,5 @@ pub use lego_bench;
 pub use lego_codegen;
 pub use lego_core;
 pub use lego_expr;
+pub use lego_served;
 pub use lego_tune;
