@@ -5,9 +5,11 @@
 //!             [--device-default a100|h100|mi300]
 //! ```
 //!
-//! Listens for line-JSON requests (`tune`, `metrics`, `shutdown`) and
-//! serves best-config answers through the three-tier path described in
-//! `lego_served::service`. Runs until a client sends the `shutdown`
+//! Listens for line-JSON requests (`tune`, `fleet`, `metrics`,
+//! `shutdown`) and serves best-config answers through the three-tier
+//! path described in `lego_served::service` — the `fleet` verb tunes a
+//! whole grid at once through the work-stealing
+//! [`lego_tune::FleetDriver`]. Runs until a client sends the `shutdown`
 //! verb, then drains in-flight work, flushes the tuning cache, and
 //! exits 0.
 
@@ -31,6 +33,8 @@ options:
 protocol (one JSON object per line, response mirrors with \"ok\"):
   {\"verb\":\"tune\",\"workload\":\"matmul(n=2048)\",\"device\":\"h100\",
    \"strategy\":\"anneal\",\"budget\":256,\"space\":\"enlarged\"}
+  {\"verb\":\"fleet\",\"grid\":\"matmul:512..4096x2@a100,h100\",
+   \"strategy\":\"anneal\",\"budget\":160,\"threads\":4,\"transfer\":true}
   {\"verb\":\"metrics\"}
   {\"verb\":\"shutdown\"}";
 

@@ -12,7 +12,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use lego_tune::Json;
 
-use crate::protocol::TuneSpec;
+use crate::protocol::{FleetWire, TuneSpec};
 
 /// One connection to a running `lego-served` daemon.
 pub struct Client {
@@ -84,6 +84,18 @@ impl Client {
     /// response with `"ok": false`.
     pub fn tune(&mut self, spec: &TuneSpec) -> std::io::Result<Json> {
         self.request(&spec.to_json())
+    }
+
+    /// Issues a `fleet` request: tunes a whole grid through the
+    /// daemon's work-stealing driver and returns the run summary with
+    /// per-key outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures only — a fleet error is an `Ok`
+    /// response with `"ok": false`.
+    pub fn fleet(&mut self, wire: &FleetWire) -> std::io::Result<Json> {
+        self.request(&wire.to_json())
     }
 
     /// Fetches the live metrics report.

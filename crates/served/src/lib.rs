@@ -33,6 +33,6 @@ pub mod server;
 pub mod service;
 
 pub use client::Client;
-pub use protocol::{Request, TuneSpec};
+pub use protocol::{FleetWire, Request, TuneSpec};
 pub use server::{Server, ServerConfig};
 pub use service::{Served, Tier, TuneService};

@@ -19,6 +19,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use lego_expr::intern::ArenaStats;
+use lego_tune::fleet::FleetCounters;
 use lego_tune::Json;
 
 use crate::service::Tier;
@@ -30,6 +31,9 @@ struct ClassStats {
     errors: u64,
     tiers: [u64; 4],
     latencies_ms: Vec<f64>,
+    /// Fleet-run contributions to this class (keys tuned, transfer
+    /// hits, evals saved).
+    fleet: FleetCounters,
 }
 
 #[derive(Default)]
@@ -39,6 +43,9 @@ struct Inner {
     malformed: u64,
     tiers: [u64; 4],
     classes: BTreeMap<String, ClassStats>,
+    /// Completed fleet runs and their summed counters.
+    fleet_runs: u64,
+    fleet: FleetCounters,
     /// Latest arena snapshot per worker thread (counters are monotone
     /// per thread, so "latest" is "total").
     arena: BTreeMap<usize, ArenaStats>,
@@ -83,6 +90,21 @@ impl Metrics {
         inner.requests += 1;
         inner.errors += 1;
         inner.malformed += 1;
+    }
+
+    /// Records one completed fleet run's per-class counters.
+    pub fn record_fleet(&self, classes: &BTreeMap<String, FleetCounters>) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        inner.fleet_runs += 1;
+        for (class, c) in classes {
+            inner.fleet.merge(c);
+            inner
+                .classes
+                .entry(class.clone())
+                .or_default()
+                .fleet
+                .merge(c);
+        }
     }
 
     /// Publishes worker `idx`'s current arena counters.
@@ -136,6 +158,7 @@ impl Metrics {
                             ("qps", Json::num(c.requests as f64 / uptime_s)),
                             ("p50_ms", Json::num(percentile(&sorted, 0.50))),
                             ("p99_ms", Json::num(percentile(&sorted, 0.99))),
+                            ("fleet", c.fleet.to_json()),
                         ]),
                     )
                 })
@@ -174,6 +197,13 @@ impl Metrics {
                 Json::Int(inner.tiers[tier_index(Tier::Coalesced)] as i64),
             ),
             ("classes", classes),
+            ("fleet", {
+                let mut f = inner.fleet.to_json();
+                if let Json::Obj(pairs) = &mut f {
+                    pairs.insert(0, ("runs".to_string(), Json::Int(inner.fleet_runs as i64)));
+                }
+                f
+            }),
             (
                 "arena",
                 Json::obj([
@@ -275,5 +305,36 @@ mod tests {
             Some(1)
         );
         assert!(mm.get("p99_ms").and_then(Json::as_f64).unwrap() >= 10.0);
+    }
+
+    #[test]
+    fn fleet_counters_accumulate_per_class_and_in_total() {
+        let m = Metrics::new();
+        let per_run = |keys, transfers, saved| FleetCounters {
+            keys,
+            searched: keys,
+            transfers,
+            evals_saved: saved,
+            ..FleetCounters::default()
+        };
+        let mut classes = BTreeMap::new();
+        classes.insert("matmul@a100".to_string(), per_run(4, 3, 360));
+        classes.insert("matmul@h100".to_string(), per_run(4, 4, 480));
+        m.record_fleet(&classes);
+        m.record_fleet(&classes);
+
+        let j = m.to_json();
+        let fleet = j.get("fleet").expect("top-level fleet object");
+        assert_eq!(fleet.get("runs").and_then(Json::as_i64), Some(2));
+        assert_eq!(fleet.get("keys_tuned").and_then(Json::as_i64), Some(16));
+        assert_eq!(fleet.get("transfer_hits").and_then(Json::as_i64), Some(14));
+        assert_eq!(fleet.get("evals_saved").and_then(Json::as_i64), Some(1680));
+        let class = j
+            .get("classes")
+            .and_then(|c| c.get("matmul@h100"))
+            .expect("fleet-only classes appear in the report");
+        let cf = class.get("fleet").expect("per-class fleet counters");
+        assert_eq!(cf.get("keys_tuned").and_then(Json::as_i64), Some(8));
+        assert_eq!(cf.get("transfer_hits").and_then(Json::as_i64), Some(8));
     }
 }

@@ -5,6 +5,8 @@
 //! ```json
 //! {"verb": "tune", "workload": "matmul(n=2048)", "device": "h100",
 //!  "strategy": "anneal", "budget": 256, "space": "enlarged"}
+//! {"verb": "fleet", "grid": "matmul:512..4096x2@a100,h100",
+//!  "strategy": "anneal", "budget": 160, "threads": 4}
 //! {"verb": "metrics"}
 //! {"verb": "shutdown"}
 //! ```
@@ -12,7 +14,10 @@
 //! Only `workload` is required for `tune`; `device` falls back to the
 //! daemon's `--device-default`, and the search knobs fall back to the
 //! [`lego_tune::Tuner`] defaults (exhaustive, budget 2000, unpinned
-//! space). Responses always carry `"ok"`; failures look like
+//! space). The `fleet` verb requires only `grid` (a
+//! [`FleetSpec`] string); its strategy defaults to `anneal` — a fleet
+//! exists to amortize budgeted searches — and `transfer` (boolean)
+//! defaults to true. Responses always carry `"ok"`; failures look like
 //! `{"ok": false, "error": "..."}` and never close the connection —
 //! a malformed line costs one error response, nothing more.
 //!
@@ -25,13 +30,15 @@
 use gpu_sim::GpuConfig;
 use lego_tune::domain::SpaceScale;
 use lego_tune::strategy::{Budget, Strategy};
-use lego_tune::{Json, TuneRequest, WorkloadKind};
+use lego_tune::{FleetSpec, Json, TuneRequest, WorkloadKind};
 
 /// A parsed request line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// Resolve a best-config query.
     Tune(TuneSpec),
+    /// Tune a whole grid of keys through the fleet driver.
+    Fleet(FleetWire),
     /// Report the live service counters.
     Metrics,
     /// Drain in-flight work, flush the cache, exit.
@@ -84,6 +91,64 @@ impl TuneSpec {
     }
 }
 
+/// The `fleet` verb's parameters, still in wire form (strings).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetWire {
+    /// The grid spec, e.g. `matmul:512..4096x2@a100,h100`
+    /// ([`FleetSpec`] syntax).
+    pub grid: String,
+    /// Default device for specs without `@` (`None` = daemon default).
+    pub device: Option<String>,
+    /// Search strategy name (`None` = anneal; a fleet exists to
+    /// amortize budgeted searches).
+    pub strategy: Option<String>,
+    /// Evaluation budget per key (`None` = default).
+    pub budget: Option<usize>,
+    /// Space-scale pin (`None` = strategy default).
+    pub space: Option<String>,
+    /// Worker threads (`None` = the driver default, 4).
+    pub threads: Option<usize>,
+    /// Whether to transfer frontiers between keys (`None` = true).
+    pub transfer: Option<bool>,
+}
+
+impl FleetWire {
+    /// A wire spec naming only the grid (daemon-default device, anneal,
+    /// default budget, transfer on).
+    pub fn grid(spec: impl Into<String>) -> FleetWire {
+        FleetWire {
+            grid: spec.into(),
+            ..FleetWire::default()
+        }
+    }
+
+    /// Renders the spec as a request line's JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("verb".to_string(), Json::Str("fleet".into())),
+            ("grid".to_string(), Json::Str(self.grid.clone())),
+        ];
+        let mut opt = |k: &str, v: &Option<String>| {
+            if let Some(v) = v {
+                pairs.push((k.to_string(), Json::Str(v.clone())));
+            }
+        };
+        opt("device", &self.device);
+        opt("strategy", &self.strategy);
+        opt("space", &self.space);
+        if let Some(b) = self.budget {
+            pairs.push(("budget".to_string(), Json::Int(b as i64)));
+        }
+        if let Some(t) = self.threads {
+            pairs.push(("threads".to_string(), Json::Int(t as i64)));
+        }
+        if let Some(t) = self.transfer {
+            pairs.push(("transfer".to_string(), Json::Bool(t)));
+        }
+        Json::Obj(pairs)
+    }
+}
+
 /// Parses one request line.
 ///
 /// # Errors
@@ -93,7 +158,7 @@ impl TuneSpec {
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let doc = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
     if doc.get("verb").is_none() {
-        return Err("missing \"verb\" (use tune|metrics|shutdown)".to_string());
+        return Err("missing \"verb\" (use tune|fleet|metrics|shutdown)".to_string());
     }
     let verb = doc
         .get("verb")
@@ -130,8 +195,43 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 space: opt_str("space")?,
             }))
         }
+        "fleet" => {
+            let grid = doc
+                .get("grid")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "fleet requires a string \"grid\"".to_string())?
+                .to_string();
+            let opt_str = |k: &str| -> Result<Option<String>, String> {
+                match doc.get(k) {
+                    None | Some(Json::Null) => Ok(None),
+                    Some(Json::Str(s)) => Ok(Some(s.clone())),
+                    Some(_) => Err(format!("\"{k}\" must be a string")),
+                }
+            };
+            let opt_pos = |k: &str| -> Result<Option<usize>, String> {
+                match doc.get(k) {
+                    None | Some(Json::Null) => Ok(None),
+                    Some(Json::Int(v)) if *v > 0 => Ok(Some(*v as usize)),
+                    Some(_) => Err(format!("\"{k}\" must be a positive integer")),
+                }
+            };
+            let transfer = match doc.get("transfer") {
+                None | Some(Json::Null) => None,
+                Some(Json::Bool(b)) => Some(*b),
+                Some(_) => return Err("\"transfer\" must be a boolean".to_string()),
+            };
+            Ok(Request::Fleet(FleetWire {
+                grid,
+                device: opt_str("device")?,
+                strategy: opt_str("strategy")?,
+                budget: opt_pos("budget")?,
+                space: opt_str("space")?,
+                threads: opt_pos("threads")?,
+                transfer,
+            }))
+        }
         other => Err(format!(
-            "unknown verb {other:?} (use tune|metrics|shutdown)"
+            "unknown verb {other:?} (use tune|fleet|metrics|shutdown)"
         )),
     }
 }
@@ -175,6 +275,58 @@ pub fn resolve(spec: &TuneSpec, default_device: &GpuConfig) -> Result<TuneReques
     })
 }
 
+/// A resolved fleet request: the expanded grid plus driver knobs.
+#[derive(Clone, Debug)]
+pub struct ResolvedFleet {
+    /// The concrete tuning requests, in grid order.
+    pub grid: Vec<TuneRequest>,
+    /// Worker threads for the fleet driver.
+    pub threads: usize,
+    /// Whether frontier transfer is enabled.
+    pub transfer: bool,
+}
+
+/// Resolves a wire-form fleet spec against the daemon's default device.
+/// The strategy defaults to `anneal` (a fleet exists to amortize
+/// budgeted searches), threads to 4, transfer to on.
+///
+/// # Errors
+///
+/// Malformed grid spec, unknown device, strategy, or space.
+pub fn resolve_fleet(
+    wire: &FleetWire,
+    default_device: &GpuConfig,
+) -> Result<ResolvedFleet, String> {
+    let spec = FleetSpec::parse(&wire.grid).map_err(|e| format!("bad grid: {e}"))?;
+    let device = match &wire.device {
+        None => default_device.clone(),
+        Some(name) => gpu_sim::lookup(name).ok_or_else(|| {
+            format!(
+                "unknown device {name:?} (use {})",
+                gpu_sim::DEVICE_TAGS.join("|")
+            )
+        })?,
+    };
+    let strategy = match &wire.strategy {
+        None => Strategy::Anneal,
+        Some(name) => Strategy::parse(name)
+            .ok_or_else(|| format!("unknown strategy {name:?} (use exhaustive|anneal|genetic)"))?,
+    };
+    let space = match &wire.space {
+        None => None,
+        Some(name) => Some(
+            SpaceScale::parse(name)
+                .ok_or_else(|| format!("unknown space {name:?} (use legacy|enlarged)"))?,
+        ),
+    };
+    let budget = wire.budget.map(Budget).unwrap_or_default();
+    Ok(ResolvedFleet {
+        grid: spec.requests(&device, strategy, budget, space),
+        threads: wire.threads.unwrap_or(4),
+        transfer: wire.transfer.unwrap_or(true),
+    })
+}
+
 /// The uniform failure response.
 pub fn error_response(msg: &str) -> Json {
     Json::obj([
@@ -195,7 +347,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_the_three_verbs() {
+    fn parses_the_four_verbs() {
         assert_eq!(
             parse_request("{\"verb\": \"metrics\"}"),
             Ok(Request::Metrics)
@@ -219,6 +371,61 @@ mod tests {
                 space: Some("enlarged".into()),
             })
         );
+        let f = parse_request(
+            "{\"verb\":\"fleet\",\"grid\":\"matmul:512..2048x2@a100,h100\",\
+             \"strategy\":\"genetic\",\"budget\":96,\"threads\":2,\"transfer\":false}",
+        )
+        .unwrap();
+        assert_eq!(
+            f,
+            Request::Fleet(FleetWire {
+                grid: "matmul:512..2048x2@a100,h100".into(),
+                device: None,
+                strategy: Some("genetic".into()),
+                budget: Some(96),
+                space: None,
+                threads: Some(2),
+                transfer: Some(false),
+            })
+        );
+    }
+
+    #[test]
+    fn fleet_wire_round_trips_through_its_own_rendering() {
+        let wire = FleetWire {
+            grid: "softmax:1k..8kx2,nw:512".into(),
+            device: Some("h100".into()),
+            strategy: Some("anneal".into()),
+            budget: Some(48),
+            space: Some("enlarged".into()),
+            threads: Some(3),
+            transfer: Some(true),
+        };
+        let line = render_line(&wire.to_json());
+        assert_eq!(parse_request(&line), Ok(Request::Fleet(wire)));
+        let bare = FleetWire::grid("matmul:256");
+        let line = render_line(&bare.to_json());
+        assert_eq!(parse_request(&line), Ok(Request::Fleet(bare)));
+    }
+
+    #[test]
+    fn resolve_fleet_expands_the_grid_with_defaults() {
+        let wire = FleetWire::grid("matmul:256..512x2");
+        let r = resolve_fleet(&wire, &gpu_sim::h100()).unwrap();
+        assert_eq!(r.grid.len(), 2);
+        assert!(r.grid.iter().all(|req| req.device.tag == "h100"));
+        assert!(r.grid.iter().all(|req| req.strategy == Strategy::Anneal));
+        assert_eq!(r.threads, 4);
+        assert!(r.transfer);
+
+        assert!(resolve_fleet(&FleetWire::grid("matmul:"), &gpu_sim::a100())
+            .unwrap_err()
+            .contains("bad grid"));
+        let mut bad_dev = FleetWire::grid("matmul:256");
+        bad_dev.device = Some("v100".into());
+        assert!(resolve_fleet(&bad_dev, &gpu_sim::a100())
+            .unwrap_err()
+            .contains("unknown device"));
     }
 
     #[test]
@@ -248,6 +455,10 @@ mod tests {
             "{\"verb\": \"tune\", \"workload\": \"matmul(n=64)\", \"budget\": -1}",
             "{\"verb\": \"tune\", \"workload\": \"matmul(n=64)\", \"budget\": \"big\"}",
             "{\"verb\": \"tune\", \"workload\": \"matmul(n=64)\", \"strategy\": 3}",
+            "{\"verb\": \"fleet\"}",
+            "{\"verb\": \"fleet\", \"grid\": 7}",
+            "{\"verb\": \"fleet\", \"grid\": \"matmul:256\", \"threads\": 0}",
+            "{\"verb\": \"fleet\", \"grid\": \"matmul:256\", \"transfer\": \"yes\"}",
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} must not parse");
         }

@@ -27,6 +27,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use gpu_sim::GpuConfig;
+use lego_tune::fleet::FleetReport;
 use lego_tune::Json;
 
 use crate::protocol::{self, Request};
@@ -213,6 +214,38 @@ fn serve_connection(idx: usize, stream: TcpStream, service: &TuneService) {
     }
 }
 
+/// The `fleet` verb's response: the run summary, per-class counters,
+/// and every key's outcome.
+fn fleet_response(report: &FleetReport) -> Json {
+    let mut pairs = vec![("ok".to_string(), Json::Bool(true))];
+    if let Json::Obj(summary) = report.summary_json() {
+        // The summary's "keys" count is renamed so the per-key outcome
+        // array below can use the name.
+        pairs.extend(summary.into_iter().map(|(k, v)| {
+            if k == "keys" {
+                ("keys_tuned".to_string(), v)
+            } else {
+                (k, v)
+            }
+        }));
+    }
+    pairs.push((
+        "classes".to_string(),
+        Json::Obj(
+            report
+                .class_counters()
+                .iter()
+                .map(|(name, c)| (name.clone(), c.to_json()))
+                .collect(),
+        ),
+    ));
+    pairs.push((
+        "keys".to_string(),
+        Json::Arr(report.keys.iter().map(|k| k.to_json()).collect()),
+    ));
+    Json::Obj(pairs)
+}
+
 /// Parses and executes one request line; returns the response and
 /// whether a shutdown was requested.
 fn dispatch(idx: usize, line: &str, service: &TuneService) -> (Json, bool) {
@@ -230,6 +263,18 @@ fn dispatch(idx: usize, line: &str, service: &TuneService) -> (Json, bool) {
             Json::obj([("ok", Json::Bool(true)), ("draining", Json::Bool(true))]),
             true,
         ),
+        Ok(Request::Fleet(wire)) => {
+            match protocol::resolve_fleet(&wire, service.default_device()) {
+                Err(e) => {
+                    service.metrics().record_rejected();
+                    (protocol::error_response(&e), false)
+                }
+                Ok(r) => {
+                    let report = service.fleet(&r.grid, r.threads, r.transfer);
+                    (fleet_response(&report), false)
+                }
+            }
+        }
         Ok(Request::Tune(spec)) => match protocol::resolve(&spec, service.default_device()) {
             Err(e) => {
                 service.metrics().record_rejected();

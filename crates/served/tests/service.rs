@@ -4,7 +4,7 @@ use std::path::PathBuf;
 use std::sync::{Arc, Barrier};
 
 use lego_served::client::{is_ok, Client};
-use lego_served::{Server, ServerConfig, TuneSpec};
+use lego_served::{FleetWire, Server, ServerConfig, TuneSpec};
 use lego_tune::Json;
 
 /// A unique temp cache path per test (tests run in one process, so the
@@ -195,6 +195,70 @@ fn shutdown_flushes_the_cache_and_a_restart_preloads_it() {
         0,
         "the preloaded key must not trigger a search"
     );
+
+    shutdown_and_join(server);
+    let _ = std::fs::remove_file(&cache);
+}
+
+#[test]
+fn fleet_verb_tunes_a_grid_and_feeds_the_tune_path() {
+    let (server, cache) = start("fleet", 2);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let mut wire = FleetWire::grid("matmul:256..1024x2");
+    wire.budget = Some(48);
+    wire.threads = Some(2);
+    let report = client.fleet(&wire).expect("fleet roundtrip");
+    assert!(is_ok(&report), "fleet must succeed: {}", report.render());
+    assert_eq!(report.get("keys_tuned").and_then(Json::as_i64), Some(3));
+    assert_eq!(report.get("errors").and_then(Json::as_i64), Some(0));
+    assert!(
+        report.get("transfer_hits").and_then(Json::as_i64).unwrap() >= 2,
+        "the sweep's tail must transfer from its head"
+    );
+    let keys = report
+        .get("keys")
+        .and_then(Json::as_arr)
+        .expect("per-key outcomes");
+    assert_eq!(keys.len(), 3);
+    assert!(keys.iter().all(|k| k.get("ok") == Some(&Json::Bool(true))));
+
+    // The fleet's results serve subsequent tune requests from memory —
+    // including transferred keys, which record the cold budget.
+    let mut spec = TuneSpec::workload("matmul(n=512)");
+    spec.strategy = Some("anneal".into());
+    spec.budget = Some(48);
+    let served = client.tune(&spec).expect("tune after fleet");
+    assert!(is_ok(&served));
+    assert_eq!(
+        server.service().metrics().searches_run(),
+        0,
+        "a fleet-tuned key must not trigger a fresh search"
+    );
+
+    // Metrics expose the fleet counters, per class and in total.
+    let metrics = client.metrics().expect("metrics");
+    let fleet = metrics.get("fleet").expect("fleet counters");
+    assert_eq!(fleet.get("runs").and_then(Json::as_i64), Some(1));
+    assert_eq!(fleet.get("keys_tuned").and_then(Json::as_i64), Some(3));
+    let class = metrics
+        .get("classes")
+        .and_then(|c| c.get("matmul@a100"))
+        .expect("fleet classes appear in metrics");
+    assert!(
+        class
+            .get("fleet")
+            .and_then(|f| f.get("transfer_hits"))
+            .and_then(Json::as_i64)
+            .unwrap()
+            >= 2
+    );
+
+    // A second identical fleet run is all cache hits.
+    let again = client.fleet(&wire).expect("second fleet");
+    assert!(is_ok(&again));
+    assert_eq!(again.get("cache_hits").and_then(Json::as_i64), Some(3));
+    assert_eq!(again.get("searched").and_then(Json::as_i64), Some(0));
 
     shutdown_and_join(server);
     let _ = std::fs::remove_file(&cache);

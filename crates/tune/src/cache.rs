@@ -25,6 +25,7 @@ use lego_codegen::tuning::{
 use lego_expr::Variant;
 
 use crate::json::Json;
+use crate::space::WorkloadKind;
 
 /// Version of the cache schema *and* of the estimate semantics behind
 /// it. Bump whenever the trace builders, the timing model, or the
@@ -198,6 +199,25 @@ impl TuningCache {
     ///
     /// Propagates filesystem errors.
     pub fn store(&self, key: &str, value: &CachedTuning) -> io::Result<()> {
+        self.store_many(&[(key.to_string(), value.clone())])
+    }
+
+    /// Stores (or replaces) a batch of entries in *one* locked
+    /// load → merge → atomic-rename cycle. This is what makes a fleet
+    /// run O(1) document rewrites instead of O(keys): N individual
+    /// [`TuningCache::store`] calls each re-read and re-render the whole
+    /// document, which is quadratic in entry count.
+    ///
+    /// Later duplicates in `batch` win, matching the sequential-store
+    /// semantics. An empty batch is a no-op that never touches the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn store_many(&self, batch: &[(String, CachedTuning)]) -> io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
         let lock = file_lock(&self.path);
         let _guard = lock.lock().expect("cache file lock poisoned");
         let doc = self.load();
@@ -206,10 +226,12 @@ impl TuningCache {
             .and_then(Json::as_obj)
             .map(<[(String, Json)]>::to_vec)
             .unwrap_or_default();
-        let rendered = tuning_to_json(value);
-        match entries.iter_mut().find(|(k, _)| k == key) {
-            Some((_, slot)) => *slot = rendered,
-            None => entries.push((key.to_string(), rendered)),
+        for (key, value) in batch {
+            let rendered = tuning_to_json(value);
+            match entries.iter_mut().find(|(k, _)| k == key) {
+                Some((_, slot)) => *slot = rendered,
+                None => entries.push((key.clone(), rendered)),
+            }
         }
         let doc = Json::obj([
             ("version", Json::Int(CACHE_SCHEMA_VERSION)),
@@ -243,6 +265,81 @@ impl TuningCache {
             }
         }
     }
+}
+
+/// Splits a schema-v4 cache key into its parsed workload and the
+/// device-identity suffix (everything after the workload name: pricing
+/// mode + hardware parameters). `None` for keys whose workload segment
+/// does not parse — foreign or future-schema keys simply never match.
+pub fn key_workload(key: &str) -> Option<(WorkloadKind, &str)> {
+    let (name, rest) = key.split_once('|')?;
+    let kind = WorkloadKind::parse(name).ok()?;
+    Some((kind, rest))
+}
+
+/// Penalty added to [`key_distance`] when two keys' device identities
+/// differ: large enough that any same-device candidate beats every
+/// cross-device one, finite so a sweep's first key on a new device can
+/// still transfer from a sibling device when nothing closer exists.
+pub const CROSS_DEVICE_PENALTY: f64 = 256.0;
+
+/// Penalty for two stencil workloads of different shapes (a star-7pt
+/// frontier still seeds a cube-27pt search usefully — the tuned knobs
+/// are sizes — but a same-shape neighbor must always win first).
+const SHAPE_MISMATCH_PENALTY: f64 = 64.0;
+
+/// The transfer distance between two cache keys: the L1 distance of
+/// their workloads' size parameters in log2 space, plus
+/// [`CROSS_DEVICE_PENALTY`] when the device identities differ. `None`
+/// when the keys are incomparable — different workload families (a
+/// matmul frontier holds no transpose configs), different pricing
+/// modes, or an unparseable key.
+pub fn key_distance(a: &str, b: &str) -> Option<f64> {
+    let (ka, da) = key_workload(a)?;
+    let (kb, db) = key_workload(b)?;
+    if ka.family() != kb.family() {
+        return None;
+    }
+    let mut dist = 0.0;
+    if let (WorkloadKind::Stencil { shape: sa, .. }, WorkloadKind::Stencil { shape: sb, .. }) =
+        (&ka, &kb)
+    {
+        if sa != sb {
+            dist += SHAPE_MISMATCH_PENALTY;
+        }
+    }
+    for ((_, va), (_, vb)) in ka.size_params().iter().zip(kb.size_params().iter()) {
+        dist += ((*va as f64).log2() - (*vb as f64).log2()).abs();
+    }
+    if da != db {
+        dist += CROSS_DEVICE_PENALTY;
+    }
+    Some(dist)
+}
+
+/// The comparable candidate key nearest to `target` under
+/// [`key_distance`], ties broken toward the lexicographically smaller
+/// key so the choice is deterministic regardless of candidate order.
+/// This is the fleet driver's transfer index: "which already-tuned key
+/// should seed this search".
+pub fn nearest_neighbor<'a, I>(target: &str, candidates: I) -> Option<&'a str>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut best: Option<(f64, &'a str)> = None;
+    for cand in candidates {
+        let Some(d) = key_distance(target, cand) else {
+            continue;
+        };
+        let better = match best {
+            None => true,
+            Some((bd, bk)) => d < bd || (d == bd && cand < bk),
+        };
+        if better {
+            best = Some((d, cand));
+        }
+    }
+    best.map(|(_, k)| k)
 }
 
 /// Serializes an [`Estimate`] (bit-exact float round trip).
@@ -701,8 +798,10 @@ mod tests {
         // The pre-fix `store()` was a bare read-modify-write of the
         // whole document: two racing writers would each load the same
         // snapshot and the slower one would erase the faster one's
-        // entry. Hammer one file from many threads and require every
-        // entry to survive.
+        // entry. Hammer one file from many threads — half writing one
+        // key at a time, half in `store_many` batches, so the two write
+        // paths interleave on one document — and require every entry to
+        // survive.
         let dir = std::env::temp_dir().join(format!("lego-cache-conc-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("concurrent.json");
@@ -717,31 +816,47 @@ mod tests {
                 let barrier = barrier.clone();
                 std::thread::spawn(move || {
                     let cache = TuningCache::new(&path);
+                    let entry_for = |t: usize, i: usize| CachedTuning {
+                        config: TunedConfig::Lud {
+                            r: (t + 1) as i64,
+                            t: 16,
+                        },
+                        expr_variant: None,
+                        index_ops: None,
+                        naive: sample_estimate(1.0),
+                        tuned: sample_estimate(0.5),
+                        evaluated: i,
+                        strategy: "exhaustive".to_string(),
+                        budget: None,
+                        space: "legacy".to_string(),
+                        frontier: vec![],
+                    };
                     barrier.wait();
-                    for i in 0..PER_THREAD {
-                        let entry = CachedTuning {
-                            config: TunedConfig::Lud {
-                                r: (t + 1) as i64,
-                                t: 16,
-                            },
-                            expr_variant: None,
-                            index_ops: None,
-                            naive: sample_estimate(1.0),
-                            tuned: sample_estimate(0.5),
-                            evaluated: i,
-                            strategy: "exhaustive".to_string(),
-                            budget: None,
-                            space: "legacy".to_string(),
-                            frontier: vec![],
-                        };
-                        cache.store(&format!("k-{t}-{i}"), &entry).unwrap();
-                        // Interleave a read: the atomic rename means a
-                        // reader can never see a torn document (which
-                        // `load` would silently treat as empty).
+                    if t % 2 == 0 {
+                        // Batched writers: all keys in one merged write
+                        // (the fleet driver's end-of-run path).
+                        let batch: Vec<(String, CachedTuning)> = (0..PER_THREAD)
+                            .map(|i| (format!("k-{t}-{i}"), entry_for(t, i)))
+                            .collect();
+                        cache.store_many(&batch).unwrap();
                         assert!(
                             cache.lookup(&format!("k-{t}-0")).is_some(),
                             "reader observed a torn or clobbered document"
                         );
+                    } else {
+                        for i in 0..PER_THREAD {
+                            cache
+                                .store(&format!("k-{t}-{i}"), &entry_for(t, i))
+                                .unwrap();
+                            // Interleave a read: the atomic rename means
+                            // a reader can never see a torn document
+                            // (which `load` would silently treat as
+                            // empty).
+                            assert!(
+                                cache.lookup(&format!("k-{t}-0")).is_some(),
+                                "reader observed a torn or clobbered document"
+                            );
+                        }
                     }
                 })
             })
@@ -823,5 +938,94 @@ mod tests {
 
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn store_many_merges_in_batch_order() {
+        let dir = std::env::temp_dir().join(format!("lego-cache-many-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("many.json");
+        let _ = std::fs::remove_file(&path);
+        let cache = TuningCache::new(&path);
+
+        let entry = |evaluated: usize| CachedTuning {
+            config: TunedConfig::Lud { r: 2, t: 16 },
+            expr_variant: None,
+            index_ops: None,
+            naive: sample_estimate(1.0),
+            tuned: sample_estimate(0.5),
+            evaluated,
+            strategy: "anneal".to_string(),
+            budget: Some(64),
+            space: "enlarged".to_string(),
+            frontier: vec![],
+        };
+
+        // An empty batch never creates the file.
+        cache.store_many(&[]).unwrap();
+        assert!(!path.exists(), "empty batch must not touch the file");
+
+        // One write, several keys; a later duplicate in the batch wins
+        // (matching what sequential stores would have produced).
+        cache
+            .store_many(&[
+                ("a".to_string(), entry(1)),
+                ("b".to_string(), entry(2)),
+                ("a".to_string(), entry(3)),
+            ])
+            .unwrap();
+        assert_eq!(cache.lookup("a").unwrap().evaluated, 3);
+        assert_eq!(cache.lookup("b").unwrap().evaluated, 2);
+
+        // A second batch merges into (not replaces) the document.
+        cache.store_many(&[("c".to_string(), entry(4))]).unwrap();
+        assert_eq!(cache.entries().len(), 3);
+        assert_eq!(cache.lookup("a").unwrap().evaluated, 3);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn key_distance_orders_by_size_then_device() {
+        let (a, h) = (gpu_sim::a100(), gpu_sim::h100());
+        let key = |n: i64, gpu: &GpuConfig| cache_key(&format!("matmul(n={n})"), "roofline", gpu);
+        let target = key(1024, &a);
+        // Same device: one octave is distance 1, two octaves 2.
+        assert_eq!(key_distance(&target, &key(2048, &a)), Some(1.0));
+        assert_eq!(key_distance(&target, &key(512, &a)), Some(1.0));
+        assert_eq!(key_distance(&target, &key(4096, &a)), Some(2.0));
+        assert_eq!(key_distance(&target, &target), Some(0.0));
+        // Cross-device exact size costs exactly the penalty.
+        assert_eq!(
+            key_distance(&target, &key(1024, &h)),
+            Some(CROSS_DEVICE_PENALTY)
+        );
+        // Other families are incomparable, not merely distant.
+        assert_eq!(
+            key_distance(&target, &cache_key("transpose(n=1024)", "roofline", &a)),
+            None
+        );
+        assert_eq!(key_distance(&target, "garbage-key"), None);
+
+        // Nearest-neighbor: same-device octave beats cross-device exact
+        // size; incomparable candidates are skipped; ties break toward
+        // the lexicographically smaller key.
+        let candidates = [
+            key(1024, &h),
+            key(2048, &a),
+            cache_key("transpose(n=1024)", "roofline", &a),
+        ];
+        assert_eq!(
+            nearest_neighbor(&target, candidates.iter().map(String::as_str)),
+            Some(candidates[1].as_str())
+        );
+        let tie = [key(2048, &a), key(512, &a)];
+        let expect = tie.iter().map(String::as_str).min().unwrap();
+        assert_eq!(
+            nearest_neighbor(&target, tie.iter().map(String::as_str)),
+            Some(expect)
+        );
+        assert_eq!(nearest_neighbor(&target, ["garbage"]), None);
     }
 }

@@ -48,6 +48,7 @@
 
 pub mod cache;
 pub mod domain;
+pub mod fleet;
 pub mod json;
 pub mod request;
 pub mod rng;
@@ -55,8 +56,11 @@ pub mod space;
 pub mod strategy;
 pub mod tuner;
 
-pub use cache::{cache_key, CachedTuning, TuningCache, CACHE_SCHEMA_VERSION};
+pub use cache::{
+    cache_key, key_distance, nearest_neighbor, CachedTuning, TuningCache, CACHE_SCHEMA_VERSION,
+};
 pub use domain::{Domain, SpaceScale};
+pub use fleet::{FleetCounters, FleetDriver, FleetReport, FleetSpec};
 pub use json::Json;
 pub use lego_codegen::tuning::{
     NwLayoutChoice, RowwiseOp, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
@@ -67,4 +71,4 @@ pub use space::{
     symbolic_exprs, Candidate, SearchSpace, WorkloadKind,
 };
 pub use strategy::{run_search, Budget, SearchOutcome, Strategy, FRONTIER_K};
-pub use tuner::{TuneError, TuneResult, Tuner};
+pub use tuner::{SeededTune, TuneError, TuneResult, Tuner};

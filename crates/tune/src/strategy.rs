@@ -112,6 +112,11 @@ pub struct SearchOutcome {
     pub naive: Estimate,
     /// Unique configurations scored.
     pub evaluated: usize,
+    /// 1-based index of the evaluation that first scored the winner —
+    /// the "evals to optimum" a transferred warm start is meant to
+    /// shrink (seeds are evaluated first, so a transfer that already
+    /// contains a near-winner pushes this toward 1).
+    pub evals_to_winner: usize,
     /// The top-k evaluated configs (best first) with their times — the
     /// warm-start population persisted in the cache.
     pub frontier: Vec<(TunedConfig, f64)>,
@@ -268,6 +273,9 @@ impl<'a> Evaluator<'a> {
             tuned,
             naive,
             evaluated: self.entries.len(),
+            // Entries are appended in evaluation order, so the winning
+            // index is exactly how many evaluations it took to find it.
+            evals_to_winner: self.best + 1,
             frontier,
         })
     }

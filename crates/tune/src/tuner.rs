@@ -81,6 +81,24 @@ impl TuneResult {
     }
 }
 
+/// The outcome of one cache-free seeded search
+/// ([`Tuner::tune_seeded`]): the result plus everything a fleet driver
+/// needs to feed later keys and persist the entry itself.
+#[derive(Clone, Debug)]
+pub struct SeededTune {
+    /// The tuning result (never `from_cache`; the caller owns caching).
+    pub result: TuneResult,
+    /// The search's top-k frontier — the warm-start population for
+    /// neighboring keys and the cache entry's persisted frontier.
+    pub frontier: Vec<(TunedConfig, f64)>,
+    /// 1-based index of the evaluation that first scored the winner.
+    pub evals_to_winner: usize,
+    /// The evaluation budget the search actually ran under (`None` for
+    /// exhaustive) — what a cache entry must record so satisfaction
+    /// checks stay honest when a transfer cut the budget.
+    pub budget: Option<usize>,
+}
+
 /// The autotuner: a hardware model, a search strategy with its budget,
 /// and an optional persistent cache.
 #[derive(Clone, Debug)]
@@ -207,51 +225,83 @@ impl Tuner {
             }
         }
 
-        let domain = Domain::new(*kind, self.effective_space());
-        // A frontier cached under another space scale may hold configs
-        // this search must not return (e.g. an enlarged-only NW block
-        // size when the caller pinned --space legacy).
-        warm_start.retain(|c| domain.contains(c));
-        let outcome = run_search(
-            self.strategy,
-            &domain,
-            &self.gpu,
-            self.budget,
-            &key,
-            &warm_start,
-        )?;
-
-        let result = TuneResult {
-            workload,
-            config: outcome.winner.config,
-            expr_variant: outcome.winner.expr_variant,
-            index_ops: outcome.winner.index_ops,
-            naive: outcome.naive,
-            tuned: outcome.tuned,
-            evaluated: outcome.evaluated,
-            from_cache: false,
-        };
+        let seeded = self.tune_seeded(kind, &warm_start, None)?;
         if let Some(cache) = &self.cache {
-            cache.store(
-                &key,
-                &CachedTuning {
-                    config: result.config,
-                    expr_variant: result.expr_variant,
-                    index_ops: result.index_ops,
-                    naive: result.naive,
-                    tuned: result.tuned,
-                    evaluated: result.evaluated,
-                    strategy: self.strategy.name().to_string(),
-                    budget: match self.strategy {
-                        Strategy::Exhaustive => None,
-                        Strategy::Anneal | Strategy::Genetic => Some(self.budget.max_evals()),
-                    },
-                    space: self.effective_space().name().to_string(),
-                    frontier: outcome.frontier,
-                },
-            )?;
+            // The single-key path rides the batched writer: one locked
+            // load → merge → atomic-rename cycle, same as a fleet.
+            cache.store_many(&[(key, self.entry_from(&seeded))])?;
         }
-        Ok(result)
+        Ok(seeded.result)
+    }
+
+    /// Runs the configured search for `kind`, seeded by `seeds` (configs
+    /// outside the effective domain are dropped first) and optionally
+    /// under a budget override — without touching the cache in either
+    /// direction. This is the fleet driver's primitive: it decides
+    /// seeding and persistence itself, and a transferred frontier rides
+    /// in here with a cut-down budget.
+    ///
+    /// Deterministic: the RNG seed derives from the cache key and
+    /// strategy, so the outcome is a pure function of
+    /// `(kind, gpu, strategy, space, budget, seeds)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout construction failures.
+    pub fn tune_seeded(
+        &self,
+        kind: &WorkloadKind,
+        seeds: &[TunedConfig],
+        budget: Option<Budget>,
+    ) -> Result<SeededTune, TuneError> {
+        let workload = kind.name();
+        let key = cache_key(&workload, kind.pricing_mode(), &self.gpu);
+        let domain = Domain::new(*kind, self.effective_space());
+        // A frontier cached under another space scale (or transferred
+        // from another problem size) may hold configs this search must
+        // not return (e.g. an enlarged-only NW block size when the
+        // caller pinned --space legacy, or a tile larger than the new
+        // problem).
+        let mut warm_start: Vec<TunedConfig> = seeds.to_vec();
+        warm_start.retain(|c| domain.contains(c));
+        warm_start.dedup();
+        let budget = budget.unwrap_or(self.budget);
+        let outcome = run_search(self.strategy, &domain, &self.gpu, budget, &key, &warm_start)?;
+        Ok(SeededTune {
+            result: TuneResult {
+                workload,
+                config: outcome.winner.config,
+                expr_variant: outcome.winner.expr_variant,
+                index_ops: outcome.winner.index_ops,
+                naive: outcome.naive,
+                tuned: outcome.tuned,
+                evaluated: outcome.evaluated,
+                from_cache: false,
+            },
+            frontier: outcome.frontier,
+            evals_to_winner: outcome.evals_to_winner,
+            budget: match self.strategy {
+                Strategy::Exhaustive => None,
+                Strategy::Anneal | Strategy::Genetic => Some(budget.max_evals()),
+            },
+        })
+    }
+
+    /// The cache entry a seeded outcome persists as (under this tuner's
+    /// strategy/space and the budget the search actually ran with).
+    pub fn entry_from(&self, seeded: &SeededTune) -> CachedTuning {
+        CachedTuning {
+            config: seeded.result.config,
+            expr_variant: seeded.result.expr_variant,
+            index_ops: seeded.result.index_ops,
+            naive: seeded.result.naive,
+            tuned: seeded.result.tuned,
+            evaluated: seeded.result.evaluated,
+            strategy: self.strategy.name().to_string(),
+            budget: seeded.budget,
+            space: self.effective_space().name().to_string(),
+            frontier: seeded.frontier.clone(),
+        }
     }
 
     /// Tunes a list of workloads in order.
