@@ -5,7 +5,7 @@
 
 use criterion::{Criterion, black_box, criterion_group, criterion_main};
 use lego_core::{Layout, OrderBy, perms::antidiag, sugar};
-use lego_expr::{Expr, RangeEnv, expand, op_count, pick_cheaper, simplify};
+use lego_expr::{Engine, Expr, RangeEnv};
 
 /// The NW anti-diagonal index expression (symbolic, n = 17).
 fn nw_expr() -> (Expr, RangeEnv) {
@@ -51,26 +51,27 @@ fn bench_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("expand_ablation");
     g.sample_size(20);
     for (name, (e, env)) in [("nw", nw_expr()), ("lud", lud_expr())] {
+        let eng = Engine::with_env(env);
         // Report the op counts once, so `cargo bench` output records the
         // ablation data alongside the timings.
-        let plain = simplify(&e, &env);
-        let expanded = simplify(&expand(&e), &env);
-        let choice = pick_cheaper(&e, &env);
+        let plain = eng.simplify(&e);
+        let expanded = eng.simplify(&eng.expand(&e));
+        let choice = eng.pick_cheaper(&e);
         println!(
             "[ablation:{name}] unexpanded={} ops, expanded={} ops, \
              cost model chose {:?}",
-            op_count(&plain),
-            op_count(&expanded),
+            eng.op_count(&plain),
+            eng.op_count(&expanded),
             choice.variant
         );
         g.bench_function(format!("{name}_simplify_unexpanded"), |b| {
-            b.iter(|| black_box(simplify(black_box(&e), &env)))
+            b.iter(|| black_box(eng.simplify(black_box(&e))))
         });
         g.bench_function(format!("{name}_simplify_expanded"), |b| {
-            b.iter(|| black_box(simplify(&expand(black_box(&e)), &env)))
+            b.iter(|| black_box(eng.simplify(&eng.expand(black_box(&e)))))
         });
         g.bench_function(format!("{name}_pick_cheaper"), |b| {
-            b.iter(|| black_box(pick_cheaper(black_box(&e), &env)))
+            b.iter(|| black_box(eng.pick_cheaper(black_box(&e))))
         });
     }
     g.finish();

@@ -5,7 +5,7 @@
 use criterion::{Criterion, black_box, criterion_group, criterion_main};
 use lego_core::perms::{antidiag, hilbert, morton, reverse_perm};
 use lego_core::{Layout, OrderBy, Perm};
-use lego_expr::{Expr, RangeEnv, simplify};
+use lego_expr::{Engine, Expr, RangeEnv};
 
 fn fig2_layout() -> Layout {
     Layout::builder([6i64, 4])
@@ -88,12 +88,13 @@ fn bench_symbolic(c: &mut Criterion) {
     env.set_bounds("j", Expr::zero(), Expr::sym("K"));
     env.assume_pos("M");
     env.assume_pos("K");
+    let eng = Engine::with_env(env);
     g.bench_function("apply_simplify_row_major", |b| {
         b.iter(|| {
             let e = layout
                 .apply_sym(&[Expr::sym("i"), Expr::sym("j")])
                 .unwrap();
-            black_box(simplify(&e, &env))
+            black_box(eng.simplify(&e))
         })
     });
     g.finish();

@@ -12,7 +12,11 @@
 //! * a **warm** re-enumeration (the per-session candidate fast path:
 //!   every annotation is a map hit), and
 //! * a budgeted **anneal** search whose neighbor moves revisit
-//!   incumbent-adjacent configurations,
+//!   incumbent-adjacent configurations, and
+//! * a **saturate** pass re-annotating every symbolic candidate under
+//!   `SimplifyStrategy::Saturate` (equality saturation), reporting its
+//!   throughput and how many candidates extract strictly fewer ops
+//!   than the fixpoint rewriter,
 //!
 //! and reports candidates/second plus the arena and memo hit rates
 //! from [`lego_expr::intern::stats`]. Results land in
@@ -25,7 +29,8 @@ use std::time::Instant;
 use lego_bench::{emit, tuned};
 use lego_codegen::cuda::stencil::StencilShape;
 use lego_expr::intern::stats as arena_stats;
-use lego_tune::space::annotate_cache_stats;
+use lego_expr::{Engine, Expr, RangeEnv, SimplifyStrategy};
+use lego_tune::space::{annotate_cache_stats, annotated_ops};
 use lego_tune::{Budget, Json, RowwiseOp, SearchSpace, Strategy, Tuner, WorkloadKind};
 
 /// The benchmarked workload instances (gate-sized: every legacy tile
@@ -70,8 +75,16 @@ fn main() {
         device.name
     );
     println!(
-        "{:<22} {:>6} {:>12} {:>12} {:>10} {:>10} {:>10}",
-        "workload", "cands", "cold c/s", "warm c/s", "intern%", "memo%", "anneal c/s"
+        "{:<22} {:>6} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "workload",
+        "cands",
+        "cold c/s",
+        "warm c/s",
+        "intern%",
+        "memo%",
+        "anneal c/s",
+        "sat c/s",
+        "sat<rw"
     );
 
     let mut rows = Vec::new();
@@ -102,6 +115,36 @@ fn main() {
             .expect("anneal search");
         let anneal_s = t2.elapsed().as_secs_f64();
 
+        // Saturate: re-annotate every symbolic candidate under equality
+        // saturation and compare the extracted op counts against the
+        // rewriter's (the annotation cache keyed the rewrite numbers, so
+        // both are recomputed here through the strategy-explicit path).
+        let t3 = Instant::now();
+        let mut sat_candidates = 0usize;
+        let mut rw_ops_total = 0usize;
+        let mut sat_ops_total = 0usize;
+        let mut sat_strictly_better = 0usize;
+        for c in &space.candidates {
+            let Some(rw_ops) = annotated_ops(&kind, &c.config, SimplifyStrategy::Rewrite) else {
+                continue;
+            };
+            let sat_ops = annotated_ops(&kind, &c.config, SimplifyStrategy::Saturate)
+                .expect("symbolic under one strategy implies symbolic under the other");
+            assert!(
+                sat_ops <= rw_ops,
+                "{}: saturation extracted {sat_ops} ops where rewrite reached {rw_ops} for {:?}",
+                kind.name(),
+                c.config
+            );
+            sat_candidates += 1;
+            rw_ops_total += rw_ops;
+            sat_ops_total += sat_ops;
+            if sat_ops < rw_ops {
+                sat_strictly_better += 1;
+            }
+        }
+        let saturate_s = t3.elapsed().as_secs_f64();
+
         let total_stats = arena_stats().since(&before);
         let (ann_h1, ann_m1) = annotate_cache_stats();
         let intern_rate = rate(total_stats.intern_hits, total_stats.intern_misses);
@@ -111,7 +154,7 @@ fn main() {
         let cold_memo_rate = rate(cold_stats.memo_hits(), cold_stats.memo_misses());
 
         println!(
-            "{:<22} {:>6} {:>12.0} {:>12.0} {:>9.1}% {:>9.1}% {:>10.0}",
+            "{:<22} {:>6} {:>12.0} {:>12.0} {:>9.1}% {:>9.1}% {:>10.0} {:>10.0} {:>8}",
             kind.name(),
             candidates,
             per_second(candidates, cold_s),
@@ -119,6 +162,8 @@ fn main() {
             intern_rate * 100.0,
             memo_rate * 100.0,
             per_second(result.evaluated, anneal_s),
+            per_second(sat_candidates, saturate_s),
+            sat_strictly_better,
         );
 
         rows.push(Json::obj([
@@ -162,6 +207,22 @@ fn main() {
             ),
             ("annotate_cache_hits", Json::Int((ann_h1 - ann_h0) as i64)),
             ("annotate_cache_misses", Json::Int((ann_m1 - ann_m0) as i64)),
+            ("saturate_candidates", Json::Int(sat_candidates as i64)),
+            ("saturate_s", Json::Num(saturate_s)),
+            (
+                "saturate_candidates_per_s",
+                Json::Num(per_second(sat_candidates, saturate_s)),
+            ),
+            ("rewrite_index_ops", Json::Int(rw_ops_total as i64)),
+            ("saturate_index_ops", Json::Int(sat_ops_total as i64)),
+            (
+                "saturate_ops_delta",
+                Json::Int(rw_ops_total as i64 - sat_ops_total as i64),
+            ),
+            (
+                "saturate_strictly_better",
+                Json::Int(sat_strictly_better as i64),
+            ),
         ]));
 
         // The whole point of the interned IR: candidate construction
@@ -181,6 +242,34 @@ fn main() {
             kind.name()
         );
     }
+
+    // A pinned index-arithmetic case where saturation is *strictly*
+    // smaller than the fixpoint rewriter: two address terms sharing a
+    // symbolic stride. The rewriter's collect rule only merges
+    // syntactically identical cores (3 ops); the e-graph's exploratory
+    // factor rule reaches `(i+j)*s` (2 ops).
+    let shared_stride = Expr::sym("i") * Expr::sym("s") + Expr::sym("j") * Expr::sym("s");
+    let rw_eng = Engine::with_env(RangeEnv::new());
+    let sat_eng = Engine::with_env(RangeEnv::new()).with_strategy(SimplifyStrategy::Saturate);
+    let rw_ops = rw_eng.op_count(&rw_eng.simplify(&shared_stride));
+    let sat_ops = sat_eng.op_count(&sat_eng.simplify(&shared_stride));
+    assert!(
+        sat_ops < rw_ops,
+        "saturation must beat rewrite on the shared-stride sum ({sat_ops} vs {rw_ops})"
+    );
+    println!(
+        "saturate strictly smaller on i*s + j*s: {rw_ops} ops (rewrite) -> {sat_ops} ops (saturate)"
+    );
+    rows.push(Json::obj([
+        ("workload", Json::Str("shared-stride-sum".to_string())),
+        ("rewrite_index_ops", Json::Int(rw_ops as i64)),
+        ("saturate_index_ops", Json::Int(sat_ops as i64)),
+        (
+            "saturate_ops_delta",
+            Json::Int(rw_ops as i64 - sat_ops as i64),
+        ),
+        ("saturate_strictly_better", Json::Int(1)),
+    ]));
 
     emit::announce(emit::write_bench_json(
         &tuned::bench_name("tuner", &device),

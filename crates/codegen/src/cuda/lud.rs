@@ -10,7 +10,7 @@
 
 use lego_core::{sugar, Layout, LayoutError, OrderBy, Result};
 use lego_expr::printer::c;
-use lego_expr::{pick_cheaper, Expr, RangeEnv};
+use lego_expr::{Engine, Expr, RangeEnv};
 
 use crate::template;
 use crate::tuning::TunedConfig;
@@ -78,7 +78,7 @@ pub fn generate(r: i64, t: i64) -> Result<LudKernel> {
     ])?;
     // The paper notes LUD benefits from pre-expansion (§IV-A): the cost
     // model picks it automatically.
-    let point_expr = pick_cheaper(&raw, &env).expr;
+    let point_expr = Engine::with_env(env).pick_cheaper(&raw).expr;
 
     let values = template::bindings([
         ("r", r.to_string()),

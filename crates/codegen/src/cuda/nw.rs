@@ -11,7 +11,7 @@
 
 use lego_core::{perms::antidiag, Layout, LayoutError, OrderBy, Result};
 use lego_expr::printer::c;
-use lego_expr::{simplify, Expr, RangeEnv};
+use lego_expr::{Engine, Expr, RangeEnv};
 
 use crate::template;
 use crate::tuning::{NwLayoutChoice, TunedConfig};
@@ -71,7 +71,7 @@ pub fn generate(b: i64) -> Result<NwKernel> {
     env.set_bounds("i", Expr::zero(), Expr::val(n));
     env.set_bounds("j", Expr::zero(), Expr::val(n));
     let raw = optimized.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?;
-    let idx_expr = simplify(&raw, &env);
+    let idx_expr = Engine::with_env(env).simplify(&raw);
 
     let values = template::bindings([
         ("b", b.to_string()),

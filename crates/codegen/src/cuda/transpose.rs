@@ -11,7 +11,7 @@
 use lego_core::perms::{antidiag, block_cyclic_elems, xor_swizzle};
 use lego_core::{sugar, Layout, LayoutError, OrderBy, Perm, Result};
 use lego_expr::printer::c;
-use lego_expr::{simplify, Expr, RangeEnv};
+use lego_expr::{Engine, Expr, RangeEnv};
 
 use crate::template;
 use crate::tuning::{StagingChoice, TunedConfig};
@@ -93,8 +93,9 @@ pub fn generate(variant: TransposeVariant, t: i64) -> Result<TransposeKernel> {
     for s in ["i", "j"] {
         env.set_bounds(s, Expr::zero(), n.clone());
     }
-    let in_idx = simplify(&input.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?, &env);
-    let out_idx = simplify(&output.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?, &env);
+    let eng = Engine::with_env(env);
+    let in_idx = eng.simplify(&input.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?);
+    let out_idx = eng.simplify(&output.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?);
 
     match variant {
         TransposeVariant::Naive => {
@@ -177,16 +178,17 @@ fn generate_smem(
     }
     let store = smem.apply_sym(&[Expr::sym("ty"), Expr::sym("tx")])?;
     let load = smem.apply_sym(&[Expr::sym("tx"), Expr::sym("ty")])?;
+    let teng = Engine::with_env(tenv);
     let values = template::bindings([
         ("t", t.to_string()),
         ("in_idx", "i * n + j".to_string()),
         (
             "smem_store",
-            c::print(&simplify(&store, &tenv)).expect("C-printable"),
+            c::print(&teng.simplify(&store)).expect("C-printable"),
         ),
         (
             "smem_load",
-            c::print(&simplify(&load, &tenv)).expect("C-printable"),
+            c::print(&teng.simplify(&load)).expect("C-printable"),
         ),
     ]);
     let source = template::render(SMEM_TEMPLATE, &values).expect("closed template");

@@ -4,7 +4,7 @@
 
 use lego_core::{sugar, Layout, OrderBy, Result};
 use lego_expr::printer::mlir::MlirEmitter;
-use lego_expr::{simplify, Expr, RangeEnv};
+use lego_expr::{Engine, Expr, RangeEnv};
 
 /// Which transpose lowering to emit.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,8 +42,9 @@ pub fn transpose_module(variant: MlirTranspose) -> Result<MlirModule> {
     env.assume_pos("n");
     env.set_bounds("i", Expr::zero(), n.clone());
     env.set_bounds("j", Expr::zero(), n.clone());
-    let in_idx = simplify(&input.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?, &env);
-    let out_idx = simplify(&output.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?, &env);
+    let eng = Engine::with_env(env);
+    let in_idx = eng.simplify(&input.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?);
+    let out_idx = eng.simplify(&output.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?);
 
     let mut em = MlirEmitter::new();
     em.bind_sym("n", "%n");

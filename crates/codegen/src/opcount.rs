@@ -8,7 +8,7 @@
 //! * [`GeneratedExprs`] — op counts of the expressions LEGO derived,
 //!   which end up *in generated code*, not user code.
 
-use lego_expr::{op_count, Expr};
+use lego_expr::{Engine, Expr};
 
 /// A named bundle of generated index expressions (one benchmark).
 #[derive(Clone, Debug)]
@@ -22,7 +22,8 @@ pub struct GeneratedExprs {
 impl GeneratedExprs {
     /// Total op count across the bundle.
     pub fn total_ops(&self) -> usize {
-        self.exprs.iter().map(op_count).sum()
+        let eng = Engine::new();
+        self.exprs.iter().map(|e| eng.op_count(e)).sum()
     }
 }
 

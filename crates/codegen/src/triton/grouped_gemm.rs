@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use lego_core::{sugar, IdxArg, Result};
 use lego_expr::printer::python::{print, Flavor};
-use lego_expr::{pick_cheaper, simplify, Expr, RangeEnv};
+use lego_expr::{Engine, Expr, RangeEnv};
 
 use crate::opcount::GeneratedExprs;
 use crate::template;
@@ -86,42 +86,37 @@ pub fn generate() -> Result<GroupedGemmKernel> {
     // Plain 2-D row-major thread layout: TileBy([nt_m, nt_n]).
     let cl = sugar::tile_by([vec![Expr::sym("nt_m"), Expr::sym("nt_n")]])?.build()?;
     let pids = cl.inv_sym(&Expr::sym("pid"))?;
-    let pid_m = simplify(&pids[0], &env);
-    let pid_n = simplify(&pids[1], &env);
+    let eng = Engine::with_env(env);
+    let pid_m = eng.simplify(&pids[0]);
+    let pid_n = eng.simplify(&pids[1]);
 
     let dl_a = data_layout("M", "K", "BM", "BK", false)?;
     let dl_b = data_layout("K", "N", "BK", "BN", false)?;
     let dl_c = data_layout("M", "N", "BM", "BN", false)?;
-    let a_off = pick_cheaper(
-        &dl_a.apply_sliced(&[
+    let a_off = eng
+        .pick_cheaper(&dl_a.apply_sliced(&[
             IdxArg::At(Expr::sym("pid_m")),
             IdxArg::At(Expr::sym("k")),
             IdxArg::Slice,
             IdxArg::Slice,
-        ])?,
-        &env,
-    )
-    .expr;
-    let b_off = pick_cheaper(
-        &dl_b.apply_sliced(&[
+        ])?)
+        .expr;
+    let b_off = eng
+        .pick_cheaper(&dl_b.apply_sliced(&[
             IdxArg::At(Expr::sym("k")),
             IdxArg::At(Expr::sym("pid_n")),
             IdxArg::Slice,
             IdxArg::Slice,
-        ])?,
-        &env,
-    )
-    .expr;
-    let c_off = pick_cheaper(
-        &dl_c.apply_sliced(&[
+        ])?)
+        .expr;
+    let c_off = eng
+        .pick_cheaper(&dl_c.apply_sliced(&[
             IdxArg::At(Expr::sym("pid_m")),
             IdxArg::At(Expr::sym("pid_n")),
             IdxArg::Slice,
             IdxArg::Slice,
-        ])?,
-        &env,
-    )
-    .expr;
+        ])?)
+        .expr;
 
     let p = |e: &Expr| print(e, Flavor::Triton).expect("triton-printable");
     let values: HashMap<String, String> = template::bindings([
@@ -139,7 +134,7 @@ pub fn generate() -> Result<GroupedGemmKernel> {
         a_off,
         b_off,
         c_off,
-        env,
+        env: eng.env().clone(),
     })
 }
 

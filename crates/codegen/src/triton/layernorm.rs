@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use lego_core::{IdxArg, Layout, LayoutError, Result};
 use lego_expr::printer::python::{print, Flavor};
-use lego_expr::{pick_cheaper, Expr, RangeEnv};
+use lego_expr::{Engine, Expr, RangeEnv};
 
 use crate::opcount::GeneratedExprs;
 use crate::template;
@@ -134,12 +134,13 @@ pub fn generate(pass: Pass) -> Result<LayernormKernel> {
         IdxArg::At(Expr::sym("cb")),
         IdxArg::Slice,
     ])?;
-    let x_off = pick_cheaper(&x_raw, &env).expr;
+    let eng = Engine::with_env(env);
+    let x_off = eng.pick_cheaper(&x_raw).expr;
     // Column vector (weight/bias): the same layout with the row axis
     // broadcast away, i.e. row 0 of a [1, N/BS, BS] view.
     let col_raw =
         Expr::sym("BS") * Expr::sym("cb") + Expr::range(Expr::zero(), Expr::sym("BS"), 0, 1);
-    let col_off = pick_cheaper(&col_raw, &env).expr;
+    let col_off = eng.pick_cheaper(&col_raw).expr;
 
     let p = |e: &Expr| print(e, Flavor::Triton).expect("triton-printable");
     let values: HashMap<String, String> =
@@ -153,7 +154,7 @@ pub fn generate(pass: Pass) -> Result<LayernormKernel> {
         source,
         x_off,
         col_off,
-        env,
+        env: eng.env().clone(),
         pass,
     })
 }
@@ -229,10 +230,10 @@ mod tests {
         // N*row + BS*cb + arange : 4 ops.
         let k = generate(Pass::Fwd).unwrap();
         assert!(
-            lego_expr::op_count(&k.x_off) <= 4,
+            lego_expr::Engine::new().op_count(&k.x_off) <= 4,
             "x_off: {} ({} ops)",
             k.x_off,
-            lego_expr::op_count(&k.x_off)
+            lego_expr::Engine::new().op_count(&k.x_off)
         );
     }
 

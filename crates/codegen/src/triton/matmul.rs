@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use lego_core::{perms, sugar, IdxArg, Layout, LayoutError, OrderBy, Result};
 use lego_expr::printer::python::{print, Flavor};
-use lego_expr::{pick_cheaper, simplify, Expr, RangeEnv};
+use lego_expr::{Engine, Expr, RangeEnv};
 
 use crate::opcount::GeneratedExprs;
 use crate::template;
@@ -171,13 +171,13 @@ def matmul_kernel(a_ptr, b_ptr, c_ptr, M, N, K,
 /// Propagates layout and printing failures (none occur for the built-in
 /// layouts; the `Result` keeps the pipeline honest).
 pub fn generate(variant: MatmulVariant) -> Result<MatmulKernel> {
-    let env = matmul_env();
+    let eng = Engine::with_env(matmul_env());
     // Thread-block layout: lpid_m, lpid_n = CL.inv(pid).
     let cl = thread_layout()?;
     let pids = cl.inv_sym(&Expr::sym("pid"))?;
-    let pid_m = simplify(&pids[0], &env);
-    let pid_n = simplify(&pids[1], &env);
-    generate_from_pids(pid_m, pid_n, variant, env, None, None)
+    let pid_m = eng.simplify(&pids[0]);
+    let pid_n = eng.simplify(&pids[1]);
+    generate_from_pids(pid_m, pid_n, variant, eng.env().clone(), None, None)
 }
 
 /// Instantiates the matmul kernel from a tuned configuration: the
@@ -200,7 +200,7 @@ pub fn from_tuned(config: &TunedConfig) -> Result<MatmulKernel> {
             "from_tuned(matmul) requires a TunedConfig::Matmul",
         ));
     };
-    let env = matmul_env();
+    let eng = Engine::with_env(matmul_env());
     let header = format!("# lego-tune: BM={bm}, BN={bn}, BK={bk}, schedule={schedule}\n");
     let (nt_m, nt_n) = (Expr::sym("nt_m"), Expr::sym("nt_n"));
     match schedule {
@@ -208,16 +208,30 @@ pub fn from_tuned(config: &TunedConfig) -> Result<MatmulKernel> {
             // The Fig. 1 grouped layout; the tuned GM binds at launch.
             let cl = thread_layout()?;
             let pids = cl.inv_sym(&Expr::sym("pid"))?;
-            let pid_m = simplify(&pids[0], &env);
-            let pid_n = simplify(&pids[1], &env);
-            generate_from_pids(pid_m, pid_n, MatmulVariant::NN, env, Some(header), None)
+            let pid_m = eng.simplify(&pids[0]);
+            let pid_n = eng.simplify(&pids[1]);
+            generate_from_pids(
+                pid_m,
+                pid_n,
+                MatmulVariant::NN,
+                eng.env().clone(),
+                Some(header),
+                None,
+            )
         }
         ScheduleChoice::RowMajor => {
             let cl = Layout::identity([nt_m, nt_n])?;
             let pids = cl.inv_sym(&Expr::sym("pid"))?;
-            let pid_m = simplify(&pids[0], &env);
-            let pid_n = simplify(&pids[1], &env);
-            generate_from_pids(pid_m, pid_n, MatmulVariant::NN, env, Some(header), None)
+            let pid_m = eng.simplify(&pids[0]);
+            let pid_n = eng.simplify(&pids[1]);
+            generate_from_pids(
+                pid_m,
+                pid_n,
+                MatmulVariant::NN,
+                eng.env().clone(),
+                Some(header),
+                None,
+            )
         }
         ScheduleChoice::BlockCyclic { p, b } => {
             // Rows distributed block-cyclically: pid = bc(pid_m)·nt_n +
@@ -227,9 +241,16 @@ pub fn from_tuned(config: &TunedConfig) -> Result<MatmulKernel> {
             let row_slot = pid.floor_div(&nt_n);
             let ec = nt_m.floor_div(&(Expr::val(p * b)));
             let raw = perms::block_cyclic_inv_sym(&row_slot, &Expr::val(p), &Expr::val(b), &ec);
-            let pid_m = simplify(&raw, &env);
-            let pid_n = simplify(&pid.rem(&nt_n), &env);
-            generate_from_pids(pid_m, pid_n, MatmulVariant::NN, env, Some(header), None)
+            let pid_m = eng.simplify(&raw);
+            let pid_n = eng.simplify(&pid.rem(&nt_n));
+            generate_from_pids(
+                pid_m,
+                pid_n,
+                MatmulVariant::NN,
+                eng.env().clone(),
+                Some(header),
+                None,
+            )
         }
         ScheduleChoice::Morton => {
             // The Morton bit-interleave is outside the expression
@@ -247,7 +268,7 @@ for _b in tl.static_range(16):\n        \
                 pid_m,
                 pid_n,
                 MatmulVariant::NN,
-                env,
+                eng.env().clone(),
                 Some(header),
                 Some(preamble.to_string()),
             )
@@ -295,9 +316,10 @@ fn generate_from_pids(
         IdxArg::Slice,
         IdxArg::Slice,
     ])?;
-    let a_off = pick_cheaper(&a_raw, &env).expr;
-    let b_off = pick_cheaper(&b_raw, &env).expr;
-    let c_off = pick_cheaper(&c_raw, &env).expr;
+    let eng = Engine::with_env(env);
+    let a_off = eng.pick_cheaper(&a_raw).expr;
+    let b_off = eng.pick_cheaper(&b_raw).expr;
+    let c_off = eng.pick_cheaper(&c_raw).expr;
 
     let p = |e: &Expr| print(e, Flavor::Triton).expect("triton-printable");
     let values: HashMap<String, String> = template::bindings([
@@ -324,7 +346,7 @@ fn generate_from_pids(
         a_off,
         b_off,
         c_off,
-        env,
+        env: eng.env().clone(),
         variant,
     })
 }
@@ -464,9 +486,9 @@ mod tests {
         // + r0) + r1). Allow small slack for representation differences.
         let k = generate(MatmulVariant::NN).unwrap();
         assert!(
-            lego_expr::op_count(&k.a_off) <= 6,
+            lego_expr::Engine::new().op_count(&k.a_off) <= 6,
             "a_off too complex ({} ops): {}",
-            lego_expr::op_count(&k.a_off),
+            lego_expr::Engine::new().op_count(&k.a_off),
             k.a_off
         );
     }

@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use lego_core::{IdxArg, Layout, LayoutError, Result};
 use lego_expr::printer::python::{print, Flavor};
-use lego_expr::{pick_cheaper, Expr, RangeEnv};
+use lego_expr::{Engine, Expr, RangeEnv};
 
 use crate::opcount::GeneratedExprs;
 use crate::template;
@@ -53,7 +53,8 @@ pub fn generate() -> Result<SoftmaxKernel> {
     // whole row (the Triton tutorial's `BLOCK_SIZE = next_power_of_2(N)`).
     let dl = Layout::identity([Expr::sym("M"), Expr::sym("BS")])?;
     let raw = dl.apply_sliced(&[IdxArg::At(Expr::sym("row")), IdxArg::Slice])?;
-    let row_off = pick_cheaper(&raw, &env).expr;
+    let eng = Engine::with_env(env);
+    let row_off = eng.pick_cheaper(&raw).expr;
 
     let p = |e: &Expr| print(e, Flavor::Triton).expect("triton-printable");
     let values: HashMap<String, String> = template::bindings([
@@ -64,7 +65,7 @@ pub fn generate() -> Result<SoftmaxKernel> {
     Ok(SoftmaxKernel {
         source,
         row_off,
-        env,
+        env: eng.env().clone(),
     })
 }
 
@@ -126,7 +127,11 @@ mod tests {
         // BS*row + arange — 2 arithmetic ops, matching Table IV's "0 user
         // ops" (the user writes none; these are generated).
         let k = generate().unwrap();
-        assert!(lego_expr::op_count(&k.row_off) <= 2, "{}", k.row_off);
+        assert!(
+            lego_expr::Engine::new().op_count(&k.row_off) <= 2,
+            "{}",
+            k.row_off
+        );
     }
 
     #[test]

@@ -175,7 +175,7 @@ impl Layout {
 
     /// Symbolic `apply`: logical index expressions → physical offset
     /// expression (unsimplified; feed the result to
-    /// [`lego_expr::simplify()`] with ranges from
+    /// [`lego_expr::Engine::simplify`] with ranges from
     /// [`Layout::declare_index_bounds`]).
     ///
     /// Lowering emits through the interned expression arena: the
@@ -422,14 +422,15 @@ mod tests {
 
     #[test]
     fn declare_bounds_enables_simplification() {
-        use lego_expr::simplify;
+        use lego_expr::Engine;
         let l = Layout::identity([4i64, 8]).unwrap();
         let mut env = RangeEnv::new();
         l.declare_index_bounds(&mut env, &["i", "j"]).unwrap();
         // inv(apply([i,j])) must simplify back to [i, j].
         let flat = l.apply_sym(&[Expr::sym("i"), Expr::sym("j")]).unwrap();
         let back = l.inv_sym(&flat).unwrap();
-        assert_eq!(simplify(&back[0], &env), Expr::sym("i"));
-        assert_eq!(simplify(&back[1], &env), Expr::sym("j"));
+        let eng = Engine::with_env(env);
+        assert_eq!(eng.simplify(&back[0]), Expr::sym("i"));
+        assert_eq!(eng.simplify(&back[1]), Expr::sym("j"));
     }
 }

@@ -47,13 +47,13 @@
 //!
 //! ```
 //! use lego_core::Layout;
-//! use lego_expr::{Expr, RangeEnv, simplify};
+//! use lego_expr::{Engine, Expr};
 //!
 //! # fn main() -> Result<(), lego_core::LayoutError> {
 //! // Row-major M×K matrix; the offset of (i, j) is i*K + j.
 //! let a = Layout::identity([Expr::sym("M"), Expr::sym("K")])?;
 //! let off = a.apply_sym(&[Expr::sym("i"), Expr::sym("j")])?;
-//! let simplified = simplify(&off, &RangeEnv::new());
+//! let simplified = Engine::new().simplify(&off);
 //! assert_eq!(simplified, Expr::sym("K") * Expr::sym("i") + Expr::sym("j"));
 //! # Ok(())
 //! # }

@@ -1,0 +1,541 @@
+//! Equality saturation over the interned expression IR.
+//!
+//! The fixpoint rewriter applies the Table II rules destructively in a
+//! fixed order, so which form it lands on can depend on rule ordering.
+//! This module keeps *every* equal form instead: a union-find +
+//! congruence-closure e-graph over decompositions of interned [`Expr`]
+//! nodes, grown by the same rule table the rewriter uses
+//! (`rules::apply_root`) plus the exploratory identities
+//! (distribution, factoring) that are unsafe to apply destructively,
+//! and finally *extracted* by minimal op count.
+//!
+//! Guarantees (relied on by the `expr-semantics` saturation gate and
+//! the property tests in `tests/saturation.rs`):
+//!
+//! * **No worse than the rewriter.** The graph is seeded with both the
+//!   input and its fixpoint-rewritten form (unioned), so extraction —
+//!   a minimum over the root class — returns a form whose op count is
+//!   ≤ the rewriter's even at budget zero.
+//! * **Eval-equivalent.** Every union is justified by a sound rewrite:
+//!   either a destructive rule of the shared table (side conditions
+//!   discharged against the same [`RangeEnv`]) or an exploratory
+//!   identity that is exact over the integers.
+//! * **Deterministic per budget.** Classes are visited in sorted-id
+//!   order, union roots are chosen as the smaller id, congruence
+//!   closure is confluent, and cost ties are broken by the structural
+//!   order of the rebuilt terms — no hash-map iteration order leaks
+//!   into the result.
+//! * **Budget-monotone.** A run with a larger budget performs a
+//!   superset of the unions of a smaller-budget run (the smaller run
+//!   is a prefix of the same deterministic schedule), and a minimum
+//!   over a superset of equal forms can only be ≤.
+//!
+//! Saturation results are memoized per `(environment id, node id,
+//! budget)` in the session tables, exactly like the rewrite passes, so
+//! the tuner's warm fast path keeps its hit rates under
+//! [`crate::SimplifyStrategy::Saturate`].
+//!
+//! `Xor`, `Select`, `ISqrt`, and `Range` subtrees are treated as opaque
+//! leaves of the graph (no rule of the shared table rewrites *through*
+//! them); they are still simplified by the seeded rewrite form.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::cost::ops;
+use crate::expr::{Expr, ExprKind};
+use crate::intern;
+use crate::prove::at_depth0;
+use crate::range::RangeEnv;
+use crate::rules::{self, RuleStats};
+use crate::simplify::fixpoint_simplify;
+
+/// Bounds on e-graph growth during saturation.
+///
+/// `max_iters` bounds the number of grow-and-rebuild sweeps over the
+/// graph; `max_nodes` bounds the number of e-nodes (term decompositions)
+/// the graph may hold before growth stops. Either limit alone stops
+/// saturation; extraction always runs. Because of the seeding guarantee
+/// above, *any* budget — including zero — yields a form at least as
+/// cheap as the fixpoint rewriter's, and larger budgets never yield a
+/// worse one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SaturationBudget {
+    /// Maximum saturation sweeps (each sweep visits every class once).
+    pub max_iters: usize,
+    /// Maximum e-nodes in the graph before growth stops.
+    pub max_nodes: usize,
+}
+
+impl Default for SaturationBudget {
+    fn default() -> Self {
+        SaturationBudget {
+            max_iters: 8,
+            max_nodes: 2048,
+        }
+    }
+}
+
+impl SaturationBudget {
+    /// A compact fingerprint for the session memo key.
+    pub(crate) fn fingerprint(&self) -> u64 {
+        ((self.max_iters as u64).min(0xffff_ffff) << 32) | (self.max_nodes as u64).min(0xffff_ffff)
+    }
+}
+
+type ClassId = usize;
+
+/// One decomposed node: an operator over equivalence classes, or an
+/// opaque leaf (constants, symbols, and the operators the rule table
+/// never rewrites through).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum ENode {
+    Leaf(Expr),
+    Add(Vec<ClassId>),
+    Mul(Vec<ClassId>),
+    Div(ClassId, ClassId),
+    Mod(ClassId, ClassId),
+    Min(ClassId, ClassId),
+    Max(ClassId, ClassId),
+}
+
+impl ENode {
+    /// Cost contributed by this node alone (children counted separately
+    /// via their classes). Mirrors the op-count model: n-ary operators
+    /// cost `n-1`, binary operators cost 1, leaves their own op count.
+    fn own_cost(&self) -> usize {
+        match self {
+            ENode::Leaf(e) => ops(e),
+            ENode::Add(cs) | ENode::Mul(cs) => cs.len().saturating_sub(1),
+            _ => 1,
+        }
+    }
+
+    fn children(&self) -> Vec<ClassId> {
+        match self {
+            ENode::Leaf(_) => Vec::new(),
+            ENode::Add(cs) | ENode::Mul(cs) => cs.clone(),
+            ENode::Div(a, b) | ENode::Mod(a, b) | ENode::Min(a, b) | ENode::Max(a, b) => {
+                vec![*a, *b]
+            }
+        }
+    }
+}
+
+struct EGraph {
+    /// Union-find parent pointers; `uf[i] == i` marks a root.
+    uf: Vec<ClassId>,
+    /// Canonical e-node → class. Rebuilt (re-canonicalized) after unions.
+    memo: HashMap<ENode, ClassId>,
+}
+
+impl EGraph {
+    fn new() -> EGraph {
+        EGraph {
+            uf: Vec::new(),
+            memo: HashMap::new(),
+        }
+    }
+
+    fn find(&mut self, mut id: ClassId) -> ClassId {
+        while self.uf[id] != id {
+            // Path halving keeps the walk amortized near-constant.
+            self.uf[id] = self.uf[self.uf[id]];
+            id = self.uf[id];
+        }
+        id
+    }
+
+    /// Canonicalizes an e-node: children replaced by their class roots;
+    /// commutative operand lists sorted so `Add([a,b])` and `Add([b,a])`
+    /// are one node.
+    fn canonicalize(&mut self, node: &ENode) -> ENode {
+        match node {
+            ENode::Leaf(_) => node.clone(),
+            ENode::Add(cs) => {
+                let mut cs: Vec<ClassId> = cs.iter().map(|c| self.find(*c)).collect();
+                cs.sort_unstable();
+                ENode::Add(cs)
+            }
+            ENode::Mul(cs) => {
+                let mut cs: Vec<ClassId> = cs.iter().map(|c| self.find(*c)).collect();
+                cs.sort_unstable();
+                ENode::Mul(cs)
+            }
+            ENode::Div(a, b) => ENode::Div(self.find(*a), self.find(*b)),
+            ENode::Mod(a, b) => ENode::Mod(self.find(*a), self.find(*b)),
+            ENode::Min(a, b) => {
+                let (a, b) = (self.find(*a), self.find(*b));
+                // Min/max are commutative too; order the class pair.
+                ENode::Min(a.min(b), a.max(b))
+            }
+            ENode::Max(a, b) => {
+                let (a, b) = (self.find(*a), self.find(*b));
+                ENode::Max(a.min(b), a.max(b))
+            }
+        }
+    }
+
+    fn add_enode(&mut self, node: ENode) -> ClassId {
+        let node = self.canonicalize(&node);
+        if let Some(&c) = self.memo.get(&node) {
+            return self.find(c);
+        }
+        let id = self.uf.len();
+        self.uf.push(id);
+        self.memo.insert(node, id);
+        id
+    }
+
+    /// Decomposes `e` into the graph, returning its class.
+    fn add_expr(&mut self, e: &Expr) -> ClassId {
+        let node = match e.kind() {
+            ExprKind::Add(ts) => ENode::Add(ts.iter().map(|t| self.add_expr(t)).collect()),
+            ExprKind::Mul(ts) => ENode::Mul(ts.iter().map(|t| self.add_expr(t)).collect()),
+            ExprKind::FloorDiv(a, b) => {
+                let (a, b) = (self.add_expr(a), self.add_expr(b));
+                ENode::Div(a, b)
+            }
+            ExprKind::Mod(a, b) => {
+                let (a, b) = (self.add_expr(a), self.add_expr(b));
+                ENode::Mod(a, b)
+            }
+            ExprKind::Min(a, b) => {
+                let (a, b) = (self.add_expr(a), self.add_expr(b));
+                ENode::Min(a, b)
+            }
+            ExprKind::Max(a, b) => {
+                let (a, b) = (self.add_expr(a), self.add_expr(b));
+                ENode::Max(a, b)
+            }
+            _ => ENode::Leaf(e.clone()),
+        };
+        self.add_enode(node)
+    }
+
+    /// Unions two classes. The smaller root id wins, so the final
+    /// partition is independent of union order (closure confluence).
+    fn union(&mut self, a: ClassId, b: ClassId) -> bool {
+        let (a, b) = (self.find(a), self.find(b));
+        if a == b {
+            return false;
+        }
+        let (root, child) = (a.min(b), a.max(b));
+        self.uf[child] = root;
+        true
+    }
+
+    /// Restores congruence closure: re-canonicalizes every e-node and
+    /// unions classes whose nodes collide, repeating until stable.
+    /// Naive (whole-table) rebuilding — the expressions this engine
+    /// sees are tuner index arithmetic with a few hundred nodes at
+    /// most, where the O(n) sweep is cheaper than parent bookkeeping.
+    fn rebuild(&mut self) {
+        loop {
+            let mut changed = false;
+            let entries: Vec<(ENode, ClassId)> = self.memo.drain().collect();
+            let mut next: HashMap<ENode, ClassId> = HashMap::with_capacity(entries.len());
+            for (node, class) in entries {
+                let node = self.canonicalize(&node);
+                let class = self.find(class);
+                match next.entry(node) {
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        if self.union(*o.get(), class) {
+                            changed = true;
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(class);
+                    }
+                }
+            }
+            self.memo = next;
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Canonical class → sorted member e-nodes, deterministic.
+    fn classes(&mut self) -> BTreeMap<ClassId, Vec<ENode>> {
+        let entries: Vec<(ENode, ClassId)> =
+            self.memo.iter().map(|(n, c)| (n.clone(), *c)).collect();
+        let mut out: BTreeMap<ClassId, Vec<ENode>> = BTreeMap::new();
+        for (node, class) in entries {
+            let class = self.find(class);
+            out.entry(class).or_default().push(node);
+        }
+        for nodes in out.values_mut() {
+            nodes.sort();
+        }
+        out
+    }
+
+    /// Computes the cheapest term of every class: a fixpoint over
+    /// `cost(class) = min over member nodes of own_cost + Σ cost(child)`,
+    /// then a rebuild of the best term per class in ascending cost order
+    /// (children of a non-leaf minimum are strictly cheaper, so their
+    /// terms exist by the time they are needed). Cost ties between
+    /// member nodes are broken by the structural order of the rebuilt
+    /// candidate terms.
+    fn extract_all(&mut self) -> BTreeMap<ClassId, Expr> {
+        let classes = self.classes();
+        // Cost fixpoint.
+        let mut cost: BTreeMap<ClassId, usize> = BTreeMap::new();
+        loop {
+            let mut changed = false;
+            for (&class, nodes) in &classes {
+                for node in nodes {
+                    let mut total = node.own_cost();
+                    let mut known = true;
+                    for ch in node.children() {
+                        let ch = self.find(ch);
+                        match cost.get(&ch) {
+                            Some(c) => total += c,
+                            None => {
+                                known = false;
+                                break;
+                            }
+                        }
+                    }
+                    let better = match cost.get(&class) {
+                        Some(&c) => total < c,
+                        None => true,
+                    };
+                    if known && better {
+                        cost.insert(class, total);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Best-term construction, cheapest classes first.
+        let mut order: Vec<(usize, ClassId)> = cost.iter().map(|(&c, &k)| (k, c)).collect();
+        order.sort_unstable();
+        let mut best: BTreeMap<ClassId, Expr> = BTreeMap::new();
+        for (class_cost, class) in order {
+            let mut candidate: Option<Expr> = None;
+            for node in &classes[&class] {
+                let mut total = node.own_cost();
+                let mut rebuilt_children = Vec::new();
+                let mut ready = true;
+                for ch in node.children() {
+                    let ch = self.find(ch);
+                    match (cost.get(&ch), best.get(&ch)) {
+                        (Some(c), Some(t)) => {
+                            total += c;
+                            rebuilt_children.push(t.clone());
+                        }
+                        _ => {
+                            ready = false;
+                            break;
+                        }
+                    }
+                }
+                if !ready || total != class_cost {
+                    continue;
+                }
+                let term = rebuild_term(node, &rebuilt_children);
+                candidate = Some(match candidate {
+                    None => term,
+                    Some(prev) => {
+                        if term.cmp(&prev) == std::cmp::Ordering::Less {
+                            term
+                        } else {
+                            prev
+                        }
+                    }
+                });
+            }
+            if let Some(t) = candidate {
+                best.insert(class, t);
+            }
+        }
+        best
+    }
+}
+
+/// Rebuilds an `Expr` from an e-node and its children's best terms. The
+/// smart constructors re-canonicalize (flatten, fold constants), which
+/// can only shrink the realized op count below the estimate.
+fn rebuild_term(node: &ENode, children: &[Expr]) -> Expr {
+    match node {
+        ENode::Leaf(e) => e.clone(),
+        ENode::Add(_) => Expr::add_all(children.iter().cloned()),
+        ENode::Mul(_) => Expr::mul_all(children.iter().cloned()),
+        ENode::Div(_, _) => children[0].floor_div(&children[1]),
+        ENode::Mod(_, _) => children[0].rem(&children[1]),
+        ENode::Min(_, _) => children[0].clone().min(&children[1]),
+        ENode::Max(_, _) => children[0].clone().max(&children[1]),
+    }
+}
+
+/// Saturates `e` under `env` and extracts the cheapest equal form.
+/// Memoized per `(environment, node, budget)` for the session (at
+/// prover depth 0, where results are pure).
+pub(crate) fn saturate(e: &Expr, env: &RangeEnv, budget: SaturationBudget) -> Expr {
+    if at_depth0() {
+        let key = (env.id(), e.id().get(), budget.fingerprint());
+        if let Some(hit) = intern::saturate_get(key.0, key.1, key.2) {
+            return hit;
+        }
+        let (result, _) = saturate_with_stats(e, env, budget);
+        intern::saturate_insert(key.0, key.1, key.2, result.clone());
+        return result;
+    }
+    saturate_with_stats(e, env, budget).0
+}
+
+/// [`saturate`] without the session memo, reporting which rules fired
+/// during saturation. Deterministic per `(e, env, budget)`.
+pub(crate) fn saturate_with_stats(
+    e: &Expr,
+    env: &RangeEnv,
+    budget: SaturationBudget,
+) -> (Expr, RuleStats) {
+    let mut stats = RuleStats::default();
+    let mut g = EGraph::new();
+    let root = g.add_expr(e);
+
+    // Seed with the fixpoint rewriter's result: extraction can then
+    // never do worse than the rewrite strategy, whatever the budget.
+    let rewritten = fixpoint_simplify(e, env);
+    let seeded = g.add_expr(&rewritten);
+    g.union(root, seeded);
+    g.rebuild();
+
+    for _ in 0..budget.max_iters {
+        if g.n_nodes() >= budget.max_nodes {
+            break;
+        }
+        let best = g.extract_all();
+        let mut changed = false;
+        for (class, term) in &best {
+            if g.n_nodes() >= budget.max_nodes {
+                break;
+            }
+            // The shared destructive rule step, applied at the root of
+            // the class's current best term. Subterms are covered
+            // because every subterm is its own class.
+            let stepped = rules::apply_root(term, env, &mut stats);
+            if &stepped != term {
+                let c = g.add_expr(&stepped);
+                if g.union(*class, c) {
+                    changed = true;
+                }
+            }
+            // The exploratory identities (Distribute, Factor), added as
+            // extra class members rather than replacements.
+            for alt in rules::explore_root(term, &mut stats) {
+                if g.n_nodes() >= budget.max_nodes {
+                    break;
+                }
+                let c = g.add_expr(&alt);
+                if g.union(*class, c) {
+                    changed = true;
+                }
+            }
+        }
+        g.rebuild();
+        if !changed {
+            break;
+        }
+    }
+
+    let best = g.extract_all();
+    let root = g.find(root);
+    let extracted = best
+        .get(&root)
+        .cloned()
+        .unwrap_or_else(|| rewritten.clone());
+    // The estimate-vs-realized gap (smart constructors folding during
+    // rebuild) always favors the extracted term, but guard the invariant
+    // structurally: never return a form costlier than the rewriter's.
+    let result = if ops(&extracted) <= ops(&rewritten) {
+        extracted
+    } else {
+        rewritten
+    };
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sat(e: &Expr, env: &RangeEnv) -> Expr {
+        saturate_with_stats(e, env, SaturationBudget::default()).0
+    }
+
+    #[test]
+    fn saturation_matches_rewriter_on_table2() {
+        let mut env = RangeEnv::new();
+        env.assume_pos("d");
+        env.set_bounds("r", Expr::val(0), Expr::sym("d"));
+        env.assume_nonneg("q");
+        let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r")).rem(&Expr::sym("d"));
+        assert_eq!(sat(&e, &env), Expr::sym("r"));
+    }
+
+    #[test]
+    fn saturation_factors_common_stride() {
+        // i*s + j*s: the fixpoint rewriter's Collect only merges equal
+        // cores, so it stays at 3 ops; factoring finds (i + j)*s at 2.
+        let env = RangeEnv::new();
+        let e = Expr::sym("i") * Expr::sym("s") + Expr::sym("j") * Expr::sym("s");
+        let r = fixpoint_simplify(&e, &env);
+        let s = sat(&e, &env);
+        assert_eq!(ops(&r), 3);
+        assert_eq!(ops(&s), 2);
+        assert_eq!(s, (Expr::sym("i") + Expr::sym("j")) * Expr::sym("s"));
+    }
+
+    #[test]
+    fn zero_budget_still_no_worse_than_rewrite() {
+        let mut env = RangeEnv::new();
+        env.assume_pos("m");
+        env.set_bounds("i", Expr::val(0), Expr::sym("n"));
+        env.set_bounds("j", Expr::val(0), Expr::sym("m"));
+        env.assume_pos("n");
+        let flat = Expr::sym("i") * Expr::sym("m") + Expr::sym("j");
+        let e = flat.floor_div(&Expr::sym("m"));
+        let budget = SaturationBudget {
+            max_iters: 0,
+            max_nodes: 0,
+        };
+        let (s, _) = saturate_with_stats(&e, &env, budget);
+        assert!(ops(&s) <= ops(&fixpoint_simplify(&e, &env)));
+        assert_eq!(s, Expr::sym("i"));
+    }
+
+    #[test]
+    fn saturation_is_deterministic() {
+        let env = RangeEnv::new();
+        let e = Expr::sym("a") * Expr::sym("b")
+            + Expr::sym("a") * Expr::sym("c")
+            + Expr::sym("b") * Expr::sym("c");
+        let b = SaturationBudget::default();
+        let first = saturate_with_stats(&e, &env, b);
+        let second = saturate_with_stats(&e, &env, b);
+        assert_eq!(first.0, second.0);
+        assert_eq!(first.1, second.1);
+    }
+
+    #[test]
+    fn congruence_propagates_through_parents() {
+        // d | x makes x%d collapse to 0 (mod_exact_zero), and congruence
+        // must then collapse (x%d) + y to y.
+        let mut env = RangeEnv::new();
+        env.assume_pos("d");
+        env.assume_nonneg("x");
+        env.assume_divides(Expr::sym("d"), Expr::sym("x"));
+        let e = Expr::sym("x").rem(&Expr::sym("d")) + Expr::sym("y");
+        assert_eq!(sat(&e, &env), Expr::sym("y"));
+    }
+}

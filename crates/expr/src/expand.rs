@@ -3,7 +3,7 @@
 //! §IV-A of the paper evaluates whether *pre-expanding* index expressions
 //! before simplification exposes more rewriting opportunities. Expansion
 //! helped LUD and hurt NW, so LEGO picks the cheaper result by op count —
-//! see [`crate::cost::pick_cheaper`].
+//! see [`crate::Engine::pick_cheaper`].
 
 use crate::expr::{Expr, ExprKind};
 use crate::intern;
@@ -12,25 +12,25 @@ use crate::intern;
 /// `a*(b + c) → a*b + a*c`. Division, modulo, min/max, and select children
 /// are expanded but not distributed through. Results are memoized per
 /// interned node for the session (expansion is environment-free).
-pub fn expand(e: &Expr) -> Expr {
+pub(crate) fn distribute(e: &Expr) -> Expr {
     let id = e.id().get();
     if let Some(hit) = intern::expand_get(id) {
         return hit;
     }
-    let r = expand_uncached(e);
+    let r = distribute_uncached(e);
     intern::expand_insert(id, r.clone());
     r
 }
 
-fn expand_uncached(e: &Expr) -> Expr {
+fn distribute_uncached(e: &Expr) -> Expr {
     match e.kind() {
         ExprKind::Const(_) | ExprKind::Sym(_) => e.clone(),
-        ExprKind::Add(ts) => Expr::add_all(ts.iter().map(expand)),
+        ExprKind::Add(ts) => Expr::add_all(ts.iter().map(distribute)),
         ExprKind::Mul(ts) => {
             // Expand children first, then distribute pairwise.
             let mut acc: Vec<Expr> = vec![Expr::one()];
             for t in ts {
-                let t = expand(t);
+                let t = distribute(t);
                 let addends: Vec<Expr> = match t.kind() {
                     ExprKind::Add(us) => us.clone(),
                     _ => vec![t.clone()],
@@ -45,20 +45,26 @@ fn expand_uncached(e: &Expr) -> Expr {
             }
             Expr::add_all(acc)
         }
-        ExprKind::FloorDiv(a, b) => expand(a).floor_div(&expand(b)),
-        ExprKind::Mod(a, b) => expand(a).rem(&expand(b)),
-        ExprKind::Min(a, b) => expand(a).min(&expand(b)),
-        ExprKind::Max(a, b) => expand(a).max(&expand(b)),
-        ExprKind::Xor(a, b) => expand(a).xor(&expand(b)),
-        ExprKind::Select(c, t, f) => Expr::select(c.clone(), expand(t), expand(f)),
-        ExprKind::ISqrt(a) => expand(a).isqrt(),
+        ExprKind::FloorDiv(a, b) => distribute(a).floor_div(&distribute(b)),
+        ExprKind::Mod(a, b) => distribute(a).rem(&distribute(b)),
+        ExprKind::Min(a, b) => distribute(a).min(&distribute(b)),
+        ExprKind::Max(a, b) => distribute(a).max(&distribute(b)),
+        ExprKind::Xor(a, b) => distribute(a).xor(&distribute(b)),
+        ExprKind::Select(c, t, f) => Expr::select(c.clone(), distribute(t), distribute(f)),
+        ExprKind::ISqrt(a) => distribute(a).isqrt(),
         ExprKind::Range {
             lo,
             len,
             axis,
             ndims,
-        } => Expr::range(expand(lo), expand(len), *axis, *ndims),
+        } => Expr::range(distribute(lo), distribute(len), *axis, *ndims),
     }
+}
+
+/// Recursively distributes every product over sums.
+#[deprecated(note = "construct a `lego_expr::Engine` and call `Engine::expand`")]
+pub fn expand(e: &Expr) -> Expr {
+    crate::engine::Engine::new().expand(e)
 }
 
 #[cfg(test)]
@@ -69,7 +75,7 @@ mod tests {
     fn distributes_simple_product() {
         let (a, b, c) = (Expr::sym("a"), Expr::sym("b"), Expr::sym("c"));
         let e = &a * (&b + &c);
-        assert_eq!(expand(&e), &a * &b + &a * &c);
+        assert_eq!(distribute(&e), &a * &b + &a * &c);
     }
 
     #[test]
@@ -81,7 +87,7 @@ mod tests {
             Expr::sym("d"),
         );
         let e = (&a + &b) * (&c + &d);
-        let x = expand(&e);
+        let x = distribute(&e);
         assert_eq!(x, &a * &c + &a * &d + &b * &c + &b * &d);
     }
 
@@ -89,7 +95,7 @@ mod tests {
     fn does_not_distribute_through_div() {
         let (a, b, c) = (Expr::sym("a"), Expr::sym("b"), Expr::sym("c"));
         let e = (&a * (&b + &c)).floor_div(&Expr::sym("d"));
-        let x = expand(&e);
+        let x = distribute(&e);
         // Numerator expands, but division is preserved.
         assert_eq!(x, (&a * &b + &a * &c).floor_div(&Expr::sym("d")));
     }
@@ -98,7 +104,7 @@ mod tests {
     fn expansion_preserves_value() {
         use crate::subst::{eval, Bindings};
         let e = (Expr::sym("a") + Expr::val(3)) * (Expr::sym("b") + Expr::sym("a")) * Expr::val(2);
-        let x = expand(&e);
+        let x = distribute(&e);
         let mut bind = Bindings::new();
         for (a, b) in [(0i64, 0i64), (5, -3), (17, 11), (-2, 9)] {
             bind.insert("a".into(), a);

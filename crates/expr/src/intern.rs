@@ -106,6 +106,10 @@ pub struct ArenaStats {
     pub expand_hits: u64,
     /// `expand` results computed.
     pub expand_misses: u64,
+    /// Saturation (e-graph) results served from memo.
+    pub saturate_hits: u64,
+    /// Saturation (e-graph) results computed.
+    pub saturate_misses: u64,
 }
 
 impl ArenaStats {
@@ -118,6 +122,7 @@ impl ArenaStats {
             + self.range_hits
             + self.prove_hits
             + self.expand_hits
+            + self.saturate_hits
     }
 
     /// Total memo misses across all pass tables.
@@ -128,6 +133,7 @@ impl ArenaStats {
             + self.range_misses
             + self.prove_misses
             + self.expand_misses
+            + self.saturate_misses
     }
 
     /// Counter-wise difference `self - earlier` (for per-phase deltas).
@@ -152,6 +158,8 @@ impl ArenaStats {
             prove_misses: self.prove_misses.saturating_sub(earlier.prove_misses),
             expand_hits: self.expand_hits.saturating_sub(earlier.expand_hits),
             expand_misses: self.expand_misses.saturating_sub(earlier.expand_misses),
+            saturate_hits: self.saturate_hits.saturating_sub(earlier.saturate_hits),
+            saturate_misses: self.saturate_misses.saturating_sub(earlier.saturate_misses),
         }
     }
 }
@@ -204,6 +212,8 @@ struct ArenaInner {
     prove_lt: HashMap<(u64, u64, u64), bool>,
     /// `expr` → distributed (expanded) expr.
     expand: HashMap<u64, Expr>,
+    /// `(env, expr, budget fingerprint)` → saturated-and-extracted expr.
+    saturate: HashMap<(u64, u64, u64), Expr>,
     /// Canonical environment content → environment id.
     envs: HashMap<EnvKey, u64>,
 }
@@ -246,6 +256,7 @@ pub fn reset_memos() {
         a.prove_unary.clear();
         a.prove_lt.clear();
         a.expand.clear();
+        a.saturate.clear();
     });
     STATS.with(|s| s.set(ArenaStats::default()));
 }
@@ -374,6 +385,19 @@ pub(crate) fn expand_get(expr: u64) -> Option<Expr> {
 pub(crate) fn expand_insert(expr: u64, result: Expr) {
     ARENA.with(|a| a.borrow_mut().expand.insert(expr, result));
     bump(|s| s.expand_misses += 1);
+}
+
+pub(crate) fn saturate_get(env: u64, expr: u64, budget: u64) -> Option<Expr> {
+    let hit = ARENA.with(|a| a.borrow().saturate.get(&(env, expr, budget)).cloned());
+    if hit.is_some() {
+        bump(|s| s.saturate_hits += 1);
+    }
+    hit
+}
+
+pub(crate) fn saturate_insert(env: u64, expr: u64, budget: u64, result: Expr) {
+    ARENA.with(|a| a.borrow_mut().saturate.insert((env, expr, budget), result));
+    bump(|s| s.saturate_misses += 1);
 }
 
 // ---- structural hashing -------------------------------------------------
@@ -528,7 +552,7 @@ fn hash_cond(c: &Cond, h: &mut Fnv) {
 mod tests {
     use super::*;
     use crate::range::RangeEnv;
-    use crate::simplify::simplify;
+    use crate::simplify::fixpoint_simplify as simplify;
     use crate::Expr;
 
     #[test]

@@ -11,21 +11,29 @@
 //!   allocation ([`ExprId`]), equality is (usually) an integer compare,
 //!   and commutative chains take one canonical sorted n-ary form;
 //! * range analysis ([`RangeEnv`]) seeded from layout-derived index bounds;
-//! * the seven division/modulo rewrite rules of the paper's Table II
-//!   ([`simplify()`]), with side conditions discharged by a structural
+//! * a unified pass facade ([`Engine`]) fronting simplification, proving,
+//!   range analysis, op counting, expansion, and variant selection —
+//!   with a [`SimplifyStrategy`] knob selecting between the fixpoint
+//!   rewriter over the paper's Table II rules (the [`simplify`][mod@simplify]
+//!   module) and
+//!   budget-bounded *equality saturation* over the interned IR
+//!   ([`egraph`]), which explores rule orderings the destructive
+//!   rewriter cannot and extracts the cheapest form by op count;
+//! * the shared declarative rule table ([`rules::RewriteRule`]) driving
+//!   both strategies, with side conditions discharged by a structural
 //!   prover ([`prove`]) instead of an SMT solver — simplification,
-//!   interval analysis, op counting, expansion and depth-0 proof facts
-//!   are all memoized per `(environment, node)` for the session, so
-//!   shared subtrees are processed once across an entire tuner
-//!   enumeration ([`intern::stats`] reports the hit rates);
-//! * expression expansion ([`expand()`]) and the op-count cost model
-//!   ([`cost`]) that picks expanded vs. unexpanded variants (NW vs. LUD);
+//!   interval analysis, op counting, expansion, saturation and depth-0
+//!   proof facts are all memoized per `(environment, node)` for the
+//!   session, so shared subtrees are processed once across an entire
+//!   tuner enumeration ([`intern::stats`] reports the hit rates);
+//! * expression expansion and the op-count cost model ([`cost`]) that
+//!   picks expanded vs. unexpanded variants (NW vs. LUD);
 //! * printers for Python/Triton, C/CUDA, and MLIR (`printer`).
 //!
 //! # Quickstart
 //!
 //! ```
-//! use lego_expr::{Expr, RangeEnv, simplify};
+//! use lego_expr::{Engine, Expr, RangeEnv};
 //!
 //! // A flatten-unflatten round trip like the ones GroupBy generates:
 //! let mut env = RangeEnv::new();
@@ -36,26 +44,40 @@
 //!
 //! let flat = Expr::sym("i") * Expr::sym("m") + Expr::sym("j");
 //! let back = flat.floor_div(&Expr::sym("m"));
-//! assert_eq!(simplify(&back, &env), Expr::sym("i"));
+//! let eng = Engine::with_env(env);
+//! assert_eq!(eng.simplify(&back), Expr::sym("i"));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod egraph;
+pub mod engine;
 pub mod expand;
 mod expr;
 pub mod intern;
 pub mod printer;
 pub mod prove;
 pub mod range;
+pub mod rules;
 pub mod simplify;
 pub mod subst;
 
-pub use cost::{op_count, pick_cheaper, CostChoice, Variant};
-pub use expand::expand;
+pub use cost::{CostChoice, Variant};
+pub use egraph::SaturationBudget;
+pub use engine::{Engine, SimplifyStrategy};
 pub use expr::{isqrt64, CmpOp, Cond, Expr, ExprKind};
 pub use intern::{ArenaStats, ExprId};
 pub use range::{NumRange, RangeEnv, SymBounds};
-pub use simplify::{simplify, simplify_with_stats, RuleStats};
+pub use rules::{RewriteRule, RuleStats};
 pub use subst::{eval, eval_cond, eval_lane, map_ranges, subst, transform, Bindings, EvalError};
+
+// Deprecated free-function pass API, kept for source compatibility; all
+// of these are thin shims over `Engine`.
+#[allow(deprecated)]
+pub use cost::{op_count, pick_cheaper};
+#[allow(deprecated)]
+pub use expand::expand;
+#[allow(deprecated)]
+pub use simplify::{simplify, simplify_with_stats};

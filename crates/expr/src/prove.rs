@@ -13,13 +13,15 @@
 //! 3. symbolic upper bounds compared by expand-and-cancel
 //!
 //! decides them without an SMT solver. This module is that substitute; the
-//! substitution is documented in `DESIGN.md` §3.
+//! substitution is documented in `DESIGN.md` §3. The public entry points
+//! are the `prove_*` methods on [`crate::Engine`]; the free functions
+//! here are deprecated shims kept for migration.
 
-use crate::expand::expand;
+use crate::expand::distribute;
 use crate::expr::{Expr, ExprKind};
 use crate::intern;
 use crate::range::RangeEnv;
-use crate::simplify::simplify_nofix;
+use crate::simplify::single_pass;
 
 /// Memo discriminants for the unary proof facts.
 const FACT_NONNEG: u8 = 0;
@@ -34,33 +36,33 @@ const FACT_POS: u8 = 1;
 /// are memoized for the session. Deeper (budget-truncated) queries are
 /// answered fresh and never cached, so memoization can't strengthen or
 /// weaken any proof.
-pub fn prove_nonneg(e: &Expr, env: &RangeEnv) -> bool {
+pub(crate) fn nonneg(e: &Expr, env: &RangeEnv) -> bool {
     if at_depth0() {
         let key = (env.id(), e.id().get());
         if let Some(v) = intern::prove_unary_get(key.0, key.1, FACT_NONNEG) {
             return v;
         }
-        let v = prove_nonneg_uncached(e, env);
+        let v = nonneg_uncached(e, env);
         intern::prove_unary_insert(key.0, key.1, FACT_NONNEG, v);
         return v;
     }
-    prove_nonneg_uncached(e, env)
+    nonneg_uncached(e, env)
 }
 
-fn prove_nonneg_uncached(e: &Expr, env: &RangeEnv) -> bool {
+fn nonneg_uncached(e: &Expr, env: &RangeEnv) -> bool {
     if env.num_range(e).is_nonneg() {
         return true;
     }
     let structural = match e.kind() {
-        ExprKind::Add(ts) | ExprKind::Mul(ts) => ts.iter().all(|t| prove_nonneg(t, env)),
-        ExprKind::FloorDiv(a, b) => prove_nonneg(a, env) && prove_pos(b, env),
-        ExprKind::Mod(_, d) => prove_pos(d, env),
-        ExprKind::Min(a, b) => prove_nonneg(a, env) && prove_nonneg(b, env),
-        ExprKind::Max(a, b) => prove_nonneg(a, env) || prove_nonneg(b, env),
-        ExprKind::Select(_, t, f) => prove_nonneg(t, env) && prove_nonneg(f, env),
+        ExprKind::Add(ts) | ExprKind::Mul(ts) => ts.iter().all(|t| nonneg(t, env)),
+        ExprKind::FloorDiv(a, b) => nonneg(a, env) && pos(b, env),
+        ExprKind::Mod(_, d) => pos(d, env),
+        ExprKind::Min(a, b) => nonneg(a, env) && nonneg(b, env),
+        ExprKind::Max(a, b) => nonneg(a, env) || nonneg(b, env),
+        ExprKind::Select(_, t, f) => nonneg(t, env) && nonneg(f, env),
         ExprKind::ISqrt(_) => true,
-        ExprKind::Xor(a, b) => prove_nonneg(a, env) && prove_nonneg(b, env),
-        ExprKind::Range { lo, len, .. } => prove_nonneg(lo, env) && prove_nonneg(len, env),
+        ExprKind::Xor(a, b) => nonneg(a, env) && nonneg(b, env),
+        ExprKind::Range { lo, len, .. } => nonneg(lo, env) && nonneg(len, env),
         _ => false,
     };
     structural || nonneg_factored_difference(e, env)
@@ -78,7 +80,7 @@ fn nonneg_factored_difference(e: &Expr, env: &RangeEnv) -> bool {
         return false;
     }
     // Identify the negated term.
-    let (pos, neg) = {
+    let (pos_t, neg) = {
         let is_neg = |t: &Expr| {
             matches!(t.kind(), ExprKind::Mul(fs)
                 if fs.first().and_then(Expr::as_const) == Some(-1))
@@ -91,9 +93,9 @@ fn nonneg_factored_difference(e: &Expr, env: &RangeEnv) -> bool {
             return false;
         }
     };
-    let mut pf: Vec<Expr> = match pos.kind() {
+    let mut pf: Vec<Expr> = match pos_t.kind() {
         ExprKind::Mul(fs) => fs.clone(),
-        _ => vec![pos.clone()],
+        _ => vec![pos_t.clone()],
     };
     let ExprKind::Mul(nfs) = neg.kind() else {
         return false;
@@ -103,7 +105,7 @@ fn nonneg_factored_difference(e: &Expr, env: &RangeEnv) -> bool {
     let mut i = 0;
     while i < pf.len() {
         if let Some(j) = nf.iter().position(|f| f == &pf[i]) {
-            if prove_nonneg(&pf[i], env) {
+            if nonneg(&pf[i], env) {
                 pf.remove(i);
                 nf.remove(j);
                 continue;
@@ -113,11 +115,12 @@ fn nonneg_factored_difference(e: &Expr, env: &RangeEnv) -> bool {
     }
     let p = Expr::mul_all(pf);
     let n = Expr::mul_all(nf);
-    if p == *pos && n.as_const() != Some(-1) && *neg == Expr::mul_all([Expr::val(-1), n.clone()]) {
-        // Nothing cancelled; avoid infinite recursion through prove_le.
+    if p == *pos_t && n.as_const() != Some(-1) && *neg == Expr::mul_all([Expr::val(-1), n.clone()])
+    {
+        // Nothing cancelled; avoid infinite recursion through le.
         return grouped_bound_lemma(&n, &p, env);
     }
-    grouped_bound_lemma(&n, &p, env) || prove_le(&n, &p, env)
+    grouped_bound_lemma(&n, &p, env) || le(&n, &p, env)
 }
 
 /// The grouped thread-block bound: `max(x/g, 1) * min(g, x) <= x` for
@@ -155,52 +158,51 @@ fn grouped_bound_lemma(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
         return false;
     }
     let min_matches = (n1 == g && n2 == x) || (n2 == g && n1 == x);
-    min_matches && prove_pos(x, env) && prove_pos(g, env)
+    min_matches && pos(x, env) && pos(g, env)
 }
 
-/// Proves `e > 0`. Depth-0 verdicts are memoized (see
-/// [`prove_nonneg`]).
-pub fn prove_pos(e: &Expr, env: &RangeEnv) -> bool {
+/// Proves `e > 0`. Depth-0 verdicts are memoized (see [`nonneg`]).
+pub(crate) fn pos(e: &Expr, env: &RangeEnv) -> bool {
     if at_depth0() {
         let key = (env.id(), e.id().get());
         if let Some(v) = intern::prove_unary_get(key.0, key.1, FACT_POS) {
             return v;
         }
-        let v = prove_pos_uncached(e, env);
+        let v = pos_uncached(e, env);
         intern::prove_unary_insert(key.0, key.1, FACT_POS, v);
         return v;
     }
-    prove_pos_uncached(e, env)
+    pos_uncached(e, env)
 }
 
-fn prove_pos_uncached(e: &Expr, env: &RangeEnv) -> bool {
+fn pos_uncached(e: &Expr, env: &RangeEnv) -> bool {
     if env.num_range(e).is_pos() {
         return true;
     }
     match e.kind() {
-        ExprKind::Mul(ts) => ts.iter().all(|t| prove_pos(t, env)),
+        ExprKind::Mul(ts) => ts.iter().all(|t| pos(t, env)),
         // x/d > 0 when d | x exactly and both are positive: x = d*(x/d)
         // with x >= 1 forces x/d >= 1 (e.g. K/BK >= 1 under exact tiling).
-        ExprKind::FloorDiv(x, d) => env.divides(d, x) && prove_pos(x, env) && prove_pos(d, env),
-        ExprKind::Min(a, b) => prove_pos(a, env) && prove_pos(b, env),
+        ExprKind::FloorDiv(x, d) => env.divides(d, x) && pos(x, env) && pos(d, env),
+        ExprKind::Min(a, b) => pos(a, env) && pos(b, env),
         ExprKind::Max(a, b) => {
-            (prove_pos(a, env) && prove_nonneg(b, env))
-                || (prove_pos(b, env) && prove_nonneg(a, env))
-                || (prove_pos(a, env) && prove_pos(b, env))
+            (pos(a, env) && nonneg(b, env))
+                || (pos(b, env) && nonneg(a, env))
+                || (pos(a, env) && pos(b, env))
         }
         ExprKind::Add(ts) => {
             // A sum is positive if all terms are non-negative and at least
             // one is positive.
-            ts.iter().all(|t| prove_nonneg(t, env)) && ts.iter().any(|t| prove_pos(t, env))
+            ts.iter().all(|t| nonneg(t, env)) && ts.iter().any(|t| pos(t, env))
         }
-        ExprKind::Select(_, t, f) => prove_pos(t, env) && prove_pos(f, env),
+        ExprKind::Select(_, t, f) => pos(t, env) && pos(f, env),
         _ => false,
     }
 }
 
 /// Proves `e != 0`.
-pub fn prove_nonzero(e: &Expr, env: &RangeEnv) -> bool {
-    env.num_range(e).is_nonzero() || prove_pos(e, env)
+pub(crate) fn nonzero(e: &Expr, env: &RangeEnv) -> bool {
+    env.num_range(e).is_nonzero() || pos(e, env)
 }
 
 /// Proves `a < b` (strict).
@@ -209,20 +211,20 @@ pub fn prove_nonzero(e: &Expr, env: &RangeEnv) -> bool {
 /// (`x % b < b`, `range(0, b) < b`, declared symbol bounds), and the
 /// symbolic comparison `upper_inclusive(a) <= b - 1` checked by
 /// expand-and-cancel.
-pub fn prove_lt(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
+pub(crate) fn lt(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
     if at_depth0() {
         let key = (env.id(), a.id().get(), b.id().get());
         if let Some(v) = intern::prove_lt_get(key.0, key.1, key.2) {
             return v;
         }
-        let v = prove_lt_uncached(a, b, env);
+        let v = lt_uncached(a, b, env);
         intern::prove_lt_insert(key.0, key.1, key.2, v);
         return v;
     }
-    prove_lt_uncached(a, b, env)
+    lt_uncached(a, b, env)
 }
 
-fn prove_lt_uncached(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
+fn lt_uncached(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
     // Numeric fast path.
     let (ra, rb) = (env.num_range(a), env.num_range(b));
     if let (Some(ah), Some(bl)) = (ra.hi, rb.lo) {
@@ -232,7 +234,7 @@ fn prove_lt_uncached(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
     }
     // Syntactic: a is a mod by exactly b, and b > 0.
     if let ExprKind::Mod(_, d) = a.kind() {
-        if d == b && prove_pos(b, env) {
+        if d == b && pos(b, env) {
             return true;
         }
     }
@@ -252,16 +254,16 @@ fn prove_lt_uncached(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
     }
     // min(x, y) < b if either side is.
     if let ExprKind::Min(x, y) = a.kind() {
-        if prove_lt(x, b, env) || prove_lt(y, b, env) {
+        if lt(x, b, env) || lt(y, b, env) {
             return true;
         }
     }
     // x / d < b when d > 0 and x < d*b (the quotient bound used to erase
     // the unflatten div of a flatten: e.g. (pid % (g*n)) / g < n).
     if let ExprKind::FloorDiv(x, d) = a.kind() {
-        if prove_pos(d, env) {
+        if pos(d, env) {
             let prod = Expr::mul_all([d.clone(), b.clone()]);
-            let ok = with_depth(|| prove_lt(x, &prod, env));
+            let ok = with_depth(|| lt(x, &prod, env));
             if ok == Some(true) {
                 return true;
             }
@@ -274,8 +276,8 @@ fn prove_lt_uncached(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
     let ua = env.upper_inclusive(a);
     let ok = with_depth(|| {
         let diff = b - Expr::one() - ua;
-        let norm = simplify_nofix(&expand(&diff), env);
-        prove_nonneg(&norm, env)
+        let norm = single_pass(&distribute(&diff), env);
+        nonneg(&norm, env)
     });
     ok == Some(true)
 }
@@ -307,23 +309,23 @@ fn with_depth<T>(f: impl FnOnce() -> T) -> Option<T> {
 }
 
 /// Proves `a <= b`.
-pub fn prove_le(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
+pub(crate) fn le(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
     if a == b {
         return true;
     }
-    prove_lt(a, &(b + Expr::one()), env) || prove_lt(a, b, env)
+    lt(a, &(b + Expr::one()), env) || lt(a, b, env)
 }
 
 /// Proves `0 <= x < d` — the guard of Table II rules 2, 4, and 5.
-pub fn prove_in_half_open(x: &Expr, d: &Expr, env: &RangeEnv) -> bool {
-    prove_nonneg(x, env) && prove_lt(x, d, env)
+pub(crate) fn in_half_open(x: &Expr, d: &Expr, env: &RangeEnv) -> bool {
+    nonneg(x, env) && lt(x, d, env)
 }
 
 /// Proves the syntactic divisibility `d | e`: every additive term of `e`
 /// contains `d` as a factor (or a constant multiple of a constant `d`).
 /// Returns the quotient when successful.
-pub fn divide_exact(e: &Expr, d: &Expr, env: &RangeEnv) -> Option<Expr> {
-    if !prove_nonzero(d, env) {
+pub(crate) fn div_exact(e: &Expr, d: &Expr, env: &RangeEnv) -> Option<Expr> {
+    if !nonzero(d, env) {
         return None;
     }
     match e.kind() {
@@ -366,11 +368,14 @@ fn divide_term_env(t: &Expr, d: &Expr, env: &RangeEnv) -> Option<Expr> {
 
 /// Divides a single (non-`Add`) term by `d`, if `d` appears syntactically
 /// as a factor (or divides the constant coefficient for constant `d`).
-fn divide_term(t: &Expr, d: &Expr) -> Option<Expr> {
+/// The quotient is exact by construction: `t == d * divide_term(t, d)`
+/// as integers, which is what makes the e-graph's `Factor` rule sound
+/// without environment conditions.
+pub(crate) fn divide_term(t: &Expr, d: &Expr) -> Option<Expr> {
     if t == d {
         return Some(Expr::one());
     }
-    // Declared divisibility is handled in `divide_exact`, which has the
+    // Declared divisibility is handled in `div_exact`, which has the
     // environment; here only syntactic structure is inspected.
     if let (Some(tv), Some(dv)) = (t.as_const(), d.as_const()) {
         if dv != 0 && tv % dv == 0 {
@@ -413,6 +418,50 @@ fn divide_term(t: &Expr, d: &Expr) -> Option<Expr> {
     None
 }
 
+// ---- deprecated free-function shims -------------------------------------
+
+/// Proves `e >= 0`.
+#[deprecated(note = "construct a `lego_expr::Engine` and call `Engine::prove_nonneg`")]
+pub fn prove_nonneg(e: &Expr, env: &RangeEnv) -> bool {
+    crate::engine::Engine::with_env(env.clone()).prove_nonneg(e)
+}
+
+/// Proves `e > 0`.
+#[deprecated(note = "construct a `lego_expr::Engine` and call `Engine::prove_pos`")]
+pub fn prove_pos(e: &Expr, env: &RangeEnv) -> bool {
+    crate::engine::Engine::with_env(env.clone()).prove_pos(e)
+}
+
+/// Proves `e != 0`.
+#[deprecated(note = "construct a `lego_expr::Engine` and call `Engine::prove_nonzero`")]
+pub fn prove_nonzero(e: &Expr, env: &RangeEnv) -> bool {
+    crate::engine::Engine::with_env(env.clone()).prove_nonzero(e)
+}
+
+/// Proves `a < b` (strict).
+#[deprecated(note = "construct a `lego_expr::Engine` and call `Engine::prove_lt`")]
+pub fn prove_lt(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
+    crate::engine::Engine::with_env(env.clone()).prove_lt(a, b)
+}
+
+/// Proves `a <= b`.
+#[deprecated(note = "construct a `lego_expr::Engine` and call `Engine::prove_le`")]
+pub fn prove_le(a: &Expr, b: &Expr, env: &RangeEnv) -> bool {
+    crate::engine::Engine::with_env(env.clone()).prove_le(a, b)
+}
+
+/// Proves `0 <= x < d`.
+#[deprecated(note = "construct a `lego_expr::Engine` and call `Engine::prove_in_half_open`")]
+pub fn prove_in_half_open(x: &Expr, d: &Expr, env: &RangeEnv) -> bool {
+    crate::engine::Engine::with_env(env.clone()).prove_in_half_open(x, d)
+}
+
+/// Proves the syntactic divisibility `d | e`, returning the quotient.
+#[deprecated(note = "construct a `lego_expr::Engine` and call `Engine::divide_exact`")]
+pub fn divide_exact(e: &Expr, d: &Expr, env: &RangeEnv) -> Option<Expr> {
+    crate::engine::Engine::with_env(env.clone()).divide_exact(e, d)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,26 +479,26 @@ mod tests {
     fn nonneg_of_index_arith() {
         let env = env_idx();
         let e = Expr::sym("i") * Expr::sym("m") + Expr::sym("j");
-        assert!(prove_nonneg(&e, &env));
+        assert!(nonneg(&e, &env));
     }
 
     #[test]
     fn pos_of_product_of_sizes() {
         let env = env_idx();
-        assert!(prove_pos(&(Expr::sym("n") * Expr::sym("m")), &env));
+        assert!(pos(&(Expr::sym("n") * Expr::sym("m")), &env));
     }
 
     #[test]
     fn lt_mod_divisor() {
         let env = env_idx();
         let e = Expr::sym("i").rem(&Expr::sym("m"));
-        assert!(prove_lt(&e, &Expr::sym("m"), &env));
+        assert!(lt(&e, &Expr::sym("m"), &env));
     }
 
     #[test]
     fn lt_declared_bound() {
         let env = env_idx();
-        assert!(prove_lt(&Expr::sym("i"), &Expr::sym("n"), &env));
+        assert!(lt(&Expr::sym("i"), &Expr::sym("n"), &env));
     }
 
     #[test]
@@ -458,21 +507,21 @@ mod tests {
         // i*m + j < n*m
         let e = Expr::sym("i") * Expr::sym("m") + Expr::sym("j");
         let bound = Expr::sym("n") * Expr::sym("m");
-        assert!(prove_lt(&e, &bound, &env));
+        assert!(lt(&e, &bound, &env));
     }
 
     #[test]
     fn lt_range_len() {
         let env = RangeEnv::new();
         let r = Expr::range(Expr::zero(), Expr::sym("BM"), 0, 2);
-        assert!(prove_lt(&r, &Expr::sym("BM"), &env));
+        assert!(lt(&r, &Expr::sym("BM"), &env));
     }
 
     #[test]
     fn not_provable_when_unknown() {
         let env = RangeEnv::new();
-        assert!(!prove_lt(&Expr::sym("x"), &Expr::sym("y"), &env));
-        assert!(!prove_nonneg(&Expr::sym("x"), &env));
+        assert!(!lt(&Expr::sym("x"), &Expr::sym("y"), &env));
+        assert!(!nonneg(&Expr::sym("x"), &env));
     }
 
     #[test]
@@ -481,7 +530,7 @@ mod tests {
         let d = Expr::sym("m");
         // m*i + 2*m  ->  i + 2
         let e = Expr::sym("m") * Expr::sym("i") + Expr::val(2) * Expr::sym("m");
-        let q = divide_exact(&e, &d, &env).expect("divisible");
+        let q = div_exact(&e, &d, &env).expect("divisible");
         assert_eq!(q, Expr::sym("i") + Expr::val(2));
     }
 
@@ -490,7 +539,7 @@ mod tests {
         let mut env = RangeEnv::new();
         env.assume_pos("x");
         let e = Expr::val(6) * Expr::sym("x");
-        let q = divide_exact(&e, &Expr::val(3), &env).expect("divisible");
+        let q = div_exact(&e, &Expr::val(3), &env).expect("divisible");
         assert_eq!(q, Expr::val(2) * Expr::sym("x"));
     }
 
@@ -498,13 +547,13 @@ mod tests {
     fn divide_exact_fails_on_remainder() {
         let env = env_idx();
         let e = Expr::sym("m") * Expr::sym("i") + Expr::sym("j");
-        assert!(divide_exact(&e, &Expr::sym("m"), &env).is_none());
+        assert!(div_exact(&e, &Expr::sym("m"), &env).is_none());
     }
 
     #[test]
     fn in_half_open_for_mod() {
         let env = env_idx();
         let x = Expr::sym("i").rem(&Expr::sym("m"));
-        assert!(prove_in_half_open(&x, &Expr::sym("m"), &env));
+        assert!(in_half_open(&x, &Expr::sym("m"), &env));
     }
 }

@@ -426,7 +426,7 @@ impl RangeEnv {
             ExprKind::Mul(ts) => {
                 // `prod <= prod of uppers` is only valid when every factor
                 // is provably non-negative; otherwise fall back to `e`.
-                if ts.iter().all(|t| crate::prove::prove_nonneg(t, self)) {
+                if ts.iter().all(|t| crate::prove::nonneg(t, self)) {
                     Expr::mul_all(ts.iter().map(|t| self.upper_inclusive(t)))
                 } else {
                     e.clone()
@@ -436,21 +436,21 @@ impl RangeEnv {
                 // (x % m) / b <= q - 1 when m = b*q exactly (the quotient
                 // of an unflatten never exceeds the outer extent).
                 if let ExprKind::Mod(_, m) = a.kind() {
-                    if crate::prove::prove_pos(b, self) && crate::prove::prove_pos(m, self) {
-                        if let Some(q) = crate::prove::divide_exact(m, b, self) {
+                    if crate::prove::pos(b, self) && crate::prove::pos(m, self) {
+                        if let Some(q) = crate::prove::div_exact(m, b, self) {
                             return q - Expr::one();
                         }
                     }
                 }
                 // a/b <= upper(a) when a >= 0 and b >= 1.
-                if crate::prove::prove_nonneg(a, self) && crate::prove::prove_pos(b, self) {
+                if crate::prove::nonneg(a, self) && crate::prove::pos(b, self) {
                     self.upper_inclusive(a)
                 } else {
                     e.clone()
                 }
             }
             ExprKind::Mod(_, d) => {
-                if crate::prove::prove_pos(d, self) {
+                if crate::prove::pos(d, self) {
                     d - Expr::one()
                 } else {
                     e.clone()
@@ -529,9 +529,9 @@ mod tests {
         let e = Expr::sym("i1") * Expr::sym("n2") + Expr::sym("i2");
         let u = env.upper_inclusive(&e);
         // (n1 - 1)*n2 + n2 - 1 expands to n1*n2 - 1.
-        let expanded = crate::simplify::simplify(&crate::expand::expand(&u), &env);
-        let target = crate::simplify::simplify(
-            &crate::expand::expand(&(Expr::sym("n1") * Expr::sym("n2") - Expr::one())),
+        let expanded = crate::simplify::fixpoint_simplify(&crate::expand::distribute(&u), &env);
+        let target = crate::simplify::fixpoint_simplify(
+            &crate::expand::distribute(&(Expr::sym("n1") * Expr::sym("n2") - Expr::one())),
             &env,
         );
         assert_eq!(expanded, target);

@@ -1,4 +1,4 @@
-//! The rewrite engine implementing the paper's Table II integer
+//! The fixpoint rewrite engine implementing the paper's Table II integer
 //! division/modulo rules, plus standard algebraic normalization
 //! (like-term collection, nested-div fusion, min/max ordering).
 //!
@@ -13,70 +13,37 @@
 //! | 6 | `(n + y) / 1` | `n + (y / 1)` | (division by one is erased) |
 //! | 7 | `a*(x / a) + x % a` | `x` | `a != 0` |
 //!
-//! Side conditions are discharged by [`crate::prove`] from the ranges in a
-//! [`RangeEnv`]. Statistics on which rules fired are available through
-//! [`simplify_with_stats`], which the tests use to assert which rules are
-//! exercised by each paper benchmark.
+//! The rules themselves live in the shared table [`crate::rules`] (also
+//! used by the e-graph saturation engine); this module owns the
+//! *strategy*: a bottom-up pass iterated to fixpoint, applying rules
+//! destructively in a fixed order. Side conditions are discharged by
+//! [`crate::prove`] from the ranges in a [`RangeEnv`]. Statistics on
+//! which rules fired are available through
+//! [`crate::Engine::simplify_with_stats`], which the tests use to
+//! assert which rules are exercised by each paper benchmark.
 
 use std::collections::HashMap;
 
-use crate::cost::op_count;
 use crate::expr::{Expr, ExprKind};
 use crate::intern;
-use crate::prove::{
-    at_depth0, divide_exact, prove_in_half_open, prove_le, prove_nonzero, prove_pos,
-};
+use crate::prove::at_depth0;
 use crate::range::RangeEnv;
+use crate::rules::{self, RuleStats};
 
-/// Counts how many times each named rewrite rule fired.
-///
-/// Under the interned IR the rewrite passes are memoized per node, so a
-/// rule firing is counted **once per unique `(environment, node)`
-/// within a `simplify_with_stats` call**: when a shared subtree is
-/// reached again (or the fixpoint loop revisits an already-rewritten
-/// node), the memoized result is reused and nothing is re-counted. The
-/// counts are therefore a property of the expression DAG, not of how
-/// many tree paths happen to reach each node — and they stay
-/// deterministic per call because `simplify_with_stats` uses a fresh
-/// per-call memo rather than the session tables.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct RuleStats {
-    counts: HashMap<&'static str, usize>,
-}
-
-impl RuleStats {
-    /// Number of firings of `rule` (see module docs for names).
-    pub fn count(&self, rule: &str) -> usize {
-        self.counts.get(rule).copied().unwrap_or(0)
-    }
-
-    /// Total number of rule firings.
-    pub fn total(&self) -> usize {
-        self.counts.values().sum()
-    }
-
-    /// Iterates over `(rule, firings)` pairs in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (&'static str, usize)> + '_ {
-        self.counts.iter().map(|(k, v)| (*k, *v))
-    }
-
-    fn hit(&mut self, rule: &'static str) {
-        *self.counts.entry(rule).or_insert(0) += 1;
-    }
-}
-
-/// Simplifies to fixpoint (bounded at 12 passes).
+/// Core of [`crate::Engine::simplify`] under
+/// [`crate::SimplifyStrategy::Rewrite`]: simplifies to fixpoint
+/// (bounded at 12 passes).
 ///
 /// Results are memoized for the session per `(environment, node)` —
 /// both the full fixpoint result and every per-node single-pass result
 /// — so shared subtrees across different call sites (e.g. the
 /// tile-offset terms thousands of neighboring tuner candidates have in
 /// common) are rewritten once.
-pub fn simplify(e: &Expr, env: &RangeEnv) -> Expr {
+pub(crate) fn fixpoint_simplify(e: &Expr, env: &RangeEnv) -> Expr {
     if !at_depth0() {
         // Inside a prover query the depth budget is partially spent and
         // pass results are not pure; stay off the session tables.
-        return simplify_with_stats(e, env).0;
+        return fixpoint_simplify_stats(e, env).0;
     }
     let env_id = env.id();
     if let Some(hit) = intern::simplify_get(env_id, e.id().get()) {
@@ -88,13 +55,14 @@ pub fn simplify(e: &Expr, env: &RangeEnv) -> Expr {
     result
 }
 
-/// Simplifies to fixpoint and reports which rules fired.
+/// Core of [`crate::Engine::simplify_with_stats`] under the rewrite
+/// strategy: simplifies to fixpoint and reports which rules fired.
 ///
 /// Uses a fresh per-call memo instead of the session tables, so the
 /// reported [`RuleStats`] are a deterministic function of `(e, env)`
 /// (counted once per unique node — see [`RuleStats`]) no matter what
 /// was simplified earlier in the session.
-pub fn simplify_with_stats(e: &Expr, env: &RangeEnv) -> (Expr, RuleStats) {
+pub(crate) fn fixpoint_simplify_stats(e: &Expr, env: &RangeEnv) -> (Expr, RuleStats) {
     let mut stats = RuleStats::default();
     let mut local = HashMap::new();
     let result = fixpoint(e, env, &mut stats, &mut PassMemo::Local(&mut local));
@@ -104,10 +72,28 @@ pub fn simplify_with_stats(e: &Expr, env: &RangeEnv) -> (Expr, RuleStats) {
 /// A single bottom-up simplification pass (no fixpoint iteration). Used
 /// internally by the prover to normalize bound differences without
 /// unbounded recursion.
-pub fn simplify_nofix(e: &Expr, env: &RangeEnv) -> Expr {
+pub(crate) fn single_pass(e: &Expr, env: &RangeEnv) -> Expr {
     let mut stats = RuleStats::default();
     let mut local = HashMap::new();
     pass(e, env, &mut stats, &mut PassMemo::Local(&mut local))
+}
+
+/// Simplifies to fixpoint (bounded at 12 passes).
+#[deprecated(note = "construct a `lego_expr::Engine` and call `Engine::simplify`")]
+pub fn simplify(e: &Expr, env: &RangeEnv) -> Expr {
+    crate::engine::Engine::with_env(env.clone()).simplify(e)
+}
+
+/// Simplifies to fixpoint and reports which rules fired.
+#[deprecated(note = "construct a `lego_expr::Engine` and call `Engine::simplify_with_stats`")]
+pub fn simplify_with_stats(e: &Expr, env: &RangeEnv) -> (Expr, RuleStats) {
+    crate::engine::Engine::with_env(env.clone()).simplify_with_stats(e)
+}
+
+/// A single bottom-up simplification pass (no fixpoint iteration).
+#[deprecated(note = "internal prover normalization; use `lego_expr::Engine::simplify` instead")]
+pub fn simplify_nofix(e: &Expr, env: &RangeEnv) -> Expr {
+    single_pass(e, env)
 }
 
 /// Where a rewrite pass looks up (and records) per-node results.
@@ -187,7 +173,7 @@ fn pass(e: &Expr, env: &RangeEnv, stats: &mut RuleStats, memo: &mut PassMemo) ->
     // Then apply node-level rules until the node stops changing.
     let mut cur = rebuilt;
     for _ in 0..8 {
-        let next = rules_at(&cur, env, stats);
+        let next = rules::apply_root(&cur, env, stats);
         if next == cur {
             break;
         }
@@ -206,277 +192,10 @@ fn pass(e: &Expr, env: &RangeEnv, stats: &mut RuleStats, memo: &mut PassMemo) ->
     cur
 }
 
-fn rules_at(e: &Expr, env: &RangeEnv, stats: &mut RuleStats) -> Expr {
-    match e.kind() {
-        ExprKind::Add(ts) => simplify_add(ts, env, stats),
-        ExprKind::Mul(ts) => simplify_mul(ts, e, env, stats),
-        ExprKind::Mod(a, d) => simplify_mod(a, d, e, env, stats),
-        ExprKind::FloorDiv(a, d) => simplify_div(a, d, e, env, stats),
-        ExprKind::Min(a, b) => {
-            if prove_le(a, b, env) {
-                stats.hit("min_order");
-                a.clone()
-            } else if prove_le(b, a, env) {
-                stats.hit("min_order");
-                b.clone()
-            } else {
-                e.clone()
-            }
-        }
-        ExprKind::Max(a, b) => {
-            if prove_le(a, b, env) {
-                stats.hit("max_order");
-                b.clone()
-            } else if prove_le(b, a, env) {
-                stats.hit("max_order");
-                a.clone()
-            } else {
-                e.clone()
-            }
-        }
-        _ => e.clone(),
-    }
-}
-
-/// Splits a term into `(constant coefficient, core)` where `core` carries
-/// no leading constant.
-fn coeff_core(t: &Expr) -> (i64, Expr) {
-    match t.kind() {
-        ExprKind::Const(v) => (*v, Expr::one()),
-        ExprKind::Mul(fs) => {
-            if let Some(c) = fs[0].as_const() {
-                (c, Expr::mul_all(fs[1..].iter().cloned()))
-            } else {
-                (1, t.clone())
-            }
-        }
-        _ => (1, t.clone()),
-    }
-}
-
-fn simplify_add(ts: &[Expr], env: &RangeEnv, stats: &mut RuleStats) -> Expr {
-    // Collect like terms: map core -> coefficient.
-    let mut order: Vec<Expr> = Vec::new();
-    let mut coeffs: HashMap<Expr, i64> = HashMap::new();
-    for t in ts {
-        let (c, core) = coeff_core(t);
-        let entry = coeffs.entry(core.clone()).or_insert_with(|| {
-            order.push(core.clone());
-            0
-        });
-        *entry += c;
-    }
-    let mut terms: Vec<(i64, Expr)> = order
-        .into_iter()
-        .filter_map(|core| {
-            let c = coeffs[&core];
-            (c != 0).then_some((c, core))
-        })
-        .collect();
-    if terms.len() < ts.len() {
-        stats.hit("collect");
-    }
-
-    // Rule 7: a*(x/a) + x%a -> x (matching coefficients).
-    'outer: loop {
-        for i in 0..terms.len() {
-            let (ci, core_i) = &terms[i];
-            // core_i must be a product containing FloorDiv(x, a) whose
-            // remaining factors multiply to `a`, or be FloorDiv(x, a) with
-            // a == 1 (already erased), so look for the Mul form.
-            let found = match core_i.kind() {
-                ExprKind::Mul(fs) => find_recompose_product(fs),
-                _ => None,
-            };
-            let Some((x, a)) = found else { continue };
-            if !prove_nonzero(&a, env) {
-                continue;
-            }
-            for j in 0..terms.len() {
-                if i == j {
-                    continue;
-                }
-                let (cj, core_j) = &terms[j];
-                if ci != cj {
-                    continue;
-                }
-                if let ExprKind::Mod(xj, aj) = core_j.kind() {
-                    if *xj == x && *aj == a {
-                        let c = *ci;
-                        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-                        terms.remove(hi);
-                        terms.remove(lo);
-                        terms.push((c, x.clone()));
-                        stats.hit("recompose");
-                        continue 'outer;
-                    }
-                }
-            }
-        }
-        break;
-    }
-
-    Expr::add_all(terms.into_iter().map(|(c, core)| {
-        if c == 1 {
-            core
-        } else {
-            Expr::mul_all([Expr::val(c), core])
-        }
-    }))
-}
-
-/// Inside a product, cancels `(x / d) * d -> x` when the environment
-/// declares `d | x` (exact tiling). The matching `x % d -> 0` fold falls
-/// out of `divide_exact` consulting the same declarations.
-fn simplify_mul(ts: &[Expr], orig: &Expr, env: &RangeEnv, stats: &mut RuleStats) -> Expr {
-    for (i, f) in ts.iter().enumerate() {
-        let ExprKind::FloorDiv(x, d) = f.kind() else {
-            continue;
-        };
-        if !env.divides(d, x) {
-            continue;
-        }
-        // Find a matching factor `d` elsewhere in the product.
-        if let Some(j) = ts.iter().enumerate().position(|(j, g)| j != i && g == d) {
-            stats.hit("div_mul_exact");
-            let rest = ts
-                .iter()
-                .enumerate()
-                .filter(|(k, _)| *k != i && *k != j)
-                .map(|(_, g)| g.clone());
-            return Expr::mul_all(rest.chain([x.clone()]));
-        }
-    }
-    orig.clone()
-}
-
-/// For factors `fs` of a product, finds `(x, a)` such that the product is
-/// `a * (x / a)` (one `FloorDiv(x, a)` factor; the rest multiply to `a`).
-fn find_recompose_product(fs: &[Expr]) -> Option<(Expr, Expr)> {
-    for (pos, f) in fs.iter().enumerate() {
-        if let ExprKind::FloorDiv(x, a) = f.kind() {
-            let rest = Expr::mul_all(
-                fs.iter()
-                    .enumerate()
-                    .filter(|(i, _)| *i != pos)
-                    .map(|(_, f)| f.clone()),
-            );
-            if &rest == a {
-                return Some((x.clone(), a.clone()));
-            }
-        }
-    }
-    None
-}
-
-fn simplify_mod(a: &Expr, d: &Expr, orig: &Expr, env: &RangeEnv, stats: &mut RuleStats) -> Expr {
-    // Exact divisibility: (d*q) % d -> 0.
-    if divide_exact(a, d, env).is_some() {
-        stats.hit("mod_exact_zero");
-        return Expr::zero();
-    }
-    // Rule 5: 0 <= a < d  =>  a % d = a.
-    if prove_pos(d, env) && prove_in_half_open(a, d, env) {
-        stats.hit("mod_in_range");
-        return a.clone();
-    }
-    // (x % d) % d -> x % d, and more generally (x % m) % d -> x % d when
-    // d | m (e.g. (pid % (g*nt_n)) % g -> pid % g in the grouped thread
-    // layout of Fig. 10).
-    if let ExprKind::Mod(x2, m2) = a.kind() {
-        if m2 == d && prove_nonzero(d, env) {
-            stats.hit("mod_of_mod");
-            return a.clone();
-        }
-        if prove_pos(d, env) && prove_pos(m2, env) && divide_exact(m2, d, env).is_some() {
-            stats.hit("mod_of_mod");
-            let inner = x2.rem(d);
-            return simplify_mod(x2, d, &inner, env, stats);
-        }
-    }
-    // Rule 1: (d*q + r) % d -> r % d, splitting the sum by divisibility.
-    if let ExprKind::Add(ts) = a.kind() {
-        if prove_nonzero(d, env) {
-            let (div_part, rest): (Vec<_>, Vec<_>) = ts
-                .iter()
-                .cloned()
-                .partition(|t| divide_exact(t, d, env).is_some());
-            if !div_part.is_empty() && !rest.is_empty() {
-                stats.hit("mod_split");
-                let r = Expr::add_all(rest);
-                return simplify_mod(&r, d, &r.rem(d), env, stats);
-            }
-        }
-    }
-    orig.clone()
-}
-
-fn simplify_div(a: &Expr, d: &Expr, orig: &Expr, env: &RangeEnv, stats: &mut RuleStats) -> Expr {
-    // Exact division: (d*q) / d -> q.
-    if let Some(q) = divide_exact(a, d, env) {
-        stats.hit("div_exact");
-        return q;
-    }
-    // Rule 3: (x % d) / d -> 0.
-    if let ExprKind::Mod(_, d2) = a.kind() {
-        if d2 == d && prove_pos(d, env) {
-            stats.hit("div_of_mod_zero");
-            return Expr::zero();
-        }
-    }
-    // Rule 4: 0 <= a < d  =>  a / d = 0.
-    if prove_pos(d, env) && prove_in_half_open(a, d, env) {
-        stats.hit("div_in_range");
-        return Expr::zero();
-    }
-    // (x / a) / b -> x / (a*b) for positive divisors.
-    if let ExprKind::FloorDiv(x, inner) = a.kind() {
-        if prove_pos(inner, env) && prove_pos(d, env) {
-            stats.hit("div_div");
-            return x.floor_div(&(inner * d));
-        }
-    }
-    // Rule 2: (d*q + r) / d -> q (+ r/d), splitting the sum.
-    if let ExprKind::Add(ts) = a.kind() {
-        if prove_nonzero(d, env) {
-            let mut q_parts: Vec<Expr> = Vec::new();
-            let mut rest: Vec<Expr> = Vec::new();
-            for t in ts {
-                match divide_exact(t, d, env) {
-                    Some(q) => q_parts.push(q),
-                    None => rest.push(t.clone()),
-                }
-            }
-            if !q_parts.is_empty() && !rest.is_empty() {
-                let q = Expr::add_all(q_parts);
-                let r = Expr::add_all(rest);
-                if prove_in_half_open(&r, d, env) {
-                    stats.hit("div_split");
-                    return q;
-                }
-                // General split is exact for floor division with d != 0;
-                // keep it only when it does not grow the expression.
-                let mut sub = RuleStats::default();
-                let rd = simplify_div(&r, d, &r.floor_div(d), env, &mut sub);
-                let candidate = q + &rd;
-                if op_count(&candidate) <= op_count(orig) {
-                    stats.hit("div_split");
-                    for (rule, n) in sub.iter() {
-                        for _ in 0..n {
-                            stats.hit(rule);
-                        }
-                    }
-                    return candidate;
-                }
-            }
-        }
-    }
-    orig.clone()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::RewriteRule;
 
     fn env_tile() -> RangeEnv {
         let mut env = RangeEnv::new();
@@ -493,18 +212,18 @@ mod tests {
         let env = env_tile();
         // (d*q + r) % d -> r   (r already < d so the inner mod erases too)
         let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r")).rem(&Expr::sym("d"));
-        let (s, st) = simplify_with_stats(&e, &env);
+        let (s, st) = fixpoint_simplify_stats(&e, &env);
         assert_eq!(s, Expr::sym("r"));
-        assert!(st.count("mod_split") >= 1);
+        assert!(st.count(RewriteRule::ModSplit) >= 1);
     }
 
     #[test]
     fn rule2_div_split_exact() {
         let env = env_tile();
         let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r")).floor_div(&Expr::sym("d"));
-        let (s, st) = simplify_with_stats(&e, &env);
+        let (s, st) = fixpoint_simplify_stats(&e, &env);
         assert_eq!(s, Expr::sym("q"));
-        assert!(st.count("div_split") >= 1);
+        assert!(st.count(RewriteRule::DivSplit) >= 1);
     }
 
     #[test]
@@ -514,34 +233,34 @@ mod tests {
         let e = Expr::sym("x")
             .rem(&Expr::sym("d"))
             .floor_div(&Expr::sym("d"));
-        let (s, st) = simplify_with_stats(&e, &env);
+        let (s, st) = fixpoint_simplify_stats(&e, &env);
         assert_eq!(s, Expr::zero());
-        assert!(st.count("div_of_mod_zero") >= 1);
+        assert!(st.count(RewriteRule::DivOfModZero) >= 1);
     }
 
     #[test]
     fn rule4_small_div() {
         let env = env_tile();
         let e = Expr::sym("r").floor_div(&Expr::sym("d"));
-        let (s, st) = simplify_with_stats(&e, &env);
+        let (s, st) = fixpoint_simplify_stats(&e, &env);
         assert_eq!(s, Expr::zero());
-        assert!(st.count("div_in_range") >= 1);
+        assert!(st.count(RewriteRule::DivInRange) >= 1);
     }
 
     #[test]
     fn rule5_small_mod() {
         let env = env_tile();
         let e = Expr::sym("r").rem(&Expr::sym("d"));
-        let (s, st) = simplify_with_stats(&e, &env);
+        let (s, st) = fixpoint_simplify_stats(&e, &env);
         assert_eq!(s, Expr::sym("r"));
-        assert!(st.count("mod_in_range") >= 1);
+        assert!(st.count(RewriteRule::ModInRange) >= 1);
     }
 
     #[test]
     fn rule6_div_by_one() {
         let env = RangeEnv::new();
         let e = (Expr::sym("n") + Expr::sym("y")).floor_div(&Expr::one());
-        assert_eq!(simplify(&e, &env), Expr::sym("n") + Expr::sym("y"));
+        assert_eq!(fixpoint_simplify(&e, &env), Expr::sym("n") + Expr::sym("y"));
     }
 
     #[test]
@@ -552,9 +271,9 @@ mod tests {
         let x = Expr::sym("x");
         let a = Expr::sym("a");
         let e = &a * x.floor_div(&a) + x.rem(&a);
-        let (s, st) = simplify_with_stats(&e, &env);
+        let (s, st) = fixpoint_simplify_stats(&e, &env);
         assert_eq!(s, x);
-        assert!(st.count("recompose") >= 1);
+        assert!(st.count(RewriteRule::Recompose) >= 1);
     }
 
     #[test]
@@ -562,7 +281,7 @@ mod tests {
         let env = RangeEnv::new();
         let a = Expr::sym("a");
         let e = &a + &a - &a - &a;
-        assert_eq!(simplify(&e, &env), Expr::zero());
+        assert_eq!(fixpoint_simplify(&e, &env), Expr::zero());
     }
 
     #[test]
@@ -573,7 +292,7 @@ mod tests {
         let e = Expr::sym("x")
             .floor_div(&Expr::sym("p"))
             .floor_div(&Expr::sym("q"));
-        let s = simplify(&e, &env);
+        let s = fixpoint_simplify(&e, &env);
         assert_eq!(
             s,
             Expr::sym("x").floor_div(&(Expr::sym("p") * Expr::sym("q")))
@@ -591,8 +310,8 @@ mod tests {
         let flat = Expr::sym("i") * Expr::sym("m") + Expr::sym("j");
         let i2 = flat.floor_div(&Expr::sym("m"));
         let j2 = flat.rem(&Expr::sym("m"));
-        assert_eq!(simplify(&i2, &env), Expr::sym("i"));
-        assert_eq!(simplify(&j2, &env), Expr::sym("j"));
+        assert_eq!(fixpoint_simplify(&i2, &env), Expr::sym("i"));
+        assert_eq!(fixpoint_simplify(&j2, &env), Expr::sym("j"));
     }
 
     #[test]
@@ -601,41 +320,41 @@ mod tests {
         env.set_bounds("i", Expr::val(0), Expr::val(4));
         // min(i, 100) = i
         let e = Expr::sym("i").min(&Expr::val(100));
-        assert_eq!(simplify(&e, &env), Expr::sym("i"));
+        assert_eq!(fixpoint_simplify(&e, &env), Expr::sym("i"));
     }
 
     #[test]
     fn stats_total_counts() {
         let env = env_tile();
         let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r")).rem(&Expr::sym("d"));
-        let (_, st) = simplify_with_stats(&e, &env);
+        let (_, st) = fixpoint_simplify_stats(&e, &env);
         assert!(st.total() >= 1);
     }
 
     #[test]
     fn stats_count_once_per_unique_node() {
         // The same rewritable subtree twice over: with the per-node
-        // memo, `mod_split` fires once for the unique node, not once
+        // memo, `ModSplit` fires once for the unique node, not once
         // per occurrence (hits don't double-count).
         let env = env_tile();
         let sub = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r")).rem(&Expr::sym("d"));
         let e = Expr::min(sub.clone(), &Expr::val(1_000_000)) + sub.rem(&Expr::val(7));
-        let (_, st) = simplify_with_stats(&e, &env);
-        assert_eq!(st.count("mod_split"), 1);
+        let (_, st) = fixpoint_simplify_stats(&e, &env);
+        assert_eq!(st.count(RewriteRule::ModSplit), 1);
     }
 
     #[test]
     fn stats_are_deterministic_per_call() {
-        // `simplify_with_stats` must report the same counts no matter
+        // The stats entry point must report the same counts no matter
         // what the session memo tables already contain — including a
         // prior simplify of the very same expression.
         let env = env_tile();
         let e = (Expr::sym("d") * Expr::sym("q") + Expr::sym("r")).rem(&Expr::sym("d"));
-        let first = simplify_with_stats(&e, &env);
-        let _ = simplify(&e, &env); // populate session tables
-        let second = simplify_with_stats(&e, &env);
+        let first = fixpoint_simplify_stats(&e, &env);
+        let _ = fixpoint_simplify(&e, &env); // populate session tables
+        let second = fixpoint_simplify_stats(&e, &env);
         assert_eq!(first.0, second.0);
         assert_eq!(first.1, second.1);
-        assert!(second.1.count("mod_split") >= 1);
+        assert!(second.1.count(RewriteRule::ModSplit) >= 1);
     }
 }

@@ -27,7 +27,7 @@ use lego_codegen::tuning::{
 use lego_core::brick::{brick3d, row_major3d};
 use lego_core::perms::{block_cyclic_rows, morton};
 use lego_core::{sugar, Layout, OrderBy, Result};
-use lego_expr::{expand, op_count, simplify, Expr, RangeEnv, Variant};
+use lego_expr::{Engine, Expr, RangeEnv, Variant};
 
 /// A tunable workload instance: the problem, not the configuration.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -592,16 +592,43 @@ fn annotate(kind: &WorkloadKind, config: &TunedConfig) -> (Option<Variant>, Opti
     let Some((raws, env)) = sym else {
         return (None, None);
     };
-    let ops_u: usize = raws.iter().map(|e| op_count(&simplify(e, &env))).sum();
+    // The annotation cache and the golden semantics transcript are both
+    // defined over the fixpoint rewriter, so this always runs the
+    // default `Rewrite` strategy; `annotated_ops` exposes the
+    // strategy-explicit path for benchmarking saturation.
+    let eng = Engine::with_env(env);
+    let ops_u: usize = raws.iter().map(|e| eng.op_count(&eng.simplify(e))).sum();
     let ops_e: usize = raws
         .iter()
-        .map(|e| op_count(&simplify(&expand(e), &env)))
+        .map(|e| eng.op_count(&eng.simplify(&eng.expand(e))))
         .sum();
     if ops_e < ops_u {
         (Some(Variant::Expanded), Some(ops_e))
     } else {
         (Some(Variant::Unexpanded), Some(ops_u))
     }
+}
+
+/// Total op count of a candidate's simplified index expressions under an
+/// explicit simplification strategy (the cheaper of the expanded and
+/// unexpanded variants, like [`Candidate::annotated`]). `None` when the
+/// layout has no symbolic form. This is the strategy-explicit path the
+/// tuner benchmark uses to compare equality saturation against the
+/// fixpoint rewriter; candidate annotation itself always uses the
+/// default `Rewrite` strategy.
+pub fn annotated_ops(
+    kind: &WorkloadKind,
+    config: &TunedConfig,
+    strategy: lego_expr::SimplifyStrategy,
+) -> Option<usize> {
+    let (raws, env) = symbolic_exprs(kind, config)?;
+    let eng = Engine::with_env(env).with_strategy(strategy);
+    let ops_u: usize = raws.iter().map(|e| eng.op_count(&eng.simplify(e))).sum();
+    let ops_e: usize = raws
+        .iter()
+        .map(|e| eng.op_count(&eng.simplify(&eng.expand(e))))
+        .sum();
+    Some(ops_u.min(ops_e))
 }
 
 /// The symbolic index expressions a candidate's kernel would compute,

@@ -18,7 +18,7 @@
 use lego_core::parse::parse_layout;
 use lego_expr::printer::python::{print as py_print, Flavor};
 use lego_expr::printer::{c, mlir::MlirEmitter};
-use lego_expr::{pick_cheaper, Expr, RangeEnv};
+use lego_expr::{Engine, Expr, RangeEnv};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -83,12 +83,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             env.assume_divides(y.clone(), x.clone());
         }
     }
-    let choice = pick_cheaper(&raw, &env);
+    let eng = Engine::with_env(env);
+    let choice = eng.pick_cheaper(&raw);
     println!(
         "apply({}) [{} ops raw -> {} ops simplified, {:?} form]:",
         names.join(", "),
-        lego_expr::op_count(&raw),
-        lego_expr::op_count(&choice.expr),
+        eng.op_count(&raw),
+        eng.op_count(&choice.expr),
         choice.variant
     );
     match dialect {
@@ -114,7 +115,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Ok(back) = layout.inv_sym(&Expr::sym("flat")) {
         println!("\ninv(flat):");
         for (n, e) in names.iter().zip(&back) {
-            let s = lego_expr::simplify(e, &env);
+            let s = eng.simplify(e);
             match dialect {
                 "c" => println!("  {n} = {}", c::print(&s)?),
                 _ => println!("  {n} = {}", py_print(&s, Flavor::Triton)?),

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use lego_core::{perms, Layout, OrderBy, Perm};
-use lego_expr::{simplify, Expr, RangeEnv};
+use lego_expr::{Engine, Expr, RangeEnv};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- concrete: build the Fig. 2 layout --------------------------
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
     println!(
         "\nraw generated offset ({} ops):",
-        lego_expr::op_count(&raw)
+        Engine::new().op_count(&raw)
     );
     println!("  {raw}");
 
@@ -74,17 +74,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     env.set_bounds("r0", Expr::zero(), Expr::sym("BM"));
     env.set_bounds("r1", Expr::zero(), Expr::sym("BK"));
 
-    let simplified = lego_expr::pick_cheaper(&raw, &env).expr;
+    let eng = Engine::with_env(env);
+    let simplified = eng.pick_cheaper(&raw).expr;
     println!(
         "simplified ({} ops):  {}",
-        lego_expr::op_count(&simplified),
+        eng.op_count(&simplified),
         simplified
     );
-    assert!(lego_expr::op_count(&simplified) < lego_expr::op_count(&raw));
+    assert!(eng.op_count(&simplified) < eng.op_count(&raw));
 
     // The expanded-then-simplified form is equivalent (evaluate both on
     // a sample binding to check):
-    let also = simplify(&lego_expr::expand(&raw), &env);
+    let also = eng.simplify(&eng.expand(&raw));
     let mut bind = lego_expr::Bindings::new();
     for (k, v) in [
         ("M", 64i64),

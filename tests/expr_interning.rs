@@ -19,7 +19,7 @@
 //! expression interned on another thread gets a different id, and
 //! structural equality must still hold.
 
-use lego_expr::{eval, expand, simplify, Bindings, Expr, NumRange, RangeEnv};
+use lego_expr::{eval, Bindings, Engine, Expr, NumRange, RangeEnv};
 use lego_tune::{symbolic_exprs, SearchSpace, WorkloadKind};
 
 mod prop_kinds {
@@ -86,9 +86,10 @@ fn interning_round_trip_is_pointer_equal() {
 fn simplify_is_idempotent_on_interned_nodes() {
     for kind in prop_kinds::all() {
         for (exprs, env) in candidate_exprs(kind) {
+            let eng = Engine::with_env(env);
             for e in &exprs {
-                let once = simplify(e, &env);
-                let twice = simplify(&once, &env);
+                let once = eng.simplify(e);
+                let twice = eng.simplify(&once);
                 assert!(
                     once.ptr_eq(&twice),
                     "{}: simplify not idempotent on {e}: {once} vs {twice}",
@@ -127,13 +128,14 @@ fn eval_equivalence_original_vs_simplified_vs_expanded() {
     let mut rng = Lcg(0x1e60_5eed);
     for kind in prop_kinds::all() {
         for (exprs, env) in candidate_exprs(kind) {
+            let eng = Engine::with_env(env);
             for e in &exprs {
-                let simplified = simplify(e, &env);
-                let expanded = simplify(&expand(e), &env);
+                let simplified = eng.simplify(e);
+                let expanded = eng.simplify(&eng.expand(e));
                 for _ in 0..16 {
                     let mut bind = Bindings::new();
                     for s in e.free_syms() {
-                        let r = env.num_range(&Expr::sym(&*s));
+                        let r = eng.num_range(&Expr::sym(&*s));
                         bind.insert(s.to_string(), rng.in_range(r));
                     }
                     let want = eval(e, &bind).expect("original evaluates");

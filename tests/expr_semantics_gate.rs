@@ -25,7 +25,7 @@ use gpu_sim::{a100, h100, mi300, GpuConfig};
 use lego_codegen::cuda::stencil::StencilShape;
 use lego_codegen::tuning::RowwiseOp;
 use lego_expr::printer::python::{print as py_print, Flavor};
-use lego_expr::{pick_cheaper, Expr, RangeEnv};
+use lego_expr::{Engine, Expr, RangeEnv, SimplifyStrategy};
 use lego_tune::space::{build_layout, SearchSpace, WorkloadKind};
 use lego_tune::{Budget, Strategy, Tuner};
 
@@ -123,7 +123,7 @@ fn transcript() -> Vec<String> {
         .iter()
         .enumerate()
     {
-        let choice = pick_cheaper(e, &env);
+        let choice = Engine::with_env(env.clone()).pick_cheaper(e);
         out.push(format!(
             "expr matmul-grouped pid{} [{:?}/{} ops] {}",
             i,
@@ -158,4 +158,80 @@ fn expr_semantics_bit_identical_to_golden() {
     for (i, (g, l)) in golden.iter().zip(lines.iter()).enumerate() {
         assert_eq!(g, l, "semantics drift at transcript line {}", i + 1);
     }
+}
+
+/// The saturation companion to the golden gate: on every expression the
+/// transcript pins (all symbolic candidate expressions plus the printed
+/// grouped-matmul pid decomposition), `SimplifyStrategy::Saturate` must
+/// (a) extract a form whose op count is no worse than the fixpoint
+/// rewriter's, and (b) agree with the rewriter on concrete bindings
+/// sampled within the declared index bounds. The rewrite strategy stays
+/// bit-identical to the golden file above; saturation is only required
+/// to be eval-equivalent and no costlier.
+#[test]
+fn saturate_no_worse_than_rewrite_on_transcript_exprs() {
+    use lego_expr::{eval, Bindings};
+    use lego_tune::symbolic_exprs;
+
+    // Deterministic LCG sampler (no external crates).
+    let mut state = 0x5a17_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+
+    let mut checked = 0usize;
+    let mut check = |exprs: &[Expr], env: &RangeEnv, tag: &str| {
+        let rw = Engine::with_env(env.clone());
+        let sat = Engine::with_env(env.clone()).with_strategy(SimplifyStrategy::Saturate);
+        for e in exprs {
+            let r = rw.simplify(e);
+            let s = sat.simplify(e);
+            assert!(
+                sat.op_count(&s) <= rw.op_count(&r),
+                "{tag}: saturate extracted a costlier form for {e}: {s} ({} ops) vs {r} ({} ops)",
+                sat.op_count(&s),
+                rw.op_count(&r)
+            );
+            for _ in 0..8 {
+                let mut bind = Bindings::new();
+                for sym in e.free_syms() {
+                    let range = env.num_range(&Expr::sym(&*sym));
+                    let lo = range.lo.unwrap_or(0);
+                    let hi = range.hi.unwrap_or(lo + 64).max(lo);
+                    let span = (hi - lo + 1).max(1) as u64;
+                    bind.insert(sym.to_string(), lo + (next() % span) as i64);
+                }
+                let want = eval(e, &bind).expect("original evaluates");
+                let got = eval(&s, &bind).expect("saturated form evaluates");
+                assert_eq!(
+                    want, got,
+                    "{tag}: saturation changed value of {e} at {bind:?}"
+                );
+            }
+            checked += 1;
+        }
+    };
+
+    for kind in workloads() {
+        let space = SearchSpace::enumerate(kind);
+        for c in &space.candidates {
+            if let Some((exprs, env)) = symbolic_exprs(&kind, &c.config) {
+                check(&exprs, &env, &kind.name());
+            }
+        }
+    }
+
+    let matmul = WorkloadKind::Matmul { n: 1024 };
+    let layout =
+        build_layout(&matmul, &matmul.default_config()).expect("grouped matmul layout builds");
+    let mut env = RangeEnv::new();
+    let dims = layout.view().dims_const().expect("const dims");
+    env.set_bounds("pid", Expr::zero(), Expr::val(dims[0] * dims[1]));
+    let pids = layout.inv_sym(&Expr::sym("pid")).expect("symbolic inverse");
+    check(&pids, &env, "matmul-grouped-pid");
+
+    assert!(checked > 100, "gate exercised only {checked} expressions");
 }

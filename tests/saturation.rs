@@ -1,0 +1,262 @@
+//! Property tests for equality saturation (`SimplifyStrategy::Saturate`).
+//!
+//! Four invariants over the expressions the tuner actually constructs
+//! (every symbolic candidate of the six workload families' legacy
+//! spaces) plus targeted index-arithmetic forms:
+//!
+//! 1. **Eval equivalence** — the saturated form agrees with the original
+//!    (and the fixpoint-rewritten form) on concrete bindings sampled
+//!    within the candidate's declared index bounds.
+//! 2. **Never costlier** — `op_count(saturate(e)) <= op_count(rewrite(e))`
+//!    on every candidate expression, at any budget (the e-graph is
+//!    seeded with the rewriter's result, so this holds by construction).
+//! 3. **Determinism** — two independent saturations of the same
+//!    `(expr, env, budget)` produce identical expressions *and*
+//!    identical rule statistics (`simplify_with_stats` bypasses the
+//!    session memo, so this exercises the real saturation loop twice).
+//! 4. **Budget monotonicity** — growing the budget never extracts a
+//!    costlier form: the union schedule is deterministic, so a
+//!    smaller-budget run is a prefix of the larger run's exploration.
+//!
+//! Plus the committed strictly-better case: the factoring identity
+//! `i*s + j*s → (i+j)*s` that the destructive rewriter cannot reach
+//! (its collect rule only merges syntactically identical cores), which
+//! saturation finds via the exploratory `Factor` rule.
+
+mod prop_support;
+
+use lego_expr::{eval, Bindings, Engine, Expr, RangeEnv, SaturationBudget, SimplifyStrategy};
+use lego_tune::{symbolic_exprs, SearchSpace, WorkloadKind};
+use prop_support::Rng;
+
+fn workloads() -> Vec<WorkloadKind> {
+    use lego_codegen::cuda::stencil::StencilShape;
+    use lego_tune::RowwiseOp;
+    vec![
+        WorkloadKind::Matmul { n: 1024 },
+        WorkloadKind::Transpose { n: 512 },
+        WorkloadKind::Stencil {
+            shape: StencilShape::Star(1),
+            n: 64,
+        },
+        WorkloadKind::Nw { n: 448, b: 16 },
+        WorkloadKind::Lud { n: 512, bs: 16 },
+        WorkloadKind::Rowwise {
+            op: RowwiseOp::Softmax,
+            m: 256,
+            n: 1024,
+        },
+    ]
+}
+
+/// Every symbolic candidate expression of a workload's legacy space.
+fn candidate_exprs(kind: WorkloadKind) -> Vec<(Vec<Expr>, RangeEnv)> {
+    SearchSpace::enumerate(kind)
+        .candidates
+        .iter()
+        .filter_map(|c| symbolic_exprs(&kind, &c.config))
+        .collect()
+}
+
+/// A binding for `e`'s free symbols sampled within `env`'s bounds
+/// (unbounded ends default to a small positive window).
+fn sample_binding(e: &Expr, env: &RangeEnv, rng: &mut Rng) -> Bindings {
+    let mut bind = Bindings::new();
+    for s in e.free_syms() {
+        let r = env.num_range(&Expr::sym(&*s));
+        let lo = r.lo.unwrap_or(0);
+        let hi = r.hi.unwrap_or(lo + 64).max(lo);
+        bind.insert(s.to_string(), rng.range_i64(lo, hi + 1));
+    }
+    bind
+}
+
+#[test]
+fn saturation_is_eval_equivalent_to_rewrite_on_candidate_exprs() {
+    let mut rng = Rng::new(0x5a7_0001);
+    for kind in workloads() {
+        for (exprs, env) in candidate_exprs(kind) {
+            let rw = Engine::with_env(env.clone());
+            let sat = Engine::with_env(env.clone()).with_strategy(SimplifyStrategy::Saturate);
+            for e in &exprs {
+                let r = rw.simplify(e);
+                let s = sat.simplify(e);
+                for _ in 0..12 {
+                    let bind = sample_binding(e, &env, &mut rng);
+                    let want = eval(e, &bind).expect("original evaluates");
+                    assert_eq!(
+                        want,
+                        eval(&s, &bind).expect("saturated evaluates"),
+                        "{}: saturation changed value of {e} under {bind:?}",
+                        kind.name()
+                    );
+                    assert_eq!(
+                        want,
+                        eval(&r, &bind).expect("rewritten evaluates"),
+                        "{}: rewrite changed value of {e} under {bind:?}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn saturation_is_never_costlier_than_rewrite_on_candidate_exprs() {
+    let mut total = 0usize;
+    let mut strictly_better = 0usize;
+    for kind in workloads() {
+        for (exprs, env) in candidate_exprs(kind) {
+            let rw = Engine::with_env(env.clone());
+            let sat = Engine::with_env(env).with_strategy(SimplifyStrategy::Saturate);
+            for e in &exprs {
+                let rc = rw.op_count(&rw.simplify(e));
+                let sc = sat.op_count(&sat.simplify(e));
+                assert!(
+                    sc <= rc,
+                    "{}: saturate extracted {sc} ops where rewrite reached {rc} for {e}",
+                    kind.name()
+                );
+                total += 1;
+                if sc < rc {
+                    strictly_better += 1;
+                }
+            }
+        }
+    }
+    assert!(total > 100, "only {total} candidate expressions exercised");
+    // Informational: strict improvements on tuner-generated forms are
+    // possible but not required (the targeted case below is).
+    let _ = strictly_better;
+}
+
+/// The committed strictly-better case: two terms sharing a symbolic
+/// stride. The fixpoint rewriter's collect rule only merges
+/// syntactically identical cores, so `i*s + j*s` stays at 3 ops; the
+/// e-graph's exploratory factor rule reaches `(i+j)*s` at 2.
+#[test]
+fn saturation_is_strictly_better_on_shared_stride_sum() {
+    let env = RangeEnv::new();
+    let e = Expr::sym("i") * Expr::sym("s") + Expr::sym("j") * Expr::sym("s");
+    let rw = Engine::with_env(env.clone());
+    let sat = Engine::with_env(env).with_strategy(SimplifyStrategy::Saturate);
+    let r = rw.simplify(&e);
+    let s = sat.simplify(&e);
+    assert_eq!(rw.op_count(&r), 3, "rewriter unexpectedly factored {r}");
+    assert_eq!(s, (Expr::sym("i") + Expr::sym("j")) * Expr::sym("s"));
+    assert_eq!(sat.op_count(&s), 2);
+
+    // And the value is preserved.
+    let mut rng = Rng::new(0x5a7_0002);
+    for _ in 0..16 {
+        let mut bind = Bindings::new();
+        for sym in ["i", "j", "s"] {
+            bind.insert(sym.to_string(), rng.range_i64(-100, 100));
+        }
+        assert_eq!(eval(&e, &bind).unwrap(), eval(&s, &bind).unwrap());
+    }
+}
+
+#[test]
+fn saturation_is_deterministic_per_budget() {
+    for kind in workloads() {
+        for (exprs, env) in candidate_exprs(kind).into_iter().take(4) {
+            for budget in [
+                SaturationBudget::default(),
+                SaturationBudget {
+                    max_iters: 2,
+                    max_nodes: 256,
+                },
+            ] {
+                let eng = Engine::with_env(env.clone())
+                    .with_strategy(SimplifyStrategy::Saturate)
+                    .with_budget(budget);
+                for e in &exprs {
+                    // `simplify_with_stats` bypasses the session memo:
+                    // both calls run the full saturation loop.
+                    let (a, stats_a) = eng.simplify_with_stats(e);
+                    let (b, stats_b) = eng.simplify_with_stats(e);
+                    assert!(a.ptr_eq(&b), "{}: nondeterministic extraction", kind.name());
+                    let a_counts: Vec<_> = stats_a.iter().collect();
+                    let b_counts: Vec<_> = stats_b.iter().collect();
+                    assert_eq!(
+                        a_counts,
+                        b_counts,
+                        "{}: nondeterministic rule stats",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn growing_the_budget_never_extracts_a_costlier_form() {
+    let ladder = [
+        SaturationBudget {
+            max_iters: 0,
+            max_nodes: 0,
+        },
+        SaturationBudget {
+            max_iters: 1,
+            max_nodes: 64,
+        },
+        SaturationBudget {
+            max_iters: 2,
+            max_nodes: 256,
+        },
+        SaturationBudget {
+            max_iters: 4,
+            max_nodes: 1024,
+        },
+        SaturationBudget::default(),
+    ];
+    for kind in workloads() {
+        for (exprs, env) in candidate_exprs(kind).into_iter().take(4) {
+            for e in &exprs {
+                let mut prev: Option<usize> = None;
+                for budget in ladder {
+                    let eng = Engine::with_env(env.clone())
+                        .with_strategy(SimplifyStrategy::Saturate)
+                        .with_budget(budget);
+                    let cost = eng.op_count(&eng.simplify(e));
+                    if let Some(p) = prev {
+                        assert!(
+                            cost <= p,
+                            "{}: budget {budget:?} extracted {cost} ops after a \
+                             smaller budget reached {p} for {e}",
+                            kind.name()
+                        );
+                    }
+                    prev = Some(cost);
+                }
+            }
+        }
+    }
+}
+
+/// Even a zero budget (no saturation iterations at all) is no worse
+/// than the rewriter: the e-graph is seeded with the rewritten form.
+#[test]
+fn zero_budget_equals_rewrite_cost() {
+    for kind in workloads() {
+        for (exprs, env) in candidate_exprs(kind).into_iter().take(4) {
+            let rw = Engine::with_env(env.clone());
+            let sat = Engine::with_env(env)
+                .with_strategy(SimplifyStrategy::Saturate)
+                .with_budget(SaturationBudget {
+                    max_iters: 0,
+                    max_nodes: 0,
+                });
+            for e in &exprs {
+                assert!(
+                    sat.op_count(&sat.simplify(e)) <= rw.op_count(&rw.simplify(e)),
+                    "{}: zero-budget saturation worse than rewrite for {e}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}

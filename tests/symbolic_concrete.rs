@@ -7,7 +7,7 @@ mod prop_support;
 
 use lego_core::perms::{antidiag, reverse_perm};
 use lego_core::{Layout, OrderBy, Perm};
-use lego_expr::{eval, expand, pick_cheaper, simplify, Bindings, Expr, RangeEnv};
+use lego_expr::{eval, Bindings, Engine, Expr, RangeEnv};
 use prop_support::Rng;
 
 fn check_layout_symbolic(layout: &Layout, dims: &[i64]) {
@@ -18,9 +18,10 @@ fn check_layout_symbolic(layout: &Layout, dims: &[i64]) {
     layout
         .declare_index_bounds(&mut env, &names[..dims.len()])
         .unwrap();
-    let simp = simplify(&raw, &env);
-    let exp = simplify(&expand(&raw), &env);
-    let cheap = pick_cheaper(&raw, &env).expr;
+    let eng = Engine::with_env(env);
+    let simp = eng.simplify(&raw);
+    let exp = eng.simplify(&eng.expand(&raw));
+    let cheap = eng.pick_cheaper(&raw).expr;
 
     let mut bind = Bindings::new();
     let mut counters = vec![0i64; dims.len()];
@@ -139,7 +140,7 @@ fn simplify_preserves_semantics_on_random_exprs() {
         let mut bind = Bindings::new();
         bind.insert("a".into(), a);
         for e in exprs {
-            let s = simplify(&e, &env);
+            let s = Engine::with_env(env.clone()).simplify(&e);
             assert_eq!(
                 eval(&e, &bind).unwrap(),
                 eval(&s, &bind).unwrap(),
