@@ -7,8 +7,8 @@
 //! modes:
 //!
 //! * **run** (default) — tune the grid once (transfer on unless
-//!   `--no-transfer`, persistent `--cache` optional), print a per-key
-//!   table, and emit `BENCH_fleet.json`.
+//!   `--no-transfer`, persistent `--cache` and memo `--sidecar`
+//!   optional), print a per-key table, and emit `BENCH_fleet.json`.
 //! * **`--compare`** — the CI smoke: tune the same grid twice without
 //!   a cache, first cold (transfer off, every key at full budget) and
 //!   then with transfer, and assert the transferred run is at least
@@ -19,8 +19,10 @@
 //!
 //! Flags: `--grid SPEC`, `--threads N`, `--strategy anneal|genetic`,
 //! `--budget N`, `--space legacy|enlarged`, `--device TAG` (default
-//! device for specs without `@`), `--cache PATH`, `--no-transfer`,
-//! `--compare`, `--min-speedup X`, `--tol X`.
+//! device for specs without `@`), `--cache PATH`, `--sidecar PATH`
+//! (warm every worker from the persisted memo sidecar and merge the
+//! derived results back on completion), `--no-transfer`, `--compare`,
+//! `--min-speedup X`, `--tol X`.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -184,6 +186,9 @@ fn main() {
     let mut driver = FleetDriver::new(threads).with_transfer(!has("--no-transfer"));
     if let Some(path) = flag("--cache") {
         driver = driver.with_cache(path);
+    }
+    if let Some(path) = flag("--sidecar") {
+        driver = driver.with_sidecar(path);
     }
     let report = driver.run(&grid);
     print_report(&report);

@@ -23,6 +23,19 @@
 //! `BENCH_tuner[_<device>].json` (`--device a100|h100|mi300`), uploaded
 //! by CI next to the paper-table artifacts so the tuner's throughput
 //! finally has its own trajectory.
+//!
+//! A final **sidecar** phase persists everything the run derived into
+//! the cross-session memo sidecar (`--sidecar PATH`, or a temp file
+//! removed afterwards) and replays the full enumeration twice on fresh
+//! threads — a fresh thread owns a fresh thread-local arena and an
+//! empty annotation cache, the closest a single process gets to a
+//! restart. The cold replay re-derives everything; the warmed replay
+//! installs the sidecar first. The phase asserts the two produce
+//! byte-identical per-candidate results and that the warmed replay's
+//! candidates/second is at least the cold one's, and emits a
+//! `sidecar-rewarm` summary row (`cold_process_candidates_per_s`,
+//! `sidecar_candidates_per_s`, `sidecar_speedup`, load time, entry and
+//! warm-hit counts).
 
 use std::time::Instant;
 
@@ -66,6 +79,33 @@ fn rate(hits: u64, misses: u64) -> f64 {
 /// Candidates per second, guarding tiny elapsed times.
 fn per_second(count: usize, secs: f64) -> f64 {
     count as f64 / secs.max(1e-9)
+}
+
+/// Enumerates every workload once on the *calling* thread and returns
+/// `(candidates, seconds, per-candidate result lines, memo hit rate)`.
+/// Run on a fresh `std::thread` this is a cold-process stand-in: the
+/// thread-local arena and annotation cache start empty, so the only
+/// possible warm-up is whatever a sidecar installed beforehand.
+fn fresh_enumeration(kinds: &[WorkloadKind]) -> (usize, f64, Vec<String>, f64) {
+    let before = arena_stats();
+    let t = Instant::now();
+    let mut lines = Vec::new();
+    for kind in kinds {
+        let space = SearchSpace::enumerate(*kind);
+        for c in &space.candidates {
+            lines.push(format!(
+                "{}|{}|{:?}|{:?}",
+                kind.name(),
+                c.config,
+                c.expr_variant,
+                c.index_ops
+            ));
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    let stats = arena_stats().since(&before);
+    let n = lines.len();
+    (n, secs, lines, rate(stats.memo_hits(), stats.memo_misses()))
 }
 
 fn main() {
@@ -270,6 +310,88 @@ fn main() {
         ),
         ("saturate_strictly_better", Json::Int(1)),
     ]));
+
+    // Cross-session sidecar: persist everything the run above derived,
+    // then replay the full enumeration on two fresh threads — one cold,
+    // one warmed from the sidecar — and compare results and throughput.
+    let kinds = workloads();
+    let (sidecar_path, keep_sidecar) = match tuned::sidecar_from_args() {
+        Some(p) => (p, true),
+        None => {
+            let p = std::env::temp_dir()
+                .join(format!("tuner-bench-sidecar-{}.txt", std::process::id()));
+            let _ = std::fs::remove_file(&p);
+            (p, false)
+        }
+    };
+    lego_tune::sidecar::collect_and_save(&sidecar_path).expect("sidecar write");
+    let entries = lego_tune::Sidecar::load(&sidecar_path).len();
+
+    let cold = {
+        let kinds = kinds.clone();
+        std::thread::spawn(move || fresh_enumeration(&kinds))
+            .join()
+            .expect("cold replay thread")
+    };
+    let (warmed, load_s, installed, warm_hits) = {
+        let kinds = kinds.clone();
+        let path = sidecar_path.clone();
+        std::thread::spawn(move || {
+            let t = Instant::now();
+            let warm = lego_tune::sidecar::load_and_install(&path);
+            let load_s = t.elapsed().as_secs_f64();
+            let r = fresh_enumeration(&kinds);
+            let (_, ann_hits) = lego_tune::space::annotate_sidecar_stats();
+            let hits = arena_stats().sidecar_hits + ann_hits;
+            (r, load_s, warm.installed(), hits)
+        })
+        .join()
+        .expect("warmed replay thread")
+    };
+
+    let (cold_n, cold_s, cold_lines, cold_memo) = cold;
+    let (warm_n, warm_s, warm_lines, warm_memo) = warmed;
+    assert_eq!(cold_n, warm_n, "replay candidate counts diverged");
+    assert_eq!(
+        cold_lines, warm_lines,
+        "sidecar-warmed replay produced different results than cold"
+    );
+    assert!(
+        installed > 0,
+        "sidecar installed nothing after a full bench run"
+    );
+    assert!(warm_hits > 0, "sidecar-warmed replay never hit the sidecar");
+    let cold_cps = per_second(cold_n, cold_s);
+    let warm_cps = per_second(warm_n, warm_s);
+    assert!(
+        warm_cps >= cold_cps,
+        "sidecar-warmed replay was slower than a cold process \
+         ({warm_cps:.0} vs {cold_cps:.0} candidates/s)"
+    );
+    println!(
+        "sidecar rewarm: {entries} entries ({installed} installed, load {:.2}ms); \
+         cold {cold_cps:.0} c/s -> warmed {warm_cps:.0} c/s ({:.1}x), \
+         {warm_hits} warm hits, byte-identical results",
+        load_s * 1e3,
+        warm_cps / cold_cps.max(1e-9)
+    );
+    rows.push(Json::obj([
+        ("workload", Json::Str("sidecar-rewarm".to_string())),
+        ("candidates", Json::Int(cold_n as i64)),
+        ("sidecar_entries", Json::Int(entries as i64)),
+        ("sidecar_installed", Json::Int(installed as i64)),
+        ("sidecar_load_s", Json::Num(load_s)),
+        ("sidecar_warm_hits", Json::Int(warm_hits as i64)),
+        ("cold_process_candidates_per_s", Json::Num(cold_cps)),
+        ("sidecar_candidates_per_s", Json::Num(warm_cps)),
+        ("sidecar_speedup", Json::Num(warm_cps / cold_cps.max(1e-9))),
+        ("cold_process_memo_hit_rate", Json::Num(cold_memo)),
+        ("sidecar_memo_hit_rate", Json::Num(warm_memo)),
+        ("byte_identical", Json::Bool(true)),
+    ]));
+    if !keep_sidecar {
+        let _ = std::fs::remove_file(&sidecar_path);
+    }
 
     emit::announce(emit::write_bench_json(
         &tuned::bench_name("tuner", &device),

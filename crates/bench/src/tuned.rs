@@ -27,7 +27,7 @@ pub fn tuned_requested() -> bool {
 
 /// The command-line flags that take a value — skipped (with their
 /// values) by [`positional_args`].
-const VALUE_FLAGS: [&str; 4] = ["--device", "--strategy", "--budget", "--space"];
+const VALUE_FLAGS: [&str; 5] = ["--device", "--strategy", "--budget", "--space", "--sidecar"];
 
 /// The positional (non-flag) arguments: everything after the binary
 /// name minus `--tuned` and the value-taking flags with their values.
@@ -127,6 +127,41 @@ pub fn space_from_args() -> Option<SpaceScale> {
     })
 }
 
+/// The persistent memo-sidecar path selected by `--sidecar`, if any
+/// (`none` disables, mirroring `lego-served`).
+pub fn sidecar_from_args() -> Option<std::path::PathBuf> {
+    flag_value("--sidecar")
+        .filter(|v| v != "none")
+        .map(std::path::PathBuf::from)
+}
+
+/// Warm-start this thread from the `--sidecar` file, if one was given:
+/// installs the persisted expression memos and candidate annotations
+/// and prints what got re-warmed. Returns the path for
+/// [`sidecar_teardown`].
+pub fn sidecar_setup() -> Option<std::path::PathBuf> {
+    let path = sidecar_from_args()?;
+    let warm = lego_tune::sidecar::load_and_install(&path);
+    println!(
+        "-- sidecar {}: installed {} expr memo entries + {} annotations --",
+        path.display(),
+        warm.exprs.installed(),
+        warm.annotations
+    );
+    Some(path)
+}
+
+/// Merges this thread's derived results back into the `--sidecar` file
+/// (no-op when [`sidecar_setup`] returned `None`). Persistence is
+/// best-effort: failures are reported, never fatal to a completed
+/// bench run.
+pub fn sidecar_teardown(path: &Option<std::path::PathBuf>) {
+    let Some(path) = path else { return };
+    if let Err(e) = lego_tune::sidecar::collect_and_save(path) {
+        eprintln!("sidecar write failed for {}: {e}", path.display());
+    }
+}
+
 /// If `--tuned` was requested, tunes `kinds` on the `--device` model
 /// with the strategy/budget from the command line, prints a
 /// naive-vs-tuned table, and emits `BENCH_<name>[_<device>]_tuned.json`.
@@ -135,6 +170,7 @@ pub fn maybe_report(name: &str, kinds: &[WorkloadKind]) -> bool {
     if !tuned_requested() {
         return false;
     }
+    let sidecar = sidecar_setup();
     let device = device_from_args();
     let strategy = strategy_from_args();
     let budget = budget_from_args();
@@ -191,5 +227,6 @@ pub fn maybe_report(name: &str, kinds: &[WorkloadKind]) -> bool {
         &format!("{}_tuned", bench_name(name, &device)),
         rows,
     ));
+    sidecar_teardown(&sidecar);
     true
 }

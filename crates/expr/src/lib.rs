@@ -26,6 +26,12 @@
 //!   proof facts are all memoized per `(environment, node)` for the
 //!   session, so shared subtrees are processed once across an entire
 //!   tuner enumeration ([`intern::stats`] reports the hit rates);
+//! * a persistent memo **sidecar** ([`sidecar`]) that carries those
+//!   derived results across processes: structural-keyed on-disk storage
+//!   for simplified/saturated forms and op counts, re-interned on load
+//!   ([`Engine::load_sidecar`] / [`Engine::save_sidecar`]) and
+//!   invalidated wholesale when the schema or the rewrite-rule table
+//!   fingerprint changes;
 //! * expression expansion and the op-count cost model ([`cost`]) that
 //!   picks expanded vs. unexpanded variants (NW vs. LUD);
 //! * printers for Python/Triton, C/CUDA, and MLIR (`printer`).
@@ -51,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomicfile;
 pub mod cost;
 pub mod egraph;
 pub mod engine;
@@ -61,6 +68,7 @@ pub mod printer;
 pub mod prove;
 pub mod range;
 pub mod rules;
+pub mod sidecar;
 pub mod simplify;
 pub mod subst;
 
@@ -71,6 +79,7 @@ pub use expr::{isqrt64, CmpOp, Cond, Expr, ExprKind};
 pub use intern::{ArenaStats, ExprId};
 pub use range::{NumRange, RangeEnv, SymBounds};
 pub use rules::{RewriteRule, RuleStats};
+pub use sidecar::{InstallReport, Sidecar};
 pub use subst::{eval, eval_cond, eval_lane, map_ranges, subst, transform, Bindings, EvalError};
 
 // Deprecated free-function pass API, kept for source compatibility; all

@@ -277,6 +277,18 @@ impl RangeEnv {
         self
     }
 
+    /// Declares bounds where either side may be absent: `lo <= name`
+    /// and/or `name < hi`. Replaces any earlier bounds for `name`. This
+    /// is the general form [`RangeEnv::set_bounds`], [`RangeEnv::assume_pos`]
+    /// and [`RangeEnv::assume_nonneg`] special-case; the persistent memo
+    /// sidecar uses it to reconstruct environments whose symbols carry
+    /// only one-sided bounds.
+    pub fn set_bounds_opt(&mut self, name: &str, lo: Option<Expr>, hi: Option<Expr>) -> &mut Self {
+        self.bounds.insert(name.to_string(), SymBounds { lo, hi });
+        self.touch();
+        self
+    }
+
     /// Declares `name >= 1` (a size parameter such as `M` or `BM`).
     pub fn assume_pos(&mut self, name: &str) -> &mut Self {
         let e = self.bounds.entry(name.to_string()).or_default();

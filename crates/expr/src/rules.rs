@@ -117,6 +117,22 @@ impl RewriteRule {
     }
 }
 
+/// A fingerprint of the whole rewrite-rule registry: an FNV-1a hash
+/// over the rule count, names, and exploratory flags, in declaration
+/// order. The persistent memo sidecar ([`crate::sidecar`]) stamps its
+/// documents with this value, so adding, removing, renaming, or
+/// re-classifying a rule invalidates every persisted derived form
+/// wholesale — a rule change can never serve stale simplifications.
+pub fn table_fingerprint() -> u64 {
+    let mut h = crate::intern::Fnv::new();
+    h.u64(RewriteRule::ALL.len() as u64);
+    for rule in RewriteRule::ALL {
+        h.str(rule.name());
+        h.byte(rule.is_exploratory() as u8);
+    }
+    h.finish()
+}
+
 /// Counts how many times each rewrite rule fired.
 ///
 /// Under the interned IR the rewrite passes are memoized per node, so a

@@ -2,18 +2,24 @@
 //!
 //! ```text
 //! lego-served-load [--clients K] [--requests N] [--mix H:C:W]
-//!                  [--devices a100,h100]
+//!                  [--devices a100,h100] [--sidecar PATH]
 //! ```
 //!
 //! Spins up an embedded daemon on an ephemeral port (workers sized to
 //! the client count, so every client can be served concurrently), then
-//! drives three phases over K persistent connections:
+//! drives four phases over K persistent connections:
 //!
 //! 1. **herd** — every client fires the *same* fresh request through a
 //!    barrier: the coalescing tier must collapse the herd onto exactly
 //!    one search, and every response line must be byte-identical;
 //! 2. **cold** — distinct workload/device keys, each a fresh search;
-//! 3. **warm** — the cold keys replayed, served from the memory tier.
+//! 3. **warm** — the cold keys replayed, served from the memory tier;
+//! 4. **rewarm** — the daemon is shut down (flushing its memo sidecar),
+//!    a *new* daemon restarts against a fresh cache but the same
+//!    sidecar, and the cold keys are replayed as fresh searches: the
+//!    responses must be byte-identical to phase 2's and the metrics
+//!    must report `sidecar_warm_hits > 0` — cross-process proof that
+//!    persisted derived results re-warm a restarted service.
 //!
 //! Emits `BENCH_served.json` (per-phase QPS, client-side p50/p99,
 //! per-tier hit counts, coalescing ratio) via the standard bench-emit
@@ -41,6 +47,9 @@ options:
   --mix H:C:W       herd:cold:warm request-count weights (default 1:3:1)
   --devices LIST    comma-separated device tags to spread cold keys over
                     (default a100,h100)
+  --sidecar PATH    persistent memo-sidecar file used for the
+                    restart-rewarm phase; kept after the run when given
+                    (default: a temp file, removed afterwards)
   --help            print this help
 
 exit status: 0 on success, 1 if a serving invariant fails, 2 on bad usage";
@@ -218,7 +227,7 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    const VALUE_FLAGS: [&str; 4] = ["--clients", "--requests", "--mix", "--devices"];
+    const VALUE_FLAGS: [&str; 5] = ["--clients", "--requests", "--mix", "--devices", "--sidecar"];
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if VALUE_FLAGS.contains(&a.as_str()) {
@@ -265,11 +274,23 @@ fn main() {
     let cache_path =
         std::env::temp_dir().join(format!("lego_served_load_{}.json", std::process::id()));
     let _ = std::fs::remove_file(&cache_path);
+    let sidecar_flag = flag_value("--sidecar").map(PathBuf::from);
+    let keep_sidecar = sidecar_flag.is_some();
+    let sidecar_path = sidecar_flag.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "lego_served_load_sidecar_{}.txt",
+            std::process::id()
+        ))
+    });
+    // The first daemon must start cold so the rewarm phase measures
+    // what *this run's* shutdown flush persisted.
+    let _ = std::fs::remove_file(&sidecar_path);
 
     let server = Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: clients,
         cache: Some(PathBuf::from(&cache_path)),
+        sidecar: Some(sidecar_path.clone()),
         device_default: gpu_sim::a100(),
     })
     .expect("bind embedded daemon");
@@ -349,8 +370,86 @@ fn main() {
         failed.store(true, Ordering::SeqCst);
     }
     let _ = std::fs::remove_file(&cache_path);
+    if !sidecar_path.exists() {
+        eprintln!("INVARIANT VIOLATED: memo sidecar was not flushed on shutdown");
+        failed.store(true, Ordering::SeqCst);
+    }
 
-    let phases = [&herd, &cold, &warm];
+    // Phase 4: restart-rewarm — a new daemon against a *fresh* cache
+    // (so the replays run real searches, not memory/cache hits) but the
+    // first daemon's sidecar. The searches must be byte-identical to
+    // the cold phase's and must hit the re-warmed memo tables.
+    let cache2_path = std::env::temp_dir().join(format!(
+        "lego_served_load_{}_rewarm.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache2_path);
+    let server2 = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: clients,
+        cache: Some(cache2_path.clone()),
+        sidecar: Some(sidecar_path.clone()),
+        device_default: gpu_sim::a100(),
+    })
+    .expect("bind restarted daemon");
+    let addr2 = server2.local_addr();
+    let service2 = server2.service();
+    let rewarm = run_phase(
+        "rewarm",
+        addr2,
+        &service2,
+        deal(pool.clone(), clients),
+        &failed,
+    );
+    if rewarm.tier_diff[3] != cold_n as i64 {
+        eprintln!(
+            "INVARIANT VIOLATED: {} rewarm keys ran {} searches (fresh cache must force searches)",
+            cold_n, rewarm.tier_diff[3]
+        );
+        failed.store(true, Ordering::SeqCst);
+    }
+    let byte_identical = {
+        let mut a = cold.responses.clone();
+        let mut b = rewarm.responses.clone();
+        a.sort();
+        b.sort();
+        a == b
+    };
+    if !byte_identical {
+        eprintln!(
+            "INVARIANT VIOLATED: rewarmed searches diverged from the cold run \
+             (sidecar state altered results)"
+        );
+        failed.store(true, Ordering::SeqCst);
+    }
+    let sidecar_warm_hits = service2
+        .metrics()
+        .to_json()
+        .get("sidecar_warm_hits")
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    if sidecar_warm_hits <= 0 {
+        eprintln!(
+            "INVARIANT VIOLATED: restarted daemon reported {sidecar_warm_hits} sidecar warm hits"
+        );
+        failed.store(true, Ordering::SeqCst);
+    }
+    let mut ctl2 = Client::connect(addr2).expect("connect for rewarm shutdown");
+    let bye2 = ctl2.shutdown().expect("rewarm shutdown roundtrip");
+    if !is_ok(&bye2) {
+        eprintln!(
+            "INVARIANT VIOLATED: rewarm shutdown not acknowledged: {}",
+            bye2.render()
+        );
+        failed.store(true, Ordering::SeqCst);
+    }
+    server2.join().expect("rewarm daemon drain + flush");
+    let _ = std::fs::remove_file(&cache2_path);
+    if !keep_sidecar {
+        let _ = std::fs::remove_file(&sidecar_path);
+    }
+
+    let phases = [&herd, &cold, &warm, &rewarm];
     println!(
         "\n{:<6} {:>8} {:>9} {:>9} {:>9} {:>7} {:>6} {:>9} {:>8}",
         "phase", "requests", "qps", "p50_ms", "p99_ms", "memory", "cache", "coalesced", "searched"
@@ -382,13 +481,15 @@ fn main() {
         ("clients", Json::Int(clients as i64)),
         (
             "requests",
-            Json::Int((herd.requests + cold.requests + warm.requests) as i64),
+            Json::Int((herd.requests + cold.requests + warm.requests + rewarm.requests) as i64),
         ),
         ("coalescing_ratio", Json::num(coalescing_ratio)),
         (
             "warm_hit_rate",
             Json::num(warm.tier_diff[0] as f64 / warm.requests.max(1) as f64),
         ),
+        ("sidecar_warm_hits", Json::Int(sidecar_warm_hits)),
+        ("rewarm_byte_identical", Json::Bool(byte_identical)),
         ("devices", Json::Str(devices.join(","))),
         ("mix", Json::Str(mix.clone())),
     ]));

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! lego-served [--addr HOST:PORT] [--workers N] [--cache PATH]
-//!             [--device-default a100|h100|mi300]
+//!             [--sidecar PATH] [--device-default a100|h100|mi300]
 //! ```
 //!
 //! Listens for line-JSON requests (`tune`, `fleet`, `metrics`,
@@ -26,6 +26,10 @@ options:
   --workers N          worker threads = max concurrent connections (default 8)
   --cache PATH         persistent tuning-cache file (default TUNE_CACHE.json;
                        \"none\" disables persistence)
+  --sidecar PATH       persistent memo sidecar: re-warms every worker's
+                       expression/annotation memo tables at startup and
+                       flushes the merged derived results on shutdown
+                       (default none; \"none\" disables)
   --device-default D   device when a request names none: a100|h100|mi300
                        (default a100)
   --help               print this help
@@ -60,7 +64,13 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    const VALUE_FLAGS: [&str; 4] = ["--addr", "--workers", "--cache", "--device-default"];
+    const VALUE_FLAGS: [&str; 5] = [
+        "--addr",
+        "--workers",
+        "--cache",
+        "--sidecar",
+        "--device-default",
+    ];
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if VALUE_FLAGS.contains(&a.as_str()) {
@@ -86,6 +96,13 @@ fn main() {
     }
     if let Some(path) = flag_value("--cache") {
         cfg.cache = if path == "none" {
+            None
+        } else {
+            Some(PathBuf::from(path))
+        };
+    }
+    if let Some(path) = flag_value("--sidecar") {
+        cfg.sidecar = if path == "none" {
             None
         } else {
             Some(PathBuf::from(path))

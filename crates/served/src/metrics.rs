@@ -49,6 +49,10 @@ struct Inner {
     /// Latest arena snapshot per worker thread (counters are monotone
     /// per thread, so "latest" is "total").
     arena: BTreeMap<usize, ArenaStats>,
+    /// Latest `(installed, hits)` of sidecar-imported *annotations* per
+    /// worker thread (same monotone-snapshot convention). The arena's
+    /// own sidecar counters ride along in `arena`.
+    ann_sidecar: BTreeMap<usize, (u64, u64)>,
 }
 
 /// The service-wide metrics registry. All methods take `&self`.
@@ -111,6 +115,13 @@ impl Metrics {
     pub fn record_arena(&self, idx: usize, stats: ArenaStats) {
         let mut inner = self.inner.lock().expect("metrics poisoned");
         inner.arena.insert(idx, stats);
+    }
+
+    /// Publishes worker `idx`'s current annotation-sidecar counters
+    /// (`(installed, hits)`, monotone per thread).
+    pub fn record_sidecar(&self, idx: usize, stats: (u64, u64)) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        inner.ann_sidecar.insert(idx, stats);
     }
 
     /// Count of fresh searches run (the herd invariant's counter).
@@ -180,9 +191,25 @@ impl Metrics {
             }
         };
 
+        // Sidecar warm-start attribution: arena memo hits served from
+        // installed entries plus annotation-cache hits served from
+        // imported entries, summed across workers.
+        let (ann_installed, ann_hits) = inner
+            .ann_sidecar
+            .values()
+            .fold((0u64, 0u64), |(i, h), (wi, wh)| (i + wi, h + wh));
+
         Json::obj([
             ("ok", Json::Bool(true)),
             ("uptime_s", Json::num(uptime_s)),
+            (
+                "sidecar_warm_hits",
+                Json::Int((arena.sidecar_hits + ann_hits) as i64),
+            ),
+            (
+                "sidecar_installed",
+                Json::Int((arena.sidecar_installed + ann_installed) as i64),
+            ),
             ("requests", Json::Int(inner.requests as i64)),
             ("qps", Json::num(inner.requests as f64 / uptime_s)),
             ("errors", Json::Int(inner.errors as i64)),
@@ -266,6 +293,8 @@ fn add_stats(a: &ArenaStats, b: &ArenaStats) -> ArenaStats {
         expand_misses: a.expand_misses + b.expand_misses,
         saturate_hits: a.saturate_hits + b.saturate_hits,
         saturate_misses: a.saturate_misses + b.saturate_misses,
+        sidecar_installed: a.sidecar_installed + b.sidecar_installed,
+        sidecar_hits: a.sidecar_hits + b.sidecar_hits,
     }
 }
 

@@ -45,6 +45,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Persistent tuning-cache path (`None` = memory only).
     pub cache: Option<PathBuf>,
+    /// Persistent memo-sidecar path (`None` = cold worker arenas).
+    /// Loaded once at startup to re-warm every worker's memo tables;
+    /// the merged per-worker derived results are flushed back on
+    /// graceful shutdown.
+    pub sidecar: Option<PathBuf>,
     /// Device used when a request names none.
     pub device_default: GpuConfig,
 }
@@ -55,6 +60,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7711".to_string(),
             workers: 8,
             cache: Some(PathBuf::from("TUNE_CACHE.json")),
+            sidecar: None,
             device_default: gpu_sim::a100(),
         }
     }
@@ -77,7 +83,7 @@ impl Server {
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local = listener.local_addr()?;
-        let service = Arc::new(TuneService::new(cfg.device_default, cfg.cache));
+        let service = Arc::new(TuneService::new(cfg.device_default, cfg.cache, cfg.sidecar));
         service.set_addr(local);
 
         let (tx, rx) = mpsc::channel::<TcpStream>();
@@ -155,8 +161,11 @@ impl Server {
     }
 }
 
-/// One worker: pull connections until the channel closes.
+/// One worker: re-warm the thread-local memo tables from the startup
+/// sidecar, pull connections until the channel closes, then contribute
+/// this thread's derived results to the merged shutdown sidecar.
 fn worker_loop(idx: usize, rx: &Mutex<mpsc::Receiver<TcpStream>>, service: &TuneService) {
+    service.warm_worker(idx);
     loop {
         let conn = {
             let guard = rx.lock().expect("connection channel poisoned");
@@ -167,6 +176,7 @@ fn worker_loop(idx: usize, rx: &Mutex<mpsc::Receiver<TcpStream>>, service: &Tune
             Err(_) => break, // acceptor gone and queue drained
         }
     }
+    service.harvest_worker();
 }
 
 /// Serves one connection's line-delimited requests until EOF, error, or
@@ -287,11 +297,15 @@ fn dispatch(idx: usize, line: &str, service: &TuneService) -> (Json, bool) {
                 service
                     .metrics()
                     .record_tune(&req.class(), tier, result.is_ok(), elapsed_ms);
-                // The arena is per worker thread; publish this worker's
-                // counters so the metrics report can aggregate them.
+                // The arena and annotation caches are per worker
+                // thread; publish this worker's counters so the metrics
+                // report can aggregate them.
                 service
                     .metrics()
                     .record_arena(idx, lego_expr::intern::stats());
+                service
+                    .metrics()
+                    .record_sidecar(idx, lego_tune::annotate_sidecar_stats());
                 match result {
                     Ok(served) => (served.to_json(), false),
                     Err(e) => (protocol::error_response(&e), false),

@@ -162,6 +162,15 @@ impl Slot {
 pub struct TuneService {
     default_device: GpuConfig,
     cache: Option<TuningCache>,
+    /// Persistent memo-sidecar path (`None` = no persistence). The
+    /// document is parsed once at startup; every worker installs it
+    /// into its thread-local memo tables before serving
+    /// ([`TuneService::warm_worker`]) and contributes its derived
+    /// results back on drain ([`TuneService::harvest_worker`]), so the
+    /// shutdown flush writes one merged document.
+    sidecar_path: Option<PathBuf>,
+    sidecar_in: Option<lego_tune::Sidecar>,
+    sidecar_out: Mutex<lego_tune::Sidecar>,
     memory: Mutex<HashMap<String, CachedTuning>>,
     inflight: Mutex<HashMap<String, Arc<Slot>>>,
     metrics: Metrics,
@@ -173,22 +182,61 @@ pub struct TuneService {
 
 impl TuneService {
     /// A service persisting to `cache_path` (None = in-memory only),
-    /// preloading every persisted entry into the memory tier.
-    pub fn new(default_device: GpuConfig, cache_path: Option<PathBuf>) -> TuneService {
+    /// preloading every persisted entry into the memory tier, and
+    /// re-warming worker memo tables from the sidecar at `sidecar_path`
+    /// (None = cold workers, no persistence).
+    pub fn new(
+        default_device: GpuConfig,
+        cache_path: Option<PathBuf>,
+        sidecar_path: Option<PathBuf>,
+    ) -> TuneService {
         let cache = cache_path.map(TuningCache::new);
         let memory = cache
             .as_ref()
             .map(|c| c.entries().into_iter().collect())
             .unwrap_or_default();
+        let sidecar_in = sidecar_path
+            .as_deref()
+            .map(lego_tune::Sidecar::load)
+            .filter(|sc| !sc.is_empty());
         TuneService {
             default_device,
             cache,
+            sidecar_path,
+            sidecar_in,
+            sidecar_out: Mutex::new(lego_tune::Sidecar::new()),
             memory: Mutex::new(memory),
             inflight: Mutex::new(HashMap::new()),
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
             addr: OnceLock::new(),
         }
+    }
+
+    /// Installs the startup sidecar into the calling worker thread's
+    /// memo tables and publishes the resulting warm counters. Workers
+    /// call this once, before taking connections.
+    pub fn warm_worker(&self, idx: usize) {
+        if let Some(sc) = &self.sidecar_in {
+            lego_tune::sidecar::install(sc);
+        }
+        self.metrics.record_arena(idx, lego_expr::intern::stats());
+        self.metrics
+            .record_sidecar(idx, lego_tune::annotate_sidecar_stats());
+    }
+
+    /// Merges the calling worker thread's derived results into the
+    /// shared outgoing sidecar. Workers call this once, on drain; the
+    /// shutdown [`TuneService::flush`] persists the merged document.
+    pub fn harvest_worker(&self) {
+        if self.sidecar_path.is_none() {
+            return;
+        }
+        let derived = lego_tune::sidecar::collect();
+        self.sidecar_out
+            .lock()
+            .expect("sidecar poisoned")
+            .merge(&derived);
     }
 
     /// The device used when a request names none.
@@ -234,6 +282,12 @@ impl TuneService {
     ///
     /// Propagates filesystem errors.
     pub fn flush(&self) -> std::io::Result<()> {
+        // The merged per-worker sidecar first: one atomic write
+        // alongside the cache.
+        if let Some(path) = &self.sidecar_path {
+            let merged = self.sidecar_out.lock().expect("sidecar poisoned").clone();
+            merged.save(path)?;
+        }
         let Some(cache) = &self.cache else {
             return Ok(());
         };
@@ -308,6 +362,9 @@ impl TuneService {
         let mut driver = FleetDriver::new(threads).with_transfer(transfer);
         if let Some(cache) = &self.cache {
             driver = driver.with_cache(cache.path());
+        }
+        if let Some(path) = &self.sidecar_path {
+            driver = driver.with_sidecar(path);
         }
         let report = driver.run(grid);
 

@@ -25,6 +25,7 @@ fn start(tag: &str, workers: usize) -> (Server, PathBuf) {
         addr: "127.0.0.1:0".to_string(),
         workers,
         cache: Some(cache.clone()),
+        sidecar: None,
         device_default: gpu_sim::a100(),
     })
     .expect("bind ephemeral daemon");
@@ -175,6 +176,7 @@ fn shutdown_flushes_the_cache_and_a_restart_preloads_it() {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
         cache: Some(cache.clone()),
+        sidecar: None,
         device_default: gpu_sim::a100(),
     })
     .expect("restart daemon");
@@ -262,6 +264,112 @@ fn fleet_verb_tunes_a_grid_and_feeds_the_tune_path() {
 
     shutdown_and_join(server);
     let _ = std::fs::remove_file(&cache);
+}
+
+#[test]
+fn sidecar_rewarm_reproduces_results_and_reports_warm_hits() {
+    let cache1 = temp_cache("sidecar_cold");
+    let sidecar = std::env::temp_dir().join(format!(
+        "lego_served_test_sidecar_{}.txt",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&sidecar);
+
+    // Run one search cold and shut down: the flush must leave a
+    // sidecar behind.
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache: Some(cache1.clone()),
+        sidecar: Some(sidecar.clone()),
+        device_default: gpu_sim::a100(),
+    })
+    .expect("bind cold daemon");
+    let spec = TuneSpec::workload("transpose(n=288)");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let cold = client.tune(&spec).expect("cold tune");
+    assert!(is_ok(&cold));
+    shutdown_and_join(server);
+    assert!(sidecar.exists(), "shutdown must flush the memo sidecar");
+
+    // Restart against a FRESH cache (forcing a real search) but the
+    // same sidecar: the search must reproduce the cold result
+    // byte-identically and be served from re-warmed memo tables.
+    let cache2 = temp_cache("sidecar_rewarm");
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache: Some(cache2.clone()),
+        sidecar: Some(sidecar.clone()),
+        device_default: gpu_sim::a100(),
+    })
+    .expect("bind rewarmed daemon");
+    let mut client = Client::connect(server.local_addr()).expect("reconnect");
+    let rewarmed = client.tune(&spec).expect("rewarmed tune");
+    assert_eq!(
+        cold.render(),
+        rewarmed.render(),
+        "a sidecar-warmed search must reproduce the cold result byte-identically"
+    );
+    assert_eq!(
+        server.service().metrics().searches_run(),
+        1,
+        "the fresh cache must force a real search"
+    );
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics
+            .get("sidecar_installed")
+            .and_then(Json::as_i64)
+            .unwrap()
+            > 0,
+        "restart must install sidecar entries"
+    );
+    assert!(
+        metrics
+            .get("sidecar_warm_hits")
+            .and_then(Json::as_i64)
+            .unwrap()
+            > 0,
+        "the rewarmed search must hit installed entries"
+    );
+
+    shutdown_and_join(server);
+    let _ = std::fs::remove_file(&cache1);
+    let _ = std::fs::remove_file(&cache2);
+    let _ = std::fs::remove_file(&sidecar);
+}
+
+#[test]
+fn flush_creates_missing_parent_directories() {
+    // Regression: pointing --cache/--sidecar into a directory that does
+    // not exist yet used to fail the first flush at shutdown.
+    let dir = std::env::temp_dir().join(format!("lego_served_missing_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = dir.join("caches/tune.json");
+    let sidecar = dir.join("sidecars/memo.txt");
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache: Some(cache.clone()),
+        sidecar: Some(sidecar.clone()),
+        device_default: gpu_sim::a100(),
+    })
+    .expect("bind daemon");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let served = client
+        .tune(&TuneSpec::workload("softmax(m=16,n=256)"))
+        .expect("tune");
+    assert!(is_ok(&served));
+    // join() flushes both stores; it must create the parents rather
+    // than erroring out.
+    shutdown_and_join(server);
+    assert!(cache.exists(), "cache flush must create missing parents");
+    assert!(
+        sidecar.exists(),
+        "sidecar flush must create missing parents"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -10,11 +10,8 @@
 //! empty, so winners cached under an older trace/occupancy model can
 //! never be served stale.
 
-use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
 
 use gpu_sim::score::Estimate;
 use gpu_sim::timing::TimeEstimate;
@@ -75,39 +72,6 @@ pub struct CachedTuning {
 #[derive(Clone, Debug)]
 pub struct TuningCache {
     path: PathBuf,
-}
-
-/// The process-wide lock guarding each cache file's read-modify-write
-/// cycle, keyed by the file's stable identity (see [`lock_key`]).
-/// Concurrent [`TuningCache::store`] calls against the same file — the
-/// tuning-service daemon's workers, or a parallel fleet driver — are
-/// serialized here, so no writer can clobber another's entry.
-fn file_lock(path: &Path) -> Arc<Mutex<()>> {
-    static LOCKS: OnceLock<Mutex<HashMap<PathBuf, Arc<Mutex<()>>>>> = OnceLock::new();
-    let mut locks = LOCKS
-        .get_or_init(|| Mutex::new(HashMap::new()))
-        .lock()
-        .expect("cache lock registry poisoned");
-    locks.entry(lock_key(path)).or_default().clone()
-}
-
-/// A stable identity for a cache file: the canonical path when the file
-/// (or at least its directory) exists, otherwise the path absolutized
-/// against the current directory — so `TUNE_CACHE.json` and
-/// `./TUNE_CACHE.json` share one lock.
-fn lock_key(path: &Path) -> PathBuf {
-    if let Ok(canon) = path.canonicalize() {
-        return canon;
-    }
-    let file = path.file_name().map(PathBuf::from).unwrap_or_default();
-    let parent = match path.parent() {
-        Some(dir) if !dir.as_os_str().is_empty() => dir.canonicalize().ok(),
-        _ => std::env::current_dir().ok(),
-    };
-    match parent {
-        Some(dir) => dir.join(file),
-        None => path.to_path_buf(),
-    }
 }
 
 /// The cache key for one (workload, pricing mode, hardware) triple: the
@@ -218,7 +182,11 @@ impl TuningCache {
         if batch.is_empty() {
             return Ok(());
         }
-        let lock = file_lock(&self.path);
+        // The whole read-modify-write cycle runs behind the shared
+        // per-canonical-path lock, and the rewrite goes through the
+        // shared tempfile + rename path (see `lego_expr::atomicfile`,
+        // which the memo sidecar uses too).
+        let lock = lego_expr::atomicfile::path_lock(&self.path);
         let _guard = lock.lock().expect("cache file lock poisoned");
         let doc = self.load();
         let mut entries: Vec<(String, Json)> = doc
@@ -237,33 +205,7 @@ impl TuningCache {
             ("version", Json::Int(CACHE_SCHEMA_VERSION)),
             ("entries", Json::Obj(entries)),
         ]);
-        if let Some(dir) = self.path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
-            }
-        }
-        // Unique tempfile per write (the per-file mutex already
-        // serializes same-file writers in this process; the counter
-        // keeps names distinct across files sharing a directory and
-        // across processes).
-        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-        let tmp = self.path.with_file_name(format!(
-            "{}.tmp.{}.{}",
-            self.path
-                .file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_else(|| "cache".to_string()),
-            std::process::id(),
-            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
-        ));
-        std::fs::write(&tmp, doc.render_pretty())?;
-        match std::fs::rename(&tmp, &self.path) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                let _ = std::fs::remove_file(&tmp);
-                Err(e)
-            }
-        }
+        lego_expr::atomicfile::write_atomic(&self.path, &doc.render_pretty())
     }
 }
 
@@ -802,10 +744,16 @@ mod tests {
         // key at a time, half in `store_many` batches, so the two write
         // paths interleave on one document — and require every entry to
         // survive.
+        // The memo sidecar shares the same atomic write path
+        // (`lego_expr::atomicfile`), so the same race must not lose
+        // sidecar entries either: every thread also merges one distinct
+        // annotation into a shared sidecar file.
         let dir = std::env::temp_dir().join(format!("lego-cache-conc-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("concurrent.json");
+        let sidecar_path = dir.join("concurrent-sidecar.txt");
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&sidecar_path);
 
         const THREADS: usize = 8;
         const PER_THREAD: usize = 6;
@@ -813,6 +761,7 @@ mod tests {
         let handles: Vec<_> = (0..THREADS)
             .map(|t| {
                 let path = path.clone();
+                let sidecar_path = sidecar_path.clone();
                 let barrier = barrier.clone();
                 std::thread::spawn(move || {
                     let cache = TuningCache::new(&path);
@@ -832,6 +781,9 @@ mod tests {
                         frontier: vec![],
                     };
                     barrier.wait();
+                    let mut sc = lego_expr::Sidecar::new();
+                    sc.set_annotation(&format!("conc-{t}"), "v");
+                    sc.save(&sidecar_path).unwrap();
                     if t % 2 == 0 {
                         // Batched writers: all keys in one merged write
                         // (the fleet driver's end-of-run path).
@@ -880,6 +832,14 @@ mod tests {
                 );
             }
         }
+        // Every thread's sidecar merge survived the same race.
+        let sc = lego_expr::Sidecar::load(&sidecar_path);
+        for t in 0..THREADS {
+            assert!(
+                sc.annotations().any(|(k, _)| k == format!("conc-{t}")),
+                "sidecar annotation conc-{t} lost"
+            );
+        }
         // No tempfiles left behind.
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
@@ -889,6 +849,7 @@ mod tests {
         assert!(leftovers.is_empty(), "stale tempfiles: {leftovers:?}");
 
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&sidecar_path);
         let _ = std::fs::remove_dir(&dir);
     }
 

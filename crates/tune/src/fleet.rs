@@ -622,6 +622,7 @@ impl FleetReport {
 pub struct FleetDriver {
     threads: usize,
     cache: Option<TuningCache>,
+    sidecar: Option<std::path::PathBuf>,
     transfer: bool,
     divisor: usize,
 }
@@ -632,6 +633,7 @@ impl FleetDriver {
         FleetDriver {
             threads: threads.max(1),
             cache: None,
+            sidecar: None,
             transfer: true,
             divisor: TRANSFER_BUDGET_DIVISOR,
         }
@@ -644,6 +646,16 @@ impl FleetDriver {
     #[must_use]
     pub fn with_cache(mut self, path: impl Into<std::path::PathBuf>) -> FleetDriver {
         self.cache = Some(TuningCache::new(path.into()));
+        self
+    }
+
+    /// Attaches a persistent memo sidecar: every worker thread installs
+    /// it before taking work (so annotation and expression memos start
+    /// warm), and the per-worker derived results are merged into *one*
+    /// atomic sidecar write at the end of the run.
+    #[must_use]
+    pub fn with_sidecar(mut self, path: impl Into<std::path::PathBuf>) -> FleetDriver {
+        self.sidecar = Some(path.into());
         self
     }
 
@@ -717,6 +729,20 @@ impl FleetDriver {
         // write is deterministic in grid order.
         let dirty: Mutex<Vec<Option<CachedTuning>>> = Mutex::new(vec![None; n]);
 
+        // The persistent memo sidecar is parsed once here; each worker
+        // installs it into its own thread-local memo tables before
+        // taking work, and contributes its derived results to one
+        // merged document persisted in a single atomic write below.
+        let sidecar_in = self
+            .sidecar
+            .as_deref()
+            .map(crate::sidecar::Sidecar::load)
+            .filter(|sc| !sc.is_empty());
+        let sidecar_out: Option<Mutex<crate::sidecar::Sidecar>> = self
+            .sidecar
+            .is_some()
+            .then(|| Mutex::new(crate::sidecar::Sidecar::new()));
+
         std::thread::scope(|scope| {
             for w in 0..threads {
                 let sched = &sched;
@@ -728,7 +754,12 @@ impl FleetDriver {
                 let deps = &deps;
                 let children = &children;
                 let divisor = self.divisor;
+                let sidecar_in = sidecar_in.as_ref();
+                let sidecar_out = sidecar_out.as_ref();
                 scope.spawn(move || {
+                    if let Some(sc) = sidecar_in {
+                        crate::sidecar::install(sc);
+                    }
                     while let Some(i) = sched.next(w) {
                         let (report, entry) = run_key(grid_ref, keys, deps, shards, divisor, i, w);
                         if let Some(entry) = entry {
@@ -744,9 +775,21 @@ impl FleetDriver {
                         // entry already visible in the shard.
                         sched.complete(w, &children[i]);
                     }
+                    if let Some(out) = sidecar_out {
+                        let derived = crate::sidecar::collect();
+                        out.lock().expect("sidecar poisoned").merge(&derived);
+                    }
                 });
             }
         });
+
+        if let (Some(path), Some(out)) = (&self.sidecar, sidecar_out) {
+            let merged = out.into_inner().expect("sidecar poisoned");
+            if let Err(e) = merged.save(path) {
+                // Same best-effort stance as the cache write below.
+                eprintln!("fleet: sidecar write failed: {e}");
+            }
+        }
 
         if let Some(cache) = &self.cache {
             let batch: Vec<(String, CachedTuning)> = dirty

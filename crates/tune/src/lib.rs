@@ -52,6 +52,7 @@ pub mod fleet;
 pub mod json;
 pub mod request;
 pub mod rng;
+pub mod sidecar;
 pub mod space;
 pub mod strategy;
 pub mod tuner;
@@ -66,9 +67,10 @@ pub use lego_codegen::tuning::{
     NwLayoutChoice, RowwiseOp, ScheduleChoice, StagingChoice, StencilLayoutChoice, TunedConfig,
 };
 pub use request::TuneRequest;
+pub use sidecar::{Sidecar, SidecarWarm};
 pub use space::{
-    annotate_cache_stats, build_layout, build_workload, rowwise_block_sizes, stencil_block,
-    symbolic_exprs, Candidate, SearchSpace, WorkloadKind,
+    annotate_cache_stats, annotate_sidecar_stats, build_layout, build_workload,
+    rowwise_block_sizes, stencil_block, symbolic_exprs, Candidate, SearchSpace, WorkloadKind,
 };
 pub use strategy::{run_search, Budget, SearchOutcome, Strategy, FRONTIER_K};
 pub use tuner::{SeededTune, TuneError, TuneResult, Tuner};

@@ -1,0 +1,104 @@
+//! The tuner's view of the persistent memo sidecar.
+//!
+//! `lego_expr::sidecar` persists the expression layer's derived results
+//! (simplified/saturated forms, op counts). This module layers the
+//! tuner's own derived state on top — the candidate-annotation cache
+//! mapping `(workload, config)` to `(expression variant, index op
+//! count)` — carried in the sidecar's opaque annotation section, so one
+//! file re-warms the whole enumeration pipeline: a warmed process
+//! serves [`crate::space::Candidate::annotated`] straight from the
+//! imported entries, and any fresh annotation work underneath hits the
+//! re-interned expression memos.
+//!
+//! The invalidation contract is the expression layer's: a schema or
+//! rewrite-rule-fingerprint mismatch empties the document wholesale,
+//! annotations included (they are derived through the same rule table,
+//! so they go stale together).
+
+use std::io;
+use std::path::Path;
+
+pub use lego_expr::sidecar::{InstallReport, Sidecar};
+
+use crate::space;
+
+/// What a sidecar install warmed, per layer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SidecarWarm {
+    /// Expression-layer entries installed (simplify/saturate/opcount).
+    pub exprs: InstallReport,
+    /// Annotation entries installed into the candidate cache.
+    pub annotations: u64,
+}
+
+impl SidecarWarm {
+    /// Total entries installed across both layers.
+    pub fn installed(&self) -> usize {
+        self.exprs.installed() + self.annotations as usize
+    }
+}
+
+/// Installs `sidecar` into this thread's session state: expression
+/// memos into the arena tables, annotations into the candidate cache.
+pub fn install(sidecar: &Sidecar) -> SidecarWarm {
+    SidecarWarm {
+        exprs: sidecar.install(),
+        annotations: space::import_annotations(sidecar),
+    }
+}
+
+/// Loads the sidecar at `path` (empty if missing, stale, or corrupt)
+/// and installs it. The warm-start entry point for every consumer: the
+/// tuning daemon's workers, the fleet driver, and the bench binaries
+/// all go through here.
+pub fn load_and_install(path: &Path) -> SidecarWarm {
+    install(&Sidecar::load(path))
+}
+
+/// Snapshots this thread's derived results — expression memos *and* the
+/// annotation cache — into one document.
+pub fn collect() -> Sidecar {
+    let mut sc = Sidecar::collect();
+    space::export_annotations(&mut sc);
+    sc
+}
+
+/// [`collect`]s and merges the result into the sidecar at `path`
+/// atomically (lock + tempfile + rename; concurrent savers cannot lose
+/// each other's entries).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn collect_and_save(path: &Path) -> io::Result<()> {
+    collect().save(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{Candidate, WorkloadKind};
+
+    #[test]
+    fn annotations_round_trip_through_a_document() {
+        let kind = WorkloadKind::Matmul { n: 64 };
+        let cand = Candidate::annotated(&kind, &kind.default_config());
+        let sc = collect();
+        let text = sc.render();
+        let parsed = Sidecar::parse(&text).expect("collected document must parse");
+        // A fresh thread models a fresh process: empty caches, then the
+        // parsed document warms them.
+        let config = kind.default_config();
+        let warmed = std::thread::spawn(move || {
+            let warm = install(&parsed);
+            assert!(warm.annotations > 0, "no annotations installed");
+            let c = Candidate::annotated(&kind, &config);
+            let (_, hits) = space::annotate_sidecar_stats();
+            assert!(hits > 0, "annotation served cold despite import");
+            (c.expr_variant, c.index_ops)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(warmed, (cand.expr_variant, cand.index_ops));
+    }
+}

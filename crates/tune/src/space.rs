@@ -327,10 +327,15 @@ thread_local! {
     /// per-subtree work even for *fresh* configs that share tile-offset
     /// subexpressions with previously annotated ones.
     static ANNOTATE_CACHE: std::cell::RefCell<
-        std::collections::HashMap<(WorkloadKind, TunedConfig), Annotation>,
+        std::collections::HashMap<(WorkloadKind, TunedConfig), (Annotation, bool)>,
     > = std::cell::RefCell::new(std::collections::HashMap::new());
     /// `(hits, misses)` of [`ANNOTATE_CACHE`], for `BENCH_tuner.json`.
     static ANNOTATE_STATS: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+    /// `(installed, hits)` of sidecar-imported annotations: entries
+    /// installed by [`import_annotations`] and cache hits served from
+    /// one of them — the warm-start attribution for the persistent memo
+    /// sidecar at this layer.
+    static ANNOTATE_SIDECAR: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
 }
 
 /// `(hits, misses)` of the candidate-annotation fast path on this
@@ -339,25 +344,41 @@ pub fn annotate_cache_stats() -> (u64, u64) {
     ANNOTATE_STATS.with(std::cell::Cell::get)
 }
 
+/// `(installed, hits)` of sidecar-imported annotations on this thread:
+/// how many entries [`import_annotations`] installed, and how many
+/// [`Candidate::annotated`] hits were served from an imported entry
+/// rather than one derived this session.
+pub fn annotate_sidecar_stats() -> (u64, u64) {
+    ANNOTATE_SIDECAR.with(std::cell::Cell::get)
+}
+
 impl Candidate {
     /// Annotates a configuration with the cheaper expression variant of
     /// the §IV-A cost model — the single constructor both the exhaustive
     /// enumeration and the metaheuristic strategies go through. Results
-    /// are memoized per `(workload, config)` for the tuning session.
+    /// are memoized per `(workload, config)` for the tuning session and
+    /// can be pre-warmed from a persistent sidecar
+    /// ([`import_annotations`]).
     pub fn annotated(kind: &WorkloadKind, config: &TunedConfig) -> Candidate {
         let key = (*kind, *config);
         let cached = ANNOTATE_CACHE.with(|c| c.borrow().get(&key).copied());
         let (expr_variant, index_ops) = match cached {
-            Some(hit) => {
+            Some((hit, from_sidecar)) => {
                 ANNOTATE_STATS.with(|s| {
                     let (h, m) = s.get();
                     s.set((h + 1, m));
                 });
+                if from_sidecar {
+                    ANNOTATE_SIDECAR.with(|s| {
+                        let (i, h) = s.get();
+                        s.set((i, h + 1));
+                    });
+                }
                 hit
             }
             None => {
                 let fresh = annotate(kind, config);
-                ANNOTATE_CACHE.with(|c| c.borrow_mut().insert(key, fresh));
+                ANNOTATE_CACHE.with(|c| c.borrow_mut().insert(key, (fresh, false)));
                 ANNOTATE_STATS.with(|s| {
                     let (h, m) = s.get();
                     s.set((h, m + 1));
@@ -371,6 +392,81 @@ impl Candidate {
             index_ops,
         }
     }
+}
+
+/// Exports this thread's annotation cache into `sidecar`'s opaque
+/// annotation section. Keys are `"{workload}|{config-json}"` (both
+/// round-trip through [`WorkloadKind::parse`] / `config_from_json`);
+/// values encode the annotation as `"{variant}|{ops}"` with `u`/`x`
+/// for unexpanded/expanded and `-` for `None`.
+pub fn export_annotations(sidecar: &mut lego_expr::Sidecar) {
+    ANNOTATE_CACHE.with(|c| {
+        for ((kind, config), ((variant, ops), _)) in c.borrow().iter() {
+            let key = format!(
+                "{}|{}",
+                kind.name(),
+                crate::cache::config_to_json(config).render()
+            );
+            let v = match variant {
+                None => '-',
+                Some(Variant::Unexpanded) => 'u',
+                Some(Variant::Expanded) => 'x',
+            };
+            let value = match ops {
+                None => format!("{v}|-"),
+                Some(n) => format!("{v}|{n}"),
+            };
+            sidecar.set_annotation(&key, &value);
+        }
+    });
+}
+
+/// Installs `sidecar`'s annotation entries into this thread's
+/// annotation cache, returning how many were fresh (entries the session
+/// has already derived are kept — never overwritten by disk state).
+/// Unparseable keys or values are skipped: they belong to a foreign or
+/// future encoding and simply never warm anything.
+pub fn import_annotations(sidecar: &lego_expr::Sidecar) -> u64 {
+    let mut fresh = 0;
+    ANNOTATE_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        for (key, value) in sidecar.annotations() {
+            let Some((kind, config, ann)) = parse_annotation(key, value) else {
+                continue;
+            };
+            cache.entry((kind, config)).or_insert_with(|| {
+                fresh += 1;
+                (ann, true)
+            });
+        }
+    });
+    if fresh > 0 {
+        ANNOTATE_SIDECAR.with(|s| {
+            let (i, h) = s.get();
+            s.set((i + fresh, h));
+        });
+    }
+    fresh
+}
+
+/// Decodes one sidecar annotation entry (see [`export_annotations`] for
+/// the encoding).
+fn parse_annotation(key: &str, value: &str) -> Option<(WorkloadKind, TunedConfig, Annotation)> {
+    let (kind, config_json) = key.split_once('|')?;
+    let kind = WorkloadKind::parse(kind).ok()?;
+    let config = crate::cache::config_from_json(&crate::json::Json::parse(config_json).ok()?)?;
+    let (variant, ops) = value.split_once('|')?;
+    let variant = match variant {
+        "-" => None,
+        "u" => Some(Variant::Unexpanded),
+        "x" => Some(Variant::Expanded),
+        _ => return None,
+    };
+    let ops = match ops {
+        "-" => None,
+        n => Some(n.parse::<usize>().ok()?),
+    };
+    Some((kind, config, (variant, ops)))
 }
 
 /// The enumerated search space of one workload.
