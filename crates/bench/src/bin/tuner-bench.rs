@@ -16,7 +16,14 @@
 //! * a **saturate** pass re-annotating every symbolic candidate under
 //!   `SimplifyStrategy::Saturate` (equality saturation), reporting its
 //!   throughput and how many candidates extract strictly fewer ops
-//!   than the fixpoint rewriter,
+//!   than the fixpoint rewriter, and
+//! * a **two-tier pricing** phase: the legacy space's `(layout,
+//!   workload)` jobs priced twice on a fresh thread — cold (every
+//!   geometry traced) then warm (every price served from the traffic
+//!   memo and re-assembled) — asserting bit-identical estimates and a
+//!   ≥ 2× warm speedup on the variant-heavy matmul/rowwise spaces,
+//!   plus a bound-pruned exhaustive search over the enlarged domain
+//!   reporting its pruned count and traffic hit rate,
 //!
 //! and reports candidates/second plus the arena and memo hit rates
 //! from [`lego_expr::intern::stats`]. Results land in
@@ -35,16 +42,24 @@
 //! candidates/second is at least the cold one's, and emits a
 //! `sidecar-rewarm` summary row (`cold_process_candidates_per_s`,
 //! `sidecar_candidates_per_s`, `sidecar_speedup`, load time, entry and
-//! warm-hit counts).
+//! warm-hit counts). A matching `traffic-rewarm` row replays the
+//! pricing jobs the same way: a cold process traces every geometry, a
+//! sidecar-warmed one re-times from the persisted traffic memo, and
+//! the two must price bit-identically.
 
 use std::time::Instant;
 
+use gpu_sim::score::ScoreJob;
+use gpu_sim::{CostModel, Estimate, GpuConfig};
 use lego_bench::{emit, tuned};
 use lego_codegen::cuda::stencil::StencilShape;
 use lego_expr::intern::stats as arena_stats;
 use lego_expr::{Engine, Expr, RangeEnv, SimplifyStrategy};
 use lego_tune::space::{annotate_cache_stats, annotated_ops};
-use lego_tune::{Budget, Json, RowwiseOp, SearchSpace, Strategy, Tuner, WorkloadKind};
+use lego_tune::{
+    build_layout, build_workload, run_search, Budget, Domain, Json, RowwiseOp, SearchSpace,
+    SpaceScale, Strategy, Tuner, WorkloadKind,
+};
 
 /// The benchmarked workload instances (gate-sized: every legacy tile
 /// and block choice divides the problem).
@@ -86,6 +101,35 @@ fn per_second(count: usize, secs: f64) -> f64 {
 /// Run on a fresh `std::thread` this is a cold-process stand-in: the
 /// thread-local arena and annotation cache start empty, so the only
 /// possible warm-up is whatever a sidecar installed beforehand.
+/// The `(layout, workload)` pricing jobs of a kind's legacy space,
+/// built on the calling thread so candidate-construction cost stays
+/// out of the timed pricing loops.
+fn pricing_jobs(kind: &WorkloadKind, device: &GpuConfig) -> Vec<ScoreJob> {
+    SearchSpace::enumerate(*kind)
+        .candidates
+        .iter()
+        .filter_map(|c| {
+            let layout = build_layout(kind, &c.config).ok()?;
+            Some((layout, build_workload(kind, c, device)))
+        })
+        .collect()
+}
+
+/// Prices every workload's legacy jobs once on the calling thread:
+/// `(jobs, seconds, estimates, traffic (hits, misses))`. On a fresh
+/// `std::thread` the traffic memo starts empty, so this is the
+/// cold-process stand-in for the pricing tier — unless a sidecar
+/// installed its geometries first.
+fn fresh_pricing(kinds: &[WorkloadKind], device: &GpuConfig) -> (usize, f64, Vec<Estimate>, f64) {
+    let jobs: Vec<ScoreJob> = kinds.iter().flat_map(|k| pricing_jobs(k, device)).collect();
+    let model = CostModel::new(device);
+    let t = Instant::now();
+    let ests: Vec<Estimate> = jobs.iter().map(|(l, w)| model.price(l, w)).collect();
+    let secs = t.elapsed().as_secs_f64();
+    let (h, m) = gpu_sim::traffic_memo_stats();
+    (jobs.len(), secs, ests, rate(h, m))
+}
+
 fn fresh_enumeration(kinds: &[WorkloadKind]) -> (usize, f64, Vec<String>, f64) {
     let before = arena_stats();
     let t = Instant::now();
@@ -128,6 +172,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut total_pruned = 0usize;
     for kind in workloads() {
         let before = arena_stats();
         let (ann_h0, ann_m0) = annotate_cache_stats();
@@ -185,6 +230,61 @@ fn main() {
         }
         let saturate_s = t3.elapsed().as_secs_f64();
 
+        // Two-tier pricing: price the legacy jobs once on the main
+        // thread (feeding the session traffic memo that the sidecar
+        // phase below persists), then measure the cold-vs-warm pricing
+        // split on a fresh thread whose traffic memo starts empty, and
+        // run the bound-pruned exhaustive sweep over the enlarged
+        // domain there while its memo is hot.
+        let jobs = pricing_jobs(&kind, &device);
+        let jobs_n = jobs.len();
+        {
+            let model = CostModel::new(&device);
+            for (l, w) in &jobs {
+                let _ = model.price(l, w);
+            }
+        }
+        let (price_cold_s, price_warm_s, tr_rate, ex) = {
+            let device = device.clone();
+            std::thread::spawn(move || {
+                let model = CostModel::new(&device);
+                let t = Instant::now();
+                let cold: Vec<Estimate> = jobs.iter().map(|(l, w)| model.price(l, w)).collect();
+                let cold_s = t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                let warm: Vec<Estimate> = jobs.iter().map(|(l, w)| model.price(l, w)).collect();
+                let warm_s = t.elapsed().as_secs_f64();
+                assert_eq!(cold, warm, "warm re-pricing diverged from the cold trace");
+                let (h, m) = gpu_sim::traffic_memo_stats();
+                let outcome = run_search(
+                    Strategy::Exhaustive,
+                    &Domain::new(kind, SpaceScale::Enlarged),
+                    &device,
+                    Budget::default(),
+                    "tuner-bench",
+                    &[],
+                )
+                .expect("exhaustive search");
+                (
+                    cold_s,
+                    warm_s,
+                    rate(h, m),
+                    (
+                        outcome.evaluated,
+                        outcome.pruned,
+                        outcome.traffic_hits,
+                        outcome.traffic_misses,
+                    ),
+                )
+            })
+            .join()
+            .expect("pricing thread")
+        };
+        let (ex_evaluated, ex_pruned, ex_hits, ex_misses) = ex;
+        total_pruned += ex_pruned;
+        let price_cold = per_second(jobs_n, price_cold_s);
+        let price_warm = per_second(jobs_n, price_warm_s);
+
         let total_stats = arena_stats().since(&before);
         let (ann_h1, ann_m1) = annotate_cache_stats();
         let intern_rate = rate(total_stats.intern_hits, total_stats.intern_misses);
@@ -204,6 +304,17 @@ fn main() {
             per_second(result.evaluated, anneal_s),
             per_second(sat_candidates, saturate_s),
             sat_strictly_better,
+        );
+        println!(
+            "{:<22} {:>6} {:>12.0} {:>12.0} {:>9.1}%   pruned {}/{} (traffic {:.1}%)",
+            "  two-tier pricing",
+            jobs_n,
+            price_cold,
+            price_warm,
+            tr_rate * 100.0,
+            ex_pruned,
+            ex_evaluated,
+            rate(ex_hits, ex_misses) * 100.0,
         );
 
         rows.push(Json::obj([
@@ -263,6 +374,22 @@ fn main() {
                 "saturate_strictly_better",
                 Json::Int(sat_strictly_better as i64),
             ),
+            ("pricing_jobs", Json::Int(jobs_n as i64)),
+            ("pricing_cold_s", Json::Num(price_cold_s)),
+            ("pricing_warm_s", Json::Num(price_warm_s)),
+            ("pricing_cold_evals_per_s", Json::Num(price_cold)),
+            ("pricing_warm_evals_per_s", Json::Num(price_warm)),
+            (
+                "pricing_speedup",
+                Json::Num(price_warm / price_cold.max(1e-9)),
+            ),
+            ("traffic_hit_rate", Json::Num(tr_rate)),
+            ("exhaustive_evaluated", Json::Int(ex_evaluated as i64)),
+            ("exhaustive_pruned", Json::Int(ex_pruned as i64)),
+            (
+                "exhaustive_traffic_hit_rate",
+                Json::Num(rate(ex_hits, ex_misses)),
+            ),
         ]));
 
         // The whole point of the interned IR: candidate construction
@@ -281,7 +408,39 @@ fn main() {
             "{}: warm enumeration missed the annotation cache",
             kind.name()
         );
+        // The warm pricing pass answers every probe from the traffic
+        // memo, so the phase's overall hit rate must be positive and
+        // re-timing can never be slower than re-tracing.
+        assert!(
+            tr_rate > 0.0,
+            "{}: pricing phase never hit the traffic memo",
+            kind.name()
+        );
+        assert!(
+            price_warm >= price_cold,
+            "{}: warm pricing slower than cold ({price_warm:.0} vs {price_cold:.0} evals/s)",
+            kind.name()
+        );
+        // The acceptance gate: on the variant-heavy spaces the memoized
+        // traffic pass must at least double pricing throughput.
+        if matches!(
+            kind,
+            WorkloadKind::Matmul { .. } | WorkloadKind::Rowwise { .. }
+        ) {
+            assert!(
+                price_warm >= 2.0 * price_cold,
+                "{}: two-tier pricing below 2x ({price_warm:.0} vs {price_cold:.0} evals/s)",
+                kind.name()
+            );
+        }
     }
+    // Across the families, the admissible bound must actually prune
+    // (NW's rounds floor and LUD's stream floor dismiss far-from-peak
+    // tiles; matmul's wave-quantization factor sharpens the rest).
+    assert!(
+        total_pruned > 0,
+        "the admissible bound pruned nothing across any family"
+    );
 
     // A pinned index-arithmetic case where saturation is *strictly*
     // smaller than the fixpoint rewriter: two address terms sharing a
@@ -388,6 +547,73 @@ fn main() {
         ("cold_process_memo_hit_rate", Json::Num(cold_memo)),
         ("sidecar_memo_hit_rate", Json::Num(warm_memo)),
         ("byte_identical", Json::Bool(true)),
+    ]));
+    // Traffic rewarm: the same fresh-thread replay for the pricing
+    // tier. The cold process traces every geometry from scratch; the
+    // warmed one installs the sidecar's traffic section first and
+    // re-times from it. Both must price bit-identically.
+    let tcold = {
+        let kinds = kinds.clone();
+        let device = device.clone();
+        std::thread::spawn(move || fresh_pricing(&kinds, &device))
+            .join()
+            .expect("cold pricing thread")
+    };
+    let (twarm, tload_s, tinstalled, tside_hits) = {
+        let kinds = kinds.clone();
+        let device = device.clone();
+        let path = sidecar_path.clone();
+        std::thread::spawn(move || {
+            let t = Instant::now();
+            let warm = lego_tune::sidecar::load_and_install(&path);
+            let load_s = t.elapsed().as_secs_f64();
+            let r = fresh_pricing(&kinds, &device);
+            let (_, hits) = gpu_sim::traffic_sidecar_stats();
+            (r, load_s, warm.traffics, hits)
+        })
+        .join()
+        .expect("warmed pricing thread")
+    };
+    let (tcold_n, tcold_s, tcold_ests, _) = tcold;
+    let (twarm_n, twarm_s, twarm_ests, twarm_rate) = twarm;
+    assert_eq!(tcold_n, twarm_n, "pricing replay job counts diverged");
+    assert_eq!(
+        tcold_ests, twarm_ests,
+        "sidecar-warmed pricing produced different estimates than cold"
+    );
+    assert!(tinstalled > 0, "sidecar carried no traffic geometries");
+    assert!(
+        tside_hits > 0,
+        "warmed pricing never hit the imported traffic memo"
+    );
+    let tcold_eps = per_second(tcold_n, tcold_s);
+    let twarm_eps = per_second(twarm_n, twarm_s);
+    assert!(
+        twarm_eps >= tcold_eps,
+        "traffic-rewarmed pricing was slower than a cold process \
+         ({twarm_eps:.0} vs {tcold_eps:.0} evals/s)"
+    );
+    println!(
+        "traffic rewarm: {tinstalled} geometries (load {:.2}ms); \
+         cold {tcold_eps:.0} evals/s -> warmed {twarm_eps:.0} evals/s ({:.1}x), \
+         {tside_hits} warm hits, bit-identical estimates",
+        tload_s * 1e3,
+        twarm_eps / tcold_eps.max(1e-9)
+    );
+    rows.push(Json::obj([
+        ("workload", Json::Str("traffic-rewarm".to_string())),
+        ("pricing_jobs", Json::Int(tcold_n as i64)),
+        ("traffic_installed", Json::Int(tinstalled as i64)),
+        ("sidecar_load_s", Json::Num(tload_s)),
+        ("traffic_warm_hits", Json::Int(tside_hits as i64)),
+        ("cold_process_evals_per_s", Json::Num(tcold_eps)),
+        ("sidecar_evals_per_s", Json::Num(twarm_eps)),
+        (
+            "traffic_speedup",
+            Json::Num(twarm_eps / tcold_eps.max(1e-9)),
+        ),
+        ("sidecar_traffic_hit_rate", Json::Num(twarm_rate)),
+        ("bit_identical", Json::Bool(true)),
     ]));
     if !keep_sidecar {
         let _ = std::fs::remove_file(&sidecar_path);

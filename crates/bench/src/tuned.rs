@@ -143,10 +143,11 @@ pub fn sidecar_setup() -> Option<std::path::PathBuf> {
     let path = sidecar_from_args()?;
     let warm = lego_tune::sidecar::load_and_install(&path);
     println!(
-        "-- sidecar {}: installed {} expr memo entries + {} annotations --",
+        "-- sidecar {}: installed {} expr memo entries + {} annotations + {} traffic geometries --",
         path.display(),
         warm.exprs.installed(),
-        warm.annotations
+        warm.annotations,
+        warm.traffics
     );
     Some(path)
 }

@@ -104,6 +104,10 @@ pub struct Sidecar {
     /// Opaque annotation entries (the tuner layer's section). Sorted
     /// map so rendering is deterministic.
     annotations: BTreeMap<String, String>,
+    /// Opaque traffic entries (the cost model's geometry → traffic
+    /// memo, owned by `gpu-sim` and routed here by the tuner layer).
+    /// Sorted map so rendering is deterministic.
+    traffics: BTreeMap<String, String>,
 }
 
 impl Sidecar {
@@ -114,7 +118,7 @@ impl Sidecar {
 
     /// Total entries across every section.
     pub fn len(&self) -> usize {
-        self.expr_entries() + self.annotations.len()
+        self.expr_entries() + self.annotations.len() + self.traffics.len()
     }
 
     /// True when no section has any entries.
@@ -150,6 +154,20 @@ impl Sidecar {
     /// Iterates the annotation section in sorted key order.
     pub fn annotations(&self) -> impl Iterator<Item = (&str, &str)> {
         self.annotations.iter().map(|(k, v)| (&**k, &**v))
+    }
+
+    /// Adds (or keeps) an opaque traffic entry: a geometry fingerprint
+    /// mapped to an encoded traffic cost. Like annotations, the
+    /// expression layer never interprets these; `gpu-sim`'s traffic
+    /// memo round-trips through them. Keys and values containing
+    /// newlines are dropped at render time.
+    pub fn set_traffic(&mut self, key: &str, value: &str) {
+        self.traffics.insert(key.to_string(), value.to_string());
+    }
+
+    /// Iterates the traffic section in sorted key order.
+    pub fn traffics(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.traffics.iter().map(|(k, v)| (&**k, &**v))
     }
 
     /// Snapshots the current thread's memo tables into a document:
@@ -280,6 +298,9 @@ impl Sidecar {
                 .entry(k.clone())
                 .or_insert_with(|| v.clone());
         }
+        for (k, v) in &other.traffics {
+            self.traffics.entry(k.clone()).or_insert_with(|| v.clone());
+        }
     }
 
     /// Renders the document: a header stamping the schema version and
@@ -355,6 +376,11 @@ impl Sidecar {
         for (k, v) in &self.annotations {
             if clean(k) && clean(v) {
                 let _ = writeln!(out, "ann {}:{k} {}:{v}", k.len(), v.len());
+            }
+        }
+        for (k, v) in &self.traffics {
+            if clean(k) && clean(v) {
+                let _ = writeln!(out, "traffic {}:{k} {}:{v}", k.len(), v.len());
             }
         }
         out
@@ -447,6 +473,20 @@ impl Sidecar {
                         return None;
                     }
                     sc.annotations.insert(key, value);
+                }
+                "traffic" => {
+                    let mut c = Cur::new(rest);
+                    let klen = c.uint()? as usize;
+                    c.expect(b':')?;
+                    let key = c.take(klen)?.to_string();
+                    c.expect(b' ')?;
+                    let vlen = c.uint()? as usize;
+                    c.expect(b':')?;
+                    let value = c.take(vlen)?.to_string();
+                    if !c.done() {
+                        return None;
+                    }
+                    sc.traffics.insert(key, value);
                 }
                 _ => return None,
             }

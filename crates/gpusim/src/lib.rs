@@ -22,6 +22,10 @@
 //! * [`mod@score`] — the one-call `score(layout, workload, cfg)` face of
 //!   the cost model the `lego-tune` autotuner searches with, plus
 //!   parallel batch scoring;
+//! * [`traffic`] — the per-thread geometry-keyed memo of the two-tier
+//!   pricing split: one trace replay serves every expression variant of
+//!   a geometry, and the memo exports/imports through the persistent
+//!   sidecar;
 //! * [`trace`] — the shared workload trace builders that both the
 //!   `lego-bench` paper reproductions and the `lego-tune` search space
 //!   consume, so their estimates cannot drift apart.
@@ -54,6 +58,7 @@ pub mod smem;
 pub mod tilecache;
 pub mod timing;
 pub mod trace;
+pub mod traffic;
 
 pub use cache::{Cache, CacheStats};
 pub use coalesce::{coalesce_elems, coalesce_elems_on, coalesce_warp, CoalesceResult};
@@ -69,4 +74,8 @@ pub use timing::{
 pub use trace::{
     LaneAxis, LudPanels, MatmulWaves, NwWavefront, RowwiseSweep, StencilWalk, TraceBuilder,
     TransposeSweeps,
+};
+pub use traffic::{
+    export as export_traffic, import as import_traffic, memo_stats as traffic_memo_stats,
+    sidecar_stats as traffic_sidecar_stats, TrafficCost,
 };

@@ -29,6 +29,7 @@ use crate::score::{Estimate, Phase, Workload};
 use crate::smem::bank_conflicts_elems_on;
 use crate::tilecache::TileCache;
 use crate::timing::{estimate, occupancy_derate, KernelProfile, Pipeline, TimeEstimate};
+use crate::traffic::{self, TrafficCost};
 
 /// How a workload's bottleneck terms combine into a runtime.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -88,12 +89,107 @@ impl<'a> CostModel<'a> {
         self.cfg
     }
 
-    /// Prices one candidate layout against a workload: runs every
-    /// phase's trace through the coalescing / bank-conflict / cache
-    /// models (all parameterized by the device), assembles a
-    /// [`KernelProfile`], and prices it under the workload's
-    /// [`PricingMode`].
+    /// Prices one candidate layout against a workload in two tiers:
+    /// the [`traffic`](CostModel::traffic) pass replays every phase's
+    /// trace through the coalescing / bank-conflict / cache models (all
+    /// parameterized by the device) — memoized per geometry — and
+    /// [`assemble`](CostModel::assemble) combines the resulting
+    /// [`TrafficCost`] with the variant-dependent flops/resources under
+    /// the workload's [`PricingMode`].
     pub fn price(&self, layout: &Layout, workload: &Workload) -> Estimate {
+        let tc = self.traffic(layout, workload);
+        self.assemble(workload, &tc)
+    }
+
+    /// Tier 1: the trace-driven traffic pass. When the workload carries
+    /// a [`traffic_key`](Workload::traffic_key), the result is memoized
+    /// in this thread's geometry cache (see [`crate::traffic`]);
+    /// keyless workloads replay the trace unconditionally.
+    pub fn traffic(&self, layout: &Layout, workload: &Workload) -> TrafficCost {
+        match self.memo_key(layout, workload) {
+            Some(key) => match traffic::lookup(&key) {
+                Some(tc) => tc,
+                None => {
+                    let tc = self.trace_traffic(layout, workload);
+                    traffic::insert(key, tc);
+                    tc
+                }
+            },
+            None => self.trace_traffic(layout, workload),
+        }
+    }
+
+    /// The full memo key of a cacheable (layout, workload) pair, or
+    /// `None` when the pair must be traced fresh. Built from the
+    /// producer's geometry prefix plus everything the traffic pass
+    /// reads *outside* the trace closures: the pricing device's traffic
+    /// geometry, the workload's L2 model and per-phase scalars, and a
+    /// structural fingerprint of the layout (skipped when no phase
+    /// reads the layout). The trace closures themselves are the only
+    /// trust gap, which is exactly what the producer's key opt-in
+    /// promises to cover.
+    fn memo_key(&self, layout: &Layout, workload: &Workload) -> Option<String> {
+        let prefix = workload.traffic_key.as_deref()?;
+        let cfg = self.cfg;
+        let mut key = String::with_capacity(prefix.len() + 96);
+        key.push_str(prefix);
+        use std::fmt::Write as _;
+        let _ = write!(
+            key,
+            "|{}:w{}:s{}:c{}:b{}x{}:m{}",
+            cfg.tag,
+            cfg.warp_size,
+            cfg.sector_bytes,
+            cfg.l2_bytes,
+            cfg.smem_banks,
+            cfg.bank_bytes,
+            cfg.sm_count
+        );
+        match workload.l2 {
+            Some(m) => {
+                let _ = write!(key, "|l2:{}:{}", m.lines, m.assoc);
+            }
+            None => key.push_str("|l2-"),
+        }
+        let mut layout_free = true;
+        for phase in &workload.phases {
+            match phase {
+                Phase::Global {
+                    elem_bytes, scale, ..
+                } => {
+                    layout_free = false;
+                    let _ = write!(key, "|G{}:{:x}", elem_bytes, scale.to_bits());
+                }
+                Phase::Shared { scale, .. } => {
+                    layout_free = false;
+                    let _ = write!(key, "|S{:x}", scale.to_bits());
+                }
+                Phase::TileTouches { scale, .. } => {
+                    layout_free = false;
+                    let _ = write!(key, "|T{:x}", scale.to_bits());
+                }
+                Phase::Streamed {
+                    dram_bytes,
+                    l2_bytes,
+                } => {
+                    let _ = write!(key, "|X{:x}:{:x}", dram_bytes.to_bits(), l2_bytes.to_bits());
+                }
+            }
+        }
+        if layout_free {
+            // No phase receives the layout: traffic is layout-independent.
+            key.push_str("|-");
+        } else {
+            let fp = layout_fingerprint(layout)?;
+            key.push('|');
+            key.push_str(&fp);
+        }
+        Some(key)
+    }
+
+    /// Replays the phase traces and accumulates their traffic totals —
+    /// the uncached body of tier 1.
+    fn trace_traffic(&self, layout: &Layout, workload: &Workload) -> TrafficCost {
         let cfg = self.cfg;
         let mut l2_bytes = 0f64;
         let mut dram_bytes = 0f64;
@@ -168,11 +264,26 @@ impl<'a> CostModel<'a> {
             }
         }
 
+        TrafficCost {
+            dram_bytes,
+            l2_bytes,
+            smem_passes,
+            hits,
+            misses,
+        }
+    }
+
+    /// Tier 2: the closed-form timing assembly. Combines a traced (or
+    /// memoized) [`TrafficCost`] with the variant-dependent parts of
+    /// the workload — flops, resources, launches, pricing mode — into
+    /// the final [`Estimate`]. Cheap enough that N expression variants
+    /// per geometry cost one trace replay plus N calls here.
+    pub fn assemble(&self, workload: &Workload, tc: &TrafficCost) -> Estimate {
         let profile = KernelProfile {
             flops: workload.flops,
-            dram_bytes: dram_bytes + workload.streamed_bytes,
-            l2_bytes: l2_bytes + workload.streamed_bytes,
-            smem_passes,
+            dram_bytes: tc.dram_bytes + workload.streamed_bytes,
+            l2_bytes: tc.l2_bytes + workload.streamed_bytes,
+            smem_passes: tc.smem_passes,
             blocks: workload.blocks,
             launches: workload.launches,
             warps_per_block: workload.resources.warps_per_block,
@@ -196,20 +307,84 @@ impl<'a> CostModel<'a> {
             ),
         };
 
-        let accesses = hits + misses;
+        let accesses = tc.hits + tc.misses;
         Estimate {
             time_s: t.total_s,
             breakdown: t,
             dram_bytes: profile.dram_bytes,
             l2_bytes: profile.l2_bytes,
-            smem_passes,
+            smem_passes: tc.smem_passes,
             l2_hit_rate: if accesses == 0 {
                 0.0
             } else {
-                hits as f64 / accesses as f64
+                tc.hits as f64 / accesses as f64
             },
             flops: workload.flops,
             useful_bytes: workload.useful_bytes,
+        }
+    }
+
+    /// An admissible analytic lower bound on [`price`](CostModel::price)
+    /// — no trace replay, so it costs nanoseconds and can prune a
+    /// candidate before tier 1 runs.
+    ///
+    /// Admissibility argument, term by term against the pricing modes:
+    ///
+    /// * **compute floor** — `flops / peak`: every derate in the model
+    ///   (`occupancy_derate`) is ≤ 1, so real compute time only grows.
+    ///   Under wave quantization the floor sharpens to
+    ///   `flops/peak · ⌈blocks/sms⌉·sms/blocks` (≥ the plain floor),
+    ///   because a partial wave bills as a full one.
+    /// * **memory floor** — guaranteed bytes at un-derated peak
+    ///   bandwidth. Guaranteed traffic is `streamed_bytes` plus the
+    ///   closure-free [`Phase::Streamed`] charges; trace-derived
+    ///   traffic only ever *adds* to it, and the bandwidth derate ≤ 1.
+    ///   (`useful_bytes` is deliberately not used: under non-dividing
+    ///   tiles the nominal algorithmic minimum can exceed what a
+    ///   floored trace actually touches, which would break
+    ///   admissibility.)
+    /// * **launch floor** — `launches·overhead` is charged exactly by
+    ///   both modes, never overlapped.
+    ///
+    /// Roofline takes the max of the floors (the mode maxes the real
+    /// terms); additive-launch adds them (the mode adds the real
+    /// terms), plus the round floor `rounds·step_cycles/clock` (real
+    /// rounds cost `step_cycles + bank passes` at a derated clock).
+    pub fn bound(&self, workload: &Workload) -> f64 {
+        let cfg = self.cfg;
+        let mut dram = workload.streamed_bytes;
+        let mut l2 = workload.streamed_bytes;
+        for phase in &workload.phases {
+            if let Phase::Streamed {
+                dram_bytes,
+                l2_bytes,
+            } = phase
+            {
+                dram += dram_bytes;
+                l2 += l2_bytes;
+            }
+        }
+        let mem_floor = (dram / (cfg.dram_bw * cfg.dram_efficiency)).max(l2 / cfg.l2_bw);
+        let mut compute_floor = workload.flops / self.peak(workload.pipeline);
+        match workload.mode {
+            PricingMode::Roofline => {
+                if workload.wave_quantized && workload.blocks > 0.0 {
+                    let sms = cfg.sm_count as f64;
+                    compute_floor *= (workload.blocks / sms).ceil() * sms / workload.blocks;
+                }
+                compute_floor.max(mem_floor) + workload.launches.max(1.0) * cfg.launch_overhead
+            }
+            PricingMode::AdditiveLaunch {
+                rounds,
+                step_cycles,
+                launch_overhead_s,
+                ..
+            } => {
+                compute_floor
+                    + rounds * step_cycles / cfg.clock_hz
+                    + mem_floor
+                    + workload.launches.max(1.0) * launch_overhead_s
+            }
         }
     }
 
@@ -287,32 +462,89 @@ impl<'a> CostModel<'a> {
 
     /// Prices a batch of candidates in parallel, preserving order.
     ///
-    /// Spreads jobs over `available_parallelism` OS threads; falls back
-    /// to sequential evaluation for tiny batches.
+    /// The traffic memo is probed on the calling thread first (spawned
+    /// threads would see fresh thread-locals): warm geometries assemble
+    /// inline, and only the cold traces fan out over
+    /// `available_parallelism` OS threads — inline when fewer than
+    /// `INLINE_BATCH` remain, since spawning costs more than a
+    /// handful of traces. Fresh traces are recorded back into the
+    /// calling thread's memo. Chunks are sized so no spawned thread
+    /// receives an empty tail.
     pub fn price_batch(&self, jobs: Vec<(Layout, Workload)>) -> Vec<Estimate> {
         let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut keys: Vec<Option<String>> = jobs.iter().map(|(l, w)| self.memo_key(l, w)).collect();
+        let mut traffic: Vec<Option<TrafficCost>> = vec![None; n];
+        let mut cold: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            match key.as_deref().and_then(traffic::lookup) {
+                Some(tc) => traffic[i] = Some(tc),
+                None => cold.push(i),
+            }
+        }
         let threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
-            .min(n.max(1));
-        if threads <= 1 {
-            return jobs.iter().map(|(l, w)| self.price(l, w)).collect();
-        }
-        let mut results: Vec<Option<Estimate>> = vec![None; n];
-        let chunk = n.div_ceil(threads);
-        let jobs = &jobs;
-        std::thread::scope(|s| {
-            for (ci, out) in results.chunks_mut(chunk).enumerate() {
-                s.spawn(move || {
-                    for (k, slot) in out.iter_mut().enumerate() {
-                        let (layout, workload) = &jobs[ci * chunk + k];
-                        *slot = Some(self.price(layout, workload));
-                    }
-                });
+            .min(cold.len());
+        if threads <= 1 || cold.len() < Self::INLINE_BATCH {
+            for &i in &cold {
+                traffic[i] = Some(self.trace_traffic(&jobs[i].0, &jobs[i].1));
             }
-        });
-        results.into_iter().map(|o| o.expect("priced")).collect()
+        } else {
+            let mut traced: Vec<Option<TrafficCost>> = vec![None; cold.len()];
+            let chunk = cold.len().div_ceil(threads);
+            let (jobs_ref, cold_ref) = (&jobs, &cold);
+            std::thread::scope(|s| {
+                for (ci, out) in traced.chunks_mut(chunk).enumerate() {
+                    s.spawn(move || {
+                        for (k, slot) in out.iter_mut().enumerate() {
+                            let (layout, workload) = &jobs_ref[cold_ref[ci * chunk + k]];
+                            *slot = Some(self.trace_traffic(layout, workload));
+                        }
+                    });
+                }
+            });
+            for (k, tc) in traced.into_iter().enumerate() {
+                traffic[cold[k]] = tc;
+            }
+        }
+        for &i in &cold {
+            if let Some(key) = keys[i].take() {
+                traffic::insert(key, traffic[i].expect("traced"));
+            }
+        }
+        jobs.iter()
+            .zip(&traffic)
+            .map(|((_, w), tc)| self.assemble(w, &tc.expect("traced")))
+            .collect()
     }
+
+    /// Below this many cold traces, [`price_batch`](Self::price_batch)
+    /// stays on the calling thread: thread spawn + scope teardown cost
+    /// more than the traces themselves.
+    const INLINE_BATCH: usize = 8;
+}
+
+/// A structural fingerprint of a layout for the traffic memo key:
+/// layouts that fingerprint equal induce the identical logical→physical
+/// map, hence identical traces. Identity layouts (no reordering chain)
+/// fingerprint from the view dims alone; reordered layouts hash the
+/// full `to_permutation` table (FNV-1a over the physical positions).
+/// `None` — symbolic dims, unevaluable chains — means uncacheable.
+fn layout_fingerprint(layout: &Layout) -> Option<String> {
+    let dims = layout.view().dims_const().ok()?;
+    if layout.orders().is_empty() {
+        return Some(format!("id{dims:?}"));
+    }
+    let perm = layout.to_permutation().ok()?;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &p in &perm {
+        h ^= p as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    Some(format!("p{dims:?}x{h:016x}"))
 }
 
 #[cfg(test)]
@@ -339,6 +571,7 @@ mod tests {
                 pass_cycles: 5.0,
                 launch_overhead_s: 2.0e-6,
             },
+            traffic_key: None,
             phases: vec![Phase::Shared {
                 trace: Box::new(|_layout, sink| {
                     let idx: Vec<i64> = (0..32).collect();

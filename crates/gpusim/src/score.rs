@@ -121,6 +121,16 @@ pub struct Workload {
     /// How the bottleneck terms combine into a runtime (roofline for
     /// overlapped kernels, additive for dependency-serialized ones).
     pub mode: PricingMode,
+    /// Geometry fingerprint prefix for the traffic memo (see
+    /// [`crate::traffic`]): a stable string covering *every* parameter
+    /// the phase traces read — builder params and the device the
+    /// closures were built against. `None` (the default for hand-built
+    /// workloads) keeps the closure-carrying phases uncacheable; only
+    /// the producer that wrote the closures can promise completeness,
+    /// so cacheability is opt-in at construction. The cost model
+    /// appends the pricing-device geometry and a structural layout
+    /// fingerprint before using it as a memo key.
+    pub traffic_key: Option<String>,
     /// The traffic phases.
     pub phases: Vec<Phase>,
 }
@@ -193,6 +203,7 @@ mod tests {
             l2: None,
             resources: BlockResources::default(),
             mode: PricingMode::Roofline,
+            traffic_key: None,
             phases: vec![Phase::Global {
                 trace: Box::new(move |layout, sink| {
                     let idx: Vec<i64> = (0..32)
@@ -249,6 +260,7 @@ mod tests {
             l2: None,
             resources: BlockResources::default(),
             mode: PricingMode::Roofline,
+            traffic_key: None,
             phases: vec![Phase::Shared {
                 trace: Box::new(|layout, sink| {
                     let idx: Vec<i64> = (0..32).map(|r| layout.apply_c(&[r, 0]).unwrap()).collect();

@@ -166,6 +166,9 @@ impl TraceBuilder for MatmulWaves {
             l2: None,
             resources: self.resources(cfg),
             mode: PricingMode::Roofline,
+            // The trace reads n/bm/bn/bk plus the wave width (sm_count)
+            // baked in above; vendor/index_flops only touch assembly.
+            traffic_key: Some(format!("mm:n{n}:t{bm}x{bn}x{bk}:d{}", cfg.tag)),
             phases: vec![Phase::TileTouches { trace, scale: 1.0 }],
         }
     }
@@ -272,6 +275,8 @@ impl TraceBuilder for TransposeSweeps {
             l2: None,
             resources: self.resources(cfg),
             mode: PricingMode::Roofline,
+            // The traces read n/t/staged plus the warp width baked in.
+            traffic_key: Some(format!("tr:n{n}:t{t}:s{}:d{}", staged as u8, cfg.tag)),
             phases,
         }
     }
@@ -411,6 +416,16 @@ impl TraceBuilder for StencilWalk {
         // Scaled L2: preserve the paper's 512³·4B : 40 MiB ratio.
         let domain_bytes = (n * n * n * 4) as f64;
         let lines = ((domain_bytes / 12.8) as usize / cfg.sector_bytes).max(1024);
+        // The offsets are the only unbounded trace parameter: fold them
+        // into an FNV tag so custom shapes sharing a display name
+        // cannot collide in the traffic memo.
+        let mut off_tag: u64 = 0xcbf2_9ce4_8422_2325;
+        for &(dx, dy, dz) in &self.offsets {
+            for v in [dx, dy, dz] {
+                off_tag ^= v as u64;
+                off_tag = off_tag.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
         Workload {
             name: self.name(),
             pipeline: Pipeline::Fp32,
@@ -423,6 +438,15 @@ impl TraceBuilder for StencilWalk {
             l2: Some(L2Model { lines, assoc: 16 }),
             resources: self.resources(cfg),
             mode: PricingMode::Roofline,
+            traffic_key: Some(format!(
+                "st:o{off_tag:016x}:r{r}:n{n}:b{bx}x{by}x{bz}:a{}:d{}",
+                match lane_axis {
+                    LaneAxis::Y => "y",
+                    LaneAxis::Z => "z",
+                    LaneAxis::YZ => "yz",
+                },
+                cfg.tag
+            )),
             phases: vec![Phase::Global {
                 trace,
                 elem_bytes: 4,
@@ -563,6 +587,9 @@ impl TraceBuilder for NwWavefront {
                 pass_cycles: NW_PASS_CYCLES,
                 launch_overhead_s: NW_LAUNCH_OVERHEAD_RATIO * cfg.launch_overhead,
             },
+            // The trace reads b plus the warp width baked in; n only
+            // enters through the phase scale, which the memo key covers.
+            traffic_key: Some(format!("nw:n{n}:b{b}:d{}", cfg.tag)),
             phases: vec![Phase::Shared {
                 trace: NwWavefront::block_trace(b, cfg.warp_size),
                 scale: blocks,
@@ -657,6 +684,8 @@ impl TraceBuilder for LudPanels {
                 pass_cycles: 0.0,
                 launch_overhead_s: cfg.launch_overhead,
             },
+            // Pure pre-aggregated traffic: no closures, no layout.
+            traffic_key: Some(format!("lud:n{n}:bs{bs}:d{}", cfg.tag)),
             phases: vec![Phase::Streamed {
                 dram_bytes: dram,
                 l2_bytes: dram * 1.5,
@@ -752,6 +781,14 @@ impl TraceBuilder for RowwiseSweep {
             l2: None,
             resources: self.resources(cfg),
             mode: PricingMode::Roofline,
+            // `passes` is spelled out explicitly: unlike `name()`, the
+            // memo key must separate operators that share m/n/bs but
+            // sweep the matrix a different number of times.
+            traffic_key: Some(format!(
+                "rw:m{m}:n{n}:bs{bs}:p{:x}:d{}",
+                self.passes.to_bits(),
+                cfg.tag
+            )),
             phases: vec![Phase::Global {
                 trace,
                 elem_bytes: 2,

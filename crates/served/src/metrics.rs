@@ -53,6 +53,10 @@ struct Inner {
     /// worker thread (same monotone-snapshot convention). The arena's
     /// own sidecar counters ride along in `arena`.
     ann_sidecar: BTreeMap<usize, (u64, u64)>,
+    /// Latest `(hits, misses)` of the traffic memo — the cost model's
+    /// geometry-keyed trace cache — per worker thread (same
+    /// monotone-snapshot convention).
+    traffic: BTreeMap<usize, (u64, u64)>,
 }
 
 /// The service-wide metrics registry. All methods take `&self`.
@@ -122,6 +126,13 @@ impl Metrics {
     pub fn record_sidecar(&self, idx: usize, stats: (u64, u64)) {
         let mut inner = self.inner.lock().expect("metrics poisoned");
         inner.ann_sidecar.insert(idx, stats);
+    }
+
+    /// Publishes worker `idx`'s current traffic-memo counters
+    /// (`(hits, misses)`, monotone per thread).
+    pub fn record_traffic(&self, idx: usize, stats: (u64, u64)) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        inner.traffic.insert(idx, stats);
     }
 
     /// Count of fresh searches run (the herd invariant's counter).
@@ -199,6 +210,14 @@ impl Metrics {
             .values()
             .fold((0u64, 0u64), |(i, h), (wi, wh)| (i + wi, h + wh));
 
+        // Traffic-memo probes, summed across workers: how often the
+        // two-tier cost model re-timed a known geometry without a
+        // trace replay.
+        let (tr_hits, tr_misses) = inner
+            .traffic
+            .values()
+            .fold((0u64, 0u64), |(h, m), (wh, wm)| (h + wh, m + wm));
+
         Json::obj([
             ("ok", Json::Bool(true)),
             ("uptime_s", Json::num(uptime_s)),
@@ -231,6 +250,14 @@ impl Metrics {
                 }
                 f
             }),
+            (
+                "traffic",
+                Json::obj([
+                    ("hits", Json::Int(tr_hits as i64)),
+                    ("misses", Json::Int(tr_misses as i64)),
+                    ("hit_rate", Json::num(rate(tr_hits, tr_misses))),
+                ]),
+            ),
             (
                 "arena",
                 Json::obj([

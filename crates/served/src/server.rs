@@ -306,6 +306,9 @@ fn dispatch(idx: usize, line: &str, service: &TuneService) -> (Json, bool) {
                 service
                     .metrics()
                     .record_sidecar(idx, lego_tune::annotate_sidecar_stats());
+                service
+                    .metrics()
+                    .record_traffic(idx, gpu_sim::traffic_memo_stats());
                 match result {
                     Ok(served) => (served.to_json(), false),
                     Err(e) => (protocol::error_response(&e), false),

@@ -223,6 +223,8 @@ impl TuneService {
         self.metrics.record_arena(idx, lego_expr::intern::stats());
         self.metrics
             .record_sidecar(idx, lego_tune::annotate_sidecar_stats());
+        self.metrics
+            .record_traffic(idx, gpu_sim::traffic_memo_stats());
     }
 
     /// Merges the calling worker thread's derived results into the

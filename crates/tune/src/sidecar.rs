@@ -29,21 +29,25 @@ pub struct SidecarWarm {
     pub exprs: InstallReport,
     /// Annotation entries installed into the candidate cache.
     pub annotations: u64,
+    /// Traffic entries installed into the cost model's geometry memo.
+    pub traffics: u64,
 }
 
 impl SidecarWarm {
-    /// Total entries installed across both layers.
+    /// Total entries installed across all layers.
     pub fn installed(&self) -> usize {
-        self.exprs.installed() + self.annotations as usize
+        self.exprs.installed() + (self.annotations + self.traffics) as usize
     }
 }
 
 /// Installs `sidecar` into this thread's session state: expression
-/// memos into the arena tables, annotations into the candidate cache.
+/// memos into the arena tables, annotations into the candidate cache,
+/// traffic entries into the cost model's geometry memo.
 pub fn install(sidecar: &Sidecar) -> SidecarWarm {
     SidecarWarm {
         exprs: sidecar.install(),
         annotations: space::import_annotations(sidecar),
+        traffics: gpu_sim::import_traffic(sidecar.traffics()),
     }
 }
 
@@ -55,11 +59,14 @@ pub fn load_and_install(path: &Path) -> SidecarWarm {
     install(&Sidecar::load(path))
 }
 
-/// Snapshots this thread's derived results — expression memos *and* the
-/// annotation cache — into one document.
+/// Snapshots this thread's derived results — expression memos, the
+/// annotation cache, and the traffic memo — into one document.
 pub fn collect() -> Sidecar {
     let mut sc = Sidecar::collect();
     space::export_annotations(&mut sc);
+    for (k, v) in gpu_sim::export_traffic() {
+        sc.set_traffic(&k, &v);
+    }
     sc
 }
 
@@ -100,5 +107,34 @@ mod tests {
         .join()
         .unwrap();
         assert_eq!(warmed, (cand.expr_variant, cand.index_ops));
+    }
+
+    #[test]
+    fn traffic_round_trips_through_a_document() {
+        fn price() -> gpu_sim::Estimate {
+            use crate::space::{build_layout, build_workload};
+            let kind = WorkloadKind::Matmul { n: 64 };
+            let gpu = gpu_sim::a100();
+            let cand = Candidate::annotated(&kind, &kind.default_config());
+            let layout = build_layout(&kind, &cand.config).expect("default builds");
+            let wl = build_workload(&kind, &cand, &gpu);
+            gpu_sim::score(&layout, &wl, &gpu)
+        }
+        let cold = price();
+        let text = collect().render();
+        // A fresh thread models a fresh process: an empty traffic memo,
+        // then the parsed document warms it and serves the same price.
+        let warm_est = std::thread::spawn(move || {
+            let parsed = Sidecar::parse(&text).expect("collected document must parse");
+            let warm = install(&parsed);
+            assert!(warm.traffics > 0, "no traffic entries installed");
+            let est = price();
+            let (_, hits) = gpu_sim::traffic_sidecar_stats();
+            assert!(hits > 0, "traffic traced cold despite import");
+            est
+        })
+        .join()
+        .unwrap();
+        assert_eq!(cold, warm_est, "imported traffic must price identically");
     }
 }

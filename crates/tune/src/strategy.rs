@@ -24,7 +24,7 @@
 //! a larger budget evaluates a superset of a smaller one — the winner
 //! can only improve (asserted by the budget-monotonicity test).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use gpu_sim::score::{score_batch, Estimate};
@@ -110,8 +110,21 @@ pub struct SearchOutcome {
     pub tuned: Estimate,
     /// Estimate of the default configuration (always evaluated first).
     pub naive: Estimate,
-    /// Unique configurations scored.
+    /// Unique configurations evaluated: scored plus bound-pruned. A
+    /// pruned candidate counts — its fate was decided — so this number
+    /// is identical with and without pruning (the basis of the
+    /// search-parity budget and the cache's budget-satisfaction check).
     pub evaluated: usize,
+    /// Candidates dismissed by the admissible lower bound without a
+    /// traffic pass (exhaustive strategy only; always 0 for the
+    /// metaheuristics, whose proposal streams pruning must not touch).
+    pub pruned: usize,
+    /// Traffic-memo hits during this search (geometries priced without
+    /// a trace replay).
+    pub traffic_hits: u64,
+    /// Traffic-memo misses during this search (geometries traced and
+    /// recorded).
+    pub traffic_misses: u64,
     /// 1-based index of the evaluation that first scored the winner —
     /// the "evals to optimum" a transferred warm start is meant to
     /// shrink (seeds are evaluated first, so a transfer that already
@@ -130,10 +143,14 @@ struct Evaluator<'a> {
     gpu: &'a GpuConfig,
     max_evals: usize,
     /// Serialized config → index into `entries` (scored) or `usize::MAX`
-    /// (failed to build: treated as infeasible, not charged).
+    /// (failed to build: treated as infeasible, not charged — or
+    /// dismissed by the admissible bound, which is charged as pruned).
     seen: HashMap<String, usize>,
     entries: Vec<(Candidate, Estimate)>,
     best: usize,
+    /// Candidates dismissed by [`gpu_sim::CostModel::bound`] without a
+    /// full traffic pass (exhaustive strategy only).
+    pruned: usize,
 }
 
 fn config_key(c: &TunedConfig) -> String {
@@ -149,6 +166,7 @@ impl<'a> Evaluator<'a> {
             seen: HashMap::new(),
             entries: Vec::new(),
             best: 0,
+            pruned: 0,
         }
     }
 
@@ -164,13 +182,16 @@ impl<'a> Evaluator<'a> {
     /// budget runs out. Returns how many new configs were scored.
     fn eval_batch(&mut self, configs: &[TunedConfig]) -> usize {
         let mut fresh: Vec<(String, Candidate)> = Vec::new();
+        // In-batch dedup by key: the linear scan this replaces was
+        // O(batch²) on the large enumerated spaces.
+        let mut fresh_keys: HashSet<String> = HashSet::new();
         let mut jobs = Vec::new();
         for c in configs {
             if self.entries.len() + fresh.len() >= self.max_evals {
                 break;
             }
             let key = config_key(c);
-            if self.seen.contains_key(&key) || fresh.iter().any(|(k, _)| *k == key) {
+            if self.seen.contains_key(&key) || fresh_keys.contains(&key) {
                 continue;
             }
             let cand = Candidate::annotated(&self.kind, c);
@@ -178,6 +199,7 @@ impl<'a> Evaluator<'a> {
                 Ok(layout) => {
                     let wl = build_workload(&self.kind, &cand, self.gpu);
                     jobs.push((layout, wl));
+                    fresh_keys.insert(key.clone());
                     fresh.push((key, cand));
                 }
                 // Unbuildable configs are infeasible, not charged.
@@ -197,6 +219,89 @@ impl<'a> Evaluator<'a> {
             self.entries.push((cand, est));
             if rank(&est) < rank(&self.entries[self.best].1) {
                 self.best = idx;
+            }
+        }
+        added
+    }
+
+    /// The branch-and-bound cutoff: the [`FRONTIER_K`]-th smallest time
+    /// scored so far, or `None` until that many entries exist (nothing
+    /// may be pruned before the frontier could possibly be full).
+    fn prune_threshold(&self) -> Option<f64> {
+        if self.entries.len() < FRONTIER_K {
+            return None;
+        }
+        let mut times: Vec<f64> = self.entries.iter().map(|(_, e)| e.time_s).collect();
+        times.sort_by(f64::total_cmp);
+        Some(times[FRONTIER_K - 1])
+    }
+
+    /// [`Evaluator::eval_batch`] with admissible lower-bound pruning,
+    /// used only by the exhaustive strategy. The sweep proceeds in
+    /// chunks; before each chunk the k-th-best scored time becomes the
+    /// cutoff, and any candidate whose [`gpu_sim::CostModel::bound`]
+    /// *strictly* exceeds it is dismissed without a traffic pass.
+    ///
+    /// Winner- and frontier-identical to the unpruned sweep: the bound
+    /// never exceeds the true time, and the cutoff only tightens, so a
+    /// pruned candidate's time strictly exceeds at least [`FRONTIER_K`]
+    /// final times — it could not have won or entered the frontier
+    /// (ties break toward lower indices, which scored entries keep).
+    /// Pruned candidates still count as evaluated, so budgets and
+    /// cache bookkeeping are numerically unchanged.
+    fn eval_batch_pruned(&mut self, configs: &[TunedConfig]) -> usize {
+        /// Candidates between threshold recomputations. Small enough
+        /// that the cutoff tightens while the sweep is still hot;
+        /// large enough that `score_batch` can fan out.
+        const PRUNE_CHUNK: usize = 32;
+        let model = gpu_sim::CostModel::new(self.gpu);
+        let mut added = 0;
+        for chunk in configs.chunks(PRUNE_CHUNK) {
+            let cutoff = self.prune_threshold();
+            let mut fresh: Vec<(String, Candidate)> = Vec::new();
+            let mut fresh_keys: HashSet<String> = HashSet::new();
+            let mut jobs = Vec::new();
+            for c in chunk {
+                if self.entries.len() + self.pruned + fresh.len() >= self.max_evals {
+                    break;
+                }
+                let key = config_key(c);
+                if self.seen.contains_key(&key) || fresh_keys.contains(&key) {
+                    continue;
+                }
+                let cand = Candidate::annotated(&self.kind, c);
+                match build_layout(&self.kind, &cand.config) {
+                    Ok(layout) => {
+                        let wl = build_workload(&self.kind, &cand, self.gpu);
+                        // Prune only after a successful build, so the
+                        // infeasible/evaluated split matches the
+                        // unpruned sweep exactly.
+                        if cutoff.is_some_and(|t| model.bound(&wl) > t) {
+                            self.seen.insert(key, usize::MAX);
+                            self.pruned += 1;
+                            continue;
+                        }
+                        jobs.push((layout, wl));
+                        fresh_keys.insert(key.clone());
+                        fresh.push((key, cand));
+                    }
+                    Err(_) => {
+                        self.seen.insert(key, usize::MAX);
+                    }
+                }
+            }
+            if fresh.is_empty() {
+                continue;
+            }
+            let estimates = score_batch(jobs, self.gpu);
+            added += fresh.len();
+            for ((key, cand), est) in fresh.into_iter().zip(estimates) {
+                let idx = self.entries.len();
+                self.seen.insert(key, idx);
+                self.entries.push((cand, est));
+                if rank(&est) < rank(&self.entries[self.best].1) {
+                    self.best = idx;
+                }
             }
         }
         added
@@ -272,7 +377,11 @@ impl<'a> Evaluator<'a> {
             winner,
             tuned,
             naive,
-            evaluated: self.entries.len(),
+            evaluated: self.entries.len() + self.pruned,
+            pruned: self.pruned,
+            // Filled in by `run_search` from the memo-stat deltas.
+            traffic_hits: 0,
+            traffic_misses: 0,
             // Entries are appended in evaluation order, so the winning
             // index is exactly how many evaluations it took to find it.
             evals_to_winner: self.best + 1,
@@ -302,14 +411,20 @@ pub fn run_search(
     warm_start: &[TunedConfig],
 ) -> Result<SearchOutcome, TuneError> {
     let mut rng = Rng::from_key(&format!("{seed_key}|{}", strategy.name()));
-    match strategy {
+    // Traffic-memo probes all land on this thread (`score_batch` looks
+    // keys up before fanning out), so the stat delta around the search
+    // is exactly this search's hit/miss count.
+    let (hits0, misses0) = gpu_sim::traffic_memo_stats();
+    let mut outcome = match strategy {
         Strategy::Exhaustive => {
             // Exhaustive ignores the budget: it is the ground truth the
-            // budgeted strategies are gated against.
+            // budgeted strategies are gated against. Its enumerated
+            // sweep is the one place bound pruning is winner-safe by
+            // construction, so only this arm uses it.
             let all = domain.enumerate();
             let mut eval = Evaluator::new(domain.kind, gpu, all.len().max(1));
             eval.eval_default(&domain.default_config())?;
-            eval.eval_batch(&all);
+            eval.eval_batch_pruned(&all);
             eval.finish()
         }
         Strategy::Anneal => {
@@ -324,7 +439,11 @@ pub fn run_search(
             genetic(domain, &mut eval, &mut rng, warm_start);
             eval.finish()
         }
-    }
+    }?;
+    let (hits1, misses1) = gpu_sim::traffic_memo_stats();
+    outcome.traffic_hits = hits1 - hits0;
+    outcome.traffic_misses = misses1 - misses0;
+    Ok(outcome)
 }
 
 /// Simulated annealing: Metropolis acceptance on *relative* slowdown
